@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark harness.
+
+Every figure/table of the paper has a benchmark module:
+
+* ``test_fig6_tpch.py``        — Figures 6a–6d (TPC-H interactions/time)
+* ``test_fig7_synthetic.py``   — Figures 7a–7l (synthetic sweeps)
+* ``test_table1_summary.py``   — Table 1 (sizes, join ratios, best strategy)
+* ``test_thm61_semijoin.py``   — Theorem 6.1 (semijoin consistency solvers)
+* ``test_ablation_*.py``       — design-choice ablations beyond the paper
+
+Benchmarks run one inference per round (``pedantic``), and attach the
+paper's other metric — the interaction count — as ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SignatureIndex
+from repro.data import generate_tpch, tpch_workloads
+
+
+@pytest.fixture(scope="session")
+def tpch_small():
+    """The paper's SF=1 stand-in (see DESIGN.md §3 for the mapping)."""
+    tables = generate_tpch(scale=1.0, seed=0)
+    return {w.name: w for w in tpch_workloads(tables)}
+
+
+@pytest.fixture(scope="session")
+def tpch_large():
+    """The paper's SF=100000 stand-in."""
+    tables = generate_tpch(scale=4.0, seed=0)
+    return {w.name: w for w in tpch_workloads(tables)}
+
+
+@pytest.fixture(scope="session")
+def tpch_indexes(tpch_small, tpch_large):
+    """Pre-built signature indexes (built once, shared by strategies —
+    the per-strategy timing matches the paper's protocol)."""
+    indexes = {}
+    for scale_label, workloads in (
+        ("small", tpch_small),
+        ("large", tpch_large),
+    ):
+        for name, workload in workloads.items():
+            indexes[(scale_label, name)] = SignatureIndex(
+                workload.instance
+            )
+    return indexes

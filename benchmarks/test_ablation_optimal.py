@@ -1,0 +1,73 @@
+"""Ablation: practical strategies vs the minimax optimum (§4.1).
+
+The paper proves an optimal strategy exists via minimax but dismisses it
+as exponential.  On instances small enough to solve exactly, we measure
+how far the practical strategies sit from the optimum (worst case over
+all goals) and what the optimum costs to compute.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    OptimalStrategy,
+    PerfectOracle,
+    SignatureIndex,
+    non_nullable_predicates,
+    run_inference,
+    strategy_by_name,
+)
+from repro.relational import Instance, JoinPredicate, Relation
+
+
+def example21_instance() -> Instance:
+    return Instance(
+        Relation.build("R0", ["A1", "A2"], [(0, 1), (0, 2), (2, 2), (1, 0)]),
+        Relation.build(
+            "P0", ["B1", "B2", "B3"], [(1, 1, 0), (0, 1, 2), (2, 0, 0)]
+        ),
+    )
+
+
+def test_minimax_value_computation(benchmark):
+    """Cost of solving the full game tree for Example 2.1."""
+    instance = example21_instance()
+    index = SignatureIndex(instance, backend="python")
+    optimal = OptimalStrategy()
+    benchmark.group = "ablation-optimal"
+    value = benchmark.pedantic(
+        optimal.worst_case_interactions, args=(index,), rounds=1, iterations=1
+    )
+    benchmark.extra_info["minimax_value"] = value
+    assert value >= 1
+
+
+@pytest.mark.parametrize("strategy_name", ["RND", "BU", "TD", "L1S", "L2S"])
+def test_worst_case_gap_to_optimal(benchmark, strategy_name):
+    """Worst-case interactions over every goal, per strategy, vs OPT."""
+    instance = example21_instance()
+    index = SignatureIndex(instance, backend="python")
+    goals = non_nullable_predicates(index) + [
+        JoinPredicate(instance.omega)
+    ]
+    optimal_value = OptimalStrategy().worst_case_interactions(index)
+    benchmark.group = "ablation-optimal"
+
+    def worst_case():
+        strategy = strategy_by_name(strategy_name)
+        return max(
+            run_inference(
+                instance,
+                strategy,
+                PerfectOracle(instance, goal),
+                index=index,
+                seed=0,
+            ).interactions
+            for goal in goals
+        )
+
+    worst = benchmark.pedantic(worst_case, rounds=1, iterations=1)
+    benchmark.extra_info["worst_interactions"] = worst
+    benchmark.extra_info["minimax_value"] = optimal_value
+    assert worst >= optimal_value

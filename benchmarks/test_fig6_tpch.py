@@ -1,0 +1,74 @@
+"""Figures 6a–6d: TPC-H joins — interactions and inference time.
+
+Each benchmark reproduces one (scale, join, strategy) cell: the measured
+time is the paper's "inference time" (Figures 6c/6d) and the attached
+``extra_info['interactions']`` is the paper's "number of interactions"
+(Figures 6a/6b).
+
+Paper shapes to compare against (not absolute numbers — the substrate
+differs, see EXPERIMENTS.md):
+
+* joins of size 1 (Joins 1–4) are inferred within a handful of
+  interactions by BU/TD/L1S/L2S at any scale;
+* Join 5 (size 2, highest join ratio) needs the most interactions, and
+  lookahead pays off there;
+* L2S is orders of magnitude slower than the local strategies, L1S in
+  between (Figure 6c/6d's ordering BU≈TD≈RND ≪ L1S ≪ L2S).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PerfectOracle, run_inference, strategy_by_name
+from repro.data import WORKLOAD_NAMES
+
+STRATEGIES = ("RND", "BU", "TD", "L1S", "L2S")
+
+
+def _run_cell(workload, index, strategy_name):
+    strategy = strategy_by_name(strategy_name)
+    oracle = PerfectOracle(workload.instance, workload.goal)
+    result = run_inference(
+        workload.instance, strategy, oracle, index=index, seed=0
+    )
+    assert result.matches_goal(workload.instance, workload.goal)
+    return result
+
+
+@pytest.mark.parametrize("strategy_name", STRATEGIES)
+@pytest.mark.parametrize("join_name", WORKLOAD_NAMES)
+def test_fig6_small_scale(
+    benchmark, tpch_small, tpch_indexes, join_name, strategy_name
+):
+    """Figure 6a (interactions) + 6c (time) at the small scale."""
+    workload = tpch_small[join_name]
+    index = tpch_indexes[("small", join_name)]
+    benchmark.group = f"fig6-small-{join_name}"
+    result = benchmark.pedantic(
+        _run_cell,
+        args=(workload, index, strategy_name),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["interactions"] = result.interactions
+    benchmark.extra_info["goal_size"] = workload.goal_size
+
+
+@pytest.mark.parametrize("strategy_name", STRATEGIES)
+@pytest.mark.parametrize("join_name", WORKLOAD_NAMES)
+def test_fig6_large_scale(
+    benchmark, tpch_large, tpch_indexes, join_name, strategy_name
+):
+    """Figure 6b (interactions) + 6d (time) at the large scale."""
+    workload = tpch_large[join_name]
+    index = tpch_indexes[("large", join_name)]
+    benchmark.group = f"fig6-large-{join_name}"
+    result = benchmark.pedantic(
+        _run_cell,
+        args=(workload, index, strategy_name),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["interactions"] = result.interactions
+    benchmark.extra_info["goal_size"] = workload.goal_size

@@ -1,0 +1,93 @@
+"""Figures 7a–7l: synthetic sweeps — interactions and time by goal size.
+
+The benchmark grid covers every generator configuration of §5.2 at goal
+sizes {0, 2, 4} for the three headline strategies (BU — best at size 0,
+TD — best around size 2, L2S — best at sizes ≥ 3 per Table 1); the full
+5-strategy × 5-size grid is produced by ``python -m repro.experiments``,
+which backs EXPERIMENTS.md.
+
+Expected shapes (paper §5.3):
+
+* size-0 goals take exactly 1 interaction with BU;
+* goals of size 2 sit mid-lattice and need the *most* interactions —
+  more than sizes 3–4;
+* L2S needs the fewest interactions for sizes ≥ 3 but pays in time.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    PerfectOracle,
+    SignatureIndex,
+    run_inference,
+    sample_goal_of_size,
+    strategy_by_name,
+)
+from repro.data import PAPER_CONFIGS, generate_synthetic
+
+STRATEGIES = ("BU", "TD", "L2S")
+GOAL_SIZES = (0, 2, 4)
+
+CONFIG_BY_LABEL = {config.label: config for config in PAPER_CONFIGS}
+
+
+def _draw(config, goal_size, seed):
+    rng = random.Random(seed)
+    for _ in range(60):
+        instance = generate_synthetic(config, seed=rng.randrange(2**31))
+        index = SignatureIndex(instance)
+        goal = sample_goal_of_size(index, goal_size, rng)
+        if goal is not None:
+            return instance, index, goal
+    pytest.skip(
+        f"no non-nullable goal of size {goal_size} for {config.label}"
+    )
+
+
+def _run_cell(instance, index, goal, strategy_name):
+    strategy = strategy_by_name(strategy_name)
+    result = run_inference(
+        instance,
+        strategy,
+        PerfectOracle(instance, goal),
+        index=index,
+        seed=0,
+    )
+    assert result.matches_goal(instance, goal)
+    return result
+
+
+@pytest.mark.parametrize("strategy_name", STRATEGIES)
+@pytest.mark.parametrize("goal_size", GOAL_SIZES)
+@pytest.mark.parametrize("label", sorted(CONFIG_BY_LABEL))
+def test_fig7_cell(benchmark, label, goal_size, strategy_name):
+    """One (configuration, goal size, strategy) cell of Figure 7."""
+    config = CONFIG_BY_LABEL[label]
+    instance, index, goal = _draw(config, goal_size, seed=hash(label) & 0xFFFF)
+    benchmark.group = f"fig7-{label}-size{goal_size}"
+    result = benchmark.pedantic(
+        _run_cell,
+        args=(instance, index, goal, strategy_name),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["interactions"] = result.interactions
+    benchmark.extra_info["classes"] = len(index)
+
+
+def test_fig7_size0_bottom_up_single_interaction(benchmark):
+    """§5.3's crispest claim: BU infers the empty goal in one question."""
+    config = CONFIG_BY_LABEL["(3,3,50,100)"]
+    instance, index, goal = _draw(config, 0, seed=5)
+    benchmark.group = "fig7-claims"
+    result = benchmark.pedantic(
+        _run_cell,
+        args=(instance, index, goal, "BU"),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.interactions == 1

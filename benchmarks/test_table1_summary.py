@@ -1,0 +1,61 @@
+"""Table 1: Cartesian-product sizes, join ratios, and the quotient cost.
+
+The summary columns of Table 1 are instance descriptors; the benchmark
+times the signature-index construction (the one-off cost every strategy
+shares) and attaches the descriptors as ``extra_info`` so the harness
+output carries the full Table 1 row.
+
+Paper values to compare shapes against: TPC-H join ratios 1–2.1 (higher
+for Join 4/5 than for Joins 1–3), synthetic ratios 1.3–1.7.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SignatureIndex
+from repro.data import PAPER_CONFIGS, WORKLOAD_NAMES, generate_synthetic
+from repro.experiments import compute_metrics
+
+
+@pytest.mark.parametrize("join_name", WORKLOAD_NAMES)
+def test_table1_tpch_descriptors(benchmark, tpch_small, join_name):
+    workload = tpch_small[join_name]
+    benchmark.group = "table1-tpch"
+    index = benchmark.pedantic(
+        SignatureIndex, args=(workload.instance,), rounds=1, iterations=1
+    )
+    metrics = compute_metrics(workload.instance, index)
+    benchmark.extra_info["cartesian_size"] = metrics.cartesian_size
+    benchmark.extra_info["join_ratio"] = round(metrics.join_ratio, 3)
+    benchmark.extra_info["signatures"] = metrics.distinct_signatures
+    # Shape assertions mirroring Table 1's ordering of ratios.
+    assert 1.0 <= metrics.join_ratio <= 3.0
+
+
+@pytest.mark.parametrize(
+    "label", [config.label for config in PAPER_CONFIGS]
+)
+def test_table1_synthetic_descriptors(benchmark, label):
+    config = next(c for c in PAPER_CONFIGS if c.label == label)
+    instance = generate_synthetic(config, seed=0)
+    benchmark.group = "table1-synthetic"
+    index = benchmark.pedantic(
+        SignatureIndex, args=(instance,), rounds=1, iterations=1
+    )
+    metrics = compute_metrics(instance, index)
+    benchmark.extra_info["cartesian_size"] = metrics.cartesian_size
+    benchmark.extra_info["join_ratio"] = round(metrics.join_ratio, 3)
+    # Table 1's synthetic ratios live in a narrow band (1.3–1.7).
+    assert 0.8 <= metrics.join_ratio <= 2.2
+
+
+def test_table1_join_ratio_orders_difficulty(tpch_small):
+    """§5.3: 'the bigger the join ratio, the more interactions are
+    needed' — Join 4/5 (ratio ≈ 2+) vs Joins 1–3 (ratio ≈ 1.1–1.4)."""
+    ratios = {
+        name: compute_metrics(workload.instance).join_ratio
+        for name, workload in tpch_small.items()
+    }
+    assert ratios["join4"] > ratios["join1"]
+    assert ratios["join5"] > ratios["join3"]

@@ -1,0 +1,77 @@
+"""Theorem 6.1: semijoin consistency is NP-complete.
+
+No figure accompanies §6, but the theorem is the paper's third
+contribution; these benchmarks quantify it by timing the three exact
+deciders on reduction instances of growing size.  Expected shape: the
+brute-force decider explodes with |Ω| (it is the 2^|Ω| enumeration),
+while the SAT/backtracking deciders track the formula's difficulty.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sat import random_3cnf
+from repro.semijoin import (
+    consistent_semijoin_backtracking,
+    consistent_semijoin_brute,
+    consistent_semijoin_sat,
+    reduce_3sat,
+)
+
+
+def _reduction(n_variables: int, n_clauses: int, seed: int):
+    rng = random.Random(seed)
+    return reduce_3sat(random_3cnf(n_variables, n_clauses, rng))
+
+
+@pytest.mark.parametrize("n_variables", [3, 4, 5, 6])
+def test_sat_decider_scaling(benchmark, n_variables):
+    reduction = _reduction(n_variables, 2 * n_variables, seed=1)
+    benchmark.group = "thm61-sat"
+    benchmark.extra_info["omega"] = len(reduction.instance.omega)
+    theta = benchmark.pedantic(
+        consistent_semijoin_sat,
+        args=(reduction.instance, reduction.sample),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["consistent"] = theta is not None
+
+
+@pytest.mark.parametrize("n_variables", [3, 4, 5, 6])
+def test_backtracking_decider_scaling(benchmark, n_variables):
+    reduction = _reduction(n_variables, 2 * n_variables, seed=1)
+    benchmark.group = "thm61-backtracking"
+    theta = benchmark.pedantic(
+        consistent_semijoin_backtracking,
+        args=(reduction.instance, reduction.sample),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["consistent"] = theta is not None
+
+
+def test_brute_force_decider_small_only(benchmark):
+    """The 2^|Ω| reference is only feasible for the tiniest instances —
+    that is the point of the theorem."""
+    from repro.relational import Instance, Relation
+    from repro.semijoin import SemijoinSample
+
+    instance = Instance(
+        Relation.build("R", ["A1", "A2"], [(1, 2), (3, 4), (5, 6)]),
+        Relation.build("P", ["B1", "B2"], [(1, 2), (3, 9)]),
+    )
+    sample = SemijoinSample.of(
+        positives=[(1, 2)], negatives=[(5, 6)]
+    )
+    benchmark.group = "thm61-brute"
+    theta = benchmark.pedantic(
+        consistent_semijoin_brute,
+        args=(instance, sample),
+        rounds=1,
+        iterations=1,
+    )
+    assert theta is not None

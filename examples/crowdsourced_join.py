@@ -1,0 +1,72 @@
+"""Crowdsourced join inference: cost vs accuracy under noisy workers.
+
+§7 of the paper points at crowdsourcing as the natural deployment of
+interactive join inference — every label costs money, and workers err.
+This script sweeps worker error rates and majority-panel sizes and
+reports the three quantities that matter: questions asked (tuples),
+total worker answers (cost), and how often the inferred join is still
+instance-equivalent to the goal.
+"""
+
+from repro.core import SignatureIndex, TopDownStrategy
+from repro.crowd import (
+    majority_error_rate,
+    panel_size_for_target,
+    run_crowd_inference,
+)
+from repro.data import generate_tpch, tpch_workloads
+
+REPEATS = 20
+
+
+def main() -> None:
+    tables = generate_tpch(scale=1.0, seed=0)
+    workload = next(
+        w for w in tpch_workloads(tables) if w.name == "join3"
+    )
+    index = SignatureIndex(workload.instance)
+    print(f"Workload: {workload.description}")
+    print(f"Goal: {workload.goal}\n")
+
+    print("worker_err  panel  accuracy  questions  worker_answers")
+    for worker_error in (0.0, 0.1, 0.2):
+        for panel_size in (1, 3, 5):
+            correct = 0
+            questions = 0
+            answers = 0
+            for repeat in range(REPEATS):
+                report = run_crowd_inference(
+                    workload.instance,
+                    TopDownStrategy(),
+                    workload.goal,
+                    worker_error=worker_error,
+                    panel_size=panel_size,
+                    seed=repeat,
+                    index=index,
+                )
+                correct += report.correct
+                questions += report.interactions
+                answers += report.worker_answers
+            print(
+                f"{worker_error:>10.2f}  {panel_size:>5}  "
+                f"{correct / REPEATS:>8.0%}  {questions / REPEATS:>9.1f}  "
+                f"{answers / REPEATS:>14.1f}"
+            )
+
+    print("\nAnalytic panel sizing (majority error per panel):")
+    for worker_error in (0.1, 0.2, 0.3):
+        sizes = {
+            k: majority_error_rate(k, worker_error) for k in (1, 3, 5, 7)
+        }
+        needed = panel_size_for_target(worker_error, target_error=0.01)
+        rendered = "  ".join(
+            f"k={k}: {err:.3f}" for k, err in sizes.items()
+        )
+        print(
+            f"  worker error {worker_error:.1f}: {rendered}  "
+            f"→ panel for ≤1% error: {needed}"
+        )
+
+
+if __name__ == "__main__":
+    main()

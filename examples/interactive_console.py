@@ -1,0 +1,90 @@
+"""A real interactive session: YOU are the user.
+
+Run with::
+
+    python examples/interactive_console.py
+
+The script shows two small product tables and asks you yes/no questions
+about candidate pairs; answer according to whatever join you have in
+mind (e.g. "products and their categories") and it will print the
+predicate.  Press Ctrl-C to abort.
+
+Non-interactive environments (CI) can pipe answers::
+
+    printf 'n\\ny\\nn\\n...' | python examples/interactive_console.py
+"""
+
+import sys
+
+from repro import Instance, Relation
+from repro.core import CallbackOracle, InferenceSession, Label, TopDownStrategy
+
+
+def build_instance() -> Instance:
+    products = Relation.build(
+        "Product",
+        ["sku", "category_code", "price"],
+        [
+            (100, 1, 20),
+            (101, 1, 35),
+            (102, 2, 20),
+            (103, 3, 100),
+        ],
+    )
+    categories = Relation.build(
+        "Category",
+        ["code", "tax_class"],
+        [(1, 20), (2, 5), (3, 20)],
+    )
+    return Instance(products, categories)
+
+
+def ask_human(instance: Instance):
+    def ask(tuple_pair) -> Label:
+        r_row, p_row = tuple_pair
+        left = ", ".join(
+            f"{attr.name}={value}"
+            for attr, value in zip(instance.left.schema, r_row)
+        )
+        right = ", ".join(
+            f"{attr.name}={value}"
+            for attr, value in zip(instance.right.schema, p_row)
+        )
+        print(f"\nShould these be joined?")
+        print(f"  Product({left})")
+        print(f"  Category({right})")
+        while True:
+            answer = input("  [y]es / [n]o > ").strip().lower()
+            if answer in ("y", "yes", "+"):
+                return Label.POSITIVE
+            if answer in ("n", "no", "-"):
+                return Label.NEGATIVE
+            print("  please answer y or n")
+
+    return CallbackOracle(ask)
+
+
+def main() -> None:
+    instance = build_instance()
+    print("Product:")
+    print(instance.left.pretty())
+    print("\nCategory:")
+    print(instance.right.pretty())
+    print(
+        "\nThink of a join between these tables "
+        "(for instance: category_code = code), then answer honestly."
+    )
+    session = InferenceSession(
+        instance, TopDownStrategy(), ask_human(instance), seed=0
+    )
+    try:
+        result = session.run()
+    except KeyboardInterrupt:
+        print("\naborted")
+        sys.exit(1)
+    print(f"\nYou were thinking of:  {result.predicate}")
+    print(f"({result.interactions} questions)")
+
+
+if __name__ == "__main__":
+    main()

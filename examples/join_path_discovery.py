@@ -1,0 +1,50 @@
+"""Join-path discovery: customer → orders → lineitem, hop by hop.
+
+§7 of the paper names join paths as future work; this example shows the
+natural lifting: run the two-relation interactive inference once per hop
+of the chain and assemble the path.  The chain query below is the skeleton
+of TPC-H's Q3/Q10 family — discovered here without touching the schema's
+key/foreign-key metadata.
+"""
+
+from repro.data import generate_tpch
+from repro.joinpath import evaluate_join_path, infer_join_path
+from repro.relational import JoinPredicate
+from repro.relational.algebra import project
+
+
+def main() -> None:
+    tables = generate_tpch(scale=0.8, seed=4)
+    customer = project(
+        tables.customer, ["custkey", "nationkey", "acctbal"]
+    )
+    orders = project(tables.orders, ["orderkey", "custkey", "totalprice"])
+    lineitem = project(
+        tables.lineitem, ["orderkey", "partkey", "quantity"]
+    )
+    relations = [customer, orders, lineitem]
+
+    # The goals play the role of the (hidden) user intent per hop.
+    goals = [
+        JoinPredicate.parse("customer.custkey = orders.custkey"),
+        JoinPredicate.parse("orders.orderkey = lineitem.orderkey"),
+    ]
+    print("Chain: customer → orders → lineitem")
+    result = infer_join_path(relations, goals=goals, seed=0)
+    for hop in result.hops:
+        print(
+            f"  {hop.left_name} ⋈ {hop.right_name}: "
+            f"{hop.predicate}   ({hop.interactions} questions)"
+        )
+    print(f"Total questions: {result.total_interactions}")
+
+    truth = evaluate_join_path(relations, goals)
+    inferred = evaluate_join_path(relations, result.predicates)
+    print(
+        f"Chain result rows: {len(inferred)} "
+        f"(matches hidden goal: {set(truth) == set(inferred)})"
+    )
+
+
+if __name__ == "__main__":
+    main()

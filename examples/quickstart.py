@@ -1,0 +1,62 @@
+"""Quickstart: infer a join predicate from yes/no answers.
+
+Run with::
+
+    python examples/quickstart.py
+
+The library's core loop in four steps: build two relations, pick a
+strategy, answer membership questions (here: simulated), read off the
+inferred join predicate.
+"""
+
+from repro import (
+    Instance,
+    JoinPredicate,
+    PerfectOracle,
+    Relation,
+    TopDownStrategy,
+    run_inference,
+)
+
+
+def main() -> None:
+    # 1. Two relations with no schema knowledge beyond column names.
+    employees = Relation.build(
+        "Employee",
+        ["emp_id", "dept_id", "city"],
+        [
+            (1, 10, "Lille"),
+            (2, 10, "Paris"),
+            (3, 20, "Lille"),
+            (4, 30, "NYC"),
+        ],
+    )
+    departments = Relation.build(
+        "Department",
+        ["id", "location"],
+        [(10, "Paris"), (20, "Lille"), (30, "NYC")],
+    )
+    instance = Instance(employees, departments)
+
+    # 2. The "user" has a join in mind but cannot write it.  Here a
+    #    PerfectOracle simulates her answers; in a real application you
+    #    would plug in a CallbackOracle asking a human (see
+    #    examples/interactive_console.py).
+    goal = JoinPredicate.parse("Employee.dept_id = Department.id")
+    oracle = PerfectOracle(instance, goal)
+
+    # 3. Run the interactive inference (Algorithm 1 of the paper) with
+    #    the top-down strategy.
+    result = run_inference(instance, TopDownStrategy(), oracle, seed=0)
+
+    # 4. The inferred predicate is instance-equivalent to the goal.
+    print(f"questions asked : {result.interactions}")
+    print(f"inferred        : {result.predicate}")
+    print(f"matches goal    : {result.matches_goal(instance, goal)}")
+    for example in result.history:
+        marker = "+" if example.is_positive else "-"
+        print(f"  [{marker}] {example.tuple_pair}")
+
+
+if __name__ == "__main__":
+    main()

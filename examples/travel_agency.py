@@ -1,0 +1,103 @@
+"""The paper's motivating scenario (§1): flight & hotel packages.
+
+A travel-agency employee wants to pair flights with hotels but cannot
+write the join.  Two candidate queries exist:
+
+* Q1: ``Flight.To = Hotel.City`` — any flight with a hotel at the
+  destination;
+* Q2: Q1 plus ``Flight.Airline = Hotel.Discount`` — only packages
+  eligible for an airline discount.
+
+The script replays the introduction: labeling tuple (3) keeps both
+queries alive, tuple (4) is *uninformative* afterwards, and tuple (8) is
+exactly the question that separates Q1 from Q2.
+"""
+
+from repro import (
+    Instance,
+    JoinPredicate,
+    PerfectOracle,
+    Relation,
+    run_inference,
+)
+from repro.core import (
+    Example,
+    Label,
+    Sample,
+    default_strategies,
+    is_informative,
+    is_predicate_consistent_with,
+)
+
+
+def build_instance() -> Instance:
+    flights = Relation.build(
+        "Flight",
+        ["From_", "To", "Airline"],
+        [
+            ("Paris", "Lille", "AF"),
+            ("Lille", "NYC", "AA"),
+            ("NYC", "Paris", "AA"),
+            ("Paris", "NYC", "AF"),
+        ],
+    )
+    hotels = Relation.build(
+        "Hotel",
+        ["City", "Discount"],
+        [("NYC", "AA"), ("Paris", "NoDiscount"), ("Lille", "AF")],
+    )
+    return Instance(flights, hotels)
+
+
+def main() -> None:
+    instance = build_instance()
+    q1 = JoinPredicate.parse("Flight.To = Hotel.City")
+    q2 = JoinPredicate.parse(
+        "Flight.To = Hotel.City AND Flight.Airline = Hotel.Discount"
+    )
+    print("Flight:")
+    print(instance.left.pretty())
+    print("\nHotel:")
+    print(instance.right.pretty())
+
+    # --- the introduction's labeling narrative -------------------------
+    tuple_3 = (("Paris", "Lille", "AF"), ("Lille", "AF"))
+    tuple_4 = (("Lille", "NYC", "AA"), ("NYC", "AA"))
+    tuple_8 = (("NYC", "Paris", "AA"), ("Paris", "NoDiscount"))
+
+    sample = Sample([Example(tuple_3, Label.POSITIVE)])
+    print("\nAfter labeling tuple (3) positive:")
+    for name, query in (("Q1", q1), ("Q2", q2)):
+        consistent = is_predicate_consistent_with(instance, query, sample)
+        print(f"  {name} consistent: {consistent}")
+
+    print(
+        "  tuple (4) informative:"
+        f" {is_informative(instance, sample, tuple_4)}"
+        "   (labeling it adds nothing — both queries select it)"
+    )
+    print(
+        "  tuple (8) informative:"
+        f" {is_informative(instance, sample, tuple_8)}"
+        "   (Q1 selects it, Q2 does not — this is the question to ask)"
+    )
+
+    # --- full inference for both goals ---------------------------------
+    for name, goal in (("Q1", q1), ("Q2", q2)):
+        print(f"\nInferring {name} = {goal}")
+        for strategy in default_strategies():
+            result = run_inference(
+                instance,
+                strategy,
+                PerfectOracle(instance, goal),
+                seed=0,
+            )
+            status = "ok" if result.matches_goal(instance, goal) else "FAIL"
+            print(
+                f"  {strategy.name:>3}: {result.interactions} questions "
+                f"[{status}]"
+            )
+
+
+if __name__ == "__main__":
+    main()

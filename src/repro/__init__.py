@@ -1,0 +1,126 @@
+"""repro — Interactive Inference of Join Queries.
+
+A complete, from-scratch reproduction of
+
+    Angela Bonifati, Radu Ciucanu, Sławek Staworko.
+    "Interactive Inference of Join Queries", EDBT 2014.
+
+The library infers an equijoin predicate between two relations purely from
+"is this tuple in your result?" answers, with no knowledge of integrity
+constraints, while minimising the number of questions.  It also contains
+everything the paper's evaluation depends on: the relational substrate, a
+SAT solver and the semijoin NP-completeness construction (Theorem 6.1), a
+synthetic data generator, a miniature TPC-H dbgen, and the experiment
+harness that regenerates every table and figure.
+
+Quickstart
+----------
+
+>>> from repro import (
+...     Relation, Instance, JoinPredicate,
+...     PerfectOracle, TopDownStrategy, run_inference)
+>>> flights = Relation.build(
+...     "Flight", ["From_", "To", "Airline"],
+...     [("Paris", "Lille", "AF"), ("Lille", "NYC", "AA"),
+...      ("NYC", "Paris", "AA"), ("Paris", "NYC", "AF")])
+>>> hotels = Relation.build(
+...     "Hotel", ["City", "Discount"],
+...     [("NYC", "AA"), ("Paris", "None_"), ("Lille", "AF")])
+>>> instance = Instance(flights, hotels)
+>>> goal = JoinPredicate.parse("Flight.To = Hotel.City")
+>>> result = run_inference(
+...     instance, TopDownStrategy(), PerfectOracle(instance, goal), seed=0)
+>>> result.matches_goal(instance, goal)
+True
+"""
+
+from .core import (
+    BottomUpStrategy,
+    Example,
+    HaltCondition,
+    InconsistentSampleError,
+    InferenceResult,
+    InferenceSession,
+    InferenceState,
+    Label,
+    LookaheadSkylineStrategy,
+    MaxInteractions,
+    NoInformativeTuples,
+    NoisyOracle,
+    OptimalStrategy,
+    Oracle,
+    PerfectOracle,
+    RandomStrategy,
+    Sample,
+    ScriptedOracle,
+    SignatureIndex,
+    Strategy,
+    TopDownStrategy,
+    consistent_predicate,
+    default_strategies,
+    instance_equivalent,
+    is_consistent,
+    most_specific_for_set,
+    most_specific_predicate,
+    one_step_lookahead,
+    run_inference,
+    strategy_by_name,
+    two_step_lookahead,
+)
+from .relational import (
+    Attribute,
+    Instance,
+    JoinPredicate,
+    Relation,
+    RelationSchema,
+    SchemaError,
+    cartesian_product,
+    equijoin,
+    semijoin,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Attribute",
+    "BottomUpStrategy",
+    "Example",
+    "HaltCondition",
+    "InconsistentSampleError",
+    "InferenceResult",
+    "InferenceSession",
+    "InferenceState",
+    "Instance",
+    "JoinPredicate",
+    "Label",
+    "LookaheadSkylineStrategy",
+    "MaxInteractions",
+    "NoInformativeTuples",
+    "NoisyOracle",
+    "OptimalStrategy",
+    "Oracle",
+    "PerfectOracle",
+    "RandomStrategy",
+    "Relation",
+    "RelationSchema",
+    "Sample",
+    "SchemaError",
+    "ScriptedOracle",
+    "SignatureIndex",
+    "Strategy",
+    "TopDownStrategy",
+    "__version__",
+    "cartesian_product",
+    "consistent_predicate",
+    "default_strategies",
+    "equijoin",
+    "instance_equivalent",
+    "is_consistent",
+    "most_specific_for_set",
+    "most_specific_predicate",
+    "one_step_lookahead",
+    "run_inference",
+    "semijoin",
+    "strategy_by_name",
+    "two_step_lookahead",
+]

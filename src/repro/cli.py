@@ -1,0 +1,280 @@
+"""Command-line interface.
+
+Subcommands
+-----------
+
+* ``infer``      — interactively infer a join between two CSV files: the
+  tool picks informative tuple pairs, you answer y/n, it prints the join
+  predicate you had in mind (Algorithm 1 with a human oracle).
+* ``generate``   — write the mini TPC-H tables or a synthetic instance
+  to CSV files.
+* ``experiment`` — regenerate the paper's Figure 6 / Figure 7 / Table 1.
+* ``demo``       — the flight&hotel walk-through from the paper's
+  introduction, with a simulated user.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .core import (
+    CallbackOracle,
+    InferenceSession,
+    Label,
+    MaxInteractions,
+    PerfectOracle,
+    run_inference,
+    strategy_by_name,
+)
+from .data import SyntheticConfig, generate_synthetic, generate_tpch
+from .relational import Instance, JoinPredicate, read_csv, write_csv
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-join",
+        description=(
+            "Interactive inference of join queries "
+            "(Bonifati, Ciucanu, Staworko — EDBT 2014)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    infer = subparsers.add_parser(
+        "infer", help="interactively infer a join between two CSV files"
+    )
+    infer.add_argument("left_csv", type=Path, help="relation R (CSV)")
+    infer.add_argument("right_csv", type=Path, help="relation P (CSV)")
+    infer.add_argument(
+        "--strategy",
+        default="TD",
+        help="RND / BU / TD / L1S / L2S / LkS / OPT (default: TD)",
+    )
+    infer.add_argument(
+        "--max-questions",
+        type=int,
+        default=None,
+        help="stop early after this many questions",
+    )
+    infer.add_argument(
+        "--infer-types",
+        action="store_true",
+        help="convert numeric-looking CSV columns to numbers",
+    )
+    infer.add_argument(
+        "--save-transcript",
+        type=Path,
+        default=None,
+        help="write the full Q&A transcript and result as JSON",
+    )
+
+    generate = subparsers.add_parser(
+        "generate", help="write benchmark datasets as CSV"
+    )
+    generate.add_argument("kind", choices=["tpch", "synthetic"])
+    generate.add_argument("--out-dir", type=Path, default=Path("."))
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument(
+        "--scale", type=float, default=1.0, help="TPC-H scale"
+    )
+    generate.add_argument(
+        "--config",
+        default="(3,3,50,100)",
+        help="synthetic configuration, e.g. '(3,3,50,100)'",
+    )
+
+    experiment = subparsers.add_parser(
+        "experiment", help="regenerate the paper's tables"
+    )
+    experiment.add_argument(
+        "what", choices=["fig6", "fig7", "table1", "all"]
+    )
+    experiment.add_argument("--runs", type=int, default=3)
+    experiment.add_argument("--seed", type=int, default=0)
+
+    subparsers.add_parser(
+        "demo", help="the paper's flight&hotel walk-through"
+    )
+    return parser
+
+
+def _parse_config(text: str) -> SyntheticConfig:
+    cleaned = text.strip().strip("()")
+    try:
+        left, right, rows, values = (int(x) for x in cleaned.split(","))
+    except ValueError:
+        raise SystemExit(
+            f"bad configuration {text!r}; expected '(nR,nP,rows,values)'"
+        )
+    return SyntheticConfig(left, right, rows, values)
+
+
+def _format_question(instance: Instance, tuple_pair) -> str:
+    r_row, p_row = tuple_pair
+    left_part = ", ".join(
+        f"{attr.name}={value}"
+        for attr, value in zip(instance.left.schema, r_row)
+    )
+    right_part = ", ".join(
+        f"{attr.name}={value}"
+        for attr, value in zip(instance.right.schema, p_row)
+    )
+    return (
+        f"  {instance.left.name}({left_part})\n"
+        f"  {instance.right.name}({right_part})"
+    )
+
+
+def _console_oracle(instance: Instance, stream=None) -> CallbackOracle:
+    counter = {"asked": 0}
+
+    def ask(tuple_pair) -> Label:
+        counter["asked"] += 1
+        print(f"\nQuestion {counter['asked']}: should this pair be joined?")
+        print(_format_question(instance, tuple_pair))
+        while True:
+            answer = (
+                input("  [y]es / [n]o > ") if stream is None
+                else stream.readline().strip()
+            )
+            answer = answer.strip().lower()
+            if answer in ("y", "yes", "+"):
+                return Label.POSITIVE
+            if answer in ("n", "no", "-"):
+                return Label.NEGATIVE
+            print("  please answer y or n")
+
+    return CallbackOracle(ask)
+
+
+def _cmd_infer(args: argparse.Namespace) -> int:
+    left = read_csv(args.left_csv, infer_types=args.infer_types)
+    right = read_csv(args.right_csv, infer_types=args.infer_types)
+    instance = Instance(left, right)
+    strategy = strategy_by_name(args.strategy)
+    halt = (
+        MaxInteractions(args.max_questions)
+        if args.max_questions is not None
+        else None
+    )
+    session = InferenceSession(
+        instance,
+        strategy,
+        _console_oracle(instance),
+        halt_condition=halt,
+        seed=0,
+    )
+    print(
+        f"Inferring a join between {left.name} ({len(left)} rows) and "
+        f"{right.name} ({len(right)} rows) with strategy {strategy.name}."
+    )
+    result = session.run()
+    print("\nInferred join predicate:")
+    print(f"  {result.predicate}")
+    print(f"({result.interactions} questions asked)")
+    if args.save_transcript is not None:
+        from .core import dumps
+
+        args.save_transcript.write_text(dumps(result))
+        print(f"transcript written to {args.save_transcript}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    if args.kind == "tpch":
+        tables = generate_tpch(scale=args.scale, seed=args.seed)
+        for relation in tables.all_tables():
+            path = args.out_dir / f"{relation.name}.csv"
+            write_csv(relation, path)
+            print(f"wrote {path} ({len(relation)} rows)")
+        return 0
+    config = _parse_config(args.config)
+    instance = generate_synthetic(config, seed=args.seed)
+    for relation in (instance.left, instance.right):
+        path = args.out_dir / f"{relation.name}.csv"
+        write_csv(relation, path)
+        print(f"wrote {path} ({len(relation)} rows)")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiments import (
+        figure6,
+        figure7,
+        render_figure6,
+        render_figure7,
+        render_table1,
+        table1,
+    )
+
+    if args.what in ("fig6", "all"):
+        print(render_figure6(figure6(seed=args.seed)))
+        print()
+    if args.what in ("fig7", "all"):
+        print(render_figure7(figure7(seed=args.seed, runs=args.runs)))
+        print()
+    if args.what in ("table1", "all"):
+        print(render_table1(table1(seed=args.seed, runs=args.runs)))
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from .relational import Relation
+
+    flights = Relation.build(
+        "Flight",
+        ["From_", "To", "Airline"],
+        [
+            ("Paris", "Lille", "AF"),
+            ("Lille", "NYC", "AA"),
+            ("NYC", "Paris", "AA"),
+            ("Paris", "NYC", "AF"),
+        ],
+    )
+    hotels = Relation.build(
+        "Hotel",
+        ["City", "Discount"],
+        [("NYC", "AA"), ("Paris", "NoDiscount"), ("Lille", "AF")],
+    )
+    instance = Instance(flights, hotels)
+    print("Flight table:")
+    print(flights.pretty())
+    print("\nHotel table:")
+    print(hotels.pretty())
+    goal = JoinPredicate.parse(
+        "Flight.To = Hotel.City AND Flight.Airline = Hotel.Discount"
+    )
+    print(f"\nSimulated user has in mind:  {goal}")
+    for name in ("BU", "TD", "L1S", "L2S"):
+        result = run_inference(
+            instance,
+            strategy_by_name(name),
+            PerfectOracle(instance, goal),
+            seed=0,
+        )
+        print(
+            f"  {name:>3}: {result.interactions} questions → "
+            f"{result.predicate}"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "infer": _cmd_infer,
+        "generate": _cmd_generate,
+        "experiment": _cmd_experiment,
+        "demo": _cmd_demo,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

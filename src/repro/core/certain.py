@@ -1,0 +1,139 @@
+"""Certain and informative tuples — the PTIME tests of §3.4.
+
+Lemma 3.2 equates uninformative examples with *certain* tuples, which are
+characterised without reference to the (unknown) goal predicate:
+
+* **Lemma 3.3** — ``t ∈ Cert+(S)  iff  T(S+) ⊆ T(t)``.
+* **Lemma 3.4** — ``t ∈ Cert−(S)  iff  ∃t′ ∈ S−. T(S+) ∩ T(t) ⊆ T(t′)``.
+
+A tuple is *informative* w.r.t. ``S`` iff it is unlabeled and belongs to
+neither certain set (Theorem 3.5: this is decidable in PTIME).
+
+All functions here take predicates as plain :class:`JoinPredicate` sets;
+the performance-critical interactive loop uses the bitmask twin of this
+module inside :mod:`repro.core.signatures`.
+"""
+
+from __future__ import annotations
+
+from ..relational.relation import Instance, Row
+from .sample import Example, Label, Sample
+from .specialize import most_specific_for_set, most_specific_predicate
+
+__all__ = [
+    "certain_positive",
+    "certain_negative",
+    "certain_label",
+    "is_certain_positive",
+    "is_certain_negative",
+    "is_informative",
+    "informative_tuples",
+    "certain_examples",
+]
+
+TuplePair = tuple[Row, Row]
+
+
+def is_certain_positive(
+    instance: Instance, sample: Sample, tuple_pair: TuplePair
+) -> bool:
+    """Lemma 3.3 membership test."""
+    t_plus = most_specific_for_set(instance, sample.positives)
+    return t_plus <= most_specific_predicate(instance, tuple_pair)
+
+
+def is_certain_negative(
+    instance: Instance, sample: Sample, tuple_pair: TuplePair
+) -> bool:
+    """Lemma 3.4 membership test."""
+    t_plus = most_specific_for_set(instance, sample.positives)
+    t_of_t = most_specific_predicate(instance, tuple_pair)
+    needle = t_plus & t_of_t
+    return any(
+        needle <= most_specific_predicate(instance, negative)
+        for negative in sample.negatives
+    )
+
+
+def certain_positive(instance: Instance, sample: Sample) -> set[TuplePair]:
+    """``Cert+(S)`` over the whole Cartesian product."""
+    t_plus = most_specific_for_set(instance, sample.positives)
+    return {
+        t
+        for t in instance.cartesian_product()
+        if t_plus <= most_specific_predicate(instance, t)
+    }
+
+
+def certain_negative(instance: Instance, sample: Sample) -> set[TuplePair]:
+    """``Cert−(S)`` over the whole Cartesian product."""
+    t_plus = most_specific_for_set(instance, sample.positives)
+    negative_predicates = [
+        most_specific_predicate(instance, negative)
+        for negative in sample.negatives
+    ]
+    result = set()
+    for t in instance.cartesian_product():
+        needle = t_plus & most_specific_predicate(instance, t)
+        if any(needle <= neg for neg in negative_predicates):
+            result.add(t)
+    return result
+
+
+def certain_label(
+    instance: Instance, sample: Sample, tuple_pair: TuplePair
+) -> Label | None:
+    """The label the sample already forces on ``tuple_pair``, if any.
+
+    For a consistent sample a tuple cannot be certain for both labels.
+    """
+    if is_certain_positive(instance, sample, tuple_pair):
+        return Label.POSITIVE
+    if is_certain_negative(instance, sample, tuple_pair):
+        return Label.NEGATIVE
+    return None
+
+
+def is_informative(
+    instance: Instance, sample: Sample, tuple_pair: TuplePair
+) -> bool:
+    """Theorem 3.5's PTIME informativeness test."""
+    if sample.is_labeled(tuple_pair):
+        return False
+    return certain_label(instance, sample, tuple_pair) is None
+
+
+def informative_tuples(
+    instance: Instance, sample: Sample
+) -> list[TuplePair]:
+    """All informative tuples of ``D`` w.r.t. ``S``, in canonical order."""
+    t_plus = most_specific_for_set(instance, sample.positives)
+    negative_predicates = [
+        most_specific_predicate(instance, negative)
+        for negative in sample.negatives
+    ]
+    result = []
+    for t in instance.cartesian_product():
+        if sample.is_labeled(t):
+            continue
+        t_of_t = most_specific_predicate(instance, t)
+        if t_plus <= t_of_t:
+            continue
+        needle = t_plus & t_of_t
+        if any(needle <= neg for neg in negative_predicates):
+            continue
+        result.append(t)
+    return result
+
+
+def certain_examples(instance: Instance, sample: Sample) -> set[Example]:
+    """``Cert(S)`` as a set of examples (tuples with their forced labels).
+
+    By Lemma 3.2 this equals ``Uninf(S)``; note it includes the examples
+    already present in ``S`` (a labeled tuple is trivially certain).
+    """
+    return {
+        Example(t, Label.POSITIVE) for t in certain_positive(instance, sample)
+    } | {
+        Example(t, Label.NEGATIVE) for t in certain_negative(instance, sample)
+    }

@@ -1,0 +1,63 @@
+"""Consistency checking for equijoin samples (§3.1) — PTIME.
+
+A predicate ``θ`` is *consistent* with a sample ``S`` iff it selects every
+positive example and no negative one.  §3.1 proves the following simple
+procedure sound and complete: compute the most specific predicate
+``T(S+)`` selecting all positives, then check it selects no negative.
+``T(S+)`` is itself the canonical consistent predicate whenever one
+exists.
+"""
+
+from __future__ import annotations
+
+from ..relational.algebra import selects
+from ..relational.predicate import JoinPredicate
+from ..relational.relation import Instance
+from .sample import Sample
+from .specialize import most_specific_for_set, most_specific_predicate
+
+__all__ = [
+    "is_consistent",
+    "consistent_predicate",
+    "is_predicate_consistent_with",
+    "InconsistentSampleError",
+]
+
+
+class InconsistentSampleError(ValueError):
+    """Raised when the interactive loop receives contradictory labels."""
+
+
+def consistent_predicate(
+    instance: Instance, sample: Sample
+) -> JoinPredicate | None:
+    """The most specific consistent predicate ``T(S+)``, or ``None``.
+
+    Returns ``None`` exactly when no consistent equijoin predicate exists
+    (§3.1 completeness argument: any consistent θ satisfies
+    ``θ ⊆ T(S+)``, and selection is anti-monotone in θ, so if ``T(S+)``
+    selects a negative example every consistent candidate does too).
+    """
+    most_specific = most_specific_for_set(instance, sample.positives)
+    for negative in sample.negatives:
+        if most_specific <= most_specific_predicate(instance, negative):
+            return None
+    return most_specific
+
+
+def is_consistent(instance: Instance, sample: Sample) -> bool:
+    """PTIME consistency check of §3.1."""
+    return consistent_predicate(instance, sample) is not None
+
+
+def is_predicate_consistent_with(
+    instance: Instance, predicate: JoinPredicate, sample: Sample
+) -> bool:
+    """Does ``θ`` select all of ``S+`` and none of ``S−``?
+
+    The membership test ``t ∈ R ⋈_θ P`` reduces to ``θ ⊆ T(t)``, so this
+    runs in time ``O(|S| · |θ|)`` without evaluating any join.
+    """
+    return all(
+        selects(instance, predicate, t) for t in sample.positives
+    ) and not any(selects(instance, predicate, t) for t in sample.negatives)

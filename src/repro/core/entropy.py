@@ -1,0 +1,155 @@
+"""Tuple entropy, skylines, and k-step lookahead values (§4.4).
+
+For an informative tuple ``t`` and sample ``S``::
+
+    u^α_{t,S}       = |Uninf(S ∪ {(t,α)}) \\ Uninf(S)|
+    entropy_S(t)    = (min(u+, u−), max(u+, u−))
+
+The *skyline* of a set of entropies is the set of its Pareto-maximal
+elements under coordinate-wise domination.  The one-step strategy (L1S)
+picks the skyline entropy with the largest ``min`` component — we also
+expose the provably-equivalent shortcut "lexicographic max by
+``(min, max)``", which the ablation benchmarks compare.
+
+``entropy2`` (Algorithm 5) extends this one level deeper: the value of
+labeling ``t`` and then the best next tuple, under the worst answer for
+``t``.  ``(∞, ∞)`` encodes "labeling ``t`` with this answer ends the
+inference".  The recursive generalisation ``entropy_k`` follows the
+paper's remark that LkS "easily generalises".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from .sample import Label
+from .state import InferenceState
+
+__all__ = [
+    "Entropy",
+    "INFINITE_ENTROPY",
+    "dominates",
+    "skyline",
+    "best_skyline_entropy",
+    "uninformative_gain",
+    "entropy_of_class",
+    "entropy_k_of_class",
+]
+
+Entropy = tuple[float, float]
+
+INFINITE_ENTROPY: Entropy = (math.inf, math.inf)
+
+_BOTH_LABELS = (Label.POSITIVE, Label.NEGATIVE)
+
+
+def dominates(first: Entropy, second: Entropy) -> bool:
+    """Coordinate-wise domination: ``(a,b)`` dominates ``(a',b')`` iff
+    ``a ≥ a'`` and ``b ≥ b'``."""
+    return first[0] >= second[0] and first[1] >= second[1]
+
+
+def skyline(entropies: Iterable[Entropy]) -> set[Entropy]:
+    """The Pareto-maximal entropies (none dominated by another)."""
+    unique = set(entropies)
+    return {
+        entropy
+        for entropy in unique
+        if not any(
+            other != entropy and dominates(other, entropy)
+            for other in unique
+        )
+    }
+
+
+def best_skyline_entropy(entropies: Iterable[Entropy]) -> Entropy:
+    """Algorithm 4 lines 2–3: the skyline entropy whose ``min`` component
+    equals ``max{min(e)}`` over all entropies.
+
+    This element is unique: two distinct skyline entropies cannot share
+    their ``min`` component (the one with the larger ``max`` would
+    dominate the other), and the maximiser of ``min`` always survives to
+    the skyline.  It also equals the lexicographic maximum by
+    ``(min, max)``, which is how we compute it.
+    """
+    unique = set(entropies)
+    if not unique:
+        raise ValueError("no entropies to choose from")
+    return max(unique)
+
+
+def uninformative_gain(
+    state: InferenceState,
+    class_id: int,
+    label: Label,
+    committed: Sequence[tuple[int, Label]] = (),
+) -> int:
+    """``u^α`` — newly uninformative tuples caused by one more label.
+
+    ``committed`` carries labels already hypothesised by an outer
+    lookahead level; the gain is always counted against the *real* sample
+    behind ``state`` (Algorithm 5 lines 8–9 subtract ``Uninf(S)``, not
+    ``Uninf(S′)``).
+    """
+    extras = list(committed) + [(class_id, label)]
+    return state.newly_certain_weight(extras)
+
+
+def entropy_of_class(state: InferenceState, class_id: int) -> Entropy:
+    """``entropy_S(t) = (min(u+,u−), max(u+,u−))`` for a class representative."""
+    u_pos = uninformative_gain(state, class_id, Label.POSITIVE)
+    u_neg = uninformative_gain(state, class_id, Label.NEGATIVE)
+    return (min(u_pos, u_neg), max(u_pos, u_neg))
+
+
+def _informative_after(
+    state: InferenceState, extras: Sequence[tuple[int, Label]]
+) -> list[int]:
+    """Classes still informative after hypothetically applying ``extras``."""
+    simulated = state.copy()
+    for class_id, label in extras:
+        simulated.record(class_id, label)
+    return simulated.informative_class_ids()
+
+
+def _worse_of(first: Entropy, second: Entropy) -> Entropy:
+    """The pessimistic answer (Algorithm 5 lines 13–14): the entropy with
+    the smaller ``min``; on ties, the smaller ``max`` (less information)."""
+    return min(first, second)
+
+
+def entropy_k_of_class(
+    state: InferenceState, class_id: int, depth: int
+) -> Entropy:
+    """``entropy^k_S(t)``: depth 1 is :func:`entropy_of_class`; depth 2 is
+    the paper's Algorithm 5; deeper levels recurse the same construction.
+    """
+    if depth < 1:
+        raise ValueError("lookahead depth must be >= 1")
+    return _entropy_recursive(state, (), class_id, depth)
+
+
+def _entropy_recursive(
+    state: InferenceState,
+    committed: tuple[tuple[int, Label], ...],
+    class_id: int,
+    depth: int,
+) -> Entropy:
+    if depth == 1:
+        u_pos = uninformative_gain(state, class_id, Label.POSITIVE, committed)
+        u_neg = uninformative_gain(state, class_id, Label.NEGATIVE, committed)
+        return (min(u_pos, u_neg), max(u_pos, u_neg))
+    per_label: list[Entropy] = []
+    for label in _BOTH_LABELS:
+        extended = committed + ((class_id, label),)
+        informative = _informative_after(state, extended)
+        if not informative:
+            per_label.append(INFINITE_ENTROPY)
+            continue
+        candidates = {
+            _entropy_recursive(state, extended, other, depth - 1)
+            for other in informative
+        }
+        per_label.append(best_skyline_entropy(candidates))
+    return _worse_of(per_label[0], per_label[1])

@@ -1,0 +1,43 @@
+"""Instance-equivalence of join predicates (§3.3).
+
+The instance may be too poor to pin down the goal exactly; the inference
+then returns ``T(S+)``, which is *instance-equivalent* to the goal: both
+select exactly the same tuples of this instance.  Equivalence is decided
+on the signature quotient — θ and θ′ are equivalent iff they select the
+same signature classes.
+"""
+
+from __future__ import annotations
+
+from ..relational.predicate import JoinPredicate
+from ..relational.relation import Instance
+from .signatures import SignatureIndex
+from .specialize import bits_from_pairs
+
+__all__ = ["instance_equivalent", "selected_class_ids"]
+
+
+def selected_class_ids(
+    index: SignatureIndex, predicate: JoinPredicate
+) -> frozenset[int]:
+    """Ids of the signature classes whose tuples θ selects."""
+    theta = bits_from_pairs(index.instance, predicate)
+    return frozenset(
+        cls.class_id for cls in index if theta & ~cls.mask == 0
+    )
+
+
+def instance_equivalent(
+    instance: Instance,
+    first: JoinPredicate,
+    second: JoinPredicate,
+    index: SignatureIndex | None = None,
+) -> bool:
+    """True iff ``(R ⋈_first P)^I = (R ⋈_second P)^I``."""
+    first.validate_for(instance)
+    second.validate_for(instance)
+    if index is None:
+        index = SignatureIndex(instance)
+    return selected_class_ids(index, first) == selected_class_ids(
+        index, second
+    )

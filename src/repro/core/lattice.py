@@ -1,0 +1,106 @@
+"""The lattice of join predicates (§4.2) and goal sampling.
+
+The full lattice is ``(P(Ω), ⊆)``; the strategies only care about its
+*non-nullable* nodes — predicates selecting at least one tuple — plus Ω.
+A predicate is non-nullable iff it is contained in some tuple signature,
+so the non-nullable nodes are exactly ``∪_{σ ∈ N} P(σ)`` where ``N`` is
+the set of distinct signatures.  This module materialises that set (it can
+be exponential; enumeration is capped), computes the tuple↔node
+correspondence of Figure 4, and samples goal predicates by size for the
+synthetic experiments of §5.2.
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import combinations
+
+from ..relational.predicate import JoinPredicate
+from .signatures import SignatureIndex
+from .specialize import pairs_from_bits
+
+__all__ = [
+    "non_nullable_masks",
+    "non_nullable_predicates",
+    "nodes_with_tuples",
+    "predicates_of_size",
+    "sample_goal_of_size",
+    "LatticeTooLargeError",
+]
+
+
+class LatticeTooLargeError(RuntimeError):
+    """Non-nullable node enumeration exceeded the safety cap."""
+
+
+def non_nullable_masks(
+    index: SignatureIndex, cap: int = 1_000_000
+) -> set[int]:
+    """All masks of non-nullable predicates: ``∪ P(σ)`` over signatures.
+
+    Raises :class:`LatticeTooLargeError` past ``cap`` nodes — the count is
+    exponential when a tuple agrees on everything (§4.2).
+    """
+    nodes: set[int] = set()
+    for cls in index:
+        bits = [1 << b for b in range(cls.mask.bit_length()) if cls.mask >> b & 1]
+        for size in range(len(bits) + 1):
+            for subset in combinations(bits, size):
+                mask = 0
+                for bit in subset:
+                    mask |= bit
+                nodes.add(mask)
+                if len(nodes) > cap:
+                    raise LatticeTooLargeError(
+                        f"more than {cap} non-nullable lattice nodes"
+                    )
+    return nodes
+
+
+def non_nullable_predicates(
+    index: SignatureIndex, cap: int = 1_000_000
+) -> list[JoinPredicate]:
+    """Decoded non-nullable predicates, smallest first (Figure 4's nodes)."""
+    instance = index.instance
+    masks = sorted(non_nullable_masks(index, cap), key=lambda m: (m.bit_count(), m))
+    return [pairs_from_bits(instance, mask) for mask in masks]
+
+
+def nodes_with_tuples(index: SignatureIndex) -> dict[int, int]:
+    """The Figure 4 correspondence: mask → tuple count, for nodes that
+    have corresponding tuples (``T(t) = θ`` exactly)."""
+    return {cls.mask: cls.count for cls in index}
+
+
+def predicates_of_size(
+    index: SignatureIndex, size: int, cap: int = 1_000_000
+) -> list[JoinPredicate]:
+    """All non-nullable predicates with exactly ``size`` pairs.
+
+    Size-0 is the empty predicate (non-nullable iff the product is
+    non-empty).  Used as the goal pools of the synthetic experiments.
+    """
+    instance = index.instance
+    masks = {
+        mask
+        for mask in non_nullable_masks(index, cap)
+        if mask.bit_count() == size
+    }
+    return [
+        pairs_from_bits(instance, mask)
+        for mask in sorted(masks, key=lambda m: (m.bit_count(), m))
+    ]
+
+
+def sample_goal_of_size(
+    index: SignatureIndex,
+    size: int,
+    rng: random.Random,
+    cap: int = 1_000_000,
+) -> JoinPredicate | None:
+    """One uniformly sampled non-nullable goal of the given size, or
+    ``None`` when the instance admits none."""
+    pool = predicates_of_size(index, size, cap)
+    if not pool:
+        return None
+    return rng.choice(pool)

@@ -1,0 +1,116 @@
+"""Definition-level (exponential) reference implementations.
+
+These routines implement §3's definitions *literally* — enumerating the
+set ``C(S)`` of all consistent predicates over ``P(Ω)`` — and exist purely
+to validate the PTIME lemma-based implementations in
+:mod:`repro.core.certain` and :mod:`repro.core.consistency` on small
+instances.  They are exponential in ``|Ω|`` and must never be used by the
+strategies themselves.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from ..relational.algebra import selects
+from ..relational.predicate import JoinPredicate
+from ..relational.relation import Instance, Row
+from .sample import Example, Label, Sample
+
+__all__ = [
+    "all_predicates",
+    "consistent_set",
+    "certain_positive_naive",
+    "certain_negative_naive",
+    "uninformative_examples_naive",
+    "is_informative_naive",
+]
+
+TuplePair = tuple[Row, Row]
+
+
+def all_predicates(instance: Instance) -> list[JoinPredicate]:
+    """Every ``θ ⊆ Ω`` — all ``2^|Ω|`` of them; keep Ω small."""
+    omega = instance.omega
+    predicates = []
+    for size in range(len(omega) + 1):
+        for pairs in combinations(omega, size):
+            predicates.append(JoinPredicate(pairs))
+    return predicates
+
+
+def consistent_set(
+    instance: Instance, sample: Sample
+) -> list[JoinPredicate]:
+    """``C(S) = {θ ⊆ Ω | S+ ⊆ R ⋈_θ P  and  S− ∩ R ⋈_θ P = ∅}``."""
+    positives = sample.positives
+    negatives = sample.negatives
+    return [
+        theta
+        for theta in all_predicates(instance)
+        if all(selects(instance, theta, t) for t in positives)
+        and not any(selects(instance, theta, t) for t in negatives)
+    ]
+
+
+def certain_positive_naive(
+    instance: Instance, sample: Sample
+) -> set[TuplePair]:
+    """``Cert+(S) = {t ∈ D | ∀θ ∈ C(S). t ∈ R ⋈_θ P}`` by enumeration."""
+    candidates = consistent_set(instance, sample)
+    return {
+        t
+        for t in instance.cartesian_product()
+        if all(selects(instance, theta, t) for theta in candidates)
+    }
+
+
+def certain_negative_naive(
+    instance: Instance, sample: Sample
+) -> set[TuplePair]:
+    """``Cert−(S) = {t ∈ D | ∀θ ∈ C(S). t ∉ R ⋈_θ P}`` by enumeration."""
+    candidates = consistent_set(instance, sample)
+    return {
+        t
+        for t in instance.cartesian_product()
+        if not any(selects(instance, theta, t) for theta in candidates)
+    }
+
+
+def uninformative_examples_naive(
+    instance: Instance, sample: Sample
+) -> set[Example]:
+    """``Uninf(S) = {(t, α) | C(S) = C(S ∪ {(t, α)})}`` by enumeration.
+
+    Follows the original definition directly: an example is uninformative
+    iff adding it does not shrink the consistent set.  (The definition in
+    the paper restricts to examples of the goal-labeled database ``S^G``;
+    Lemma 3.2 shows the goal plays no role, so we quantify over all
+    examples whose addition keeps the sample well-formed.)
+    """
+    base = set(map(str, consistent_set(instance, sample)))
+    uninformative: set[Example] = set()
+    for t in instance.cartesian_product():
+        for label in (Label.POSITIVE, Label.NEGATIVE):
+            existing = sample.label_of(t)
+            if existing is not None and existing is not label:
+                continue  # would conflict; not a legal extension
+            extended = sample.with_example(Example(t, label))
+            if set(map(str, consistent_set(instance, extended))) == base:
+                uninformative.add(Example(t, label))
+    return uninformative
+
+
+def is_informative_naive(
+    instance: Instance, sample: Sample, tuple_pair: TuplePair
+) -> bool:
+    """Definition-level informativeness (§3.4): ``t`` is informative iff
+    no label makes it already-known — i.e. neither ``(t,+)`` nor ``(t,−)``
+    is labeled or uninformative."""
+    if sample.is_labeled(tuple_pair):
+        return False
+    uninformative = uninformative_examples_naive(instance, sample)
+    return (
+        Example(tuple_pair, Label.POSITIVE) not in uninformative
+        and Example(tuple_pair, Label.NEGATIVE) not in uninformative
+    )

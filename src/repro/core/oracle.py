@@ -1,0 +1,126 @@
+"""User oracles — who answers the membership queries.
+
+§5 of the paper simulates the user by labeling tuples consistently with a
+goal predicate; :class:`PerfectOracle` is exactly that.  The crowd
+extension (§7's "realistic crowdsourcing scenarios") motivates
+:class:`NoisyOracle` and the majority-voting machinery in
+:mod:`repro.crowd`.  :class:`ScriptedOracle` replays fixed answers and is
+used by tests and the worked examples.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Callable, Iterable, Mapping
+
+from ..relational.algebra import selects
+from ..relational.predicate import JoinPredicate
+from ..relational.relation import Instance, Row
+from .sample import Label
+
+__all__ = [
+    "Oracle",
+    "PerfectOracle",
+    "NoisyOracle",
+    "ScriptedOracle",
+    "CallbackOracle",
+]
+
+TuplePair = tuple[Row, Row]
+
+
+class Oracle(ABC):
+    """Anything that can answer "is this tuple in your join result?"."""
+
+    @abstractmethod
+    def label(self, tuple_pair: TuplePair) -> Label:
+        """Label one Cartesian tuple."""
+
+    def reset(self) -> None:
+        """Forget per-run state (noise draws, scripts); default no-op."""
+
+
+class PerfectOracle(Oracle):
+    """Labels tuples exactly as the goal predicate ``θG`` dictates."""
+
+    def __init__(self, instance: Instance, goal: JoinPredicate):
+        goal.validate_for(instance)
+        self._instance = instance
+        self._goal = goal
+
+    @property
+    def goal(self) -> JoinPredicate:
+        """The goal predicate the simulated user has in mind."""
+        return self._goal
+
+    def label(self, tuple_pair: TuplePair) -> Label:
+        if selects(self._instance, self._goal, tuple_pair):
+            return Label.POSITIVE
+        return Label.NEGATIVE
+
+
+class NoisyOracle(Oracle):
+    """Wraps another oracle and flips each answer with probability
+    ``error_rate`` — a single unreliable crowd worker."""
+
+    def __init__(
+        self, inner: Oracle, error_rate: float, seed: int | None = None
+    ):
+        if not 0.0 <= error_rate <= 1.0:
+            raise ValueError("error_rate must be within [0, 1]")
+        self._inner = inner
+        self._error_rate = error_rate
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    @property
+    def error_rate(self) -> float:
+        """Probability of flipping the true label."""
+        return self._error_rate
+
+    def label(self, tuple_pair: TuplePair) -> Label:
+        truth = self._inner.label(tuple_pair)
+        if self._rng.random() < self._error_rate:
+            return truth.opposite
+        return truth
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+        self._inner.reset()
+
+
+class ScriptedOracle(Oracle):
+    """Replays a fixed mapping of tuples to labels.
+
+    Unknown tuples raise ``KeyError`` — tests use this to assert that a
+    strategy asks exactly the questions the paper predicts.
+    """
+
+    def __init__(self, script: Mapping[TuplePair, Label]):
+        self._script = dict(script)
+
+    @classmethod
+    def positives(
+        cls,
+        positive: Iterable[TuplePair],
+        negative: Iterable[TuplePair] = (),
+    ) -> "ScriptedOracle":
+        """Build from explicit positive / negative tuple collections."""
+        script: dict[TuplePair, Label] = {}
+        script.update({t: Label.POSITIVE for t in positive})
+        script.update({t: Label.NEGATIVE for t in negative})
+        return cls(script)
+
+    def label(self, tuple_pair: TuplePair) -> Label:
+        return self._script[tuple_pair]
+
+
+class CallbackOracle(Oracle):
+    """Adapts a plain function — e.g. a console prompt — into an oracle."""
+
+    def __init__(self, func: Callable[[TuplePair], Label]):
+        self._func = func
+
+    def label(self, tuple_pair: TuplePair) -> Label:
+        return self._func(tuple_pair)

@@ -1,0 +1,143 @@
+"""Examples and samples (§3).
+
+An *example* is a Cartesian tuple together with a label: ``(t, +)`` is a
+positive example (the user wants ``t`` in the join result) and ``(t, −)``
+a negative one.  A *sample* is a set of examples; ``S+`` / ``S−`` denote
+the positive / negative tuples.  A tuple may carry at most one label —
+conflicting labels make the sample trivially inconsistent and are rejected
+at insertion.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..relational.relation import Row
+
+__all__ = ["Label", "Example", "Sample", "ConflictingLabelError"]
+
+TuplePair = tuple[Row, Row]
+
+
+class Label(enum.Enum):
+    """The user's verdict on one tuple."""
+
+    POSITIVE = "+"
+    NEGATIVE = "-"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def opposite(self) -> "Label":
+        """The other label."""
+        return Label.NEGATIVE if self is Label.POSITIVE else Label.POSITIVE
+
+
+class ConflictingLabelError(ValueError):
+    """The same tuple received both labels."""
+
+
+@dataclass(frozen=True, slots=True)
+class Example:
+    """One labeled Cartesian tuple ``(t, α)``."""
+
+    tuple_pair: TuplePair
+    label: Label
+
+    @property
+    def is_positive(self) -> bool:
+        """True for ``(t, +)``."""
+        return self.label is Label.POSITIVE
+
+    @property
+    def is_negative(self) -> bool:
+        """True for ``(t, −)``."""
+        return self.label is Label.NEGATIVE
+
+    def __str__(self) -> str:
+        return f"({self.tuple_pair}, {self.label})"
+
+
+class Sample:
+    """A set of examples with fast ``S+`` / ``S−`` access.
+
+    Mutations return nothing and preserve the one-label-per-tuple
+    invariant; use :meth:`with_example` for a copied, extended sample
+    (handy in lookahead simulations).
+    """
+
+    __slots__ = ("_labels",)
+
+    def __init__(self, examples: Iterable[Example] = ()):
+        self._labels: dict[TuplePair, Label] = {}
+        for example in examples:
+            self.add(example)
+
+    def add(self, example: Example) -> None:
+        """Insert one example, rejecting conflicting relabeling."""
+        existing = self._labels.get(example.tuple_pair)
+        if existing is not None and existing is not example.label:
+            raise ConflictingLabelError(
+                f"tuple {example.tuple_pair!r} already labeled {existing}, "
+                f"cannot relabel {example.label}"
+            )
+        self._labels[example.tuple_pair] = example.label
+
+    def label_tuple(self, tuple_pair: TuplePair, label: Label) -> None:
+        """Shorthand for ``add(Example(tuple_pair, label))``."""
+        self.add(Example(tuple_pair, label))
+
+    def with_example(self, example: Example) -> "Sample":
+        """A copy of this sample extended with ``example``."""
+        copy = Sample()
+        copy._labels = dict(self._labels)
+        copy.add(example)
+        return copy
+
+    @property
+    def positives(self) -> list[TuplePair]:
+        """``S+`` in insertion order."""
+        return [
+            t for t, label in self._labels.items() if label is Label.POSITIVE
+        ]
+
+    @property
+    def negatives(self) -> list[TuplePair]:
+        """``S−`` in insertion order."""
+        return [
+            t for t, label in self._labels.items() if label is Label.NEGATIVE
+        ]
+
+    def label_of(self, tuple_pair: TuplePair) -> Label | None:
+        """The label of ``tuple_pair`` or ``None`` when unlabeled."""
+        return self._labels.get(tuple_pair)
+
+    def is_labeled(self, tuple_pair: TuplePair) -> bool:
+        """True iff the tuple carries a label in this sample."""
+        return tuple_pair in self._labels
+
+    def examples(self) -> list[Example]:
+        """All examples in insertion order."""
+        return [Example(t, label) for t, label in self._labels.items()]
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __iter__(self) -> Iterator[Example]:
+        return iter(self.examples())
+
+    def __contains__(self, example: object) -> bool:
+        if not isinstance(example, Example):
+            return False
+        return self._labels.get(example.tuple_pair) is example.label
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Sample):
+            return NotImplemented
+        return self._labels == other._labels
+
+    def __repr__(self) -> str:
+        return f"Sample(|S+|={len(self.positives)}, |S-|={len(self.negatives)})"

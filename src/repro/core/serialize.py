@@ -1,0 +1,152 @@
+"""JSON serialisation of predicates, samples, and inference transcripts.
+
+A practical tool needs to persist what the user said and what was
+inferred — e.g. to resume a labeling session, audit a crowdsourced run,
+or ship the inferred predicate to a query generator.  Values survive a
+round-trip when they are JSON representable (str/int/float/bool/None);
+ints and floats keep their Python types.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..relational.predicate import JoinPredicate
+from ..relational.relation import Row
+from ..relational.schema import Attribute
+from .sample import Example, Label, Sample
+from .session import InferenceResult
+
+__all__ = [
+    "predicate_to_dict",
+    "predicate_from_dict",
+    "sample_to_dict",
+    "sample_from_dict",
+    "result_to_dict",
+    "result_from_dict",
+    "dumps",
+    "loads",
+]
+
+
+def predicate_to_dict(predicate: JoinPredicate) -> dict[str, Any]:
+    """``{"pairs": [["R.A", "P.B"], ...]}``."""
+    return {
+        "pairs": [
+            [str(a), str(b)] for a, b in predicate.sorted_pairs()
+        ]
+    }
+
+
+def predicate_from_dict(payload: dict[str, Any]) -> JoinPredicate:
+    """Inverse of :func:`predicate_to_dict`."""
+    return JoinPredicate(
+        (Attribute.parse(a), Attribute.parse(b))
+        for a, b in payload["pairs"]
+    )
+
+
+def _row_to_list(row: Row) -> list[Any]:
+    return list(row)
+
+
+def _row_from_list(values: list[Any]) -> Row:
+    return tuple(values)
+
+
+def sample_to_dict(sample: Sample) -> dict[str, Any]:
+    """All examples with their labels, in insertion order."""
+    return {
+        "examples": [
+            {
+                "left": _row_to_list(example.tuple_pair[0]),
+                "right": _row_to_list(example.tuple_pair[1]),
+                "label": str(example.label),
+            }
+            for example in sample
+        ]
+    }
+
+
+def sample_from_dict(payload: dict[str, Any]) -> Sample:
+    """Inverse of :func:`sample_to_dict`."""
+    sample = Sample()
+    for item in payload["examples"]:
+        tuple_pair = (
+            _row_from_list(item["left"]),
+            _row_from_list(item["right"]),
+        )
+        label = Label.POSITIVE if item["label"] == "+" else Label.NEGATIVE
+        sample.add(Example(tuple_pair, label))
+    return sample
+
+
+def result_to_dict(result: InferenceResult) -> dict[str, Any]:
+    """Full transcript: predicate, counts, history."""
+    return {
+        "predicate": predicate_to_dict(result.predicate),
+        "interactions": result.interactions,
+        "elapsed_seconds": result.elapsed_seconds,
+        "strategy": result.strategy_name,
+        "halted_early": result.halted_early,
+        "history": [
+            {
+                "left": _row_to_list(example.tuple_pair[0]),
+                "right": _row_to_list(example.tuple_pair[1]),
+                "label": str(example.label),
+            }
+            for example in result.history
+        ],
+    }
+
+
+def result_from_dict(payload: dict[str, Any]) -> InferenceResult:
+    """Inverse of :func:`result_to_dict`."""
+    history = tuple(
+        Example(
+            (
+                _row_from_list(item["left"]),
+                _row_from_list(item["right"]),
+            ),
+            Label.POSITIVE if item["label"] == "+" else Label.NEGATIVE,
+        )
+        for item in payload["history"]
+    )
+    return InferenceResult(
+        predicate=predicate_from_dict(payload["predicate"]),
+        interactions=payload["interactions"],
+        elapsed_seconds=payload["elapsed_seconds"],
+        strategy_name=payload["strategy"],
+        history=history,
+        halted_early=payload["halted_early"],
+    )
+
+
+def dumps(obj: JoinPredicate | Sample | InferenceResult) -> str:
+    """Serialise any of the three transcript objects to JSON text."""
+    if isinstance(obj, JoinPredicate):
+        payload: dict[str, Any] = {
+            "kind": "predicate",
+            **predicate_to_dict(obj),
+        }
+    elif isinstance(obj, Sample):
+        payload = {"kind": "sample", **sample_to_dict(obj)}
+    elif isinstance(obj, InferenceResult):
+        payload = {"kind": "result", **result_to_dict(obj)}
+    else:
+        raise TypeError(f"cannot serialise {type(obj).__name__}")
+    return json.dumps(payload, indent=2)
+
+
+def loads(text: str) -> JoinPredicate | Sample | InferenceResult:
+    """Inverse of :func:`dumps` (dispatches on the ``kind`` tag)."""
+    payload = json.loads(text)
+    kind = payload.get("kind")
+    if kind == "predicate":
+        return predicate_from_dict(payload)
+    if kind == "sample":
+        return sample_from_dict(payload)
+    if kind == "result":
+        return result_from_dict(payload)
+    raise ValueError(f"unknown payload kind {kind!r}")

@@ -1,0 +1,182 @@
+"""The general inference algorithm (Algorithm 1).
+
+An :class:`InferenceSession` repeatedly asks a strategy for the next
+informative tuple, asks the oracle (the user) to label it, and records the
+answer, until the halt condition Γ is met — by default the paper's
+strongest condition, "no informative tuple left", at which point ``T(S+)``
+(the most specific consistent predicate) is returned.  §4.1 also allows
+weaker, earlier halts; these are modelled as pluggable
+:class:`HaltCondition` objects.
+
+If the oracle's answer contradicts the sample built so far (possible only
+with unreliable oracles — strategies ask about informative tuples, whose
+two labels are both consistent), the session raises
+:class:`~repro.core.consistency.InconsistentSampleError`, matching
+Algorithm 1 lines 6–7.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from ..relational.predicate import JoinPredicate
+from ..relational.relation import Instance, Row
+from .consistency import InconsistentSampleError
+from .equivalence import instance_equivalent
+from .oracle import Oracle
+from .sample import Example, Label, Sample
+from .signatures import SignatureIndex
+from .specialize import pairs_from_bits
+from .state import InferenceState
+from .strategies.base import Strategy
+
+__all__ = [
+    "HaltCondition",
+    "NoInformativeTuples",
+    "MaxInteractions",
+    "InferenceResult",
+    "InferenceSession",
+    "run_inference",
+]
+
+TuplePair = tuple[Row, Row]
+
+
+class HaltCondition(ABC):
+    """Decides when to stop asking (the Γ of Algorithm 1)."""
+
+    @abstractmethod
+    def should_halt(self, session: "InferenceSession") -> bool:
+        """True once no further question should be asked."""
+
+
+class NoInformativeTuples(HaltCondition):
+    """The paper's strongest halt condition: stop when every tuple of the
+    Cartesian product is labeled or uninformative."""
+
+    def should_halt(self, session: "InferenceSession") -> bool:
+        return not session.state.has_informative()
+
+
+class MaxInteractions(HaltCondition):
+    """Early halt after a budget of questions (a weaker Γ, §4.1); the
+    strongest condition still applies on top of the budget."""
+
+    def __init__(self, budget: int):
+        if budget < 0:
+            raise ValueError("budget must be non-negative")
+        self.budget = budget
+
+    def should_halt(self, session: "InferenceSession") -> bool:
+        if session.state.interaction_count >= self.budget:
+            return True
+        return not session.state.has_informative()
+
+
+@dataclass(frozen=True, slots=True)
+class InferenceResult:
+    """Outcome of one interactive inference run."""
+
+    predicate: JoinPredicate
+    interactions: int
+    elapsed_seconds: float
+    strategy_name: str
+    history: tuple[Example, ...] = field(repr=False, default=())
+    halted_early: bool = False
+
+    def matches_goal(
+        self, instance: Instance, goal: JoinPredicate
+    ) -> bool:
+        """True iff the inferred predicate is instance-equivalent to the
+        goal — the correctness criterion of §3.3."""
+        return instance_equivalent(instance, self.predicate, goal)
+
+
+class InferenceSession:
+    """One run of Algorithm 1 over a fixed instance/strategy/oracle."""
+
+    def __init__(
+        self,
+        instance: Instance,
+        strategy: Strategy,
+        oracle: Oracle,
+        halt_condition: HaltCondition | None = None,
+        index: SignatureIndex | None = None,
+        seed: int | None = None,
+    ):
+        self.instance = instance
+        self.strategy = strategy
+        self.oracle = oracle
+        self.halt_condition = halt_condition or NoInformativeTuples()
+        self.index = index if index is not None else SignatureIndex(instance)
+        self.state = InferenceState(self.index)
+        self.sample = Sample()
+        self.rng = random.Random(seed)
+        self._history: list[Example] = []
+
+    def step(self) -> Example:
+        """Ask one question: pick a tuple, obtain its label, record it.
+
+        Raises :class:`InconsistentSampleError` when the answer contradicts
+        the sample accumulated so far (lines 6–7 of Algorithm 1).
+        """
+        class_id = self.strategy.choose(self.state, self.rng)
+        representative = self.index[class_id].representative
+        label = self.oracle.label(representative)
+        if not isinstance(label, Label):
+            raise TypeError(
+                f"oracle returned {label!r}; expected a Label"
+            )
+        if not self.state.is_consistent_with(class_id, label):
+            raise InconsistentSampleError(
+                f"label {label} for tuple {representative!r} contradicts "
+                f"the sample collected so far"
+            )
+        self.state.record(class_id, label)
+        example = Example(representative, label)
+        self.sample.add(example)
+        self._history.append(example)
+        return example
+
+    def current_predicate(self) -> JoinPredicate:
+        """``T(S+)`` — the predicate that would be returned right now."""
+        return pairs_from_bits(self.instance, self.state.result_mask())
+
+    def run(self) -> InferenceResult:
+        """Loop until the halt condition holds; return ``T(S+)``."""
+        started = time.perf_counter()
+        while not self.halt_condition.should_halt(self):
+            self.step()
+        elapsed = time.perf_counter() - started
+        halted_early = self.state.has_informative()
+        return InferenceResult(
+            predicate=self.current_predicate(),
+            interactions=self.state.interaction_count,
+            elapsed_seconds=elapsed,
+            strategy_name=self.strategy.name,
+            history=tuple(self._history),
+            halted_early=halted_early,
+        )
+
+
+def run_inference(
+    instance: Instance,
+    strategy: Strategy,
+    oracle: Oracle,
+    halt_condition: HaltCondition | None = None,
+    index: SignatureIndex | None = None,
+    seed: int | None = None,
+) -> InferenceResult:
+    """Convenience wrapper: build a session and run it to completion."""
+    session = InferenceSession(
+        instance,
+        strategy,
+        oracle,
+        halt_condition=halt_condition,
+        index=index,
+        seed=seed,
+    )
+    return session.run()

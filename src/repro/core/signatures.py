@@ -1,0 +1,257 @@
+"""The signature index — quotient of the Cartesian product by ``T``.
+
+Two tuples with the same most-specific predicate ``T(t)`` are
+interchangeable for the entire inference process: they are selected by
+exactly the same predicates, so they have identical informativeness and
+identical effect when labeled.  (This is also the observation behind the
+paper's *join ratio*, which is defined over the distinct values of ``T``.)
+
+The :class:`SignatureIndex` groups ``D = R × P`` into equivalence classes,
+each carrying:
+
+* ``mask`` — ``T(t)`` encoded as a bitmask over Ω (canonical order),
+* ``count`` — how many Cartesian tuples share the signature,
+* ``representative`` — the first such tuple in canonical order.
+
+Every strategy then reasons over the (usually tiny) set of classes instead
+of the (possibly huge) product.  Two construction back ends are provided:
+a pure-Python one and a vectorised NumPy one that packs Ω into 63-bit
+words; they produce identical indexes (property-tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Literal
+
+import numpy as np
+
+from ..relational.predicate import JoinPredicate
+from ..relational.relation import Instance, Row
+from .specialize import pairs_from_bits, signature_bits
+
+__all__ = ["SignatureClass", "SignatureIndex"]
+
+TuplePair = tuple[Row, Row]
+
+# NumPy path packs equality bits into uint64 words; keep one spare bit to
+# stay clear of signed/unsigned edge cases in shifts.
+_WORD_BITS = 63
+
+
+@dataclass(frozen=True, slots=True)
+class SignatureClass:
+    """One equivalence class of the Cartesian product under ``T``."""
+
+    class_id: int
+    mask: int
+    count: int
+    representative: TuplePair
+
+    @property
+    def size(self) -> int:
+        """``|T(t)|`` — the number of attribute pairs in the signature."""
+        return self.mask.bit_count()
+
+
+def _signatures_python(instance: Instance) -> dict[int, tuple[int, TuplePair]]:
+    """Reference construction: iterate the full product in Python."""
+    found: dict[int, tuple[int, TuplePair]] = {}
+    for pair in instance.cartesian_product():
+        mask = signature_bits(instance, pair)
+        if mask in found:
+            count, representative = found[mask]
+            found[mask] = (count + 1, representative)
+        else:
+            found[mask] = (1, pair)
+    return found
+
+
+def _encode_columns(instance: Instance) -> tuple[np.ndarray, np.ndarray]:
+    """Encode all attribute values as dense integer codes.
+
+    Equality of codes must coincide with Python equality of values, so a
+    single global code table covers both relations.
+    """
+    codes: dict[object, int] = {}
+
+    def code_of(value: object) -> int:
+        existing = codes.get(value)
+        if existing is not None:
+            return existing
+        fresh = len(codes)
+        codes[value] = fresh
+        return fresh
+
+    left = np.array(
+        [[code_of(v) for v in row] for row in instance.left.rows],
+        dtype=np.int64,
+    ).reshape(len(instance.left), instance.left.arity)
+    right = np.array(
+        [[code_of(v) for v in row] for row in instance.right.rows],
+        dtype=np.int64,
+    ).reshape(len(instance.right), instance.right.arity)
+    return left, right
+
+
+def _signatures_numpy(instance: Instance) -> dict[int, tuple[int, TuplePair]]:
+    """Vectorised construction: one |R|x|P| equality matrix per pair of Ω,
+    packed into 63-bit words, then grouped with ``np.unique``."""
+    n_left = len(instance.left)
+    n_right = len(instance.right)
+    if n_left == 0 or n_right == 0:
+        return {}
+    left, right = _encode_columns(instance)
+    n = instance.left.arity
+    m = instance.right.arity
+    n_words = (n * m + _WORD_BITS - 1) // _WORD_BITS
+    words = np.zeros((n_words, n_left, n_right), dtype=np.uint64)
+    for i in range(n):
+        column_left = left[:, i : i + 1]  # (|R|, 1)
+        for j in range(m):
+            position = i * m + j
+            word_index, bit = divmod(position, _WORD_BITS)
+            equal = column_left == right[None, :, j]  # (|R|, |P|)
+            words[word_index] |= equal.astype(np.uint64) << np.uint64(bit)
+    flat = words.reshape(n_words, n_left * n_right).T  # (|D|, n_words)
+    unique_rows, first_index, counts = np.unique(
+        flat, axis=0, return_index=True, return_counts=True
+    )
+    found: dict[int, tuple[int, TuplePair]] = {}
+    left_rows = instance.left.rows
+    right_rows = instance.right.rows
+    for row_words, first, count in zip(unique_rows, first_index, counts):
+        mask = 0
+        for word_index, word in enumerate(row_words):
+            mask |= int(word) << (_WORD_BITS * word_index)
+        r_index, p_index = divmod(int(first), n_right)
+        found[mask] = (int(count), (left_rows[r_index], right_rows[p_index]))
+    return found
+
+
+class SignatureIndex:
+    """All distinct ``T`` signatures of an instance, with counts.
+
+    Classes are ordered canonically by ``(|signature|, mask)`` so that
+    strategy tie-breaking is deterministic.
+    """
+
+    __slots__ = (
+        "_instance",
+        "_classes",
+        "_by_mask",
+        "_omega_mask",
+        "_maximal_ids",
+    )
+
+    def __init__(
+        self,
+        instance: Instance,
+        backend: Literal["auto", "numpy", "python"] = "auto",
+    ):
+        self._instance = instance
+        if backend == "python":
+            found = _signatures_python(instance)
+        elif backend == "numpy":
+            found = _signatures_numpy(instance)
+        elif backend == "auto":
+            # NumPy wins past a few hundred product tuples; below that the
+            # fixed encoding cost dominates.
+            if instance.cartesian_size >= 512:
+                found = _signatures_numpy(instance)
+            else:
+                found = _signatures_python(instance)
+        else:
+            raise ValueError(f"unknown backend {backend!r}")
+        ordered = sorted(
+            found.items(), key=lambda item: (item[0].bit_count(), item[0])
+        )
+        self._classes = tuple(
+            SignatureClass(class_id, mask, count, representative)
+            for class_id, (mask, (count, representative)) in enumerate(ordered)
+        )
+        self._by_mask = {cls.mask: cls.class_id for cls in self._classes}
+        self._omega_mask = (1 << len(instance.omega)) - 1
+        self._maximal_ids = self._compute_maximal_ids()
+
+    def _compute_maximal_ids(self) -> frozenset[int]:
+        """Classes whose signature has no strict superset among signatures.
+
+        These are the ⊆-maximal nodes used by the top-down strategy.
+        """
+        masks = [cls.mask for cls in self._classes]
+        maximal = []
+        for cls in self._classes:
+            has_superset = any(
+                other != cls.mask and cls.mask & ~other == 0
+                for other in masks
+            )
+            if not has_superset:
+                maximal.append(cls.class_id)
+        return frozenset(maximal)
+
+    # --- basic accessors -------------------------------------------------
+
+    @property
+    def instance(self) -> Instance:
+        """The indexed instance."""
+        return self._instance
+
+    @property
+    def classes(self) -> tuple[SignatureClass, ...]:
+        """All classes in canonical order."""
+        return self._classes
+
+    @property
+    def omega_mask(self) -> int:
+        """Bitmask with every position of Ω set (encodes Ω itself)."""
+        return self._omega_mask
+
+    @property
+    def maximal_class_ids(self) -> frozenset[int]:
+        """Ids of the ⊆-maximal signature classes (top-down entry points)."""
+        return self._maximal_ids
+
+    @property
+    def total_weight(self) -> int:
+        """``|D|`` — the sum of class counts."""
+        return sum(cls.count for cls in self._classes)
+
+    def __len__(self) -> int:
+        return len(self._classes)
+
+    def __iter__(self) -> Iterator[SignatureClass]:
+        return iter(self._classes)
+
+    def __getitem__(self, class_id: int) -> SignatureClass:
+        return self._classes[class_id]
+
+    def class_of_mask(self, mask: int) -> SignatureClass | None:
+        """The class with the given signature mask, if present."""
+        class_id = self._by_mask.get(mask)
+        return None if class_id is None else self._classes[class_id]
+
+    def class_of_tuple(self, tuple_pair: TuplePair) -> SignatureClass:
+        """The class containing a concrete Cartesian tuple."""
+        mask = signature_bits(self._instance, tuple_pair)
+        class_id = self._by_mask.get(mask)
+        if class_id is None:
+            raise KeyError(
+                f"tuple {tuple_pair!r} does not belong to the indexed product"
+            )
+        return self._classes[class_id]
+
+    def predicate_of(self, class_id: int) -> JoinPredicate:
+        """Decode the signature of ``class_id`` into a JoinPredicate."""
+        return pairs_from_bits(self._instance, self._classes[class_id].mask)
+
+    # --- paper-level statistics ------------------------------------------
+
+    def join_ratio(self) -> float:
+        """§5.3's *join ratio*: mean signature size over distinct signatures.
+
+        An instance with no tuples has, by convention, ratio 0.
+        """
+        if not self._classes:
+            return 0.0
+        return sum(cls.size for cls in self._classes) / len(self._classes)

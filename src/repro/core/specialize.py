@@ -1,0 +1,99 @@
+"""The most-specific-predicate operator ``T`` (§3 of the paper).
+
+For a Cartesian tuple ``t = (t_R, t_P)``::
+
+    T(t)  = {(A_i, B_j) | t_R[A_i] = t_P[B_j]}
+    T(U)  = ∩_{t ∈ U} T(t)            (T(∅) = Ω)
+
+``T(t)`` is the most specific equijoin predicate selecting ``t``, and the
+fundamental fact driving everything else is::
+
+    t ∈ R ⋈_θ P   iff   θ ⊆ T(t)
+
+so a predicate selects a set of tuples ``U`` iff it is contained in
+``T(U)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..relational.predicate import JoinPredicate
+from ..relational.relation import Instance, Row
+
+__all__ = [
+    "most_specific_predicate",
+    "most_specific_for_set",
+    "signature_bits",
+    "pairs_from_bits",
+    "bits_from_pairs",
+]
+
+
+def most_specific_predicate(
+    instance: Instance, tuple_pair: tuple[Row, Row]
+) -> JoinPredicate:
+    """``T(t)`` — all attribute pairs on which the two rows agree."""
+    r_row, p_row = tuple_pair
+    left_attrs = instance.left.schema.attributes
+    right_attrs = instance.right.schema.attributes
+    return JoinPredicate(
+        (a, b)
+        for i, a in enumerate(left_attrs)
+        for j, b in enumerate(right_attrs)
+        if r_row[i] == p_row[j]
+    )
+
+
+def most_specific_for_set(
+    instance: Instance, tuples: Iterable[tuple[Row, Row]]
+) -> JoinPredicate:
+    """``T(U) = ∩_{t∈U} T(t)``; the empty set yields ``Ω``.
+
+    This is the predicate returned to the user at the end of inference
+    (``T(S+)``), which §3.3 shows is instance-equivalent to the goal.
+    """
+    result: frozenset | None = None
+    for tuple_pair in tuples:
+        pairs = most_specific_predicate(instance, tuple_pair).pairs
+        result = pairs if result is None else result & pairs
+        if not result:
+            break
+    if result is None:
+        return JoinPredicate(instance.omega)
+    return JoinPredicate(result)
+
+
+def signature_bits(instance: Instance, tuple_pair: tuple[Row, Row]) -> int:
+    """``T(t)`` encoded as a bitmask over Ω in canonical (row-major) order.
+
+    Bit ``i * m + j`` is set iff ``t_R[A_i] = t_P[B_j]`` where ``m`` is the
+    arity of ``P``.  Python integers are unbounded, so any Ω size works.
+    """
+    r_row, p_row = tuple_pair
+    m = instance.right.arity
+    bits = 0
+    for i, r_val in enumerate(r_row):
+        base = i * m
+        for j, p_val in enumerate(p_row):
+            if r_val == p_val:
+                bits |= 1 << (base + j)
+    return bits
+
+
+def pairs_from_bits(instance: Instance, bits: int) -> JoinPredicate:
+    """Decode a bitmask back into a :class:`JoinPredicate`."""
+    omega = instance.omega
+    return JoinPredicate(
+        omega[position] for position in range(len(omega)) if bits >> position & 1
+    )
+
+
+def bits_from_pairs(instance: Instance, predicate: JoinPredicate) -> int:
+    """Encode a :class:`JoinPredicate` as a bitmask over Ω."""
+    omega = instance.omega
+    index = {pair: position for position, pair in enumerate(omega)}
+    bits = 0
+    for pair in predicate.pairs:
+        bits |= 1 << index[pair]
+    return bits

@@ -1,0 +1,205 @@
+"""Incremental inference state over a signature index.
+
+This is the bitmask twin of :mod:`repro.core.certain`: the same Lemma
+3.3/3.4 tests, evaluated per signature class with integer masks, plus the
+bookkeeping needed by the strategies (which classes are labeled, which are
+informative, how much "certain weight" a hypothetical label would add).
+
+State invariants maintained throughout a session:
+
+* ``t_plus_mask`` is the intersection of the masks of all positively
+  labeled classes (``Ω`` when ``S+ = ∅``) — i.e. ``T(S+)``;
+* ``negative_masks`` holds the masks of all negatively labeled classes;
+* a labeled class is always certain (for its own label), so informative
+  classes never contain labeled tuples.
+"""
+
+from __future__ import annotations
+
+from .sample import Label
+from .signatures import SignatureIndex
+
+__all__ = ["InferenceState"]
+
+
+class InferenceState:
+    """Mutable view of "what the sample tells us" over signature classes."""
+
+    __slots__ = (
+        "_index",
+        "_t_plus",
+        "_negative_masks",
+        "_labels",
+        "_informative_cache",
+    )
+
+    def __init__(self, index: SignatureIndex):
+        self._index = index
+        self._t_plus = index.omega_mask
+        self._negative_masks: list[int] = []
+        self._labels: dict[int, Label] = {}
+        self._informative_cache: list[int] | None = None
+
+    def copy(self) -> "InferenceState":
+        """An independent copy (used by lookahead simulations)."""
+        twin = InferenceState(self._index)
+        twin._t_plus = self._t_plus
+        twin._negative_masks = list(self._negative_masks)
+        twin._labels = dict(self._labels)
+        twin._informative_cache = (
+            None
+            if self._informative_cache is None
+            else list(self._informative_cache)
+        )
+        return twin
+
+    # --- accessors ---------------------------------------------------------
+
+    @property
+    def index(self) -> SignatureIndex:
+        """The underlying signature index."""
+        return self._index
+
+    @property
+    def t_plus_mask(self) -> int:
+        """``T(S+)`` as a bitmask (``Ω`` while no positive example exists)."""
+        return self._t_plus
+
+    @property
+    def negative_masks(self) -> tuple[int, ...]:
+        """Masks of the negatively labeled classes."""
+        return tuple(self._negative_masks)
+
+    @property
+    def has_positive(self) -> bool:
+        """True iff at least one positive example has been recorded."""
+        return any(
+            label is Label.POSITIVE for label in self._labels.values()
+        )
+
+    def label_of_class(self, class_id: int) -> Label | None:
+        """The label recorded for ``class_id`` (None when unlabeled)."""
+        return self._labels.get(class_id)
+
+    @property
+    def interaction_count(self) -> int:
+        """Number of labels recorded so far."""
+        return len(self._labels)
+
+    # --- mutation ------------------------------------------------------------
+
+    def record(self, class_id: int, label: Label) -> None:
+        """Record the user's label for (a representative of) a class."""
+        existing = self._labels.get(class_id)
+        if existing is not None and existing is not label:
+            raise ValueError(
+                f"class {class_id} already labeled {existing}; "
+                f"conflicting label {label}"
+            )
+        self._labels[class_id] = label
+        mask = self._index[class_id].mask
+        if label is Label.POSITIVE:
+            self._t_plus &= mask
+        else:
+            self._negative_masks.append(mask)
+        self._informative_cache = None
+
+    # --- certainty tests (Lemmas 3.3 / 3.4 on masks) -------------------------
+
+    def is_certain_positive(self, class_id: int) -> bool:
+        """``T(S+) ⊆ T(t)`` for tuples of this class."""
+        mask = self._index[class_id].mask
+        return self._t_plus & ~mask == 0
+
+    def is_certain_negative(self, class_id: int) -> bool:
+        """``∃t′∈S−. T(S+) ∩ T(t) ⊆ T(t′)`` for tuples of this class."""
+        needle = self._t_plus & self._index[class_id].mask
+        return any(needle & ~neg == 0 for neg in self._negative_masks)
+
+    def is_certain(self, class_id: int) -> bool:
+        """True iff every tuple of the class is already uninformative."""
+        return self.is_certain_positive(class_id) or self.is_certain_negative(
+            class_id
+        )
+
+    def forced_label(self, class_id: int) -> Label | None:
+        """The label certainty forces on the class, if any."""
+        if self.is_certain_positive(class_id):
+            return Label.POSITIVE
+        if self.is_certain_negative(class_id):
+            return Label.NEGATIVE
+        return None
+
+    def is_consistent_with(self, class_id: int, label: Label) -> bool:
+        """Would labeling this class with ``label`` keep the sample
+        consistent?  (For informative classes both answers always do;
+        this test matters when an oracle may err.)"""
+        if label is Label.POSITIVE:
+            return not self.is_certain_negative(class_id)
+        return not self.is_certain_positive(class_id)
+
+    # --- informative classes ------------------------------------------------
+
+    def informative_class_ids(self) -> list[int]:
+        """Ids of classes still informative, in canonical order.
+
+        Cached between labels: certainty only ever grows, so the list is
+        recomputed from scratch after each :meth:`record`.
+        """
+        if self._informative_cache is None:
+            self._informative_cache = [
+                cls.class_id
+                for cls in self._index
+                if cls.class_id not in self._labels
+                and not self.is_certain(cls.class_id)
+            ]
+        return list(self._informative_cache)
+
+    def has_informative(self) -> bool:
+        """True iff at least one informative class remains (¬Γ)."""
+        return bool(self.informative_class_ids())
+
+    # --- hypothetical gains (entropy support) ---------------------------------
+
+    def newly_certain_weight(
+        self, extra: list[tuple[int, Label]]
+    ) -> int:
+        """Tuple count of currently-informative classes that become certain
+        after additionally labeling ``extra`` (class-id, label) pairs,
+        **minus** the newly labeled tuples themselves.
+
+        This is exactly ``|Uninf(S ∪ extra) \\ Uninf(S)|`` for the paper's
+        counting convention (validated against Figure 5 and the §4.4
+        walk-through in the tests): previously-certain classes never
+        revert, and each extra label accounts for one tuple that is asked
+        rather than deduced.
+        """
+        t_plus = self._t_plus
+        extra_negatives: list[int] = []
+        for class_id, label in extra:
+            mask = self._index[class_id].mask
+            if label is Label.POSITIVE:
+                t_plus &= mask
+            else:
+                extra_negatives.append(mask)
+        negatives = self._negative_masks + extra_negatives
+        index = self._index
+        weight = 0
+        # Only currently-informative classes can become newly certain
+        # (certainty is monotone), so the cached list suffices.
+        for class_id in self.informative_class_ids():
+            cls = index[class_id]
+            # Certain-positive under the extended sample?
+            if t_plus & ~cls.mask == 0:
+                weight += cls.count
+                continue
+            needle = t_plus & cls.mask
+            if any(needle & ~neg == 0 for neg in negatives):
+                weight += cls.count
+        return weight - len(extra)
+
+    # --- result ---------------------------------------------------------------
+
+    def result_mask(self) -> int:
+        """``T(S+)`` — the mask of the predicate returned at the end."""
+        return self._t_plus

@@ -1,0 +1,70 @@
+"""Tuple-presentation strategies (§4).
+
+* ``RND`` — random informative tuple (baseline),
+* ``BU`` — bottom-up local strategy (Algorithm 2),
+* ``TD`` — top-down local strategy (Algorithm 3),
+* ``L1S`` / ``L2S`` / ``LkS`` — lookahead skyline strategies
+  (Algorithms 4 and 6),
+* ``OPT`` — exponential minimax-optimal yardstick (§4.1).
+"""
+
+from .base import NoInformativeTupleError, Strategy
+from .bottom_up import BottomUpStrategy
+from .lookahead import (
+    LookaheadSkylineStrategy,
+    one_step_lookahead,
+    two_step_lookahead,
+)
+from .optimal import OptimalStrategy
+from .random_strategy import RandomStrategy
+from .top_down import TopDownStrategy
+from .version_space import VersionSpaceStrategy
+
+__all__ = [
+    "BottomUpStrategy",
+    "LookaheadSkylineStrategy",
+    "NoInformativeTupleError",
+    "OptimalStrategy",
+    "RandomStrategy",
+    "Strategy",
+    "TopDownStrategy",
+    "VersionSpaceStrategy",
+    "one_step_lookahead",
+    "two_step_lookahead",
+    "default_strategies",
+    "strategy_by_name",
+]
+
+
+def default_strategies() -> list[Strategy]:
+    """The five strategies compared throughout the paper's §5."""
+    return [
+        RandomStrategy(),
+        BottomUpStrategy(),
+        TopDownStrategy(),
+        one_step_lookahead(),
+        two_step_lookahead(),
+    ]
+
+
+def strategy_by_name(name: str) -> Strategy:
+    """Build a strategy from its table name ("BU", "TD", "L1S", "L2S",
+    "L3S", ..., "RND", "OPT")."""
+    upper = name.strip().upper()
+    if upper == "RND":
+        return RandomStrategy()
+    if upper == "BU":
+        return BottomUpStrategy()
+    if upper == "TD":
+        return TopDownStrategy()
+    if upper == "OPT":
+        return OptimalStrategy()
+    if upper == "IG":
+        return VersionSpaceStrategy()
+    if upper.startswith("L") and upper.endswith("S"):
+        try:
+            depth = int(upper[1:-1])
+        except ValueError:
+            raise ValueError(f"unknown strategy {name!r}") from None
+        return LookaheadSkylineStrategy(depth=depth)
+    raise ValueError(f"unknown strategy {name!r}")

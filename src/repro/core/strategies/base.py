@@ -1,0 +1,48 @@
+"""Strategy interface (§4.1).
+
+A *strategy* Υ maps the current knowledge (signature classes + sample
+state) to the next tuple to show the user.  Our strategies choose a
+signature *class*; the session shows its representative tuple.  All
+strategies must only ever propose informative classes — that is what
+keeps the incrementally built sample consistent (§4.1).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+from ..state import InferenceState
+
+__all__ = ["Strategy", "NoInformativeTupleError"]
+
+
+class NoInformativeTupleError(RuntimeError):
+    """A strategy was invoked although the halt condition Γ holds."""
+
+
+class Strategy(ABC):
+    """Base class for tuple-presentation strategies."""
+
+    #: Short name used in experiment tables ("BU", "TD", "L1S", ...).
+    name: str = "?"
+
+    @abstractmethod
+    def choose(self, state: InferenceState, rng: random.Random) -> int:
+        """Return the class id of the next tuple to present.
+
+        ``rng`` is supplied by the session so runs are reproducible; only
+        randomised strategies use it.  Must raise
+        :class:`NoInformativeTupleError` when no informative class exists.
+        """
+
+    def _informative_or_raise(self, state: InferenceState) -> list[int]:
+        informative = state.informative_class_ids()
+        if not informative:
+            raise NoInformativeTupleError(
+                f"strategy {self.name} called with no informative tuples left"
+            )
+        return informative
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,29 @@
+"""Bottom-up local strategy (BU, Algorithm 2).
+
+Navigates the lattice from the most general predicate (∅) towards the most
+specific (Ω): always proposes an informative tuple whose signature
+``T(t)`` has minimal size.  Discovers small goal predicates (especially
+``∅``) almost immediately, but may need an interaction per signature class
+when the user keeps answering negatively.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..state import InferenceState
+from .base import Strategy
+
+__all__ = ["BottomUpStrategy"]
+
+
+class BottomUpStrategy(Strategy):
+    """Minimal-|T(t)| informative tuple first."""
+
+    name = "BU"
+
+    def choose(self, state: InferenceState, rng: random.Random) -> int:
+        informative = self._informative_or_raise(state)
+        # Classes are canonically ordered by (signature size, mask), so the
+        # first informative class already has minimal |T(t)|.
+        return informative[0]

@@ -1,0 +1,144 @@
+"""The minimax-optimal strategy (§4.1).
+
+§4.1 notes an optimal strategy exists via the standard minimax
+construction but needs exponential time, rendering it unusable in
+practice.  We implement it anyway (with memoisation on the canonical
+knowledge state) as a yardstick: on tiny instances the ablation
+benchmarks compare every practical strategy's worst case against the true
+optimum.
+
+The value of a knowledge state is the number of further interactions
+needed against the worst-case honest user::
+
+    value(K) = 0                                    if no informative class
+    value(K) = 1 + min_t max_α value(K + (t, α))    otherwise
+
+Both labels of an informative tuple keep the sample consistent, so the
+max ranges over both answers.
+
+The knowledge state is fully captured by ``(T(S+), S− signatures)``; we
+canonicalise negatives by intersecting with ``T(S+)`` and keeping only
+⊆-maximal masks, which makes the memo cache effective.
+"""
+
+from __future__ import annotations
+
+import random
+from functools import lru_cache
+
+from ..sample import Label
+from ..signatures import SignatureIndex
+from ..state import InferenceState
+from .base import Strategy
+
+__all__ = ["OptimalStrategy"]
+
+
+def _canonical_negatives(
+    t_plus: int, negative_masks: tuple[int, ...]
+) -> frozenset[int]:
+    """Intersect with ``T(S+)`` and keep ⊆-maximal masks only.
+
+    The certain-negative test for a class with mask σ is
+    ``(T(S+) ∩ σ) ⊆ ν`` for some negative ν, which only depends on
+    ``ν ∩ T(S+)``; and a negative contained in another is redundant.
+    """
+    reduced = {mask & t_plus for mask in negative_masks}
+    return frozenset(
+        mask
+        for mask in reduced
+        if not any(other != mask and mask & ~other == 0 for other in reduced)
+    )
+
+
+class OptimalStrategy(Strategy):
+    """Exponential minimax strategy — only for small instances."""
+
+    name = "OPT"
+
+    def __init__(self, max_classes: int = 24):
+        self.max_classes = max_classes
+        self._cached_solver = None
+        self._cached_index: SignatureIndex | None = None
+
+    def _solver(self, index: SignatureIndex):
+        if self._cached_index is index:
+            return self._cached_solver
+        if len(index) > self.max_classes:
+            raise ValueError(
+                f"OptimalStrategy is exponential; instance has "
+                f"{len(index)} signature classes > max_classes="
+                f"{self.max_classes}"
+            )
+        masks = tuple((cls.class_id, cls.mask) for cls in index)
+
+        @lru_cache(maxsize=None)
+        def value(t_plus: int, negatives: frozenset[int]) -> int:
+            informative = _informative(t_plus, negatives)
+            if not informative:
+                return 0
+            return 1 + min(
+                max(
+                    value(*_after(t_plus, negatives, mask, Label.POSITIVE)),
+                    value(*_after(t_plus, negatives, mask, Label.NEGATIVE)),
+                )
+                for _, mask in informative
+            )
+
+        def _informative(
+            t_plus: int, negatives: frozenset[int]
+        ) -> list[tuple[int, int]]:
+            out = []
+            for class_id, mask in masks:
+                if t_plus & ~mask == 0:
+                    continue  # certain positive
+                needle = t_plus & mask
+                if any(needle & ~neg == 0 for neg in negatives):
+                    continue  # certain negative
+                out.append((class_id, mask))
+            return out
+
+        def _after(
+            t_plus: int, negatives: frozenset[int], mask: int, label: Label
+        ) -> tuple[int, frozenset[int]]:
+            if label is Label.POSITIVE:
+                new_t_plus = t_plus & mask
+                return new_t_plus, _canonical_negatives(
+                    new_t_plus, tuple(negatives)
+                )
+            return t_plus, _canonical_negatives(
+                t_plus, tuple(negatives) + (mask,)
+            )
+
+        def choose(t_plus: int, negatives: frozenset[int]) -> int:
+            informative = _informative(t_plus, negatives)
+            best_id, best_value = None, None
+            for class_id, mask in informative:
+                worst = max(
+                    value(*_after(t_plus, negatives, mask, Label.POSITIVE)),
+                    value(*_after(t_plus, negatives, mask, Label.NEGATIVE)),
+                )
+                if best_value is None or worst < best_value:
+                    best_id, best_value = class_id, worst
+            assert best_id is not None
+            return best_id
+
+        solver = (value, choose)
+        self._cached_index = index
+        self._cached_solver = solver
+        return solver
+
+    def worst_case_interactions(self, index: SignatureIndex) -> int:
+        """The optimal worst-case number of interactions from scratch."""
+        value, _ = self._solver(index)
+        return value(
+            index.omega_mask, _canonical_negatives(index.omega_mask, ())
+        )
+
+    def choose(self, state: InferenceState, rng: random.Random) -> int:
+        self._informative_or_raise(state)
+        _, choose = self._solver(state.index)
+        negatives = _canonical_negatives(
+            state.t_plus_mask, state.negative_masks
+        )
+        return choose(state.t_plus_mask, negatives)

@@ -1,0 +1,27 @@
+"""The random baseline strategy (RND, §4.1).
+
+Chooses an informative tuple uniformly at random from the Cartesian
+product.  Classes are therefore weighted by their tuple count — a class
+holding 90% of the remaining informative tuples is proposed 90% of the
+time, exactly as if the tuple were drawn from ``D`` directly.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..state import InferenceState
+from .base import Strategy
+
+__all__ = ["RandomStrategy"]
+
+
+class RandomStrategy(Strategy):
+    """Uniformly random informative tuple."""
+
+    name = "RND"
+
+    def choose(self, state: InferenceState, rng: random.Random) -> int:
+        informative = self._informative_or_raise(state)
+        weights = [state.index[class_id].count for class_id in informative]
+        return rng.choices(informative, weights=weights, k=1)[0]

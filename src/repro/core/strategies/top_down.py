@@ -1,0 +1,42 @@
+"""Top-down local strategy (TD, Algorithm 3).
+
+While no positive example exists, proposes tuples whose signature is
+⊆-maximal among all signatures of the product (the topmost populated
+lattice nodes).  If the user rejects *all* maximal signatures, every other
+signature is certain-negative by Lemma 3.4 and the goal Ω is inferred
+without exhausting the Cartesian product — this fixes BU's worst case.
+As soon as one positive example arrives the strategy switches to the
+bottom-up behaviour (Algorithm 3 lines 3–5).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..state import InferenceState
+from .base import Strategy
+from .bottom_up import BottomUpStrategy
+
+__all__ = ["TopDownStrategy"]
+
+
+class TopDownStrategy(Strategy):
+    """⊆-maximal signatures first; bottom-up after the first positive."""
+
+    name = "TD"
+
+    def __init__(self) -> None:
+        self._bottom_up = BottomUpStrategy()
+
+    def choose(self, state: InferenceState, rng: random.Random) -> int:
+        if state.has_positive:
+            return self._bottom_up.choose(state, rng)
+        informative = self._informative_or_raise(state)
+        maximal = state.index.maximal_class_ids
+        for class_id in informative:
+            if class_id in maximal:
+                return class_id
+        # Unreachable for honest samples: while S+ is empty every unlabeled
+        # maximal class stays informative.  Kept as a safe fallback for
+        # adversarial oracles.
+        return self._bottom_up.choose(state, rng)

@@ -1,0 +1,17 @@
+"""Crowdsourcing extension (§7's future-work scenario): noisy workers,
+majority voting, and cost/accuracy reports."""
+
+from .session import CrowdRunReport, run_crowd_inference
+from .voting import (
+    MajorityOracle,
+    majority_error_rate,
+    panel_size_for_target,
+)
+
+__all__ = [
+    "CrowdRunReport",
+    "MajorityOracle",
+    "majority_error_rate",
+    "panel_size_for_target",
+    "run_crowd_inference",
+]

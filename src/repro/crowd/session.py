@@ -1,0 +1,69 @@
+"""Crowdsourced inference runs: cost and accuracy under noisy labels.
+
+Combines the equijoin inference loop with a worker panel: each strategy
+question is answered by majority vote, the inference proceeds as usual
+(the sample stays consistent — §4.1 — even when answers are wrong), and
+the run reports both the interaction count (tuples asked) and the crowd
+cost (total worker answers), plus whether the inferred predicate is still
+instance-equivalent to the goal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.oracle import NoisyOracle, PerfectOracle
+from ..core.session import run_inference
+from ..core.signatures import SignatureIndex
+from ..core.strategies.base import Strategy
+from ..relational.predicate import JoinPredicate
+from ..relational.relation import Instance
+from .voting import MajorityOracle
+
+__all__ = ["CrowdRunReport", "run_crowd_inference"]
+
+
+@dataclass(frozen=True, slots=True)
+class CrowdRunReport:
+    """Outcome of one crowdsourced inference."""
+
+    predicate: JoinPredicate
+    interactions: int
+    worker_answers: int
+    panel_size: int
+    worker_error: float
+    correct: bool
+
+
+def run_crowd_inference(
+    instance: Instance,
+    strategy: Strategy,
+    goal: JoinPredicate,
+    worker_error: float,
+    panel_size: int = 1,
+    seed: int = 0,
+    index: SignatureIndex | None = None,
+) -> CrowdRunReport:
+    """Infer the goal with a panel of noisy workers.
+
+    Workers share the ground truth (the goal) but err independently with
+    probability ``worker_error``; ``panel_size`` answers are collected
+    per tuple and majority-voted.
+    """
+    truth = PerfectOracle(instance, goal)
+    workers = [
+        NoisyOracle(truth, error_rate=worker_error, seed=seed * 1000 + i)
+        for i in range(panel_size)
+    ]
+    panel = MajorityOracle(workers)
+    result = run_inference(
+        instance, strategy, panel, index=index, seed=seed
+    )
+    return CrowdRunReport(
+        predicate=result.predicate,
+        interactions=result.interactions,
+        worker_answers=panel.total_queries,
+        panel_size=panel_size,
+        worker_error=worker_error,
+        correct=result.matches_goal(instance, goal),
+    )

@@ -1,0 +1,102 @@
+"""Majority voting over unreliable crowd workers.
+
+§7 motivates the interactive scenario for crowdsourcing, where each
+"user" answer costs money and may be wrong.  The classic mitigation is to
+ask ``k`` independent workers per tuple and take the majority.  This
+module quantifies the trade-off: an odd panel of ``k`` workers with
+per-answer error rate ``p`` errs with probability
+``P[Binomial(k, p) > k/2]``, at ``k`` times the cost.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.oracle import Oracle
+from ..core.sample import Label
+from ..relational.relation import Row
+
+__all__ = ["MajorityOracle", "majority_error_rate", "panel_size_for_target"]
+
+TuplePair = tuple[Row, Row]
+
+
+@dataclass(frozen=True, slots=True)
+class _Tally:
+    positive: int
+    negative: int
+
+
+class MajorityOracle(Oracle):
+    """Ask ``panel_size`` workers per tuple; answer with the majority.
+
+    ``workers`` may be any oracles (typically independently seeded
+    :class:`~repro.core.oracle.NoisyOracle` wrappers of the same ground
+    truth).  The number of underlying answers is tracked in
+    :attr:`total_queries` — the crowdsourcing *cost* of the inference.
+    """
+
+    def __init__(self, workers: list[Oracle]):
+        if not workers:
+            raise ValueError("a panel needs at least one worker")
+        if len(workers) % 2 == 0:
+            raise ValueError("use an odd panel to avoid ties")
+        self._workers = list(workers)
+        self.total_queries = 0
+
+    @property
+    def panel_size(self) -> int:
+        """Number of workers consulted per tuple."""
+        return len(self._workers)
+
+    def _tally(self, tuple_pair: TuplePair) -> _Tally:
+        positive = 0
+        negative = 0
+        for worker in self._workers:
+            if worker.label(tuple_pair) is Label.POSITIVE:
+                positive += 1
+            else:
+                negative += 1
+        self.total_queries += len(self._workers)
+        return _Tally(positive, negative)
+
+    def label(self, tuple_pair: TuplePair) -> Label:
+        tally = self._tally(tuple_pair)
+        if tally.positive > tally.negative:
+            return Label.POSITIVE
+        return Label.NEGATIVE
+
+    def reset(self) -> None:
+        self.total_queries = 0
+        for worker in self._workers:
+            worker.reset()
+
+
+def majority_error_rate(panel_size: int, worker_error: float) -> float:
+    """Probability that an odd panel's majority verdict is wrong."""
+    if panel_size < 1 or panel_size % 2 == 0:
+        raise ValueError("panel size must be odd and positive")
+    if not 0.0 <= worker_error <= 1.0:
+        raise ValueError("worker error must be within [0, 1]")
+    needed = panel_size // 2 + 1
+    return sum(
+        math.comb(panel_size, wrong)
+        * worker_error**wrong
+        * (1.0 - worker_error) ** (panel_size - wrong)
+        for wrong in range(needed, panel_size + 1)
+    )
+
+
+def panel_size_for_target(
+    worker_error: float, target_error: float, max_panel: int = 99
+) -> int | None:
+    """The smallest odd panel achieving the target majority error, or
+    ``None`` when no panel up to ``max_panel`` suffices (e.g. when the
+    workers are no better than coin flips)."""
+    if not 0.0 < target_error < 1.0:
+        raise ValueError("target error must be in (0, 1)")
+    for panel_size in range(1, max_panel + 1, 2):
+        if majority_error_rate(panel_size, worker_error) <= target_error:
+            return panel_size
+    return None

@@ -1,0 +1,18 @@
+"""Dataset generators: the paper's synthetic configurations (§5.2) and a
+miniature TPC-H dbgen with its five goal-join workloads (§5.1)."""
+
+from .synthetic import PAPER_CONFIGS, SyntheticConfig, generate_synthetic
+from .tpch import TABLE_NAMES, TpchTables, generate_tpch
+from .workloads import WORKLOAD_NAMES, JoinWorkload, tpch_workloads
+
+__all__ = [
+    "JoinWorkload",
+    "PAPER_CONFIGS",
+    "SyntheticConfig",
+    "TABLE_NAMES",
+    "TpchTables",
+    "WORKLOAD_NAMES",
+    "generate_synthetic",
+    "generate_tpch",
+    "tpch_workloads",
+]

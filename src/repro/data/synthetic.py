@@ -1,0 +1,101 @@
+"""The paper's synthetic dataset generator (§5.2).
+
+A configuration is a quadruple ``(|attrs(R)|, |attrs(P)|, l, v)``: the two
+arities, the number of tuples per relation, and the size of the value
+domain ``{0, …, v−1}``.  Values are drawn uniformly.  The six
+configurations benchmarked in Figure 7 / Table 1 are exported as
+:data:`PAPER_CONFIGS`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..relational.relation import Instance, Relation
+
+__all__ = ["SyntheticConfig", "generate_synthetic", "PAPER_CONFIGS"]
+
+
+@dataclass(frozen=True, slots=True)
+class SyntheticConfig:
+    """One generator configuration ``(|attrs(R)|, |attrs(P)|, l, v)``."""
+
+    left_arity: int
+    right_arity: int
+    rows: int
+    values: int
+
+    def __post_init__(self) -> None:
+        if self.left_arity < 1 or self.right_arity < 1:
+            raise ValueError("arities must be positive")
+        if self.rows < 1:
+            raise ValueError("row count must be positive")
+        if self.values < 1:
+            raise ValueError("value domain must be non-empty")
+
+    @property
+    def label(self) -> str:
+        """The paper's notation, e.g. ``(3,3,50,100)``."""
+        return (
+            f"({self.left_arity},{self.right_arity},"
+            f"{self.rows},{self.values})"
+        )
+
+    @property
+    def omega_size(self) -> int:
+        """``|Ω|`` for instances of this configuration."""
+        return self.left_arity * self.right_arity
+
+    def scaled(self, rows: int) -> "SyntheticConfig":
+        """The same configuration with a different row count (used to keep
+        benchmark runtimes proportionate)."""
+        return SyntheticConfig(
+            self.left_arity, self.right_arity, rows, self.values
+        )
+
+
+#: The six configurations of Figure 7 / Table 1, in the paper's order.
+PAPER_CONFIGS: tuple[SyntheticConfig, ...] = (
+    SyntheticConfig(3, 3, 100, 100),
+    SyntheticConfig(3, 3, 50, 100),
+    SyntheticConfig(3, 4, 50, 100),
+    SyntheticConfig(2, 5, 50, 100),
+    SyntheticConfig(2, 4, 50, 50),
+    SyntheticConfig(2, 4, 50, 100),
+)
+
+
+def generate_synthetic(
+    config: SyntheticConfig, seed: int | None = None
+) -> Instance:
+    """One random instance for the configuration.
+
+    Rows are uniform over the value domain; duplicate rows (rare for the
+    paper's configurations) collapse under set semantics, exactly as a
+    relational instance would.
+    """
+    rng = random.Random(seed)
+    left = Relation.build(
+        "R",
+        [f"A{i}" for i in range(1, config.left_arity + 1)],
+        [
+            tuple(
+                rng.randrange(config.values)
+                for _ in range(config.left_arity)
+            )
+            for _ in range(config.rows)
+        ],
+    )
+    right = Relation.build(
+        "P",
+        [f"B{j}" for j in range(1, config.right_arity + 1)],
+        [
+            tuple(
+                rng.randrange(config.values)
+                for _ in range(config.right_arity)
+            )
+            for _ in range(config.rows)
+        ],
+    )
+    return Instance(left, right)

@@ -1,0 +1,294 @@
+"""A miniature TPC-H ``dbgen`` in pure Python.
+
+The paper's §5.1 experiments run over TPC-H tables; the official
+generator is C and its full-scale output is far beyond what the
+interactive-inference benchmarks need, so this module re-implements the
+schema, the key/foreign-key structure, and — crucially for this paper —
+the *value-domain overlaps* that make join inference non-trivial: "a
+value 15 of an attribute may as well represent a key, a size, a price or
+a quantity" (§5.1).  Sizes, quantities, line numbers and the small key
+ranges deliberately share small-integer domains, and status flags overlap
+across tables (``orderstatus`` vs ``linestatus``), reproducing join
+ratios in the 1–2.1 range reported in Table 1.
+
+Row counts scale linearly with the ``scale`` parameter (``scale=1``
+yields a laptop-size database; see DESIGN.md §3 for the substitution
+rationale).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, fields
+
+from ..relational.relation import Relation
+
+__all__ = ["TpchTables", "generate_tpch", "TABLE_NAMES"]
+
+_REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+_NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+
+_PART_TYPES = [
+    "STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO",
+]
+_CONTAINERS = ["SM CASE", "LG BOX", "MED BAG", "JUMBO JAR", "WRAP PKG"]
+_SEGMENTS = [
+    "AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD",
+]
+_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECI", "5-LOW"]
+_SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+_INSTRUCTIONS = [
+    "DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN",
+]
+
+TABLE_NAMES = (
+    "region",
+    "nation",
+    "supplier",
+    "part",
+    "partsupp",
+    "customer",
+    "orders",
+    "lineitem",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class TpchTables:
+    """All eight generated tables."""
+
+    region: Relation
+    nation: Relation
+    supplier: Relation
+    part: Relation
+    partsupp: Relation
+    customer: Relation
+    orders: Relation
+    lineitem: Relation
+
+    def table(self, name: str) -> Relation:
+        """Look a table up by its TPC-H name."""
+        if name not in TABLE_NAMES:
+            raise KeyError(f"unknown TPC-H table {name!r}")
+        return getattr(self, name)
+
+    def all_tables(self) -> list[Relation]:
+        """All tables in schema order."""
+        return [getattr(self, f.name) for f in fields(self)]
+
+
+def _date(rng: random.Random) -> int:
+    """A date as YYYYMMDD int in TPC-H's 1992–1998 window."""
+    year = rng.randrange(1992, 1999)
+    month = rng.randrange(1, 13)
+    day = rng.randrange(1, 29)
+    return year * 10_000 + month * 100 + day
+
+
+def generate_tpch(scale: float = 1.0, seed: int = 0) -> TpchTables:
+    """Generate the eight tables at the given scale.
+
+    ``scale=1`` produces ~20 parts / 10 suppliers / 80 partsupp /
+    15 customers / 30 orders / ~120 lineitems.  Keys are dense small
+    integers starting at 1 so that they collide with sizes and
+    quantities, as in the paper's discussion.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    rng = random.Random(seed)
+
+    n_part = max(1, round(20 * scale))
+    n_supplier = max(1, round(10 * scale))
+    n_customer = max(1, round(15 * scale))
+    n_orders = max(1, round(30 * scale))
+
+    region = Relation.build(
+        "region",
+        ["regionkey", "name", "comment"],
+        [
+            (key, name, f"region comment {key}")
+            for key, name in enumerate(_REGIONS)
+        ],
+    )
+
+    nation = Relation.build(
+        "nation",
+        ["nationkey", "name", "regionkey", "comment"],
+        [
+            (key, name, regionkey, f"nation comment {key}")
+            for key, (name, regionkey) in enumerate(_NATIONS)
+        ],
+    )
+
+    supplier = Relation.build(
+        "supplier",
+        [
+            "suppkey", "name", "address", "nationkey", "phone",
+            "acctbal", "comment",
+        ],
+        [
+            (
+                key,
+                f"Supplier#{key:09d}",
+                f"addr s{key}",
+                rng.randrange(len(_NATIONS)),
+                f"{rng.randrange(10, 35)}-{rng.randrange(100, 999)}",
+                rng.randrange(-99, 999),
+                f"supplier comment {key}",
+            )
+            for key in range(1, n_supplier + 1)
+        ],
+    )
+
+    part = Relation.build(
+        "part",
+        [
+            "partkey", "name", "mfgr", "brand", "type", "size",
+            "container", "retailprice", "comment",
+        ],
+        [
+            (
+                key,
+                f"part {key}",
+                f"Manufacturer#{rng.randrange(1, 6)}",
+                f"Brand#{rng.randrange(1, 6)}{rng.randrange(1, 6)}",
+                rng.choice(_PART_TYPES),
+                rng.randrange(1, 51),  # overlaps the key domains
+                rng.choice(_CONTAINERS),
+                rng.randrange(900, 2_000),
+                f"part comment {key}",
+            )
+            for key in range(1, n_part + 1)
+        ],
+    )
+
+    partsupp_rows = []
+    for partkey in range(1, n_part + 1):
+        # TPC-H links each part to 4 suppliers.
+        for offset in range(4):
+            suppkey = (
+                (partkey + offset * max(1, n_supplier // 4))
+                % n_supplier
+            ) + 1
+            partsupp_rows.append(
+                (
+                    partkey,
+                    suppkey,
+                    rng.randrange(1, 100),  # availqty: overlaps keys
+                    rng.randrange(1, 100),  # supplycost
+                    f"partsupp comment {partkey}/{suppkey}",
+                )
+            )
+    partsupp = Relation.build(
+        "partsupp",
+        ["partkey", "suppkey", "availqty", "supplycost", "comment"],
+        partsupp_rows,
+    )
+
+    customer = Relation.build(
+        "customer",
+        [
+            "custkey", "name", "address", "nationkey", "phone",
+            "acctbal", "mktsegment", "comment",
+        ],
+        [
+            (
+                key,
+                f"Customer#{key:09d}",
+                f"addr c{key}",
+                rng.randrange(len(_NATIONS)),
+                f"{rng.randrange(10, 35)}-{rng.randrange(100, 999)}",
+                rng.randrange(-99, 999),
+                rng.choice(_SEGMENTS),
+                f"customer comment {key}",
+            )
+            for key in range(1, n_customer + 1)
+        ],
+    )
+
+    orders = Relation.build(
+        "orders",
+        [
+            "orderkey", "custkey", "orderstatus", "totalprice",
+            "orderdate", "orderpriority", "clerk", "shippriority",
+            "comment",
+        ],
+        [
+            (
+                key,
+                rng.randrange(1, n_customer + 1),
+                rng.choice(["O", "F", "P"]),
+                rng.randrange(1_000, 20_000),
+                _date(rng),
+                rng.choice(_PRIORITIES),
+                f"Clerk#{rng.randrange(1, 1 + max(1, n_orders // 10)):09d}",
+                0,
+                f"order comment {key}",
+            )
+            for key in range(1, n_orders + 1)
+        ],
+    )
+
+    lineitem_rows = []
+    for orderkey in range(1, n_orders + 1):
+        for linenumber in range(1, rng.randrange(1, 8)):
+            partkey = rng.randrange(1, n_part + 1)
+            # Pick one of the 4 suppliers actually carrying the part so
+            # that Join 5's composite key/FK holds.
+            offset = rng.randrange(4)
+            suppkey = (
+                (partkey + offset * max(1, n_supplier // 4))
+                % n_supplier
+            ) + 1
+            quantity = rng.randrange(1, 51)  # overlaps keys and sizes
+            shipdate = _date(rng)
+            lineitem_rows.append(
+                (
+                    orderkey,
+                    partkey,
+                    suppkey,
+                    linenumber,
+                    quantity,
+                    quantity * rng.randrange(900, 2_000),
+                    rng.randrange(0, 11),  # discount %: overlaps keys
+                    rng.randrange(0, 9),  # tax %: overlaps keys
+                    rng.choice(["R", "A", "N"]),
+                    rng.choice(["O", "F"]),  # overlaps orderstatus
+                    shipdate,
+                    shipdate + rng.randrange(0, 60),
+                    shipdate + rng.randrange(0, 90),
+                    rng.choice(_INSTRUCTIONS),
+                    rng.choice(_SHIP_MODES),
+                    f"lineitem comment {orderkey}/{linenumber}",
+                )
+            )
+    lineitem = Relation.build(
+        "lineitem",
+        [
+            "orderkey", "partkey", "suppkey", "linenumber", "quantity",
+            "extendedprice", "discount", "tax", "returnflag",
+            "linestatus", "shipdate", "commitdate", "receiptdate",
+            "shipinstruct", "shipmode", "comment",
+        ],
+        lineitem_rows,
+    )
+
+    return TpchTables(
+        region=region,
+        nation=nation,
+        supplier=supplier,
+        part=part,
+        partsupp=partsupp,
+        customer=customer,
+        orders=orders,
+        lineitem=lineitem,
+    )

@@ -1,0 +1,118 @@
+"""The paper's five TPC-H goal joins (§5.1).
+
+Each workload pairs two tables with the key/foreign-key predicate the
+experiments try to rediscover.  The strategies never see the constraint —
+they only see user labels — which is the whole point of §5.1: "evict the
+goal join predicates that rely on integrity constraints" from raw data.
+
+Column pruning: the full Orders × Lineitem schema has |Ω| = 144; to keep
+lookahead benchmarks snappy a workload can be built with
+``trimmed=True``, which keeps (per table) the key columns plus the
+ambiguous small-integer/status columns that generate the interesting
+signatures.  The goal predicates and the key/FK structure are unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..relational.algebra import project
+from ..relational.predicate import JoinPredicate
+from ..relational.relation import Instance, Relation
+from ..relational.schema import Attribute
+from .tpch import TpchTables
+
+__all__ = ["JoinWorkload", "tpch_workloads", "WORKLOAD_NAMES"]
+
+WORKLOAD_NAMES = ("join1", "join2", "join3", "join4", "join5")
+
+_TRIMMED_COLUMNS = {
+    "part": ["partkey", "size", "retailprice", "mfgr", "brand"],
+    "partsupp": ["partkey", "suppkey", "availqty", "supplycost"],
+    "supplier": ["suppkey", "nationkey", "acctbal", "name"],
+    "customer": ["custkey", "nationkey", "acctbal", "mktsegment"],
+    "orders": ["orderkey", "custkey", "orderstatus", "totalprice"],
+    "lineitem": [
+        "orderkey", "partkey", "suppkey", "linenumber", "quantity",
+        "discount", "linestatus",
+    ],
+}
+
+
+@dataclass(frozen=True, slots=True)
+class JoinWorkload:
+    """One goal join over a two-table instance."""
+
+    name: str
+    description: str
+    instance: Instance
+    goal: JoinPredicate
+
+    @property
+    def goal_size(self) -> int:
+        """Number of equality conjuncts in the goal."""
+        return len(self.goal)
+
+
+def _prepare(relation: Relation, trimmed: bool) -> Relation:
+    if not trimmed:
+        return relation
+    return project(relation, _TRIMMED_COLUMNS[relation.name])
+
+
+def _goal(left: str, right: str, *columns: tuple[str, str]) -> JoinPredicate:
+    return JoinPredicate(
+        (Attribute(left, a), Attribute(right, b)) for a, b in columns
+    )
+
+
+def tpch_workloads(
+    tables: TpchTables, trimmed: bool = True
+) -> list[JoinWorkload]:
+    """The five goal joins of §5.1 over the given generated tables."""
+    part = _prepare(tables.part, trimmed)
+    partsupp = _prepare(tables.partsupp, trimmed)
+    supplier = _prepare(tables.supplier, trimmed)
+    customer = _prepare(tables.customer, trimmed)
+    orders = _prepare(tables.orders, trimmed)
+    lineitem = _prepare(tables.lineitem, trimmed)
+    return [
+        JoinWorkload(
+            name="join1",
+            description="Part[partkey] = Partsupp[partkey]",
+            instance=Instance(part, partsupp),
+            goal=_goal("part", "partsupp", ("partkey", "partkey")),
+        ),
+        JoinWorkload(
+            name="join2",
+            description="Supplier[suppkey] = Partsupp[suppkey]",
+            instance=Instance(supplier, partsupp),
+            goal=_goal("supplier", "partsupp", ("suppkey", "suppkey")),
+        ),
+        JoinWorkload(
+            name="join3",
+            description="Customer[custkey] = Orders[custkey]",
+            instance=Instance(customer, orders),
+            goal=_goal("customer", "orders", ("custkey", "custkey")),
+        ),
+        JoinWorkload(
+            name="join4",
+            description="Orders[orderkey] = Lineitem[orderkey]",
+            instance=Instance(orders, lineitem),
+            goal=_goal("orders", "lineitem", ("orderkey", "orderkey")),
+        ),
+        JoinWorkload(
+            name="join5",
+            description=(
+                "Partsupp[partkey] = Lineitem[partkey] AND "
+                "Partsupp[suppkey] = Lineitem[suppkey]"
+            ),
+            instance=Instance(partsupp, lineitem),
+            goal=_goal(
+                "partsupp",
+                "lineitem",
+                ("partkey", "partkey"),
+                ("suppkey", "suppkey"),
+            ),
+        ),
+    ]

@@ -1,0 +1,49 @@
+"""Experiment harness: the measured runs, metrics, and figure/table
+regeneration for the paper's §5 (plus reporting helpers)."""
+
+from .charts import bar_chart, chart_figure6, chart_figure7
+from .figures import (
+    Figure6Row,
+    Figure7Cell,
+    TPCH_SCALES,
+    Table1Row,
+    figure6,
+    figure7,
+    table1,
+)
+from .metrics import InstanceMetrics, compute_metrics
+from .reporting import (
+    render_figure6,
+    render_figure7,
+    render_table,
+    render_table1,
+)
+from .runner import (
+    AggregatedMeasurement,
+    Measurement,
+    average_measurements,
+    measure_inference,
+)
+
+__all__ = [
+    "AggregatedMeasurement",
+    "Figure6Row",
+    "Figure7Cell",
+    "InstanceMetrics",
+    "Measurement",
+    "TPCH_SCALES",
+    "Table1Row",
+    "average_measurements",
+    "bar_chart",
+    "chart_figure6",
+    "chart_figure7",
+    "compute_metrics",
+    "figure6",
+    "figure7",
+    "measure_inference",
+    "render_figure6",
+    "render_figure7",
+    "render_table",
+    "render_table1",
+    "table1",
+]

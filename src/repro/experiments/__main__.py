@@ -1,0 +1,87 @@
+"""Regenerate the measured experiment tables.
+
+Usage::
+
+    python -m repro.experiments [--runs N] [--seed S] [--output PATH]
+
+Prints the Figure 6, Figure 7 and Table 1 reproductions; with
+``--output`` also writes them to a markdown file (the payload embedded in
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .charts import chart_figure6, chart_figure7
+from .figures import figure6, figure7, table1
+from .reporting import render_figure6, render_figure7, render_table1
+
+
+def build_report(runs: int, seed: int, charts: bool = False) -> str:
+    """Run all experiments and render the markdown payload."""
+    fig6_rows = figure6(seed=seed)
+    fig7_cells = figure7(seed=seed, runs=runs)
+    table1_rows = table1(
+        figure6_rows=fig6_rows, figure7_cells=fig7_cells, seed=seed
+    )
+    parts = [
+        "## TPC-H experiments (Figure 6)",
+        render_figure6(fig6_rows),
+        "## Synthetic experiments (Figure 7)",
+        render_figure7(fig7_cells),
+        "## Summary (Table 1)",
+        render_table1(table1_rows),
+    ]
+    if charts:
+        parts.extend(
+            [
+                "## Figure 6 as bar charts",
+                "```",
+                chart_figure6(fig6_rows),
+                "```",
+                "## Figure 7 as bar charts",
+                "```",
+                chart_figure7(fig7_cells),
+                "```",
+            ]
+        )
+    return "\n\n".join(parts) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's experiment tables.",
+    )
+    parser.add_argument(
+        "--runs",
+        type=int,
+        default=3,
+        help="repetitions per synthetic cell (paper: 100; default: 3)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--charts",
+        action="store_true",
+        help="append ASCII bar-chart renderings of the figures",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="also write the report to this markdown file",
+    )
+    args = parser.parse_args(argv)
+    report = build_report(runs=args.runs, seed=args.seed, charts=args.charts)
+    print(report)
+    if args.output is not None:
+        args.output.write_text(report)
+        print(f"(written to {args.output})", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

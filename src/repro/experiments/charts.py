@@ -1,0 +1,96 @@
+"""ASCII bar charts — the figure-shaped view of the experiment results.
+
+Figures 6 and 7 in the paper are grouped bar charts; the tables carry the
+numbers, and this module renders the same data as horizontal bars so the
+*shape* (who wins, by how much) is visible directly in a terminal or a
+markdown code block.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from .figures import Figure6Row, Figure7Cell
+
+__all__ = ["bar_chart", "chart_figure6", "chart_figure7"]
+
+
+def bar_chart(
+    series: dict[str, float],
+    title: str | None = None,
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """One horizontal bar per entry, scaled to the maximum value.
+
+    >>> print(bar_chart({"BU": 2, "TD": 4}, width=4))
+    BU │██    2
+    TD │████  4
+    """
+    if not series:
+        return "(no data)"
+    label_width = max(len(label) for label in series)
+    peak = max(series.values())
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in series.items():
+        filled = 0 if peak == 0 else round(width * value / peak)
+        number = (
+            f"{value:g}{unit}"
+            if value == int(value)
+            else f"{value:.2f}{unit}"
+        )
+        lines.append(
+            f"{label.ljust(label_width)} │{'█' * filled}"
+            f"{' ' * (width - filled)}  {number}"
+        )
+    return "\n".join(lines)
+
+
+def chart_figure6(
+    rows: list[Figure6Row], metric: str = "interactions"
+) -> str:
+    """Figure 6 as bar charts: one chart per (scale, join)."""
+    if metric not in ("interactions", "seconds"):
+        raise ValueError("metric must be 'interactions' or 'seconds'")
+    grouped: dict[tuple[str, str], dict[str, float]] = defaultdict(dict)
+    for row in rows:
+        value = getattr(row.measurement, metric)
+        grouped[(row.scale_label, row.join_name)][
+            row.measurement.strategy_name
+        ] = float(value)
+    charts = []
+    for (scale_label, join_name), series in grouped.items():
+        charts.append(
+            bar_chart(
+                series,
+                title=f"{join_name} @ {scale_label} ({metric})",
+            )
+        )
+    return "\n\n".join(charts)
+
+
+def chart_figure7(
+    cells: list[Figure7Cell], metric: str = "interactions"
+) -> str:
+    """Figure 7 as bar charts: one chart per (configuration, goal size)."""
+    if metric not in ("interactions", "seconds"):
+        raise ValueError("metric must be 'interactions' or 'seconds'")
+    attribute = (
+        "mean_interactions" if metric == "interactions" else "mean_seconds"
+    )
+    grouped: dict[tuple[str, int], dict[str, float]] = defaultdict(dict)
+    for cell in cells:
+        grouped[(cell.config.label, cell.goal_size)][
+            cell.aggregated.strategy_name
+        ] = float(getattr(cell.aggregated, attribute))
+    charts = []
+    for (label, goal_size), series in grouped.items():
+        charts.append(
+            bar_chart(
+                series,
+                title=f"{label}, |goal| = {goal_size} ({metric})",
+            )
+        )
+    return "\n\n".join(charts)

@@ -1,0 +1,267 @@
+"""Regeneration of every table and figure of the paper's §5.
+
+* :func:`figure6` — the TPC-H experiments: interactions and inference
+  time for Joins 1–5 at two scales (Figures 6a–6d).
+* :func:`figure7` — the synthetic experiments: interactions and time per
+  goal-predicate size for the six generator configurations
+  (Figures 7a–7l).
+* :func:`table1` — the summary table: Cartesian-product size, join
+  ratio, best strategy and its time, for every experimental instance.
+
+Scale mapping: the paper sweeps TPC-H scale factors 1…100000; absolute
+cardinalities are irrelevant to the strategies (they see the signature
+quotient), so we map "SF=1" → ``scale=1`` and "SF=100000" → ``scale=4``
+of our generator and keep the join-ratio structure (see DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..core.lattice import sample_goal_of_size
+from ..core.signatures import SignatureIndex
+from ..core.strategies import Strategy, default_strategies
+from ..data.synthetic import PAPER_CONFIGS, SyntheticConfig, generate_synthetic
+from ..data.tpch import generate_tpch
+from ..data.workloads import tpch_workloads
+from .metrics import InstanceMetrics, compute_metrics
+from .runner import (
+    AggregatedMeasurement,
+    Measurement,
+    average_measurements,
+    measure_inference,
+)
+
+__all__ = [
+    "Figure6Row",
+    "Figure7Cell",
+    "Table1Row",
+    "TPCH_SCALES",
+    "figure6",
+    "figure7",
+    "table1",
+]
+
+#: Paper scale label → our generator scale (see module docstring).
+TPCH_SCALES: dict[str, float] = {"SF-small": 1.0, "SF-large": 4.0}
+
+
+@dataclass(frozen=True, slots=True)
+class Figure6Row:
+    """One (scale, join, strategy) cell of Figures 6a–6d."""
+
+    scale_label: str
+    join_name: str
+    goal_size: int
+    measurement: Measurement
+    metrics: InstanceMetrics
+
+
+@dataclass(frozen=True, slots=True)
+class Figure7Cell:
+    """One (configuration, goal size, strategy) cell of Figures 7a–7l."""
+
+    config: SyntheticConfig
+    goal_size: int
+    aggregated: AggregatedMeasurement
+
+
+@dataclass(frozen=True, slots=True)
+class Table1Row:
+    """One row of the paper's Table 1."""
+
+    group: str
+    experiment: str
+    cartesian_size: int
+    join_ratio: float
+    best_strategies: tuple[str, ...]
+    best_interactions: float
+    best_seconds: float
+    cells: dict[str, AggregatedMeasurement] = field(repr=False)
+
+
+def _strategies(strategies: list[Strategy] | None) -> list[Strategy]:
+    return default_strategies() if strategies is None else strategies
+
+
+def figure6(
+    scales: dict[str, float] | None = None,
+    strategies: list[Strategy] | None = None,
+    seed: int = 0,
+    trimmed: bool = True,
+) -> list[Figure6Row]:
+    """Interactions and time for the five TPC-H joins at each scale."""
+    scales = TPCH_SCALES if scales is None else scales
+    rows: list[Figure6Row] = []
+    for scale_label, scale in scales.items():
+        tables = generate_tpch(scale=scale, seed=seed)
+        for workload in tpch_workloads(tables, trimmed=trimmed):
+            index = SignatureIndex(workload.instance)
+            metrics = compute_metrics(workload.instance, index)
+            for strategy in _strategies(strategies):
+                measurement = measure_inference(
+                    workload.instance,
+                    strategy,
+                    workload.goal,
+                    index=index,
+                    seed=seed,
+                )
+                rows.append(
+                    Figure6Row(
+                        scale_label=scale_label,
+                        join_name=workload.name,
+                        goal_size=workload.goal_size,
+                        measurement=measurement,
+                        metrics=metrics,
+                    )
+                )
+    return rows
+
+
+def _instance_with_goal(
+    config: SyntheticConfig,
+    goal_size: int,
+    rng: random.Random,
+    max_attempts: int = 50,
+):
+    """A synthetic instance admitting a non-nullable goal of the size."""
+    for _ in range(max_attempts):
+        instance = generate_synthetic(config, seed=rng.randrange(2**31))
+        index = SignatureIndex(instance)
+        goal = sample_goal_of_size(index, goal_size, rng)
+        if goal is not None:
+            return instance, index, goal
+    return None
+
+
+def figure7(
+    configs: tuple[SyntheticConfig, ...] = PAPER_CONFIGS,
+    goal_sizes: tuple[int, ...] = (0, 1, 2, 3, 4),
+    runs: int = 3,
+    strategies: list[Strategy] | None = None,
+    seed: int = 0,
+) -> list[Figure7Cell]:
+    """Mean interactions/time per goal size for each configuration.
+
+    The paper averages 100 runs; ``runs`` trades precision for time (the
+    shapes stabilise quickly).  Each run draws a fresh instance and a
+    fresh non-nullable goal of the requested size, shared across all
+    strategies for fairness.
+    """
+    cells: list[Figure7Cell] = []
+    for config in configs:
+        rng = random.Random((seed, config.label).__hash__() & 0x7FFFFFFF)
+        for goal_size in goal_sizes:
+            trials = []
+            for _ in range(runs):
+                drawn = _instance_with_goal(config, goal_size, rng)
+                if drawn is not None:
+                    trials.append(drawn)
+            if not trials:
+                continue  # the instance never admits goals of this size
+            for strategy in _strategies(strategies):
+                measurements = [
+                    measure_inference(
+                        instance, strategy, goal, index=index, seed=seed
+                    )
+                    for instance, index, goal in trials
+                ]
+                cells.append(
+                    Figure7Cell(
+                        config=config,
+                        goal_size=goal_size,
+                        aggregated=average_measurements(measurements),
+                    )
+                )
+    return cells
+
+
+def _best(
+    cells: dict[str, AggregatedMeasurement]
+) -> tuple[tuple[str, ...], float, float]:
+    """Strategies minimising mean interactions, with the fastest time
+    among them (Table 1's 'best strategy' columns)."""
+    best_interactions = min(
+        cell.mean_interactions for cell in cells.values()
+    )
+    winners = tuple(
+        name
+        for name, cell in cells.items()
+        if cell.mean_interactions == best_interactions
+    )
+    best_seconds = min(cells[name].mean_seconds for name in winners)
+    return winners, best_interactions, best_seconds
+
+
+def table1(
+    figure6_rows: list[Figure6Row] | None = None,
+    figure7_cells: list[Figure7Cell] | None = None,
+    seed: int = 0,
+    runs: int = 3,
+) -> list[Table1Row]:
+    """The summary table, built from (or computing) the two figure runs."""
+    if figure6_rows is None:
+        figure6_rows = figure6(seed=seed)
+    if figure7_cells is None:
+        figure7_cells = figure7(seed=seed, runs=runs)
+
+    rows: list[Table1Row] = []
+
+    tpch_groups: dict[tuple[str, str], dict[str, AggregatedMeasurement]] = {}
+    tpch_metrics: dict[tuple[str, str], tuple[InstanceMetrics, int]] = {}
+    for row in figure6_rows:
+        key = (row.scale_label, row.join_name)
+        tpch_groups.setdefault(key, {})[
+            row.measurement.strategy_name
+        ] = average_measurements([row.measurement])
+        tpch_metrics[key] = (row.metrics, row.goal_size)
+    for (scale_label, join_name), cells in tpch_groups.items():
+        metrics, goal_size = tpch_metrics[(scale_label, join_name)]
+        winners, interactions, seconds = _best(cells)
+        rows.append(
+            Table1Row(
+                group=f"TPC-H {scale_label}",
+                experiment=f"{join_name} (size {goal_size})",
+                cartesian_size=metrics.cartesian_size,
+                join_ratio=metrics.join_ratio,
+                best_strategies=winners,
+                best_interactions=interactions,
+                best_seconds=seconds,
+                cells=cells,
+            )
+        )
+
+    synthetic_groups: dict[
+        tuple[SyntheticConfig, int], dict[str, AggregatedMeasurement]
+    ] = {}
+    for cell in figure7_cells:
+        key = (cell.config, cell.goal_size)
+        synthetic_groups.setdefault(key, {})[
+            cell.aggregated.strategy_name
+        ] = cell.aggregated
+    ratio_cache: dict[SyntheticConfig, tuple[int, float]] = {}
+    for (config, goal_size), cells in synthetic_groups.items():
+        if config not in ratio_cache:
+            instance = generate_synthetic(config, seed=seed)
+            metrics = compute_metrics(instance)
+            ratio_cache[config] = (
+                metrics.cartesian_size,
+                metrics.join_ratio,
+            )
+        cartesian_size, join_ratio = ratio_cache[config]
+        label = config.label
+        winners, interactions, seconds = _best(cells)
+        rows.append(
+            Table1Row(
+                group=f"Synthetic {label}",
+                experiment=f"goals of size {goal_size}",
+                cartesian_size=cartesian_size,
+                join_ratio=join_ratio,
+                best_strategies=winners,
+                best_interactions=interactions,
+                best_seconds=seconds,
+                cells=cells,
+            )
+        )
+    return rows

@@ -1,0 +1,49 @@
+"""Instance complexity metrics (§5.3).
+
+The *join ratio* — the mean size of the distinct most-specific predicates
+— is the paper's predictor of inference difficulty; Table 1 reports it
+next to the Cartesian-product size for every experimental instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.signatures import SignatureIndex
+from ..relational.relation import Instance
+
+__all__ = ["InstanceMetrics", "compute_metrics"]
+
+
+@dataclass(frozen=True, slots=True)
+class InstanceMetrics:
+    """The Table 1 descriptors of one instance."""
+
+    cartesian_size: int
+    distinct_signatures: int
+    join_ratio: float
+    max_signature_size: int
+    maximal_classes: int
+
+    @property
+    def compression(self) -> float:
+        """|D| / #signatures — how much the quotient shrinks the work."""
+        if self.distinct_signatures == 0:
+            return 0.0
+        return self.cartesian_size / self.distinct_signatures
+
+
+def compute_metrics(
+    instance: Instance, index: SignatureIndex | None = None
+) -> InstanceMetrics:
+    """All Table 1 descriptors in one pass."""
+    if index is None:
+        index = SignatureIndex(instance)
+    sizes = [cls.size for cls in index]
+    return InstanceMetrics(
+        cartesian_size=instance.cartesian_size,
+        distinct_signatures=len(index),
+        join_ratio=index.join_ratio(),
+        max_signature_size=max(sizes) if sizes else 0,
+        maximal_classes=len(index.maximal_class_ids),
+    )

@@ -1,0 +1,185 @@
+"""Rendering experiment results as aligned text / markdown tables."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+from .figures import Figure6Row, Figure7Cell, Table1Row
+
+__all__ = [
+    "render_table",
+    "render_figure6",
+    "render_figure7",
+    "render_table1",
+]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """A GitHub-markdown table (monospace-friendly)."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells), 1)
+        if cells
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(f"**{title}**")
+        lines.append("")
+    lines.append(
+        "| "
+        + " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+        + " |"
+    )
+    lines.append(
+        "|" + "|".join("-" * (w + 2) for w in widths) + "|"
+    )
+    for row in cells:
+        lines.append(
+            "| "
+            + " | ".join(c.ljust(w) for c, w in zip(row, widths))
+            + " |"
+        )
+    return "\n".join(lines)
+
+
+def _strategy_order(names: set[str]) -> list[str]:
+    preferred = ["RND", "BU", "TD", "L1S", "L2S", "L3S", "OPT"]
+    ordered = [name for name in preferred if name in names]
+    ordered.extend(sorted(names - set(ordered)))
+    return ordered
+
+
+def render_figure6(rows: list[Figure6Row]) -> str:
+    """Figures 6a–6d: one interactions table and one time table per
+    scale."""
+    by_scale: dict[str, list[Figure6Row]] = defaultdict(list)
+    for row in rows:
+        by_scale[row.scale_label].append(row)
+    sections = []
+    for scale_label, scale_rows in by_scale.items():
+        strategies = _strategy_order(
+            {r.measurement.strategy_name for r in scale_rows}
+        )
+        joins = sorted({r.join_name for r in scale_rows})
+        cell = {
+            (r.join_name, r.measurement.strategy_name): r.measurement
+            for r in scale_rows
+        }
+        interactions_rows = [
+            [join]
+            + [cell[(join, s)].interactions for s in strategies]
+            for join in joins
+        ]
+        time_rows = [
+            [join]
+            + [f"{cell[(join, s)].seconds:.3f}" for s in strategies]
+            for join in joins
+        ]
+        sections.append(
+            render_table(
+                ["join"] + strategies,
+                interactions_rows,
+                title=f"Number of interactions, {scale_label} "
+                "(cf. Figure 6a/6b)",
+            )
+        )
+        sections.append(
+            render_table(
+                ["join"] + strategies,
+                time_rows,
+                title=f"Inference time in seconds, {scale_label} "
+                "(cf. Figure 6c/6d)",
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def render_figure7(cells: list[Figure7Cell]) -> str:
+    """Figures 7a–7l: per configuration, interactions and time tables by
+    goal size."""
+    by_config: dict[str, list[Figure7Cell]] = defaultdict(list)
+    for cell in cells:
+        by_config[cell.config.label].append(cell)
+    sections = []
+    for label, config_cells in by_config.items():
+        strategies = _strategy_order(
+            {c.aggregated.strategy_name for c in config_cells}
+        )
+        sizes = sorted({c.goal_size for c in config_cells})
+        lookup = {
+            (c.goal_size, c.aggregated.strategy_name): c.aggregated
+            for c in config_cells
+        }
+        interactions_rows = []
+        time_rows = []
+        for size in sizes:
+            interactions_rows.append(
+                [size]
+                + [
+                    f"{lookup[(size, s)].mean_interactions:.1f}"
+                    if (size, s) in lookup
+                    else "-"
+                    for s in strategies
+                ]
+            )
+            time_rows.append(
+                [size]
+                + [
+                    f"{lookup[(size, s)].mean_seconds:.3f}"
+                    if (size, s) in lookup
+                    else "-"
+                    for s in strategies
+                ]
+            )
+        sections.append(
+            render_table(
+                ["|goal|"] + strategies,
+                interactions_rows,
+                title=f"Number of interactions, {label} (cf. Figure 7)",
+            )
+        )
+        sections.append(
+            render_table(
+                ["|goal|"] + strategies,
+                time_rows,
+                title=f"Inference time in seconds, {label} (cf. Figure 7)",
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def render_table1(rows: list[Table1Row]) -> str:
+    """The paper's Table 1 layout."""
+    table_rows = []
+    for row in rows:
+        table_rows.append(
+            [
+                row.group,
+                row.experiment,
+                f"{row.cartesian_size:.1e}",
+                f"{row.join_ratio:.3f}",
+                "/".join(row.best_strategies),
+                f"{row.best_interactions:.1f}",
+                f"{row.best_seconds:.3f}",
+            ]
+        )
+    return render_table(
+        [
+            "group",
+            "experiment",
+            "|D|",
+            "join ratio",
+            "best strategy",
+            "interactions",
+            "time (s)",
+        ],
+        table_rows,
+        title="Summary of all experiments (cf. Table 1)",
+    )

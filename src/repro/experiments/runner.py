@@ -1,0 +1,102 @@
+"""Measured inference runs (the experimental protocol of §5).
+
+For each database instance and goal join predicate the paper measures two
+quantities per strategy: the number of user interactions until the halt
+condition Γ (no informative tuple left), and the total inference time.
+:func:`measure_inference` produces one such measurement;
+:func:`average_measurements` aggregates repetitions the way §5.2 does
+("averaging over 100 runs").
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass
+
+from ..core.oracle import PerfectOracle
+from ..core.session import run_inference
+from ..core.signatures import SignatureIndex
+from ..core.strategies.base import Strategy
+from ..relational.predicate import JoinPredicate
+from ..relational.relation import Instance
+
+__all__ = ["Measurement", "AggregatedMeasurement", "measure_inference",
+           "average_measurements"]
+
+
+@dataclass(frozen=True, slots=True)
+class Measurement:
+    """One (instance, goal, strategy) inference run."""
+
+    strategy_name: str
+    goal_size: int
+    interactions: int
+    seconds: float
+    equivalent: bool
+
+
+@dataclass(frozen=True, slots=True)
+class AggregatedMeasurement:
+    """Mean interactions/time over repeated runs of one cell."""
+
+    strategy_name: str
+    goal_size: int
+    runs: int
+    mean_interactions: float
+    mean_seconds: float
+    max_interactions: int
+    all_equivalent: bool
+
+
+def measure_inference(
+    instance: Instance,
+    strategy: Strategy,
+    goal: JoinPredicate,
+    index: SignatureIndex | None = None,
+    seed: int | None = None,
+) -> Measurement:
+    """Run one inference to completion and record the §5 metrics.
+
+    The measured time covers the strategy's work only (the signature
+    index is built once per instance and can be shared across
+    strategies, mirroring how the paper charges time per strategy).
+    """
+    if index is None:
+        index = SignatureIndex(instance)
+    oracle = PerfectOracle(instance, goal)
+    started = time.perf_counter()
+    result = run_inference(
+        instance, strategy, oracle, index=index, seed=seed
+    )
+    seconds = time.perf_counter() - started
+    return Measurement(
+        strategy_name=strategy.name,
+        goal_size=len(goal),
+        interactions=result.interactions,
+        seconds=seconds,
+        equivalent=result.matches_goal(instance, goal),
+    )
+
+
+def average_measurements(
+    measurements: list[Measurement],
+) -> AggregatedMeasurement:
+    """Aggregate repeated measurements of the same experimental cell."""
+    if not measurements:
+        raise ValueError("nothing to aggregate")
+    names = {m.strategy_name for m in measurements}
+    if len(names) != 1:
+        raise ValueError(f"mixed strategies in one cell: {names}")
+    sizes = {m.goal_size for m in measurements}
+    return AggregatedMeasurement(
+        strategy_name=measurements[0].strategy_name,
+        goal_size=min(sizes),
+        runs=len(measurements),
+        mean_interactions=statistics.fmean(
+            m.interactions for m in measurements
+        ),
+        mean_seconds=statistics.fmean(m.seconds for m in measurements),
+        max_interactions=max(m.interactions for m in measurements),
+        all_equivalent=all(m.equivalent for m in measurements),
+    )

@@ -1,0 +1,15 @@
+"""Join-path inference (§7 future work): chains of two-relation hops."""
+
+from .inference import (
+    JoinPathHop,
+    JoinPathResult,
+    evaluate_join_path,
+    infer_join_path,
+)
+
+__all__ = [
+    "JoinPathHop",
+    "JoinPathResult",
+    "evaluate_join_path",
+    "infer_join_path",
+]

@@ -1,0 +1,144 @@
+"""Interactive inference of join *paths* (§7 future work).
+
+The paper restricts itself to joins of two relations and names join paths
+— chains ``R1 ⋈θ1 R2 ⋈θ2 R3 ⋈ …`` — as future work.  The natural lifting
+reuses the two-relation machinery hop by hop: for each consecutive pair
+the user labels tuple pairs, the hop's predicate is inferred, and the
+chain is assembled.  This is sound because the equijoin of a chain is
+determined by its pairwise predicates, and each hop's inference is
+independent of the others (the user's mental goal for hop ``i`` concerns
+only ``Ri × Ri+1``).
+
+The total number of questions is the sum over hops — reported per hop in
+the result so a user interface can show progress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from ..core.oracle import Oracle, PerfectOracle
+from ..core.session import run_inference
+from ..core.signatures import SignatureIndex
+from ..core.strategies.base import Strategy
+from ..core.strategies.top_down import TopDownStrategy
+from ..relational.predicate import JoinPredicate
+from ..relational.relation import Instance, Relation, Row
+
+__all__ = ["JoinPathResult", "JoinPathHop", "infer_join_path", "evaluate_join_path"]
+
+
+@dataclass(frozen=True, slots=True)
+class JoinPathHop:
+    """One inferred hop of the chain."""
+
+    left_name: str
+    right_name: str
+    predicate: JoinPredicate
+    interactions: int
+
+
+@dataclass(frozen=True, slots=True)
+class JoinPathResult:
+    """The inferred chain of predicates."""
+
+    hops: tuple[JoinPathHop, ...]
+
+    @property
+    def total_interactions(self) -> int:
+        """Questions asked over the whole chain."""
+        return sum(hop.interactions for hop in self.hops)
+
+    @property
+    def predicates(self) -> list[JoinPredicate]:
+        """The hop predicates, in chain order."""
+        return [hop.predicate for hop in self.hops]
+
+
+def infer_join_path(
+    relations: Sequence[Relation],
+    oracles: Sequence[Oracle] | None = None,
+    goals: Sequence[JoinPredicate] | None = None,
+    strategy: Strategy | None = None,
+    seed: int | None = None,
+) -> JoinPathResult:
+    """Infer the predicate of every hop ``Ri ⋈ Ri+1``.
+
+    Provide either one oracle per hop, or one goal per hop (simulated
+    user).  A fresh strategy state is used per hop; the default strategy
+    is TD.
+    """
+    if len(relations) < 2:
+        raise ValueError("a join path needs at least two relations")
+    n_hops = len(relations) - 1
+    if (oracles is None) == (goals is None):
+        raise ValueError("provide exactly one of oracles/goals")
+    strategy = strategy or TopDownStrategy()
+    hops = []
+    for hop_index in range(n_hops):
+        instance = Instance(relations[hop_index], relations[hop_index + 1])
+        if goals is not None:
+            if len(goals) != n_hops:
+                raise ValueError(f"expected {n_hops} goals")
+            oracle: Oracle = PerfectOracle(instance, goals[hop_index])
+        else:
+            assert oracles is not None
+            if len(oracles) != n_hops:
+                raise ValueError(f"expected {n_hops} oracles")
+            oracle = oracles[hop_index]
+        result = run_inference(
+            instance,
+            strategy,
+            oracle,
+            index=SignatureIndex(instance),
+            seed=seed,
+        )
+        hops.append(
+            JoinPathHop(
+                left_name=relations[hop_index].name,
+                right_name=relations[hop_index + 1].name,
+                predicate=result.predicate,
+                interactions=result.interactions,
+            )
+        )
+    return JoinPathResult(hops=tuple(hops))
+
+
+def evaluate_join_path(
+    relations: Sequence[Relation],
+    predicates: Sequence[JoinPredicate],
+) -> list[tuple[Row, ...]]:
+    """Evaluate the chain ``R1 ⋈θ1 R2 ⋈θ2 …`` (left-deep, hash joins).
+
+    Returns tuples of one row per relation, in canonical order — the
+    ground truth the inferred chain is checked against.
+    """
+    if len(predicates) != len(relations) - 1:
+        raise ValueError("need exactly one predicate per hop")
+    results: list[tuple[Row, ...]] = [(row,) for row in relations[0]]
+    for hop_index, predicate in enumerate(predicates):
+        left_relation = relations[hop_index]
+        right_relation = relations[hop_index + 1]
+        instance = Instance(left_relation, right_relation)
+        predicate.validate_for(instance)
+        left_pos = [
+            left_relation.schema.position(a)
+            for a, _ in predicate.sorted_pairs()
+        ]
+        right_pos = [
+            right_relation.schema.position(b)
+            for _, b in predicate.sorted_pairs()
+        ]
+        buckets: dict[tuple[Hashable, ...], list[Row]] = {}
+        for p_row in right_relation:
+            key = tuple(p_row[j] for j in right_pos)
+            buckets.setdefault(key, []).append(p_row)
+        extended = []
+        for chain in results:
+            anchor = chain[-1]
+            key = tuple(anchor[i] for i in left_pos)
+            for p_row in buckets.get(key, []):
+                extended.append(chain + (p_row,))
+        results = extended
+    return results

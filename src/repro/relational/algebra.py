@@ -1,0 +1,178 @@
+"""Relational algebra with the exact set semantics of §2 of the paper.
+
+Implemented operators:
+
+* ``cartesian_product(I)`` — ``D = R × P`` as a list of row pairs,
+* ``equijoin(I, θ)``      — ``R ⋈_θ P = {(t, t') ∈ R×P | ∀(A,B)∈θ. t[A]=t'[B]}``,
+* ``semijoin(I, θ)``      — ``R ⋉_θ P = Π_attrs(R)(R ⋈_θ P)``,
+* ``selects(I, θ, t)``    — membership of one Cartesian tuple in the join,
+* ``project`` / ``select`` on single relations (generic utilities).
+
+Join evaluation uses hash partitioning on the θ-columns rather than
+filtering the full product, so it stays usable on the larger generated
+instances.  Semantics are validated against a SQLite execution of the same
+queries in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Sequence
+
+from .predicate import JoinPredicate
+from .relation import Instance, Relation, Row
+from .schema import Attribute, RelationSchema
+
+__all__ = [
+    "cartesian_product",
+    "equijoin",
+    "semijoin",
+    "selects",
+    "semijoin_selects",
+    "join_witnesses",
+    "project",
+    "select",
+    "is_nullable",
+]
+
+
+def cartesian_product(instance: Instance) -> list[tuple[Row, Row]]:
+    """Materialise ``D = R × P`` in canonical order."""
+    return list(instance.cartesian_product())
+
+
+def _key_positions(
+    instance: Instance, predicate: JoinPredicate
+) -> tuple[list[int], list[int]]:
+    """Positions of the θ-columns in R and P, in matching order."""
+    left_schema = instance.left.schema
+    right_schema = instance.right.schema
+    left_pos = []
+    right_pos = []
+    for a, b in predicate.sorted_pairs():
+        left_pos.append(left_schema.position(a))
+        right_pos.append(right_schema.position(b))
+    return left_pos, right_pos
+
+
+def equijoin(
+    instance: Instance, predicate: JoinPredicate
+) -> list[tuple[Row, Row]]:
+    """``(R ⋈_θ P)^I`` as a list of row pairs in canonical order.
+
+    The empty predicate yields the full Cartesian product, matching the
+    universally quantified semantics of §2.
+    """
+    predicate.validate_for(instance)
+    if not predicate:
+        return cartesian_product(instance)
+    left_pos, right_pos = _key_positions(instance, predicate)
+    buckets: dict[tuple[Hashable, ...], list[Row]] = {}
+    for p_row in instance.right:
+        key = tuple(p_row[j] for j in right_pos)
+        buckets.setdefault(key, []).append(p_row)
+    result = []
+    for r_row in instance.left:
+        key = tuple(r_row[i] for i in left_pos)
+        for p_row in buckets.get(key, ()):
+            result.append((r_row, p_row))
+    return result
+
+
+def semijoin(instance: Instance, predicate: JoinPredicate) -> list[Row]:
+    """``(R ⋉_θ P)^I = {t ∈ R | ∃t'∈P. ∀(A,B)∈θ. t[A]=t'[B]}``."""
+    predicate.validate_for(instance)
+    if not predicate:
+        return list(instance.left) if len(instance.right) else []
+    left_pos, right_pos = _key_positions(instance, predicate)
+    right_keys = {
+        tuple(p_row[j] for j in right_pos) for p_row in instance.right
+    }
+    return [
+        r_row
+        for r_row in instance.left
+        if tuple(r_row[i] for i in left_pos) in right_keys
+    ]
+
+
+def selects(
+    instance: Instance,
+    predicate: JoinPredicate,
+    tuple_pair: tuple[Row, Row],
+) -> bool:
+    """True iff the Cartesian tuple ``(t_R, t_P)`` is in ``R ⋈_θ P``."""
+    r_row, p_row = tuple_pair
+    left_schema = instance.left.schema
+    right_schema = instance.right.schema
+    return all(
+        r_row[left_schema.position(a)] == p_row[right_schema.position(b)]
+        for a, b in predicate.pairs
+    )
+
+
+def semijoin_selects(
+    instance: Instance, predicate: JoinPredicate, r_row: Row
+) -> bool:
+    """True iff ``t ∈ R ⋉_θ P`` — some P-row witnesses the predicate."""
+    left_schema = instance.left.schema
+    right_schema = instance.right.schema
+    left_vals = [
+        (r_row[left_schema.position(a)], right_schema.position(b))
+        for a, b in predicate.pairs
+    ]
+    return any(
+        all(value == p_row[pos] for value, pos in left_vals)
+        for p_row in instance.right
+    )
+
+
+def join_witnesses(
+    instance: Instance, predicate: JoinPredicate, r_row: Row
+) -> list[Row]:
+    """All P-rows ``t'`` with ``∀(A,B)∈θ. t[A]=t'[B]`` for the given R-row."""
+    left_schema = instance.left.schema
+    right_schema = instance.right.schema
+    left_vals = [
+        (r_row[left_schema.position(a)], right_schema.position(b))
+        for a, b in predicate.pairs
+    ]
+    return [
+        p_row
+        for p_row in instance.right
+        if all(value == p_row[pos] for value, pos in left_vals)
+    ]
+
+
+def is_nullable(instance: Instance, predicate: JoinPredicate) -> bool:
+    """True iff ``R ⋈_θ P`` is empty on this instance (θ is *nullable*).
+
+    §4.2 restricts the lattice to non-nullable predicates.
+    """
+    if not predicate:
+        return instance.cartesian_size == 0
+    left_pos, right_pos = _key_positions(instance, predicate)
+    right_keys = {
+        tuple(p_row[j] for j in right_pos) for p_row in instance.right
+    }
+    return not any(
+        tuple(r_row[i] for i in left_pos) in right_keys
+        for r_row in instance.left
+    )
+
+
+def project(
+    relation: Relation, attributes: Sequence[Attribute | str]
+) -> Relation:
+    """``Π_attributes(relation)`` with set semantics (duplicates collapse)."""
+    positions = [relation.schema.position(a) for a in attributes]
+    names = [relation.schema.attributes[p].name for p in positions]
+    schema = RelationSchema(relation.name, names)
+    return Relation(
+        schema, (tuple(row[p] for p in positions) for row in relation)
+    )
+
+
+def select(
+    relation: Relation, condition: Callable[[Row], bool]
+) -> Relation:
+    """``σ_condition(relation)`` — keep the rows satisfying ``condition``."""
+    return Relation(relation.schema, (row for row in relation if condition(row)))

@@ -1,0 +1,69 @@
+"""CSV import/export for relations.
+
+CSV has no type information, so values round-trip as strings unless the
+caller opts into ``infer_types=True``, which converts columns that are
+uniformly integral (or uniformly float-like) to numbers.  The equality
+semantics of the inference algorithms are type-sensitive (``"1" != 1``),
+hence the explicit opt-in.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Hashable
+
+from .relation import Relation
+from .schema import RelationSchema
+
+__all__ = ["write_csv", "read_csv"]
+
+
+def write_csv(relation: Relation, path: str | Path) -> None:
+    """Write a relation (header + rows) to ``path``."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([attr.name for attr in relation.schema])
+        writer.writerows(relation.rows)
+
+
+def _convert_column(values: list[str]) -> list[Hashable]:
+    """Convert a string column to int/float when every value parses."""
+    try:
+        return [int(v) for v in values]
+    except ValueError:
+        pass
+    try:
+        return [float(v) for v in values]
+    except ValueError:
+        return list(values)
+
+
+def read_csv(
+    path: str | Path,
+    relation_name: str | None = None,
+    infer_types: bool = False,
+) -> Relation:
+    """Read a relation from a header-first CSV file.
+
+    ``relation_name`` defaults to the file stem.
+    """
+    path = Path(path)
+    name = relation_name if relation_name is not None else path.stem
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path} is empty; expected a header row")
+        raw_rows = [tuple(row) for row in reader if row]
+    schema = RelationSchema(name, header)
+    if not infer_types or not raw_rows:
+        return Relation(schema, raw_rows)
+    columns = [
+        _convert_column([row[i] for row in raw_rows])
+        for i in range(len(header))
+    ]
+    typed_rows = list(zip(*columns))
+    return Relation(schema, typed_rows)

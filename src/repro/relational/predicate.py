@@ -1,0 +1,168 @@
+"""Equijoin / semijoin predicates ``θ ⊆ Ω``.
+
+A :class:`JoinPredicate` is an immutable set of attribute pairs
+``(A_i, B_j)`` with ``A_i ∈ attrs(R)`` and ``B_j ∈ attrs(P)``.  The paper's
+generality order is plain set inclusion: ``θ1`` is *more general* than
+``θ2`` iff ``θ1 ⊆ θ2``; the most general predicate is ``∅`` and the most
+specific is ``Ω`` itself.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from .schema import Attribute, SchemaError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .relation import Instance
+
+__all__ = ["AttributePair", "JoinPredicate"]
+
+AttributePair = tuple[Attribute, Attribute]
+
+
+class JoinPredicate:
+    """An immutable equijoin/semijoin predicate: a set of attribute pairs.
+
+    >>> theta = JoinPredicate.parse("Flight.To = Hotel.City")
+    >>> len(theta)
+    1
+    >>> str(theta)
+    'Flight.To = Hotel.City'
+    """
+
+    __slots__ = ("_pairs",)
+
+    def __init__(self, pairs: Iterable[AttributePair] = ()):
+        frozen = frozenset(pairs)
+        for pair in frozen:
+            if (
+                not isinstance(pair, tuple)
+                or len(pair) != 2
+                or not all(isinstance(a, Attribute) for a in pair)
+            ):
+                raise SchemaError(
+                    f"join predicate pairs must be (Attribute, Attribute); "
+                    f"got {pair!r}"
+                )
+        self._pairs = frozen
+
+    @classmethod
+    def empty(cls) -> "JoinPredicate":
+        """The most general predicate ``∅`` (selects everything)."""
+        return cls()
+
+    @classmethod
+    def parse(cls, text: str) -> "JoinPredicate":
+        """Parse ``"R.A = P.B AND R.C = P.D"`` (or ``∧``-separated).
+
+        The empty string parses to the empty predicate.
+        """
+        text = text.strip()
+        if not text:
+            return cls.empty()
+        pairs = []
+        for chunk in text.replace("∧", " AND ").split(" AND "):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            left, sep, right = chunk.partition("=")
+            if not sep:
+                raise SchemaError(f"expected 'R.A = P.B' in {chunk!r}")
+            pairs.append(
+                (Attribute.parse(left), Attribute.parse(right))
+            )
+        return cls(pairs)
+
+    @property
+    def pairs(self) -> frozenset[AttributePair]:
+        """The underlying frozen set of attribute pairs."""
+        return self._pairs
+
+    def sorted_pairs(self) -> list[AttributePair]:
+        """The pairs in a canonical deterministic order."""
+        return sorted(
+            self._pairs,
+            key=lambda p: (p[0].relation, p[0].name, p[1].relation, p[1].name),
+        )
+
+    # --- generality order (§2) -------------------------------------------
+
+    def is_more_general_than(self, other: "JoinPredicate") -> bool:
+        """``self ⊆ other`` — self selects at least as many tuples."""
+        return self._pairs <= other._pairs
+
+    def is_more_specific_than(self, other: "JoinPredicate") -> bool:
+        """``other ⊆ self`` — self selects at most as many tuples."""
+        return other._pairs <= self._pairs
+
+    # --- set algebra -------------------------------------------------------
+
+    def union(self, other: "JoinPredicate") -> "JoinPredicate":
+        """Set union of the two predicates (more specific than both)."""
+        return JoinPredicate(self._pairs | other._pairs)
+
+    def intersection(self, other: "JoinPredicate") -> "JoinPredicate":
+        """Set intersection (more general than both)."""
+        return JoinPredicate(self._pairs & other._pairs)
+
+    def __or__(self, other: "JoinPredicate") -> "JoinPredicate":
+        return self.union(other)
+
+    def __and__(self, other: "JoinPredicate") -> "JoinPredicate":
+        return self.intersection(other)
+
+    def __le__(self, other: "JoinPredicate") -> bool:
+        return self._pairs <= other._pairs
+
+    def __lt__(self, other: "JoinPredicate") -> bool:
+        return self._pairs < other._pairs
+
+    def __ge__(self, other: "JoinPredicate") -> bool:
+        return self._pairs >= other._pairs
+
+    def __gt__(self, other: "JoinPredicate") -> bool:
+        return self._pairs > other._pairs
+
+    # --- validation --------------------------------------------------------
+
+    def validate_for(self, instance: "Instance") -> None:
+        """Raise :class:`SchemaError` unless every pair is in Ω of ``instance``."""
+        left = set(instance.left.schema.attributes)
+        right = set(instance.right.schema.attributes)
+        for a, b in self._pairs:
+            if a not in left or b not in right:
+                raise SchemaError(
+                    f"pair ({a}, {b}) is not in Ω = "
+                    f"attrs({instance.left.name}) x attrs({instance.right.name})"
+                )
+
+    # --- container protocol -------------------------------------------------
+
+    def __contains__(self, pair: object) -> bool:
+        return pair in self._pairs
+
+    def __iter__(self) -> Iterator[AttributePair]:
+        return iter(self.sorted_pairs())
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __bool__(self) -> bool:
+        return bool(self._pairs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, JoinPredicate):
+            return NotImplemented
+        return self._pairs == other._pairs
+
+    def __hash__(self) -> int:
+        return hash(self._pairs)
+
+    def __str__(self) -> str:
+        if not self._pairs:
+            return "{}"
+        return " AND ".join(f"{a} = {b}" for a, b in self.sorted_pairs())
+
+    def __repr__(self) -> str:
+        return f"JoinPredicate({str(self)})"

@@ -1,0 +1,212 @@
+"""Relations (sets of tuples) and two-relation database instances.
+
+A :class:`Relation` pairs a :class:`~repro.relational.schema.RelationSchema`
+with a sequence of rows.  Rows are plain Python tuples of hashable values;
+following the paper's set semantics, duplicate rows are kept only once (we
+preserve first-occurrence order so experiments are deterministic).
+
+An :class:`Instance` is the pair ``I = (R^I, P^I)`` of §2 and is the object
+on which all inference operates.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Sequence
+
+from .schema import Attribute, RelationSchema, SchemaError
+
+__all__ = ["Relation", "Instance", "Row"]
+
+Row = tuple[Hashable, ...]
+
+
+class Relation:
+    """An instance of one relation: a schema plus a set of rows."""
+
+    __slots__ = ("_schema", "_rows")
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        rows: Iterable[Sequence[Hashable]] = (),
+    ):
+        self._schema = schema
+        seen: dict[Row, None] = {}
+        for row in rows:
+            tup = tuple(row)
+            if len(tup) != schema.arity:
+                raise SchemaError(
+                    f"row {tup!r} has {len(tup)} values, "
+                    f"schema {schema.name!r} expects {schema.arity}"
+                )
+            seen.setdefault(tup, None)
+        self._rows: tuple[Row, ...] = tuple(seen)
+
+    @classmethod
+    def build(
+        cls,
+        name: str,
+        attribute_names: Sequence[str],
+        rows: Iterable[Sequence[Hashable]] = (),
+    ) -> "Relation":
+        """Convenience constructor building the schema in place.
+
+        >>> flights = Relation.build(
+        ...     "Flight", ["From_", "To", "Airline"],
+        ...     [("Paris", "Lille", "AF")])
+        >>> flights.arity
+        3
+        """
+        return cls(RelationSchema(name, attribute_names), rows)
+
+    @property
+    def schema(self) -> RelationSchema:
+        """The relation's schema."""
+        return self._schema
+
+    @property
+    def name(self) -> str:
+        """The relation's name."""
+        return self._schema.name
+
+    @property
+    def rows(self) -> tuple[Row, ...]:
+        """All rows, duplicates removed, in first-occurrence order."""
+        return self._rows
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes."""
+        return self._schema.arity
+
+    def value(self, row: Row, attribute: Attribute | str) -> Hashable:
+        """Return ``row[attribute]`` — the value of ``attribute`` in ``row``."""
+        return row[self._schema.position(attribute)]
+
+    def column(self, attribute: Attribute | str) -> list[Hashable]:
+        """Return the full column of values for ``attribute``."""
+        pos = self._schema.position(attribute)
+        return [row[pos] for row in self._rows]
+
+    def restrict(self, keep: int) -> "Relation":
+        """Return a copy keeping only the first ``keep`` rows.
+
+        Used to cap instance sizes in experiments.
+        """
+        return Relation(self._schema, self._rows[:keep])
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __contains__(self, row: object) -> bool:
+        return row in set(self._rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return (
+            self._schema == other._schema
+            and set(self._rows) == set(other._rows)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._schema, frozenset(self._rows)))
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r}, {len(self)} rows)"
+
+    def pretty(self, limit: int | None = 10) -> str:
+        """Render an ASCII table of (up to ``limit``) rows."""
+        headers = [attr.name for attr in self._schema]
+        shown = list(self._rows if limit is None else self._rows[:limit])
+        cells = [[str(v) for v in row] for row in shown]
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in cells), 1)
+            if cells
+            else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines = [
+            " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        lines.extend(
+            " | ".join(c.ljust(w) for c, w in zip(row, widths))
+            for row in cells
+        )
+        if limit is not None and len(self._rows) > limit:
+            lines.append(f"... ({len(self._rows) - limit} more rows)")
+        return "\n".join(lines)
+
+
+class Instance:
+    """A database instance ``I = (R^I, P^I)`` over two relations.
+
+    The paper requires the two attribute sets to be disjoint; attribute
+    qualification makes this automatic unless the two relations share a
+    name, which we reject.
+    """
+
+    __slots__ = ("_left", "_right")
+
+    def __init__(self, left: Relation, right: Relation):
+        if left.name == right.name:
+            raise SchemaError(
+                "the two relations of an instance must have distinct names "
+                f"(both are {left.name!r})"
+            )
+        if not left.schema.is_disjoint_from(right.schema):
+            raise SchemaError("attribute sets must be disjoint")
+        self._left = left
+        self._right = right
+
+    @property
+    def left(self) -> Relation:
+        """The relation ``R``."""
+        return self._left
+
+    @property
+    def right(self) -> Relation:
+        """The relation ``P``."""
+        return self._right
+
+    @property
+    def omega(self) -> tuple[tuple[Attribute, Attribute], ...]:
+        """``Ω = attrs(R) × attrs(P)`` in canonical (row-major) order."""
+        return tuple(
+            (a, b)
+            for a in self._left.schema.attributes
+            for b in self._right.schema.attributes
+        )
+
+    @property
+    def cartesian_size(self) -> int:
+        """``|R| * |P|`` — the number of tuples the user could label."""
+        return len(self._left) * len(self._right)
+
+    def cartesian_product(self) -> Iterator[tuple[Row, Row]]:
+        """Iterate over ``D = R × P`` in canonical order.
+
+        Yields pairs ``(r_row, p_row)``; materialising the full product is
+        left to the caller (it may be huge).
+        """
+        for r_row in self._left:
+            for p_row in self._right:
+                yield (r_row, p_row)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instance):
+            return NotImplemented
+        return self._left == other._left and self._right == other._right
+
+    def __hash__(self) -> int:
+        return hash((self._left, self._right))
+
+    def __repr__(self) -> str:
+        return (
+            f"Instance({self._left.name!r} x {self._right.name!r}, "
+            f"|D|={self.cartesian_size})"
+        )

@@ -1,0 +1,145 @@
+"""Relational schema model.
+
+The paper assumes two relations ``R`` and ``P`` with *disjoint* attribute
+sets and no further schema knowledge (no types, no integrity constraints).
+We qualify every attribute with its relation name so that attribute sets of
+distinct relations are disjoint by construction, which lets the same
+attribute name (say ``partkey``) appear in both relations of a TPC-H join
+without ambiguity.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+__all__ = ["Attribute", "RelationSchema", "SchemaError"]
+
+_IDENTIFIER = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+class SchemaError(ValueError):
+    """Raised for malformed schemas (bad names, duplicates, arity mismatch)."""
+
+
+@dataclass(frozen=True, slots=True)
+class Attribute:
+    """A relation-qualified attribute, e.g. ``Flight.Airline``.
+
+    Two attributes are equal iff both the relation name and the attribute
+    name agree, so attribute sets of two differently named relations are
+    disjoint, as required by the paper's setting.
+    """
+
+    relation: str
+    name: str
+
+    def __post_init__(self) -> None:
+        if not _IDENTIFIER.match(self.relation):
+            raise SchemaError(f"invalid relation name: {self.relation!r}")
+        if not _IDENTIFIER.match(self.name):
+            raise SchemaError(f"invalid attribute name: {self.name!r}")
+
+    def __str__(self) -> str:
+        return f"{self.relation}.{self.name}"
+
+    @classmethod
+    def parse(cls, text: str) -> "Attribute":
+        """Parse ``"Rel.attr"`` into an :class:`Attribute`.
+
+        >>> Attribute.parse("Flight.Airline")
+        Attribute(relation='Flight', name='Airline')
+        """
+        relation, sep, name = text.partition(".")
+        if not sep:
+            raise SchemaError(
+                f"expected 'Relation.attribute', got {text!r}"
+            )
+        return cls(relation.strip(), name.strip())
+
+
+class RelationSchema:
+    """An ordered list of attributes belonging to one named relation.
+
+    The order matters: tuple values are stored positionally, and the
+    position of an attribute is used throughout the signature machinery.
+    """
+
+    __slots__ = ("_name", "_attributes", "_positions")
+
+    def __init__(self, name: str, attribute_names: Iterable[str]):
+        if not _IDENTIFIER.match(name):
+            raise SchemaError(f"invalid relation name: {name!r}")
+        self._name = name
+        self._attributes = tuple(
+            Attribute(name, attr) for attr in attribute_names
+        )
+        if not self._attributes:
+            raise SchemaError(f"relation {name!r} must have attributes")
+        self._positions = {
+            attr: pos for pos, attr in enumerate(self._attributes)
+        }
+        if len(self._positions) != len(self._attributes):
+            raise SchemaError(f"duplicate attribute in relation {name!r}")
+
+    @property
+    def name(self) -> str:
+        """The relation name."""
+        return self._name
+
+    @property
+    def attributes(self) -> tuple[Attribute, ...]:
+        """The attributes, in declaration order."""
+        return self._attributes
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes."""
+        return len(self._attributes)
+
+    def position(self, attribute: Attribute | str) -> int:
+        """Return the 0-based position of ``attribute`` in this schema.
+
+        Accepts an :class:`Attribute` or a bare attribute name.
+        """
+        if isinstance(attribute, str):
+            attribute = Attribute(self._name, attribute)
+        try:
+            return self._positions[attribute]
+        except KeyError:
+            raise SchemaError(
+                f"{attribute} is not an attribute of {self._name}"
+            ) from None
+
+    def attribute(self, name: str) -> Attribute:
+        """Return the attribute of this relation called ``name``."""
+        attr = Attribute(self._name, name)
+        if attr not in self._positions:
+            raise SchemaError(f"{self._name} has no attribute {name!r}")
+        return attr
+
+    def __contains__(self, attribute: object) -> bool:
+        return attribute in self._positions
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RelationSchema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def __repr__(self) -> str:
+        names = ", ".join(attr.name for attr in self._attributes)
+        return f"RelationSchema({self._name!r}, [{names}])"
+
+    def is_disjoint_from(self, other: "RelationSchema") -> bool:
+        """True iff the two attribute sets are disjoint (paper requirement)."""
+        return not set(self._attributes) & set(other._attributes)

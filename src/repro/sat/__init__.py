@@ -1,0 +1,32 @@
+"""A from-scratch SAT substrate.
+
+Supports the semijoin intractability study (§6 / Theorem 6.1): CNF
+formulas, a complete DPLL solver, a brute-force reference, WalkSAT local
+search, random formula generators, and DIMACS I/O.
+"""
+
+from .brute import all_models, count_models, solve_brute
+from .cnf import Assignment, Clause, CnfFormula
+from .dimacs import from_dimacs, read_dimacs, to_dimacs, write_dimacs
+from .dpll import is_satisfiable, solve
+from .generate import planted_3cnf, random_3cnf, random_k_cnf
+from .walksat import walksat
+
+__all__ = [
+    "Assignment",
+    "Clause",
+    "CnfFormula",
+    "all_models",
+    "count_models",
+    "from_dimacs",
+    "is_satisfiable",
+    "planted_3cnf",
+    "random_3cnf",
+    "random_k_cnf",
+    "read_dimacs",
+    "solve",
+    "solve_brute",
+    "to_dimacs",
+    "walksat",
+    "write_dimacs",
+]

@@ -1,0 +1,48 @@
+"""Brute-force SAT by truth-table enumeration.
+
+Exponential reference implementation used to validate :mod:`repro.sat.dpll`
+and :mod:`repro.sat.walksat` on small formulas.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from .cnf import Assignment, CnfFormula
+
+__all__ = ["solve_brute", "count_models", "all_models"]
+
+
+def solve_brute(formula: CnfFormula) -> Assignment | None:
+    """First satisfying assignment in lexicographic order, or ``None``."""
+    variables = sorted(formula.variables())
+    if not variables:
+        return {} if formula.evaluate({}) else None
+    for values in product([False, True], repeat=len(variables)):
+        assignment = dict(zip(variables, values))
+        if formula.evaluate(assignment):
+            return assignment
+    return None
+
+
+def count_models(formula: CnfFormula) -> int:
+    """Number of satisfying assignments over the formula's variables."""
+    variables = sorted(formula.variables())
+    if not variables:
+        return 1 if formula.evaluate({}) else 0
+    return sum(
+        formula.evaluate(dict(zip(variables, values)))
+        for values in product([False, True], repeat=len(variables))
+    )
+
+
+def all_models(formula: CnfFormula) -> list[Assignment]:
+    """Every satisfying assignment (exponential; testing only)."""
+    variables = sorted(formula.variables())
+    if not variables:
+        return [{}] if formula.evaluate({}) else []
+    return [
+        dict(zip(variables, values))
+        for values in product([False, True], repeat=len(variables))
+        if formula.evaluate(dict(zip(variables, values)))
+    ]

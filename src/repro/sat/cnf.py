@@ -1,0 +1,139 @@
+"""Propositional CNF formulas.
+
+Substrate for the semijoin intractability study (Theorem 6.1): the paper
+reduces 3SAT to semijoin-consistency, and our solvers go the other way —
+encoding consistency questions as CNF and deciding them with DPLL.
+
+Variables are positive integers; a literal is a non-zero integer whose
+sign is the polarity (DIMACS convention).  A clause is a frozen set of
+literals; a formula a list of clauses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+__all__ = ["Clause", "CnfFormula", "Assignment"]
+
+Assignment = dict[int, bool]
+
+
+@dataclass(frozen=True, slots=True)
+class Clause:
+    """A disjunction of literals (non-zero ints, sign = polarity)."""
+
+    literals: frozenset[int] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        for literal in self.literals:
+            if not isinstance(literal, int) or literal == 0:
+                raise ValueError(f"invalid literal {literal!r}")
+
+    @classmethod
+    def of(cls, *literals: int) -> "Clause":
+        """Convenience constructor: ``Clause.of(1, -2, 3)``."""
+        return cls(frozenset(literals))
+
+    @property
+    def is_empty(self) -> bool:
+        """The empty clause — unsatisfiable."""
+        return not self.literals
+
+    @property
+    def is_unit(self) -> bool:
+        """Exactly one literal."""
+        return len(self.literals) == 1
+
+    @property
+    def is_tautology(self) -> bool:
+        """Contains both a literal and its negation."""
+        return any(-literal in self.literals for literal in self.literals)
+
+    def variables(self) -> set[int]:
+        """The variables mentioned by this clause."""
+        return {abs(literal) for literal in self.literals}
+
+    def evaluate(self, assignment: Mapping[int, bool]) -> bool:
+        """Truth value under a *total* assignment of its variables."""
+        return any(
+            assignment[abs(literal)] == (literal > 0)
+            for literal in self.literals
+        )
+
+    def simplify(self, variable: int, value: bool) -> "Clause | None":
+        """The residual clause after fixing one variable.
+
+        Returns ``None`` when the clause becomes satisfied.
+        """
+        satisfied_literal = variable if value else -variable
+        if satisfied_literal in self.literals:
+            return None
+        falsified_literal = -satisfied_literal
+        if falsified_literal in self.literals:
+            return Clause(self.literals - {falsified_literal})
+        return self
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(sorted(self.literals, key=abs))
+
+    def __len__(self) -> int:
+        return len(self.literals)
+
+    def __str__(self) -> str:
+        if self.is_empty:
+            return "⊥"
+        return "(" + " ∨ ".join(
+            (f"x{l}" if l > 0 else f"¬x{-l}") for l in self
+        ) + ")"
+
+
+class CnfFormula:
+    """A conjunction of clauses."""
+
+    __slots__ = ("_clauses",)
+
+    def __init__(self, clauses: Iterable[Clause] = ()):
+        self._clauses = tuple(clauses)
+
+    @classmethod
+    def of(cls, *clause_literals: Iterable[int]) -> "CnfFormula":
+        """``CnfFormula.of([1, -2], [2, 3])`` builds two clauses."""
+        return cls(Clause(frozenset(lits)) for lits in clause_literals)
+
+    @property
+    def clauses(self) -> tuple[Clause, ...]:
+        """All clauses."""
+        return self._clauses
+
+    def variables(self) -> set[int]:
+        """All variables mentioned anywhere in the formula."""
+        out: set[int] = set()
+        for clause in self._clauses:
+            out |= clause.variables()
+        return out
+
+    def evaluate(self, assignment: Mapping[int, bool]) -> bool:
+        """Truth value under a total assignment."""
+        return all(clause.evaluate(assignment) for clause in self._clauses)
+
+    def with_clause(self, clause: Clause) -> "CnfFormula":
+        """A copy with one extra clause."""
+        return CnfFormula(self._clauses + (clause,))
+
+    def __len__(self) -> int:
+        return len(self._clauses)
+
+    def __iter__(self) -> Iterator[Clause]:
+        return iter(self._clauses)
+
+    def __str__(self) -> str:
+        if not self._clauses:
+            return "⊤"
+        return " ∧ ".join(str(clause) for clause in self._clauses)
+
+    def __repr__(self) -> str:
+        return (
+            f"CnfFormula({len(self._clauses)} clauses, "
+            f"{len(self.variables())} vars)"
+        )

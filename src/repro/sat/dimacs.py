@@ -1,0 +1,65 @@
+"""DIMACS CNF serialisation (interchange with external SAT tooling)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .cnf import Clause, CnfFormula
+
+__all__ = ["to_dimacs", "from_dimacs", "write_dimacs", "read_dimacs"]
+
+
+def to_dimacs(formula: CnfFormula, comment: str | None = None) -> str:
+    """Render the formula in DIMACS CNF format."""
+    variables = formula.variables()
+    n_variables = max(variables) if variables else 0
+    lines = []
+    if comment:
+        for row in comment.splitlines():
+            lines.append(f"c {row}")
+    lines.append(f"p cnf {n_variables} {len(formula)}")
+    for clause in formula:
+        literals = " ".join(str(literal) for literal in clause)
+        lines.append(f"{literals} 0".strip())
+    return "\n".join(lines) + "\n"
+
+
+def from_dimacs(text: str) -> CnfFormula:
+    """Parse DIMACS CNF text (tolerant of comments and blank lines)."""
+    clauses = []
+    pending: list[int] = []
+    header_seen = False
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise ValueError(f"bad DIMACS header: {line!r}")
+            header_seen = True
+            continue
+        for token in line.split():
+            literal = int(token)
+            if literal == 0:
+                clauses.append(Clause(frozenset(pending)))
+                pending = []
+            else:
+                pending.append(literal)
+    if pending:
+        clauses.append(Clause(frozenset(pending)))
+    if not header_seen and not clauses:
+        raise ValueError("no DIMACS content found")
+    return CnfFormula(clauses)
+
+
+def write_dimacs(
+    formula: CnfFormula, path: str | Path, comment: str | None = None
+) -> None:
+    """Write the formula to a ``.cnf`` file."""
+    Path(path).write_text(to_dimacs(formula, comment))
+
+
+def read_dimacs(path: str | Path) -> CnfFormula:
+    """Read a formula from a ``.cnf`` file."""
+    return from_dimacs(Path(path).read_text())

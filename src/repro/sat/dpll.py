@@ -1,0 +1,124 @@
+"""A DPLL SAT solver.
+
+Classic Davis–Putnam–Logemann–Loveland with:
+
+* unit propagation,
+* pure-literal elimination,
+* most-frequent-variable branching.
+
+Complete (always terminates with the correct answer); returns a satisfying
+assignment when one exists.  Formulas produced by the semijoin encodings
+are small (tens to hundreds of variables), so no clause learning is
+needed — the emphasis is on a readable, heavily tested reference solver.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from .cnf import Assignment, Clause, CnfFormula
+
+__all__ = ["solve", "is_satisfiable"]
+
+
+def _propagate_units(
+    clauses: list[Clause], assignment: Assignment
+) -> list[Clause] | None:
+    """Repeatedly assign forced literals; None signals a conflict."""
+    while True:
+        unit = next((c for c in clauses if c.is_unit), None)
+        if unit is None:
+            return clauses
+        literal = next(iter(unit.literals))
+        variable, value = abs(literal), literal > 0
+        assignment[variable] = value
+        clauses = _assign(clauses, variable, value)
+        if clauses is None:
+            return None
+
+
+def _eliminate_pure_literals(
+    clauses: list[Clause], assignment: Assignment
+) -> list[Clause]:
+    """Assign variables occurring with a single polarity."""
+    while True:
+        polarity: dict[int, set[bool]] = {}
+        for clause in clauses:
+            for literal in clause.literals:
+                polarity.setdefault(abs(literal), set()).add(literal > 0)
+        pure = {
+            variable: polarities.pop()
+            for variable, polarities in polarity.items()
+            if len(polarities) == 1
+        }
+        if not pure:
+            return clauses
+        for variable, value in pure.items():
+            assignment[variable] = value
+            result = _assign(clauses, variable, value)
+            assert result is not None, "pure literal cannot conflict"
+            clauses = result
+
+
+def _assign(
+    clauses: list[Clause], variable: int, value: bool
+) -> list[Clause] | None:
+    """Simplify all clauses under one assignment; None on empty clause."""
+    out = []
+    for clause in clauses:
+        simplified = clause.simplify(variable, value)
+        if simplified is None:
+            continue
+        if simplified.is_empty:
+            return None
+        out.append(simplified)
+    return out
+
+
+def _branch_variable(clauses: list[Clause]) -> int:
+    """Most frequent variable across remaining clauses."""
+    counts = Counter(
+        abs(literal) for clause in clauses for literal in clause.literals
+    )
+    return counts.most_common(1)[0][0]
+
+
+def _search(clauses: list[Clause], assignment: Assignment) -> Assignment | None:
+    clauses = _propagate_units(clauses, assignment)
+    if clauses is None:
+        return None
+    clauses = _eliminate_pure_literals(clauses, assignment)
+    if not clauses:
+        return assignment
+    variable = _branch_variable(clauses)
+    for value in (True, False):
+        attempt = dict(assignment)
+        attempt[variable] = value
+        simplified = _assign(clauses, variable, value)
+        if simplified is None:
+            continue
+        solution = _search(simplified, attempt)
+        if solution is not None:
+            return solution
+    return None
+
+
+def solve(formula: CnfFormula) -> Assignment | None:
+    """A satisfying assignment (total over the formula's variables), or
+    ``None`` when the formula is unsatisfiable."""
+    clauses = [c for c in formula.clauses if not c.is_tautology]
+    if any(clause.is_empty for clause in clauses):
+        return None
+    solution = _search(clauses, {})
+    if solution is None:
+        return None
+    # Complete the assignment: unconstrained variables default to False.
+    for variable in formula.variables():
+        solution.setdefault(variable, False)
+    assert formula.evaluate(solution), "solver returned a bad model"
+    return solution
+
+
+def is_satisfiable(formula: CnfFormula) -> bool:
+    """Decision form of :func:`solve`."""
+    return solve(formula) is not None

@@ -1,0 +1,57 @@
+"""Random k-CNF generation (for tests and the Theorem 6.1 experiments)."""
+
+from __future__ import annotations
+
+import random
+
+from .cnf import Clause, CnfFormula
+
+__all__ = ["random_k_cnf", "random_3cnf", "planted_3cnf"]
+
+
+def random_k_cnf(
+    n_variables: int,
+    n_clauses: int,
+    k: int,
+    rng: random.Random,
+) -> CnfFormula:
+    """Uniform random k-CNF: each clause picks ``k`` distinct variables
+    with random polarities."""
+    if k > n_variables:
+        raise ValueError("clause width exceeds variable count")
+    clauses = []
+    for _ in range(n_clauses):
+        variables = rng.sample(range(1, n_variables + 1), k)
+        clauses.append(
+            Clause(
+                frozenset(
+                    v if rng.random() < 0.5 else -v for v in variables
+                )
+            )
+        )
+    return CnfFormula(clauses)
+
+
+def random_3cnf(
+    n_variables: int, n_clauses: int, rng: random.Random
+) -> CnfFormula:
+    """Uniform random 3-CNF (the reduction's input format)."""
+    return random_k_cnf(n_variables, n_clauses, 3, rng)
+
+
+def planted_3cnf(
+    n_variables: int, n_clauses: int, rng: random.Random
+) -> tuple[CnfFormula, dict[int, bool]]:
+    """A satisfiable 3-CNF with a known (planted) model.
+
+    Each clause is resampled until the planted assignment satisfies it,
+    guaranteeing satisfiability regardless of density.
+    """
+    model = {v: rng.random() < 0.5 for v in range(1, n_variables + 1)}
+    clauses = []
+    while len(clauses) < n_clauses:
+        candidate = random_k_cnf(n_variables, 1, min(3, n_variables), rng)
+        clause = candidate.clauses[0]
+        if clause.evaluate(model):
+            clauses.append(clause)
+    return CnfFormula(clauses), model

@@ -1,0 +1,68 @@
+"""WalkSAT — incomplete stochastic local search.
+
+Used by the semijoin inference heuristics when a quick "probably
+satisfiable" answer is enough; a ``None`` outcome is inconclusive (fall
+back to DPLL for a definitive verdict).
+"""
+
+from __future__ import annotations
+
+import random
+
+from .cnf import Assignment, Clause, CnfFormula
+
+__all__ = ["walksat"]
+
+
+def _unsatisfied(formula: CnfFormula, assignment: Assignment) -> list[Clause]:
+    return [c for c in formula.clauses if not c.evaluate(assignment)]
+
+
+def _break_count(
+    formula: CnfFormula, assignment: Assignment, variable: int
+) -> int:
+    """How many currently-satisfied clauses flipping ``variable`` breaks."""
+    flipped = dict(assignment)
+    flipped[variable] = not flipped[variable]
+    return sum(
+        clause.evaluate(assignment) and not clause.evaluate(flipped)
+        for clause in formula.clauses
+        if variable in clause.variables()
+    )
+
+
+def walksat(
+    formula: CnfFormula,
+    max_flips: int = 10_000,
+    noise: float = 0.5,
+    seed: int | None = None,
+) -> Assignment | None:
+    """Stochastic local search for a model.
+
+    Returns a satisfying assignment or ``None`` after ``max_flips`` flips
+    (inconclusive — the formula may still be satisfiable).
+    """
+    if not 0.0 <= noise <= 1.0:
+        raise ValueError("noise must be within [0, 1]")
+    variables = sorted(formula.variables())
+    if any(clause.is_empty for clause in formula.clauses):
+        return None
+    if not variables:
+        return {} if formula.evaluate({}) else None
+    rng = random.Random(seed)
+    assignment = {v: rng.random() < 0.5 for v in variables}
+    for _ in range(max_flips):
+        broken = _unsatisfied(formula, assignment)
+        if not broken:
+            return assignment
+        clause = rng.choice(broken)
+        candidates = sorted(clause.variables())
+        if rng.random() < noise:
+            variable = rng.choice(candidates)
+        else:
+            variable = min(
+                candidates,
+                key=lambda v: _break_count(formula, assignment, v),
+            )
+        assignment[variable] = not assignment[variable]
+    return None

@@ -1,0 +1,60 @@
+"""Semijoin queries: intractability (§6) and heuristic inference (§7).
+
+Consistency checking for semijoin predicates is NP-complete
+(Theorem 6.1); this package contains the three exact deciders, the
+3SAT reduction from the paper's appendix, positive-only minimality
+analysis, and a SAT-oracle-backed interactive inference heuristic.
+"""
+
+from .consistency import (
+    consistent_semijoin_backtracking,
+    consistent_semijoin_brute,
+    consistent_semijoin_sat,
+    is_semijoin_consistent_with,
+    semijoin_consistency_cnf,
+    witness_signatures,
+)
+from .heuristics import (
+    SemijoinInferenceResult,
+    SemijoinInferenceSession,
+    is_semijoin_informative,
+    semijoin_certain_label,
+)
+from .minimality import (
+    covering_predicates,
+    is_selection_minimal,
+    minimal_selection_predicates,
+    minimal_selection_unique,
+)
+from .oracle import PerfectSemijoinOracle
+from .reduction import (
+    ReductionInstance,
+    extract_valuation,
+    reduce_3sat,
+    valuation_predicate,
+)
+from .sample import SemijoinExample, SemijoinSample
+
+__all__ = [
+    "PerfectSemijoinOracle",
+    "ReductionInstance",
+    "SemijoinExample",
+    "SemijoinInferenceResult",
+    "SemijoinInferenceSession",
+    "SemijoinSample",
+    "consistent_semijoin_backtracking",
+    "consistent_semijoin_brute",
+    "consistent_semijoin_sat",
+    "covering_predicates",
+    "extract_valuation",
+    "is_selection_minimal",
+    "is_semijoin_consistent_with",
+    "is_semijoin_informative",
+    "minimal_selection_predicates",
+    "minimal_selection_unique",
+    "reduce_3sat",
+    "semijoin_certain_label",
+    "semijoin_consistency_cnf",
+    "valuation_predicate",
+    "witness_signatures",
+]

@@ -1,0 +1,201 @@
+"""Semijoin consistency checking — ``CONS⋉`` (§6).
+
+Theorem 6.1 proves the problem NP-complete, so unlike the equijoin case
+there is no PTIME characterisation to implement.  We provide three exact
+deciders, cross-validated against each other in the tests:
+
+* :func:`consistent_semijoin_brute` — enumerate ``P(Ω)`` (tiny Ω only);
+* :func:`consistent_semijoin_backtracking` — branch over one witness
+  signature per positive row (the structure the NP-hardness proof
+  exploits), with memoisation on the partial intersections;
+* :func:`consistent_semijoin_sat` — encode into CNF and run our DPLL
+  solver; the encoding mirrors the guess-and-check NP membership argument.
+
+All three return a concrete consistent semijoin predicate or ``None``.
+
+Key observation used throughout: for a fixed choice of one witness
+signature ``W(t)`` per positive row ``t``, the best candidate is
+``θ = ∩_t W(t)`` — the ⊆-maximal predicate compatible with the choice.
+By anti-monotonicity it selects the *fewest* R-rows among compatible
+predicates, so if it still selects a negative row, every compatible
+predicate does.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from ..core.specialize import pairs_from_bits, signature_bits
+from ..relational.algebra import semijoin_selects
+from ..relational.predicate import JoinPredicate
+from ..relational.relation import Instance, Row
+from ..sat.cnf import Clause, CnfFormula
+from ..sat.dpll import solve as dpll_solve
+from .sample import SemijoinSample
+
+__all__ = [
+    "witness_signatures",
+    "is_semijoin_consistent_with",
+    "consistent_semijoin_brute",
+    "consistent_semijoin_backtracking",
+    "consistent_semijoin_sat",
+    "semijoin_consistency_cnf",
+]
+
+
+def is_semijoin_consistent_with(
+    instance: Instance, predicate: JoinPredicate, sample: SemijoinSample
+) -> bool:
+    """Does θ keep all of ``S+`` and none of ``S−``?  (The polynomial
+    verification step of the NP membership argument.)"""
+    return all(
+        semijoin_selects(instance, predicate, row)
+        for row in sample.positives
+    ) and not any(
+        semijoin_selects(instance, predicate, row)
+        for row in sample.negatives
+    )
+
+
+def witness_signatures(instance: Instance, row: Row) -> list[int]:
+    """Distinct ⊆-maximal signature masks ``T((row, w))`` over ``w ∈ P``.
+
+    θ keeps ``row`` iff θ is contained in one of these masks, so
+    non-maximal and duplicate masks are redundant.
+    """
+    masks = {
+        signature_bits(instance, (row, p_row)) for p_row in instance.right
+    }
+    return [
+        mask
+        for mask in masks
+        if not any(other != mask and mask & ~other == 0 for other in masks)
+    ]
+
+
+def consistent_semijoin_brute(
+    instance: Instance, sample: SemijoinSample
+) -> JoinPredicate | None:
+    """Enumerate every θ ⊆ Ω (2^|Ω|) — definition-level reference."""
+    omega = instance.omega
+    for size in range(len(omega) + 1):
+        for pairs in combinations(omega, size):
+            theta = JoinPredicate(pairs)
+            if is_semijoin_consistent_with(instance, theta, sample):
+                return theta
+    return None
+
+
+def consistent_semijoin_backtracking(
+    instance: Instance, sample: SemijoinSample
+) -> JoinPredicate | None:
+    """Branch over witness choices for the positive rows.
+
+    Negative rows cannot be checked before all positives commit (shrinking
+    θ only *loses* R-rows), so pruning comes from memoising the partial
+    intersection masks.
+    """
+    positives = sample.positives
+    negatives = sample.negatives
+    options = [witness_signatures(instance, row) for row in positives]
+    if any(not opts for opts in options):
+        return None  # a positive row with an empty P side is hopeless
+    # Branch on the rows with the fewest options first.
+    options.sort(key=len)
+    omega_mask = (1 << len(instance.omega)) - 1
+    negative_options = [
+        witness_signatures(instance, row) for row in negatives
+    ]
+
+    def selects_negative(theta_mask: int) -> bool:
+        return any(
+            any(theta_mask & ~witness == 0 for witness in witnesses)
+            for witnesses in negative_options
+        )
+
+    seen: set[tuple[int, int]] = set()
+
+    def search(depth: int, theta_mask: int) -> int | None:
+        if (depth, theta_mask) in seen:
+            return None
+        seen.add((depth, theta_mask))
+        if depth == len(options):
+            return None if selects_negative(theta_mask) else theta_mask
+        for witness in options[depth]:
+            found = search(depth + 1, theta_mask & witness)
+            if found is not None:
+                return found
+        return None
+
+    result = search(0, omega_mask)
+    if result is None:
+        return None
+    return pairs_from_bits(instance, result)
+
+
+def semijoin_consistency_cnf(
+    instance: Instance, sample: SemijoinSample
+) -> tuple[CnfFormula, dict[int, int]]:
+    """Encode ``CONS⋉`` as CNF.
+
+    Variables ``1..|Ω|``: pair ``p`` (0-based position in Ω) is variable
+    ``p + 1`` and means ``(A_i, B_j) ∈ θ``.  Selector variables (one per
+    positive row and maximal witness) encode the existential witness
+    choice.  Returns the formula and the map ``variable → Ω position``
+    for decoding pair variables.
+    """
+    n_pairs = len(instance.omega)
+    pair_variable = {position: position + 1 for position in range(n_pairs)}
+    clauses: list[Clause] = []
+    next_variable = n_pairs + 1
+
+    # Negative rows: for EVERY witness signature W, θ ⊄ W — some chosen
+    # pair must fall outside W.
+    for row in sample.negatives:
+        for witness in witness_signatures(instance, row):
+            outside = [
+                pair_variable[position]
+                for position in range(n_pairs)
+                if not witness >> position & 1
+            ]
+            clauses.append(Clause(frozenset(outside)))
+
+    # Positive rows: SOME witness signature contains θ.
+    for row in sample.positives:
+        witnesses = witness_signatures(instance, row)
+        if not witnesses:
+            clauses.append(Clause())  # unsatisfiable: no witness at all
+            continue
+        selectors = []
+        for witness in witnesses:
+            selector = next_variable
+            next_variable += 1
+            selectors.append(selector)
+            for position in range(n_pairs):
+                if not witness >> position & 1:
+                    clauses.append(
+                        Clause.of(-selector, -pair_variable[position])
+                    )
+        clauses.append(Clause(frozenset(selectors)))
+
+    decode = {variable: position for position, variable in pair_variable.items()}
+    return CnfFormula(clauses), decode
+
+
+def consistent_semijoin_sat(
+    instance: Instance, sample: SemijoinSample
+) -> JoinPredicate | None:
+    """Decide ``CONS⋉`` through the CNF encoding and DPLL."""
+    formula, decode = semijoin_consistency_cnf(instance, sample)
+    model = dpll_solve(formula)
+    if model is None:
+        return None
+    mask = 0
+    for variable, position in decode.items():
+        if model.get(variable, False):
+            mask |= 1 << position
+    theta = pairs_from_bits(instance, mask)
+    assert is_semijoin_consistent_with(instance, theta, sample), (
+        "SAT encoding produced an inconsistent predicate"
+    )
+    return theta

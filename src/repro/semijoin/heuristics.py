@@ -1,0 +1,150 @@
+"""Heuristic interactive inference of semijoins (future work of §7).
+
+Theorem 6.1 rules out a PTIME analogue of the equijoin machinery: even
+deciding whether a row's label is already implied requires answering
+consistency questions, which are NP-complete.  This module implements the
+natural NP-oracle-based lifting, with our DPLL solver standing in for the
+oracle (the instances are small enough in practice):
+
+* :func:`semijoin_certain_label` — a row is certainly-positive iff no
+  consistent predicate excludes it, i.e. iff ``S ∪ {(row, −)}`` is
+  inconsistent (one SAT call); symmetrically for certainly-negative.
+* :class:`SemijoinInferenceSession` — the Algorithm 1 loop with the
+  SAT-backed informativeness test.  The strategy asks rows with the most
+  distinct maximal witness signatures first ("most ambiguous first"), a
+  greedy proxy for entropy; ties and the ``random`` mode use the seeded
+  RNG.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Literal
+
+from ..core.sample import Label
+from ..relational.algebra import semijoin_selects
+from ..relational.predicate import JoinPredicate
+from ..relational.relation import Instance, Row
+from .consistency import consistent_semijoin_sat, witness_signatures
+from .sample import SemijoinExample, SemijoinSample
+
+__all__ = [
+    "semijoin_certain_label",
+    "is_semijoin_informative",
+    "SemijoinInferenceResult",
+    "SemijoinInferenceSession",
+]
+
+
+def semijoin_certain_label(
+    instance: Instance, sample: SemijoinSample, row: Row
+) -> Label | None:
+    """The label every consistent semijoin predicate forces on ``row``,
+    or ``None`` when both labels remain possible.
+
+    Each direction is one NP (SAT) call: ``row`` is certainly-positive
+    iff adding ``(row, −)`` makes the sample inconsistent.
+    """
+    hypothetical_negative = SemijoinSample.of(
+        positives=sample.positives, negatives=sample.negatives + [row]
+    )
+    if consistent_semijoin_sat(instance, hypothetical_negative) is None:
+        return Label.POSITIVE
+    hypothetical_positive = SemijoinSample.of(
+        positives=sample.positives + [row], negatives=sample.negatives
+    )
+    if consistent_semijoin_sat(instance, hypothetical_positive) is None:
+        return Label.NEGATIVE
+    return None
+
+
+def is_semijoin_informative(
+    instance: Instance, sample: SemijoinSample, row: Row
+) -> bool:
+    """Unlabeled and not forced either way (two SAT calls)."""
+    if sample.is_labeled(row):
+        return False
+    return semijoin_certain_label(instance, sample, row) is None
+
+
+@dataclass(frozen=True, slots=True)
+class SemijoinInferenceResult:
+    """Outcome of a heuristic semijoin inference run."""
+
+    predicate: JoinPredicate
+    interactions: int
+    history: tuple[SemijoinExample, ...]
+
+    def matches_goal(
+        self, instance: Instance, goal: JoinPredicate
+    ) -> bool:
+        """Same kept-row set as the goal on this instance."""
+        mine = {
+            row
+            for row in instance.left
+            if semijoin_selects(instance, self.predicate, row)
+        }
+        theirs = {
+            row
+            for row in instance.left
+            if semijoin_selects(instance, goal, row)
+        }
+        return mine == theirs
+
+
+class SemijoinInferenceSession:
+    """Interactive semijoin inference with a SAT-backed halt test."""
+
+    def __init__(
+        self,
+        instance: Instance,
+        oracle,
+        strategy: Literal["ambiguity", "random"] = "ambiguity",
+        seed: int | None = None,
+    ):
+        self.instance = instance
+        self.oracle = oracle
+        self.strategy = strategy
+        self.rng = random.Random(seed)
+        self.sample = SemijoinSample()
+        self._history: list[SemijoinExample] = []
+
+    def _informative_rows(self) -> list[Row]:
+        return [
+            row
+            for row in self.instance.left
+            if is_semijoin_informative(self.instance, self.sample, row)
+        ]
+
+    def _pick(self, candidates: list[Row]) -> Row:
+        if self.strategy == "random":
+            return self.rng.choice(candidates)
+        # "ambiguity": most distinct maximal witness signatures first.
+        scored = [
+            (len(witness_signatures(self.instance, row)), index, row)
+            for index, row in enumerate(candidates)
+        ]
+        best_score = max(score for score, _, _ in scored)
+        top = [row for score, _, row in scored if score == best_score]
+        return top[0]
+
+    def run(self) -> SemijoinInferenceResult:
+        """Ask about informative rows until every row is decided."""
+        while True:
+            candidates = self._informative_rows()
+            if not candidates:
+                break
+            row = self._pick(candidates)
+            label = self.oracle.label(row)
+            example = SemijoinExample(row, label)
+            self.sample.add(example)
+            self._history.append(example)
+        predicate = consistent_semijoin_sat(self.instance, self.sample)
+        if predicate is None:
+            raise ValueError("oracle produced an inconsistent sample")
+        return SemijoinInferenceResult(
+            predicate=predicate,
+            interactions=len(self._history),
+            history=tuple(self._history),
+        )

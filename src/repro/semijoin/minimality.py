@@ -1,0 +1,94 @@
+"""Minimality of semijoin predicates under positive-only samples.
+
+§7 reports (as future work) that deciding minimality of a semijoin
+predicate given only positive examples is coNP-complete and that
+uniqueness of the minimal predicate was open.  We implement the
+brute-force decision procedures so the question can be explored
+experimentally:
+
+* *minimal* is read as **selection-minimal**: θ is minimal iff no
+  consistent θ′ selects a strictly smaller superset of ``S+`` —
+  equivalently, the semijoin result ``R ⋉_θ P`` cannot shrink while
+  still covering the positives.  (With positive-only samples every
+  predicate is "consistent" in the §6 sense as long as it keeps ``S+``,
+  so cardinality-minimality would trivially pick ``∅``.)
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from ..relational.algebra import semijoin
+from ..relational.predicate import JoinPredicate
+from ..relational.relation import Instance, Row
+from .sample import SemijoinSample
+
+__all__ = [
+    "covering_predicates",
+    "minimal_selection_predicates",
+    "is_selection_minimal",
+    "minimal_selection_unique",
+]
+
+
+def _selects_all_positives(
+    instance: Instance, theta: JoinPredicate, positives: list[Row]
+) -> bool:
+    kept = set(semijoin(instance, theta))
+    return all(row in kept for row in positives)
+
+
+def covering_predicates(
+    instance: Instance, sample: SemijoinSample
+) -> list[JoinPredicate]:
+    """All θ ⊆ Ω keeping every positive row (exponential; small Ω only)."""
+    positives = sample.positives
+    omega = instance.omega
+    out = []
+    for size in range(len(omega) + 1):
+        for pairs in combinations(omega, size):
+            theta = JoinPredicate(pairs)
+            if _selects_all_positives(instance, theta, positives):
+                out.append(theta)
+    return out
+
+
+def minimal_selection_predicates(
+    instance: Instance, sample: SemijoinSample
+) -> list[JoinPredicate]:
+    """The covering predicates whose semijoin result is ⊆-minimal."""
+    candidates = covering_predicates(instance, sample)
+    results = {
+        theta: frozenset(semijoin(instance, theta)) for theta in candidates
+    }
+    minimal = []
+    for theta, selected in results.items():
+        if not any(
+            other_selected < selected
+            for other_selected in results.values()
+        ):
+            minimal.append(theta)
+    return minimal
+
+
+def is_selection_minimal(
+    instance: Instance, sample: SemijoinSample, theta: JoinPredicate
+) -> bool:
+    """coNP question: is θ's selection minimal among covering predicates?"""
+    if not _selects_all_positives(instance, theta, sample.positives):
+        return False
+    target = frozenset(semijoin(instance, theta))
+    for other in covering_predicates(instance, sample):
+        if frozenset(semijoin(instance, other)) < target:
+            return False
+    return True
+
+
+def minimal_selection_unique(
+    instance: Instance, sample: SemijoinSample
+) -> bool:
+    """Is the minimal semijoin *result* unique?  (The open uniqueness
+    question of §7, decided by enumeration on small instances.)"""
+    minimal = minimal_selection_predicates(instance, sample)
+    results = {frozenset(semijoin(instance, theta)) for theta in minimal}
+    return len(results) <= 1

@@ -1,0 +1,29 @@
+"""Semijoin user oracles — label R-rows instead of Cartesian tuples."""
+
+from __future__ import annotations
+
+from ..core.sample import Label
+from ..relational.algebra import semijoin_selects
+from ..relational.predicate import JoinPredicate
+from ..relational.relation import Instance, Row
+
+__all__ = ["PerfectSemijoinOracle"]
+
+
+class PerfectSemijoinOracle:
+    """Labels R-rows exactly as the goal semijoin predicate dictates."""
+
+    def __init__(self, instance: Instance, goal: JoinPredicate):
+        goal.validate_for(instance)
+        self._instance = instance
+        self._goal = goal
+
+    @property
+    def goal(self) -> JoinPredicate:
+        """The goal semijoin predicate."""
+        return self._goal
+
+    def label(self, row: Row) -> Label:
+        if semijoin_selects(self._instance, self._goal, row):
+            return Label.POSITIVE
+        return Label.NEGATIVE

@@ -1,0 +1,185 @@
+"""The 3SAT → CONS⋉ reduction of Theorem 6.1 (appendix A.1).
+
+Given a 3-CNF formula ``φ = c1 ∧ … ∧ ck`` over variables ``x1 … xn`` the
+construction builds:
+
+* ``Rφ`` with attributes ``{idR, A1 … An}``: one row per clause (positive
+  examples), one ``X`` row and one row per variable (negative examples);
+  all share the values ``Aj = j`` and differ only in ``idR``;
+* ``Pφ`` with attributes ``{idP, B1t, B1f, …, Bnt, Bnf}``: three rows per
+  clause (one per literal), the ``Y`` row, and one row per variable.  The
+  ``⊥`` filler guarantees a mismatch.
+
+``φ`` is satisfiable iff some semijoin predicate keeps all clause rows and
+none of the negative rows.  A consistent predicate must contain
+``(idR, idP)`` and, per variable, at least one of ``(Ai, Bit)`` /
+``(Ai, Bif)`` — the ``t``/``f`` choice encodes the satisfying valuation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..relational.predicate import JoinPredicate
+from ..relational.relation import Instance, Relation
+from ..relational.schema import Attribute
+from ..sat.cnf import Assignment, CnfFormula
+from .sample import SemijoinSample
+
+__all__ = ["ReductionInstance", "reduce_3sat", "extract_valuation"]
+
+#: The non-matching filler value (the paper's ⊥).
+BOTTOM = "_bot"
+
+
+@dataclass(frozen=True, slots=True)
+class ReductionInstance:
+    """The output of the Theorem 6.1 construction."""
+
+    formula: CnfFormula
+    instance: Instance
+    sample: SemijoinSample
+
+    @property
+    def relation_r(self) -> Relation:
+        """``Rφ``."""
+        return self.instance.left
+
+    @property
+    def relation_p(self) -> Relation:
+        """``Pφ``."""
+        return self.instance.right
+
+    @property
+    def n_variables(self) -> int:
+        """The construction covers variables ``x1 … xn`` with
+        ``n = max(vars(φ))`` — including any index gaps, each of which
+        still gets its ``A``/``B`` columns and its negative row."""
+        return self.relation_r.arity - 1
+
+
+def _clause_literals(formula: CnfFormula) -> list[list[int]]:
+    """Clauses as sorted literal lists (the reduction needs ≤ 3 each)."""
+    out = []
+    for clause in formula.clauses:
+        literals = sorted(clause.literals, key=abs)
+        if len(literals) > 3:
+            raise ValueError(
+                f"Theorem 6.1 reduces from 3SAT; clause {clause} has "
+                f"{len(literals)} literals"
+            )
+        if not literals:
+            raise ValueError("empty clauses are trivially unsatisfiable")
+        out.append(literals)
+    return out
+
+
+def reduce_3sat(formula: CnfFormula) -> ReductionInstance:
+    """Build ``(Rφ, Pφ, Sφ)`` from a 3-CNF formula."""
+    clauses = _clause_literals(formula)
+    variables = sorted(formula.variables())
+    if not variables:
+        raise ValueError("the reduction needs at least one variable")
+    n = max(variables)
+
+    r_attributes = ["idR"] + [f"A{j}" for j in range(1, n + 1)]
+    base_values = tuple(range(1, n + 1))
+
+    r_rows = []
+    positives = []
+    negatives = []
+    for i, _ in enumerate(clauses, start=1):
+        row = (f"c{i}+",) + base_values
+        r_rows.append(row)
+        positives.append(row)
+    x_row = ("X",) + base_values
+    r_rows.append(x_row)
+    negatives.append(x_row)
+    for i in range(1, n + 1):
+        row = (f"x{i}*",) + base_values
+        r_rows.append(row)
+        negatives.append(row)
+
+    p_attributes = ["idP"]
+    for j in range(1, n + 1):
+        p_attributes.extend([f"B{j}t", f"B{j}f"])
+
+    p_rows = []
+    for i, literals in enumerate(clauses, start=1):
+        for literal in literals:
+            variable = abs(literal)
+            values: list[object] = [f"c{i}+"]
+            for j in range(1, n + 1):
+                if j != variable:
+                    values.extend([j, j])
+                elif literal > 0:
+                    values.extend([j, BOTTOM])
+                else:
+                    values.extend([BOTTOM, j])
+            p_rows.append(tuple(values))
+    y_values: list[object] = ["Y"]
+    for j in range(1, n + 1):
+        y_values.extend([j, j])
+    p_rows.append(tuple(y_values))
+    for i in range(1, n + 1):
+        values = [f"x{i}*"]
+        for j in range(1, n + 1):
+            if i == j:
+                values.extend([BOTTOM, BOTTOM])
+            else:
+                values.extend([j, j])
+        p_rows.append(tuple(values))
+
+    r_phi = Relation.build("Rphi", r_attributes, r_rows)
+    p_phi = Relation.build("Pphi", p_attributes, p_rows)
+    instance = Instance(r_phi, p_phi)
+    sample = SemijoinSample.of(positives=positives, negatives=negatives)
+    return ReductionInstance(
+        formula=formula, instance=instance, sample=sample
+    )
+
+
+def valuation_predicate(
+    reduction: ReductionInstance, assignment: Assignment
+) -> JoinPredicate:
+    """The consistent predicate a satisfying valuation induces (the "only
+    if" direction of the proof): ``(idR,idP)`` plus ``(Ai, Bi^{V(xi)})``."""
+    pairs = [(Attribute("Rphi", "idR"), Attribute("Pphi", "idP"))]
+    for variable in range(1, reduction.n_variables + 1):
+        suffix = "t" if assignment.get(variable, False) else "f"
+        pairs.append(
+            (
+                Attribute("Rphi", f"A{variable}"),
+                Attribute("Pphi", f"B{variable}{suffix}"),
+            )
+        )
+    return JoinPredicate(pairs)
+
+
+def extract_valuation(
+    reduction: ReductionInstance, predicate: JoinPredicate
+) -> Assignment:
+    """Recover a satisfying valuation from a consistent predicate (the
+    "if" direction): per variable, a consistent θ contains exactly the
+    polarity pairs whose valuation satisfies φ; when both polarities of a
+    variable appear the variable is unconstrained by the witnesses and we
+    default it to True."""
+    true_vars = set()
+    false_vars = set()
+    for a, b in predicate.pairs:
+        if not a.name.startswith("A"):
+            continue
+        variable = int(a.name[1:])
+        if b.name.endswith("t"):
+            true_vars.add(variable)
+        elif b.name.endswith("f"):
+            false_vars.add(variable)
+    assignment: Assignment = {}
+    for variable in range(1, reduction.n_variables + 1):
+        if variable in true_vars and variable not in false_vars:
+            assignment[variable] = True
+        elif variable in false_vars and variable not in true_vars:
+            assignment[variable] = False
+        else:
+            assignment[variable] = True
+    return assignment

@@ -1,0 +1,106 @@
+"""Semijoin samples (§6).
+
+For semijoins the projection hides the P-side, so an example is a pair
+``(t, α)`` with ``t ∈ R``: the user labels *R-rows* as kept or filtered
+out, not Cartesian tuples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..core.sample import ConflictingLabelError, Label
+from ..relational.relation import Row
+
+__all__ = ["SemijoinExample", "SemijoinSample"]
+
+
+@dataclass(frozen=True, slots=True)
+class SemijoinExample:
+    """One labeled R-row."""
+
+    row: Row
+    label: Label
+
+    @property
+    def is_positive(self) -> bool:
+        """True for ``(t, +)``."""
+        return self.label is Label.POSITIVE
+
+
+class SemijoinSample:
+    """A set of labeled R-rows with ``S+`` / ``S−`` accessors."""
+
+    __slots__ = ("_labels",)
+
+    def __init__(self, examples: Iterable[SemijoinExample] = ()):
+        self._labels: dict[Row, Label] = {}
+        for example in examples:
+            self.add(example)
+
+    @classmethod
+    def of(
+        cls, positives: Iterable[Row] = (), negatives: Iterable[Row] = ()
+    ) -> "SemijoinSample":
+        """Build from explicit positive / negative row collections."""
+        sample = cls()
+        for row in positives:
+            sample.label_row(row, Label.POSITIVE)
+        for row in negatives:
+            sample.label_row(row, Label.NEGATIVE)
+        return sample
+
+    def add(self, example: SemijoinExample) -> None:
+        """Insert one example, rejecting conflicting relabeling."""
+        existing = self._labels.get(example.row)
+        if existing is not None and existing is not example.label:
+            raise ConflictingLabelError(
+                f"row {example.row!r} already labeled {existing}"
+            )
+        self._labels[example.row] = example.label
+
+    def label_row(self, row: Row, label: Label) -> None:
+        """Shorthand for ``add(SemijoinExample(row, label))``."""
+        self.add(SemijoinExample(row, label))
+
+    @property
+    def positives(self) -> list[Row]:
+        """``S+`` in insertion order."""
+        return [
+            row
+            for row, label in self._labels.items()
+            if label is Label.POSITIVE
+        ]
+
+    @property
+    def negatives(self) -> list[Row]:
+        """``S−`` in insertion order."""
+        return [
+            row
+            for row, label in self._labels.items()
+            if label is Label.NEGATIVE
+        ]
+
+    def label_of(self, row: Row) -> Label | None:
+        """The label of ``row``, if any."""
+        return self._labels.get(row)
+
+    def is_labeled(self, row: Row) -> bool:
+        """True iff ``row`` carries a label."""
+        return row in self._labels
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __iter__(self) -> Iterator[SemijoinExample]:
+        return iter(
+            SemijoinExample(row, label)
+            for row, label in self._labels.items()
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SemijoinSample(|S+|={len(self.positives)}, "
+            f"|S-|={len(self.negatives)})"
+        )

@@ -1,0 +1,148 @@
+"""Shared fixtures: the paper's worked instances.
+
+``example21`` is the running example of the paper (Example 2.1, Figures
+3–5); ``flights_hotels`` is the motivating travel-agency instance of the
+introduction (Figures 1–2).  Tests reference the paper's tuple names
+through the returned namespaces.
+"""
+
+from __future__ import annotations
+
+import random
+from types import SimpleNamespace
+
+import pytest
+
+from repro import Attribute, Instance, JoinPredicate, Relation
+from repro.core import SignatureIndex
+
+
+def predicate_of(left: str, right: str, *pairs: tuple[str, str]) -> JoinPredicate:
+    """Build a predicate from bare attribute-name pairs."""
+    return JoinPredicate(
+        (Attribute(left, a), Attribute(right, b)) for a, b in pairs
+    )
+
+
+@pytest.fixture(scope="session")
+def example21() -> SimpleNamespace:
+    """Example 2.1: R0 (4 rows, 2 attrs), P0 (3 rows, 3 attrs)."""
+    r0 = Relation.build(
+        "R0", ["A1", "A2"], [(0, 1), (0, 2), (2, 2), (1, 0)]
+    )
+    p0 = Relation.build(
+        "P0", ["B1", "B2", "B3"], [(1, 1, 0), (0, 1, 2), (2, 0, 0)]
+    )
+    instance = Instance(r0, p0)
+    t1, t2, t3, t4 = r0.rows
+    u1, u2, u3 = p0.rows
+
+    def theta(*pairs: tuple[str, str]) -> JoinPredicate:
+        return predicate_of("R0", "P0", *pairs)
+
+    return SimpleNamespace(
+        instance=instance,
+        r0=r0,
+        p0=p0,
+        t1=t1,
+        t2=t2,
+        t3=t3,
+        t4=t4,
+        u1=u1,
+        u2=u2,
+        u3=u3,
+        theta=theta,
+    )
+
+
+@pytest.fixture(scope="session")
+def example21_index(example21) -> SignatureIndex:
+    return SignatureIndex(example21.instance, backend="python")
+
+
+@pytest.fixture(scope="session")
+def figure3_signatures(example21) -> dict:
+    """Every T value printed in Figure 3 of the paper."""
+    e = example21
+    return {
+        (e.t1, e.u1): {("A1", "B3"), ("A2", "B1"), ("A2", "B2")},
+        (e.t1, e.u2): {("A1", "B1"), ("A2", "B2")},
+        (e.t1, e.u3): {("A1", "B2"), ("A1", "B3")},
+        (e.t2, e.u1): {("A1", "B3")},
+        (e.t2, e.u2): {("A1", "B1"), ("A2", "B3")},
+        (e.t2, e.u3): {("A1", "B2"), ("A1", "B3"), ("A2", "B1")},
+        (e.t3, e.u1): set(),
+        (e.t3, e.u2): {("A1", "B3"), ("A2", "B3")},
+        (e.t3, e.u3): {("A1", "B1"), ("A2", "B1")},
+        (e.t4, e.u1): {("A1", "B1"), ("A1", "B2"), ("A2", "B3")},
+        (e.t4, e.u2): {("A1", "B2"), ("A2", "B1")},
+        (e.t4, e.u3): {("A2", "B2"), ("A2", "B3")},
+    }
+
+
+@pytest.fixture(scope="session")
+def flights_hotels() -> SimpleNamespace:
+    """The introduction's travel-agency instance (Figure 1)."""
+    flights = Relation.build(
+        "Flight",
+        ["From_", "To", "Airline"],
+        [
+            ("Paris", "Lille", "AF"),
+            ("Lille", "NYC", "AA"),
+            ("NYC", "Paris", "AA"),
+            ("Paris", "NYC", "AF"),
+        ],
+    )
+    hotels = Relation.build(
+        "Hotel",
+        ["City", "Discount"],
+        [("NYC", "AA"), ("Paris", "NoDiscount"), ("Lille", "AF")],
+    )
+    instance = Instance(flights, hotels)
+
+    def theta(*pairs: tuple[str, str]) -> JoinPredicate:
+        return predicate_of("Flight", "Hotel", *pairs)
+
+    q1 = theta(("To", "City"))
+    q2 = theta(("To", "City"), ("Airline", "Discount"))
+    return SimpleNamespace(
+        instance=instance,
+        flights=flights,
+        hotels=hotels,
+        q1=q1,
+        q2=q2,
+        theta=theta,
+    )
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    return random.Random(20140324)  # EDBT 2014 started March 24.
+
+
+def make_random_instance(
+    rng: random.Random,
+    left_arity: int,
+    right_arity: int,
+    rows: int,
+    values: int,
+) -> Instance:
+    """A random instance in the style of the paper's synthetic generator
+    (small, for property tests)."""
+    left = Relation.build(
+        "R",
+        [f"A{i}" for i in range(1, left_arity + 1)],
+        [
+            tuple(rng.randrange(values) for _ in range(left_arity))
+            for _ in range(rows)
+        ],
+    )
+    right = Relation.build(
+        "P",
+        [f"B{j}" for j in range(1, right_arity + 1)],
+        [
+            tuple(rng.randrange(values) for _ in range(right_arity))
+            for _ in range(rows)
+        ],
+    )
+    return Instance(left, right)

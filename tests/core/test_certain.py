@@ -1,0 +1,237 @@
+"""Certain / informative tuples (§3.4): lemma tests vs naive definitions."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    Example,
+    Label,
+    Sample,
+    certain_examples,
+    certain_label,
+    certain_negative,
+    certain_positive,
+    informative_tuples,
+    is_certain_negative,
+    is_certain_positive,
+    is_informative,
+)
+from repro.core.naive import (
+    certain_negative_naive,
+    certain_positive_naive,
+    is_informative_naive,
+    uninformative_examples_naive,
+)
+
+from ..conftest import make_random_instance
+
+
+@pytest.fixture()
+def section34_sample(example21):
+    """§3.4's sample: S+ = {(t2,u2)}, S− = {(t1,u3)}."""
+    e = example21
+    sample = Sample()
+    sample.label_tuple((e.t2, e.u2), Label.POSITIVE)
+    sample.label_tuple((e.t1, e.u3), Label.NEGATIVE)
+    return sample
+
+
+@pytest.fixture()
+def section44_sample(example21):
+    """§4.4's walk-through sample: S+ = {(t1,u3)}, S− = {(t3,u1)}."""
+    e = example21
+    sample = Sample()
+    sample.label_tuple((e.t1, e.u3), Label.POSITIVE)
+    sample.label_tuple((e.t3, e.u1), Label.NEGATIVE)
+    return sample
+
+
+class TestSection34Example:
+    """§3.4 text: with goal {(A2,B3)} and S as above, ((t4,u1),+) and
+    ((t2,u1),−) are uninformative."""
+
+    def test_t4_u1_certain_positive(self, example21, section34_sample):
+        e = example21
+        assert is_certain_positive(
+            e.instance, section34_sample, (e.t4, e.u1)
+        )
+
+    def test_t2_u1_certain_negative(self, example21, section34_sample):
+        e = example21
+        assert is_certain_negative(
+            e.instance, section34_sample, (e.t2, e.u1)
+        )
+
+    def test_forced_labels(self, example21, section34_sample):
+        e = example21
+        assert certain_label(
+            e.instance, section34_sample, (e.t4, e.u1)
+        ) is Label.POSITIVE
+        assert certain_label(
+            e.instance, section34_sample, (e.t2, e.u1)
+        ) is Label.NEGATIVE
+
+
+class TestSection44Example:
+    """§4.4's walk-through: Uninf(S) holds exactly five unlabeled examples
+    and five informative tuples remain."""
+
+    def test_uninformative_set(self, example21, section44_sample):
+        e = example21
+        certain = certain_examples(e.instance, section44_sample)
+        unlabeled_certain = {
+            ex
+            for ex in certain
+            if not section44_sample.is_labeled(ex.tuple_pair)
+        }
+        expected = {
+            Example((e.t2, e.u3), Label.POSITIVE),
+            Example((e.t1, e.u2), Label.NEGATIVE),
+            Example((e.t2, e.u2), Label.NEGATIVE),
+            Example((e.t3, e.u3), Label.NEGATIVE),
+            Example((e.t4, e.u3), Label.NEGATIVE),
+        }
+        assert unlabeled_certain == expected
+
+    def test_five_informative_tuples(self, example21, section44_sample):
+        e = example21
+        informative = set(informative_tuples(e.instance, section44_sample))
+        assert informative == {
+            (e.t1, e.u1),
+            (e.t2, e.u1),
+            (e.t3, e.u2),
+            (e.t4, e.u1),
+            (e.t4, e.u2),
+        }
+
+    def test_after_negative_t2_u1_only_two_informative(
+        self, example21, section44_sample
+    ):
+        """§4.4: labeling (t2,u1) negative leaves (t4,u1),(t4,u2)."""
+        e = example21
+        extended = section44_sample.with_example(
+            Example((e.t2, e.u1), Label.NEGATIVE)
+        )
+        assert set(informative_tuples(e.instance, extended)) == {
+            (e.t4, e.u1),
+            (e.t4, e.u2),
+        }
+
+    def test_after_positive_t2_u1_nothing_informative(
+        self, example21, section44_sample
+    ):
+        """§4.4: labeling (t2,u1) positive ends the inference."""
+        e = example21
+        extended = section44_sample.with_example(
+            Example((e.t2, e.u1), Label.POSITIVE)
+        )
+        assert informative_tuples(e.instance, extended) == []
+
+
+class TestLatticePruningNarrative:
+    """§4.2's narrative around Figure 4 (empty sample, tuple (t1,u3))."""
+
+    def test_positive_label_prunes_superset_tuple(self, example21):
+        e = example21
+        sample = Sample([Example((e.t1, e.u3), Label.POSITIVE)])
+        assert is_certain_positive(e.instance, sample, (e.t2, e.u3))
+
+    def test_negative_label_prunes_subset_tuples(self, example21):
+        e = example21
+        sample = Sample([Example((e.t1, e.u3), Label.NEGATIVE)])
+        assert is_certain_negative(e.instance, sample, (e.t2, e.u1))
+        assert is_certain_negative(e.instance, sample, (e.t3, e.u1))
+
+
+class TestEmptySample:
+    def test_nothing_certain_for_example21(self, example21):
+        e = example21
+        sample = Sample()
+        assert certain_positive(e.instance, sample) == set()
+        assert certain_negative(e.instance, sample) == set()
+
+    def test_all_tuples_informative(self, example21):
+        e = example21
+        assert len(informative_tuples(e.instance, Sample())) == 12
+
+    def test_tuple_agreeing_everywhere_certain_positive(self):
+        """With S = ∅, T(S+) = Ω, so only all-agreeing tuples are Cert+."""
+        from repro.relational import Instance, Relation
+
+        instance = Instance(
+            Relation.build("R", ["A1"], [(5,), (6,)]),
+            Relation.build("P", ["B1"], [(5,)]),
+        )
+        assert certain_positive(instance, Sample()) == {((5,), (5,))}
+
+
+class TestLabeledTuplesAreCertain:
+    def test_positive_example_is_certain_positive(self, example21):
+        e = example21
+        sample = Sample([Example((e.t2, e.u2), Label.POSITIVE)])
+        assert is_certain_positive(e.instance, sample, (e.t2, e.u2))
+        assert not is_informative(e.instance, sample, (e.t2, e.u2))
+
+    def test_negative_example_is_certain_negative(self, example21):
+        e = example21
+        sample = Sample([Example((e.t2, e.u2), Label.NEGATIVE)])
+        assert is_certain_negative(e.instance, sample, (e.t2, e.u2))
+
+
+class TestAgainstNaiveDefinitions:
+    """Lemmas 3.2–3.4: the PTIME characterisations equal the
+    definition-level (C(S)-enumerating) reference implementations."""
+
+    def _random_consistent_sample(self, instance, rng, max_labels=4):
+        from repro.core import PerfectOracle
+        from repro.relational import JoinPredicate
+
+        omega = instance.omega
+        goal = JoinPredicate(
+            rng.sample(omega, rng.randrange(0, min(3, len(omega)) + 1))
+        )
+        oracle = PerfectOracle(instance, goal)
+        tuples = list(instance.cartesian_product())
+        sample = Sample()
+        for t in rng.sample(tuples, k=min(max_labels, len(tuples))):
+            sample.label_tuple(t, oracle.label(t))
+        return sample
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_certain_sets_match_naive(self, seed):
+        rng = random.Random(seed)
+        instance = make_random_instance(
+            rng, left_arity=2, right_arity=2, rows=4, values=3
+        )
+        sample = self._random_consistent_sample(instance, rng)
+        assert certain_positive(instance, sample) == certain_positive_naive(
+            instance, sample
+        )
+        assert certain_negative(instance, sample) == certain_negative_naive(
+            instance, sample
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_lemma32_uninformative_equals_certain(self, seed):
+        """Lemma 3.2: Uninf(S) = Cert(S) (as example sets)."""
+        rng = random.Random(50 + seed)
+        instance = make_random_instance(
+            rng, left_arity=2, right_arity=2, rows=3, values=2
+        )
+        sample = self._random_consistent_sample(instance, rng, max_labels=3)
+        naive = uninformative_examples_naive(instance, sample)
+        lemma_based = certain_examples(instance, sample)
+        assert naive == lemma_based
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_informative_matches_naive(self, seed):
+        rng = random.Random(90 + seed)
+        instance = make_random_instance(
+            rng, left_arity=2, right_arity=2, rows=3, values=3
+        )
+        sample = self._random_consistent_sample(instance, rng, max_labels=3)
+        for t in instance.cartesian_product():
+            assert is_informative(instance, sample, t) == (
+                is_informative_naive(instance, sample, t)
+            ), f"disagreement on {t}"

@@ -1,0 +1,156 @@
+"""Consistency checking (§3.1) — Example 3.1 plus brute-force cross-checks."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    Label,
+    Sample,
+    consistent_predicate,
+    is_consistent,
+    is_predicate_consistent_with,
+)
+from repro.core.naive import consistent_set
+from repro.relational import JoinPredicate
+
+from ..conftest import make_random_instance
+
+
+@pytest.fixture()
+def sample_s0(example21):
+    """Example 3.1's consistent sample S0."""
+    e = example21
+    sample = Sample()
+    sample.label_tuple((e.t2, e.u2), Label.POSITIVE)
+    sample.label_tuple((e.t4, e.u1), Label.POSITIVE)
+    sample.label_tuple((e.t3, e.u2), Label.NEGATIVE)
+    return sample
+
+
+@pytest.fixture()
+def sample_s0_prime(example21):
+    """Example 3.1's inconsistent sample S0'."""
+    e = example21
+    sample = Sample()
+    sample.label_tuple((e.t1, e.u2), Label.POSITIVE)
+    sample.label_tuple((e.t1, e.u3), Label.POSITIVE)
+    sample.label_tuple((e.t3, e.u1), Label.NEGATIVE)
+    return sample
+
+
+class TestExample31:
+    def test_s0_is_consistent(self, example21, sample_s0):
+        assert is_consistent(example21.instance, sample_s0)
+
+    def test_s0_most_specific_predicate(self, example21, sample_s0):
+        """θ0 = {(A1,B1),(A2,B3)} per Example 3.1."""
+        theta0 = consistent_predicate(example21.instance, sample_s0)
+        assert theta0 == example21.theta(("A1", "B1"), ("A2", "B3"))
+
+    def test_theta0_prime_also_consistent_but_not_most_specific(
+        self, example21, sample_s0
+    ):
+        """{(A1,B1)} is consistent with S0 but more general than θ0."""
+        theta0_prime = example21.theta(("A1", "B1"))
+        assert is_predicate_consistent_with(
+            example21.instance, theta0_prime, sample_s0
+        )
+        theta0 = consistent_predicate(example21.instance, sample_s0)
+        assert theta0_prime < theta0
+
+    def test_s0_prime_is_inconsistent(self, example21, sample_s0_prime):
+        assert not is_consistent(example21.instance, sample_s0_prime)
+        assert consistent_predicate(
+            example21.instance, sample_s0_prime
+        ) is None
+
+
+class TestBasicCases:
+    def test_empty_sample_is_consistent(self, example21):
+        assert is_consistent(example21.instance, Sample())
+
+    def test_empty_sample_predicate_is_omega(self, example21):
+        instance = example21.instance
+        assert consistent_predicate(instance, Sample()) == JoinPredicate(
+            instance.omega
+        )
+
+    def test_all_negative_sample_returns_omega(self, example21):
+        """§3.3: when the user rejects everything we return Ω."""
+        e = example21
+        sample = Sample()
+        for t in e.instance.cartesian_product():
+            sample.label_tuple(t, Label.NEGATIVE)
+        theta = consistent_predicate(e.instance, sample)
+        assert theta == JoinPredicate(e.instance.omega)
+
+    def test_single_positive_gives_its_signature(self, example21):
+        e = example21
+        sample = Sample()
+        sample.label_tuple((e.t2, e.u1), Label.POSITIVE)
+        assert consistent_predicate(e.instance, sample) == e.theta(
+            ("A1", "B3")
+        )
+
+    def test_positive_and_negative_same_signature_is_inconsistent(
+        self, example21
+    ):
+        """Two tuples with equal T cannot be labeled differently."""
+        e = example21
+        sample = Sample()
+        sample.label_tuple((e.t3, e.u1), Label.POSITIVE)  # T = ∅ selects all
+        sample.label_tuple((e.t2, e.u1), Label.NEGATIVE)
+        assert not is_consistent(e.instance, sample)
+
+    def test_section33_poor_instance(self):
+        """§3.3's single-tuple instance: T(S+) = {(A1,B1),(A2,B1)}."""
+        from repro.relational import Instance, Relation
+
+        r1 = Relation.build("R1", ["A1", "A2"], [(1, 1)])
+        p1 = Relation.build("P1", ["B1"], [(1,)])
+        instance = Instance(r1, p1)
+        sample = Sample()
+        sample.label_tuple(((1, 1), (1,)), Label.POSITIVE)
+        theta = consistent_predicate(instance, sample)
+        assert theta == JoinPredicate(instance.omega)  # both pairs
+
+
+class TestAgainstBruteForce:
+    """The PTIME check must agree with explicit C(S) enumeration."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_samples(self, seed):
+        rng = random.Random(seed)
+        instance = make_random_instance(
+            rng, left_arity=2, right_arity=2, rows=4, values=3
+        )
+        tuples = list(instance.cartesian_product())
+        for _ in range(8):
+            sample = Sample()
+            for t in rng.sample(tuples, k=min(4, len(tuples))):
+                label = rng.choice([Label.POSITIVE, Label.NEGATIVE])
+                if not sample.is_labeled(t):
+                    sample.label_tuple(t, label)
+            fast = is_consistent(instance, sample)
+            slow = bool(consistent_set(instance, sample))
+            assert fast == slow
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_returned_predicate_is_in_consistent_set(self, seed):
+        rng = random.Random(100 + seed)
+        instance = make_random_instance(
+            rng, left_arity=2, right_arity=2, rows=4, values=2
+        )
+        tuples = list(instance.cartesian_product())
+        sample = Sample()
+        for t in rng.sample(tuples, k=3):
+            sample.label_tuple(t, rng.choice([Label.POSITIVE, Label.NEGATIVE]))
+        theta = consistent_predicate(instance, sample)
+        candidates = consistent_set(instance, sample)
+        if theta is None:
+            assert candidates == []
+        else:
+            assert theta in candidates
+            # T(S+) is the ⊆-maximal element of C(S).
+            assert all(other <= theta for other in candidates)

@@ -1,0 +1,191 @@
+"""Entropy, skyline and entropy² (§4.4, Figure 5, Algorithm 5).
+
+One deliberate deviation from the paper is asserted here: Figure 5 lists
+``u+ = 2`` for the tuple ``(t2, t1')`` whose signature is ``{(A1,B3)}``.
+By Lemma 3.3 (and the paper's own Figure 3), labeling it positive makes
+*four* tuples certain-positive — the supersets ``(t1,t1')``, ``(t1,t3')``,
+``(t2,t3')`` and ``(t3,t2')`` — so ``u+ = 4`` and the entropy is (1, 4),
+not (1, 2).  Our tests pin the lemma-faithful values and separately check
+the eleven rows where the paper's arithmetic is consistent with its own
+lemmas.  (The L1S choice the paper reports is unaffected: the strategy
+still picks ``(t2,t1')`` — with corrected arithmetic it is even the unique
+best choice.)
+"""
+
+import math
+
+import pytest
+
+from repro.core import (
+    INFINITE_ENTROPY,
+    Label,
+    best_skyline_entropy,
+    dominates,
+    entropy_k_of_class,
+    entropy_of_class,
+    skyline,
+)
+from repro.core.state import InferenceState
+
+
+@pytest.fixture()
+def empty_state(example21_index):
+    return InferenceState(example21_index)
+
+
+@pytest.fixture()
+def section44_state(example21, example21_index):
+    state = InferenceState(example21_index)
+    e = example21
+    state.record(
+        example21_index.class_of_tuple((e.t1, e.u3)).class_id, Label.POSITIVE
+    )
+    state.record(
+        example21_index.class_of_tuple((e.t3, e.u1)).class_id, Label.NEGATIVE
+    )
+    return state
+
+
+# Figure 5's eleven lemma-consistent rows; (t2,u1) pinned separately.
+FIGURE5_ENTROPIES = {
+    ("t1", "u1"): (0, 2),
+    ("t1", "u2"): (0, 1),
+    ("t1", "u3"): (1, 2),
+    ("t2", "u2"): (1, 1),
+    ("t2", "u3"): (0, 4),
+    ("t3", "u1"): (0, 11),
+    ("t3", "u2"): (0, 2),
+    ("t3", "u3"): (0, 1),
+    ("t4", "u1"): (0, 2),
+    ("t4", "u2"): (1, 1),
+    ("t4", "u3"): (0, 1),
+}
+
+
+class TestFigure5:
+    @pytest.mark.parametrize("names,expected", FIGURE5_ENTROPIES.items())
+    def test_entropy_matches_paper(
+        self, example21, empty_state, names, expected
+    ):
+        left, right = names
+        t = (getattr(example21, left), getattr(example21, right))
+        cls = empty_state.index.class_of_tuple(t)
+        assert entropy_of_class(empty_state, cls.class_id) == expected
+
+    def test_paper_erratum_t2_u1(self, example21, empty_state):
+        """Lemma-faithful value for the row the paper miscounts (see the
+        module docstring)."""
+        e = example21
+        cls = empty_state.index.class_of_tuple((e.t2, e.u1))
+        assert entropy_of_class(empty_state, cls.class_id) == (1, 4)
+
+    def test_l1s_choice_is_t2_u1(self, example21, empty_state):
+        """With corrected arithmetic the max-min entropy (1,4) is unique
+        and belongs to (t2,u1) — within the paper's reported tie set
+        {(t1,u3), (t2,u1)}."""
+        entropies = {
+            cls.class_id: entropy_of_class(empty_state, cls.class_id)
+            for cls in empty_state.index
+        }
+        best = best_skyline_entropy(entropies.values())
+        winners = {
+            empty_state.index[cid].representative
+            for cid, ent in entropies.items()
+            if ent == best
+        }
+        e = example21
+        assert winners == {(e.t2, e.u1)}
+        assert best == (1, 4)
+
+
+class TestDominationAndSkyline:
+    def test_dominates_examples_from_paper(self):
+        """§4.4: (1,2) dominates (1,1) and (0,2) but not (2,2) nor (0,3)."""
+        assert dominates((1, 2), (1, 1))
+        assert dominates((1, 2), (0, 2))
+        assert not dominates((1, 2), (2, 2))
+        assert not dominates((1, 2), (0, 3))
+
+    def test_dominates_is_reflexive(self):
+        assert dominates((3, 5), (3, 5))
+
+    def test_skyline_of_figure5_corrected(self, empty_state):
+        """With the erratum fixed the skyline is {(1,4), (0,11)} — the
+        paper prints {(1,2), (0,11)}."""
+        entropies = {
+            entropy_of_class(empty_state, cls.class_id)
+            for cls in empty_state.index
+        }
+        assert skyline(entropies) == {(1, 4), (0, 11)}
+
+    def test_skyline_drops_dominated(self):
+        assert skyline([(1, 2), (1, 1), (0, 2)]) == {(1, 2)}
+
+    def test_skyline_keeps_incomparable(self):
+        assert skyline([(1, 2), (0, 11)]) == {(1, 2), (0, 11)}
+
+    def test_best_skyline_entropy_max_min(self):
+        assert best_skyline_entropy([(1, 2), (0, 11)]) == (1, 2)
+
+    def test_best_skyline_is_lexicographic_max(self):
+        """The documented equivalence: skyline-best == max by (min, max)."""
+        entropies = [(0, 5), (2, 3), (2, 7), (1, 9)]
+        assert best_skyline_entropy(entropies) == max(entropies)
+
+    def test_best_skyline_on_empty_raises(self):
+        with pytest.raises(ValueError):
+            best_skyline_entropy([])
+
+    def test_infinite_entropy_wins(self):
+        assert best_skyline_entropy([(3, 3), INFINITE_ENTROPY]) == (
+            INFINITE_ENTROPY
+        )
+
+
+class TestEntropy2WalkThrough:
+    """The complete §4.4 worked example of Algorithm 5."""
+
+    def test_entropy2_of_t2_u1_is_3_3(self, example21, section44_state):
+        e = example21
+        cid = section44_state.index.class_of_tuple((e.t2, e.u1)).class_id
+        assert entropy_k_of_class(section44_state, cid, 2) == (3, 3)
+
+    def test_positive_branch_is_infinite(self, example21, section44_state):
+        """Labeling (t2,u1) positive leaves nothing informative, so the
+        positive branch evaluates to (∞,∞)."""
+        e = example21
+        cid = section44_state.index.class_of_tuple((e.t2, e.u1)).class_id
+        simulated = section44_state.copy()
+        simulated.record(cid, Label.POSITIVE)
+        assert simulated.informative_class_ids() == []
+
+    def test_entropy1_equals_entropy_of_class(self, section44_state):
+        for cid in section44_state.informative_class_ids():
+            assert entropy_k_of_class(section44_state, cid, 1) == (
+                entropy_of_class(section44_state, cid)
+            )
+
+    def test_depth_zero_rejected(self, section44_state):
+        with pytest.raises(ValueError):
+            entropy_k_of_class(section44_state, 0, 0)
+
+    def test_entropy3_runs_and_is_finite_or_infinite_pair(
+        self, section44_state
+    ):
+        for cid in section44_state.informative_class_ids():
+            low, high = entropy_k_of_class(section44_state, cid, 3)
+            assert low <= high
+            assert low >= 0 or math.isinf(low)
+
+
+class TestEntropyInvariants:
+    def test_entropy_min_le_max(self, empty_state):
+        for cls in empty_state.index:
+            low, high = entropy_of_class(empty_state, cls.class_id)
+            assert 0 <= low <= high
+
+    def test_entropy_bounded_by_remaining_tuples(self, empty_state):
+        total = empty_state.index.total_weight
+        for cls in empty_state.index:
+            _, high = entropy_of_class(empty_state, cls.class_id)
+            assert high <= total - 1

@@ -1,0 +1,84 @@
+"""Instance-equivalence of predicates (§3.3)."""
+
+import pytest
+
+from repro.core import (
+    SignatureIndex,
+    instance_equivalent,
+    selected_class_ids,
+)
+from repro.relational import (
+    Instance,
+    JoinPredicate,
+    Relation,
+    equijoin,
+)
+
+
+class TestSection33Examples:
+    def test_poor_instance_equivalence(self):
+        """§3.3's R1/P1: every predicate is equivalent over the instance."""
+        r1 = Relation.build("R1", ["A1", "A2"], [(1, 1)])
+        p1 = Relation.build("P1", ["B1"], [(1,)])
+        instance = Instance(r1, p1)
+        goal = JoinPredicate.parse("R1.A1 = P1.B1")
+        returned = JoinPredicate.parse("R1.A1 = P1.B1 AND R1.A2 = P1.B1")
+        assert instance_equivalent(instance, goal, returned)
+        assert instance_equivalent(
+            instance, JoinPredicate.empty(), returned
+        )
+
+    def test_nullable_predicates_equivalent_to_omega(self, example21):
+        e = example21
+        nullable = e.theta(("A2", "B1"), ("A2", "B2"), ("A2", "B3"))
+        omega = JoinPredicate(e.instance.omega)
+        assert instance_equivalent(e.instance, nullable, omega)
+
+
+class TestEquivalenceSemantics:
+    def test_reflexive(self, example21):
+        theta = example21.theta(("A1", "B1"))
+        assert instance_equivalent(example21.instance, theta, theta)
+
+    def test_matches_join_results(self, example21):
+        """Equivalence iff the two equijoins coincide, by definition."""
+        e = example21
+        predicates = [
+            JoinPredicate.empty(),
+            e.theta(("A1", "B1")),
+            e.theta(("A2", "B3")),
+            e.theta(("A1", "B1"), ("A2", "B3")),
+            JoinPredicate(e.instance.omega),
+        ]
+        for first in predicates:
+            for second in predicates:
+                expected = set(equijoin(e.instance, first)) == set(
+                    equijoin(e.instance, second)
+                )
+                assert (
+                    instance_equivalent(e.instance, first, second)
+                    == expected
+                )
+
+    def test_reuses_provided_index(self, example21, example21_index):
+        e = example21
+        assert instance_equivalent(
+            e.instance,
+            e.theta(("A1", "B1")),
+            e.theta(("A1", "B1")),
+            index=example21_index,
+        )
+
+    def test_selected_class_ids(self, example21, example21_index):
+        e = example21
+        theta = e.theta(("A2", "B3"))
+        ids = selected_class_ids(example21_index, theta)
+        expected = {
+            example21_index.class_of_tuple(t).class_id
+            for t in equijoin(e.instance, theta)
+        }
+        assert ids == expected
+
+    def test_empty_predicate_selects_all_classes(self, example21_index):
+        ids = selected_class_ids(example21_index, JoinPredicate.empty())
+        assert len(ids) == len(example21_index)

@@ -1,0 +1,122 @@
+"""Vectorised lookahead must match the reference bit-for-bit."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Label, SignatureIndex, entropy_k_of_class
+from repro.core.fast_lookahead import (
+    entropies_for_informative,
+    supports_fast_path,
+)
+from repro.core.state import InferenceState
+
+from ..conftest import make_random_instance
+
+
+def _random_state(seed: int) -> InferenceState:
+    rng = random.Random(seed)
+    instance = make_random_instance(
+        rng,
+        left_arity=rng.randrange(1, 4),
+        right_arity=rng.randrange(1, 4),
+        rows=rng.randrange(2, 10),
+        values=rng.randrange(2, 5),
+    )
+    index = SignatureIndex(instance, backend="python")
+    state = InferenceState(index)
+    for _ in range(rng.randrange(0, 4)):
+        informative = state.informative_class_ids()
+        if not informative:
+            break
+        state.record(
+            rng.choice(informative),
+            rng.choice([Label.POSITIVE, Label.NEGATIVE]),
+        )
+    return state
+
+
+class TestParity:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 100_000), st.sampled_from([1, 2]))
+    def test_matches_reference(self, seed, depth):
+        state = _random_state(seed)
+        fast = entropies_for_informative(state, depth)
+        reference = {
+            class_id: entropy_k_of_class(state, class_id, depth)
+            for class_id in state.informative_class_ids()
+        }
+        assert fast == reference
+
+    def test_example21_figure5(self, example21_index):
+        """The Figure 5 entropies through the vectorised path."""
+        state = InferenceState(example21_index)
+        fast = entropies_for_informative(state, 1)
+        reference = {
+            class_id: entropy_k_of_class(state, class_id, 1)
+            for class_id in state.informative_class_ids()
+        }
+        assert fast == reference
+
+    def test_entropy2_walkthrough(self, example21, example21_index):
+        """§4.4's entropy² values through the vectorised path."""
+        e = example21
+        state = InferenceState(example21_index)
+        state.record(
+            example21_index.class_of_tuple((e.t1, e.u3)).class_id,
+            Label.POSITIVE,
+        )
+        state.record(
+            example21_index.class_of_tuple((e.t3, e.u1)).class_id,
+            Label.NEGATIVE,
+        )
+        fast = entropies_for_informative(state, 2)
+        target = example21_index.class_of_tuple((e.t2, e.u1)).class_id
+        assert fast[target] == (3, 3)
+
+
+class TestDispatch:
+    def test_supports_small_omega(self, example21_index):
+        state = InferenceState(example21_index)
+        assert supports_fast_path(state, 1)
+        assert supports_fast_path(state, 2)
+        assert not supports_fast_path(state, 3)
+
+    def test_wide_omega_falls_back(self):
+        from repro.relational import Instance, Relation
+
+        rng = random.Random(0)
+        left = Relation.build(
+            "R",
+            [f"A{i}" for i in range(9)],
+            [tuple(rng.randrange(3) for _ in range(9)) for _ in range(4)],
+        )
+        right = Relation.build(
+            "P",
+            [f"B{j}" for j in range(8)],
+            [tuple(rng.randrange(3) for _ in range(8)) for _ in range(4)],
+        )
+        instance = Instance(left, right)
+        assert len(instance.omega) > 63
+        state = InferenceState(SignatureIndex(instance, backend="python"))
+        assert not supports_fast_path(state, 1)
+        # The fallback still answers (reference implementation).
+        fast = entropies_for_informative(state, 1)
+        assert set(fast) == set(state.informative_class_ids())
+
+    def test_depth3_fallback_matches_reference(self):
+        state = _random_state(7)
+        fast = entropies_for_informative(state, 3)
+        reference = {
+            class_id: entropy_k_of_class(state, class_id, 3)
+            for class_id in state.informative_class_ids()
+        }
+        assert fast == reference
+
+    def test_no_informative_classes(self, example21_index):
+        state = InferenceState(example21_index)
+        cid = example21_index.class_of_mask(0).class_id
+        state.record(cid, Label.POSITIVE)  # pins everything
+        assert entropies_for_informative(state, 2) == {}

@@ -1,0 +1,113 @@
+"""Lattice of join predicates (§4.2, Figure 4) and goal sampling."""
+
+import random
+from itertools import combinations
+
+import pytest
+
+from repro.core import (
+    SignatureIndex,
+    non_nullable_masks,
+    non_nullable_predicates,
+    nodes_with_tuples,
+    predicates_of_size,
+    sample_goal_of_size,
+)
+from repro.core.lattice import LatticeTooLargeError
+from repro.relational import Instance, JoinPredicate, Relation, equijoin
+
+
+class TestExample21Lattice:
+    def test_non_nullable_count_matches_brute_force(
+        self, example21, example21_index
+    ):
+        """Enumerate all 2^6 predicates and check emptiness directly."""
+        e = example21
+        omega = e.instance.omega
+        expected = set()
+        for size in range(len(omega) + 1):
+            for pairs in combinations(omega, size):
+                theta = JoinPredicate(pairs)
+                if equijoin(e.instance, theta):
+                    expected.add(theta)
+        got = set(non_nullable_predicates(example21_index))
+        assert got == expected
+
+    def test_non_nullable_size_histogram(self, example21_index):
+        """1 node of size 0, 6 of size 1, 12 of size 2, 3 of size 3.
+
+        (Figure 4 draws only 7 of the 12 size-2 nodes; the paper's figure
+        omits non-signature pairs such as {(A1,B1),(A1,B2)} that are
+        nevertheless non-nullable as subsets of signature triples.)
+        """
+        sizes = {}
+        for mask in non_nullable_masks(example21_index):
+            sizes[mask.bit_count()] = sizes.get(mask.bit_count(), 0) + 1
+        assert sizes == {0: 1, 1: 6, 2: 12, 3: 3}
+
+    def test_boxed_nodes_are_the_signatures(self, example21_index):
+        """Figure 4's boxed nodes = nodes with corresponding tuples."""
+        boxed = nodes_with_tuples(example21_index)
+        assert len(boxed) == 12
+        assert all(count == 1 for count in boxed.values())
+
+    def test_every_signature_subset_is_non_nullable(self, example21_index):
+        nodes = non_nullable_masks(example21_index)
+        for cls in example21_index:
+            assert cls.mask in nodes
+
+    def test_omega_is_nullable_here(self, example21_index):
+        assert example21_index.omega_mask not in non_nullable_masks(
+            example21_index
+        )
+
+
+class TestPredicatesOfSize:
+    def test_size_zero_is_empty_predicate(self, example21_index):
+        assert predicates_of_size(example21_index, 0) == [
+            JoinPredicate.empty()
+        ]
+
+    def test_size_one_count(self, example21_index):
+        assert len(predicates_of_size(example21_index, 1)) == 6
+
+    def test_oversize_returns_nothing(self, example21_index):
+        assert predicates_of_size(example21_index, 5) == []
+
+    def test_all_returned_are_non_nullable(self, example21, example21_index):
+        for size in range(4):
+            for theta in predicates_of_size(example21_index, size):
+                assert equijoin(example21.instance, theta), (
+                    f"{theta} should select at least one tuple"
+                )
+
+
+class TestSampleGoal:
+    def test_sample_is_from_pool(self, example21_index):
+        rng = random.Random(3)
+        for size in range(4):
+            goal = sample_goal_of_size(example21_index, size, rng)
+            assert goal in predicates_of_size(example21_index, size)
+
+    def test_sample_impossible_size_is_none(self, example21_index):
+        rng = random.Random(3)
+        assert sample_goal_of_size(example21_index, 6, rng) is None
+
+    def test_sampling_is_seed_deterministic(self, example21_index):
+        first = sample_goal_of_size(
+            example21_index, 2, random.Random(11)
+        )
+        second = sample_goal_of_size(
+            example21_index, 2, random.Random(11)
+        )
+        assert first == second
+
+
+class TestCap:
+    def test_lattice_cap_triggers(self):
+        """A tuple agreeing everywhere on a wide Ω explodes the power set."""
+        left = Relation.build("R", [f"A{i}" for i in range(25)], [(0,) * 25])
+        right = Relation.build("P", [f"B{i}" for i in range(2)], [(0, 0)])
+        index = SignatureIndex(Instance(left, right), backend="python")
+        with pytest.raises(LatticeTooLargeError):
+            non_nullable_masks(index, cap=1000)

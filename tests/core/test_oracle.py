@@ -1,0 +1,114 @@
+"""Oracles: perfect, noisy, scripted, callback."""
+
+import pytest
+
+from repro.core import (
+    CallbackOracle,
+    Label,
+    NoisyOracle,
+    PerfectOracle,
+    ScriptedOracle,
+)
+from repro.relational import SchemaError, equijoin
+
+
+class TestPerfectOracle:
+    def test_labels_follow_goal(self, example21):
+        e = example21
+        goal = e.theta(("A2", "B3"))
+        oracle = PerfectOracle(e.instance, goal)
+        selected = set(equijoin(e.instance, goal))
+        for t in e.instance.cartesian_product():
+            expected = Label.POSITIVE if t in selected else Label.NEGATIVE
+            assert oracle.label(t) is expected
+
+    def test_empty_goal_labels_everything_positive(self, example21):
+        from repro.relational import JoinPredicate
+
+        e = example21
+        oracle = PerfectOracle(e.instance, JoinPredicate.empty())
+        assert all(
+            oracle.label(t) is Label.POSITIVE
+            for t in e.instance.cartesian_product()
+        )
+
+    def test_goal_validated_against_instance(self, example21):
+        from repro.relational import Attribute, JoinPredicate
+
+        bad_goal = JoinPredicate(
+            [(Attribute("Nope", "X"), Attribute("P0", "B1"))]
+        )
+        with pytest.raises(SchemaError):
+            PerfectOracle(example21.instance, bad_goal)
+
+    def test_goal_property(self, example21):
+        goal = example21.theta(("A1", "B1"))
+        assert PerfectOracle(example21.instance, goal).goal == goal
+
+
+class TestNoisyOracle:
+    def test_zero_error_is_perfect(self, example21):
+        e = example21
+        goal = e.theta(("A2", "B3"))
+        perfect = PerfectOracle(e.instance, goal)
+        noisy = NoisyOracle(perfect, error_rate=0.0, seed=1)
+        for t in e.instance.cartesian_product():
+            assert noisy.label(t) is perfect.label(t)
+
+    def test_full_error_always_flips(self, example21):
+        e = example21
+        goal = e.theta(("A2", "B3"))
+        perfect = PerfectOracle(e.instance, goal)
+        noisy = NoisyOracle(perfect, error_rate=1.0, seed=1)
+        for t in e.instance.cartesian_product():
+            assert noisy.label(t) is perfect.label(t).opposite
+
+    def test_error_rate_validated(self, example21):
+        perfect = PerfectOracle(
+            example21.instance, example21.theta(("A1", "B1"))
+        )
+        with pytest.raises(ValueError):
+            NoisyOracle(perfect, error_rate=1.5)
+
+    def test_reset_replays_noise(self, example21):
+        e = example21
+        perfect = PerfectOracle(e.instance, e.theta(("A2", "B3")))
+        noisy = NoisyOracle(perfect, error_rate=0.5, seed=42)
+        tuples = list(e.instance.cartesian_product())
+        first = [noisy.label(t) for t in tuples]
+        noisy.reset()
+        second = [noisy.label(t) for t in tuples]
+        assert first == second
+
+    def test_intermediate_error_rate_flips_some(self, example21):
+        e = example21
+        perfect = PerfectOracle(e.instance, e.theta(("A2", "B3")))
+        noisy = NoisyOracle(perfect, error_rate=0.5, seed=7)
+        tuples = list(e.instance.cartesian_product()) * 20
+        flips = sum(
+            noisy.label(t) is not perfect.label(t) for t in tuples
+        )
+        assert 0 < flips < len(tuples)
+
+
+class TestScriptedOracle:
+    def test_replays_script(self, example21):
+        e = example21
+        oracle = ScriptedOracle.positives(
+            positive=[(e.t2, e.u2)], negative=[(e.t3, e.u2)]
+        )
+        assert oracle.label((e.t2, e.u2)) is Label.POSITIVE
+        assert oracle.label((e.t3, e.u2)) is Label.NEGATIVE
+
+    def test_unknown_tuple_raises(self, example21):
+        e = example21
+        oracle = ScriptedOracle({})
+        with pytest.raises(KeyError):
+            oracle.label((e.t1, e.u1))
+
+
+class TestCallbackOracle:
+    def test_invokes_function(self, example21):
+        e = example21
+        oracle = CallbackOracle(lambda t: Label.POSITIVE)
+        assert oracle.label((e.t1, e.u1)) is Label.POSITIVE

@@ -1,0 +1,102 @@
+"""Tests for examples and samples."""
+
+import pytest
+
+from repro.core import Example, Label, Sample
+from repro.core.sample import ConflictingLabelError
+
+
+T1 = ((0, 1), (1, 1, 0))
+T2 = ((0, 2), (0, 1, 2))
+
+
+class TestLabel:
+    def test_str(self):
+        assert str(Label.POSITIVE) == "+"
+        assert str(Label.NEGATIVE) == "-"
+
+    def test_opposite(self):
+        assert Label.POSITIVE.opposite is Label.NEGATIVE
+        assert Label.NEGATIVE.opposite is Label.POSITIVE
+
+
+class TestExample:
+    def test_polarity_flags(self):
+        assert Example(T1, Label.POSITIVE).is_positive
+        assert not Example(T1, Label.POSITIVE).is_negative
+        assert Example(T1, Label.NEGATIVE).is_negative
+
+    def test_frozen_and_hashable(self):
+        assert Example(T1, Label.POSITIVE) == Example(T1, Label.POSITIVE)
+        assert len({Example(T1, Label.POSITIVE)} | {
+            Example(T1, Label.POSITIVE)
+        }) == 1
+
+
+class TestSample:
+    def test_empty(self):
+        sample = Sample()
+        assert len(sample) == 0
+        assert sample.positives == [] and sample.negatives == []
+
+    def test_positives_negatives_split(self):
+        sample = Sample()
+        sample.label_tuple(T1, Label.POSITIVE)
+        sample.label_tuple(T2, Label.NEGATIVE)
+        assert sample.positives == [T1]
+        assert sample.negatives == [T2]
+
+    def test_relabeling_same_label_is_idempotent(self):
+        sample = Sample()
+        sample.label_tuple(T1, Label.POSITIVE)
+        sample.label_tuple(T1, Label.POSITIVE)
+        assert len(sample) == 1
+
+    def test_conflicting_label_rejected(self):
+        sample = Sample()
+        sample.label_tuple(T1, Label.POSITIVE)
+        with pytest.raises(ConflictingLabelError):
+            sample.label_tuple(T1, Label.NEGATIVE)
+
+    def test_label_of(self):
+        sample = Sample()
+        sample.label_tuple(T1, Label.NEGATIVE)
+        assert sample.label_of(T1) is Label.NEGATIVE
+        assert sample.label_of(T2) is None
+
+    def test_is_labeled(self):
+        sample = Sample()
+        sample.label_tuple(T1, Label.POSITIVE)
+        assert sample.is_labeled(T1)
+        assert not sample.is_labeled(T2)
+
+    def test_with_example_does_not_mutate_original(self):
+        sample = Sample()
+        extended = sample.with_example(Example(T1, Label.POSITIVE))
+        assert len(sample) == 0
+        assert len(extended) == 1
+
+    def test_contains_checks_label_too(self):
+        sample = Sample([Example(T1, Label.POSITIVE)])
+        assert Example(T1, Label.POSITIVE) in sample
+        assert Example(T1, Label.NEGATIVE) not in sample
+        assert "not an example" not in sample
+
+    def test_iteration_yields_examples(self):
+        sample = Sample([Example(T1, Label.POSITIVE)])
+        assert list(sample) == [Example(T1, Label.POSITIVE)]
+
+    def test_equality(self):
+        first = Sample([Example(T1, Label.POSITIVE)])
+        second = Sample([Example(T1, Label.POSITIVE)])
+        assert first == second
+
+    def test_constructor_rejects_conflicts(self):
+        with pytest.raises(ConflictingLabelError):
+            Sample(
+                [Example(T1, Label.POSITIVE), Example(T1, Label.NEGATIVE)]
+            )
+
+    def test_repr(self):
+        sample = Sample([Example(T1, Label.POSITIVE)])
+        assert "S+" in repr(sample)

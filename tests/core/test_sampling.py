@@ -1,0 +1,120 @@
+"""Sampled signature indexes (big-instance approximation)."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    PerfectOracle,
+    SignatureIndex,
+    TopDownStrategy,
+    coverage_probability,
+    run_inference,
+    sampled_signature_index,
+)
+from repro.data import SyntheticConfig, generate_synthetic
+from repro.relational import Instance, JoinPredicate, Relation
+
+
+class TestCoverageProbability:
+    def test_certain_when_frequency_one(self):
+        assert coverage_probability(1.0, 1) == 1.0
+
+    def test_zero_frequency_never_covered(self):
+        assert coverage_probability(0.0, 1000) == 0.0
+
+    def test_monotone_in_sample_size(self):
+        values = [coverage_probability(0.01, n) for n in (10, 100, 1000)]
+        assert values == sorted(values)
+
+    def test_known_value(self):
+        assert coverage_probability(0.5, 2) == pytest.approx(0.75)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            coverage_probability(1.5, 10)
+        with pytest.raises(ValueError):
+            coverage_probability(0.5, -1)
+
+
+class TestSampledIndex:
+    @pytest.fixture(scope="class")
+    def instance(self):
+        return generate_synthetic(SyntheticConfig(3, 3, 60, 30), seed=5)
+
+    def test_signatures_are_subset_of_exact(self, instance):
+        exact = SignatureIndex(instance)
+        sampled = sampled_signature_index(instance, n_pairs=500, seed=1)
+        exact_masks = {cls.mask for cls in exact}
+        sampled_masks = {cls.mask for cls in sampled}
+        assert sampled_masks <= exact_masks
+
+    def test_total_weight_approximates_product(self, instance):
+        sampled = sampled_signature_index(instance, n_pairs=800, seed=2)
+        assert (
+            0.5 * instance.cartesian_size
+            <= sampled.total_weight
+            <= 1.5 * instance.cartesian_size
+        )
+
+    def test_common_signatures_found(self, instance):
+        """Signatures covering ≥ 5% of the product are found w.h.p."""
+        exact = SignatureIndex(instance)
+        total = instance.cartesian_size
+        sampled = sampled_signature_index(instance, n_pairs=600, seed=3)
+        sampled_masks = {cls.mask for cls in sampled}
+        for cls in exact:
+            if cls.count / total >= 0.05:
+                assert cls.mask in sampled_masks
+
+    def test_oversampling_returns_exact_index(self, instance):
+        sampled = sampled_signature_index(
+            instance, n_pairs=instance.cartesian_size * 2, seed=0
+        )
+        exact = SignatureIndex(instance)
+        assert [(c.mask, c.count) for c in sampled] == [
+            (c.mask, c.count) for c in exact
+        ]
+
+    def test_inference_on_sampled_index(self, instance):
+        """Inference over the sampled quotient still recovers goals whose
+        signatures are common."""
+        goal = JoinPredicate([instance.omega[0]])
+        sampled = sampled_signature_index(instance, n_pairs=1500, seed=4)
+        result = run_inference(
+            instance,
+            TopDownStrategy(),
+            PerfectOracle(instance, goal),
+            index=sampled,
+            seed=0,
+        )
+        # The predicate is consistent with every given label by
+        # construction; on this dense goal it is also exact.
+        assert result.matches_goal(instance, goal)
+
+    def test_empty_relation_falls_back(self):
+        instance = Instance(
+            Relation.build("R", ["A"]), Relation.build("P", ["B"], [(1,)])
+        )
+        sampled = sampled_signature_index(instance, n_pairs=10, seed=0)
+        assert len(sampled) == 0
+
+    def test_invalid_sample_size(self, instance):
+        with pytest.raises(ValueError):
+            sampled_signature_index(instance, n_pairs=0)
+
+    def test_deterministic_under_seed(self, instance):
+        first = sampled_signature_index(instance, n_pairs=300, seed=9)
+        second = sampled_signature_index(instance, n_pairs=300, seed=9)
+        assert [(c.mask, c.count) for c in first] == [
+            (c.mask, c.count) for c in second
+        ]
+
+    def test_maximal_ids_recomputed(self, instance):
+        sampled = sampled_signature_index(instance, n_pairs=400, seed=6)
+        masks = [cls.mask for cls in sampled]
+        for class_id in sampled.maximal_class_ids:
+            mask = sampled[class_id].mask
+            assert not any(
+                other != mask and mask & ~other == 0 for other in masks
+            )

@@ -1,0 +1,119 @@
+"""JSON serialisation round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Example,
+    Label,
+    PerfectOracle,
+    Sample,
+    TopDownStrategy,
+    dumps,
+    loads,
+    predicate_from_dict,
+    predicate_to_dict,
+    result_from_dict,
+    result_to_dict,
+    sample_from_dict,
+    sample_to_dict,
+    run_inference,
+)
+from repro.relational import JoinPredicate
+
+
+class TestPredicateRoundTrip:
+    def test_simple(self, example21):
+        theta = example21.theta(("A1", "B1"), ("A2", "B3"))
+        assert predicate_from_dict(predicate_to_dict(theta)) == theta
+
+    def test_empty(self):
+        empty = JoinPredicate.empty()
+        assert predicate_from_dict(predicate_to_dict(empty)) == empty
+
+    def test_pairs_sorted_deterministically(self, example21):
+        theta = example21.theta(("A2", "B3"), ("A1", "B1"))
+        payload = predicate_to_dict(theta)
+        assert payload["pairs"] == sorted(payload["pairs"])
+
+
+class TestSampleRoundTrip:
+    def test_mixed_labels(self, example21):
+        e = example21
+        sample = Sample(
+            [
+                Example((e.t2, e.u2), Label.POSITIVE),
+                Example((e.t3, e.u2), Label.NEGATIVE),
+            ]
+        )
+        assert sample_from_dict(sample_to_dict(sample)) == sample
+
+    def test_empty_sample(self):
+        assert sample_from_dict(sample_to_dict(Sample())) == Sample()
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.tuples(st.integers(0, 5), st.integers(0, 5)),
+                st.tuples(st.integers(0, 5)),
+                st.booleans(),
+            ),
+            max_size=8,
+        )
+    )
+    def test_random_samples(self, raw):
+        sample = Sample()
+        for left, right, positive in raw:
+            label = Label.POSITIVE if positive else Label.NEGATIVE
+            if sample.label_of((left, right)) not in (None, label):
+                continue
+            sample.label_tuple((left, right), label)
+        assert sample_from_dict(sample_to_dict(sample)) == sample
+
+
+class TestResultRoundTrip:
+    def test_full_transcript(self, example21):
+        e = example21
+        result = run_inference(
+            e.instance,
+            TopDownStrategy(),
+            PerfectOracle(e.instance, e.theta(("A2", "B3"))),
+            seed=0,
+        )
+        restored = result_from_dict(result_to_dict(result))
+        assert restored.predicate == result.predicate
+        assert restored.interactions == result.interactions
+        assert restored.history == result.history
+        assert restored.halted_early == result.halted_early
+
+
+class TestDumpsLoads:
+    def test_predicate(self, example21):
+        theta = example21.theta(("A1", "B2"))
+        assert loads(dumps(theta)) == theta
+
+    def test_sample(self, example21):
+        e = example21
+        sample = Sample([Example((e.t1, e.u1), Label.NEGATIVE)])
+        assert loads(dumps(sample)) == sample
+
+    def test_result(self, example21):
+        e = example21
+        result = run_inference(
+            e.instance,
+            TopDownStrategy(),
+            PerfectOracle(e.instance, e.theta(("A1", "B1"))),
+            seed=0,
+        )
+        restored = loads(dumps(result))
+        assert restored.predicate == result.predicate
+
+    def test_unknown_type(self):
+        with pytest.raises(TypeError):
+            dumps(42)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            loads('{"kind": "mystery"}')

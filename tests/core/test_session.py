@@ -1,0 +1,292 @@
+"""Algorithm 1: the interactive inference session."""
+
+import pytest
+
+from repro.core import (
+    InconsistentSampleError,
+    InferenceSession,
+    Label,
+    MaxInteractions,
+    NoisyOracle,
+    PerfectOracle,
+    run_inference,
+)
+from repro.core.strategies import (
+    BottomUpStrategy,
+    TopDownStrategy,
+    default_strategies,
+)
+from repro.relational import JoinPredicate
+
+
+class TestBasicRuns:
+    @pytest.mark.parametrize(
+        "goal_pairs",
+        [
+            (),
+            (("A1", "B1"),),
+            (("A2", "B3"),),
+            (("A1", "B1"), ("A2", "B3")),
+            (("A1", "B2"), ("A1", "B3"), ("A2", "B1")),
+        ],
+    )
+    def test_every_strategy_recovers_every_goal(self, example21, goal_pairs):
+        e = example21
+        goal = e.theta(*goal_pairs)
+        for strategy in default_strategies():
+            result = run_inference(
+                e.instance, strategy, PerfectOracle(e.instance, goal), seed=5
+            )
+            assert result.matches_goal(e.instance, goal), (
+                f"{strategy.name} failed to recover {goal}"
+            )
+
+    def test_nullable_goal_recovered_up_to_equivalence(self, example21):
+        """A goal selecting nothing is indistinguishable from Ω."""
+        e = example21
+        goal = e.theta(("A2", "B1"), ("A2", "B2"), ("A2", "B3"))  # nullable
+        result = run_inference(
+            e.instance, TopDownStrategy(), PerfectOracle(e.instance, goal)
+        )
+        assert result.matches_goal(e.instance, goal)
+        assert result.predicate == JoinPredicate(e.instance.omega)
+
+    def test_interactions_counted(self, example21):
+        e = example21
+        result = run_inference(
+            e.instance,
+            BottomUpStrategy(),
+            PerfectOracle(e.instance, e.theta(("A2", "B3"))),
+        )
+        assert result.interactions == len(result.history)
+        assert result.interactions >= 1
+
+    def test_history_alternates_with_sample(self, example21):
+        e = example21
+        session = InferenceSession(
+            e.instance,
+            BottomUpStrategy(),
+            PerfectOracle(e.instance, e.theta(("A1", "B1"))),
+        )
+        result = session.run()
+        assert len(session.sample) == result.interactions
+        for example in result.history:
+            assert session.sample.label_of(example.tuple_pair) is (
+                example.label
+            )
+
+    def test_empty_goal_bottom_up_one_interaction(self, example21):
+        """§5.3: BU infers the empty goal with a single interaction."""
+        e = example21
+        result = run_inference(
+            e.instance,
+            BottomUpStrategy(),
+            PerfectOracle(e.instance, JoinPredicate.empty()),
+        )
+        assert result.interactions == 1
+        assert result.predicate == JoinPredicate.empty()
+
+    def test_all_negative_user_yields_omega(self, example21):
+        """§3.3: rejecting everything returns Ω; TD does it without
+        labeling the whole product (|maximal classes| = 7 < 12)."""
+        e = example21
+        from repro.core import CallbackOracle
+
+        result = run_inference(
+            e.instance,
+            TopDownStrategy(),
+            CallbackOracle(lambda t: Label.NEGATIVE),
+        )
+        assert result.predicate == JoinPredicate(e.instance.omega)
+        assert result.interactions == 7
+
+    def test_bottom_up_all_negative_labels_every_class(self, example21):
+        """BU's worst case (§4.3): one question per signature class."""
+        from repro.core import CallbackOracle
+
+        e = example21
+        result = run_inference(
+            e.instance,
+            BottomUpStrategy(),
+            CallbackOracle(lambda t: Label.NEGATIVE),
+        )
+        assert result.interactions == 12
+
+
+class TestStepAPI:
+    def test_step_returns_example(self, example21):
+        e = example21
+        session = InferenceSession(
+            e.instance,
+            BottomUpStrategy(),
+            PerfectOracle(e.instance, JoinPredicate.empty()),
+        )
+        example = session.step()
+        assert example.label is Label.POSITIVE  # BU asks T=∅ first
+
+    def test_current_predicate_tracks_t_plus(self, example21):
+        e = example21
+        session = InferenceSession(
+            e.instance,
+            BottomUpStrategy(),
+            PerfectOracle(e.instance, e.theta(("A1", "B1"))),
+        )
+        assert session.current_predicate() == JoinPredicate(e.instance.omega)
+        session.run()
+        assert session.current_predicate() == e.theta(("A1", "B1"))
+
+    def test_bad_oracle_return_type(self, example21):
+        from repro.core import CallbackOracle
+
+        e = example21
+        session = InferenceSession(
+            e.instance, BottomUpStrategy(), CallbackOracle(lambda t: "+")
+        )
+        with pytest.raises(TypeError):
+            session.step()
+
+
+class TestHaltConditions:
+    def test_max_interactions_halts_early(self, example21):
+        e = example21
+        result = run_inference(
+            e.instance,
+            BottomUpStrategy(),
+            PerfectOracle(e.instance, e.theta(("A1", "B1"), ("A2", "B3"))),
+            halt_condition=MaxInteractions(2),
+        )
+        assert result.interactions <= 2
+        assert result.halted_early
+
+    def test_zero_budget(self, example21):
+        e = example21
+        result = run_inference(
+            e.instance,
+            BottomUpStrategy(),
+            PerfectOracle(e.instance, e.theta(("A1", "B1"))),
+            halt_condition=MaxInteractions(0),
+        )
+        assert result.interactions == 0
+        assert result.predicate == JoinPredicate(e.instance.omega)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            MaxInteractions(-1)
+
+    def test_full_run_not_marked_early(self, example21):
+        e = example21
+        result = run_inference(
+            e.instance,
+            BottomUpStrategy(),
+            PerfectOracle(e.instance, e.theta(("A1", "B1"))),
+        )
+        assert not result.halted_early
+
+
+class TestInconsistentOracle:
+    def test_adversarial_oracle_raises(self, example21):
+        """An oracle ignoring its own previous answers trips lines 6–7 of
+        Algorithm 1."""
+        from repro.core import CallbackOracle
+
+        e = example21
+        flip = {"value": Label.POSITIVE}
+
+        def contradictory(t):
+            # First answer positive on the ∅-signature tuple (selects all
+            # predicates as consistent), then claim a certain-positive
+            # tuple is negative.
+            label = flip["value"]
+            flip["value"] = Label.NEGATIVE
+            return label
+
+        session = InferenceSession(
+            e.instance, BottomUpStrategy(), CallbackOracle(contradictory)
+        )
+        session.step()  # (t3,u1) labeled +  → everything certain positive
+        # The sample is complete; no informative tuples remain.
+        assert not session.state.has_informative()
+
+    def test_noisy_oracle_never_trips_consistency(self, example21):
+        """§4.1: strategies ask about informative tuples only, and both
+        labels of an informative tuple are consistent — so even a coin-flip
+        oracle produces a *consistent* (if wrong) sample, and Algorithm 1's
+        lines 6–7 never fire."""
+        e = example21
+        goal = e.theta(("A1", "B1"))
+        wrong_inferences = 0
+        for seed in range(20):
+            oracle = NoisyOracle(
+                PerfectOracle(e.instance, goal), error_rate=0.5, seed=seed
+            )
+            session = InferenceSession(
+                e.instance, BottomUpStrategy(), oracle, seed=seed
+            )
+            result = session.run()  # must not raise
+            from repro.core import is_consistent
+
+            assert is_consistent(e.instance, session.sample)
+            if not result.matches_goal(e.instance, goal):
+                wrong_inferences += 1
+        # Noise does corrupt the outcome, just never the consistency.
+        assert wrong_inferences > 0
+
+    def test_consistency_guard_fires_for_uninformative_proposals(
+        self, example21
+    ):
+        """Lines 6–7 of Algorithm 1 protect against strategies that ask
+        about certain tuples: a contradicting answer is rejected."""
+        from repro.core import CallbackOracle
+        from repro.core.strategies.base import Strategy
+
+        e = example21
+        index_holder = {}
+
+        class AskCertainStrategy(Strategy):
+            """First asks (t1,u3); then deliberately proposes a tuple the
+            sample has already pinned (certain-negative)."""
+
+            name = "BAD"
+
+            def choose(self, state, rng):
+                index = state.index
+                first = index.class_of_tuple((e.t1, e.u3)).class_id
+                if state.label_of_class(first) is None:
+                    return first
+                # (t2,u1) has T = {(A1,B3)} ⊆ T((t1,u3)) — certain-negative
+                # once (t1,u3) is labeled negative (Lemma 3.4).
+                return index.class_of_tuple((e.t2, e.u1)).class_id
+
+        answers = iter([Label.NEGATIVE, Label.POSITIVE])
+        session = InferenceSession(
+            e.instance,
+            AskCertainStrategy(),
+            CallbackOracle(lambda t: next(answers)),
+        )
+        session.step()  # (t1,u3) labeled negative
+        assert session.state.is_certain_negative(
+            session.index.class_of_tuple((e.t2, e.u1)).class_id
+        )
+        with pytest.raises(InconsistentSampleError):
+            # The strategy proposes the certain-negative tuple; the oracle
+            # answers positive — contradiction, lines 6–7 fire.
+            session.step()
+
+
+class TestSeededReproducibility:
+    def test_random_strategy_reproducible(self, example21):
+        from repro.core.strategies import RandomStrategy
+
+        e = example21
+        goal = e.theta(("A1", "B1"))
+        first = run_inference(
+            e.instance, RandomStrategy(), PerfectOracle(e.instance, goal),
+            seed=99,
+        )
+        second = run_inference(
+            e.instance, RandomStrategy(), PerfectOracle(e.instance, goal),
+            seed=99,
+        )
+        assert [ex.tuple_pair for ex in first.history] == [
+            ex.tuple_pair for ex in second.history
+        ]

@@ -1,0 +1,181 @@
+"""Signature index: construction parity, counts, maximality, join ratio."""
+
+import random
+
+import pytest
+
+from repro.core import SignatureIndex, most_specific_predicate
+from repro.relational import Instance, JoinPredicate, Relation
+
+from ..conftest import make_random_instance
+
+
+class TestExample21Index:
+    def test_twelve_distinct_classes(self, example21_index):
+        """Example 2.1: every tuple has a unique signature."""
+        assert len(example21_index) == 12
+
+    def test_counts_all_one(self, example21_index):
+        assert all(cls.count == 1 for cls in example21_index)
+
+    def test_total_weight_is_product_size(self, example21, example21_index):
+        assert example21_index.total_weight == (
+            example21.instance.cartesian_size
+        )
+
+    def test_join_ratio_is_two(self, example21_index):
+        """§5.3: (0 + 1 + 7·2 + 3·3) / 12 = 2."""
+        assert example21_index.join_ratio() == pytest.approx(2.0)
+
+    def test_size_histogram(self, example21_index):
+        """1 signature of size 0, 1 of size 1, 7 of size 2, 3 of size 3."""
+        sizes = sorted(cls.size for cls in example21_index)
+        assert sizes == [0, 1, 2, 2, 2, 2, 2, 2, 2, 3, 3, 3]
+
+    def test_maximal_classes(self, example21, example21_index):
+        """⊆-maximal signatures: the three triples of Figure 4 plus the
+        four size-2 signatures not contained in any triple."""
+        maximal = {
+            example21_index[class_id].representative
+            for class_id in example21_index.maximal_class_ids
+        }
+        e = example21
+        assert maximal == {
+            # the three boxed triples of Figure 4
+            (e.t1, e.u1),
+            (e.t2, e.u3),
+            (e.t4, e.u1),
+            # size-2 signatures with no superset signature
+            (e.t1, e.u2),  # {(A1,B1),(A2,B2)}
+            (e.t3, e.u2),  # {(A1,B3),(A2,B3)}
+            (e.t3, e.u3),  # {(A1,B1),(A2,B1)}
+            (e.t4, e.u3),  # {(A2,B2),(A2,B3)}
+        }
+
+    def test_triples_are_maximal(self, example21, example21_index):
+        e = example21
+        maximal = example21_index.maximal_class_ids
+        for t in [(e.t1, e.u1), (e.t2, e.u3), (e.t4, e.u1)]:
+            assert example21_index.class_of_tuple(t).class_id in maximal
+
+    def test_subset_signatures_are_not_maximal(
+        self, example21, example21_index
+    ):
+        e = example21
+        maximal = example21_index.maximal_class_ids
+        for t in [(e.t3, e.u1), (e.t2, e.u1), (e.t1, e.u3)]:
+            assert example21_index.class_of_tuple(t).class_id not in maximal
+
+    def test_classes_sorted_by_size_then_mask(self, example21_index):
+        keys = [(cls.size, cls.mask) for cls in example21_index]
+        assert keys == sorted(keys)
+
+    def test_class_of_tuple_round_trip(self, example21, example21_index):
+        e = example21
+        for t in e.instance.cartesian_product():
+            cls = example21_index.class_of_tuple(t)
+            assert example21_index.predicate_of(cls.class_id) == (
+                most_specific_predicate(e.instance, t)
+            )
+
+    def test_class_of_unknown_tuple_raises(self, example21_index):
+        with pytest.raises(KeyError):
+            example21_index.class_of_tuple((("zz",), ("zz", "zz", "zz")))
+
+
+class TestBackendParity:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_numpy_equals_python(self, seed):
+        rng = random.Random(seed)
+        instance = make_random_instance(
+            rng,
+            left_arity=rng.randrange(1, 4),
+            right_arity=rng.randrange(1, 4),
+            rows=rng.randrange(1, 15),
+            values=rng.randrange(1, 6),
+        )
+        py = SignatureIndex(instance, backend="python")
+        np_ = SignatureIndex(instance, backend="numpy")
+        assert [(c.mask, c.count) for c in py] == [
+            (c.mask, c.count) for c in np_
+        ]
+        assert py.maximal_class_ids == np_.maximal_class_ids
+
+    def test_numpy_representatives_are_canonical_first(self, example21):
+        py = SignatureIndex(example21.instance, backend="python")
+        np_ = SignatureIndex(example21.instance, backend="numpy")
+        assert [c.representative for c in py] == [
+            c.representative for c in np_
+        ]
+
+    def test_wide_omega_beyond_one_word(self):
+        """Ω larger than 63 bits exercises the multi-word packing."""
+        rng = random.Random(7)
+        left = Relation.build(
+            "R",
+            [f"A{i}" for i in range(9)],
+            [tuple(rng.randrange(3) for _ in range(9)) for _ in range(6)],
+        )
+        right = Relation.build(
+            "P",
+            [f"B{j}" for j in range(8)],
+            [tuple(rng.randrange(3) for _ in range(8)) for _ in range(6)],
+        )
+        instance = Instance(left, right)
+        assert len(instance.omega) == 72
+        py = SignatureIndex(instance, backend="python")
+        np_ = SignatureIndex(instance, backend="numpy")
+        assert [(c.mask, c.count) for c in py] == [
+            (c.mask, c.count) for c in np_
+        ]
+
+    def test_invalid_backend_rejected(self, example21):
+        with pytest.raises(ValueError):
+            SignatureIndex(example21.instance, backend="gpu")
+
+    def test_auto_backend_small_and_large(self, example21):
+        auto = SignatureIndex(example21.instance, backend="auto")
+        assert len(auto) == 12
+
+
+class TestDuplicateHandling:
+    def test_duplicate_value_rows_group(self):
+        left = Relation.build("R", ["A"], [(1,), (2,)])
+        right = Relation.build("P", ["B"], [(1,), (3,)])
+        index = SignatureIndex(Instance(left, right), backend="python")
+        # Signatures: {(A,B)} for (1,1); ∅ for the other three tuples.
+        masks = {cls.mask: cls.count for cls in index}
+        assert masks == {0: 3, 1: 1}
+
+    def test_representative_is_first_in_canonical_order(self):
+        left = Relation.build("R", ["A"], [(1,), (2,)])
+        right = Relation.build("P", ["B"], [(4,), (5,)])
+        index = SignatureIndex(Instance(left, right), backend="python")
+        assert len(index) == 1
+        assert index[0].representative == ((1,), (4,))
+
+    def test_empty_instance(self):
+        instance = Instance(
+            Relation.build("R", ["A"]), Relation.build("P", ["B"])
+        )
+        index = SignatureIndex(instance, backend="python")
+        assert len(index) == 0
+        assert index.join_ratio() == 0.0
+        numpy_index = SignatureIndex(instance, backend="numpy")
+        assert len(numpy_index) == 0
+
+
+class TestJoinRatio:
+    def test_all_agree_instance(self):
+        """One tuple agreeing on the single pair: ratio 1... with both
+        signatures present ratio is (0 + 1)/2."""
+        left = Relation.build("R", ["A"], [(1,), (2,)])
+        right = Relation.build("P", ["B"], [(1,)])
+        index = SignatureIndex(Instance(left, right), backend="python")
+        assert index.join_ratio() == pytest.approx(0.5)
+
+    def test_no_agreement_instance(self):
+        left = Relation.build("R", ["A"], [(1,)])
+        right = Relation.build("P", ["B"], [(2,)])
+        index = SignatureIndex(Instance(left, right), backend="python")
+        assert index.join_ratio() == 0.0

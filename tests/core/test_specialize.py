@@ -1,0 +1,138 @@
+"""Tests for the most-specific-predicate operator T (§3, Figure 3)."""
+
+import pytest
+
+from repro.core import (
+    bits_from_pairs,
+    most_specific_for_set,
+    most_specific_predicate,
+    pairs_from_bits,
+    signature_bits,
+)
+from repro.relational import JoinPredicate, selects
+
+
+class TestFigure3:
+    """Every T value printed in Figure 3 of the paper."""
+
+    def test_all_twelve_signatures(self, example21, figure3_signatures):
+        for tuple_pair, pairs in figure3_signatures.items():
+            expected = example21.theta(*pairs)
+            assert (
+                most_specific_predicate(example21.instance, tuple_pair)
+                == expected
+            ), f"T({tuple_pair}) should be {expected}"
+
+    def test_signature_of_t3_u1_is_empty(self, example21):
+        e = example21
+        assert most_specific_predicate(e.instance, (e.t3, e.u1)) == (
+            JoinPredicate.empty()
+        )
+
+
+class TestMostSpecificProperties:
+    def test_t_selects_its_own_tuple(self, example21):
+        e = example21
+        for t in e.instance.cartesian_product():
+            theta = most_specific_predicate(e.instance, t)
+            assert selects(e.instance, theta, t)
+
+    def test_t_is_most_specific(self, example21):
+        """Any θ selecting t satisfies θ ⊆ T(t)."""
+        e = example21
+        omega = e.instance.omega
+        t = (e.t2, e.u2)
+        t_of_t = most_specific_predicate(e.instance, t)
+        from itertools import combinations
+
+        for size in range(len(omega) + 1):
+            for pairs in combinations(omega, size):
+                theta = JoinPredicate(pairs)
+                if selects(e.instance, theta, t):
+                    assert theta <= t_of_t
+
+    def test_selection_iff_subset_of_t(self, example21):
+        """The key fact: t ∈ R⋈θP iff θ ⊆ T(t)."""
+        e = example21
+        theta = e.theta(("A1", "B1"), ("A2", "B3"))
+        for t in e.instance.cartesian_product():
+            t_of_t = most_specific_predicate(e.instance, t)
+            assert selects(e.instance, theta, t) == (theta <= t_of_t)
+
+
+class TestMostSpecificForSet:
+    def test_empty_set_yields_omega(self, example21):
+        instance = example21.instance
+        assert most_specific_for_set(instance, []) == JoinPredicate(
+            instance.omega
+        )
+
+    def test_singleton_set_is_t(self, example21):
+        e = example21
+        t = (e.t4, e.u1)
+        assert most_specific_for_set(e.instance, [t]) == (
+            most_specific_predicate(e.instance, t)
+        )
+
+    def test_intersection_of_two(self, example21):
+        """Example 3.1: T({(t2,u2),(t4,u1)}) = {(A1,B1),(A2,B3)}."""
+        e = example21
+        result = most_specific_for_set(
+            e.instance, [(e.t2, e.u2), (e.t4, e.u1)]
+        )
+        assert result == e.theta(("A1", "B1"), ("A2", "B3"))
+
+    def test_monotone_decreasing_in_set_size(self, example21):
+        e = example21
+        tuples = list(e.instance.cartesian_product())
+        for k in range(1, len(tuples)):
+            bigger = most_specific_for_set(e.instance, tuples[: k + 1])
+            smaller = most_specific_for_set(e.instance, tuples[:k])
+            assert bigger <= smaller
+
+    def test_disagreeing_tuples_intersect_to_empty(self, example21):
+        e = example21
+        result = most_specific_for_set(
+            e.instance, [(e.t3, e.u1), (e.t4, e.u1)]
+        )
+        assert result == JoinPredicate.empty()
+
+
+class TestBitEncoding:
+    def test_round_trip_all_tuples(self, example21):
+        e = example21
+        for t in e.instance.cartesian_product():
+            bits = signature_bits(e.instance, t)
+            assert pairs_from_bits(e.instance, bits) == (
+                most_specific_predicate(e.instance, t)
+            )
+
+    def test_bits_from_pairs_inverse(self, example21):
+        e = example21
+        theta = e.theta(("A1", "B2"), ("A2", "B1"))
+        bits = bits_from_pairs(e.instance, theta)
+        assert pairs_from_bits(e.instance, bits) == theta
+
+    def test_empty_predicate_is_zero(self, example21):
+        assert bits_from_pairs(example21.instance, JoinPredicate.empty()) == 0
+
+    def test_bit_count_matches_predicate_size(self, example21):
+        e = example21
+        for t in e.instance.cartesian_product():
+            bits = signature_bits(e.instance, t)
+            assert bits.bit_count() == len(
+                most_specific_predicate(e.instance, t)
+            )
+
+    def test_subset_test_on_bits_matches_predicates(self, example21):
+        e = example21
+        tuples = list(e.instance.cartesian_product())
+        for t in tuples:
+            for s in tuples:
+                bits_t = signature_bits(e.instance, t)
+                bits_s = signature_bits(e.instance, s)
+                subset_bits = bits_t & ~bits_s == 0
+                subset_preds = most_specific_predicate(
+                    e.instance, t
+                ) <= most_specific_predicate(e.instance, s)
+                assert subset_bits == subset_preds

@@ -1,0 +1,199 @@
+"""Inference state: the bitmask twin of the certain-tuple machinery."""
+
+import pytest
+
+from repro.core import (
+    Label,
+    Sample,
+    SignatureIndex,
+    certain_negative,
+    certain_positive,
+)
+from repro.core.state import InferenceState
+
+
+@pytest.fixture()
+def state(example21_index):
+    return InferenceState(example21_index)
+
+
+def tuple_class(index, t):
+    return index.class_of_tuple(t).class_id
+
+
+class TestRecording:
+    def test_initial_state(self, state, example21_index):
+        assert state.t_plus_mask == example21_index.omega_mask
+        assert state.negative_masks == ()
+        assert not state.has_positive
+        assert state.interaction_count == 0
+
+    def test_positive_label_shrinks_t_plus(self, state, example21):
+        e = example21
+        cid = tuple_class(state.index, (e.t2, e.u2))
+        state.record(cid, Label.POSITIVE)
+        assert state.t_plus_mask == state.index[cid].mask
+        assert state.has_positive
+
+    def test_two_positives_intersect(self, state, example21):
+        e = example21
+        first = tuple_class(state.index, (e.t2, e.u2))
+        second = tuple_class(state.index, (e.t4, e.u1))
+        state.record(first, Label.POSITIVE)
+        state.record(second, Label.POSITIVE)
+        assert state.t_plus_mask == (
+            state.index[first].mask & state.index[second].mask
+        )
+
+    def test_negative_label_appends_mask(self, state, example21):
+        e = example21
+        cid = tuple_class(state.index, (e.t1, e.u3))
+        state.record(cid, Label.NEGATIVE)
+        assert state.negative_masks == (state.index[cid].mask,)
+        assert not state.has_positive
+
+    def test_conflicting_relabel_rejected(self, state):
+        state.record(0, Label.POSITIVE)
+        with pytest.raises(ValueError):
+            state.record(0, Label.NEGATIVE)
+
+    def test_label_of_class(self, state):
+        assert state.label_of_class(0) is None
+        state.record(0, Label.NEGATIVE)
+        assert state.label_of_class(0) is Label.NEGATIVE
+
+    def test_copy_is_independent(self, state):
+        twin = state.copy()
+        twin.record(0, Label.NEGATIVE)
+        assert state.interaction_count == 0
+        assert twin.interaction_count == 1
+
+
+class TestCertaintyAgainstSetImplementation:
+    """The mask-level tests must agree with the JoinPredicate-level ones."""
+
+    def _apply(self, instance, index, labels):
+        state = InferenceState(index)
+        sample = Sample()
+        for t, label in labels:
+            state.record(index.class_of_tuple(t).class_id, label)
+            sample.label_tuple(t, label)
+        return state, sample
+
+    def test_section44_state(self, example21, example21_index):
+        e = example21
+        state, sample = self._apply(
+            e.instance,
+            example21_index,
+            [((e.t1, e.u3), Label.POSITIVE), ((e.t3, e.u1), Label.NEGATIVE)],
+        )
+        expected_pos = certain_positive(e.instance, sample)
+        expected_neg = certain_negative(e.instance, sample)
+        for cls in example21_index:
+            t = cls.representative
+            assert state.is_certain_positive(cls.class_id) == (
+                t in expected_pos
+            )
+            assert state.is_certain_negative(cls.class_id) == (
+                t in expected_neg
+            )
+
+    def test_informative_ids_match(self, example21, example21_index):
+        e = example21
+        state, sample = self._apply(
+            e.instance,
+            example21_index,
+            [((e.t1, e.u3), Label.POSITIVE), ((e.t3, e.u1), Label.NEGATIVE)],
+        )
+        from repro.core import informative_tuples
+
+        expected = set(informative_tuples(e.instance, sample))
+        got = {
+            example21_index[cid].representative
+            for cid in state.informative_class_ids()
+        }
+        assert got == expected
+        assert state.has_informative()
+
+    def test_forced_label(self, example21, example21_index):
+        e = example21
+        state, _ = self._apply(
+            e.instance,
+            example21_index,
+            [((e.t1, e.u3), Label.POSITIVE)],
+        )
+        cid = tuple_class(example21_index, (e.t2, e.u3))
+        assert state.forced_label(cid) is Label.POSITIVE
+        unlabeled = tuple_class(example21_index, (e.t4, e.u1))
+        assert state.forced_label(unlabeled) is None
+
+    def test_consistency_guard(self, example21, example21_index):
+        e = example21
+        state, _ = self._apply(
+            e.instance,
+            example21_index,
+            [((e.t1, e.u3), Label.POSITIVE)],
+        )
+        superset_cid = tuple_class(example21_index, (e.t2, e.u3))
+        assert state.is_consistent_with(superset_cid, Label.POSITIVE)
+        assert not state.is_consistent_with(superset_cid, Label.NEGATIVE)
+
+
+class TestNewlyCertainWeight:
+    def test_empty_extras_is_zero(self, state):
+        assert state.newly_certain_weight([]) == 0
+
+    def test_positive_on_empty_signature_pins_everything(
+        self, state, example21
+    ):
+        e = example21
+        cid = tuple_class(state.index, (e.t3, e.u1))  # T = ∅
+        assert state.newly_certain_weight([(cid, Label.POSITIVE)]) == 11
+
+    def test_negative_on_empty_signature_pins_nothing_else(
+        self, state, example21
+    ):
+        e = example21
+        cid = tuple_class(state.index, (e.t3, e.u1))
+        assert state.newly_certain_weight([(cid, Label.NEGATIVE)]) == 0
+
+    def test_respects_class_counts(self):
+        """With multiplicities, the gain counts tuples, not classes."""
+        from repro.relational import Instance, Relation
+
+        # Ω = {(A1,B1),(A2,B1)}; no tuple agrees on everything, so both
+        # classes start informative.
+        left = Relation.build("R", ["A1", "A2"], [(1, 9), (2, 9)])
+        right = Relation.build("P", ["B1"], [(1,), (3,)])
+        index = SignatureIndex(Instance(left, right), backend="python")
+        state = InferenceState(index)
+        empty_class = index.class_of_mask(0)
+        assert empty_class is not None and empty_class.count == 3
+        singleton = index.class_of_mask(1)  # {(A1,B1)}, count 1
+        assert singleton is not None and singleton.count == 1
+        # Labeling the singleton class negative pins all 3 tuples of the
+        # ∅ class (Lemma 3.4) but only 1 − 1 = 0 net tuples of its own.
+        assert state.newly_certain_weight(
+            [(singleton.class_id, Label.NEGATIVE)]
+        ) == 3
+        # Labeling it positive pins no other class: no superset signature
+        # exists and there are no negative examples.
+        assert state.newly_certain_weight(
+            [(singleton.class_id, Label.POSITIVE)]
+        ) == 0
+
+    def test_full_agreement_class_starts_certain(self):
+        """A tuple agreeing on all of Ω is certain-positive even under the
+        empty sample (T(S+) = Ω ⊆ T(t))."""
+        from repro.relational import Instance, Relation
+
+        left = Relation.build("R", ["A"], [(1,), (2,)])
+        right = Relation.build("P", ["B"], [(1,)])
+        index = SignatureIndex(Instance(left, right), backend="python")
+        state = InferenceState(index)
+        full = index.class_of_mask(index.omega_mask)
+        assert full is not None
+        assert state.is_certain_positive(full.class_id)
+        assert state.informative_class_ids() == [
+            index.class_of_mask(0).class_id
+        ]

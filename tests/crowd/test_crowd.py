@@ -1,0 +1,185 @@
+"""Crowdsourcing extension: majority voting, cost/accuracy."""
+
+import pytest
+
+from repro.core import (
+    Label,
+    NoisyOracle,
+    PerfectOracle,
+    ScriptedOracle,
+    TopDownStrategy,
+)
+from repro.crowd import (
+    MajorityOracle,
+    majority_error_rate,
+    panel_size_for_target,
+    run_crowd_inference,
+)
+
+
+class TestMajorityOracle:
+    def test_unanimous_panel(self, example21):
+        e = example21
+        goal = e.theta(("A2", "B3"))
+        truth = PerfectOracle(e.instance, goal)
+        panel = MajorityOracle([truth, truth, truth])
+        for t in e.instance.cartesian_product():
+            assert panel.label(t) is truth.label(t)
+
+    def test_majority_outvotes_one_liar(self, example21):
+        e = example21
+        t = (e.t2, e.u2)
+        honest = ScriptedOracle({t: Label.POSITIVE})
+        liar = ScriptedOracle({t: Label.NEGATIVE})
+        panel = MajorityOracle([honest, liar, honest])
+        assert panel.label(t) is Label.POSITIVE
+
+    def test_query_cost_tracked(self, example21):
+        e = example21
+        truth = PerfectOracle(e.instance, e.theta(("A1", "B1")))
+        panel = MajorityOracle([truth] * 5)
+        panel.label((e.t1, e.u1))
+        panel.label((e.t1, e.u2))
+        assert panel.total_queries == 10
+
+    def test_reset_clears_cost(self, example21):
+        e = example21
+        truth = PerfectOracle(e.instance, e.theta(("A1", "B1")))
+        panel = MajorityOracle([truth])
+        panel.label((e.t1, e.u1))
+        panel.reset()
+        assert panel.total_queries == 0
+
+    def test_even_panel_rejected(self, example21):
+        truth = PerfectOracle(
+            example21.instance, example21.theta(("A1", "B1"))
+        )
+        with pytest.raises(ValueError):
+            MajorityOracle([truth, truth])
+
+    def test_empty_panel_rejected(self):
+        with pytest.raises(ValueError):
+            MajorityOracle([])
+
+
+class TestMajorityErrorRate:
+    def test_single_worker(self):
+        assert majority_error_rate(1, 0.2) == pytest.approx(0.2)
+
+    def test_three_workers(self):
+        # P(≥2 of 3 wrong) = 3p²(1−p) + p³
+        p = 0.2
+        expected = 3 * p**2 * (1 - p) + p**3
+        assert majority_error_rate(3, p) == pytest.approx(expected)
+
+    def test_perfect_workers(self):
+        assert majority_error_rate(5, 0.0) == 0.0
+
+    def test_monotone_in_panel_for_good_workers(self):
+        errors = [majority_error_rate(k, 0.2) for k in (1, 3, 5, 7)]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_coin_flip_workers_never_improve(self):
+        assert majority_error_rate(9, 0.5) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            majority_error_rate(2, 0.1)
+        with pytest.raises(ValueError):
+            majority_error_rate(3, 1.5)
+
+
+class TestPanelSizing:
+    def test_known_value(self):
+        # For p=0.1: k=5 gives 0.00856 < 0.01 (and k=3 gives 0.028).
+        assert panel_size_for_target(0.1, 0.01) == 5
+
+    def test_hopeless_workers(self):
+        assert panel_size_for_target(0.5, 0.01, max_panel=21) is None
+
+    def test_target_validation(self):
+        with pytest.raises(ValueError):
+            panel_size_for_target(0.1, 0.0)
+
+
+class TestCrowdInference:
+    def test_perfect_workers_always_correct(self, example21):
+        e = example21
+        report = run_crowd_inference(
+            e.instance,
+            TopDownStrategy(),
+            e.theta(("A2", "B3")),
+            worker_error=0.0,
+            panel_size=3,
+            seed=0,
+        )
+        assert report.correct
+        assert report.worker_answers == report.interactions * 3
+
+    def test_noise_hurts_single_worker_accuracy(self, example21):
+        e = example21
+        goal = e.theta(("A1", "B1"))
+        wrong = sum(
+            not run_crowd_inference(
+                e.instance,
+                TopDownStrategy(),
+                goal,
+                worker_error=0.4,
+                panel_size=1,
+                seed=seed,
+            ).correct
+            for seed in range(15)
+        )
+        assert wrong > 0
+
+    def test_panels_help_on_average(self, example21):
+        e = example21
+        goal = e.theta(("A1", "B1"))
+
+        def accuracy(panel_size: int) -> float:
+            hits = sum(
+                run_crowd_inference(
+                    e.instance,
+                    TopDownStrategy(),
+                    goal,
+                    worker_error=0.25,
+                    panel_size=panel_size,
+                    seed=seed,
+                ).correct
+                for seed in range(20)
+            )
+            return hits / 20
+
+        assert accuracy(5) >= accuracy(1)
+
+    def test_report_fields(self, example21):
+        e = example21
+        report = run_crowd_inference(
+            e.instance,
+            TopDownStrategy(),
+            e.theta(("A1", "B1")),
+            worker_error=0.1,
+            panel_size=3,
+            seed=1,
+        )
+        assert report.panel_size == 3
+        assert report.worker_error == 0.1
+        assert report.interactions >= 1
+
+
+class TestNoisyOracleIntegration:
+    def test_majority_of_noisy_workers(self, example21):
+        e = example21
+        goal = e.theta(("A2", "B3"))
+        truth = PerfectOracle(e.instance, goal)
+        workers = [
+            NoisyOracle(truth, error_rate=0.2, seed=i) for i in range(5)
+        ]
+        panel = MajorityOracle(workers)
+        flips = sum(
+            panel.label(t) is not truth.label(t)
+            for t in e.instance.cartesian_product()
+        )
+        # 5-worker majority at p=0.2 errs ~6% of the time; 12 tuples
+        # should almost never see more than a few flips.
+        assert flips <= 4

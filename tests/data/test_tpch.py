@@ -1,0 +1,129 @@
+"""Mini TPC-H generator: schema, integrity, domain overlaps."""
+
+import pytest
+
+from repro.data import TABLE_NAMES, generate_tpch
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return generate_tpch(scale=1.0, seed=42)
+
+
+class TestShapes:
+    def test_fixed_tables(self, tables):
+        assert len(tables.region) == 5
+        assert len(tables.nation) == 25
+
+    def test_scaled_row_counts(self, tables):
+        assert len(tables.part) == 20
+        assert len(tables.supplier) == 10
+        assert len(tables.partsupp) == 80  # 4 suppliers per part
+        assert len(tables.customer) == 15
+        assert len(tables.orders) == 30
+        assert len(tables.lineitem) >= 30  # ≥ 1 line per order
+
+    def test_scale_parameter(self):
+        small = generate_tpch(scale=0.5, seed=1)
+        assert len(small.part) == 10
+        assert len(small.partsupp) == 40
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            generate_tpch(scale=0)
+
+    def test_table_lookup(self, tables):
+        assert tables.table("part") is tables.part
+        with pytest.raises(KeyError):
+            tables.table("warehouse")
+
+    def test_all_tables_order(self, tables):
+        assert [t.name for t in tables.all_tables()] == list(TABLE_NAMES)
+
+    def test_seed_determinism(self):
+        assert generate_tpch(seed=3).lineitem == generate_tpch(
+            seed=3
+        ).lineitem
+
+
+class TestReferentialIntegrity:
+    def test_nation_region_fk(self, tables):
+        region_keys = set(tables.region.column("regionkey"))
+        assert set(tables.nation.column("regionkey")) <= region_keys
+
+    def test_supplier_nation_fk(self, tables):
+        nation_keys = set(tables.nation.column("nationkey"))
+        assert set(tables.supplier.column("nationkey")) <= nation_keys
+
+    def test_partsupp_fks(self, tables):
+        part_keys = set(tables.part.column("partkey"))
+        supp_keys = set(tables.supplier.column("suppkey"))
+        assert set(tables.partsupp.column("partkey")) <= part_keys
+        assert set(tables.partsupp.column("suppkey")) <= supp_keys
+
+    def test_orders_customer_fk(self, tables):
+        cust_keys = set(tables.customer.column("custkey"))
+        assert set(tables.orders.column("custkey")) <= cust_keys
+
+    def test_lineitem_fks(self, tables):
+        order_keys = set(tables.orders.column("orderkey"))
+        assert set(tables.lineitem.column("orderkey")) <= order_keys
+
+    def test_lineitem_partsupp_composite_fk(self, tables):
+        """Join 5's composite key: every lineitem (partkey, suppkey) pair
+        exists in partsupp."""
+        partsupp_pairs = {
+            (row[0], row[1]) for row in tables.partsupp
+        }
+        lineitem_pairs = {
+            (row[1], row[2]) for row in tables.lineitem
+        }
+        assert lineitem_pairs <= partsupp_pairs
+
+    def test_primary_keys_unique(self, tables):
+        for table, column in [
+            (tables.part, "partkey"),
+            (tables.supplier, "suppkey"),
+            (tables.customer, "custkey"),
+            (tables.orders, "orderkey"),
+        ]:
+            keys = table.column(column)
+            assert len(keys) == len(set(keys))
+
+
+class TestDomainOverlaps:
+    """§5.1: 'a value 15 may as well represent a key, a size, a price, or
+    a quantity' — the generator must create these ambiguities."""
+
+    def test_part_size_overlaps_partkey(self, tables):
+        sizes = set(tables.part.column("size"))
+        keys = set(tables.part.column("partkey"))
+        assert sizes & keys
+
+    def test_lineitem_quantity_overlaps_keys(self, tables):
+        quantities = set(tables.lineitem.column("quantity"))
+        order_keys = set(tables.lineitem.column("orderkey"))
+        assert quantities & order_keys
+
+    def test_status_flags_overlap_across_tables(self, tables):
+        order_status = set(tables.orders.column("orderstatus"))
+        line_status = set(tables.lineitem.column("linestatus"))
+        assert order_status & line_status
+
+    def test_join_ratios_in_table1_band(self, tables):
+        """Table 1 reports TPC-H join ratios between 1 and ~2.4."""
+        from repro.core import SignatureIndex
+        from repro.data import tpch_workloads
+
+        for workload in tpch_workloads(tables):
+            ratio = SignatureIndex(workload.instance).join_ratio()
+            assert 1.0 <= ratio <= 3.0, workload.name
+
+    def test_goal_joins_are_selective(self, tables):
+        """Key/FK joins select far less than the Cartesian product."""
+        from repro.relational import equijoin
+        from repro.data import tpch_workloads
+
+        for workload in tpch_workloads(tables):
+            selected = len(equijoin(workload.instance, workload.goal))
+            assert 0 < selected < workload.instance.cartesian_size / 2

@@ -1,0 +1,86 @@
+"""TPC-H workload definitions (§5.1's five joins)."""
+
+import pytest
+
+from repro.core import PerfectOracle, TopDownStrategy, run_inference
+from repro.data import WORKLOAD_NAMES, generate_tpch, tpch_workloads
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return generate_tpch(scale=1.0, seed=7)
+
+
+class TestWorkloadDefinitions:
+    def test_five_workloads(self, tables):
+        workloads = tpch_workloads(tables)
+        assert [w.name for w in workloads] == list(WORKLOAD_NAMES)
+
+    def test_goal_sizes(self, tables):
+        """Joins 1–4 have size 1; Join 5 has size 2 (§5.1)."""
+        sizes = {w.name: w.goal_size for w in tpch_workloads(tables)}
+        assert sizes == {
+            "join1": 1,
+            "join2": 1,
+            "join3": 1,
+            "join4": 1,
+            "join5": 2,
+        }
+
+    def test_goal_predicates_match_key_fk(self, tables):
+        workloads = {w.name: w for w in tpch_workloads(tables)}
+        assert "partkey" in str(workloads["join1"].goal)
+        assert "suppkey" in str(workloads["join2"].goal)
+        assert "custkey" in str(workloads["join3"].goal)
+        assert "orderkey" in str(workloads["join4"].goal)
+
+    def test_trimmed_reduces_omega(self, tables):
+        trimmed = tpch_workloads(tables, trimmed=True)
+        full = tpch_workloads(tables, trimmed=False)
+        for small, big in zip(trimmed, full):
+            assert len(small.instance.omega) < len(big.instance.omega)
+
+    def test_trimmed_keeps_goal_valid(self, tables):
+        for workload in tpch_workloads(tables, trimmed=True):
+            workload.goal.validate_for(workload.instance)
+
+    def test_descriptions_mention_tables(self, tables):
+        for workload in tpch_workloads(tables):
+            assert "[" in workload.description
+
+
+class TestEndToEndInference:
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_td_recovers_each_goal(self, tables, name):
+        workload = next(
+            w for w in tpch_workloads(tables) if w.name == name
+        )
+        result = run_inference(
+            workload.instance,
+            TopDownStrategy(),
+            PerfectOracle(workload.instance, workload.goal),
+            seed=0,
+        )
+        assert result.matches_goal(workload.instance, workload.goal)
+
+    def test_size1_joins_found_quickly(self, tables):
+        """The paper's headline: key/FK joins of size 1 need only a
+        handful of interactions regardless of data size.  TD's visit
+        order among ⊆-maximal classes is arbitrary (§4.3), so the exact
+        constant varies; it must stay far below the class count."""
+        from repro.core import SignatureIndex
+
+        for workload in tpch_workloads(tables):
+            if workload.goal_size != 1:
+                continue
+            index = SignatureIndex(workload.instance)
+            result = run_inference(
+                workload.instance,
+                TopDownStrategy(),
+                PerfectOracle(workload.instance, workload.goal),
+                index=index,
+                seed=0,
+            )
+            assert result.interactions <= max(20, len(index) // 4), (
+                workload.name
+            )

@@ -1,0 +1,78 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.core import strategy_by_name
+from repro.data import SyntheticConfig
+from repro.experiments import (
+    bar_chart,
+    chart_figure6,
+    chart_figure7,
+    figure6,
+    figure7,
+)
+
+
+class TestBarChart:
+    def test_scales_to_max(self):
+        text = bar_chart({"BU": 2, "TD": 4}, width=4)
+        lines = text.splitlines()
+        assert lines[0].count("█") == 2
+        assert lines[1].count("█") == 4
+
+    def test_title(self):
+        assert bar_chart({"a": 1}, title="Title").startswith("Title")
+
+    def test_zero_values(self):
+        text = bar_chart({"a": 0, "b": 0})
+        assert "█" not in text
+
+    def test_empty_series(self):
+        assert bar_chart({}) == "(no data)"
+
+    def test_float_formatting(self):
+        assert "0.25" in bar_chart({"a": 0.25})
+
+    def test_unit_suffix(self):
+        assert "3s" in bar_chart({"a": 3}, unit="s")
+
+
+class TestFigureCharts:
+    @pytest.fixture(scope="class")
+    def fig6_rows(self):
+        return figure6(
+            scales={"tiny": 0.4},
+            strategies=[strategy_by_name("BU"), strategy_by_name("TD")],
+            seed=0,
+        )
+
+    @pytest.fixture(scope="class")
+    def fig7_cells(self):
+        return figure7(
+            configs=(SyntheticConfig(2, 2, 10, 6),),
+            goal_sizes=(0, 1),
+            runs=1,
+            strategies=[strategy_by_name("BU")],
+            seed=0,
+        )
+
+    def test_chart_figure6_interactions(self, fig6_rows):
+        text = chart_figure6(fig6_rows, metric="interactions")
+        assert "join1 @ tiny (interactions)" in text
+        assert "█" in text
+
+    def test_chart_figure6_seconds(self, fig6_rows):
+        text = chart_figure6(fig6_rows, metric="seconds")
+        assert "(seconds)" in text
+
+    def test_chart_figure6_bad_metric(self, fig6_rows):
+        with pytest.raises(ValueError):
+            chart_figure6(fig6_rows, metric="cost")
+
+    def test_chart_figure7(self, fig7_cells):
+        text = chart_figure7(fig7_cells)
+        assert "|goal| = 0" in text
+
+    def test_chart_figure7_bad_metric(self, fig7_cells):
+        with pytest.raises(ValueError):
+            chart_figure7(fig7_cells, metric="cost")

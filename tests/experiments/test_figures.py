@@ -1,0 +1,147 @@
+"""The figure/table regeneration harness (smoke-level: small scales)."""
+
+import pytest
+
+from repro.core import strategy_by_name
+from repro.data import SyntheticConfig
+from repro.experiments import (
+    figure6,
+    figure7,
+    render_figure6,
+    render_figure7,
+    render_table,
+    render_table1,
+    table1,
+)
+
+
+@pytest.fixture(scope="module")
+def small_fig6():
+    return figure6(
+        scales={"tiny": 0.5},
+        strategies=[strategy_by_name("BU"), strategy_by_name("TD")],
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def small_fig7():
+    return figure7(
+        configs=(SyntheticConfig(2, 2, 15, 10),),
+        goal_sizes=(0, 1),
+        runs=2,
+        strategies=[strategy_by_name("BU"), strategy_by_name("TD")],
+        seed=0,
+    )
+
+
+class TestFigure6:
+    def test_covers_all_joins_and_strategies(self, small_fig6):
+        joins = {row.join_name for row in small_fig6}
+        strategies = {
+            row.measurement.strategy_name for row in small_fig6
+        }
+        assert joins == {"join1", "join2", "join3", "join4", "join5"}
+        assert strategies == {"BU", "TD"}
+
+    def test_all_runs_equivalent(self, small_fig6):
+        assert all(row.measurement.equivalent for row in small_fig6)
+
+    def test_metrics_attached(self, small_fig6):
+        for row in small_fig6:
+            assert row.metrics.cartesian_size > 0
+            assert row.metrics.join_ratio >= 0.0
+
+    def test_render(self, small_fig6):
+        text = render_figure6(small_fig6)
+        assert "Number of interactions" in text
+        assert "join5" in text
+
+
+class TestFigure7:
+    def test_cells_shape(self, small_fig7):
+        sizes = {cell.goal_size for cell in small_fig7}
+        assert sizes <= {0, 1}
+        for cell in small_fig7:
+            assert cell.aggregated.runs == 2
+            assert cell.aggregated.all_equivalent
+
+    def test_render(self, small_fig7):
+        text = render_figure7(small_fig7)
+        assert "(2,2,15,10)" in text
+
+
+class TestTable1:
+    def test_built_from_figures(self, small_fig6, small_fig7):
+        rows = table1(
+            figure6_rows=small_fig6, figure7_cells=small_fig7, seed=0
+        )
+        groups = {row.group for row in rows}
+        assert any(group.startswith("TPC-H") for group in groups)
+        for row in rows:
+            assert row.best_interactions >= 1 or "size 0" in row.experiment
+            assert row.best_strategies
+
+    def test_best_strategy_minimises_interactions(
+        self, small_fig6, small_fig7
+    ):
+        rows = table1(
+            figure6_rows=small_fig6, figure7_cells=small_fig7, seed=0
+        )
+        for row in rows:
+            best = min(
+                cell.mean_interactions for cell in row.cells.values()
+            )
+            assert row.best_interactions == best
+            for name in row.best_strategies:
+                assert row.cells[name].mean_interactions == best
+
+    def test_render(self, small_fig6, small_fig7):
+        rows = table1(
+            figure6_rows=small_fig6, figure7_cells=small_fig7, seed=0
+        )
+        text = render_table1(rows)
+        assert "join ratio" in text
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        text = render_table(
+            ["a", "bbbb"], [[1, 2], [333, 4]], title="T"
+        )
+        assert text.startswith("**T**")
+        assert "| a   | bbbb |" in text
+
+    def test_empty_rows(self):
+        text = render_table(["x"], [])
+        assert "| x |" in text
+
+
+class TestMainModule:
+    def test_build_report_smoke(self, monkeypatch):
+        """__main__.build_report on minimal settings produces all three
+        sections (patched to tiny workloads for speed)."""
+        import repro.experiments.__main__ as main_module
+
+        def tiny_figure6(seed=0):
+            return figure6(
+                scales={"tiny": 0.3},
+                strategies=[strategy_by_name("BU")],
+                seed=seed,
+            )
+
+        def tiny_figure7(seed=0, runs=1):
+            return figure7(
+                configs=(SyntheticConfig(2, 2, 10, 6),),
+                goal_sizes=(0,),
+                runs=1,
+                strategies=[strategy_by_name("BU")],
+                seed=seed,
+            )
+
+        monkeypatch.setattr(main_module, "figure6", tiny_figure6)
+        monkeypatch.setattr(main_module, "figure7", tiny_figure7)
+        report = main_module.build_report(runs=1, seed=0)
+        assert "## TPC-H experiments (Figure 6)" in report
+        assert "## Synthetic experiments (Figure 7)" in report
+        assert "## Summary (Table 1)" in report

@@ -1,0 +1,101 @@
+"""Experiment runner and metrics."""
+
+import pytest
+
+from repro.core import BottomUpStrategy, TopDownStrategy
+from repro.experiments import (
+    average_measurements,
+    compute_metrics,
+    measure_inference,
+)
+from repro.relational import JoinPredicate
+
+
+class TestMeasureInference:
+    def test_records_strategy_and_goal_size(self, example21):
+        e = example21
+        measurement = measure_inference(
+            e.instance, TopDownStrategy(), e.theta(("A1", "B1"))
+        )
+        assert measurement.strategy_name == "TD"
+        assert measurement.goal_size == 1
+        assert measurement.equivalent
+        assert measurement.interactions >= 1
+        assert measurement.seconds >= 0.0
+
+    def test_reuses_index(self, example21, example21_index):
+        e = example21
+        measurement = measure_inference(
+            e.instance,
+            BottomUpStrategy(),
+            JoinPredicate.empty(),
+            index=example21_index,
+        )
+        assert measurement.interactions == 1
+
+
+class TestAggregation:
+    def test_averages(self, example21):
+        e = example21
+        measurements = [
+            measure_inference(
+                e.instance, TopDownStrategy(), e.theta(("A1", "B1")),
+                seed=s,
+            )
+            for s in range(3)
+        ]
+        aggregated = average_measurements(measurements)
+        assert aggregated.runs == 3
+        assert aggregated.all_equivalent
+        assert (
+            min(m.interactions for m in measurements)
+            <= aggregated.mean_interactions
+            <= aggregated.max_interactions
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average_measurements([])
+
+    def test_mixed_strategies_rejected(self, example21):
+        e = example21
+        first = measure_inference(
+            e.instance, TopDownStrategy(), e.theta(("A1", "B1"))
+        )
+        second = measure_inference(
+            e.instance, BottomUpStrategy(), e.theta(("A1", "B1"))
+        )
+        with pytest.raises(ValueError):
+            average_measurements([first, second])
+
+
+class TestMetrics:
+    def test_example21_metrics(self, example21, example21_index):
+        metrics = compute_metrics(example21.instance, example21_index)
+        assert metrics.cartesian_size == 12
+        assert metrics.distinct_signatures == 12
+        assert metrics.join_ratio == pytest.approx(2.0)
+        assert metrics.max_signature_size == 3
+        assert metrics.maximal_classes == 7
+        assert metrics.compression == pytest.approx(1.0)
+
+    def test_compression_with_duplicates(self):
+        from repro.relational import Instance, Relation
+
+        instance = Instance(
+            Relation.build("R", ["A"], [(1,), (2,), (3,)]),
+            Relation.build("P", ["B"], [(9,), (8,)]),
+        )
+        metrics = compute_metrics(instance)
+        assert metrics.distinct_signatures == 1  # everything T = ∅
+        assert metrics.compression == pytest.approx(6.0)
+
+    def test_empty_instance_metrics(self):
+        from repro.relational import Instance, Relation
+
+        instance = Instance(
+            Relation.build("R", ["A"]), Relation.build("P", ["B"])
+        )
+        metrics = compute_metrics(instance)
+        assert metrics.cartesian_size == 0
+        assert metrics.compression == 0.0

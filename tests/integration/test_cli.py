@@ -1,0 +1,189 @@
+"""CLI integration tests (in-process via cli.main)."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.relational import Relation, write_csv
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_infer_arguments(self):
+        args = build_parser().parse_args(
+            ["infer", "a.csv", "b.csv", "--strategy", "L1S"]
+        )
+        assert args.strategy == "L1S"
+
+    def test_experiment_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig9"])
+
+
+class TestGenerate:
+    def test_tpch(self, tmp_path, capsys):
+        assert main(
+            [
+                "generate",
+                "tpch",
+                "--scale",
+                "0.5",
+                "--out-dir",
+                str(tmp_path),
+            ]
+        ) == 0
+        written = {p.name for p in tmp_path.glob("*.csv")}
+        assert "part.csv" in written and "lineitem.csv" in written
+        assert "wrote" in capsys.readouterr().out
+
+    def test_synthetic(self, tmp_path, capsys):
+        assert main(
+            [
+                "generate",
+                "synthetic",
+                "--config",
+                "(2,3,8,5)",
+                "--out-dir",
+                str(tmp_path),
+            ]
+        ) == 0
+        assert (tmp_path / "R.csv").exists()
+        assert (tmp_path / "P.csv").exists()
+
+    def test_bad_config(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "generate",
+                    "synthetic",
+                    "--config",
+                    "nonsense",
+                    "--out-dir",
+                    str(tmp_path),
+                ]
+            )
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "Flight" in out
+        assert "questions" in out
+
+
+class TestInfer:
+    def _write_tables(self, tmp_path):
+        left = Relation.build(
+            "Products",
+            ["sku", "cat"],
+            [(1, 10), (2, 20)],
+        )
+        right = Relation.build(
+            "Categories",
+            ["code", "tax"],
+            [(10, 1), (20, 2)],
+        )
+        left_path = tmp_path / "products.csv"
+        right_path = tmp_path / "categories.csv"
+        write_csv(left, left_path)
+        write_csv(right, right_path)
+        return left_path, right_path
+
+    def test_infer_with_scripted_stdin(self, tmp_path, capsys, monkeypatch):
+        left_path, right_path = self._write_tables(tmp_path)
+        # Answer "yes" when sku/cat matches code positionally, else "no";
+        # just feed a deterministic script long enough for any strategy.
+        answers = io.StringIO("\n".join(["n"] * 30) + "\n")
+        monkeypatch.setattr(
+            "builtins.input", lambda prompt="": answers.readline().strip()
+        )
+        assert main(
+            [
+                "infer",
+                str(left_path),
+                str(right_path),
+                "--strategy",
+                "BU",
+                "--infer-types",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Inferred join predicate" in out
+
+    def test_infer_saves_transcript(self, tmp_path, capsys, monkeypatch):
+        left_path, right_path = self._write_tables(tmp_path)
+        answers = io.StringIO("\n".join(["n"] * 30) + "\n")
+        monkeypatch.setattr(
+            "builtins.input", lambda prompt="": answers.readline().strip()
+        )
+        transcript = tmp_path / "session.json"
+        assert main(
+            [
+                "infer",
+                str(left_path),
+                str(right_path),
+                "--strategy",
+                "BU",
+                "--infer-types",
+                "--save-transcript",
+                str(transcript),
+            ]
+        ) == 0
+        from repro.core import loads
+        from repro.core.session import InferenceResult
+
+        restored = loads(transcript.read_text())
+        assert isinstance(restored, InferenceResult)
+        assert restored.interactions == len(restored.history)
+
+    def test_infer_max_questions(self, tmp_path, capsys, monkeypatch):
+        left_path, right_path = self._write_tables(tmp_path)
+        answers = io.StringIO("\n".join(["y"] * 5) + "\n")
+        monkeypatch.setattr(
+            "builtins.input", lambda prompt="": answers.readline().strip()
+        )
+        assert main(
+            [
+                "infer",
+                str(left_path),
+                str(right_path),
+                "--max-questions",
+                "1",
+                "--infer-types",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "(1 questions asked)" in out
+
+
+class TestExperimentCommand:
+    def test_table1_smoke(self, capsys, monkeypatch):
+        """Patch the heavy harness functions for a fast smoke run."""
+        import repro.cli as cli_module
+        from repro.core import strategy_by_name
+        from repro.data import SyntheticConfig
+
+        def fake_experiment(args):
+            from repro.experiments import (
+                figure7,
+                render_figure7,
+            )
+
+            cells = figure7(
+                configs=(SyntheticConfig(2, 2, 8, 5),),
+                goal_sizes=(0,),
+                runs=1,
+                strategies=[strategy_by_name("BU")],
+                seed=0,
+            )
+            print(render_figure7(cells))
+            return 0
+
+        monkeypatch.setattr(cli_module, "_cmd_experiment", fake_experiment)
+        assert main(["experiment", "table1"]) == 0
+        assert "interactions" in capsys.readouterr().out

@@ -1,0 +1,161 @@
+"""End-to-end integration across packages."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    OptimalStrategy,
+    PerfectOracle,
+    SignatureIndex,
+    default_strategies,
+    run_inference,
+)
+from repro.data import (
+    PAPER_CONFIGS,
+    generate_synthetic,
+    generate_tpch,
+    tpch_workloads,
+)
+from repro.relational import JoinPredicate, equijoin
+from repro.relational.sqlite_backend import (
+    connect_memory,
+    sql_equijoin,
+    store_instance,
+)
+
+
+class TestTpchPipeline:
+    @pytest.fixture(scope="class")
+    def workloads(self):
+        return tpch_workloads(generate_tpch(scale=0.8, seed=3))
+
+    def test_all_strategies_all_joins(self, workloads):
+        for workload in workloads:
+            index = SignatureIndex(workload.instance)
+            for strategy in default_strategies():
+                result = run_inference(
+                    workload.instance,
+                    strategy,
+                    PerfectOracle(workload.instance, workload.goal),
+                    index=index,
+                    seed=2,
+                )
+                assert result.matches_goal(
+                    workload.instance, workload.goal
+                ), f"{strategy.name} on {workload.name}"
+
+    def test_inferred_join_executes_identically_in_sqlite(self, workloads):
+        """The predicate inferred from labels evaluates to the same rows
+        as the hidden key/FK join — checked on a real SQL engine."""
+        workload = workloads[0]
+        result = run_inference(
+            workload.instance,
+            default_strategies()[2],
+            PerfectOracle(workload.instance, workload.goal),
+            seed=0,
+        )
+        conn = connect_memory()
+        store_instance(conn, workload.instance)
+        assert sql_equijoin(
+            conn, workload.instance, result.predicate
+        ) == sql_equijoin(conn, workload.instance, workload.goal)
+        conn.close()
+
+    def test_interaction_count_stable_across_scales(self):
+        """The paper's SF=1 vs SF=100000 observation: interaction counts
+        depend on signature structure, not on cardinality."""
+        from repro.core import TopDownStrategy
+
+        counts = {}
+        for scale in (1.0, 3.0):
+            workload = tpch_workloads(
+                generate_tpch(scale=scale, seed=0)
+            )[0]
+            result = run_inference(
+                workload.instance,
+                TopDownStrategy(),
+                PerfectOracle(workload.instance, workload.goal),
+                seed=0,
+            )
+            counts[scale] = result.interactions
+        assert abs(counts[1.0] - counts[3.0]) <= 4
+
+
+class TestSyntheticPipeline:
+    def test_every_paper_config_runs(self):
+        for config in PAPER_CONFIGS:
+            instance = generate_synthetic(
+                config.scaled(15), seed=hash(config.label) & 0xFFFF
+            )
+            index = SignatureIndex(instance)
+            goal = JoinPredicate([instance.omega[0]])
+            for strategy in default_strategies():
+                result = run_inference(
+                    instance,
+                    strategy,
+                    PerfectOracle(instance, goal),
+                    index=index,
+                    seed=0,
+                )
+                assert result.matches_goal(instance, goal)
+
+
+class TestOptimalOnSmallInstances:
+    def test_practical_strategies_respect_minimax_bound(self):
+        rng = random.Random(5)
+        from ..conftest import make_random_instance
+
+        for _ in range(3):
+            instance = make_random_instance(
+                rng, left_arity=2, right_arity=2, rows=3, values=3
+            )
+            index = SignatureIndex(instance, backend="python")
+            if len(index) > 10:
+                continue
+            optimal = OptimalStrategy()
+            bound = optimal.worst_case_interactions(index)
+            from repro.core import non_nullable_predicates
+
+            goals = non_nullable_predicates(index) + [
+                JoinPredicate(instance.omega)
+            ]
+            for strategy in default_strategies():
+                worst = max(
+                    run_inference(
+                        instance,
+                        strategy,
+                        PerfectOracle(instance, goal),
+                        index=index,
+                        seed=1,
+                    ).interactions
+                    for goal in goals
+                )
+                assert worst >= bound
+
+
+class TestCrossValidationWithSQL:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_inferred_predicates_match_sql(self, seed):
+        from ..conftest import make_random_instance
+        from repro.core import TopDownStrategy
+
+        rng = random.Random(seed)
+        instance = make_random_instance(
+            rng, left_arity=2, right_arity=3, rows=6, values=4
+        )
+        goal = JoinPredicate(
+            rng.sample(instance.omega, rng.randrange(0, 3))
+        )
+        result = run_inference(
+            instance,
+            TopDownStrategy(),
+            PerfectOracle(instance, goal),
+            seed=seed,
+        )
+        conn = connect_memory()
+        store_instance(conn, instance)
+        assert sql_equijoin(conn, instance, result.predicate) == set(
+            equijoin(instance, goal)
+        )
+        conn.close()

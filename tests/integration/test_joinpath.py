@@ -1,0 +1,141 @@
+"""Join-path inference (§7 future work)."""
+
+import pytest
+
+from repro.core import CallbackOracle, Label, PerfectOracle
+from repro.data import generate_tpch
+from repro.joinpath import (
+    evaluate_join_path,
+    infer_join_path,
+)
+from repro.relational import JoinPredicate, Relation
+from repro.relational.algebra import project
+
+
+@pytest.fixture(scope="module")
+def chain():
+    tables = generate_tpch(scale=0.6, seed=1)
+    customer = project(tables.customer, ["custkey", "nationkey", "acctbal"])
+    orders = project(tables.orders, ["orderkey", "custkey", "totalprice"])
+    lineitem = project(tables.lineitem, ["orderkey", "partkey", "quantity"])
+    goals = [
+        JoinPredicate.parse("customer.custkey = orders.custkey"),
+        JoinPredicate.parse("orders.orderkey = lineitem.orderkey"),
+    ]
+    return [customer, orders, lineitem], goals
+
+
+class TestInference:
+    def test_recovers_both_hops(self, chain):
+        relations, goals = chain
+        result = infer_join_path(relations, goals=goals, seed=0)
+        assert len(result.hops) == 2
+        truth = evaluate_join_path(relations, goals)
+        inferred = evaluate_join_path(relations, result.predicates)
+        assert set(truth) == set(inferred)
+
+    def test_total_interactions_is_hop_sum(self, chain):
+        relations, goals = chain
+        result = infer_join_path(relations, goals=goals, seed=0)
+        assert result.total_interactions == sum(
+            hop.interactions for hop in result.hops
+        )
+        assert result.total_interactions >= 2
+
+    def test_hop_names(self, chain):
+        relations, goals = chain
+        result = infer_join_path(relations, goals=goals, seed=0)
+        assert result.hops[0].left_name == "customer"
+        assert result.hops[1].right_name == "lineitem"
+
+    def test_oracle_based_api(self, chain):
+        relations, goals = chain
+        from repro.relational import Instance
+
+        oracles = [
+            PerfectOracle(
+                Instance(relations[i], relations[i + 1]), goals[i]
+            )
+            for i in range(2)
+        ]
+        result = infer_join_path(relations, oracles=oracles, seed=0)
+        assert evaluate_join_path(
+            relations, result.predicates
+        ) == evaluate_join_path(relations, goals)
+
+
+class TestValidation:
+    def test_needs_two_relations(self):
+        with pytest.raises(ValueError):
+            infer_join_path(
+                [Relation.build("R", ["a"], [(1,)])], goals=[]
+            )
+
+    def test_oracles_xor_goals(self, chain):
+        relations, goals = chain
+        with pytest.raises(ValueError):
+            infer_join_path(relations)
+        with pytest.raises(ValueError):
+            infer_join_path(relations, goals=goals, oracles=[None, None])
+
+    def test_goal_count_checked(self, chain):
+        relations, goals = chain
+        with pytest.raises(ValueError):
+            infer_join_path(relations, goals=goals[:1])
+
+    def test_predicate_count_checked(self, chain):
+        relations, goals = chain
+        with pytest.raises(ValueError):
+            evaluate_join_path(relations, goals[:1])
+
+
+class TestEvaluation:
+    def test_two_hop_chain_semantics(self):
+        a = Relation.build("A", ["x"], [(1,), (2,)])
+        b = Relation.build("B", ["x", "y"], [(1, 10), (2, 20), (2, 30)])
+        c = Relation.build("C", ["y"], [(10,), (30,)])
+        theta1 = JoinPredicate.parse("A.x = B.x")
+        theta2 = JoinPredicate.parse("B.y = C.y")
+        chains = evaluate_join_path([a, b, c], [theta1, theta2])
+        assert set(chains) == {
+            ((1,), (1, 10), (10,)),
+            ((2,), (2, 30), (30,)),
+        }
+
+    def test_empty_predicates_are_cartesian(self):
+        a = Relation.build("A", ["x"], [(1,)])
+        b = Relation.build("B", ["y"], [(2,), (3,)])
+        chains = evaluate_join_path(
+            [a, b], [JoinPredicate.empty()]
+        )
+        assert len(chains) == 2
+
+    def test_interactive_chain_with_scripted_user(self):
+        """A human-style run: the oracle for each hop is a callback that
+        consults the (hidden) goal; the API never sees the goal."""
+        a = Relation.build("A", ["x"], [(1,), (2,)])
+        b = Relation.build("B", ["x2", "z"], [(1, 5), (2, 6)])
+        c = Relation.build("C", ["z2"], [(5,), (7,)])
+        hidden = [
+            JoinPredicate.parse("A.x = B.x2"),
+            JoinPredicate.parse("B.z = C.z2"),
+        ]
+
+        def oracle_for(hop):
+            from repro.relational import Instance, selects
+
+            instance = Instance([a, b, c][hop], [a, b, c][hop + 1])
+
+            def answer(tuple_pair):
+                if selects(instance, hidden[hop], tuple_pair):
+                    return Label.POSITIVE
+                return Label.NEGATIVE
+
+            return CallbackOracle(answer)
+
+        result = infer_join_path(
+            [a, b, c], oracles=[oracle_for(0), oracle_for(1)], seed=0
+        )
+        assert evaluate_join_path(
+            [a, b, c], result.predicates
+        ) == evaluate_join_path([a, b, c], hidden)

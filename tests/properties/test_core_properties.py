@@ -1,0 +1,256 @@
+"""Property-based tests (hypothesis) for the core machinery.
+
+Random small instances + random consistent samples; the PTIME lemma-based
+implementations must agree with the exponential definition-level
+references, and all documented invariants must hold.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Label,
+    PerfectOracle,
+    Sample,
+    SignatureIndex,
+    certain_examples,
+    certain_negative,
+    certain_positive,
+    consistent_predicate,
+    informative_tuples,
+    is_consistent,
+    most_specific_for_set,
+    most_specific_predicate,
+    run_inference,
+)
+from repro.core.naive import (
+    certain_negative_naive,
+    certain_positive_naive,
+    consistent_set,
+    uninformative_examples_naive,
+)
+from repro.core.strategies import default_strategies
+from repro.relational import (
+    Instance,
+    JoinPredicate,
+    Relation,
+    equijoin,
+    selects,
+    semijoin,
+)
+
+
+@st.composite
+def instances(draw, max_arity=2, max_rows=4, max_values=3):
+    """Small random instances (Ω ≤ 4 keeps the naive references fast)."""
+    left_arity = draw(st.integers(1, max_arity))
+    right_arity = draw(st.integers(1, max_arity))
+    n_left = draw(st.integers(1, max_rows))
+    n_right = draw(st.integers(1, max_rows))
+    values = st.integers(0, max_values - 1)
+    left_rows = draw(
+        st.lists(
+            st.tuples(*[values] * left_arity),
+            min_size=n_left,
+            max_size=n_left,
+        )
+    )
+    right_rows = draw(
+        st.lists(
+            st.tuples(*[values] * right_arity),
+            min_size=n_right,
+            max_size=n_right,
+        )
+    )
+    left = Relation.build(
+        "R", [f"A{i}" for i in range(left_arity)], left_rows
+    )
+    right = Relation.build(
+        "P", [f"B{j}" for j in range(right_arity)], right_rows
+    )
+    return Instance(left, right)
+
+
+@st.composite
+def instances_with_goal(draw):
+    instance = draw(instances())
+    omega = instance.omega
+    size = draw(st.integers(0, min(2, len(omega))))
+    indices = draw(
+        st.lists(
+            st.integers(0, len(omega) - 1),
+            min_size=size,
+            max_size=size,
+            unique=True,
+        )
+    )
+    goal = JoinPredicate(omega[i] for i in indices)
+    return instance, goal
+
+
+@st.composite
+def instances_with_consistent_sample(draw):
+    instance, goal = draw(instances_with_goal())
+    oracle = PerfectOracle(instance, goal)
+    tuples = list(instance.cartesian_product())
+    how_many = draw(st.integers(0, min(4, len(tuples))))
+    indices = draw(
+        st.lists(
+            st.integers(0, len(tuples) - 1),
+            min_size=how_many,
+            max_size=how_many,
+            unique=True,
+        )
+    )
+    sample = Sample()
+    for i in indices:
+        sample.label_tuple(tuples[i], oracle.label(tuples[i]))
+    return instance, sample
+
+
+@settings(max_examples=60, deadline=None)
+@given(instances())
+def test_t_of_tuple_is_most_specific_selector(instance):
+    """θ selects t iff θ ⊆ T(t), for every tuple and random θ."""
+    omega = instance.omega
+    rng = random.Random(0)
+    for t in instance.cartesian_product():
+        t_of_t = most_specific_predicate(instance, t)
+        for _ in range(5):
+            theta = JoinPredicate(
+                rng.sample(omega, rng.randrange(len(omega) + 1))
+            )
+            assert selects(instance, theta, t) == (theta <= t_of_t)
+
+
+@settings(max_examples=60, deadline=None)
+@given(instances())
+def test_equijoin_antimonotone_in_theta(instance):
+    omega = list(instance.omega)
+    rng = random.Random(1)
+    small = JoinPredicate(rng.sample(omega, rng.randrange(len(omega))))
+    extra = rng.sample(omega, rng.randrange(len(omega) + 1))
+    big = small | JoinPredicate(extra)
+    assert set(equijoin(instance, big)) <= set(equijoin(instance, small))
+    assert set(semijoin(instance, big)) <= set(semijoin(instance, small))
+
+
+@settings(max_examples=40, deadline=None)
+@given(instances_with_consistent_sample())
+def test_consistency_check_matches_enumeration(data):
+    instance, sample = data
+    assert is_consistent(instance, sample) == bool(
+        consistent_set(instance, sample)
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(instances_with_consistent_sample())
+def test_consistent_predicate_is_maximal_of_consistent_set(data):
+    instance, sample = data
+    theta = consistent_predicate(instance, sample)
+    candidates = consistent_set(instance, sample)
+    assert theta is not None  # sample built from an honest oracle
+    assert theta in candidates
+    assert all(candidate <= theta for candidate in candidates)
+
+
+@settings(max_examples=30, deadline=None)
+@given(instances_with_consistent_sample())
+def test_lemma_33_34_match_naive_definitions(data):
+    instance, sample = data
+    assert certain_positive(instance, sample) == certain_positive_naive(
+        instance, sample
+    )
+    assert certain_negative(instance, sample) == certain_negative_naive(
+        instance, sample
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(instances_with_consistent_sample())
+def test_lemma_32_uninformative_equals_certain(data):
+    instance, sample = data
+    assert uninformative_examples_naive(instance, sample) == (
+        certain_examples(instance, sample)
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(instances_with_consistent_sample())
+def test_certain_sets_disjoint_for_consistent_samples(data):
+    instance, sample = data
+    positive = certain_positive(instance, sample)
+    negative = certain_negative(instance, sample)
+    assert not positive & negative
+
+
+@settings(max_examples=30, deadline=None)
+@given(instances_with_consistent_sample())
+def test_informative_tuples_complement_certain(data):
+    instance, sample = data
+    informative = set(informative_tuples(instance, sample))
+    certain = certain_positive(instance, sample) | certain_negative(
+        instance, sample
+    )
+    labeled = {t for t in instance.cartesian_product() if sample.is_labeled(t)}
+    everything = set(instance.cartesian_product())
+    assert informative == everything - certain - labeled
+
+
+@settings(max_examples=25, deadline=None)
+@given(instances_with_goal())
+def test_every_strategy_recovers_an_equivalent_predicate(data):
+    instance, goal = data
+    index = SignatureIndex(instance, backend="python")
+    for strategy in default_strategies():
+        result = run_inference(
+            instance,
+            strategy,
+            PerfectOracle(instance, goal),
+            index=index,
+            seed=7,
+        )
+        assert result.matches_goal(instance, goal), strategy.name
+        # Interactions never exceed the number of signature classes.
+        assert result.interactions <= len(index)
+
+
+@settings(max_examples=25, deadline=None)
+@given(instances_with_goal())
+def test_inferred_predicate_consistent_with_full_goal_labeling(data):
+    """The returned T(S+) selects exactly the goal's join result."""
+    instance, goal = data
+    result = run_inference(
+        instance,
+        default_strategies()[2],  # TD
+        PerfectOracle(instance, goal),
+        seed=3,
+    )
+    assert set(equijoin(instance, result.predicate)) == set(
+        equijoin(instance, goal)
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(instances())
+def test_t_for_set_is_intersection(instance):
+    tuples = list(instance.cartesian_product())
+    whole = most_specific_for_set(instance, tuples)
+    for t in tuples:
+        assert whole <= most_specific_predicate(instance, t)
+
+
+@settings(max_examples=40, deadline=None)
+@given(instances())
+def test_signature_index_partitions_product(instance):
+    index = SignatureIndex(instance, backend="python")
+    assert index.total_weight == instance.cartesian_size
+    numpy_index = SignatureIndex(instance, backend="numpy")
+    assert [(c.mask, c.count) for c in index] == [
+        (c.mask, c.count) for c in numpy_index
+    ]

@@ -1,0 +1,113 @@
+"""Property tests for the semijoin machinery (hypothesis)."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Label
+from repro.relational import JoinPredicate, semijoin
+from repro.sat import is_satisfiable, random_3cnf, solve
+from repro.semijoin import (
+    SemijoinSample,
+    consistent_semijoin_backtracking,
+    consistent_semijoin_brute,
+    consistent_semijoin_sat,
+    extract_valuation,
+    is_semijoin_consistent_with,
+    reduce_3sat,
+    valuation_predicate,
+    witness_signatures,
+)
+
+from ..conftest import make_random_instance
+
+
+@st.composite
+def semijoin_setups(draw):
+    seed = draw(st.integers(0, 10_000))
+    rng = random.Random(seed)
+    instance = make_random_instance(
+        rng,
+        left_arity=rng.randrange(1, 3),
+        right_arity=rng.randrange(1, 3),
+        rows=rng.randrange(2, 6),
+        values=rng.randrange(2, 4),
+    )
+    sample = SemijoinSample()
+    for row in instance.left:
+        if rng.random() < 0.7:
+            sample.label_row(
+                row, rng.choice([Label.POSITIVE, Label.NEGATIVE])
+            )
+    return instance, sample
+
+
+@settings(max_examples=40, deadline=None)
+@given(semijoin_setups())
+def test_three_deciders_agree(setup):
+    instance, sample = setup
+    brute = consistent_semijoin_brute(instance, sample)
+    backtracking = consistent_semijoin_backtracking(instance, sample)
+    sat = consistent_semijoin_sat(instance, sample)
+    assert (brute is None) == (backtracking is None) == (sat is None)
+    for theta in (brute, backtracking, sat):
+        if theta is not None:
+            assert is_semijoin_consistent_with(instance, theta, sample)
+
+
+@settings(max_examples=40, deadline=None)
+@given(semijoin_setups())
+def test_witness_signatures_characterise_selection(setup):
+    """θ keeps a row iff θ's mask fits inside some witness signature."""
+    from repro.core import bits_from_pairs
+
+    instance, _ = setup
+    rng = random.Random(7)
+    omega = instance.omega
+    for row in instance.left:
+        witnesses = witness_signatures(instance, row)
+        for _ in range(4):
+            theta = JoinPredicate(
+                rng.sample(omega, rng.randrange(len(omega) + 1))
+            )
+            mask = bits_from_pairs(instance, theta)
+            kept = row in set(semijoin(instance, theta))
+            fits = any(mask & ~witness == 0 for witness in witnesses)
+            assert kept == fits
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000))
+def test_reduction_equivalence(seed):
+    """Theorem 6.1 in both directions on random 3-CNF formulas."""
+    rng = random.Random(seed)
+    formula = random_3cnf(rng.randrange(3, 5), rng.randrange(1, 6), rng)
+    reduction = reduce_3sat(formula)
+    satisfiable = is_satisfiable(formula)
+    theta = consistent_semijoin_sat(reduction.instance, reduction.sample)
+    assert (theta is not None) == satisfiable
+    if satisfiable:
+        assert formula.evaluate(extract_valuation(reduction, theta))
+        model = solve(formula)
+        induced = valuation_predicate(reduction, model)
+        assert is_semijoin_consistent_with(
+            reduction.instance, induced, reduction.sample
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(semijoin_setups())
+def test_positive_only_samples_consistent_iff_witnesses_exist(setup):
+    """With no negative examples, consistency holds exactly when every
+    positive row has at least one witness (θ = ∅ fails only on rows with
+    an empty P side — impossible here — so pick θ per witnesses)."""
+    instance, sample = setup
+    positives_only = SemijoinSample.of(positives=sample.positives)
+    theta = consistent_semijoin_sat(instance, positives_only)
+    witnesses_exist = all(
+        witness_signatures(instance, row) for row in positives_only.positives
+    )
+    assert (theta is not None) == witnesses_exist

@@ -1,0 +1,119 @@
+"""Session/strategy invariants on random instances (hypothesis)."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    InferenceSession,
+    PerfectOracle,
+    SignatureIndex,
+    consistent_predicate,
+    default_strategies,
+    is_consistent,
+    most_specific_for_set,
+)
+from repro.core.strategies import VersionSpaceStrategy
+from repro.relational import JoinPredicate
+
+from ..conftest import make_random_instance
+
+
+@st.composite
+def inference_setups(draw):
+    seed = draw(st.integers(0, 10_000))
+    rng = random.Random(seed)
+    instance = make_random_instance(
+        rng,
+        left_arity=rng.randrange(1, 3),
+        right_arity=rng.randrange(1, 4),
+        rows=rng.randrange(2, 7),
+        values=rng.randrange(2, 4),
+    )
+    omega = instance.omega
+    goal = JoinPredicate(
+        rng.sample(omega, rng.randrange(0, min(3, len(omega)) + 1))
+    )
+    strategy_pool = default_strategies() + [VersionSpaceStrategy()]
+    strategy = strategy_pool[draw(st.integers(0, len(strategy_pool) - 1))]
+    return instance, goal, strategy, seed
+
+
+@settings(max_examples=50, deadline=None)
+@given(inference_setups())
+def test_sample_stays_consistent_throughout(setup):
+    """§4.1: asking informative tuples only keeps the sample consistent
+    after every single step."""
+    instance, goal, strategy, seed = setup
+    session = InferenceSession(
+        instance, strategy, PerfectOracle(instance, goal), seed=seed
+    )
+    while session.state.has_informative():
+        session.step()
+        assert is_consistent(instance, session.sample)
+
+
+@settings(max_examples=50, deadline=None)
+@given(inference_setups())
+def test_informative_count_strictly_decreases(setup):
+    """Each question makes at least its own class certain, so the number
+    of informative classes strictly decreases — termination in ≤ |N|."""
+    instance, goal, strategy, seed = setup
+    session = InferenceSession(
+        instance, strategy, PerfectOracle(instance, goal), seed=seed
+    )
+    previous = len(session.state.informative_class_ids())
+    while session.state.has_informative():
+        session.step()
+        current = len(session.state.informative_class_ids())
+        assert current < previous
+        previous = current
+
+
+@settings(max_examples=50, deadline=None)
+@given(inference_setups())
+def test_result_is_t_of_s_plus(setup):
+    """Algorithm 1 returns exactly T(S+) — the most specific consistent
+    predicate for the collected sample."""
+    instance, goal, strategy, seed = setup
+    session = InferenceSession(
+        instance, strategy, PerfectOracle(instance, goal), seed=seed
+    )
+    result = session.run()
+    assert result.predicate == most_specific_for_set(
+        instance, session.sample.positives
+    )
+    assert result.predicate == consistent_predicate(
+        instance, session.sample
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(inference_setups())
+def test_halt_condition_gamma_is_reached(setup):
+    """After the run no tuple of the product is informative (Γ)."""
+    instance, goal, strategy, seed = setup
+    session = InferenceSession(
+        instance, strategy, PerfectOracle(instance, goal), seed=seed
+    )
+    session.run()
+    assert not session.state.has_informative()
+
+
+@settings(max_examples=50, deadline=None)
+@given(inference_setups())
+def test_interactions_bounded_by_class_count(setup):
+    instance, goal, strategy, seed = setup
+    index = SignatureIndex(instance, backend="python")
+    session = InferenceSession(
+        instance,
+        strategy,
+        PerfectOracle(instance, goal),
+        index=index,
+        seed=seed,
+    )
+    result = session.run()
+    assert 0 <= result.interactions <= len(index)

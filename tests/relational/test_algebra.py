@@ -1,0 +1,175 @@
+"""Relational algebra semantics — validated on Example 2.1 of the paper."""
+
+import pytest
+
+from repro.relational import (
+    cartesian_product,
+    equijoin,
+    is_nullable,
+    join_witnesses,
+    project,
+    select,
+    selects,
+    semijoin,
+    semijoin_selects,
+    Instance,
+    JoinPredicate,
+    Relation,
+)
+
+
+class TestExample21:
+    """The exact joins computed in Example 2.1."""
+
+    def test_equijoin_theta1(self, example21):
+        e = example21
+        theta1 = e.theta(("A1", "B1"), ("A2", "B3"))
+        assert sorted(equijoin(e.instance, theta1)) == sorted(
+            [(e.t2, e.u2), (e.t4, e.u1)]
+        )
+
+    def test_semijoin_theta1(self, example21):
+        e = example21
+        theta1 = e.theta(("A1", "B1"), ("A2", "B3"))
+        assert set(semijoin(e.instance, theta1)) == {e.t2, e.t4}
+
+    def test_equijoin_theta2(self, example21):
+        e = example21
+        theta2 = e.theta(("A2", "B2"))
+        assert sorted(equijoin(e.instance, theta2)) == sorted(
+            [(e.t1, e.u1), (e.t1, e.u2), (e.t4, e.u3)]
+        )
+
+    def test_semijoin_theta2(self, example21):
+        e = example21
+        theta2 = e.theta(("A2", "B2"))
+        assert set(semijoin(e.instance, theta2)) == {e.t1, e.t4}
+
+    def test_equijoin_theta3_empty(self, example21):
+        e = example21
+        theta3 = e.theta(("A2", "B1"), ("A2", "B2"), ("A2", "B3"))
+        assert equijoin(e.instance, theta3) == []
+        assert semijoin(e.instance, theta3) == []
+        assert is_nullable(e.instance, theta3)
+
+
+class TestFlightsHotels:
+    """The introduction's Q1/Q2 queries (Figures 1–2)."""
+
+    def test_q1_selects_four_packages(self, flights_hotels):
+        """Q1 selects tuples (3), (4), (8) and (10) of Figure 2."""
+        f = flights_hotels
+        assert len(equijoin(f.instance, f.q1)) == 4
+
+    def test_q2_contained_in_q1(self, flights_hotels):
+        f = flights_hotels
+        assert set(equijoin(f.instance, f.q2)) <= set(
+            equijoin(f.instance, f.q1)
+        )
+
+    def test_tuple_8_distinguishes_q1_q2(self, flights_hotels):
+        """Tuple (8) of Figure 2: (NYC→Paris AA, Paris hotel)."""
+        f = flights_hotels
+        tuple_8 = (("NYC", "Paris", "AA"), ("Paris", "NoDiscount"))
+        assert selects(f.instance, f.q1, tuple_8)
+        assert not selects(f.instance, f.q2, tuple_8)
+
+    def test_tuple_3_selected_by_both(self, flights_hotels):
+        f = flights_hotels
+        tuple_3 = (("Paris", "Lille", "AF"), ("Lille", "AF"))
+        assert selects(f.instance, f.q1, tuple_3)
+        assert selects(f.instance, f.q2, tuple_3)
+
+
+class TestOperators:
+    def test_empty_predicate_equijoin_is_cartesian_product(self, example21):
+        instance = example21.instance
+        assert equijoin(instance, JoinPredicate.empty()) == cartesian_product(
+            instance
+        )
+
+    def test_empty_predicate_semijoin_is_left_relation(self, example21):
+        instance = example21.instance
+        assert semijoin(instance, JoinPredicate.empty()) == list(
+            instance.left
+        )
+
+    def test_empty_predicate_semijoin_with_empty_right(self):
+        instance = Instance(
+            Relation.build("R", ["A"], [(1,)]),
+            Relation.build("P", ["B"]),
+        )
+        # ∃t' ∈ P fails when P is empty, even with no equality constraints.
+        assert semijoin(instance, JoinPredicate.empty()) == []
+
+    def test_anti_monotonicity_equijoin(self, example21):
+        """θ1 ⊆ θ2 implies R⋈θ2 ⊆ R⋈θ1 (§2)."""
+        e = example21
+        theta_small = e.theta(("A1", "B1"))
+        theta_big = e.theta(("A1", "B1"), ("A2", "B3"))
+        assert set(equijoin(e.instance, theta_big)) <= set(
+            equijoin(e.instance, theta_small)
+        )
+
+    def test_anti_monotonicity_semijoin(self, example21):
+        e = example21
+        theta_small = e.theta(("A2", "B2"))
+        theta_big = e.theta(("A2", "B2"), ("A1", "B2"))
+        assert set(semijoin(e.instance, theta_big)) <= set(
+            semijoin(e.instance, theta_small)
+        )
+
+    def test_semijoin_is_projection_of_equijoin(self, example21):
+        e = example21
+        for theta in [
+            e.theta(("A1", "B1")),
+            e.theta(("A2", "B3")),
+            e.theta(("A1", "B2"), ("A2", "B1")),
+        ]:
+            projected = {r for r, _ in equijoin(e.instance, theta)}
+            assert projected == set(semijoin(e.instance, theta))
+
+    def test_selects_matches_equijoin_membership(self, example21):
+        e = example21
+        theta = e.theta(("A1", "B1"))
+        joined = set(equijoin(e.instance, theta))
+        for t in e.instance.cartesian_product():
+            assert selects(e.instance, theta, t) == (t in joined)
+
+    def test_semijoin_selects_matches_semijoin_membership(self, example21):
+        e = example21
+        theta = e.theta(("A2", "B2"))
+        kept = set(semijoin(e.instance, theta))
+        for row in e.instance.left:
+            assert semijoin_selects(e.instance, theta, row) == (row in kept)
+
+    def test_join_witnesses(self, example21):
+        e = example21
+        theta = e.theta(("A2", "B2"))
+        assert join_witnesses(e.instance, theta, e.t1) == [e.u1, e.u2]
+        assert join_witnesses(e.instance, theta, e.t2) == []
+
+    def test_is_nullable_matches_equijoin_emptiness(self, example21):
+        e = example21
+        for theta in [
+            JoinPredicate.empty(),
+            e.theta(("A1", "B1")),
+            e.theta(("A2", "B1"), ("A2", "B2"), ("A2", "B3")),
+        ]:
+            assert is_nullable(e.instance, theta) == (
+                equijoin(e.instance, theta) == []
+            )
+
+    def test_project_collapses_duplicates(self):
+        relation = Relation.build("R", ["A", "B"], [(1, 2), (1, 3)])
+        assert len(project(relation, ["A"])) == 1
+
+    def test_project_keeps_order(self):
+        relation = Relation.build("R", ["A", "B"], [(1, 2), (4, 3)])
+        projected = project(relation, ["B", "A"])
+        assert projected.rows == ((2, 1), (3, 4))
+
+    def test_select(self):
+        relation = Relation.build("R", ["A"], [(1,), (2,), (3,)])
+        kept = select(relation, lambda row: row[0] > 1)
+        assert kept.rows == ((2,), (3,))

@@ -1,0 +1,118 @@
+"""Unit tests for join predicates."""
+
+import pytest
+
+from repro.relational import (
+    Attribute,
+    Instance,
+    JoinPredicate,
+    Relation,
+    SchemaError,
+)
+
+
+def pair(a: str, b: str):
+    return (Attribute.parse(a), Attribute.parse(b))
+
+
+class TestConstruction:
+    def test_empty_predicate(self):
+        assert len(JoinPredicate.empty()) == 0
+        assert not JoinPredicate.empty()
+
+    def test_pairs_frozen(self):
+        theta = JoinPredicate([pair("R.A1", "P.B1")])
+        assert isinstance(theta.pairs, frozenset)
+
+    def test_rejects_non_attribute_pairs(self):
+        with pytest.raises(SchemaError):
+            JoinPredicate([("R.A1", "P.B1")])  # strings, not Attributes
+
+    def test_parse_single(self):
+        theta = JoinPredicate.parse("R.A1 = P.B1")
+        assert pair("R.A1", "P.B1") in theta
+
+    def test_parse_conjunction(self):
+        theta = JoinPredicate.parse("R.A1 = P.B1 AND R.A2 = P.B3")
+        assert len(theta) == 2
+
+    def test_parse_unicode_and(self):
+        theta = JoinPredicate.parse("R.A1 = P.B1 ∧ R.A2 = P.B3")
+        assert len(theta) == 2
+
+    def test_parse_empty_string(self):
+        assert JoinPredicate.parse("") == JoinPredicate.empty()
+
+    def test_parse_missing_equals_raises(self):
+        with pytest.raises(SchemaError):
+            JoinPredicate.parse("R.A1 P.B1")
+
+    def test_str_round_trip(self):
+        theta = JoinPredicate.parse("R.A1 = P.B1 AND R.A2 = P.B3")
+        assert JoinPredicate.parse(str(theta)) == theta
+
+
+class TestGeneralityOrder:
+    def test_empty_is_most_general(self):
+        theta = JoinPredicate.parse("R.A1 = P.B1")
+        assert JoinPredicate.empty().is_more_general_than(theta)
+        assert theta.is_more_specific_than(JoinPredicate.empty())
+
+    def test_comparison_operators(self):
+        small = JoinPredicate.parse("R.A1 = P.B1")
+        big = JoinPredicate.parse("R.A1 = P.B1 AND R.A2 = P.B2")
+        assert small <= big and small < big
+        assert big >= small and big > small
+        assert not small > big
+
+    def test_incomparable_predicates(self):
+        left = JoinPredicate.parse("R.A1 = P.B1")
+        right = JoinPredicate.parse("R.A2 = P.B2")
+        assert not left <= right and not right <= left
+
+
+class TestSetAlgebra:
+    def test_union(self):
+        left = JoinPredicate.parse("R.A1 = P.B1")
+        right = JoinPredicate.parse("R.A2 = P.B2")
+        assert len(left | right) == 2
+
+    def test_intersection(self):
+        left = JoinPredicate.parse("R.A1 = P.B1 AND R.A2 = P.B2")
+        right = JoinPredicate.parse("R.A2 = P.B2")
+        assert (left & right) == right
+
+    def test_equality_and_hash(self):
+        first = JoinPredicate.parse("R.A1 = P.B1 AND R.A2 = P.B2")
+        second = JoinPredicate.parse("R.A2 = P.B2 AND R.A1 = P.B1")
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_sorted_pairs_deterministic(self):
+        theta = JoinPredicate.parse("R.A2 = P.B2 AND R.A1 = P.B1")
+        assert [str(a) for a, _ in theta.sorted_pairs()] == ["R.A1", "R.A2"]
+
+
+class TestValidation:
+    def test_validate_for_accepts_omega_pairs(self):
+        instance = Instance(
+            Relation.build("R", ["A1"], [(1,)]),
+            Relation.build("P", ["B1"], [(1,)]),
+        )
+        JoinPredicate.parse("R.A1 = P.B1").validate_for(instance)
+
+    def test_validate_for_rejects_foreign_pairs(self):
+        instance = Instance(
+            Relation.build("R", ["A1"], [(1,)]),
+            Relation.build("P", ["B1"], [(1,)]),
+        )
+        with pytest.raises(SchemaError):
+            JoinPredicate.parse("R.A1 = Q.B1").validate_for(instance)
+
+    def test_validate_for_rejects_swapped_sides(self):
+        instance = Instance(
+            Relation.build("R", ["A1"], [(1,)]),
+            Relation.build("P", ["B1"], [(1,)]),
+        )
+        with pytest.raises(SchemaError):
+            JoinPredicate.parse("P.B1 = R.A1").validate_for(instance)

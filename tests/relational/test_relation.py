@@ -1,0 +1,113 @@
+"""Unit tests for relations and instances."""
+
+import pytest
+
+from repro.relational import Attribute, Instance, Relation, SchemaError
+
+
+@pytest.fixture()
+def small():
+    return Relation.build("R", ["A1", "A2"], [(1, 2), (3, 4)])
+
+
+class TestRelation:
+    def test_build_sets_schema(self, small):
+        assert small.name == "R"
+        assert small.arity == 2
+
+    def test_rows_preserved_in_order(self, small):
+        assert small.rows == ((1, 2), (3, 4))
+
+    def test_duplicate_rows_collapse(self):
+        relation = Relation.build("R", ["A"], [(1,), (1,), (2,)])
+        assert relation.rows == ((1,), (2,))
+
+    def test_set_semantics_keep_first_occurrence_order(self):
+        relation = Relation.build("R", ["A"], [(2,), (1,), (2,)])
+        assert relation.rows == ((2,), (1,))
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation.build("R", ["A1", "A2"], [(1,)])
+
+    def test_value_access(self, small):
+        assert small.value((3, 4), "A2") == 4
+        assert small.value((3, 4), Attribute("R", "A1")) == 3
+
+    def test_column(self, small):
+        assert small.column("A1") == [1, 3]
+
+    def test_restrict(self, small):
+        assert len(small.restrict(1)) == 1
+        assert small.restrict(1).rows == ((1, 2),)
+
+    def test_membership(self, small):
+        assert (1, 2) in small
+        assert (9, 9) not in small
+
+    def test_equality_ignores_row_order(self):
+        first = Relation.build("R", ["A"], [(1,), (2,)])
+        second = Relation.build("R", ["A"], [(2,), (1,)])
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_inequality_across_schemas(self):
+        assert Relation.build("R", ["A"], [(1,)]) != Relation.build(
+            "P", ["A"], [(1,)]
+        )
+
+    def test_pretty_renders_headers_and_rows(self, small):
+        text = small.pretty()
+        assert "A1" in text and "A2" in text and "3" in text
+
+    def test_pretty_limits_rows(self):
+        relation = Relation.build("R", ["A"], [(i,) for i in range(20)])
+        text = relation.pretty(limit=3)
+        assert "more rows" in text
+
+    def test_empty_relation(self):
+        relation = Relation.build("R", ["A"])
+        assert len(relation) == 0
+        assert relation.pretty()  # still renders headers
+
+
+class TestInstance:
+    def test_cartesian_size(self, small):
+        other = Relation.build("P", ["B1"], [(1,), (2,), (3,)])
+        assert Instance(small, other).cartesian_size == 6
+
+    def test_omega_is_row_major(self, small):
+        other = Relation.build("P", ["B1", "B2"], [(0, 0)])
+        omega = Instance(small, other).omega
+        assert omega[0] == (Attribute("R", "A1"), Attribute("P", "B1"))
+        assert omega[1] == (Attribute("R", "A1"), Attribute("P", "B2"))
+        assert omega[2] == (Attribute("R", "A2"), Attribute("P", "B1"))
+        assert len(omega) == 4
+
+    def test_cartesian_product_order(self, small):
+        other = Relation.build("P", ["B1"], [(7,), (8,)])
+        product = list(Instance(small, other).cartesian_product())
+        assert product == [
+            ((1, 2), (7,)),
+            ((1, 2), (8,)),
+            ((3, 4), (7,)),
+            ((3, 4), (8,)),
+        ]
+
+    def test_same_name_rejected(self, small):
+        with pytest.raises(SchemaError):
+            Instance(small, Relation.build("R", ["B1"], [(1,)]))
+
+    def test_same_attribute_names_allowed_across_relations(self):
+        left = Relation.build("Part", ["partkey"], [(1,)])
+        right = Relation.build("Partsupp", ["partkey"], [(1,)])
+        instance = Instance(left, right)
+        assert instance.cartesian_size == 1
+
+    def test_equality(self, small):
+        other = Relation.build("P", ["B1"], [(1,)])
+        assert Instance(small, other) == Instance(small, other)
+
+    def test_repr(self, small):
+        other = Relation.build("P", ["B1"], [(1,)])
+        assert "|D|=2" in repr(Instance(small, other))

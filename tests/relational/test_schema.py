@@ -1,0 +1,107 @@
+"""Unit tests for the schema model."""
+
+import pytest
+
+from repro.relational import Attribute, RelationSchema, SchemaError
+
+
+class TestAttribute:
+    def test_equality_requires_relation_and_name(self):
+        assert Attribute("R", "A1") == Attribute("R", "A1")
+        assert Attribute("R", "A1") != Attribute("P", "A1")
+        assert Attribute("R", "A1") != Attribute("R", "A2")
+
+    def test_hashable(self):
+        attrs = {Attribute("R", "A1"), Attribute("R", "A1")}
+        assert len(attrs) == 1
+
+    def test_str_is_qualified(self):
+        assert str(Attribute("Flight", "Airline")) == "Flight.Airline"
+
+    def test_parse_round_trip(self):
+        attr = Attribute.parse("Flight.Airline")
+        assert attr == Attribute("Flight", "Airline")
+
+    def test_parse_strips_whitespace(self):
+        assert Attribute.parse(" R . A1 ".replace(" . ", ".")) == Attribute(
+            "R", "A1"
+        )
+
+    def test_parse_without_dot_raises(self):
+        with pytest.raises(SchemaError):
+            Attribute.parse("Airline")
+
+    def test_invalid_relation_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("bad name", "A1")
+
+    def test_invalid_attribute_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("R", "1leading_digit")
+
+    def test_empty_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("", "A")
+        with pytest.raises(SchemaError):
+            Attribute("R", "")
+
+
+class TestRelationSchema:
+    def test_attributes_are_qualified_and_ordered(self):
+        schema = RelationSchema("R", ["A1", "A2"])
+        assert schema.attributes == (
+            Attribute("R", "A1"),
+            Attribute("R", "A2"),
+        )
+
+    def test_arity(self):
+        assert RelationSchema("R", ["A1", "A2", "A3"]).arity == 3
+
+    def test_position_by_attribute_and_by_name(self):
+        schema = RelationSchema("R", ["A1", "A2"])
+        assert schema.position(Attribute("R", "A2")) == 1
+        assert schema.position("A2") == 1
+
+    def test_position_of_foreign_attribute_raises(self):
+        schema = RelationSchema("R", ["A1"])
+        with pytest.raises(SchemaError):
+            schema.position(Attribute("P", "A1"))
+
+    def test_attribute_lookup(self):
+        schema = RelationSchema("R", ["A1"])
+        assert schema.attribute("A1") == Attribute("R", "A1")
+        with pytest.raises(SchemaError):
+            schema.attribute("missing")
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ["A1", "A1"])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", [])
+
+    def test_contains(self):
+        schema = RelationSchema("R", ["A1"])
+        assert Attribute("R", "A1") in schema
+        assert Attribute("P", "A1") not in schema
+
+    def test_iteration_order(self):
+        schema = RelationSchema("R", ["B", "A"])
+        assert [a.name for a in schema] == ["B", "A"]
+
+    def test_equality_and_hash(self):
+        first = RelationSchema("R", ["A1", "A2"])
+        second = RelationSchema("R", ["A1", "A2"])
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first != RelationSchema("R", ["A2", "A1"])
+
+    def test_disjointness(self):
+        r = RelationSchema("R", ["A1", "key"])
+        p = RelationSchema("P", ["B1", "key"])
+        assert r.is_disjoint_from(p)  # qualification keeps them disjoint
+        assert not r.is_disjoint_from(RelationSchema("R", ["key"]))
+
+    def test_repr_mentions_attributes(self):
+        assert "A1" in repr(RelationSchema("R", ["A1"]))

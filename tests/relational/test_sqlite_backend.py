@@ -1,0 +1,126 @@
+"""SQLite backend round-trips and algebra cross-validation."""
+
+import random
+
+import pytest
+
+from repro.relational import JoinPredicate, Relation, equijoin, semijoin
+from repro.relational.sqlite_backend import (
+    connect_memory,
+    equijoin_query,
+    load_relation,
+    semijoin_query,
+    sql_equijoin,
+    sql_semijoin,
+    store_instance,
+    store_relation,
+)
+
+from ..conftest import make_random_instance
+
+
+@pytest.fixture()
+def conn():
+    connection = connect_memory()
+    yield connection
+    connection.close()
+
+
+class TestRoundTrip:
+    def test_store_and_load(self, conn, example21):
+        store_relation(conn, example21.r0)
+        loaded = load_relation(conn, "R0")
+        assert loaded == example21.r0
+
+    def test_load_column_subset(self, conn, example21):
+        store_relation(conn, example21.p0)
+        loaded = load_relation(conn, "P0", attributes=["B1", "B3"])
+        assert loaded.arity == 2
+        assert set(loaded.rows) == {(1, 0), (0, 2), (2, 0)}
+
+    def test_load_with_limit(self, conn, example21):
+        store_relation(conn, example21.r0)
+        assert len(load_relation(conn, "R0", limit=2)) == 2
+
+    def test_store_replaces_existing_table(self, conn):
+        store_relation(conn, Relation.build("R", ["A"], [(1,)]))
+        store_relation(conn, Relation.build("R", ["A"], [(2,)]))
+        assert load_relation(conn, "R").rows == ((2,),)
+
+    def test_none_values_rejected(self, conn):
+        with pytest.raises(ValueError):
+            store_relation(conn, Relation.build("R", ["A"], [(None,)]))
+
+    def test_store_instance_stores_both(self, conn, example21):
+        store_instance(conn, example21.instance)
+        assert len(load_relation(conn, "R0")) == 4
+        assert len(load_relation(conn, "P0")) == 3
+
+
+class TestSQLCrossValidation:
+    def test_equijoin_matches_algebra_on_example21(self, conn, example21):
+        e = example21
+        store_instance(conn, e.instance)
+        for theta in [
+            JoinPredicate.empty(),
+            e.theta(("A1", "B1")),
+            e.theta(("A1", "B1"), ("A2", "B3")),
+            e.theta(("A2", "B1"), ("A2", "B2"), ("A2", "B3")),
+        ]:
+            assert sql_equijoin(conn, e.instance, theta) == set(
+                equijoin(e.instance, theta)
+            )
+
+    def test_semijoin_matches_algebra_on_example21(self, conn, example21):
+        e = example21
+        store_instance(conn, e.instance)
+        for theta in [
+            JoinPredicate.empty(),
+            e.theta(("A2", "B2")),
+            e.theta(("A1", "B1"), ("A2", "B3")),
+        ]:
+            assert sql_semijoin(conn, e.instance, theta) == set(
+                semijoin(e.instance, theta)
+            )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_instances_agree_with_sql(self, conn, seed):
+        rng = random.Random(seed)
+        instance = make_random_instance(
+            rng, left_arity=2, right_arity=3, rows=8, values=4
+        )
+        store_instance(conn, instance)
+        omega = instance.omega
+        for _ in range(10):
+            size = rng.randrange(0, 4)
+            theta = JoinPredicate(rng.sample(omega, size))
+            assert sql_equijoin(conn, instance, theta) == set(
+                equijoin(instance, theta)
+            ), f"equijoin mismatch for {theta}"
+            assert sql_semijoin(conn, instance, theta) == set(
+                semijoin(instance, theta)
+            ), f"semijoin mismatch for {theta}"
+
+    def test_string_values(self, conn, flights_hotels):
+        f = flights_hotels
+        store_instance(conn, f.instance)
+        assert sql_equijoin(conn, f.instance, f.q2) == set(
+            equijoin(f.instance, f.q2)
+        )
+
+
+class TestQueryText:
+    def test_equijoin_query_mentions_conditions(self, example21):
+        e = example21
+        sql = equijoin_query(e.instance, e.theta(("A1", "B1")))
+        assert "CROSS JOIN" in sql
+        assert '"R0"."A1" = "P0"."B1"' in sql
+
+    def test_empty_predicate_query_has_trivial_where(self, example21):
+        sql = equijoin_query(example21.instance, JoinPredicate.empty())
+        assert "1=1" in sql
+
+    def test_semijoin_query_uses_exists(self, example21):
+        e = example21
+        sql = semijoin_query(e.instance, e.theta(("A1", "B1")))
+        assert "EXISTS" in sql

@@ -1,0 +1,90 @@
+"""CNF formula model tests."""
+
+import pytest
+
+from repro.sat import Clause, CnfFormula
+
+
+class TestClause:
+    def test_of_constructor(self):
+        clause = Clause.of(1, -2, 3)
+        assert clause.literals == frozenset({1, -2, 3})
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(ValueError):
+            Clause.of(0)
+
+    def test_non_int_literal_rejected(self):
+        with pytest.raises(ValueError):
+            Clause(frozenset({"x1"}))
+
+    def test_empty_clause(self):
+        assert Clause().is_empty
+        assert not Clause.of(1).is_empty
+
+    def test_unit(self):
+        assert Clause.of(-4).is_unit
+        assert not Clause.of(1, 2).is_unit
+
+    def test_tautology(self):
+        assert Clause.of(1, -1, 2).is_tautology
+        assert not Clause.of(1, 2).is_tautology
+
+    def test_variables(self):
+        assert Clause.of(1, -2).variables() == {1, 2}
+
+    def test_evaluate(self):
+        clause = Clause.of(1, -2)
+        assert clause.evaluate({1: True, 2: True})
+        assert clause.evaluate({1: False, 2: False})
+        assert not clause.evaluate({1: False, 2: True})
+
+    def test_simplify_satisfied(self):
+        assert Clause.of(1, 2).simplify(1, True) is None
+
+    def test_simplify_falsified_literal_removed(self):
+        assert Clause.of(1, 2).simplify(1, False) == Clause.of(2)
+
+    def test_simplify_unrelated_variable(self):
+        clause = Clause.of(1, 2)
+        assert clause.simplify(5, True) is clause
+
+    def test_simplify_to_empty(self):
+        assert Clause.of(1).simplify(1, False).is_empty
+
+    def test_str(self):
+        assert str(Clause.of(1, -2)) == "(x1 ∨ ¬x2)"
+        assert str(Clause()) == "⊥"
+
+    def test_iteration_sorted_by_variable(self):
+        assert list(Clause.of(3, -1, 2)) == [-1, 2, 3]
+
+
+class TestCnfFormula:
+    def test_of_constructor(self):
+        formula = CnfFormula.of([1, -2], [2, 3])
+        assert len(formula) == 2
+
+    def test_variables_union(self):
+        formula = CnfFormula.of([1, -2], [3])
+        assert formula.variables() == {1, 2, 3}
+
+    def test_evaluate_conjunction(self):
+        formula = CnfFormula.of([1], [-2])
+        assert formula.evaluate({1: True, 2: False})
+        assert not formula.evaluate({1: True, 2: True})
+
+    def test_empty_formula_is_true(self):
+        assert CnfFormula().evaluate({})
+
+    def test_with_clause(self):
+        formula = CnfFormula.of([1])
+        extended = formula.with_clause(Clause.of(-1))
+        assert len(formula) == 1 and len(extended) == 2
+
+    def test_str(self):
+        assert str(CnfFormula()) == "⊤"
+        assert "∧" in str(CnfFormula.of([1], [2]))
+
+    def test_repr_counts(self):
+        assert "2 clauses" in repr(CnfFormula.of([1], [2, 3]))

@@ -1,0 +1,58 @@
+"""DIMACS serialisation round-trips."""
+
+import pytest
+
+from repro.sat import (
+    CnfFormula,
+    from_dimacs,
+    read_dimacs,
+    to_dimacs,
+    write_dimacs,
+)
+
+
+class TestRoundTrip:
+    def test_simple_formula(self):
+        formula = CnfFormula.of([1, -2], [2, 3], [-1])
+        parsed = from_dimacs(to_dimacs(formula))
+        assert {c.literals for c in parsed} == {
+            c.literals for c in formula
+        }
+
+    def test_header_counts(self):
+        formula = CnfFormula.of([1, -2], [3])
+        text = to_dimacs(formula)
+        assert "p cnf 3 2" in text
+
+    def test_comment_lines(self):
+        text = to_dimacs(CnfFormula.of([1]), comment="hello\nworld")
+        assert text.startswith("c hello\nc world\n")
+
+    def test_file_round_trip(self, tmp_path):
+        formula = CnfFormula.of([1, 2], [-2])
+        path = tmp_path / "formula.cnf"
+        write_dimacs(formula, path)
+        parsed = read_dimacs(path)
+        assert {c.literals for c in parsed} == {
+            c.literals for c in formula
+        }
+
+    def test_parse_multiline_clause(self):
+        parsed = from_dimacs("p cnf 3 1\n1 2\n3 0\n")
+        assert len(parsed) == 1
+        assert parsed.clauses[0].literals == {1, 2, 3}
+
+    def test_parse_trailing_clause_without_zero(self):
+        parsed = from_dimacs("p cnf 2 1\n1 -2\n")
+        assert parsed.clauses[0].literals == {1, -2}
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ValueError):
+            from_dimacs("p wcnf 3 1\n1 0\n")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            from_dimacs("c only a comment\n")
+
+    def test_empty_formula(self):
+        assert len(from_dimacs("p cnf 0 0\n")) == 0

@@ -1,0 +1,144 @@
+"""DPLL / brute-force / WalkSAT agreement and behaviour."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat import (
+    Clause,
+    CnfFormula,
+    all_models,
+    count_models,
+    is_satisfiable,
+    planted_3cnf,
+    random_3cnf,
+    random_k_cnf,
+    solve,
+    solve_brute,
+    walksat,
+)
+
+
+class TestKnownFormulas:
+    def test_single_unit(self):
+        assert solve(CnfFormula.of([1])) == {1: True}
+
+    def test_contradiction(self):
+        assert solve(CnfFormula.of([1], [-1])) is None
+
+    def test_empty_formula_sat(self):
+        assert solve(CnfFormula()) == {}
+
+    def test_empty_clause_unsat(self):
+        assert solve(CnfFormula([Clause()])) is None
+
+    def test_tautological_clause_ignored(self):
+        formula = CnfFormula.of([1, -1])
+        assert solve(formula) is not None
+
+    def test_implication_chain(self):
+        # x1, x1→x2, x2→x3  (as clauses)
+        formula = CnfFormula.of([1], [-1, 2], [-2, 3])
+        model = solve(formula)
+        assert model == {1: True, 2: True, 3: True}
+
+    def test_pigeonhole_2_into_1_unsat(self):
+        # Two pigeons, one hole: p1 ∨ ... each pigeon somewhere, no sharing.
+        formula = CnfFormula.of([1], [2], [-1, -2])
+        assert solve(formula) is None
+
+    def test_model_is_total(self):
+        # Variable 2 is unconstrained once clause (1) is satisfied.
+        formula = CnfFormula.of([1], [2, -2])
+        model = solve(formula)
+        assert set(model) == {1, 2}
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_formulas(self, seed):
+        rng = random.Random(seed)
+        n_variables = rng.randrange(1, 8)
+        width = min(n_variables, rng.randrange(1, 4))
+        formula = random_k_cnf(
+            n_variables, rng.randrange(0, 15), width, rng
+        )
+        assert is_satisfiable(formula) == (
+            solve_brute(formula) is not None
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_hypothesis_random_3cnf(self, seed):
+        rng = random.Random(seed)
+        formula = random_3cnf(
+            rng.randrange(3, 7), rng.randrange(0, 18), rng
+        )
+        dpll = solve(formula)
+        brute = solve_brute(formula)
+        assert (dpll is None) == (brute is None)
+        if dpll is not None:
+            assert formula.evaluate(dpll)
+
+
+class TestCounting:
+    def test_count_models_free_variable(self):
+        assert count_models(CnfFormula.of([1, 2])) == 3
+
+    def test_all_models_match_count(self):
+        formula = CnfFormula.of([1, -2], [2, 3])
+        assert len(all_models(formula)) == count_models(formula)
+
+    def test_empty_formula_counts_one(self):
+        assert count_models(CnfFormula()) == 1
+
+
+class TestPlanted:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_planted_model_satisfies(self, seed):
+        rng = random.Random(seed)
+        formula, model = planted_3cnf(5, 12, rng)
+        assert formula.evaluate(model)
+        assert is_satisfiable(formula)
+
+
+class TestWalkSAT:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_finds_planted_solutions(self, seed):
+        rng = random.Random(seed)
+        formula, _ = planted_3cnf(6, 10, rng)
+        model = walksat(formula, max_flips=20_000, seed=seed)
+        assert model is not None
+        assert formula.evaluate(model)
+
+    def test_gives_up_on_unsat(self):
+        formula = CnfFormula.of([1], [-1])
+        assert walksat(formula, max_flips=200, seed=0) is None
+
+    def test_empty_clause_inconclusive_fast(self):
+        assert walksat(CnfFormula([Clause()]), seed=0) is None
+
+    def test_empty_formula(self):
+        assert walksat(CnfFormula(), seed=0) == {}
+
+    def test_noise_validation(self):
+        with pytest.raises(ValueError):
+            walksat(CnfFormula.of([1]), noise=2.0)
+
+
+class TestGenerators:
+    def test_width_respected(self):
+        rng = random.Random(0)
+        formula = random_k_cnf(6, 10, 3, rng)
+        assert all(len(clause) <= 3 for clause in formula)
+
+    def test_width_exceeding_variables_rejected(self):
+        with pytest.raises(ValueError):
+            random_k_cnf(2, 5, 3, random.Random(0))
+
+    def test_deterministic_under_seed(self):
+        first = random_3cnf(5, 8, random.Random(3))
+        second = random_3cnf(5, 8, random.Random(3))
+        assert [c.literals for c in first] == [c.literals for c in second]

@@ -1,0 +1,171 @@
+"""Theorem 6.1: the 3SAT → CONS⋉ reduction, including the appendix's φ0."""
+
+import random
+
+import pytest
+
+from repro.sat import Clause, CnfFormula, is_satisfiable, random_3cnf, solve
+from repro.semijoin import (
+    consistent_semijoin_backtracking,
+    consistent_semijoin_sat,
+    extract_valuation,
+    is_semijoin_consistent_with,
+    reduce_3sat,
+    valuation_predicate,
+)
+from repro.semijoin.reduction import BOTTOM
+
+
+@pytest.fixture()
+def phi0():
+    """The appendix example: φ0 = (x1 ∨ ¬x2 ∨ x3) ∧ (¬x1 ∨ ¬x3 ∨ x4).
+
+    (The published PDF's glyphs for negation are ambiguous in the plain
+    text; the polarity of each literal is recovered from the printed Pφ0
+    table itself: ⊥ in the ``t`` column means a negative literal.)
+    """
+    return CnfFormula.of([1, -2, 3], [-1, -3, 4])
+
+
+class TestAppendixTables:
+    def test_r_phi0_shape(self, phi0):
+        reduction = reduce_3sat(phi0)
+        r = reduction.relation_r
+        assert r.arity == 5  # idR, A1..A4
+        assert len(r) == 7  # 2 clause rows + X + 4 variable rows
+
+    def test_r_phi0_rows(self, phi0):
+        reduction = reduce_3sat(phi0)
+        rows = set(reduction.relation_r.rows)
+        base = (1, 2, 3, 4)
+        assert ("c1+",) + base in rows
+        assert ("c2+",) + base in rows
+        assert ("X",) + base in rows
+        for i in range(1, 5):
+            assert (f"x{i}*",) + base in rows
+
+    def test_p_phi0_shape(self, phi0):
+        reduction = reduce_3sat(phi0)
+        p = reduction.relation_p
+        assert p.arity == 9  # idP, B1t, B1f, ..., B4t, B4f
+        assert len(p) == 11  # 6 literal rows + Y + 4 variable rows
+
+    def test_p_phi0_literal_rows(self, phi0):
+        """The six literal rows exactly as printed in the appendix."""
+        reduction = reduce_3sat(phi0)
+        rows = set(reduction.relation_p.rows)
+        b = BOTTOM
+        # Clause 1 = (x1 ∨ ¬x2 ∨ x3)
+        assert ("c1+", 1, b, 2, 2, 3, 3, 4, 4) in rows  # literal x1
+        assert ("c1+", 1, 1, b, 2, 3, 3, 4, 4) in rows  # literal ¬x2
+        assert ("c1+", 1, 1, 2, 2, 3, b, 4, 4) in rows  # literal x3
+        # Clause 2 = (¬x1 ∨ ¬x3 ∨ x4)
+        assert ("c2+", b, 1, 2, 2, 3, 3, 4, 4) in rows  # literal ¬x1
+        assert ("c2+", 1, 1, 2, 2, b, 3, 4, 4) in rows  # literal ¬x3
+        assert ("c2+", 1, 1, 2, 2, 3, 3, 4, b) in rows  # literal x4
+
+    def test_p_phi0_special_rows(self, phi0):
+        reduction = reduce_3sat(phi0)
+        rows = set(reduction.relation_p.rows)
+        b = BOTTOM
+        assert ("Y", 1, 1, 2, 2, 3, 3, 4, 4) in rows
+        assert ("x1*", b, b, 2, 2, 3, 3, 4, 4) in rows
+        assert ("x2*", 1, 1, b, b, 3, 3, 4, 4) in rows
+        assert ("x3*", 1, 1, 2, 2, b, b, 4, 4) in rows
+        assert ("x4*", 1, 1, 2, 2, 3, 3, b, b) in rows
+
+    def test_sample_polarity(self, phi0):
+        reduction = reduce_3sat(phi0)
+        assert len(reduction.sample.positives) == 2
+        assert len(reduction.sample.negatives) == 5
+
+    def test_phi0_satisfiable_and_reduction_consistent(self, phi0):
+        reduction = reduce_3sat(phi0)
+        assert is_satisfiable(phi0)
+        theta = consistent_semijoin_sat(reduction.instance, reduction.sample)
+        assert theta is not None
+        valuation = extract_valuation(reduction, theta)
+        assert phi0.evaluate(valuation)
+
+
+class TestReductionEquivalence:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_sat_iff_consistent(self, seed):
+        rng = random.Random(seed)
+        formula = random_3cnf(
+            rng.randrange(3, 5), rng.randrange(1, 7), rng
+        )
+        reduction = reduce_3sat(formula)
+        satisfiable = is_satisfiable(formula)
+        for solver in (
+            consistent_semijoin_sat,
+            consistent_semijoin_backtracking,
+        ):
+            theta = solver(reduction.instance, reduction.sample)
+            assert (theta is not None) == satisfiable
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_valuation_extraction(self, seed):
+        rng = random.Random(100 + seed)
+        formula = random_3cnf(4, rng.randrange(1, 8), rng)
+        if not is_satisfiable(formula):
+            pytest.skip("unsatisfiable draw")
+        reduction = reduce_3sat(formula)
+        theta = consistent_semijoin_sat(reduction.instance, reduction.sample)
+        assert theta is not None
+        valuation = extract_valuation(reduction, theta)
+        assert formula.evaluate(valuation)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_model_to_predicate_direction(self, seed):
+        """The 'only if' proof direction: a satisfying valuation induces a
+        consistent predicate."""
+        rng = random.Random(200 + seed)
+        formula = random_3cnf(4, rng.randrange(1, 8), rng)
+        model = solve(formula)
+        if model is None:
+            pytest.skip("unsatisfiable draw")
+        reduction = reduce_3sat(formula)
+        theta = valuation_predicate(reduction, model)
+        assert is_semijoin_consistent_with(
+            reduction.instance, theta, reduction.sample
+        )
+
+    def test_unsatisfiable_formula_is_inconsistent(self):
+        # (x1) ∧ (¬x1) — padded to stay within 3SAT width.
+        formula = CnfFormula.of([1], [-1])
+        reduction = reduce_3sat(formula)
+        assert consistent_semijoin_sat(
+            reduction.instance, reduction.sample
+        ) is None
+
+    def test_gap_variables_handled(self):
+        """Variables absent from the formula still get columns and
+        negative rows (regression: x2 missing from φ broke extraction)."""
+        formula = CnfFormula.of([1, -3, 4], [1, 3, 4])
+        reduction = reduce_3sat(formula)
+        assert reduction.n_variables == 4
+        theta = consistent_semijoin_sat(reduction.instance, reduction.sample)
+        assert theta is not None
+        valuation = extract_valuation(reduction, theta)
+        assert formula.evaluate(valuation)
+        model = solve(formula)
+        predicate = valuation_predicate(reduction, model)
+        assert is_semijoin_consistent_with(
+            reduction.instance, predicate, reduction.sample
+        )
+
+
+class TestValidation:
+    def test_wide_clause_rejected(self):
+        formula = CnfFormula.of([1, 2, 3, 4])
+        with pytest.raises(ValueError):
+            reduce_3sat(formula)
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(ValueError):
+            reduce_3sat(CnfFormula([Clause()]))
+
+    def test_variable_free_formula_rejected(self):
+        with pytest.raises(ValueError):
+            reduce_3sat(CnfFormula())

@@ -1,0 +1,64 @@
+"""Semijoin samples: labeled R-rows (§6's adapted example model)."""
+
+import pytest
+
+from repro.core import Label
+from repro.core.sample import ConflictingLabelError
+from repro.semijoin import SemijoinExample, SemijoinSample
+
+
+R1 = (0, 1)
+R2 = (0, 2)
+R3 = (2, 2)
+
+
+class TestSemijoinExample:
+    def test_polarity(self):
+        assert SemijoinExample(R1, Label.POSITIVE).is_positive
+        assert not SemijoinExample(R1, Label.NEGATIVE).is_positive
+
+    def test_frozen(self):
+        example = SemijoinExample(R1, Label.POSITIVE)
+        assert example == SemijoinExample(R1, Label.POSITIVE)
+
+
+class TestSemijoinSample:
+    def test_of_constructor(self):
+        sample = SemijoinSample.of(positives=[R1, R2], negatives=[R3])
+        assert sample.positives == [R1, R2]
+        assert sample.negatives == [R3]
+
+    def test_label_of(self):
+        sample = SemijoinSample.of(positives=[R1])
+        assert sample.label_of(R1) is Label.POSITIVE
+        assert sample.label_of(R2) is None
+
+    def test_is_labeled(self):
+        sample = SemijoinSample.of(negatives=[R3])
+        assert sample.is_labeled(R3)
+        assert not sample.is_labeled(R1)
+
+    def test_conflicting_label_rejected(self):
+        sample = SemijoinSample.of(positives=[R1])
+        with pytest.raises(ConflictingLabelError):
+            sample.label_row(R1, Label.NEGATIVE)
+
+    def test_idempotent_relabel(self):
+        sample = SemijoinSample.of(positives=[R1])
+        sample.label_row(R1, Label.POSITIVE)
+        assert len(sample) == 1
+
+    def test_iteration(self):
+        sample = SemijoinSample.of(positives=[R1], negatives=[R3])
+        examples = list(sample)
+        assert SemijoinExample(R1, Label.POSITIVE) in examples
+        assert SemijoinExample(R3, Label.NEGATIVE) in examples
+
+    def test_repr(self):
+        sample = SemijoinSample.of(positives=[R1])
+        assert "S+" in repr(sample)
+
+    def test_empty(self):
+        sample = SemijoinSample()
+        assert len(sample) == 0
+        assert sample.positives == []
