@@ -16,6 +16,13 @@ labeling ``t`` and then the best next tuple, under the worst answer for
 ``t``.  ``(∞, ∞)`` encodes "labeling ``t`` with this answer ends the
 inference".  The recursive generalisation ``entropy_k`` follows the
 paper's remark that LkS "easily generalises".
+
+This module is the *reference* implementation: readable, recursive, and
+valid for any depth.  Depths 1–2 are served bit-for-bit identically (and
+much faster) by the batched kernels in :mod:`repro.core.fast_lookahead`;
+deeper lookaheads run here, but their leaves —
+:meth:`~repro.core.state.InferenceState.newly_certain_weight` and the
+incremental informative set — are array-accelerated too.
 """
 
 from __future__ import annotations

@@ -3,33 +3,62 @@
 The lookahead strategies need ``entropy^k`` for *every* informative class
 at every step — O(|N|²) work for L1S and O(|N|³) for L2S, which dominates
 inference time exactly as the paper reports (§5.3: L2S "is the most
-expensive", up to 73 s per join on their hardware).  When Ω fits into 63
-bits (true for all the paper's workloads) the subset tests vectorise over
-NumPy uint64 arrays; results are bit-for-bit identical to the reference
-implementation in :mod:`repro.core.entropy` (property-tested).
+expensive", up to 73 s per join on their hardware).
 
-The public entry point :func:`entropies_for_informative` transparently
-falls back to the reference for wide Ω or depth > 2.
+Both depths are computed as whole-matrix operations over the packed mask
+arrays of :mod:`repro.core.bitset` — no per-class Python loop and no
+Ω-width ceiling.  The structure exploits two facts:
+
+* Every Lemma 3.3/3.4 test a lookahead ever performs is a function of a
+  *needle* ``T2[a] ∩ T_q`` (``T2[a] = T(S+) ∩ T_a``).  The ``(a, q)``
+  needle matrix is massively degenerate — signature intersections
+  collapse to a small set ``U`` of distinct masks — so certainty rows are
+  evaluated once per *distinct* needle and gathered back, shrinking the
+  naive O(|N|³) third level to O(|U|·|N|) plus O(|N|²) gathers.
+* **L1S** needs only the ``(|N|, |N|)`` matrices themselves: the
+  positive branch is the row sum of the first-level certainty matrix
+  ``C1P`` and the negative branch is the column sum of the subset matrix
+  ``SUB`` (labeling ``a`` negative makes certain exactly the classes
+  whose needle is contained in ``T_a``).
+* **L2S** adds one dense contraction: the sample symmetry
+  ``S+(i,+)+(j,−) = S+(j,−)+(i,+)`` merges the two mixed branches into
+  ``Z = G·SUB_U`` — a ``(|N|, |U|) × (|U|, |N|)`` matrix product where
+  ``G`` aggregates counts of not-yet-certain classes per distinct needle
+  — and the ``−,−`` branch collapses to rank-one combinations of ``SUB``.
+
+Results are bit-for-bit identical to the reference implementation in
+:mod:`repro.core.entropy` (property-tested, including Ω > 64 bits).  The
+public entry point :func:`entropies_for_informative` falls back to the
+reference only for depth > 2 — and even that path is array-accelerated,
+because :meth:`InferenceState.newly_certain_weight` and the incremental
+informative set are themselves vectorised.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from . import bitset
 from .entropy import Entropy, INFINITE_ENTROPY, entropy_k_of_class
 from .state import InferenceState
 
 __all__ = ["entropies_for_informative", "supports_fast_path"]
 
-_WORD_BITS = 63
+# Bound on the elements of any uint64 temporary materialised at once
+# (8M elements ≈ 64 MiB); larger intermediate products are chunked.
+_CHUNK_CELLS = 1 << 23
+
+_INT_MIN = np.iinfo(np.int64).min
 
 
 def supports_fast_path(state: InferenceState, depth: int) -> bool:
-    """True when the vectorised implementation can handle the instance."""
-    return (
-        depth in (1, 2)
-        and len(state.index.instance.omega) <= _WORD_BITS
-    )
+    """True when the batched implementation covers the lookahead depth.
+
+    Any Ω width is supported (masks pack into multi-word rows); only the
+    depth decides, since depth > 2 uses the recursive reference.
+    """
+    del state  # kept for API compatibility; Ω width no longer matters
+    return depth in (1, 2)
 
 
 def entropies_for_informative(
@@ -37,8 +66,8 @@ def entropies_for_informative(
 ) -> dict[int, Entropy]:
     """``entropy^depth`` for every informative class.
 
-    Dispatches to the vectorised path when possible, otherwise loops over
-    the reference implementation.
+    Dispatches to the batched path for depth ≤ 2, otherwise loops over
+    the (array-accelerated) reference implementation.
     """
     informative = state.informative_class_ids()
     if not supports_fast_path(state, depth):
@@ -53,99 +82,177 @@ def entropies_for_informative(
     return _entropy2_vectorised(state, informative)
 
 
-def _setup(state: InferenceState, informative: list[int]):
+def _first_level(state: InferenceState, informative: list[int]):
+    """The shared ``(|N|, |N|)`` first-level matrices.
+
+    Returns ``(masks, counts, negatives, needles, sub, c1p)`` where
+    ``needles[a, q] = T2[a] ∩ T_q`` (as packed rows),
+    ``sub[a, q] = T2[a] ⊆ T_q`` and ``c1p[a, k]`` marks the classes
+    certain after labeling ``a`` positive.
+    """
     index = state.index
-    masks = np.array(
-        [index[class_id].mask for class_id in informative], dtype=np.uint64
+    ids = np.asarray(informative, dtype=np.int64)
+    masks = index.packed_masks[ids]
+    counts = index.count_array[ids].astype(np.float64)
+    negatives = state.negative_rows
+    n = len(ids)
+    t2 = masks & state.t_plus_row[None, :]
+    needles = (t2[:, None, :] & masks[None, :, :]).reshape(
+        n * n, masks.shape[1]
     )
-    counts = np.array(
-        [index[class_id].count for class_id in informative], dtype=np.int64
+    # T2[a] ⊆ T_q  ⟺  the needle equals T2[a] itself.
+    sub = (
+        (needles.reshape(n, n, -1) == t2[:, None, :]).all(axis=-1)
     )
-    t_plus = np.uint64(state.t_plus_mask)
-    negatives = [np.uint64(mask) for mask in state.negative_masks]
-    return masks, counts, t_plus, negatives
+    if len(negatives):
+        c1p = sub | _subset_of_any_chunked(needles, negatives).reshape(n, n)
+    else:
+        c1p = sub
+    return masks, counts, negatives, needles, sub, c1p
 
 
-def _certain_vector(
-    masks: np.ndarray,
-    t_plus: np.uint64,
-    negatives: list[np.uint64],
+def _subset_of_any_chunked(
+    rows: np.ndarray, others: np.ndarray
 ) -> np.ndarray:
-    """Boolean vector: class certain (either polarity) under the state."""
-    certain = (t_plus & ~masks) == 0
-    needles = t_plus & masks
-    for negative in negatives:
-        certain |= (needles & ~negative) == 0
-    return certain
+    """:func:`bitset.subset_of_any` with the broadcast temporary bounded
+    by ``_CHUNK_CELLS`` (rows × others × words can get large mid-session
+    as negative labels accumulate)."""
+    per_row = max(1, len(others) * rows.shape[1])
+    step = max(1, _CHUNK_CELLS // per_row)
+    if len(rows) <= step:
+        return bitset.subset_of_any(rows, others)
+    result = np.empty(len(rows), dtype=bool)
+    for start in range(0, len(rows), step):
+        stop = min(start + step, len(rows))
+        result[start:stop] = bitset.subset_of_any(rows[start:stop], others)
+    return result
 
 
 def _entropy1_vectorised(
     state: InferenceState, informative: list[int]
 ) -> dict[int, Entropy]:
-    masks, counts, t_plus, negatives = _setup(state, informative)
-    out: dict[int, Entropy] = {}
-    for position, class_id in enumerate(informative):
-        mask = masks[position]
-        # Label +: T(S+) shrinks to t_plus & mask.
-        t2 = t_plus & mask
-        u_pos = int(counts[_certain_vector(masks, t2, negatives)].sum()) - 1
-        # Label −: mask joins the negative list.
-        u_neg = (
-            int(
-                counts[
-                    _certain_vector(masks, t_plus, negatives + [mask])
-                ].sum()
-            )
-            - 1
-        )
-        out[class_id] = (min(u_pos, u_neg), max(u_pos, u_neg))
-    return out
+    _, counts, _, _, sub, c1p = _first_level(state, informative)
+    # "+" branch: exactly the classes in C1P[a, ·] become certain.
+    u_pos = c1p @ counts - 1
+    # "−" branch: T(S+) is unchanged, so among informative classes the
+    # only new certainty is needle_j ⊆ T_a — column a of SUB.
+    u_neg = counts @ sub - 1
+    return {
+        class_id: (int(min(p, m)), int(max(p, m)))
+        for class_id, p, m in zip(informative, u_pos, u_neg)
+    }
+
+
+def _certain_per_needle(
+    uniques: np.ndarray,
+    masks: np.ndarray,
+    negatives: np.ndarray,
+    counts: np.ndarray,
+) -> np.ndarray:
+    """``Σ_k c_k · certain(k | T(S+)=uniques[x])`` for each distinct
+    needle — the second-level "+,+" weights, one row per distinct mask."""
+    n_unique = len(uniques)
+    n = len(masks)
+    weights = np.empty(n_unique, dtype=np.float64)
+    step = max(1, _CHUNK_CELLS // max(1, n * masks.shape[1]))
+    for start in range(0, n_unique, step):
+        stop = min(start + step, n_unique)
+        block = uniques[start:stop]
+        certain = bitset.pairwise_subset(block, masks)
+        if len(negatives):
+            inter = block[:, None, :] & masks[None, :, :]
+            for negative in negatives:
+                certain |= ((inter & ~negative) == 0).all(axis=-1)
+        weights[start:stop] = certain @ counts
+    return weights
+
+
+def _best_entropy_rows(
+    lows: np.ndarray, highs: np.ndarray, valid: np.ndarray
+) -> list[Entropy]:
+    """Per outer class, the skyline-best ``(low, high)`` over valid inner
+    choices — ``(∞, ∞)`` when no inner class stays informative."""
+    masked_lows = np.where(valid, lows, _INT_MIN)
+    best_low = masked_lows.max(axis=1)
+    masked_highs = np.where(
+        valid & (lows == best_low[:, None]), highs, _INT_MIN
+    )
+    best_high = masked_highs.max(axis=1)
+    has_valid = valid.any(axis=1)
+    return [
+        (int(low), int(high)) if ok else INFINITE_ENTROPY
+        for ok, low, high in zip(has_valid, best_low, best_high)
+    ]
 
 
 def _entropy2_vectorised(
     state: InferenceState, informative: list[int]
 ) -> dict[int, Entropy]:
-    masks, counts, t_plus, negatives = _setup(state, informative)
-    out: dict[int, Entropy] = {}
-    for position, class_id in enumerate(informative):
-        per_label: list[Entropy] = []
-        for is_positive in (True, False):
-            mask = masks[position]
-            if is_positive:
-                t2, negatives1 = t_plus & mask, negatives
-            else:
-                t2, negatives1 = t_plus, negatives + [mask]
-            certain1 = _certain_vector(masks, t2, negatives1)
-            still_informative = ~certain1
-            if not still_informative.any():
-                per_label.append(INFINITE_ENTROPY)
-                continue
-            inner_masks = masks[still_informative]
-            # Second label +: per inner choice t', T(S+) becomes
-            # t2 & mask[t']; evaluate all inner choices as a matrix.
-            t3 = (t2 & inner_masks)[:, None]  # (|inf1|, 1)
-            certain_pos = (t3 & ~masks[None, :]) == 0
-            needles = t3 & masks[None, :]
-            for negative in negatives1:
-                certain_pos |= (needles & ~negative) == 0
-            u_pos = certain_pos @ counts - 2  # (|inf1|,)
-            # Second label −: t_plus stays t2; inner mask joins negatives.
-            base_certain_pos = (t2 & ~masks) == 0
-            base_needles = t2 & masks
-            certain_neg = np.broadcast_to(
-                base_certain_pos, (len(inner_masks), len(masks))
-            ).copy()
-            for negative in negatives1:
-                certain_neg |= (base_needles & ~negative) == 0
-            certain_neg |= (
-                base_needles[None, :] & ~inner_masks[:, None]
-            ) == 0
-            u_neg = certain_neg @ counts - 2
-            lows = np.minimum(u_pos, u_neg)
-            highs = np.maximum(u_pos, u_neg)
-            # Lexicographic max of (low, high) pairs == the skyline pick.
-            best_low = int(lows.max())
-            best_high = int(highs[lows == best_low].max())
-            per_label.append((best_low, best_high))
-        out[class_id] = min(per_label)
-    return out
+    masks, counts, negatives, needles, sub, c1p = _first_level(
+        state, informative
+    )
+    n = len(informative)
+    uniques, _, inverse, _ = bitset.unique_rows(needles)
+    inverse = inverse.reshape(n, n)
+
+    # "+,+": labeling (a,+) then (q,+) makes T(S+) the needle[a,q]; the
+    # resulting certain weight is a function of the *distinct* needle.
+    needle_weights = _certain_per_needle(uniques, masks, negatives, counts)
+    u_pp = needle_weights[inverse] - 2
+
+    base_p = c1p @ counts  # weight certain after one "+" label
+    # "+,−" (and by sample symmetry "−,+"): beyond C1P[a, ·], class k
+    # becomes certain iff its needle is inside the negated T_b.  Aggregate
+    # count weights per (outer class, distinct needle) and contract with
+    # the per-needle subset matrix — one dense (n, |U|)·(|U|, n) product.
+    n_unique = len(uniques)
+    fresh_weights = np.where(c1p, 0.0, counts[None, :])
+    if n * n_unique <= _CHUNK_CELLS:
+        sub_u = bitset.pairwise_subset(uniques, masks).astype(np.float64)
+        flat = (np.arange(n)[:, None] * n_unique + inverse).ravel()
+        grouped = np.bincount(
+            flat, weights=fresh_weights.ravel(), minlength=n * n_unique
+        )
+        z = grouped.reshape(n, n_unique) @ sub_u
+    else:
+        # Degenerate instances (|U| ~ |N|²): per-needle subset rows no
+        # longer fit, so contract outer-class blocks straight from the
+        # needle matrix, never materialising a (|U|, |N|) table.
+        z = np.empty((n, n), dtype=np.float64)
+        needle_rows = needles.reshape(n, n, -1)
+        step = max(1, _CHUNK_CELLS // max(1, n * n * masks.shape[1]))
+        for start in range(0, n, step):
+            stop = min(start + step, n)
+            block = needle_rows[start:stop].reshape(
+                (stop - start) * n, -1
+            )
+            pure = bitset.pairwise_subset(block, masks).reshape(
+                stop - start, n, n
+            )
+            z[start:stop] = np.einsum(
+                "aq,aqb->ab", fresh_weights[start:stop], pure
+            )
+    u_pn = base_p[:, None] + z - 2
+    u_np = u_pn.T  # S+(i,−)+(j,+) is S+(j,+)+(i,−) with roles swapped
+    # "−,−": certainty is SUB[k,i] | SUB[k,j] — rank-one combinations.
+    tot_neg = counts @ sub
+    sub_f = sub.astype(np.float64)
+    overlap = (sub_f * counts[:, None]).T @ sub_f
+    u_nn = tot_neg[:, None] + tot_neg[None, :] - overlap - 2
+
+    valid_pos = ~c1p  # inner j still informative after i labeled "+"
+    valid_neg = ~sub.T  # after i labeled "−": j certain iff SUB[j, i]
+    u_pp_i = u_pp.astype(np.int64)
+    u_pn_i = u_pn.astype(np.int64)
+    u_np_i = u_np.astype(np.int64)
+    u_nn_i = u_nn.astype(np.int64)
+    pos_branch = _best_entropy_rows(
+        np.minimum(u_pp_i, u_pn_i), np.maximum(u_pp_i, u_pn_i), valid_pos
+    )
+    neg_branch = _best_entropy_rows(
+        np.minimum(u_np_i, u_nn_i), np.maximum(u_np_i, u_nn_i), valid_neg
+    )
+    return {
+        class_id: min(pos, neg)
+        for class_id, pos, neg in zip(informative, pos_branch, neg_branch)
+    }

@@ -13,7 +13,6 @@ synthetic experiments of §5.2.
 from __future__ import annotations
 
 import random
-from itertools import combinations
 
 from ..relational.predicate import JoinPredicate
 from .signatures import SignatureIndex
@@ -38,22 +37,33 @@ def non_nullable_masks(
 ) -> set[int]:
     """All masks of non-nullable predicates: ``∪ P(σ)`` over signatures.
 
+    Signatures are expanded largest-first, a signature contained in an
+    already expanded one is skipped outright (its power set is already
+    present), and each survivor's subsets are enumerated directly on the
+    mask with the standard ``(sub - 1) & mask`` walk — no per-subset
+    recombination of bit lists.
+
     Raises :class:`LatticeTooLargeError` past ``cap`` nodes — the count is
     exponential when a tuple agrees on everything (§4.2).
     """
     nodes: set[int] = set()
-    for cls in index:
-        bits = [1 << b for b in range(cls.mask.bit_length()) if cls.mask >> b & 1]
-        for size in range(len(bits) + 1):
-            for subset in combinations(bits, size):
-                mask = 0
-                for bit in subset:
-                    mask |= bit
-                nodes.add(mask)
-                if len(nodes) > cap:
-                    raise LatticeTooLargeError(
-                        f"more than {cap} non-nullable lattice nodes"
-                    )
+    expanded: list[int] = []
+    ordered = sorted(index, key=lambda cls: cls.size, reverse=True)
+    for cls in ordered:
+        mask = cls.mask
+        if any(mask & ~previous == 0 for previous in expanded):
+            continue
+        sub = mask
+        while True:
+            nodes.add(sub)
+            if len(nodes) > cap:
+                raise LatticeTooLargeError(
+                    f"more than {cap} non-nullable lattice nodes"
+                )
+            if sub == 0:
+                break
+            sub = (sub - 1) & mask
+        expanded.append(mask)
     return nodes
 
 

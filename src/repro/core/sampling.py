@@ -76,10 +76,9 @@ def sampled_signature_index(
         else:
             entry[0] += 1
 
-    # Build the index through the public constructor on an empty product,
-    # then replace its classes with the sampled estimate.  This keeps a
-    # single invariant-enforcing code path for ordering and maximality.
-    index = SignatureIndex.__new__(SignatureIndex)
+    # Build the index through :meth:`SignatureIndex.from_classes` so the
+    # sampled estimate goes through the same invariant-enforcing path as
+    # the exact constructor (ordering, packed arrays, maximality).
     scale = instance.cartesian_size / n_pairs
     ordered = sorted(
         hits.items(), key=lambda item: (item[0].bit_count(), item[0])
@@ -95,9 +94,4 @@ def sampled_signature_index(
             (mask, tuple(entry)) for mask, entry in ordered
         )
     )
-    index._instance = instance
-    index._classes = classes
-    index._by_mask = {cls.mask: cls.class_id for cls in classes}
-    index._omega_mask = (1 << len(instance.omega)) - 1
-    index._maximal_ids = index._compute_maximal_ids()
-    return index
+    return SignatureIndex.from_classes(instance, classes)

@@ -15,28 +15,37 @@ each carrying:
 
 Every strategy then reasons over the (usually tiny) set of classes instead
 of the (possibly huge) product.  Two construction back ends are provided:
-a pure-Python one and a vectorised NumPy one that packs Ω into 63-bit
-words; they produce identical indexes (property-tested).
+a pure-Python reference and a vectorised NumPy one that walks ``R × P`` in
+chunks of packed 64-bit signature words (so peak memory is bounded by the
+chunk size, not by ``|R|·|P|``, and any Ω width is supported); they
+produce identical indexes (property-tested).
+
+Beyond the classes themselves the index precomputes the array-native views
+the hot path needs: the ``(|N|, n_words)`` packed mask matrix, the class
+count vector, the cached total weight ``|D|``, and the ⊆-maximal class set
+(found with a sort-by-popcount pruned scan instead of the quadratic
+all-pairs test).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Literal
+from typing import Iterator, Literal, Sequence
 
 import numpy as np
 
 from ..relational.predicate import JoinPredicate
 from ..relational.relation import Instance, Row
+from . import bitset
 from .specialize import pairs_from_bits, signature_bits
 
 __all__ = ["SignatureClass", "SignatureIndex"]
 
 TuplePair = tuple[Row, Row]
 
-# NumPy path packs equality bits into uint64 words; keep one spare bit to
-# stay clear of signed/unsigned edge cases in shifts.
-_WORD_BITS = 63
+# Target number of packed uint64 words materialised per construction chunk
+# (~8 MiB).  Chunks cover whole rows of R, so the bound is approximate.
+_CHUNK_WORDS = 1 << 20
 
 
 @dataclass(frozen=True, slots=True)
@@ -95,8 +104,12 @@ def _encode_columns(instance: Instance) -> tuple[np.ndarray, np.ndarray]:
 
 
 def _signatures_numpy(instance: Instance) -> dict[int, tuple[int, TuplePair]]:
-    """Vectorised construction: one |R|x|P| equality matrix per pair of Ω,
-    packed into 63-bit words, then grouped with ``np.unique``."""
+    """Vectorised construction: packed signature words for a chunk of
+    ``R × P`` at a time, uniquified per chunk and merged.
+
+    Peak memory is ``O(chunk)`` rather than ``O(|R|·|P|)``; Ω of any width
+    packs into ``n_words`` 64-bit words.
+    """
     n_left = len(instance.left)
     n_right = len(instance.right)
     if n_left == 0 or n_right == 0:
@@ -104,28 +117,39 @@ def _signatures_numpy(instance: Instance) -> dict[int, tuple[int, TuplePair]]:
     left, right = _encode_columns(instance)
     n = instance.left.arity
     m = instance.right.arity
-    n_words = (n * m + _WORD_BITS - 1) // _WORD_BITS
-    words = np.zeros((n_words, n_left, n_right), dtype=np.uint64)
-    for i in range(n):
-        column_left = left[:, i : i + 1]  # (|R|, 1)
-        for j in range(m):
-            position = i * m + j
-            word_index, bit = divmod(position, _WORD_BITS)
-            equal = column_left == right[None, :, j]  # (|R|, |P|)
-            words[word_index] |= equal.astype(np.uint64) << np.uint64(bit)
-    flat = words.reshape(n_words, n_left * n_right).T  # (|D|, n_words)
-    unique_rows, first_index, counts = np.unique(
-        flat, axis=0, return_index=True, return_counts=True
-    )
+    n_words = bitset.words_needed(n * m)
+    rows_per_chunk = max(1, _CHUNK_WORDS // (n_right * n_words))
+
     found: dict[int, tuple[int, TuplePair]] = {}
     left_rows = instance.left.rows
     right_rows = instance.right.rows
-    for row_words, first, count in zip(unique_rows, first_index, counts):
-        mask = 0
-        for word_index, word in enumerate(row_words):
-            mask |= int(word) << (_WORD_BITS * word_index)
-        r_index, p_index = divmod(int(first), n_right)
-        found[mask] = (int(count), (left_rows[r_index], right_rows[p_index]))
+    for start in range(0, n_left, rows_per_chunk):
+        stop = min(start + rows_per_chunk, n_left)
+        chunk = stop - start
+        words = np.zeros((chunk * n_right, n_words), dtype=np.uint64)
+        for i in range(n):
+            column_left = left[start:stop, i : i + 1]  # (chunk, 1)
+            for j in range(m):
+                position = i * m + j
+                word_index, bit = divmod(position, bitset.WORD_BITS)
+                equal = column_left == right[None, :, j].reshape(1, n_right)
+                words[:, word_index] |= equal.reshape(
+                    chunk * n_right
+                ).astype(np.uint64) << np.uint64(bit)
+        unique, first_indices, _, counts = bitset.unique_rows(words)
+        for row_words, first, count in zip(unique, first_indices, counts):
+            mask = bitset.unpack_row(row_words)
+            existing = found.get(mask)
+            if existing is None:
+                r_index, p_index = divmod(
+                    start * n_right + int(first), n_right
+                )
+                found[mask] = (
+                    int(count),
+                    (left_rows[r_index], right_rows[p_index]),
+                )
+            else:
+                found[mask] = (existing[0] + int(count), existing[1])
     return found
 
 
@@ -142,6 +166,10 @@ class SignatureIndex:
         "_by_mask",
         "_omega_mask",
         "_maximal_ids",
+        "_n_words",
+        "_packed_masks",
+        "_count_array",
+        "_total_weight",
     )
 
     def __init__(
@@ -149,7 +177,6 @@ class SignatureIndex:
         instance: Instance,
         backend: Literal["auto", "numpy", "python"] = "auto",
     ):
-        self._instance = instance
         if backend == "python":
             found = _signatures_python(instance)
         elif backend == "numpy":
@@ -166,29 +193,66 @@ class SignatureIndex:
         ordered = sorted(
             found.items(), key=lambda item: (item[0].bit_count(), item[0])
         )
-        self._classes = tuple(
+        classes = tuple(
             SignatureClass(class_id, mask, count, representative)
             for class_id, (mask, (count, representative)) in enumerate(ordered)
         )
-        self._by_mask = {cls.mask: cls.class_id for cls in self._classes}
+        self._install(instance, classes)
+
+    @classmethod
+    def from_classes(
+        cls, instance: Instance, classes: Sequence[SignatureClass]
+    ) -> "SignatureIndex":
+        """An index over pre-built classes (approximate/sampled indexes).
+
+        ``classes`` must already be in canonical ``(size, mask)`` order
+        with consecutive ids — the invariants the constructor enforces.
+        """
+        index = cls.__new__(cls)
+        index._install(instance, tuple(classes))
+        return index
+
+    def _install(
+        self, instance: Instance, classes: tuple[SignatureClass, ...]
+    ) -> None:
+        """Set every derived structure from the final class tuple."""
+        self._instance = instance
+        self._classes = classes
+        self._by_mask = {cls.mask: cls.class_id for cls in classes}
         self._omega_mask = (1 << len(instance.omega)) - 1
+        self._n_words = bitset.words_needed(len(instance.omega))
+        self._packed_masks = bitset.pack_masks(
+            (cls.mask for cls in classes), self._n_words
+        )
+        self._count_array = np.array(
+            [cls.count for cls in classes], dtype=np.int64
+        )
+        self._total_weight = int(self._count_array.sum())
         self._maximal_ids = self._compute_maximal_ids()
 
     def _compute_maximal_ids(self) -> frozenset[int]:
         """Classes whose signature has no strict superset among signatures.
 
         These are the ⊆-maximal nodes used by the top-down strategy.
+        Scanning popcount groups largest-first prunes the quadratic
+        all-pairs test: a strict superset always has a strictly larger
+        popcount, and containment in *any* already-seen signature implies
+        containment in an accepted maximal one, so each group only needs
+        testing against the accepted maximal set.
         """
-        masks = [cls.mask for cls in self._classes]
-        maximal = []
-        for cls in self._classes:
-            has_superset = any(
-                other != cls.mask and cls.mask & ~other == 0
-                for other in masks
-            )
-            if not has_superset:
-                maximal.append(cls.class_id)
-        return frozenset(maximal)
+        if not self._classes:
+            return frozenset()
+        sizes = bitset.popcounts(self._packed_masks)
+        maximal_ids: list[int] = []
+        maximal_rows = np.empty((0, self._n_words), dtype=np.uint64)
+        for size in np.unique(sizes)[::-1]:
+            group_ids = np.nonzero(sizes == size)[0]
+            group = self._packed_masks[group_ids]
+            keep = ~bitset.subset_of_any(group, maximal_rows)
+            survivors = group_ids[keep]
+            maximal_ids.extend(int(class_id) for class_id in survivors)
+            maximal_rows = np.concatenate([maximal_rows, group[keep]])
+        return frozenset(maximal_ids)
 
     # --- basic accessors -------------------------------------------------
 
@@ -208,14 +272,32 @@ class SignatureIndex:
         return self._omega_mask
 
     @property
+    def n_words(self) -> int:
+        """Packed words per mask (``⌈|Ω| / 64⌉``, at least 1)."""
+        return self._n_words
+
+    @property
+    def packed_masks(self) -> np.ndarray:
+        """``(|N|, n_words)`` uint64 matrix of all class masks.
+
+        Shared, not copied — treat as read-only.
+        """
+        return self._packed_masks
+
+    @property
+    def count_array(self) -> np.ndarray:
+        """``(|N|,)`` int64 vector of class counts (read-only view)."""
+        return self._count_array
+
+    @property
     def maximal_class_ids(self) -> frozenset[int]:
         """Ids of the ⊆-maximal signature classes (top-down entry points)."""
         return self._maximal_ids
 
     @property
     def total_weight(self) -> int:
-        """``|D|`` — the sum of class counts."""
-        return sum(cls.count for cls in self._classes)
+        """``|D|`` — the sum of class counts (cached at construction)."""
+        return self._total_weight
 
     def __len__(self) -> int:
         return len(self._classes)

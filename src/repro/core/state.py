@@ -1,9 +1,16 @@
 """Incremental inference state over a signature index.
 
 This is the bitmask twin of :mod:`repro.core.certain`: the same Lemma
-3.3/3.4 tests, evaluated per signature class with integer masks, plus the
-bookkeeping needed by the strategies (which classes are labeled, which are
-informative, how much "certain weight" a hypothetical label would add).
+3.3/3.4 tests, evaluated per signature class, plus the bookkeeping needed
+by the strategies (which classes are labeled, which are informative, how
+much "certain weight" a hypothetical label would add).
+
+The state is array-native: masks live both as Python ints (the public
+API) and as packed ``uint64`` rows (:mod:`repro.core.bitset`), so the
+certainty tests vectorise over whole class sets regardless of Ω width.
+The informative set is maintained **incrementally**: certainty is
+monotone in the sample, so each :meth:`record` only filters the previous
+informative array instead of rescanning every class.
 
 State invariants maintained throughout a session:
 
@@ -16,6 +23,9 @@ State invariants maintained throughout a session:
 
 from __future__ import annotations
 
+import numpy as np
+
+from . import bitset
 from .sample import Label
 from .signatures import SignatureIndex
 
@@ -28,28 +38,36 @@ class InferenceState:
     __slots__ = (
         "_index",
         "_t_plus",
+        "_t_plus_row",
         "_negative_masks",
+        "_negative_rows",
         "_labels",
-        "_informative_cache",
+        "_informative",
     )
 
     def __init__(self, index: SignatureIndex):
         self._index = index
         self._t_plus = index.omega_mask
+        self._t_plus_row = bitset.pack_mask(index.omega_mask, index.n_words)
         self._negative_masks: list[int] = []
+        #: ``(len(negatives), n_words)`` packed twin of ``_negative_masks``.
+        self._negative_rows = np.empty((0, index.n_words), dtype=np.uint64)
         self._labels: dict[int, Label] = {}
-        self._informative_cache: list[int] | None = None
+        #: int64 array of informative class ids (canonical order), or
+        #: ``None`` before the first query computes it.
+        self._informative: np.ndarray | None = None
 
     def copy(self) -> "InferenceState":
         """An independent copy (used by lookahead simulations)."""
-        twin = InferenceState(self._index)
+        twin = InferenceState.__new__(InferenceState)
+        twin._index = self._index
         twin._t_plus = self._t_plus
+        twin._t_plus_row = self._t_plus_row.copy()
         twin._negative_masks = list(self._negative_masks)
+        twin._negative_rows = self._negative_rows.copy()
         twin._labels = dict(self._labels)
-        twin._informative_cache = (
-            None
-            if self._informative_cache is None
-            else list(self._informative_cache)
+        twin._informative = (
+            None if self._informative is None else self._informative.copy()
         )
         return twin
 
@@ -66,9 +84,20 @@ class InferenceState:
         return self._t_plus
 
     @property
+    def t_plus_row(self) -> np.ndarray:
+        """``T(S+)`` as a packed ``(n_words,)`` row (treat as read-only)."""
+        return self._t_plus_row
+
+    @property
     def negative_masks(self) -> tuple[int, ...]:
         """Masks of the negatively labeled classes."""
         return tuple(self._negative_masks)
+
+    @property
+    def negative_rows(self) -> np.ndarray:
+        """Packed ``(len(negatives), n_words)`` negative masks
+        (treat as read-only)."""
+        return self._negative_rows
 
     @property
     def has_positive(self) -> bool:
@@ -100,9 +129,34 @@ class InferenceState:
         mask = self._index[class_id].mask
         if label is Label.POSITIVE:
             self._t_plus &= mask
+            self._t_plus_row &= self._index.packed_masks[class_id]
         else:
             self._negative_masks.append(mask)
-        self._informative_cache = None
+            self._negative_rows = np.concatenate(
+                [
+                    self._negative_rows,
+                    self._index.packed_masks[class_id : class_id + 1],
+                ]
+            )
+        self._refresh_informative(class_id)
+
+    def _refresh_informative(self, labeled_id: int) -> None:
+        """Shrink the informative set after one more label.
+
+        Certainty is monotone — a class certain before the new label stays
+        certain — so the previous informative array is the only candidate
+        pool; no full rescan of the index is needed.
+        """
+        if self._informative is None:
+            return  # never queried yet; computed lazily on first use
+        candidates = self._informative[self._informative != labeled_id]
+        if candidates.size:
+            packed = self._index.packed_masks[candidates]
+            certain = bitset.certain_rows(
+                packed, self._t_plus_row, self._negative_rows
+            )
+            candidates = candidates[~certain]
+        self._informative = candidates
 
     # --- certainty tests (Lemmas 3.3 / 3.4 on masks) -------------------------
 
@@ -140,24 +194,29 @@ class InferenceState:
 
     # --- informative classes ------------------------------------------------
 
-    def informative_class_ids(self) -> list[int]:
-        """Ids of classes still informative, in canonical order.
+    def informative_ids_array(self) -> np.ndarray:
+        """Informative class ids as an int64 array (canonical order).
 
-        Cached between labels: certainty only ever grows, so the list is
-        recomputed from scratch after each :meth:`record`.
+        The array is the state's working copy — treat as read-only.
         """
-        if self._informative_cache is None:
-            self._informative_cache = [
-                cls.class_id
-                for cls in self._index
-                if cls.class_id not in self._labels
-                and not self.is_certain(cls.class_id)
-            ]
-        return list(self._informative_cache)
+        if self._informative is None:
+            index = self._index
+            certain = bitset.certain_rows(
+                index.packed_masks, self._t_plus_row, self._negative_rows
+            )
+            if self._labels:
+                for class_id in self._labels:
+                    certain[class_id] = True
+            self._informative = np.nonzero(~certain)[0].astype(np.int64)
+        return self._informative
+
+    def informative_class_ids(self) -> list[int]:
+        """Ids of classes still informative, in canonical order."""
+        return [int(class_id) for class_id in self.informative_ids_array()]
 
     def has_informative(self) -> bool:
         """True iff at least one informative class remains (¬Γ)."""
-        return bool(self.informative_class_ids())
+        return self.informative_ids_array().size > 0
 
     # --- hypothetical gains (entropy support) ---------------------------------
 
@@ -174,28 +233,27 @@ class InferenceState:
         revert, and each extra label accounts for one tuple that is asked
         rather than deduced.
         """
-        t_plus = self._t_plus
-        extra_negatives: list[int] = []
-        for class_id, label in extra:
-            mask = self._index[class_id].mask
-            if label is Label.POSITIVE:
-                t_plus &= mask
-            else:
-                extra_negatives.append(mask)
-        negatives = self._negative_masks + extra_negatives
         index = self._index
-        weight = 0
+        t_plus_row = self._t_plus_row.copy()
+        extra_rows: list[np.ndarray] = []
+        for class_id, label in extra:
+            if label is Label.POSITIVE:
+                t_plus_row &= index.packed_masks[class_id]
+            else:
+                extra_rows.append(index.packed_masks[class_id])
+        if extra_rows:
+            negatives = np.concatenate(
+                [self._negative_rows, np.array(extra_rows, dtype=np.uint64)]
+            )
+        else:
+            negatives = self._negative_rows
         # Only currently-informative classes can become newly certain
-        # (certainty is monotone), so the cached list suffices.
-        for class_id in self.informative_class_ids():
-            cls = index[class_id]
-            # Certain-positive under the extended sample?
-            if t_plus & ~cls.mask == 0:
-                weight += cls.count
-                continue
-            needle = t_plus & cls.mask
-            if any(needle & ~neg == 0 for neg in negatives):
-                weight += cls.count
+        # (certainty is monotone), so the maintained array suffices.
+        informative = self.informative_ids_array()
+        certain = bitset.certain_rows(
+            index.packed_masks[informative], t_plus_row, negatives
+        )
+        weight = int(index.count_array[informative][certain].sum())
         return weight - len(extra)
 
     # --- result ---------------------------------------------------------------

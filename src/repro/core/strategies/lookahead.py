@@ -5,6 +5,13 @@ would prune.  For every informative class they compute ``entropy^k`` and
 pick the class whose entropy is the skyline element with the largest
 ``min`` component — i.e. the best guaranteed pruning under the user's
 worst answer, with the best optimistic pruning as tie-breaker.
+
+With ``vectorised=True`` (the default) depths 1–2 run on the array-native
+engine of :mod:`repro.core.fast_lookahead` — whole-matrix computations
+over packed masks, any Ω width; ``vectorised=False`` forces the recursive
+reference in :mod:`repro.core.entropy`.  Both produce identical choices
+(property-tested), so the flag only trades speed for simplicity when
+reproducing the paper's absolute timings.
 """
 
 from __future__ import annotations

@@ -84,7 +84,8 @@ class TestDispatch:
         assert supports_fast_path(state, 2)
         assert not supports_fast_path(state, 3)
 
-    def test_wide_omega_falls_back(self):
+    def test_wide_omega_stays_on_fast_path(self):
+        """Ω > 64 bits packs into multiple words — no fallback needed."""
         from repro.relational import Instance, Relation
 
         rng = random.Random(0)
@@ -101,10 +102,15 @@ class TestDispatch:
         instance = Instance(left, right)
         assert len(instance.omega) > 63
         state = InferenceState(SignatureIndex(instance, backend="python"))
-        assert not supports_fast_path(state, 1)
-        # The fallback still answers (reference implementation).
-        fast = entropies_for_informative(state, 1)
-        assert set(fast) == set(state.informative_class_ids())
+        assert supports_fast_path(state, 1)
+        assert supports_fast_path(state, 2)
+        for depth in (1, 2):
+            fast = entropies_for_informative(state, depth)
+            reference = {
+                class_id: entropy_k_of_class(state, class_id, depth)
+                for class_id in state.informative_class_ids()
+            }
+            assert fast == reference
 
     def test_depth3_fallback_matches_reference(self):
         state = _random_state(7)

@@ -1,0 +1,311 @@
+"""Property tests: packed bitset kernels and the incremental state.
+
+The array-native hot path (``core/bitset.py``, the incremental
+``InferenceState``, the batched lookahead) must be bit-for-bit equivalent
+to the int-mask formulas and to the pure-Python references in
+``certain.py`` / ``entropy.py`` — including Ω wider than one 64-bit word.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Label,
+    Sample,
+    SignatureIndex,
+    entropy_k_of_class,
+    informative_tuples,
+)
+from repro.core import bitset
+from repro.core.fast_lookahead import entropies_for_informative
+from repro.core.state import InferenceState
+from repro.relational import Instance, Relation
+
+from ..conftest import make_random_instance
+
+
+# --- raw kernels vs int-mask arithmetic ---------------------------------
+
+
+@st.composite
+def mask_sets(draw):
+    """A set of random masks over a random-width Ω (1..150 bits)."""
+    n_bits = draw(st.integers(1, 150))
+    n_masks = draw(st.integers(1, 12))
+    masks = draw(
+        st.lists(
+            st.integers(0, (1 << n_bits) - 1),
+            min_size=n_masks,
+            max_size=n_masks,
+        )
+    )
+    return n_bits, masks
+
+
+class TestKernels:
+    @settings(max_examples=80, deadline=None)
+    @given(mask_sets())
+    def test_pack_unpack_roundtrip(self, data):
+        n_bits, masks = data
+        n_words = bitset.words_needed(n_bits)
+        packed = bitset.pack_masks(masks, n_words)
+        assert packed.shape == (len(masks), n_words)
+        assert [bitset.unpack_row(row) for row in packed] == masks
+        single = bitset.pack_mask(masks[0], n_words)
+        assert bitset.unpack_row(single) == masks[0]
+
+    @settings(max_examples=80, deadline=None)
+    @given(mask_sets())
+    def test_popcounts(self, data):
+        n_bits, masks = data
+        packed = bitset.pack_masks(masks, bitset.words_needed(n_bits))
+        assert list(bitset.popcounts(packed)) == [
+            mask.bit_count() for mask in masks
+        ]
+
+    @settings(max_examples=80, deadline=None)
+    @given(mask_sets(), st.integers(0, 2**150))
+    def test_subset_kernels(self, data, other):
+        n_bits, masks = data
+        other &= (1 << n_bits) - 1
+        n_words = bitset.words_needed(n_bits)
+        packed = bitset.pack_masks(masks, n_words)
+        row = bitset.pack_mask(other, n_words)
+        assert list(bitset.subset_of_row(packed, row)) == [
+            mask & ~other == 0 for mask in masks
+        ]
+        assert list(bitset.rows_subset_of(row, packed)) == [
+            other & ~mask == 0 for mask in masks
+        ]
+        assert bitset.pairwise_subset(packed, packed).tolist() == [
+            [a & ~b == 0 for b in masks] for a in masks
+        ]
+
+    @settings(max_examples=80, deadline=None)
+    @given(mask_sets(), mask_sets())
+    def test_subset_of_any(self, data, other_data):
+        n_bits, masks = data
+        width = max(n_bits, other_data[0])
+        others = other_data[1]
+        n_words = bitset.words_needed(width)
+        packed = bitset.pack_masks(masks, n_words)
+        other_packed = bitset.pack_masks(others, n_words)
+        assert list(bitset.subset_of_any(packed, other_packed)) == [
+            any(mask & ~other == 0 for other in others) for mask in masks
+        ]
+        empty = np.empty((0, n_words), dtype=np.uint64)
+        assert not bitset.subset_of_any(packed, empty).any()
+
+    @settings(max_examples=60, deadline=None)
+    @given(mask_sets(), st.integers(0, 2**150), mask_sets())
+    def test_certain_rows(self, data, t_plus, neg_data):
+        n_bits, masks = data
+        width = max(n_bits, neg_data[0])
+        t_plus &= (1 << width) - 1
+        negatives = neg_data[1]
+        n_words = bitset.words_needed(width)
+        packed = bitset.pack_masks(masks, n_words)
+        certain = bitset.certain_rows(
+            packed,
+            bitset.pack_mask(t_plus, n_words),
+            bitset.pack_masks(negatives, n_words),
+        )
+        expected = [
+            t_plus & ~mask == 0
+            or any(
+                (t_plus & mask) & ~negative == 0 for negative in negatives
+            )
+            for mask in masks
+        ]
+        assert list(certain) == expected
+
+
+# --- incremental state vs pure-Python references ------------------------
+
+
+def _wide_instance(seed: int) -> Instance:
+    """A random instance with Ω = 72 > 64 bits (two packed words)."""
+    rng = random.Random(seed)
+    left = Relation.build(
+        "R",
+        [f"A{i}" for i in range(9)],
+        [tuple(rng.randrange(3) for _ in range(9)) for _ in range(5)],
+    )
+    right = Relation.build(
+        "P",
+        [f"B{j}" for j in range(8)],
+        [tuple(rng.randrange(3) for _ in range(8)) for _ in range(5)],
+    )
+    return Instance(left, right)
+
+
+def _random_instance(seed: int) -> Instance:
+    rng = random.Random(seed)
+    return make_random_instance(
+        rng,
+        left_arity=rng.randrange(1, 4),
+        right_arity=rng.randrange(1, 4),
+        rows=rng.randrange(2, 9),
+        values=rng.randrange(2, 5),
+    )
+
+
+def _drive(instance: Instance, seed: int, steps: int):
+    """Label random informative classes, checking every state view
+    against a freshly rebuilt state and the certain.py reference."""
+    rng = random.Random(seed)
+    index = SignatureIndex(instance, backend="python")
+    state = InferenceState(index)
+    sample = Sample()
+    for _ in range(steps):
+        informative = state.informative_class_ids()
+
+        # (1) incremental informative set == from-scratch recomputation
+        fresh = InferenceState(index)
+        for class_id, label in (
+            (cid, lab)
+            for cid, lab in (
+                (cid, state.label_of_class(cid))
+                for cid in range(len(index))
+            )
+            if lab is not None
+        ):
+            fresh.record(class_id, label)
+        assert informative == fresh.informative_class_ids()
+
+        # (2) class-level certainty == tuple-level certain.py reference
+        reference = {
+            index.class_of_tuple(t).class_id
+            for t in informative_tuples(instance, sample)
+        }
+        assert set(informative) == reference
+
+        if not informative:
+            break
+        class_id = rng.choice(informative)
+        label = rng.choice([Label.POSITIVE, Label.NEGATIVE])
+        state.record(class_id, label)
+        sample.label_tuple(index[class_id].representative, label)
+    return state
+
+
+class TestIncrementalState:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_matches_certain_reference(self, seed):
+        _drive(_random_instance(seed), seed, steps=5)
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_wide_omega_matches_certain_reference(self, seed):
+        instance = _wide_instance(seed)
+        assert len(instance.omega) == 72
+        _drive(instance, seed, steps=4)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_newly_certain_weight_matches_copy_and_replay(self, seed):
+        rng = random.Random(seed)
+        state = InferenceState(
+            SignatureIndex(_random_instance(seed), backend="python")
+        )
+        for _ in range(rng.randrange(0, 3)):
+            informative = state.informative_class_ids()
+            if not informative:
+                return
+            state.record(
+                rng.choice(informative),
+                rng.choice([Label.POSITIVE, Label.NEGATIVE]),
+            )
+        informative = state.informative_class_ids()
+        if not informative:
+            return
+        extra = [
+            (cid, rng.choice([Label.POSITIVE, Label.NEGATIVE]))
+            for cid in rng.sample(
+                informative, min(2, len(informative))
+            )
+        ]
+        # Reference: replay the labels on a copy and diff informative sets.
+        simulated = state.copy()
+        for class_id, label in extra:
+            simulated.record(class_id, label)
+        index = state.index
+        before = set(state.informative_class_ids())
+        after = set(simulated.informative_class_ids())
+        expected = sum(
+            index[class_id].count for class_id in before - after
+        ) - len(extra)
+        assert state.newly_certain_weight(extra) == expected
+
+
+class TestWideOmegaLookahead:
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(0, 10_000), st.sampled_from([1, 2]))
+    def test_lookahead_matches_reference(self, seed, depth):
+        instance = _wide_instance(seed)
+        index = SignatureIndex(instance, backend="python")
+        state = InferenceState(index)
+        rng = random.Random(seed)
+        for _ in range(rng.randrange(0, 3)):
+            informative = state.informative_class_ids()
+            if not informative:
+                break
+            state.record(
+                rng.choice(informative),
+                rng.choice([Label.POSITIVE, Label.NEGATIVE]),
+            )
+        fast = entropies_for_informative(state, depth)
+        reference = {
+            class_id: entropy_k_of_class(state, class_id, depth)
+            for class_id in state.informative_class_ids()
+        }
+        assert fast == reference
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 100_000), st.sampled_from([1, 2]))
+    def test_tiny_chunk_bound_matches_reference(self, seed, depth):
+        """Force every chunked/degenerate code path (including the
+        |U| ~ |N|² branch of L2S) by shrinking the chunk budget."""
+        from repro.core import fast_lookahead
+
+        state = InferenceState(
+            SignatureIndex(_random_instance(seed), backend="python")
+        )
+        rng = random.Random(seed)
+        for _ in range(rng.randrange(0, 3)):
+            informative = state.informative_class_ids()
+            if not informative:
+                break
+            state.record(
+                rng.choice(informative),
+                rng.choice([Label.POSITIVE, Label.NEGATIVE]),
+            )
+        original = fast_lookahead._CHUNK_CELLS
+        fast_lookahead._CHUNK_CELLS = 2
+        try:
+            fast = entropies_for_informative(state, depth)
+        finally:
+            fast_lookahead._CHUNK_CELLS = original
+        reference = {
+            class_id: entropy_k_of_class(state, class_id, depth)
+            for class_id in state.informative_class_ids()
+        }
+        assert fast == reference
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_wide_index_backends_agree(self, seed):
+        instance = _wide_instance(seed)
+        py = SignatureIndex(instance, backend="python")
+        np_ = SignatureIndex(instance, backend="numpy")
+        assert [(c.mask, c.count, c.representative) for c in py] == [
+            (c.mask, c.count, c.representative) for c in np_
+        ]
+        assert py.maximal_class_ids == np_.maximal_class_ids
+        assert py.total_weight == np_.total_weight
