@@ -1,0 +1,325 @@
+"""Serving-layer benchmark harness — emits ``BENCH_service.json``.
+
+A load generator against the :mod:`repro.service` HTTP server, measuring
+what the core benchmarks cannot: the cost of putting Algorithm 1 behind
+a shared, cached, concurrent serving layer.
+
+* ``serving``  — ≥ 64 interactive sessions driven concurrently (16
+                 client threads) against ONE cached TPC-H index:
+                 sessions/sec, answers/sec, p50/p95 per-answer HTTP
+                 latency, and the index-cache hit ratio (every session
+                 after the first must hit).
+* ``l2s_fig7`` — p50/p95 answer latency with the paper's most expensive
+                 strategy (L2S) on the Figure 7 synthetic configurations,
+                 i.e. "what does a question cost end-to-end when the
+                 server is doing two-step lookahead".
+
+Every session is parity-checked against the in-process
+``run_inference`` result for the same strategy/seed before timings are
+trusted — a fast server that infers the wrong predicate is not a win.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py            # full run
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_service.py --output my.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import math
+import platform
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from datetime import datetime, timezone
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import (
+    PerfectOracle,
+    SignatureIndex,
+    run_inference,
+    strategy_by_name,
+)
+from repro.data import (
+    PAPER_CONFIGS,
+    generate_synthetic,
+    generate_tpch,
+    tpch_workloads,
+)
+from repro.relational import JoinPredicate
+from repro.service import (
+    IndexCache,
+    ServiceClient,
+    ServiceServer,
+    SessionManager,
+)
+
+TPCH_SEED = 0
+TPCH_SCALE = 1.0
+CLIENT_THREADS = 16
+
+
+def percentile(samples: list[float], p: float) -> float:
+    """The p-th percentile (nearest-rank) of a non-empty sample."""
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def _latency_summary(samples: list[float]) -> dict:
+    return {
+        "count": len(samples),
+        "p50_ms": round(percentile(samples, 50) * 1e3, 3),
+        "p95_ms": round(percentile(samples, 95) * 1e3, 3),
+        "max_ms": round(max(samples) * 1e3, 3),
+    }
+
+
+def _remote_answerer(oracle):
+    def answer(question):
+        pair = (
+            tuple(question["left"]["row"]),
+            tuple(question["right"]["row"]),
+        )
+        return str(oracle.label(pair))
+
+    return answer
+
+
+def _drive_session(
+    server, workload, strategy, seed, oracle, latencies, workload_seed=0
+):
+    """Create + drive one session to Γ; returns the final payload."""
+    answer = _remote_answerer(oracle)
+    with ServiceClient(server.host, server.port) as client:
+        info = client.create_session(
+            workload=workload,
+            strategy=strategy,
+            seed=seed,
+            workload_seed=workload_seed,
+            scale=TPCH_SCALE,
+        )
+        session_id = info["session_id"]
+        while (question := client.next_question(session_id)) is not None:
+            started = time.perf_counter()
+            client.post_answer(
+                session_id, question["question_id"], answer(question)
+            )
+            latencies.append(time.perf_counter() - started)
+        return client.predicate(session_id)
+
+
+def _expected_pairs(instance, strategy, seed, oracle, index):
+    result = run_inference(
+        instance, strategy_by_name(strategy), oracle, index=index, seed=seed
+    )
+    return (
+        [[str(a), str(b)] for a, b in result.predicate.sorted_pairs()],
+        result.interactions,
+    )
+
+
+# --- cells -------------------------------------------------------------------
+
+
+def bench_concurrent_serving(sessions: int) -> dict:
+    """≥ 64 concurrent TPC-H sessions over one cached index."""
+    workload = tpch_workloads(
+        generate_tpch(scale=TPCH_SCALE, seed=TPCH_SEED)
+    )[3]
+    oracle = PerfectOracle(workload.instance, workload.goal)
+    reference_index = SignatureIndex(workload.instance)
+    strategies = ["RND", "BU", "TD", "L1S", "L2S"]
+    jobs = list(zip(range(sessions), itertools.cycle(strategies)))
+    latencies: list[float] = []
+
+    manager = SessionManager(
+        index_cache=IndexCache(), max_sessions=sessions * 2
+    )
+    with ServiceServer(manager=manager) as server:
+        started = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=CLIENT_THREADS) as pool:
+            outcomes = list(
+                pool.map(
+                    lambda job: (
+                        job,
+                        _drive_session(
+                            server,
+                            "tpch/join4",
+                            job[1],
+                            job[0],
+                            oracle,
+                            latencies,
+                        ),
+                    ),
+                    jobs,
+                )
+            )
+        wall = time.perf_counter() - started
+        cache_stats = manager.index_cache.stats()
+
+    for (seed, strategy), final in outcomes:
+        expected, interactions = _expected_pairs(
+            workload.instance, strategy, seed, oracle, reference_index
+        )
+        assert final["predicate"]["pairs"] == expected, (
+            f"parity failed: {strategy} seed={seed}"
+        )
+        assert final["progress"]["interactions"] == interactions
+
+    return {
+        "workload": "tpch/join4",
+        "sessions": sessions,
+        "client_threads": CLIENT_THREADS,
+        "wall_seconds": round(wall, 4),
+        "sessions_per_second": round(sessions / wall, 2),
+        "answers_total": len(latencies),
+        "answers_per_second": round(len(latencies) / wall, 1),
+        "answer_latency": _latency_summary(latencies),
+        "index_cache": cache_stats,
+        "parity_checked": True,
+    }
+
+
+def bench_l2s_fig7(config_ids, sessions_per_config: int) -> list[dict]:
+    """Per-answer latency for L2S on the Figure 7 synthetic sizes."""
+    cells = []
+    for config_id in config_ids:
+        config = PAPER_CONFIGS[config_id]
+        instance = generate_synthetic(config, seed=7)
+        goal = JoinPredicate([instance.omega[0]])
+        oracle = PerfectOracle(instance, goal)
+        index = SignatureIndex(instance)
+        latencies: list[float] = []
+        interactions = 0
+        with ServiceServer() as server:
+            for seed in range(sessions_per_config):
+                final = _drive_session(
+                    server,
+                    f"synthetic/{config_id}",
+                    "L2S",
+                    seed,
+                    oracle,
+                    latencies,
+                    workload_seed=7,
+                )
+                expected, _ = _expected_pairs(
+                    instance, "L2S", seed, oracle, index
+                )
+                assert final["predicate"]["pairs"] == expected, (
+                    f"parity failed: L2S on {config.label} seed={seed}"
+                )
+                interactions += final["progress"]["interactions"]
+        cells.append(
+            {
+                "config": config.label,
+                "product_size": instance.cartesian_size,
+                "omega": len(instance.omega),
+                "classes": len(index),
+                "sessions": sessions_per_config,
+                "interactions_total": interactions,
+                "answer_latency": _latency_summary(latencies),
+                "parity_checked": True,
+            }
+        )
+        print(
+            f"[bench] L2S {config.label}: "
+            f"p95 {cells[-1]['answer_latency']['p95_ms']}ms",
+            flush=True,
+        )
+    return cells
+
+
+# --- harness -----------------------------------------------------------------
+
+
+def run_benchmarks(smoke: bool = False) -> dict:
+    sessions = 16 if smoke else 64
+    print(f"[bench] serving {sessions} concurrent sessions", flush=True)
+    serving = bench_concurrent_serving(sessions)
+    print(
+        f"[bench] {serving['sessions_per_second']} sessions/s, "
+        f"answer p95 {serving['answer_latency']['p95_ms']}ms, "
+        f"cache hit ratio {serving['index_cache']['hit_ratio']}",
+        flush=True,
+    )
+    config_ids = range(2) if smoke else range(len(PAPER_CONFIGS))
+    l2s_cells = bench_l2s_fig7(config_ids, 1 if smoke else 3)
+
+    return {
+        "meta": {
+            "created": datetime.now(timezone.utc).isoformat(),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "smoke": smoke,
+            "transport": "HTTP/1.1 keep-alive over loopback",
+        },
+        "serving": serving,
+        "l2s_fig7": l2s_cells,
+        "acceptance": {
+            "index_cache_hit_ratio": serving["index_cache"]["hit_ratio"],
+            "index_cache_hit_ratio_target": 0.9,
+            "l2s_p95_answer_ms_max": max(
+                cell["answer_latency"]["p95_ms"] for cell in l2s_cells
+            ),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        default=str(
+            Path(__file__).resolve().parent.parent / "BENCH_service.json"
+        ),
+        help="where to write the JSON report (default: repo root)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="16 sessions, 2 synthetic configs — a CI regression canary",
+    )
+    args = parser.parse_args(argv)
+    report = run_benchmarks(smoke=args.smoke)
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {output}")
+    serving = report["serving"]
+    print(
+        f"  serving: {serving['sessions']} sessions in "
+        f"{serving['wall_seconds']}s "
+        f"({serving['sessions_per_second']}/s), answer "
+        f"p50 {serving['answer_latency']['p50_ms']}ms / "
+        f"p95 {serving['answer_latency']['p95_ms']}ms, "
+        f"cache hit ratio {serving['index_cache']['hit_ratio']}"
+    )
+    for cell in report["l2s_fig7"]:
+        latency = cell["answer_latency"]
+        print(
+            f"  L2S {cell['config']:>15s}: "
+            f"p50 {latency['p50_ms']:7.2f}ms   "
+            f"p95 {latency['p95_ms']:7.2f}ms   "
+            f"({cell['classes']} classes)"
+        )
+    acceptance = report["acceptance"]
+    ok = (
+        acceptance["index_cache_hit_ratio"]
+        > acceptance["index_cache_hit_ratio_target"]
+    )
+    print(
+        f"acceptance: cache hit ratio "
+        f"{acceptance['index_cache_hit_ratio']} > 0.9 → "
+        f"{'OK' if ok else 'FAIL'}"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,87 @@
+"""A full remote inference over HTTP, driven through ServiceClient.
+
+Starts an in-process server (the same code path as ``repro-join serve``),
+opens a session on the builtin TPC-H ``orders × lineitem`` workload with
+the two-step lookahead strategy, answers every membership question as a
+simulated user who has the key/foreign-key join in mind, snapshots the
+session halfway to show restart-survival, and prints the inferred
+predicate alongside the in-process reference.
+
+Run with::
+
+    PYTHONPATH=src python examples/service_session.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import PerfectOracle, run_inference, strategy_by_name
+from repro.data import generate_tpch, tpch_workloads
+from repro.service import ServiceClient, ServiceServer
+
+
+def main() -> int:
+    workload = tpch_workloads(generate_tpch(scale=1.0, seed=0))[3]
+    oracle = PerfectOracle(workload.instance, workload.goal)
+
+    def answer(question) -> str:
+        pair = (
+            tuple(question["left"]["row"]),
+            tuple(question["right"]["row"]),
+        )
+        return str(oracle.label(pair))
+
+    with ServiceServer() as server:
+        print(f"server on {server.host}:{server.port}")
+        client = ServiceClient(server.host, server.port)
+
+        info = client.create_session(
+            workload="tpch/join4", strategy="L2S", seed=0
+        )
+        session_id = info["session_id"]
+        print(f"session {session_id} over tpch/join4 with L2S")
+
+        questions_asked = 0
+        while (question := client.next_question(session_id)) is not None:
+            label = answer(question)
+            client.post_answer(
+                session_id, question["question_id"], label
+            )
+            questions_asked += 1
+            left, right = question["left"], question["right"]
+            print(
+                f"  Q{question['question_id']}: "
+                f"{left['relation']}{tuple(left['row'])} × "
+                f"{right['relation']}{tuple(right['row'])} → {label}"
+            )
+            if questions_asked == 2:
+                # Snapshots survive server restarts: the payload is all a
+                # fresh server needs to rebuild and continue the session.
+                snapshot = client.snapshot(session_id)
+                resumed = client.resume(snapshot)
+                print(
+                    f"  (snapshotted after {questions_asked} answers → "
+                    f"resumable twin {resumed['session_id']}, "
+                    f"{len(str(snapshot))} bytes)"
+                )
+
+        final = client.predicate(session_id)
+        print(f"\ninferred over HTTP : {final['pretty']}")
+
+        reference = run_inference(
+            workload.instance,
+            strategy_by_name("L2S"),
+            oracle,
+            seed=0,
+        )
+        print(f"in-process reference: {reference.predicate}")
+        print(f"goal               : {workload.goal}")
+        print(f"stats: {client.stats()['index_cache']}")
+        client.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,10 @@ Subcommands
 * ``experiment`` — regenerate the paper's Figure 6 / Figure 7 / Table 1.
 * ``demo``       — the flight&hotel walk-through from the paper's
   introduction, with a simulated user.
+* ``serve``      — host many concurrent interactive sessions over an
+  HTTP/JSON API (see :mod:`repro.service`): remote users are the oracle,
+  sessions on the same data share one cached signature index, and
+  snapshots let sessions survive restarts.
 """
 
 from __future__ import annotations
@@ -98,6 +102,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser(
         "demo", help="the paper's flight&hotel walk-through"
+    )
+
+    serve = subparsers.add_parser(
+        "serve", help="run the multi-session inference HTTP service"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642)
+    serve.add_argument(
+        "--max-sessions",
+        type=int,
+        default=256,
+        help="concurrent-session capacity (default: 256)",
+    )
+    serve.add_argument(
+        "--session-ttl",
+        type=float,
+        default=3600.0,
+        help="idle seconds before a session is evicted; 0 disables",
+    )
+    serve.add_argument(
+        "--index-cache-size",
+        type=int,
+        default=16,
+        help="distinct instances whose indexes stay cached",
     )
     return parser
 
@@ -264,6 +292,23 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import IndexCache, ServiceApp, SessionManager, run_server
+
+    manager = SessionManager(
+        index_cache=IndexCache(capacity=args.index_cache_size),
+        max_sessions=args.max_sessions,
+        ttl_seconds=args.session_ttl if args.session_ttl > 0 else None,
+    )
+    try:
+        asyncio.run(run_server(ServiceApp(manager), args.host, args.port))
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
@@ -272,6 +317,7 @@ def main(argv: list[str] | None = None) -> int:
         "generate": _cmd_generate,
         "experiment": _cmd_experiment,
         "demo": _cmd_demo,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

@@ -30,6 +30,22 @@ class Label(enum.Enum):
     def __str__(self) -> str:
         return self.value
 
+    @classmethod
+    def parse(cls, text: str) -> "Label":
+        """The label encoded by ``text`` (``"+"`` / ``"-"``).
+
+        Anything else — ``"positive"``, typos, wrong case — raises
+        :class:`ValueError` rather than being silently coerced; both the
+        JSON deserialisers and the service's answer endpoint rely on this
+        being strict.
+        """
+        for label in cls:
+            if text == label.value:
+                return label
+        raise ValueError(
+            f"unknown label {text!r}; expected '+' or '-'"
+        )
+
     @property
     def opposite(self) -> "Label":
         """The other label."""

@@ -1,30 +1,60 @@
-"""JSON serialisation of predicates, samples, and inference transcripts.
+"""JSON serialisation of predicates, samples, transcripts, and sessions.
 
 A practical tool needs to persist what the user said and what was
 inferred — e.g. to resume a labeling session, audit a crowdsourced run,
 or ship the inferred predicate to a query generator.  Values survive a
 round-trip when they are JSON representable (str/int/float/bool/None);
 ints and floats keep their Python types.
+
+Live sessions snapshot to a :class:`SessionSnapshot`: an instance
+reference plus the ``(class_id, label)`` pairs recorded so far (class ids
+are stable because the signature index orders classes canonically by
+``(|signature|, mask)``).  :func:`resume_session` replays the pairs
+through the ordinary :meth:`~repro.core.session.InferenceSession.propose`
+/ :meth:`~repro.core.session.InferenceSession.answer` path, so the
+strategy re-makes — and the rng re-draws — exactly the choices of the
+original run; the resumed session continues bit-for-bit where the
+snapshot left off.  This is what lets :mod:`repro.service` sessions
+survive server restarts.
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass
 from typing import Any
 
 from ..relational.predicate import JoinPredicate
-from ..relational.relation import Row
+from ..relational.relation import Instance, Relation, Row
 from ..relational.schema import Attribute
 from .sample import Example, Label, Sample
-from .session import InferenceResult
+from .session import (
+    HaltCondition,
+    InferenceResult,
+    InferenceSession,
+    MaxInteractions,
+    NoInformativeTuples,
+)
+from .signatures import SignatureIndex
+from .strategies import strategy_by_name
 
 __all__ = [
+    "SessionSnapshot",
+    "SnapshotError",
     "predicate_to_dict",
     "predicate_from_dict",
     "sample_to_dict",
     "sample_from_dict",
     "result_to_dict",
     "result_from_dict",
+    "relation_to_dict",
+    "relation_from_dict",
+    "instance_to_dict",
+    "instance_from_dict",
+    "snapshot_session",
+    "snapshot_to_dict",
+    "snapshot_from_dict",
+    "resume_session",
     "dumps",
     "loads",
 ]
@@ -70,15 +100,18 @@ def sample_to_dict(sample: Sample) -> dict[str, Any]:
 
 
 def sample_from_dict(payload: dict[str, Any]) -> Sample:
-    """Inverse of :func:`sample_to_dict`."""
+    """Inverse of :func:`sample_to_dict`.
+
+    Raises :class:`ValueError` on any label string other than ``"+"`` /
+    ``"-"`` (no silent coercion of typos to negative).
+    """
     sample = Sample()
     for item in payload["examples"]:
         tuple_pair = (
             _row_from_list(item["left"]),
             _row_from_list(item["right"]),
         )
-        label = Label.POSITIVE if item["label"] == "+" else Label.NEGATIVE
-        sample.add(Example(tuple_pair, label))
+        sample.add(Example(tuple_pair, Label.parse(item["label"])))
     return sample
 
 
@@ -109,7 +142,7 @@ def result_from_dict(payload: dict[str, Any]) -> InferenceResult:
                 _row_from_list(item["left"]),
                 _row_from_list(item["right"]),
             ),
-            Label.POSITIVE if item["label"] == "+" else Label.NEGATIVE,
+            Label.parse(item["label"]),
         )
         for item in payload["history"]
     )
@@ -123,8 +156,195 @@ def result_from_dict(payload: dict[str, Any]) -> InferenceResult:
     )
 
 
-def dumps(obj: JoinPredicate | Sample | InferenceResult) -> str:
-    """Serialise any of the three transcript objects to JSON text."""
+def relation_to_dict(relation: Relation) -> dict[str, Any]:
+    """Schema (name + attribute names) and rows in insertion order."""
+    return {
+        "name": relation.name,
+        "attributes": [attr.name for attr in relation.schema],
+        "rows": [_row_to_list(row) for row in relation.rows],
+    }
+
+
+def relation_from_dict(payload: dict[str, Any]) -> Relation:
+    """Inverse of :func:`relation_to_dict`."""
+    return Relation.build(
+        payload["name"],
+        list(payload["attributes"]),
+        (_row_from_list(row) for row in payload["rows"]),
+    )
+
+
+def instance_to_dict(instance: Instance) -> dict[str, Any]:
+    """Both relations of an instance, inline."""
+    return {
+        "left": relation_to_dict(instance.left),
+        "right": relation_to_dict(instance.right),
+    }
+
+
+def instance_from_dict(payload: dict[str, Any]) -> Instance:
+    """Inverse of :func:`instance_to_dict`."""
+    return Instance(
+        relation_from_dict(payload["left"]),
+        relation_from_dict(payload["right"]),
+    )
+
+
+class SnapshotError(ValueError):
+    """A snapshot cannot be taken or replayed (custom halt condition,
+    class-id mismatch against the rebuilt index, missing instance)."""
+
+
+@dataclass(frozen=True, slots=True)
+class SessionSnapshot:
+    """Everything needed to rebuild a live session.
+
+    ``instance_ref`` is the payload stored under ``"instance"``: either
+    ``{"inline": instance_to_dict(...)}`` (self-contained, the default) or
+    an opaque reference a hosting layer resolves itself — the service
+    stores builtin-workload specs so snapshots of TPC-H sessions stay a
+    few hundred bytes.
+    """
+
+    instance_ref: dict[str, Any]
+    strategy: str
+    seed: int | None
+    max_questions: int | None
+    labeled: tuple[tuple[int, Label], ...]
+
+
+def _max_questions_of(halt_condition: HaltCondition) -> int | None:
+    if isinstance(halt_condition, MaxInteractions):
+        return halt_condition.budget
+    if isinstance(halt_condition, NoInformativeTuples):
+        return None
+    raise SnapshotError(
+        f"cannot snapshot a session with halt condition "
+        f"{type(halt_condition).__name__}; only the stock conditions "
+        f"serialise"
+    )
+
+
+def snapshot_session(
+    session: InferenceSession,
+    instance_ref: dict[str, Any] | None = None,
+) -> SessionSnapshot:
+    """Capture a session's resumable state.
+
+    A pending (proposed-but-unanswered) question is *not* part of the
+    state: on resume the strategy deterministically re-proposes it, since
+    replay restores both the inference state and the rng position.
+
+    An unseeded session (``seed=None``) cannot be snapshot: replay could
+    not re-derive its rng draws, so an rng-consulting strategy would
+    silently diverge.  Seed the session (any int) to make it resumable.
+    """
+    if session.seed is None:
+        raise SnapshotError(
+            "cannot snapshot an unseeded session: replay cannot restore "
+            "a system-seeded rng; create the session with an explicit "
+            "seed"
+        )
+    return SessionSnapshot(
+        instance_ref=(
+            instance_ref
+            if instance_ref is not None
+            else {"inline": instance_to_dict(session.instance)}
+        ),
+        strategy=session.strategy.name,
+        seed=session.seed,
+        max_questions=_max_questions_of(session.halt_condition),
+        labeled=session.state.labeled_classes(),
+    )
+
+
+def snapshot_to_dict(snapshot: SessionSnapshot) -> dict[str, Any]:
+    """JSON payload of a snapshot (labels as ``"+"`` / ``"-"``)."""
+    return {
+        "version": 1,
+        "instance": snapshot.instance_ref,
+        "strategy": snapshot.strategy,
+        "seed": snapshot.seed,
+        "max_questions": snapshot.max_questions,
+        "labeled": [
+            [class_id, str(label)] for class_id, label in snapshot.labeled
+        ],
+    }
+
+
+def snapshot_from_dict(payload: dict[str, Any]) -> SessionSnapshot:
+    """Inverse of :func:`snapshot_to_dict` (labels parsed strictly)."""
+    return SessionSnapshot(
+        instance_ref=payload["instance"],
+        strategy=payload["strategy"],
+        seed=payload["seed"],
+        max_questions=payload["max_questions"],
+        labeled=tuple(
+            (int(class_id), Label.parse(label))
+            for class_id, label in payload["labeled"]
+        ),
+    )
+
+
+def resume_session(
+    snapshot: SessionSnapshot | dict[str, Any],
+    *,
+    instance: Instance | None = None,
+    index: SignatureIndex | None = None,
+) -> InferenceSession:
+    """Rebuild a session from a snapshot and replay its labels.
+
+    ``instance`` (and optionally a prebuilt/cached ``index`` over it) must
+    be supplied when the snapshot carries an opaque instance reference;
+    inline snapshots are self-contained.  Replay drives the normal
+    propose/answer path and verifies that the strategy proposes exactly
+    the recorded classes — any divergence means the snapshot does not
+    belong to this instance and raises :class:`SnapshotError`.
+    """
+    if isinstance(snapshot, dict):
+        snapshot = snapshot_from_dict(snapshot)
+    if instance is None:
+        inline = snapshot.instance_ref.get("inline")
+        if inline is None:
+            raise SnapshotError(
+                "snapshot carries an opaque instance reference "
+                f"{snapshot.instance_ref!r}; pass instance= explicitly"
+            )
+        instance = instance_from_dict(inline)
+    halt = (
+        MaxInteractions(snapshot.max_questions)
+        if snapshot.max_questions is not None
+        else None
+    )
+    session = InferenceSession(
+        instance,
+        strategy_by_name(snapshot.strategy),
+        halt_condition=halt,
+        index=index,
+        seed=snapshot.seed,
+    )
+    for class_id, label in snapshot.labeled:
+        question = session.propose()
+        if question is None:
+            raise SnapshotError(
+                f"halt condition reached after "
+                f"{session.state.interaction_count} labels but the "
+                f"snapshot records {len(snapshot.labeled)}"
+            )
+        if question.class_id != class_id:
+            raise SnapshotError(
+                f"replay diverged: strategy proposed class "
+                f"{question.class_id} where the snapshot recorded "
+                f"{class_id} (wrong instance or index?)"
+            )
+        session.answer(question.question_id, label)
+    return session
+
+
+def dumps(
+    obj: JoinPredicate | Sample | InferenceResult | SessionSnapshot,
+) -> str:
+    """Serialise any of the transcript objects to JSON text."""
     if isinstance(obj, JoinPredicate):
         payload: dict[str, Any] = {
             "kind": "predicate",
@@ -134,12 +354,16 @@ def dumps(obj: JoinPredicate | Sample | InferenceResult) -> str:
         payload = {"kind": "sample", **sample_to_dict(obj)}
     elif isinstance(obj, InferenceResult):
         payload = {"kind": "result", **result_to_dict(obj)}
+    elif isinstance(obj, SessionSnapshot):
+        payload = {"kind": "session_snapshot", **snapshot_to_dict(obj)}
     else:
         raise TypeError(f"cannot serialise {type(obj).__name__}")
     return json.dumps(payload, indent=2)
 
 
-def loads(text: str) -> JoinPredicate | Sample | InferenceResult:
+def loads(
+    text: str,
+) -> JoinPredicate | Sample | InferenceResult | SessionSnapshot:
     """Inverse of :func:`dumps` (dispatches on the ``kind`` tag)."""
     payload = json.loads(text)
     kind = payload.get("kind")
@@ -149,4 +373,6 @@ def loads(text: str) -> JoinPredicate | Sample | InferenceResult:
         return sample_from_dict(payload)
     if kind == "result":
         return result_from_dict(payload)
+    if kind == "session_snapshot":
+        return snapshot_from_dict(payload)
     raise ValueError(f"unknown payload kind {kind!r}")

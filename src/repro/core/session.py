@@ -13,6 +13,15 @@ with unreliable oracles — strategies ask about informative tuples, whose
 two labels are both consistent), the session raises
 :class:`~repro.core.consistency.InconsistentSampleError`, matching
 Algorithm 1 lines 6–7.
+
+Beyond the classic blocking loop, the session speaks a non-blocking
+ask/answer protocol that inverts control: :meth:`InferenceSession.propose`
+returns the next :class:`Question` (or ``None`` once Γ holds) without
+consulting any oracle, and :meth:`InferenceSession.answer` records the
+label for a previously proposed question.  A remote user — e.g. one
+talking to :mod:`repro.service` over HTTP — thereby *is* the oracle;
+``step()``/``run()`` are now thin wrappers that pipe a local oracle
+through the same two calls.
 """
 
 from __future__ import annotations
@@ -39,6 +48,8 @@ __all__ = [
     "MaxInteractions",
     "InferenceResult",
     "InferenceSession",
+    "Question",
+    "QuestionProtocolError",
     "run_inference",
 ]
 
@@ -95,14 +106,33 @@ class InferenceResult:
         return instance_equivalent(instance, self.predicate, goal)
 
 
+@dataclass(frozen=True, slots=True)
+class Question:
+    """One pending membership query of the ask/answer protocol."""
+
+    question_id: int
+    class_id: int
+    tuple_pair: TuplePair
+
+
+class QuestionProtocolError(ValueError):
+    """An :meth:`InferenceSession.answer` call that does not match the
+    currently proposed question (stale id, or no question pending)."""
+
+
 class InferenceSession:
-    """One run of Algorithm 1 over a fixed instance/strategy/oracle."""
+    """One run of Algorithm 1 over a fixed instance/strategy/oracle.
+
+    ``oracle`` may be ``None`` for sessions driven externally through
+    :meth:`propose` / :meth:`answer`; only :meth:`step` / :meth:`run`
+    require one.
+    """
 
     def __init__(
         self,
         instance: Instance,
         strategy: Strategy,
-        oracle: Oracle,
+        oracle: Oracle | None = None,
         halt_condition: HaltCondition | None = None,
         index: SignatureIndex | None = None,
         seed: int | None = None,
@@ -114,32 +144,103 @@ class InferenceSession:
         self.index = index if index is not None else SignatureIndex(instance)
         self.state = InferenceState(self.index)
         self.sample = Sample()
+        self.seed = seed
         self.rng = random.Random(seed)
         self._history: list[Example] = []
+        self._pending: Question | None = None
+        self._question_counter = 0
+
+    # --- ask/answer protocol -------------------------------------------------
+
+    @property
+    def pending_question(self) -> Question | None:
+        """The proposed-but-unanswered question, if any."""
+        return self._pending
+
+    def is_finished(self) -> bool:
+        """True once Γ holds and no proposed question awaits an answer."""
+        return self._pending is None and self.halt_condition.should_halt(
+            self
+        )
+
+    def propose(self) -> Question | None:
+        """The next question to put to the user, or ``None`` once Γ holds.
+
+        Idempotent while unanswered: repeated calls return the same
+        pending :class:`Question` (the strategy — and the rng — is only
+        consulted once per question, so a client may safely re-fetch).
+        """
+        if self._pending is not None:
+            return self._pending
+        if self.halt_condition.should_halt(self):
+            return None
+        return self._propose_question()
+
+    def _propose_question(self) -> Question:
+        """Consult the strategy and install the pending question."""
+        class_id = self.strategy.choose(self.state, self.rng)
+        question = Question(
+            question_id=self._question_counter,
+            class_id=class_id,
+            tuple_pair=self.index[class_id].representative,
+        )
+        self._question_counter += 1
+        self._pending = question
+        return question
+
+    def answer(self, question_id: int, label: Label) -> Example:
+        """Record the user's label for the pending question.
+
+        Raises :class:`QuestionProtocolError` when ``question_id`` is not
+        the pending question's id, and :class:`InconsistentSampleError`
+        when the label contradicts the sample (Algorithm 1 lines 6–7) —
+        in that case the question stays pending and may be re-answered.
+        """
+        if not isinstance(label, Label):
+            raise TypeError(f"got {label!r}; expected a Label")
+        pending = self._pending
+        if pending is None:
+            raise QuestionProtocolError(
+                f"no question pending; cannot answer id {question_id}"
+            )
+        if question_id != pending.question_id:
+            raise QuestionProtocolError(
+                f"answer for question {question_id} but question "
+                f"{pending.question_id} is pending"
+            )
+        if not self.state.is_consistent_with(pending.class_id, label):
+            raise InconsistentSampleError(
+                f"label {label} for tuple {pending.tuple_pair!r} "
+                f"contradicts the sample collected so far"
+            )
+        self.state.record(pending.class_id, label)
+        example = Example(pending.tuple_pair, label)
+        self.sample.add(example)
+        self._history.append(example)
+        self._pending = None
+        return example
+
+    # --- blocking loop (local oracle) ----------------------------------------
 
     def step(self) -> Example:
         """Ask one question: pick a tuple, obtain its label, record it.
 
+        Unlike :meth:`propose`, ``step`` does not consult the halt
+        condition — the strategy raises when no informative tuple remains.
         Raises :class:`InconsistentSampleError` when the answer contradicts
         the sample accumulated so far (lines 6–7 of Algorithm 1).
         """
-        class_id = self.strategy.choose(self.state, self.rng)
-        representative = self.index[class_id].representative
-        label = self.oracle.label(representative)
+        if self.oracle is None:
+            raise RuntimeError(
+                "session has no oracle; drive it via propose()/answer()"
+            )
+        question = self._pending or self._propose_question()
+        label = self.oracle.label(question.tuple_pair)
         if not isinstance(label, Label):
             raise TypeError(
                 f"oracle returned {label!r}; expected a Label"
             )
-        if not self.state.is_consistent_with(class_id, label):
-            raise InconsistentSampleError(
-                f"label {label} for tuple {representative!r} contradicts "
-                f"the sample collected so far"
-            )
-        self.state.record(class_id, label)
-        example = Example(representative, label)
-        self.sample.add(example)
-        self._history.append(example)
-        return example
+        return self.answer(question.question_id, label)
 
     def current_predicate(self) -> JoinPredicate:
         """``T(S+)`` — the predicate that would be returned right now."""

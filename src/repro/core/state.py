@@ -110,6 +110,16 @@ class InferenceState:
         """The label recorded for ``class_id`` (None when unlabeled)."""
         return self._labels.get(class_id)
 
+    def labeled_classes(self) -> tuple[tuple[int, Label], ...]:
+        """All ``(class_id, label)`` pairs in recording order.
+
+        This is the complete mutable state of a session relative to its
+        index: replaying the pairs through :meth:`record` reconstructs
+        ``T(S+)``, the negative masks, and the informative set — the basis
+        of the snapshot/resume machinery in :mod:`repro.core.serialize`.
+        """
+        return tuple(self._labels.items())
+
     @property
     def interaction_count(self) -> int:
         """Number of labels recorded so far."""

@@ -3,15 +3,23 @@ miniature TPC-H dbgen with its five goal-join workloads (§5.1)."""
 
 from .synthetic import PAPER_CONFIGS, SyntheticConfig, generate_synthetic
 from .tpch import TABLE_NAMES, TpchTables, generate_tpch
-from .workloads import WORKLOAD_NAMES, JoinWorkload, tpch_workloads
+from .workloads import (
+    BUILTIN_WORKLOAD_NAMES,
+    WORKLOAD_NAMES,
+    JoinWorkload,
+    builtin_instance,
+    tpch_workloads,
+)
 
 __all__ = [
+    "BUILTIN_WORKLOAD_NAMES",
     "JoinWorkload",
     "PAPER_CONFIGS",
     "SyntheticConfig",
     "TABLE_NAMES",
     "TpchTables",
     "WORKLOAD_NAMES",
+    "builtin_instance",
     "generate_synthetic",
     "generate_tpch",
     "tpch_workloads",

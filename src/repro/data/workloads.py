@@ -20,9 +20,16 @@ from ..relational.algebra import project
 from ..relational.predicate import JoinPredicate
 from ..relational.relation import Instance, Relation
 from ..relational.schema import Attribute
-from .tpch import TpchTables
+from .synthetic import PAPER_CONFIGS, generate_synthetic
+from .tpch import TpchTables, generate_tpch
 
-__all__ = ["JoinWorkload", "tpch_workloads", "WORKLOAD_NAMES"]
+__all__ = [
+    "JoinWorkload",
+    "tpch_workloads",
+    "WORKLOAD_NAMES",
+    "BUILTIN_WORKLOAD_NAMES",
+    "builtin_instance",
+]
 
 WORKLOAD_NAMES = ("join1", "join2", "join3", "join4", "join5")
 
@@ -116,3 +123,46 @@ def tpch_workloads(
             ),
         ),
     ]
+
+
+# --- builtin workload registry (service layer) -------------------------------
+
+#: Instance names a client may pass instead of uploading CSV data:
+#: ``tpch/joinK`` is the instance of the K-th §5.1 goal join, ``synthetic/i``
+#: the i-th Figure 7 generator configuration.
+BUILTIN_WORKLOAD_NAMES: tuple[str, ...] = tuple(
+    f"tpch/{name}" for name in WORKLOAD_NAMES
+) + tuple(f"synthetic/{i}" for i in range(len(PAPER_CONFIGS)))
+
+
+def builtin_instance(
+    name: str, seed: int = 0, scale: float = 1.0
+) -> Instance:
+    """The named builtin instance, generated deterministically.
+
+    Both generators are pure functions of ``(seed, scale)``, so every
+    caller naming the same builtin gets a *value-identical* instance —
+    which is what lets the service's index cache share one
+    ``SignatureIndex`` across all sessions on the same builtin data.
+    ``scale`` only affects the TPC-H workloads.
+    """
+    family, _, rest = name.partition("/")
+    if family == "tpch" and rest in WORKLOAD_NAMES:
+        tables = generate_tpch(scale=scale, seed=seed)
+        workload = {
+            w.name: w for w in tpch_workloads(tables)
+        }[rest]
+        return workload.instance
+    if family == "synthetic":
+        try:
+            config = PAPER_CONFIGS[int(rest)]
+        except (ValueError, IndexError):
+            raise ValueError(
+                f"unknown synthetic workload {name!r}; expected "
+                f"synthetic/0..synthetic/{len(PAPER_CONFIGS) - 1}"
+            ) from None
+        return generate_synthetic(config, seed=seed)
+    raise ValueError(
+        f"unknown builtin workload {name!r}; "
+        f"choose one of {', '.join(BUILTIN_WORKLOAD_NAMES)}"
+    )

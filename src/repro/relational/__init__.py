@@ -17,7 +17,7 @@ from .algebra import (
     semijoin,
     semijoin_selects,
 )
-from .csv_io import read_csv, write_csv
+from .csv_io import read_csv, read_csv_text, write_csv
 from .predicate import AttributePair, JoinPredicate
 from .relation import Instance, Relation, Row
 from .schema import Attribute, RelationSchema, SchemaError
@@ -37,6 +37,7 @@ __all__ = [
     "join_witnesses",
     "project",
     "read_csv",
+    "read_csv_text",
     "select",
     "selects",
     "semijoin",

@@ -10,13 +10,14 @@ hence the explicit opt-in.
 from __future__ import annotations
 
 import csv
+import io
 from pathlib import Path
 from typing import Hashable
 
 from .relation import Relation
 from .schema import RelationSchema
 
-__all__ = ["write_csv", "read_csv"]
+__all__ = ["write_csv", "read_csv", "read_csv_text"]
 
 
 def write_csv(relation: Relation, path: str | Path) -> None:
@@ -40,6 +41,37 @@ def _convert_column(values: list[str]) -> list[Hashable]:
         return list(values)
 
 
+def _read_csv_handle(
+    handle, name: str, source: str, infer_types: bool
+) -> Relation:
+    reader = csv.reader(handle)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise ValueError(f"{source} is empty; expected a header row")
+    # reader.line_num tracks physical lines, so error positions stay
+    # right across blank lines and quoted fields containing newlines.
+    numbered = [
+        (reader.line_num, tuple(row)) for row in reader if row
+    ]
+    schema = RelationSchema(name, header)
+    for line_num, row in numbered:
+        if len(row) != len(header):
+            raise ValueError(
+                f"{source} line {line_num}: expected {len(header)} "
+                f"columns, got {len(row)}"
+            )
+    raw_rows = [row for _, row in numbered]
+    if not infer_types or not raw_rows:
+        return Relation(schema, raw_rows)
+    columns = [
+        _convert_column([row[i] for row in raw_rows])
+        for i in range(len(header))
+    ]
+    typed_rows = list(zip(*columns))
+    return Relation(schema, typed_rows)
+
+
 def read_csv(
     path: str | Path,
     relation_name: str | None = None,
@@ -52,18 +84,19 @@ def read_csv(
     path = Path(path)
     name = relation_name if relation_name is not None else path.stem
     with path.open(newline="") as handle:
-        reader = csv.reader(handle)
-        try:
-            header = next(reader)
-        except StopIteration:
-            raise ValueError(f"{path} is empty; expected a header row")
-        raw_rows = [tuple(row) for row in reader if row]
-    schema = RelationSchema(name, header)
-    if not infer_types or not raw_rows:
-        return Relation(schema, raw_rows)
-    columns = [
-        _convert_column([row[i] for row in raw_rows])
-        for i in range(len(header))
-    ]
-    typed_rows = list(zip(*columns))
-    return Relation(schema, typed_rows)
+        return _read_csv_handle(handle, name, str(path), infer_types)
+
+
+def read_csv_text(
+    text: str,
+    relation_name: str,
+    infer_types: bool = False,
+) -> Relation:
+    """Read a relation from in-memory CSV text (header first).
+
+    Same semantics as :func:`read_csv`; used by the service layer for
+    uploaded relations.
+    """
+    return _read_csv_handle(
+        io.StringIO(text, newline=""), relation_name, "CSV text", infer_types
+    )

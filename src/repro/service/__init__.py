@@ -1,0 +1,61 @@
+"""Multi-session inference service (the serving layer over Algorithm 1).
+
+The paper's protocol is interactive — one membership question at a time —
+and this package turns it into something a fleet of remote users can
+drive concurrently: an asyncio HTTP/JSON server
+(:mod:`~repro.service.app`) hosting many
+:class:`~repro.core.session.InferenceSession` objects behind a
+:class:`~repro.service.manager.SessionManager` (per-session locks, TTL
+eviction, capacity limits), with a content-addressed
+:class:`~repro.service.index_cache.IndexCache` sharing the expensive
+immutable :class:`~repro.core.signatures.SignatureIndex` across all
+sessions on the same data, and snapshot/resume so sessions survive
+restarts.  :class:`~repro.service.client.ServiceClient` is the matching
+stdlib client; ``repro-join serve`` starts a server from the CLI.
+"""
+
+from .app import ServiceApp, ServiceServer, run_server, start_server
+from .client import ServiceClient, ServiceClientError
+from .index_cache import IndexCache, instance_fingerprint
+from .manager import ManagedSession, SessionManager
+from .protocol import (
+    BadRequest,
+    CapacityExceeded,
+    Conflict,
+    CreateSpec,
+    NotFound,
+    ServiceError,
+    instance_from_spec,
+    parse_answer_payload,
+    parse_create_payload,
+    parse_label,
+    predicate_payload,
+    progress_payload,
+    question_payload,
+)
+
+__all__ = [
+    "BadRequest",
+    "CapacityExceeded",
+    "Conflict",
+    "CreateSpec",
+    "IndexCache",
+    "ManagedSession",
+    "NotFound",
+    "ServiceApp",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceError",
+    "ServiceServer",
+    "SessionManager",
+    "instance_fingerprint",
+    "instance_from_spec",
+    "parse_answer_payload",
+    "parse_create_payload",
+    "parse_label",
+    "predicate_payload",
+    "progress_payload",
+    "question_payload",
+    "run_server",
+    "start_server",
+]

@@ -1,0 +1,419 @@
+"""The asyncio HTTP/JSON server hosting concurrent inference sessions.
+
+Stdlib only: a minimal HTTP/1.1 request loop over ``asyncio`` streams
+(keep-alive, ``Content-Length`` bodies) in front of a JSON router.  Every
+handler is a small synchronous computation — label recording and question
+selection are array operations on the shared index — so the single event
+loop comfortably serves many interleaved sessions; per-session locks in
+the :class:`~repro.service.manager.SessionManager` keep each session's
+protocol sequential regardless of how requests interleave.
+
+Routes
+------
+
+==========  ==============================  =====================================
+method      path                            action
+==========  ==============================  =====================================
+POST        ``/sessions``                   create a session (builtin or CSV)
+GET         ``/sessions``                   list live sessions
+POST        ``/sessions/resume``            recreate a session from a snapshot
+GET         ``/sessions/{id}``              session info + progress
+GET         ``/sessions/{id}/question``     next membership question (or done)
+POST        ``/sessions/{id}/answer``       record a label for a question
+GET         ``/sessions/{id}/predicate``    current ``T(S+)`` + progress
+GET         ``/sessions/{id}/snapshot``     resumable session state
+DELETE      ``/sessions/{id}``              drop the session
+GET         ``/stats``                      server + index-cache counters
+==========  ==============================  =====================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Any
+
+from ..core.consistency import InconsistentSampleError
+from ..core.session import QuestionProtocolError
+from .manager import SessionManager
+from .protocol import (
+    BadRequest,
+    Conflict,
+    NotFound,
+    ServiceError,
+    parse_answer_payload,
+    parse_create_payload,
+    predicate_payload,
+    progress_payload,
+    question_payload,
+)
+
+__all__ = ["ServiceApp", "start_server", "run_server", "ServiceServer"]
+
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+class ServiceApp:
+    """Routes (method, path, JSON body) triples onto the manager."""
+
+    def __init__(self, manager: SessionManager | None = None):
+        # `manager or ...` would discard an *empty* manager (it has len 0).
+        self.manager = manager if manager is not None else SessionManager()
+
+    async def dispatch(
+        self, method: str, path: str, payload: Any
+    ) -> tuple[int, dict[str, Any]]:
+        """Handle one request; returns ``(status, response payload)``."""
+        try:
+            return await self._route(method, path, payload)
+        except ServiceError as exc:
+            return exc.status, {
+                "error": exc.code,
+                "message": str(exc),
+            }
+        except Exception as exc:  # noqa: BLE001 - last-resort barrier
+            return 500, {"error": "internal_error", "message": str(exc)}
+
+    async def _route(
+        self, method: str, path: str, payload: Any
+    ) -> tuple[int, dict[str, Any]]:
+        parts = [p for p in path.split("/") if p]
+        if parts == ["stats"] or not parts:
+            if method != "GET":
+                raise BadRequest(f"{method} not allowed on /stats")
+            return 200, self.manager.stats()
+        if parts[0] != "sessions":
+            raise NotFound(f"no route {path!r}")
+
+        if len(parts) == 1:
+            if method == "POST":
+                return await self._create(payload)
+            if method == "GET":
+                return 200, {
+                    "sessions": [
+                        {
+                            **m.describe(),
+                            "progress": progress_payload(m.session),
+                        }
+                        for m in self.manager.list_sessions()
+                    ]
+                }
+            raise BadRequest(f"{method} not allowed on /sessions")
+
+        if parts[1] == "resume" and len(parts) == 2:
+            if method != "POST":
+                raise BadRequest(f"{method} not allowed on resume")
+            return await self._resume(payload)
+
+        session_id = parts[1]
+        action = parts[2] if len(parts) == 3 else None
+        if len(parts) > 3:
+            raise NotFound(f"no route {path!r}")
+        managed = self.manager.get(session_id)
+
+        if action is None:
+            if method == "GET":
+                return 200, {
+                    **managed.describe(),
+                    "progress": progress_payload(managed.session),
+                }
+            if method == "DELETE":
+                self.manager.delete(session_id)
+                return 200, {"deleted": session_id}
+            raise BadRequest(f"{method} not allowed on a session")
+        if action == "question" and method == "GET":
+            return await self._question(managed)
+        if action == "answer" and method == "POST":
+            return await self._answer(managed, payload)
+        if action == "predicate" and method == "GET":
+            async with managed.lock:
+                return 200, predicate_payload(managed.session)
+        if action == "snapshot" and method == "GET":
+            async with managed.lock:
+                return 200, self.manager.snapshot(session_id)
+        raise NotFound(f"no route {path!r}")
+
+    async def _create(self, payload: Any) -> tuple[int, dict[str, Any]]:
+        spec = parse_create_payload(payload)
+        managed = self.manager.create(spec)
+        return 201, {
+            **managed.describe(),
+            "progress": progress_payload(managed.session),
+        }
+
+    async def _resume(self, payload: Any) -> tuple[int, dict[str, Any]]:
+        if not isinstance(payload, dict):
+            raise BadRequest("request body must be a snapshot object")
+        managed = self.manager.resume(payload)
+        return 201, {
+            **managed.describe(),
+            "progress": progress_payload(managed.session),
+        }
+
+    async def _question(self, managed) -> tuple[int, dict[str, Any]]:
+        async with managed.lock:
+            question = managed.session.propose()
+            if question is None:
+                return 200, {
+                    "done": True,
+                    "progress": progress_payload(managed.session),
+                }
+            return 200, {
+                "done": False,
+                **question_payload(managed.session, question),
+            }
+
+    async def _answer(
+        self, managed, payload: Any
+    ) -> tuple[int, dict[str, Any]]:
+        question_id, label = parse_answer_payload(payload)
+        async with managed.lock:
+            try:
+                example = managed.session.answer(question_id, label)
+            except QuestionProtocolError as exc:
+                raise Conflict(str(exc)) from exc
+            except InconsistentSampleError as exc:
+                raise Conflict(str(exc)) from exc
+            return 200, {
+                "recorded": {
+                    "question_id": question_id,
+                    "label": str(example.label),
+                },
+                "progress": progress_payload(managed.session),
+            }
+
+
+# --- HTTP plumbing -----------------------------------------------------------
+
+
+def _response_bytes(status: int, payload: dict[str, Any]) -> bytes:
+    body = json.dumps(payload).encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: keep-alive\r\n"
+        f"\r\n"
+    ).encode("ascii")
+    return head + body
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> tuple[str, str, bytes, bool] | None:
+    """Parse one request; None at end-of-stream before a request line."""
+    line = await reader.readline()
+    if not line:
+        return None
+    try:
+        method, target, version = line.decode("ascii").split()
+    except ValueError:
+        raise BadRequest(f"malformed request line {line!r}")
+    headers: dict[str, str] = {}
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = raw.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    raw_length = headers.get("content-length", "0") or "0"
+    try:
+        length = int(raw_length)
+    except ValueError:
+        raise BadRequest(f"malformed Content-Length {raw_length!r}")
+    if length < 0 or length > _MAX_BODY_BYTES:
+        raise BadRequest(f"bad request body length {length}")
+    body = await reader.readexactly(length) if length else b""
+    keep_alive = (
+        headers.get("connection", "").lower() != "close"
+        and version.upper() != "HTTP/1.0"
+    )
+    # Strip any query string; the protocol is JSON-body only.
+    path = target.split("?", 1)[0]
+    return method.upper(), path, body, keep_alive
+
+
+async def _handle_connection(
+    app: ServiceApp,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    try:
+        while True:
+            try:
+                request = await _read_request(reader)
+            except (
+                asyncio.IncompleteReadError,
+                ConnectionResetError,
+            ):
+                break
+            except asyncio.CancelledError:
+                # Server shutdown while the connection idled between
+                # requests — close quietly.
+                break
+            except ValueError as exc:
+                # StreamReader raises ValueError for over-limit lines.
+                writer.write(
+                    _response_bytes(
+                        400, {"error": "bad_request", "message": str(exc)}
+                    )
+                )
+                await writer.drain()
+                break
+            except BadRequest as exc:
+                writer.write(
+                    _response_bytes(
+                        400, {"error": "bad_request", "message": str(exc)}
+                    )
+                )
+                await writer.drain()
+                break
+            if request is None:
+                break
+            method, path, body, keep_alive = request
+            if body:
+                try:
+                    payload = json.loads(body)
+                except json.JSONDecodeError as exc:
+                    status, response = 400, {
+                        "error": "bad_request",
+                        "message": f"invalid JSON body: {exc}",
+                    }
+                else:
+                    status, response = await app.dispatch(
+                        method, path, payload
+                    )
+            else:
+                status, response = await app.dispatch(method, path, None)
+            writer.write(_response_bytes(status, response))
+            await writer.drain()
+            if not keep_alive:
+                break
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def start_server(
+    app: ServiceApp,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> asyncio.base_events.Server:
+    """Bind and start serving; ``port=0`` picks a free port."""
+    return await asyncio.start_server(
+        lambda r, w: _handle_connection(app, r, w), host, port
+    )
+
+
+async def run_server(
+    app: ServiceApp, host: str = "127.0.0.1", port: int = 8642
+) -> None:
+    """Serve until cancelled (the CLI entry point's coroutine)."""
+    server = await start_server(app, host, port)
+    addresses = ", ".join(
+        f"{sock.getsockname()[0]}:{sock.getsockname()[1]}"
+        for sock in server.sockets
+    )
+    print(f"repro-join service listening on {addresses}")
+    async with server:
+        await server.serve_forever()
+
+
+class ServiceServer:
+    """A server on a background thread — for tests, benchmarks, and
+    examples that need a live endpoint inside one process.
+
+    Usage::
+
+        with ServiceServer(manager=SessionManager()) as server:
+            client = ServiceClient(server.host, server.port)
+    """
+
+    def __init__(
+        self,
+        manager: SessionManager | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.app = ServiceApp(manager)
+        self._requested = (host, port)
+        self.host: str | None = None
+        self.port: int | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._server: asyncio.base_events.Server | None = None
+
+    @property
+    def manager(self) -> SessionManager:
+        """The hosted session manager."""
+        return self.app.manager
+
+    def start(self) -> "ServiceServer":
+        """Start the loop thread and block until the port is bound."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30):
+            raise RuntimeError("service failed to start within 30s")
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+
+        async def main() -> None:
+            host, port = self._requested
+            self._server = await start_server(self.app, host, port)
+            sockname = self._server.sockets[0].getsockname()
+            self.host, self.port = sockname[0], sockname[1]
+            self._started.set()
+            await self._server.serve_forever()
+
+        try:
+            loop.run_until_complete(main())
+        except asyncio.CancelledError:
+            pass
+        finally:
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    def close(self) -> None:
+        """Stop serving and join the loop thread."""
+        loop, thread = self._loop, self._thread
+        if loop is None or thread is None:
+            return
+
+        def _shutdown() -> None:
+            for task in asyncio.all_tasks(loop):
+                task.cancel()
+
+        loop.call_soon_threadsafe(_shutdown)
+        thread.join(timeout=30)
+        self._loop = None
+        self._thread = None
+
+    def __enter__(self) -> "ServiceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

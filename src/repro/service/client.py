@@ -1,0 +1,203 @@
+"""A thin synchronous client for the inference service.
+
+Wraps :mod:`http.client` (stdlib, keep-alive) around the JSON protocol so
+driving a remote inference reads like driving a local session::
+
+    client = ServiceClient(host, port)
+    info = client.create_session(workload="tpch/join4", strategy="L2S")
+    while (q := client.next_question(info["session_id"])) is not None:
+        client.post_answer(
+            info["session_id"], q["question_id"], my_label_for(q)
+        )
+    print(client.predicate(info["session_id"])["pretty"])
+
+One client holds one connection — use one client per thread when load
+testing (see ``benchmarks/bench_service.py``).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Callable
+
+__all__ = ["ServiceClient", "ServiceClientError"]
+
+
+class ServiceClientError(Exception):
+    """A non-2xx service response, with the server's error payload."""
+
+    def __init__(self, status: int, code: str, message: str):
+        super().__init__(f"[{status} {code}] {message}")
+        self.status = status
+        self.code = code
+
+
+class ServiceClient:
+    """Synchronous HTTP client speaking the service's JSON protocol."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._connection: http.client.HTTPConnection | None = None
+
+    # --- plumbing ------------------------------------------------------------
+
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._connection
+
+    def _request(
+        self, method: str, path: str, payload: Any = None
+    ) -> dict[str, Any]:
+        body = (
+            json.dumps(payload).encode("utf-8")
+            if payload is not None
+            else None
+        )
+        headers = {"Content-Type": "application/json"} if body else {}
+        # Only idempotent GETs are retried: re-sending a POST whose
+        # response was lost could replay an already-recorded answer.
+        attempts = (0, 1) if method == "GET" else (1,)
+        for attempt in attempts:
+            connection = self._connect()
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                data = response.read()
+                break
+            except (
+                http.client.HTTPException,
+                ConnectionError,
+                BrokenPipeError,
+            ):
+                # Stale keep-alive connection: reconnect (and for GETs
+                # retry once).
+                self.close()
+                if attempt:
+                    raise
+        decoded = json.loads(data) if data else {}
+        if response.status >= 400:
+            raise ServiceClientError(
+                response.status,
+                decoded.get("error", "unknown"),
+                decoded.get("message", data.decode("utf-8", "replace")),
+            )
+        return decoded
+
+    def close(self) -> None:
+        """Drop the underlying connection (reopened lazily)."""
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # --- endpoints -----------------------------------------------------------
+
+    def create_session(
+        self,
+        *,
+        workload: str | None = None,
+        csv: dict[str, Any] | None = None,
+        strategy: str = "TD",
+        seed: int | None = 0,
+        max_questions: int | None = None,
+        workload_seed: int = 0,
+        scale: float = 1.0,
+        infer_types: bool = False,
+    ) -> dict[str, Any]:
+        """Open a session over a builtin workload or uploaded CSV text."""
+        payload: dict[str, Any] = {
+            "strategy": strategy,
+            "seed": seed,
+            "max_questions": max_questions,
+        }
+        if workload is not None:
+            payload.update(
+                workload=workload,
+                workload_seed=workload_seed,
+                scale=scale,
+            )
+        if csv is not None:
+            payload.update(csv=csv, infer_types=infer_types)
+        return self._request("POST", "/sessions", payload)
+
+    def list_sessions(self) -> list[dict[str, Any]]:
+        """All live sessions on the server."""
+        return self._request("GET", "/sessions")["sessions"]
+
+    def session_info(self, session_id: str) -> dict[str, Any]:
+        """Metadata + progress for one session."""
+        return self._request("GET", f"/sessions/{session_id}")
+
+    def next_question(self, session_id: str) -> dict[str, Any] | None:
+        """The pending question payload, or ``None`` once Γ holds."""
+        response = self._request(
+            "GET", f"/sessions/{session_id}/question"
+        )
+        return None if response["done"] else response
+
+    def post_answer(
+        self, session_id: str, question_id: int, label: str
+    ) -> dict[str, Any]:
+        """Record ``"+"`` / ``"-"`` for a previously fetched question."""
+        return self._request(
+            "POST",
+            f"/sessions/{session_id}/answer",
+            {"question_id": question_id, "label": label},
+        )
+
+    def predicate(self, session_id: str) -> dict[str, Any]:
+        """The current ``T(S+)`` and progress."""
+        return self._request(
+            "GET", f"/sessions/{session_id}/predicate"
+        )
+
+    def snapshot(self, session_id: str) -> dict[str, Any]:
+        """The session's resumable state."""
+        return self._request(
+            "GET", f"/sessions/{session_id}/snapshot"
+        )
+
+    def resume(self, snapshot: dict[str, Any]) -> dict[str, Any]:
+        """Recreate a session from a snapshot payload."""
+        return self._request("POST", "/sessions/resume", snapshot)
+
+    def delete_session(self, session_id: str) -> dict[str, Any]:
+        """Drop a session."""
+        return self._request("DELETE", f"/sessions/{session_id}")
+
+    def stats(self) -> dict[str, Any]:
+        """Server counters, including the index-cache hit ratio."""
+        return self._request("GET", "/stats")
+
+    # --- convenience ---------------------------------------------------------
+
+    def drive(
+        self,
+        session_id: str,
+        answerer: Callable[[dict[str, Any]], str],
+    ) -> dict[str, Any]:
+        """Answer questions via ``answerer`` until Γ holds; returns the
+        final predicate payload.
+
+        ``answerer`` receives each question payload and returns ``"+"``
+        or ``"-"`` — the remote twin of a local
+        :class:`~repro.core.oracle.CallbackOracle`.
+        """
+        while (question := self.next_question(session_id)) is not None:
+            self.post_answer(
+                session_id,
+                question["question_id"],
+                answerer(question),
+            )
+        return self.predicate(session_id)

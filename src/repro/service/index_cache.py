@@ -1,0 +1,132 @@
+"""Content-addressed cache of signature indexes.
+
+Building the :class:`SignatureIndex` is the expensive step of a session —
+it walks ``|R|·|P|`` product tuples — while everything recorded afterwards
+lives in the per-session :class:`~repro.core.state.InferenceState`.  The
+index itself is immutable, so every session over value-identical data can
+share one: the cache keys on a content hash of the instance (schema +
+rows, type-tagged so ``1`` and ``"1"`` hash apart, exactly as they compare
+apart under the inference semantics).
+
+Eviction is LRU by entry count.  The server's event loop builds indexes
+synchronously (no ``await`` between lookup and insert), so concurrent
+session creations on the same data can never race into duplicate builds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+
+from ..core.signatures import SignatureIndex
+from ..relational.relation import Instance, Relation
+
+__all__ = ["IndexCache", "instance_fingerprint"]
+
+
+def _tagged(value: object) -> list:
+    # bool before int: True == 1 in Python but the tag keeps them apart.
+    return [type(value).__name__, value]
+
+
+def _relation_payload(relation: Relation) -> dict:
+    return {
+        "name": relation.name,
+        "attributes": [attr.name for attr in relation.schema],
+        "rows": [[_tagged(v) for v in row] for row in relation.rows],
+    }
+
+
+def instance_fingerprint(instance: Instance) -> str:
+    """A stable content hash of an instance's schema and data.
+
+    Two instances get the same fingerprint iff they are value-identical
+    (same relation names, attribute names, and rows in order, with cell
+    types distinguished) — the precondition for their signature indexes
+    being interchangeable.
+    """
+    canonical = json.dumps(
+        {
+            "left": _relation_payload(instance.left),
+            "right": _relation_payload(instance.right),
+        },
+        separators=(",", ":"),
+        sort_keys=True,
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class IndexCache:
+    """LRU cache mapping instance fingerprints to shared indexes."""
+
+    __slots__ = ("_capacity", "_entries", "_hits", "_misses")
+
+    def __init__(self, capacity: int = 16):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._entries: OrderedDict[str, SignatureIndex] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    def get_or_build(
+        self, instance: Instance
+    ) -> tuple[SignatureIndex, bool]:
+        """The shared index for ``instance`` and whether it was cached."""
+        return self.get_or_build_keyed(
+            instance_fingerprint(instance), lambda: instance
+        )
+
+    def get_or_build_keyed(
+        self, key: str, make_instance
+    ) -> tuple[SignatureIndex, bool]:
+        """Like :meth:`get_or_build` with a caller-supplied cache key.
+
+        ``make_instance`` is only invoked on a miss, which lets callers
+        with an already-canonical key — the service's builtin workload
+        specs — skip both data regeneration and content hashing on the
+        hot path.  (An index cached under a spec key is a separate entry
+        from the same data cached by fingerprint; builtin specs are
+        deterministic, so in practice the split never occurs.)
+        """
+        index = self._entries.get(key)
+        if index is not None:
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return index, True
+        self._misses += 1
+        index = SignatureIndex(make_instance())
+        self._entries[key] = index
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+        return index, False
+
+    @property
+    def hits(self) -> int:
+        """Lookups answered from the cache."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Lookups that triggered an index build."""
+        return self._misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """``hits / (hits + misses)``, 0.0 before any lookup."""
+        total = self._hits + self._misses
+        return self._hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict:
+        """Counters for the service's stats endpoint and benchmarks."""
+        return {
+            "entries": len(self._entries),
+            "capacity": self._capacity,
+            "hits": self._hits,
+            "misses": self._misses,
+            "hit_ratio": round(self.hit_ratio, 4),
+        }

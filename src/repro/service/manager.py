@@ -1,0 +1,250 @@
+"""Session lifecycle: creation, lookup, TTL eviction, snapshot/resume.
+
+The manager owns every live :class:`~repro.core.session.InferenceSession`
+plus the shared :class:`~repro.service.index_cache.IndexCache`.  Sessions
+on the same data share one immutable index but each keeps its own
+``InferenceState``; an :class:`asyncio.Lock` per session serialises the
+mutating operations (propose/answer/snapshot) so concurrent HTTP requests
+against one session cannot interleave mid-protocol.
+
+Expiry is lazy: every entry-point sweeps sessions idle longer than the
+TTL, and capacity is enforced after the sweep — a full server answers
+creation requests with 429 rather than evicting live users.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..core.signatures import SignatureIndex
+from ..relational.relation import Instance
+
+from ..core.serialize import (
+    SnapshotError,
+    snapshot_session,
+    snapshot_to_dict,
+)
+from ..core.serialize import resume_session as core_resume_session
+from ..core.session import InferenceSession, MaxInteractions
+from ..core.strategies import strategy_by_name
+from .index_cache import IndexCache
+from .protocol import (
+    BadRequest,
+    CapacityExceeded,
+    CreateSpec,
+    NotFound,
+    instance_from_spec,
+)
+
+__all__ = ["ManagedSession", "SessionManager"]
+
+
+@dataclass(slots=True)
+class ManagedSession:
+    """One hosted session plus its serving metadata."""
+
+    session_id: str
+    session: InferenceSession
+    instance_spec: dict[str, Any]
+    cache_hit: bool
+    created_at: float
+    last_used: float
+    lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+
+    def describe(self) -> dict[str, Any]:
+        """The session-info payload (no inference state)."""
+        halt = self.session.halt_condition
+        return {
+            "session_id": self.session_id,
+            "strategy": self.session.strategy.name,
+            "seed": self.session.seed,
+            "max_questions": (
+                halt.budget if isinstance(halt, MaxInteractions) else None
+            ),
+            "workload": self.instance_spec.get("builtin"),
+            "index_cache_hit": self.cache_hit,
+        }
+
+
+class SessionManager:
+    """All live sessions of one server process."""
+
+    def __init__(
+        self,
+        *,
+        index_cache: IndexCache | None = None,
+        max_sessions: int = 256,
+        ttl_seconds: float | None = 3600.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be positive")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive or None")
+        # `index_cache or ...` would discard an *empty* cache (len 0).
+        self.index_cache = (
+            index_cache if index_cache is not None else IndexCache()
+        )
+        self.max_sessions = max_sessions
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._sessions: dict[str, ManagedSession] = {}
+        self._expired_total = 0
+
+    # --- lifecycle -----------------------------------------------------------
+
+    def sweep(self) -> list[str]:
+        """Drop sessions idle past the TTL; returns the evicted ids."""
+        if self.ttl_seconds is None:
+            return []
+        deadline = self._clock() - self.ttl_seconds
+        expired = [
+            session_id
+            for session_id, managed in self._sessions.items()
+            if managed.last_used < deadline
+        ]
+        for session_id in expired:
+            del self._sessions[session_id]
+        self._expired_total += len(expired)
+        return expired
+
+    def _ensure_capacity(self) -> None:
+        """Reject in O(1) *before* any index build or snapshot replay."""
+        self.sweep()
+        if len(self._sessions) >= self.max_sessions:
+            raise CapacityExceeded(
+                f"server is at capacity ({self.max_sessions} sessions); "
+                f"retry later or delete a session"
+            )
+
+    def _admit(self, managed: ManagedSession) -> ManagedSession:
+        self._ensure_capacity()
+        self._sessions[managed.session_id] = managed
+        return managed
+
+    def _build(
+        self,
+        session: InferenceSession,
+        instance_spec: dict[str, Any],
+        cache_hit: bool,
+    ) -> ManagedSession:
+        now = self._clock()
+        return ManagedSession(
+            session_id=uuid.uuid4().hex[:16],
+            session=session,
+            instance_spec=instance_spec,
+            cache_hit=cache_hit,
+            created_at=now,
+            last_used=now,
+        )
+
+    def _index_for_spec(
+        self, spec: dict[str, Any], instance: Instance | None
+    ) -> tuple[Instance, SignatureIndex, bool]:
+        """Resolve ``(instance, shared index, cache hit)`` for a spec.
+
+        Builtin specs are already canonical, so they key the cache
+        directly — a hit skips both workload regeneration and content
+        hashing, and the instance comes back off the cached index.
+        """
+        if instance is None and "builtin" in spec:
+            key = "builtin:" + json.dumps(
+                spec["builtin"], sort_keys=True, default=str
+            )
+            index, hit = self.index_cache.get_or_build_keyed(
+                key, lambda: instance_from_spec(spec)
+            )
+            return index.instance, index, hit
+        if instance is None:
+            instance = instance_from_spec(spec)
+        index, hit = self.index_cache.get_or_build(instance)
+        return instance, index, hit
+
+    def create(self, spec: CreateSpec) -> ManagedSession:
+        """Open a session per a validated creation request."""
+        self._ensure_capacity()
+        instance, index, hit = self._index_for_spec(
+            spec.instance_spec, spec.instance
+        )
+        session = InferenceSession(
+            instance,
+            strategy_by_name(spec.strategy),
+            halt_condition=(
+                MaxInteractions(spec.max_questions)
+                if spec.max_questions is not None
+                else None
+            ),
+            index=index,
+            seed=spec.seed,
+        )
+        return self._admit(self._build(session, spec.instance_spec, hit))
+
+    def resume(self, payload: dict[str, Any]) -> ManagedSession:
+        """Open a session by replaying a snapshot payload."""
+        if not isinstance(payload, dict) or "labeled" not in payload:
+            raise BadRequest("expected a session_snapshot payload")
+        self._ensure_capacity()
+        instance_spec = payload.get("instance")
+        if not isinstance(instance_spec, dict):
+            raise BadRequest("snapshot carries no instance spec")
+        instance, index, hit = self._index_for_spec(instance_spec, None)
+        try:
+            session = core_resume_session(
+                payload, instance=instance, index=index
+            )
+        except (SnapshotError, ValueError, KeyError, TypeError) as exc:
+            raise BadRequest(f"cannot resume snapshot: {exc}") from exc
+        return self._admit(self._build(session, instance_spec, hit))
+
+    def snapshot(self, session_id: str) -> dict[str, Any]:
+        """The resumable state of one session as a JSON payload."""
+        managed = self.get(session_id)
+        payload = snapshot_to_dict(
+            snapshot_session(
+                managed.session, instance_ref=managed.instance_spec
+            )
+        )
+        payload["kind"] = "session_snapshot"
+        return payload
+
+    # --- lookup --------------------------------------------------------------
+
+    def get(self, session_id: str) -> ManagedSession:
+        """The live session with this id (touches its TTL clock)."""
+        self.sweep()
+        managed = self._sessions.get(session_id)
+        if managed is None:
+            raise NotFound(f"no session {session_id!r}")
+        managed.last_used = self._clock()
+        return managed
+
+    def delete(self, session_id: str) -> None:
+        """Drop a session; unknown ids raise :class:`NotFound`."""
+        if self._sessions.pop(session_id, None) is None:
+            raise NotFound(f"no session {session_id!r}")
+
+    def list_sessions(self) -> list[ManagedSession]:
+        """All live sessions, oldest first."""
+        self.sweep()
+        return sorted(
+            self._sessions.values(), key=lambda m: m.created_at
+        )
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def stats(self) -> dict[str, Any]:
+        """Server-level counters for the stats endpoint."""
+        self.sweep()
+        return {
+            "sessions": len(self._sessions),
+            "max_sessions": self.max_sessions,
+            "ttl_seconds": self.ttl_seconds,
+            "expired_total": self._expired_total,
+            "index_cache": self.index_cache.stats(),
+        }

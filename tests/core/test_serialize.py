@@ -1,5 +1,7 @@
 """JSON serialisation round-trips."""
 
+import json
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -117,3 +119,234 @@ class TestDumpsLoads:
     def test_unknown_kind(self):
         with pytest.raises(ValueError):
             loads('{"kind": "mystery"}')
+
+
+class TestStrictLabels:
+    """Unknown label strings raise instead of coercing to negative."""
+
+    @pytest.mark.parametrize(
+        "bad", ["positive", "negative", "plus", "P", "", " +", "+-", "yes"]
+    )
+    def test_label_parse_rejects(self, bad):
+        with pytest.raises(ValueError):
+            Label.parse(bad)
+
+    def test_label_parse_accepts_canonical(self):
+        assert Label.parse("+") is Label.POSITIVE
+        assert Label.parse("-") is Label.NEGATIVE
+
+    def test_sample_from_dict_rejects_unknown_label(self):
+        payload = {
+            "examples": [
+                {"left": [1], "right": [2], "label": "positive"}
+            ]
+        }
+        with pytest.raises(ValueError):
+            sample_from_dict(payload)
+
+    def test_result_from_dict_rejects_unknown_label(self, example21):
+        e = example21
+        result = run_inference(
+            e.instance,
+            TopDownStrategy(),
+            PerfectOracle(e.instance, e.theta(("A1", "B1"))),
+            seed=0,
+        )
+        payload = result_to_dict(result)
+        payload["history"][0]["label"] = "NEG"
+        with pytest.raises(ValueError):
+            result_from_dict(payload)
+
+
+class TestInstanceRoundTrip:
+    def test_example21(self, example21):
+        from repro.core import instance_from_dict, instance_to_dict
+
+        instance = example21.instance
+        again = instance_from_dict(instance_to_dict(instance))
+        assert again == instance
+        assert again.left.rows == instance.left.rows
+        assert again.right.rows == instance.right.rows
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.one_of(
+                    st.integers(-5, 5),
+                    st.floats(allow_nan=False, allow_infinity=False),
+                    st.booleans(),
+                    st.none(),
+                    st.text(max_size=4),
+                ),
+                st.integers(0, 3),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_non_string_cells_survive(self, rows):
+        """int/float/bool/None cells keep value AND type (1 != "1")."""
+        from repro.core import relation_from_dict, relation_to_dict
+        from repro.relational import Relation
+
+        relation = Relation.build("R", ["A1", "A2"], rows)
+        again = relation_from_dict(
+            json.loads(json.dumps(relation_to_dict(relation)))
+        )
+        assert again == relation
+        assert [
+            [type(v) for v in row] for row in again.rows
+        ] == [[type(v) for v in row] for row in relation.rows]
+
+
+class TestSnapshotRoundTrip:
+    def _mid_session(self, example21, labels):
+        from repro.core import InferenceSession
+
+        e = example21
+        session = InferenceSession(
+            e.instance, TopDownStrategy(), seed=4
+        )
+        for label in labels:
+            question = session.propose()
+            if question is None:
+                break
+            session.answer(question.question_id, label)
+        return session
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 8))
+    def test_dumps_loads_identity(self, example21, cut):
+        from repro.core import SessionSnapshot, snapshot_session
+
+        e = example21
+        oracle = PerfectOracle(
+            e.instance, e.theta(("A1", "B1"), ("A2", "B3"))
+        )
+        session = self._mid_session(example21, [])
+        for _ in range(cut):
+            question = session.propose()
+            if question is None:
+                break
+            session.answer(
+                question.question_id, oracle.label(question.tuple_pair)
+            )
+        snapshot = snapshot_session(session)
+        again = loads(dumps(snapshot))
+        assert isinstance(again, SessionSnapshot)
+        assert again == snapshot
+
+    def test_resume_continues_identically(self, example21):
+        from repro.core import (
+            InferenceSession,
+            resume_session,
+            snapshot_session,
+        )
+
+        e = example21
+        goal = e.theta(("A1", "B1"), ("A2", "B3"))
+        oracle = PerfectOracle(e.instance, goal)
+        reference = run_inference(
+            e.instance, TopDownStrategy(), oracle, seed=11
+        )
+        for cut in range(reference.interactions):
+            session = InferenceSession(
+                e.instance, TopDownStrategy(), seed=11
+            )
+            for _ in range(cut):
+                question = session.propose()
+                session.answer(
+                    question.question_id,
+                    oracle.label(question.tuple_pair),
+                )
+            resumed = resume_session(
+                loads(dumps(snapshot_session(session)))
+            )
+            while (question := resumed.propose()) is not None:
+                resumed.answer(
+                    question.question_id,
+                    oracle.label(question.tuple_pair),
+                )
+            assert resumed.current_predicate() == reference.predicate
+            assert (
+                resumed.state.interaction_count == reference.interactions
+            )
+
+    def test_resume_rejects_wrong_instance(self, example21):
+        from repro.core import (
+            InferenceSession,
+            SnapshotError,
+            resume_session,
+            snapshot_session,
+            snapshot_to_dict,
+        )
+        from repro.relational import Instance, Relation
+
+        e = example21
+        oracle = PerfectOracle(e.instance, e.theta(("A1", "B1")))
+        session = InferenceSession(e.instance, TopDownStrategy(), seed=0)
+        question = session.propose()
+        session.answer(
+            question.question_id, oracle.label(question.tuple_pair)
+        )
+        payload = snapshot_to_dict(snapshot_session(session))
+        # Point the labeled class ids at a structurally different instance.
+        other = Instance(
+            Relation.build("R0", ["A1", "A2"], [(9, 9)]),
+            Relation.build("P0", ["B1", "B2", "B3"], [(9, 9, 9)]),
+        )
+        with pytest.raises((SnapshotError, ValueError, IndexError)):
+            resume_session(payload, instance=other)
+
+    def test_snapshot_rejects_custom_halt_condition(self, example21):
+        from repro.core import (
+            HaltCondition,
+            InferenceSession,
+            SnapshotError,
+            snapshot_session,
+        )
+
+        class Never(HaltCondition):
+            def should_halt(self, session):
+                return False
+
+        session = InferenceSession(
+            example21.instance,
+            TopDownStrategy(),
+            halt_condition=Never(),
+            seed=0,
+        )
+        with pytest.raises(SnapshotError):
+            snapshot_session(session)
+
+    def test_snapshot_labels_are_strict(self, example21):
+        from repro.core import snapshot_from_dict, snapshot_session, snapshot_to_dict
+        from repro.core import InferenceSession
+
+        e = example21
+        oracle = PerfectOracle(e.instance, e.theta(("A1", "B1")))
+        session = InferenceSession(e.instance, TopDownStrategy(), seed=0)
+        question = session.propose()
+        session.answer(
+            question.question_id, oracle.label(question.tuple_pair)
+        )
+        payload = snapshot_to_dict(snapshot_session(session))
+        payload["labeled"][0][1] = "positive"
+        with pytest.raises(ValueError):
+            snapshot_from_dict(payload)
+
+
+class TestUnseededSessions:
+    def test_snapshot_requires_a_seed(self, example21):
+        from repro.core import (
+            InferenceSession,
+            SnapshotError,
+            snapshot_session,
+        )
+
+        session = InferenceSession(
+            example21.instance, TopDownStrategy(), seed=None
+        )
+        with pytest.raises(SnapshotError, match="unseeded"):
+            snapshot_session(session)

@@ -290,3 +290,84 @@ class TestSeededReproducibility:
         assert [ex.tuple_pair for ex in first.history] == [
             ex.tuple_pair for ex in second.history
         ]
+
+
+class TestAskAnswerProtocol:
+    """The non-blocking propose/answer protocol (service-facing)."""
+
+    def _session(self, example21, strategy=None, **kwargs):
+        return InferenceSession(
+            example21.instance,
+            strategy or TopDownStrategy(),
+            seed=0,
+            **kwargs,
+        )
+
+    def test_propose_is_idempotent_until_answered(self, example21):
+        session = self._session(example21)
+        first = session.propose()
+        assert session.propose() is first
+        session.answer(first.question_id, Label.NEGATIVE)
+        second = session.propose()
+        assert second.question_id == first.question_id + 1
+
+    def test_answer_requires_matching_question_id(self, example21):
+        from repro.core import QuestionProtocolError
+
+        session = self._session(example21)
+        question = session.propose()
+        with pytest.raises(QuestionProtocolError):
+            session.answer(question.question_id + 1, Label.POSITIVE)
+        with pytest.raises(QuestionProtocolError):
+            # Nothing proposed yet on a fresh session.
+            self._session(example21).answer(0, Label.POSITIVE)
+
+    def test_answer_without_label_type_raises(self, example21):
+        session = self._session(example21)
+        session.propose()
+        with pytest.raises(TypeError):
+            session.answer(0, "+")
+
+    def test_step_without_oracle_raises(self, example21):
+        session = self._session(example21)
+        with pytest.raises(RuntimeError):
+            session.step()
+
+    def test_propose_answer_loop_matches_run(self, example21):
+        e = example21
+        goal = e.theta(("A1", "B1"), ("A2", "B3"))
+        oracle = PerfectOracle(e.instance, goal)
+        for strategy in default_strategies():
+            reference = run_inference(
+                e.instance, strategy, oracle, seed=9
+            )
+            session = InferenceSession(e.instance, strategy, seed=9)
+            while (question := session.propose()) is not None:
+                session.answer(
+                    question.question_id, oracle.label(question.tuple_pair)
+                )
+            assert session.current_predicate() == reference.predicate
+            assert (
+                session.state.interaction_count == reference.interactions
+            )
+            assert session.is_finished()
+
+    def test_failed_answer_keeps_question_pending(self, example21):
+        from repro.core import QuestionProtocolError
+
+        session = self._session(example21)
+        question = session.propose()
+        with pytest.raises(QuestionProtocolError):
+            session.answer(question.question_id + 7, Label.POSITIVE)
+        assert session.pending_question is question
+        session.answer(question.question_id, Label.NEGATIVE)
+        assert session.pending_question is None
+
+    def test_max_interactions_halts_propose(self, example21):
+        session = self._session(
+            example21, halt_condition=MaxInteractions(1)
+        )
+        question = session.propose()
+        session.answer(question.question_id, Label.NEGATIVE)
+        assert session.propose() is None
+        assert session.is_finished()
