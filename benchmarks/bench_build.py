@@ -1,0 +1,289 @@
+"""Index-build pipeline benchmark harness — emits ``BENCH_build.json``.
+
+Measures what ``bench_core.py`` cannot: the sharded build pipeline of
+``core/index_build.py`` against the monolithic single-shard construction
+(the pre-pipeline behaviour, still available as the ``SignatureIndex``
+constructor), on the **largest Figure 7 configuration** ``(3,3,l,100)``
+scaled up so the product exceeds 10⁶ tuples:
+
+* ``shard_scaling``  — wall-clock of the builder at shard/worker counts
+                       {1, 2, 4, 8} vs the monolithic build.  Shards cut
+                       the per-unique sort size (wins even on one core)
+                       and fan out over GIL-releasing NumPy kernels on
+                       multi-core machines;
+* ``streaming_csv``  — tracemalloc peak (a portable RSS proxy) of a
+                       streaming :class:`CsvSource` build vs reading the
+                       CSV into memory and building monolithically —
+                       the bounded-memory story for products ≫ 10⁷;
+* ``sqlite_pushdown`` — the same product built entirely inside SQLite
+                       (informational: how the SQL backend compares).
+
+Every cell asserts bit-for-bit parity (masks, counts, representatives,
+maximal set) before timings are trusted.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_build.py            # full run
+    PYTHONPATH=src python benchmarks/bench_build.py --smoke    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_build.py --output my.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import time
+import tracemalloc
+from datetime import datetime, timezone
+from math import ceil
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.core import IndexBuilder, SignatureIndex
+from repro.data.synthetic import SyntheticConfig, generate_synthetic
+from repro.relational import CsvSource, Instance, SqliteSource, read_csv, write_csv
+from repro.relational import sqlite_backend
+
+#: The largest Figure 7 configuration, row-scaled for a ≥10⁶ product.
+FULL_ROWS = 1200
+SMOKE_ROWS = 250
+SHARD_COUNTS = (1, 2, 4, 8)
+
+
+def _fingerprint(index: SignatureIndex) -> list:
+    return [
+        (cls.class_id, cls.mask, cls.count, cls.representative)
+        for cls in index
+    ] + [sorted(index.maximal_class_ids)]
+
+
+def _assert_parity(built: SignatureIndex, reference: SignatureIndex, what: str):
+    assert _fingerprint(built) == _fingerprint(reference), (
+        f"build parity failed: {what}"
+    )
+
+
+def _best_of(repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _traced_peak(fn):
+    tracemalloc.start()
+    result = fn()
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return result, peak
+
+
+def bench_shard_scaling(instance: Instance, repeats: int) -> list[dict]:
+    reference = SignatureIndex(instance, backend="numpy")
+    n_rows = len(instance.left)
+    cells = [
+        {
+            "name": "monolithic",
+            "shards": 1,
+            "workers": 1,
+            "seconds": round(
+                _best_of(
+                    repeats,
+                    lambda: SignatureIndex(instance, backend="numpy"),
+                ),
+                6,
+            ),
+        }
+    ]
+    for count in SHARD_COUNTS:
+        shard_rows = None if count == 1 else ceil(n_rows / count)
+        builder = IndexBuilder(shard_rows=shard_rows, workers=count)
+        _assert_parity(
+            builder.build(instance), reference, f"shards={count}"
+        )
+        cells.append(
+            {
+                "name": f"builder_shards_{count}",
+                "shards": count,
+                "workers": count,
+                "seconds": round(
+                    _best_of(repeats, lambda: builder.build(instance)), 6
+                ),
+            }
+        )
+    return cells
+
+
+def bench_streaming_csv(
+    instance: Instance, directory: Path, shard_rows: int
+) -> dict:
+    left_path = directory / "R.csv"
+    right_path = directory / "P.csv"
+    write_csv(instance.left, left_path)
+    write_csv(instance.right, right_path)
+
+    def monolithic():
+        left = read_csv(left_path)
+        right = read_csv(right_path)
+        return SignatureIndex(Instance(left, right), backend="numpy")
+
+    def streaming():
+        return IndexBuilder(shard_rows=shard_rows).build(
+            CsvSource(left_path, right_path)
+        )
+
+    mono_index, mono_peak = _traced_peak(monolithic)
+    stream_index, stream_peak = _traced_peak(streaming)
+    _assert_parity(stream_index, mono_index, "streaming CSV")
+    return {
+        "shard_rows": shard_rows,
+        "monolithic_peak_bytes": mono_peak,
+        "streaming_peak_bytes": stream_peak,
+        "peak_ratio": round(stream_peak / max(mono_peak, 1), 4),
+    }
+
+
+def bench_sqlite_pushdown(
+    instance: Instance, repeats: int, shard_rows: int
+) -> dict:
+    conn = sqlite_backend.connect_memory()
+    sqlite_backend.store_instance(conn, instance)
+    source = SqliteSource(conn, instance.left.name, instance.right.name)
+    builder = IndexBuilder(shard_rows=shard_rows)
+    _assert_parity(
+        builder.build(source),
+        SignatureIndex(source.instance(), backend="numpy"),
+        "sqlite push-down",
+    )
+    return {
+        "shard_rows": shard_rows,
+        "seconds": round(
+            _best_of(repeats, lambda: builder.build(source)), 6
+        ),
+    }
+
+
+def run_benchmarks(smoke: bool = False) -> dict:
+    repeats = 1 if smoke else 3
+    rows = SMOKE_ROWS if smoke else FULL_ROWS
+    config = SyntheticConfig(3, 3, rows, 100)
+    instance = generate_synthetic(config, seed=0)
+    print(
+        f"[bench] fig7 {config.label}: product {instance.cartesian_size}",
+        flush=True,
+    )
+
+    scaling = bench_shard_scaling(instance, repeats)
+    print("[bench] shard scaling done", flush=True)
+    with tempfile.TemporaryDirectory() as tmp:
+        streaming = bench_streaming_csv(
+            instance, Path(tmp), shard_rows=128
+        )
+    print("[bench] streaming CSV done", flush=True)
+    sqlite_cell = bench_sqlite_pushdown(
+        instance, repeats, shard_rows=max(1, rows // 4)
+    )
+    print("[bench] sqlite push-down done", flush=True)
+
+    single_shard = next(
+        cell for cell in scaling if cell["name"] == "monolithic"
+    )["seconds"]
+    multiworker = [cell for cell in scaling if cell["shards"] > 1]
+    best = min(multiworker, key=lambda cell: cell["seconds"])
+    return {
+        "meta": {
+            "created": datetime.now(timezone.utc).isoformat(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "smoke": smoke,
+            "workload": f"fig7-largest{config.label}",
+            "product_size": instance.cartesian_size,
+            "baseline": "monolithic single-shard SignatureIndex build",
+        },
+        "shard_scaling": scaling,
+        "streaming_csv": streaming,
+        "sqlite_pushdown": sqlite_cell,
+        "acceptance": {
+            "single_shard_seconds": single_shard,
+            "best_multiworker": best,
+            "multiworker_speedup": round(
+                single_shard / max(best["seconds"], 1e-12), 3
+            ),
+            "multiworker_below_single_shard": (
+                best["seconds"] < single_shard
+            ),
+            "streaming_peak_ratio": streaming["peak_ratio"],
+            "targets": {
+                "multiworker_below_single_shard": True,
+                "streaming_peak_ratio_max": 0.75,
+            },
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        default=str(
+            Path(__file__).resolve().parent.parent / "BENCH_build.json"
+        ),
+        help="where to write the JSON report (default: repo root)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small instance, single repeat — a CI regression canary",
+    )
+    args = parser.parse_args(argv)
+    report = run_benchmarks(smoke=args.smoke)
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {output}")
+    for cell in report["shard_scaling"]:
+        print(
+            f"  {cell['name']:20s} shards={cell['shards']:<2d} "
+            f"workers={cell['workers']:<2d} {cell['seconds']*1e3:9.1f}ms"
+        )
+    streaming = report["streaming_csv"]
+    print(
+        f"  streaming CSV peak {streaming['streaming_peak_bytes']/1e6:.1f} MB"
+        f" vs monolithic {streaming['monolithic_peak_bytes']/1e6:.1f} MB"
+        f" (ratio {streaming['peak_ratio']})"
+    )
+    print(
+        f"  sqlite push-down  {report['sqlite_pushdown']['seconds']*1e3:9.1f}ms"
+    )
+    acceptance = report["acceptance"]
+    print(
+        "acceptance: multi-worker "
+        f"{acceptance['multiworker_speedup']}x vs single-shard "
+        f"(below: {acceptance['multiworker_below_single_shard']}), "
+        f"streaming peak ratio {acceptance['streaming_peak_ratio']}"
+    )
+    # The smoke run is a canary: on tiny instances and noisy shared
+    # runners the parallel win can vanish, so only the memory bound and
+    # parity gate there; the full run also gates on the speedup.
+    if not report["meta"]["smoke"]:
+        if not acceptance["multiworker_below_single_shard"]:
+            print("FAIL: multi-worker build not below single-shard")
+            return 1
+    if acceptance["streaming_peak_ratio"] >= acceptance["targets"][
+        "streaming_peak_ratio_max"
+    ]:
+        print("FAIL: streaming CSV build peak not bounded below monolithic")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

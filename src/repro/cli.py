@@ -35,7 +35,17 @@ from .core import (
 from .data import SyntheticConfig, generate_synthetic, generate_tpch
 from .relational import Instance, JoinPredicate, read_csv, write_csv
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "manager_from_args"]
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -126,6 +136,27 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=16,
         help="distinct instances whose indexes stay cached",
+    )
+    serve.add_argument(
+        "--build-workers",
+        type=_positive_int,
+        default=1,
+        help=(
+            "worker threads for off-loop index builds; also the shard "
+            "fan-out within one build, so N concurrent cold builds on "
+            "distinct data may run up to N*N kernel threads — size to "
+            "the machine's cores, not the request rate (default: 1)"
+        ),
+    )
+    serve.add_argument(
+        "--shard-rows",
+        type=_positive_int,
+        default=None,
+        help=(
+            "rows of R per index-build shard (default: one shard per "
+            "build worker; with --build-workers 1 that is a single "
+            "shard, the pre-pipeline behaviour)"
+        ),
     )
     return parser
 
@@ -292,16 +323,35 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def manager_from_args(args: argparse.Namespace):
+    """Wire a :class:`~repro.service.manager.SessionManager` from the
+    ``serve`` flags (kept separate so tests can check the plumbing)."""
+    from .core import IndexBuilder
+    from .service import IndexCache, SessionManager
+
+    # The cache (and its builder, which carries --shard-rows) is built
+    # here because --index-cache-size is a cache knob; the manager only
+    # needs build_workers to size its off-loop executor — a manager
+    # handed an explicit cache never constructs a builder of its own.
+    return SessionManager(
+        index_cache=IndexCache(
+            capacity=args.index_cache_size,
+            builder=IndexBuilder(
+                shard_rows=args.shard_rows, workers=args.build_workers
+            ),
+        ),
+        max_sessions=args.max_sessions,
+        ttl_seconds=args.session_ttl if args.session_ttl > 0 else None,
+        build_workers=args.build_workers,
+    )
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
-    from .service import IndexCache, ServiceApp, SessionManager, run_server
+    from .service import ServiceApp, run_server
 
-    manager = SessionManager(
-        index_cache=IndexCache(capacity=args.index_cache_size),
-        max_sessions=args.max_sessions,
-        ttl_seconds=args.session_ttl if args.session_ttl > 0 else None,
-    )
+    manager = manager_from_args(args)
     try:
         asyncio.run(run_server(ServiceApp(manager), args.host, args.port))
     except KeyboardInterrupt:

@@ -1,0 +1,447 @@
+"""Sharded construction pipeline for the signature index.
+
+The :class:`~repro.core.signatures.SignatureIndex` is the quotient of
+``D = R × P`` by ``T`` (§4) and the one artifact every strategy and every
+service session depends on.  Its monolithic constructors walk the whole
+product in one pass; this module factorises that pass into **shards** —
+contiguous ranges of rows of ``R``, each crossed with all of ``P`` —
+that are computed independently and merged:
+
+1. a :class:`~repro.relational.source.SignatureSource` streams the rows
+   (in-memory instance, CSV stream, or SQLite with SQL push-down);
+2. each shard runs the chunked packed-bitset kernel
+   (:func:`shard_signatures`) or the source's native push-down, yielding
+   the shard's distinct signatures as packed uint64 arrays — counts and
+   minimal product ordinals, never Python dicts per chunk;
+3. :func:`merge_shards` folds the shard histograms with one vectorised
+   ``unique`` (counts sum, ordinals min, representative follows the
+   minimal ordinal), and :func:`index_from_signatures` canonicalises
+   into ``(|signature|, mask)`` order — the one ordering rule shared by
+   the kernel, push-down, and sampled paths.
+
+Because shards partition the product by ascending row ranges and the
+merge resolves representatives by *global* minimal ordinal, the result
+is bit-for-bit identical to the monolithic build for every shard size,
+worker count, and backend (property-tested against both the monolithic
+NumPy path and the pure-Python reference).
+
+Shards are embarrassingly parallel: :class:`IndexBuilder` can fan them
+out over a ``concurrent.futures`` thread pool (the heavy kernels are
+NumPy ufuncs and sorts, which release the GIL), while a streaming source
+is read sequentially with a bounded window of in-flight shards so memory
+stays capped.  The service layer runs whole builds on such a pool off
+its event loop — see :mod:`repro.service.index_cache`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from math import ceil
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..relational.relation import Instance, Row
+from ..relational.source import SignatureSource, as_signature_source
+from . import bitset
+from .signatures import SignatureClass, SignatureIndex, ValueCodec
+
+__all__ = [
+    "IndexBuilder",
+    "ShardSignatures",
+    "shard_signatures",
+    "merge_shards",
+    "signature_histogram",
+    "index_from_signatures",
+    "build_signature_index",
+]
+
+TuplePair = tuple[Row, Row]
+
+#: Target packed uint64 words materialised per kernel chunk (~8 MiB) —
+#: the same bound the monolithic constructor uses, so a shard never
+#: allocates more than a chunk of the product regardless of its size.
+_CHUNK_WORDS = 1 << 20
+
+#: Rows per shard for parallel builds over sources whose ``|R|`` is
+#: unknown up front (pure streams): without this, ``workers > 1`` over
+#: a streaming CSV would silently collapse into one monolithic block.
+_STREAM_SHARD_ROWS = 4096
+
+ProgressCallback = Callable[[int, "int | None"], None]
+
+
+@dataclass(slots=True)
+class ShardSignatures:
+    """The distinct signatures of one shard of ``R × P``.
+
+    ``words[k]`` is a packed mask; ``counts[k]`` how many product tuples
+    of the shard carry it; ``ordinals[k]`` the smallest global product
+    ordinal (``left_index * |P| + right_index``) carrying it; and
+    ``representatives[k]`` the tuple pair at that ordinal.
+    """
+
+    words: np.ndarray  # (k, n_words) uint64
+    counts: np.ndarray  # (k,) int64
+    ordinals: np.ndarray  # (k,) int64
+    representatives: list
+
+    @classmethod
+    def empty(cls, n_words: int) -> "ShardSignatures":
+        return cls(
+            words=np.empty((0, n_words), dtype=np.uint64),
+            counts=np.empty(0, dtype=np.int64),
+            ordinals=np.empty(0, dtype=np.int64),
+            representatives=[],
+        )
+
+    def __len__(self) -> int:
+        return len(self.counts)
+
+
+def _fold(
+    words: np.ndarray, counts: np.ndarray, ordinals: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Combine duplicate packed masks: counts sum, ordinals min.
+
+    Returns ``(unique_words, counts, ordinals, winners)`` where
+    ``winners[g]`` is the input position whose ordinal attained the
+    minimum for group ``g`` — ordinals are distinct product positions,
+    so exactly one input wins each group.
+    """
+    unique, _, inverse, _ = bitset.unique_rows(words)
+    groups = len(unique)
+    summed = np.zeros(groups, dtype=np.int64)
+    np.add.at(summed, inverse, counts)
+    minimal = np.full(groups, np.iinfo(np.int64).max, dtype=np.int64)
+    np.minimum.at(minimal, inverse, ordinals)
+    winners = np.empty(groups, dtype=np.int64)
+    winning = np.nonzero(ordinals == minimal[inverse])[0]
+    winners[inverse[winning]] = winning
+    return unique, summed, minimal, winners
+
+
+def shard_signatures(
+    left_codes: np.ndarray,
+    right_codes: np.ndarray,
+    left_rows: Sequence[Row],
+    right_rows: Sequence[Row],
+    start_row: int,
+) -> ShardSignatures:
+    """Signatures of left rows ``start_row .. start_row+len(left_rows)``
+    against all right rows, via the chunked packed-bitset kernel.
+
+    ``left_codes``/``right_codes`` must come from one shared
+    :class:`~repro.core.signatures.ValueCodec` so code equality means
+    value equality across the whole build.  Peak memory is one chunk of
+    packed words (~8 MiB), not the shard's slice of the product.
+    """
+    shard_rows = left_codes.shape[0]
+    n = left_codes.shape[1]
+    n_right, m = right_codes.shape
+    n_words = bitset.words_needed(max(1, n * m))
+    if shard_rows == 0 or n_right == 0:
+        return ShardSignatures.empty(n_words)
+    rows_per_chunk = max(1, _CHUNK_WORDS // (n_right * n_words))
+
+    chunk_words: list[np.ndarray] = []
+    chunk_counts: list[np.ndarray] = []
+    chunk_ordinals: list[np.ndarray] = []
+    for chunk_start in range(0, shard_rows, rows_per_chunk):
+        chunk_stop = min(chunk_start + rows_per_chunk, shard_rows)
+        chunk = chunk_stop - chunk_start
+        words = np.zeros((chunk * n_right, n_words), dtype=np.uint64)
+        for i in range(n):
+            column_left = left_codes[chunk_start:chunk_stop, i : i + 1]
+            for j in range(m):
+                position = i * m + j
+                word_index, bit = divmod(position, bitset.WORD_BITS)
+                equal = column_left == right_codes[None, :, j].reshape(
+                    1, n_right
+                )
+                words[:, word_index] |= equal.reshape(
+                    chunk * n_right
+                ).astype(np.uint64) << np.uint64(bit)
+        unique, first_indices, _, counts = bitset.unique_rows(words)
+        chunk_words.append(unique)
+        chunk_counts.append(counts.astype(np.int64, copy=False))
+        chunk_ordinals.append(
+            (start_row + chunk_start) * n_right
+            + first_indices.astype(np.int64, copy=False)
+        )
+
+    words = np.concatenate(chunk_words)
+    counts = np.concatenate(chunk_counts)
+    ordinals = np.concatenate(chunk_ordinals)
+    words, counts, ordinals, _ = _fold(words, counts, ordinals)
+    representatives = [
+        (
+            left_rows[int(ordinal) // n_right - start_row],
+            right_rows[int(ordinal) % n_right],
+        )
+        for ordinal in ordinals
+    ]
+    return ShardSignatures(words, counts, ordinals, representatives)
+
+
+def merge_shards(
+    shards: Sequence[ShardSignatures], n_words: int
+) -> ShardSignatures:
+    """Fold shard histograms into one: counts sum per mask, and the
+    representative follows the globally minimal product ordinal.
+
+    Handles empty shard lists and empty shards (a shard of zero rows
+    contributes nothing), so callers never special-case them.
+    """
+    shards = [shard for shard in shards if len(shard)]
+    if not shards:
+        return ShardSignatures.empty(n_words)
+    if len(shards) == 1:
+        return shards[0]
+    words = np.concatenate([shard.words for shard in shards])
+    counts = np.concatenate([shard.counts for shard in shards])
+    ordinals = np.concatenate([shard.ordinals for shard in shards])
+    representatives: list = []
+    for shard in shards:
+        representatives.extend(shard.representatives)
+    words, counts, ordinals, winners = _fold(words, counts, ordinals)
+    return ShardSignatures(
+        words,
+        counts,
+        ordinals,
+        [representatives[int(winner)] for winner in winners],
+    )
+
+
+def signature_histogram(
+    merged: ShardSignatures,
+) -> dict[int, tuple[int, TuplePair]]:
+    """A merged shard fold as ``{mask: (count, representative)}`` — the
+    input shape of :func:`index_from_signatures`, so every backend
+    (kernel, push-down, sampled) shares one canonicalisation."""
+    return {
+        bitset.unpack_row(row): (int(count), representative)
+        for row, count, representative in zip(
+            merged.words, merged.counts, merged.representatives
+        )
+    }
+
+
+def index_from_signatures(
+    instance: Instance,
+    found: Mapping[int, tuple[int, TuplePair]],
+) -> SignatureIndex:
+    """An index from a ``{mask: (count, representative)}`` histogram.
+
+    The shared canonicalisation tail of the pipeline — also the route
+    :func:`~repro.core.sampling.sampled_signature_index` takes, so
+    sampled and exact indexes cannot drift apart structurally.
+    """
+    ordered = sorted(
+        found.items(), key=lambda item: (item[0].bit_count(), item[0])
+    )
+    classes = tuple(
+        SignatureClass(class_id, mask, count, representative)
+        for class_id, (mask, (count, representative)) in enumerate(ordered)
+    )
+    return SignatureIndex.from_classes(instance, classes)
+
+
+class IndexBuilder:
+    """Builds :class:`SignatureIndex` objects from pluggable sources.
+
+    ``shard_rows`` bounds how many rows of ``R`` one shard covers
+    (``None`` = automatic: a single shard, or ``⌈|R| / workers⌉`` when
+    ``workers > 1`` and the source knows ``|R|``).  ``workers`` fans
+    shard kernels out over a transient thread pool; push-down sources
+    (SQLite) always evaluate their shards sequentially because an
+    embedded connection is bound to one thread.
+
+    The builder is stateless across builds and safe to share — the
+    service keeps one per :class:`~repro.service.index_cache.IndexCache`.
+    """
+
+    __slots__ = ("shard_rows", "workers")
+
+    def __init__(
+        self, shard_rows: int | None = None, workers: int = 1
+    ):
+        if shard_rows is not None and shard_rows < 1:
+            raise ValueError("shard_rows must be positive or None")
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        self.shard_rows = shard_rows
+        self.workers = workers
+
+    # --- planning ---------------------------------------------------------
+
+    def _plan_shard_rows(self, left_count: int | None) -> int | None:
+        """The effective rows-per-shard for this build (None = one shard)."""
+        if self.shard_rows is not None:
+            return self.shard_rows
+        if self.workers > 1:
+            if left_count:
+                return ceil(left_count / self.workers)
+            if left_count is None:
+                # Unknown-length stream: fixed-size shards keep the
+                # workers fed and the per-block working set bounded.
+                return _STREAM_SHARD_ROWS
+        return None
+
+    @staticmethod
+    def _shards_total(
+        left_count: int | None, shard_rows: int | None
+    ) -> int | None:
+        if shard_rows is None:
+            return 1
+        if left_count is None:
+            return None
+        return max(1, ceil(left_count / shard_rows))
+
+    # --- entry point ------------------------------------------------------
+
+    def build(
+        self,
+        source: SignatureSource | Instance,
+        progress: ProgressCallback | None = None,
+    ) -> SignatureIndex:
+        """Build the full index for ``source``.
+
+        ``progress(shards_done, shards_total)`` is invoked after every
+        completed shard (``shards_total`` is ``None`` while a streaming
+        source's length is unknown) — the service surfaces it on its
+        build-status endpoint.
+        """
+        source = as_signature_source(source)
+        try:
+            if source.supports_pushdown:
+                found = self._build_pushdown(source, progress)
+            else:
+                found = self._build_kernel(source, progress)
+            return index_from_signatures(source.instance(), found)
+        finally:
+            source.end_build()
+
+    # --- kernel path ------------------------------------------------------
+
+    def _build_kernel(
+        self,
+        source: SignatureSource,
+        progress: ProgressCallback | None,
+    ) -> dict[int, tuple[int, TuplePair]]:
+        right_rows = source.right_rows()
+        n = source.left_schema.arity
+        m = source.right_schema.arity
+        n_words = bitset.words_needed(max(1, n * m))
+        if not right_rows:
+            return {}
+        codec = ValueCodec()
+        right_codes = codec.encode_rows(right_rows, m)
+        left_count = source.left_count()
+        shard_rows = self._plan_shard_rows(left_count)
+        total = self._shards_total(left_count, shard_rows)
+
+        shards: list[ShardSignatures] = []
+        done = 0
+
+        def note(shard: ShardSignatures) -> None:
+            nonlocal done
+            shards.append(shard)
+            done += 1
+            if progress is not None:
+                progress(done, total)
+
+        blocks = source.iter_left_blocks(shard_rows)
+        if self.workers == 1:
+            for start, rows in blocks:
+                note(
+                    shard_signatures(
+                        codec.encode_rows(rows, n),
+                        right_codes,
+                        rows,
+                        right_rows,
+                        start,
+                    )
+                )
+        else:
+            # Encode on the consuming thread (the codec dict is shared),
+            # fan the kernels out, and cap in-flight shards so streamed
+            # blocks are never all resident at once.
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                in_flight: deque = deque()
+                for start, rows in blocks:
+                    in_flight.append(
+                        pool.submit(
+                            shard_signatures,
+                            codec.encode_rows(rows, n),
+                            right_codes,
+                            rows,
+                            right_rows,
+                            start,
+                        )
+                    )
+                    while len(in_flight) > self.workers:
+                        note(in_flight.popleft().result())
+                while in_flight:
+                    note(in_flight.popleft().result())
+
+        return signature_histogram(merge_shards(shards, n_words))
+
+    # --- push-down path ---------------------------------------------------
+
+    def _build_pushdown(
+        self,
+        source: SignatureSource,
+        progress: ProgressCallback | None,
+    ) -> dict[int, tuple[int, TuplePair]]:
+        left_count = source.left_count()
+        if left_count is None:
+            raise ValueError(
+                "push-down sources must know their left row count"
+            )
+        shard_rows = self._plan_shard_rows(left_count) or max(1, left_count)
+        total = self._shards_total(left_count, shard_rows)
+        merged: dict[int, list[int]] = {}
+        done = 0
+        for start in range(0, max(1, left_count), shard_rows):
+            stop = min(start + shard_rows, left_count)
+            for mask, (count, ordinal) in source.shard_signatures(
+                start, stop
+            ).items():
+                entry = merged.get(mask)
+                if entry is None:
+                    merged[mask] = [count, ordinal]
+                else:
+                    entry[0] += count
+                    entry[1] = min(entry[1], ordinal)
+            done += 1
+            if progress is not None:
+                progress(done, total)
+        instance = source.instance()
+        left_rows = instance.left.rows
+        right_rows = instance.right.rows
+        n_right = len(right_rows)
+        return {
+            mask: (
+                count,
+                (
+                    left_rows[ordinal // n_right],
+                    right_rows[ordinal % n_right],
+                ),
+            )
+            for mask, (count, ordinal) in merged.items()
+        }
+
+
+def build_signature_index(
+    source: SignatureSource | Instance,
+    shard_rows: int | None = None,
+    workers: int = 1,
+    progress: ProgressCallback | None = None,
+) -> SignatureIndex:
+    """One-call convenience wrapper around :class:`IndexBuilder`."""
+    return IndexBuilder(shard_rows=shard_rows, workers=workers).build(
+        source, progress=progress
+    )

@@ -23,7 +23,8 @@ from __future__ import annotations
 import random
 
 from ..relational.relation import Instance
-from .signatures import SignatureIndex, SignatureClass
+from .index_build import index_from_signatures
+from .signatures import SignatureIndex
 from .specialize import signature_bits
 
 __all__ = ["sampled_signature_index", "coverage_probability"]
@@ -76,22 +77,13 @@ def sampled_signature_index(
         else:
             entry[0] += 1
 
-    # Build the index through :meth:`SignatureIndex.from_classes` so the
-    # sampled estimate goes through the same invariant-enforcing path as
-    # the exact constructor (ordering, packed arrays, maximality).
+    # Route the estimate through the build pipeline's canonicalisation
+    # (:func:`~repro.core.index_build.index_from_signatures`) so sampled
+    # indexes take the same invariant-enforcing tail — ordering, packed
+    # arrays, maximality — as every exact sharded or streamed build.
     scale = instance.cartesian_size / n_pairs
-    ordered = sorted(
-        hits.items(), key=lambda item: (item[0].bit_count(), item[0])
-    )
-    classes = tuple(
-        SignatureClass(
-            class_id=class_id,
-            mask=mask,
-            count=max(1, round(raw_count * scale)),
-            representative=representative,
-        )
-        for class_id, (mask, (raw_count, representative)) in enumerate(
-            (mask, tuple(entry)) for mask, entry in ordered
-        )
-    )
-    return SignatureIndex.from_classes(instance, classes)
+    found = {
+        mask: (max(1, round(raw_count * scale)), representative)
+        for mask, (raw_count, representative) in hits.items()
+    }
+    return index_from_signatures(instance, found)

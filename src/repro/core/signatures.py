@@ -39,7 +39,7 @@ from ..relational.relation import Instance, Row
 from . import bitset
 from .specialize import pairs_from_bits, signature_bits
 
-__all__ = ["SignatureClass", "SignatureIndex"]
+__all__ = ["SignatureClass", "SignatureIndex", "ValueCodec"]
 
 TuplePair = tuple[Row, Row]
 
@@ -76,30 +76,44 @@ def _signatures_python(instance: Instance) -> dict[int, tuple[int, TuplePair]]:
     return found
 
 
-def _encode_columns(instance: Instance) -> tuple[np.ndarray, np.ndarray]:
-    """Encode all attribute values as dense integer codes.
+class ValueCodec:
+    """Assigns dense integer codes to attribute values.
 
-    Equality of codes must coincide with Python equality of values, so a
-    single global code table covers both relations.
+    Equality of codes must coincide with Python equality of values, so
+    one codec (one global code table) must cover both relations of a
+    build — the sharded pipeline in :mod:`repro.core.index_build` keeps
+    a single codec alive across all streamed blocks for exactly this
+    reason.
     """
-    codes: dict[object, int] = {}
 
-    def code_of(value: object) -> int:
-        existing = codes.get(value)
-        if existing is not None:
-            return existing
-        fresh = len(codes)
-        codes[value] = fresh
-        return fresh
+    __slots__ = ("_codes",)
 
-    left = np.array(
-        [[code_of(v) for v in row] for row in instance.left.rows],
-        dtype=np.int64,
-    ).reshape(len(instance.left), instance.left.arity)
-    right = np.array(
-        [[code_of(v) for v in row] for row in instance.right.rows],
-        dtype=np.int64,
-    ).reshape(len(instance.right), instance.right.arity)
+    def __init__(self) -> None:
+        self._codes: dict[object, int] = {}
+
+    def encode_rows(self, rows: Sequence[Row], arity: int) -> np.ndarray:
+        """Encode ``rows`` as an ``(len(rows), arity)`` int64 matrix."""
+        codes = self._codes
+
+        def code_of(value: object) -> int:
+            existing = codes.get(value)
+            if existing is not None:
+                return existing
+            fresh = len(codes)
+            codes[value] = fresh
+            return fresh
+
+        return np.array(
+            [[code_of(v) for v in row] for row in rows],
+            dtype=np.int64,
+        ).reshape(len(rows), arity)
+
+
+def _encode_columns(instance: Instance) -> tuple[np.ndarray, np.ndarray]:
+    """Encode all attribute values of both relations as dense codes."""
+    codec = ValueCodec()
+    left = codec.encode_rows(instance.left.rows, instance.left.arity)
+    right = codec.encode_rows(instance.right.rows, instance.right.arity)
     return left, right
 
 

@@ -17,7 +17,7 @@ from typing import Hashable
 from .relation import Relation
 from .schema import RelationSchema
 
-__all__ = ["write_csv", "read_csv", "read_csv_text"]
+__all__ = ["write_csv", "read_csv", "read_csv_text", "iter_csv_rows"]
 
 
 def write_csv(relation: Relation, path: str | Path) -> None:
@@ -41,27 +41,45 @@ def _convert_column(values: list[str]) -> list[Hashable]:
         return list(values)
 
 
+def iter_csv_rows(handle, source: str = "CSV"):
+    """Stream validated rows from a header-first CSV handle.
+
+    The first yielded tuple is the header; every subsequent tuple is one
+    data row.  Blank physical rows are skipped, and a ragged row raises
+    :class:`ValueError` with its physical line number
+    (``reader.line_num`` tracks physical lines, so error positions stay
+    right across blank lines and quoted fields containing newlines).
+
+    This is the streaming entry point used by
+    :class:`~repro.relational.source.CsvSource` — rows are yielded one
+    at a time and never accumulated here, so index builds over huge CSV
+    files keep memory bounded by the consumer's block size.
+    """
+    reader = csv.reader(handle)
+    try:
+        header = tuple(next(reader))
+    except StopIteration:
+        raise ValueError(f"{source} is empty; expected a header row")
+    yield header
+    width = len(header)
+    for row in reader:
+        if not row:
+            continue
+        if len(row) != width:
+            raise ValueError(
+                f"{source} line {reader.line_num}: expected {width} "
+                f"columns, got {len(row)}"
+            )
+        yield tuple(row)
+
+
 def _read_csv_handle(
     handle, name: str, source: str, infer_types: bool
 ) -> Relation:
-    reader = csv.reader(handle)
-    try:
-        header = next(reader)
-    except StopIteration:
-        raise ValueError(f"{source} is empty; expected a header row")
-    # reader.line_num tracks physical lines, so error positions stay
-    # right across blank lines and quoted fields containing newlines.
-    numbered = [
-        (reader.line_num, tuple(row)) for row in reader if row
-    ]
+    rows = iter_csv_rows(handle, source)
+    header = next(rows)
     schema = RelationSchema(name, header)
-    for line_num, row in numbered:
-        if len(row) != len(header):
-            raise ValueError(
-                f"{source} line {line_num}: expected {len(header)} "
-                f"columns, got {len(row)}"
-            )
-    raw_rows = [row for _, row in numbered]
+    raw_rows = list(rows)
     if not infer_types or not raw_rows:
         return Relation(schema, raw_rows)
     columns = [

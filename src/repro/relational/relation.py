@@ -150,7 +150,7 @@ class Instance:
     name, which we reject.
     """
 
-    __slots__ = ("_left", "_right")
+    __slots__ = ("_left", "_right", "_content_fingerprint")
 
     def __init__(self, left: Relation, right: Relation):
         if left.name == right.name:
@@ -162,6 +162,10 @@ class Instance:
             raise SchemaError("attribute sets must be disjoint")
         self._left = left
         self._right = right
+        # Memo slot for the service's content hash: relations are
+        # immutable, so the O(data) fingerprint is computed at most once
+        # per Instance object (repro.service.index_cache fills it).
+        self._content_fingerprint: str | None = None
 
     @property
     def left(self) -> Relation:

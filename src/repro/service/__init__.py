@@ -16,7 +16,7 @@ stdlib client; ``repro-join serve`` starts a server from the CLI.
 
 from .app import ServiceApp, ServiceServer, run_server, start_server
 from .client import ServiceClient, ServiceClientError
-from .index_cache import IndexCache, instance_fingerprint
+from .index_cache import BuildStatus, IndexCache, instance_fingerprint
 from .manager import ManagedSession, SessionManager
 from .protocol import (
     BadRequest,
@@ -36,6 +36,7 @@ from .protocol import (
 
 __all__ = [
     "BadRequest",
+    "BuildStatus",
     "CapacityExceeded",
     "Conflict",
     "CreateSpec",

@@ -23,8 +23,13 @@ POST        ``/sessions/{id}/answer``       record a label for a question
 GET         ``/sessions/{id}/predicate``    current ``T(S+)`` + progress
 GET         ``/sessions/{id}/snapshot``     resumable session state
 DELETE      ``/sessions/{id}``              drop the session
+GET         ``/builds``                     progress of in-flight index builds
 GET         ``/stats``                      server + index-cache counters
 ==========  ==============================  =====================================
+
+Cold index builds run on the manager's worker pool (single-flight per
+fingerprint), so while one client waits for a large build, every other
+session keeps answering and ``GET /builds`` reports shard progress.
 """
 
 from __future__ import annotations
@@ -42,6 +47,7 @@ from .protocol import (
     Conflict,
     NotFound,
     ServiceError,
+    builds_payload,
     parse_answer_payload,
     parse_create_payload,
     predicate_payload,
@@ -94,6 +100,10 @@ class ServiceApp:
             if method != "GET":
                 raise BadRequest(f"{method} not allowed on /stats")
             return 200, self.manager.stats()
+        if parts == ["builds"]:
+            if method != "GET":
+                raise BadRequest(f"{method} not allowed on /builds")
+            return 200, builds_payload(self.manager.builds())
         if parts[0] != "sessions":
             raise NotFound(f"no route {path!r}")
 
@@ -146,8 +156,15 @@ class ServiceApp:
         raise NotFound(f"no route {path!r}")
 
     async def _create(self, payload: Any) -> tuple[int, dict[str, Any]]:
-        spec = parse_create_payload(payload)
-        managed = self.manager.create(spec)
+        # Validating an uploaded payload parses its CSV text — O(cells),
+        # so it runs on the build pool like hashing and building.  A
+        # builtin payload is O(1) and validates inline: a warm builtin
+        # create must never queue behind someone else's cold build.
+        if isinstance(payload, dict) and "csv" in payload:
+            spec = await self.manager.offload(parse_create_payload, payload)
+        else:
+            spec = parse_create_payload(payload)
+        managed = await self.manager.create_async(spec)
         return 201, {
             **managed.describe(),
             "progress": progress_payload(managed.session),
@@ -156,7 +173,7 @@ class ServiceApp:
     async def _resume(self, payload: Any) -> tuple[int, dict[str, Any]]:
         if not isinstance(payload, dict):
             raise BadRequest("request body must be a snapshot object")
-        managed = self.manager.resume(payload)
+        managed = await self.manager.resume_async(payload)
         return 201, {
             **managed.describe(),
             "progress": progress_payload(managed.session),
@@ -283,20 +300,28 @@ async def _handle_connection(
             if request is None:
                 break
             method, path, body, keep_alive = request
-            if body:
-                try:
-                    payload = json.loads(body)
-                except json.JSONDecodeError as exc:
-                    status, response = 400, {
-                        "error": "bad_request",
-                        "message": f"invalid JSON body: {exc}",
-                    }
+            try:
+                if body:
+                    try:
+                        payload = json.loads(body)
+                    except json.JSONDecodeError as exc:
+                        status, response = 400, {
+                            "error": "bad_request",
+                            "message": f"invalid JSON body: {exc}",
+                        }
+                    else:
+                        status, response = await app.dispatch(
+                            method, path, payload
+                        )
                 else:
                     status, response = await app.dispatch(
-                        method, path, payload
+                        method, path, None
                     )
-            else:
-                status, response = await app.dispatch(method, path, None)
+            except asyncio.CancelledError:
+                # Server shutdown while a handler awaited off-loop work
+                # (e.g. an index build) — drop the connection quietly;
+                # the client sees a disconnect, not a half-response.
+                break
             writer.write(_response_bytes(status, response))
             await writer.drain()
             if not keep_alive:
@@ -394,6 +419,12 @@ class ServiceServer:
         except asyncio.CancelledError:
             pass
         finally:
+            # Drain the build pools while the loop object still exists:
+            # an in-flight build finishing after loop.close() would fire
+            # call_soon_threadsafe into a closed loop from its worker
+            # thread.  Here the loop is merely stopped, so the late
+            # callback is accepted and harmlessly discarded by close().
+            self.app.manager.close(wait=True)
             loop.run_until_complete(loop.shutdown_asyncgens())
             loop.close()
 
@@ -411,6 +442,7 @@ class ServiceServer:
         thread.join(timeout=30)
         self._loop = None
         self._thread = None
+        self.manager.close()
 
     def __enter__(self) -> "ServiceServer":
         return self.start()

@@ -176,6 +176,10 @@ class ServiceClient:
         """Drop a session."""
         return self._request("DELETE", f"/sessions/{session_id}")
 
+    def builds(self) -> list[dict[str, Any]]:
+        """Progress of in-flight index builds on the server."""
+        return self._request("GET", "/builds")["builds"]
+
     def stats(self) -> dict[str, Any]:
         """Server counters, including the index-cache hit ratio."""
         return self._request("GET", "/stats")

@@ -1,4 +1,4 @@
-"""Content-addressed cache of signature indexes.
+"""Content-addressed cache of signature indexes, with off-loop builds.
 
 Building the :class:`SignatureIndex` is the expensive step of a session —
 it walks ``|R|·|P|`` product tuples — while everything recorded afterwards
@@ -8,21 +8,46 @@ share one: the cache keys on a content hash of the instance (schema +
 rows, type-tagged so ``1`` and ``"1"`` hash apart, exactly as they compare
 apart under the inference semantics).
 
-Eviction is LRU by entry count.  The server's event loop builds indexes
-synchronously (no ``await`` between lookup and insert), so concurrent
-session creations on the same data can never race into duplicate builds.
+Construction goes through a configurable
+:class:`~repro.core.index_build.IndexBuilder`, so a service can shard
+builds (``repro-join serve --shard-rows --build-workers``).  Two build
+paths exist:
+
+* :meth:`IndexCache.get_or_build` / ``get_or_build_keyed`` — synchronous,
+  used by non-async callers; the caller's thread builds inline.
+* :meth:`IndexCache.get_or_build_keyed_async` — the server path: the
+  build runs on a ``concurrent.futures`` executor so the event loop keeps
+  serving every other session, and concurrent *async* requests for the
+  same key are **single-flight** — the first awaits the executor, later
+  arrivals await the same in-flight future, and exactly one build ever
+  runs.  In-flight builds publish shard-level progress
+  (:class:`BuildStatus`, surfaced on ``GET /builds``).
+
+One cache instance belongs to one concurrency domain: either the event
+loop (async methods; worker threads only ever run the builder, never
+touch the cache dict) or a single synchronous caller.  Mixing the sync
+methods into a live server from another thread would race the LRU dict
+and duplicate builds — embedders drive :class:`SessionManager`'s sync
+API *instead of* a running server, not alongside one.
+
+Eviction is LRU by entry count.
 """
 
 from __future__ import annotations
 
+import asyncio
 import hashlib
 import json
+import time
 from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any
 
+from ..core.index_build import IndexBuilder
 from ..core.signatures import SignatureIndex
 from ..relational.relation import Instance, Relation
 
-__all__ = ["IndexCache", "instance_fingerprint"]
+__all__ = ["BuildStatus", "IndexCache", "instance_fingerprint"]
 
 
 def _tagged(value: object) -> list:
@@ -45,7 +70,15 @@ def instance_fingerprint(instance: Instance) -> str:
     (same relation names, attribute names, and rows in order, with cell
     types distinguished) — the precondition for their signature indexes
     being interchangeable.
+
+    The hash walks every cell, so it is memoised per ``Instance``
+    object: session creation over an uploaded instance used to re-hash
+    the full data on every request touching the cache, now only the
+    first computation pays.
     """
+    cached = instance._content_fingerprint
+    if cached is not None:
+        return cached
     canonical = json.dumps(
         {
             "left": _relation_payload(instance.left),
@@ -54,21 +87,70 @@ def instance_fingerprint(instance: Instance) -> str:
         separators=(",", ":"),
         sort_keys=True,
     )
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    instance._content_fingerprint = digest
+    return digest
+
+
+@dataclass(slots=True)
+class BuildStatus:
+    """Progress of one in-flight index build (read across threads).
+
+    The builder's worker thread bumps ``shards_done``/``shards_total``;
+    the event loop reads them for the build-status endpoint.  Plain
+    attribute writes are atomic under the GIL, so no locking is needed
+    for this monitoring-only data.
+    """
+
+    key: str
+    started: float = field(default_factory=time.monotonic)
+    shards_done: int = 0
+    shards_total: int | None = None
+    waiters: int = 0
+
+    def payload(self) -> dict[str, Any]:
+        """The JSON shape served by ``GET /builds``."""
+        return {
+            "key": self.key,
+            "shards_done": self.shards_done,
+            "shards_total": self.shards_total,
+            "waiters": self.waiters,
+            "elapsed_seconds": round(time.monotonic() - self.started, 3),
+        }
 
 
 class IndexCache:
     """LRU cache mapping instance fingerprints to shared indexes."""
 
-    __slots__ = ("_capacity", "_entries", "_hits", "_misses")
+    __slots__ = (
+        "_capacity",
+        "_entries",
+        "_builder",
+        "_pending",
+        "_build_tasks",
+        "_hits",
+        "_misses",
+        "_single_flight_waits",
+    )
 
-    def __init__(self, capacity: int = 16):
+    def __init__(self, capacity: int = 16, builder: IndexBuilder | None = None):
         if capacity < 1:
             raise ValueError("capacity must be positive")
         self._capacity = capacity
         self._entries: OrderedDict[str, SignatureIndex] = OrderedDict()
+        self._builder = builder if builder is not None else IndexBuilder()
+        self._pending: dict[str, tuple[asyncio.Future, BuildStatus]] = {}
+        self._build_tasks: set[asyncio.Task] = set()
         self._hits = 0
         self._misses = 0
+        self._single_flight_waits = 0
+
+    @property
+    def builder(self) -> IndexBuilder:
+        """The build pipeline used on cache misses."""
+        return self._builder
+
+    # --- synchronous path -------------------------------------------------
 
     def get_or_build(
         self, instance: Instance
@@ -96,21 +178,162 @@ class IndexCache:
             self._hits += 1
             return index, True
         self._misses += 1
-        index = SignatureIndex(make_instance())
+        return self._store(key, self._run_build(make_instance, None)), False
+
+    # --- asynchronous single-flight path -----------------------------------
+
+    async def get_or_build_async(
+        self, instance: Instance, executor=None
+    ) -> tuple[SignatureIndex, bool]:
+        """Async twin of :meth:`get_or_build` (single-flight, off-loop).
+
+        The content fingerprint walks every cell, so for not-yet-memoised
+        instances it is computed on ``executor`` too — a ~10⁶-cell upload
+        must not stall the loop hashing, any more than building.  Note
+        ``executor`` serves both the hash and the build here; a caller
+        that wants hashing kept off a busy build pool (the service does
+        — see ``SessionManager.offload``) should hash on its own pool
+        and call :meth:`get_or_build_keyed_async` directly.
+        """
+        if instance._content_fingerprint is not None:
+            key = instance._content_fingerprint
+        else:
+            loop = asyncio.get_running_loop()
+            key = await loop.run_in_executor(
+                executor, instance_fingerprint, instance
+            )
+        return await self.get_or_build_keyed_async(
+            key, lambda: instance, executor
+        )
+
+    async def get_or_build_keyed_async(
+        self, key: str, make_instance, executor=None
+    ) -> tuple[SignatureIndex, bool]:
+        """Single-flight, executor-backed variant of
+        :meth:`get_or_build_keyed`.
+
+        A cold key starts exactly one build on ``executor`` (``None`` =
+        the loop's default pool); every concurrent request for the same
+        key awaits that build's future and counts as a cache hit.  The
+        event loop never blocks — while shards grind on worker threads,
+        unrelated sessions keep answering.
+
+        The build is driven by a task owned by the cache, and every
+        requester awaits the shared future through
+        :func:`asyncio.shield` — cancelling any one requester (client
+        disconnect, ``wait_for`` timeout) affects only that requester;
+        the build still completes, lands in the cache, and resolves the
+        other waiters.
+        """
+        index = self._entries.get(key)
+        if index is not None:
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return index, True
+        pending = self._pending.get(key)
+        if pending is not None:
+            future, status = pending
+            self._single_flight_waits += 1
+            status.waiters += 1
+            try:
+                index = await asyncio.shield(future)
+            except asyncio.CancelledError:
+                # This waiter is gone (client disconnect); the build
+                # carries on, but /builds must not keep reporting them.
+                status.waiters -= 1
+                raise
+            # Counted only after the shared build succeeds: a failed
+            # build must not inflate the hit ratio the CI gates on.
+            self._hits += 1
+            return index, True
+        self._misses += 1
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        status = BuildStatus(key=key)
+        self._pending[key] = (future, status)
+        task = loop.create_task(
+            self._drive_build(key, make_instance, status, future, executor)
+        )
+        self._build_tasks.add(task)
+        task.add_done_callback(self._build_tasks.discard)
+        return await asyncio.shield(future), False
+
+    async def _drive_build(
+        self,
+        key: str,
+        make_instance,
+        status: BuildStatus,
+        future: asyncio.Future,
+        executor,
+    ) -> None:
+        """Run one cold build to completion and settle its future."""
+        loop = asyncio.get_running_loop()
+        try:
+            index = await loop.run_in_executor(
+                executor, self._run_build, make_instance, status
+            )
+        except BaseException as exc:
+            if not future.done():
+                future.set_exception(exc)
+                # Mark retrieved so an un-awaited future (every
+                # requester already cancelled) does not log
+                # "exception was never retrieved".
+                future.exception()
+            if isinstance(exc, asyncio.CancelledError):
+                raise  # loop shutdown: stay a well-behaved cancelled task
+        else:
+            self._store(key, index)
+            if not future.done():
+                future.set_result(index)
+        finally:
+            self._pending.pop(key, None)
+
+    # --- internals ----------------------------------------------------------
+
+    def _run_build(
+        self, make_instance, status: BuildStatus | None
+    ) -> SignatureIndex:
+        """Materialise the instance and run the builder (worker thread)."""
+
+        def progress(done: int, total: int | None) -> None:
+            if status is not None:
+                status.shards_done = done
+                status.shards_total = total
+
+        return self._builder.build(make_instance(), progress=progress)
+
+    def _store(self, key: str, index: SignatureIndex) -> SignatureIndex:
         self._entries[key] = index
+        self._entries.move_to_end(key)
         while len(self._entries) > self._capacity:
             self._entries.popitem(last=False)
-        return index, False
+        return index
+
+    # --- introspection -------------------------------------------------------
+
+    def pending_builds(self) -> list[dict[str, Any]]:
+        """Status payloads of every in-flight build, oldest first."""
+        return [
+            status.payload()
+            for _, status in sorted(
+                self._pending.values(), key=lambda item: item[1].started
+            )
+        ]
 
     @property
     def hits(self) -> int:
-        """Lookups answered from the cache."""
+        """Lookups answered from the cache (including single-flight waits)."""
         return self._hits
 
     @property
     def misses(self) -> int:
         """Lookups that triggered an index build."""
         return self._misses
+
+    @property
+    def single_flight_waits(self) -> int:
+        """Lookups that joined an in-flight build instead of starting one."""
+        return self._single_flight_waits
 
     @property
     def hit_ratio(self) -> float:
@@ -129,4 +352,6 @@ class IndexCache:
             "hits": self._hits,
             "misses": self._misses,
             "hit_ratio": round(self.hit_ratio, 4),
+            "in_flight": len(self._pending),
+            "single_flight_waits": self._single_flight_waits,
         }

@@ -10,6 +10,13 @@ against one session cannot interleave mid-protocol.
 Expiry is lazy: every entry-point sweeps sessions idle longer than the
 TTL, and capacity is enforced after the sweep — a full server answers
 creation requests with 429 rather than evicting live users.
+
+Session creation has two flavours: the synchronous :meth:`~SessionManager.create`
+builds a cold index inline (embedding callers, tests), while the server
+uses :meth:`~SessionManager.create_async`, which pushes the build through
+the cache's single-flight path onto a ``concurrent.futures`` worker pool
+(``build_workers`` threads, shard fan-out per ``shard_rows``) so a cold
+build never stalls the event loop.
 """
 
 from __future__ import annotations
@@ -18,9 +25,11 @@ import asyncio
 import json
 import time
 import uuid
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from ..core.index_build import IndexBuilder
 from ..core.signatures import SignatureIndex
 from ..relational.relation import Instance
 
@@ -32,7 +41,7 @@ from ..core.serialize import (
 from ..core.serialize import resume_session as core_resume_session
 from ..core.session import InferenceSession, MaxInteractions
 from ..core.strategies import strategy_by_name
-from .index_cache import IndexCache
+from .index_cache import IndexCache, instance_fingerprint
 from .protocol import (
     BadRequest,
     CapacityExceeded,
@@ -81,20 +90,91 @@ class SessionManager:
         max_sessions: int = 256,
         ttl_seconds: float | None = 3600.0,
         clock: Callable[[], float] = time.monotonic,
+        build_workers: int = 1,
+        shard_rows: int | None = None,
     ):
         if max_sessions < 1:
             raise ValueError("max_sessions must be positive")
         if ttl_seconds is not None and ttl_seconds <= 0:
             raise ValueError("ttl_seconds must be positive or None")
+        if build_workers < 1:
+            raise ValueError("build_workers must be positive")
         # `index_cache or ...` would discard an *empty* cache (len 0).
-        self.index_cache = (
-            index_cache if index_cache is not None else IndexCache()
-        )
+        # A caller-supplied cache keeps whatever builder it was
+        # configured with — passing shard_rows alongside it would be
+        # silently ignored, so that combination is rejected outright.
+        if index_cache is not None:
+            if shard_rows is not None:
+                raise ValueError(
+                    "shard_rows is applied to the manager-built cache; "
+                    "configure the supplied IndexCache's builder instead"
+                )
+            self.index_cache = index_cache
+        else:
+            self.index_cache = IndexCache(
+                builder=IndexBuilder(
+                    shard_rows=shard_rows, workers=build_workers
+                )
+            )
         self.max_sessions = max_sessions
         self.ttl_seconds = ttl_seconds
+        self.build_workers = build_workers
         self._clock = clock
         self._sessions: dict[str, ManagedSession] = {}
         self._expired_total = 0
+        self._build_executor: ThreadPoolExecutor | None = None
+        self._offload_executor: ThreadPoolExecutor | None = None
+
+    def _executor(self) -> ThreadPoolExecutor:
+        """The worker pool index builds run on, off the event loop."""
+        if self._build_executor is None:
+            self._build_executor = ThreadPoolExecutor(
+                max_workers=self.build_workers,
+                thread_name_prefix="index-build",
+            )
+        return self._build_executor
+
+    def offload(self, fn, *args):
+        """Awaitable running CPU-bound ``fn(*args)`` off the event loop.
+
+        Every O(data) *request-preprocessing* step goes through here —
+        CSV parsing, content hashing, instance materialisation — on a
+        small pool of its own, separate from the build pool: a warm
+        upload create (parse + hash + cache hit) must never queue
+        behind a long cold build occupying the build workers.
+        Exceptions (e.g. ``BadRequest`` from validation) propagate to
+        the awaiter unchanged.
+        """
+        if self._offload_executor is None:
+            self._offload_executor = ThreadPoolExecutor(
+                max_workers=2, thread_name_prefix="create-offload"
+            )
+        return asyncio.get_running_loop().run_in_executor(
+            self._offload_executor, fn, *args
+        )
+
+    def _heavy_offload(self, fn, *args):
+        """Like :meth:`offload` but on the *build* pool — for O(session)
+        compute (snapshot replays) that must not crowd out the small
+        preprocessing pool fast creates depend on."""
+        return asyncio.get_running_loop().run_in_executor(
+            self._executor(), fn, *args
+        )
+
+    def close(self, wait: bool = False) -> None:
+        """Release the worker pools.
+
+        Queued-but-not-started jobs are cancelled either way; a job
+        already executing always runs to completion.  ``wait=True``
+        blocks until it has — the server's loop thread does this before
+        closing its event loop, so a build finishing during shutdown
+        never fires completion callbacks into a closed loop.
+        """
+        for attr in ("_build_executor", "_offload_executor"):
+            executor = getattr(self, attr)
+            if executor is not None:
+                executor.shutdown(wait=wait, cancel_futures=True)
+                setattr(self, attr, None)
 
     # --- lifecycle -----------------------------------------------------------
 
@@ -143,6 +223,15 @@ class SessionManager:
             last_used=now,
         )
 
+    @staticmethod
+    def _builtin_key(spec: dict[str, Any]) -> str:
+        """The cache key of a builtin workload spec — one definition,
+        shared by the sync and async paths, so both always land on the
+        same cache entry and the same single-flight build."""
+        return "builtin:" + json.dumps(
+            spec["builtin"], sort_keys=True, default=str
+        )
+
     def _index_for_spec(
         self, spec: dict[str, Any], instance: Instance | None
     ) -> tuple[Instance, SignatureIndex, bool]:
@@ -153,11 +242,8 @@ class SessionManager:
         hashing, and the instance comes back off the cached index.
         """
         if instance is None and "builtin" in spec:
-            key = "builtin:" + json.dumps(
-                spec["builtin"], sort_keys=True, default=str
-            )
             index, hit = self.index_cache.get_or_build_keyed(
-                key, lambda: instance_from_spec(spec)
+                self._builtin_key(spec), lambda: instance_from_spec(spec)
             )
             return index.instance, index, hit
         if instance is None:
@@ -165,13 +251,37 @@ class SessionManager:
         index, hit = self.index_cache.get_or_build(instance)
         return instance, index, hit
 
-    def create(self, spec: CreateSpec) -> ManagedSession:
-        """Open a session per a validated creation request."""
-        self._ensure_capacity()
-        instance, index, hit = self._index_for_spec(
-            spec.instance_spec, spec.instance
+    async def _index_for_spec_async(
+        self, spec: dict[str, Any], instance: Instance | None
+    ) -> tuple[Instance, SignatureIndex, bool]:
+        """Async twin of :meth:`_index_for_spec`: the build runs on the
+        manager's worker pool (single-flight per key), so the event loop
+        keeps serving other sessions during a cold build."""
+        cache = self.index_cache
+        executor = self._executor()
+        if instance is None and "builtin" in spec:
+            index, hit = await cache.get_or_build_keyed_async(
+                self._builtin_key(spec),
+                lambda: instance_from_spec(spec),
+                executor,
+            )
+            return index.instance, index, hit
+        if instance is None:
+            # Inline snapshot specs carry the whole dataset —
+            # materialise off-loop like everything else O(data).
+            instance = await self.offload(instance_from_spec, spec)
+        # Hash on the preprocessing pool (fast, never behind a build);
+        # only the build itself competes for the build workers.
+        key = await self.offload(instance_fingerprint, instance)
+        index, hit = await cache.get_or_build_keyed_async(
+            key, lambda: instance, executor
         )
-        session = InferenceSession(
+        return instance, index, hit
+
+    def _make_session(
+        self, spec: CreateSpec, instance: Instance, index: SignatureIndex
+    ) -> InferenceSession:
+        return InferenceSession(
             instance,
             strategy_by_name(spec.strategy),
             halt_condition=(
@@ -182,23 +292,71 @@ class SessionManager:
             index=index,
             seed=spec.seed,
         )
+
+    def create(self, spec: CreateSpec) -> ManagedSession:
+        """Open a session per a validated creation request (inline build)."""
+        self._ensure_capacity()
+        instance, index, hit = self._index_for_spec(
+            spec.instance_spec, spec.instance
+        )
+        session = self._make_session(spec, instance, index)
         return self._admit(self._build(session, spec.instance_spec, hit))
 
-    def resume(self, payload: dict[str, Any]) -> ManagedSession:
-        """Open a session by replaying a snapshot payload."""
-        if not isinstance(payload, dict) or "labeled" not in payload:
-            raise BadRequest("expected a session_snapshot payload")
+    async def create_async(self, spec: CreateSpec) -> ManagedSession:
+        """Like :meth:`create`, but a cold index build happens off-loop.
+
+        Capacity is re-checked by ``_admit`` after the await — the
+        server may have filled while the build was in flight.
+        """
         self._ensure_capacity()
-        instance_spec = payload.get("instance")
-        if not isinstance(instance_spec, dict):
-            raise BadRequest("snapshot carries no instance spec")
-        instance, index, hit = self._index_for_spec(instance_spec, None)
+        instance, index, hit = await self._index_for_spec_async(
+            spec.instance_spec, spec.instance
+        )
+        session = self._make_session(spec, instance, index)
+        return self._admit(self._build(session, spec.instance_spec, hit))
+
+    def _resume_session(
+        self,
+        payload: dict[str, Any],
+        instance: Instance,
+        index: SignatureIndex,
+    ) -> InferenceSession:
         try:
-            session = core_resume_session(
+            return core_resume_session(
                 payload, instance=instance, index=index
             )
         except (SnapshotError, ValueError, KeyError, TypeError) as exc:
             raise BadRequest(f"cannot resume snapshot: {exc}") from exc
+
+    @staticmethod
+    def _snapshot_instance_spec(payload: dict[str, Any]) -> dict[str, Any]:
+        if not isinstance(payload, dict) or "labeled" not in payload:
+            raise BadRequest("expected a session_snapshot payload")
+        instance_spec = payload.get("instance")
+        if not isinstance(instance_spec, dict):
+            raise BadRequest("snapshot carries no instance spec")
+        return instance_spec
+
+    def resume(self, payload: dict[str, Any]) -> ManagedSession:
+        """Open a session by replaying a snapshot payload."""
+        instance_spec = self._snapshot_instance_spec(payload)
+        self._ensure_capacity()
+        instance, index, hit = self._index_for_spec(instance_spec, None)
+        session = self._resume_session(payload, instance, index)
+        return self._admit(self._build(session, instance_spec, hit))
+
+    async def resume_async(self, payload: dict[str, Any]) -> ManagedSession:
+        """Like :meth:`resume`, but the cold index build *and* the
+        label replay happen off-loop — replaying a long snapshot steps
+        the strategy once per label, which is O(snapshot), not O(1)."""
+        instance_spec = self._snapshot_instance_spec(payload)
+        self._ensure_capacity()
+        instance, index, hit = await self._index_for_spec_async(
+            instance_spec, None
+        )
+        session = await self._heavy_offload(
+            self._resume_session, payload, instance, index
+        )
         return self._admit(self._build(session, instance_spec, hit))
 
     def snapshot(self, session_id: str) -> dict[str, Any]:
@@ -238,6 +396,10 @@ class SessionManager:
     def __len__(self) -> int:
         return len(self._sessions)
 
+    def builds(self) -> list[dict[str, Any]]:
+        """Progress of every in-flight index build (for ``GET /builds``)."""
+        return self.index_cache.pending_builds()
+
     def stats(self) -> dict[str, Any]:
         """Server-level counters for the stats endpoint."""
         self.sweep()
@@ -246,5 +408,6 @@ class SessionManager:
             "max_sessions": self.max_sessions,
             "ttl_seconds": self.ttl_seconds,
             "expired_total": self._expired_total,
+            "build_workers": self.build_workers,
             "index_cache": self.index_cache.stats(),
         }

@@ -53,6 +53,7 @@ __all__ = [
     "question_payload",
     "progress_payload",
     "predicate_payload",
+    "builds_payload",
 ]
 
 
@@ -269,6 +270,14 @@ def progress_payload(session: InferenceSession) -> dict[str, Any]:
         "total_classes": len(session.index),
         "done": session.is_finished(),
     }
+
+
+def builds_payload(statuses: list[dict[str, Any]]) -> dict[str, Any]:
+    """The ``GET /builds`` response: in-flight index builds, oldest
+    first, each with shard progress and waiter count (the shape the
+    :class:`~repro.service.index_cache.BuildStatus` payloads already
+    carry — wrapped here so the wire shape is owned by the protocol)."""
+    return {"builds": statuses, "in_flight": len(statuses)}
 
 
 def predicate_payload(session: InferenceSession) -> dict[str, Any]:

@@ -1,0 +1,469 @@
+"""Property tests: the sharded build pipeline is bit-for-bit identical
+to the monolithic constructions.
+
+The contract under test (ISSUE 3's tentpole): for every shard size,
+worker count, and source backend,
+
+    sharded build ≡ monolithic NumPy build ≡ pure-Python reference
+
+— same class ids, masks, counts, representatives, maximal set, and total
+weight.  Covered explicitly: shard counts {1, 2, 7, |R|}, Ω widths
+straddling the 64-bit word boundary (63/64/65), empty shards, empty
+relations, and single-row relations.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import IndexBuilder, SignatureIndex, build_signature_index
+from repro.core.index_build import (
+    ShardSignatures,
+    index_from_signatures,
+    merge_shards,
+    shard_signatures,
+    signature_histogram,
+)
+from repro.core.signatures import ValueCodec
+from repro.relational import (
+    CsvSource,
+    Instance,
+    InstanceSource,
+    Relation,
+    SqliteSource,
+    as_signature_source,
+)
+from repro.relational import sqlite_backend
+
+from ..conftest import make_random_instance
+
+
+def assert_identical(built: SignatureIndex, reference: SignatureIndex):
+    """Bit-for-bit equality of two indexes over the same data."""
+    assert [
+        (c.class_id, c.mask, c.count, c.representative) for c in built
+    ] == [
+        (c.class_id, c.mask, c.count, c.representative) for c in reference
+    ]
+    assert built.maximal_class_ids == reference.maximal_class_ids
+    assert built.total_weight == reference.total_weight
+    assert built.omega_mask == reference.omega_mask
+    assert built.n_words == reference.n_words
+    assert np.array_equal(built.packed_masks, reference.packed_masks)
+    assert np.array_equal(built.count_array, reference.count_array)
+
+
+def shard_row_choices(n_rows: int) -> list:
+    """Shard sizes realising shard counts {1, 2, 7, |R|} (plus auto)."""
+    counts = {1, 2, 7, max(1, n_rows)}
+    sizes: list = [None]
+    for count in sorted(counts):
+        sizes.append(max(1, -(-n_rows // count)) if n_rows else 1)
+    return sorted({s for s in sizes if s is not None}) + [None]
+
+
+class TestShardedEqualsMonolithic:
+    @settings(max_examples=25, deadline=None)
+    @given(st.data())
+    def test_all_shard_counts_and_workers(self, data):
+        rng = random.Random(data.draw(st.integers(0, 10_000)))
+        instance = make_random_instance(
+            rng,
+            left_arity=data.draw(st.integers(1, 3)),
+            right_arity=data.draw(st.integers(1, 3)),
+            rows=data.draw(st.integers(1, 30)),
+            values=data.draw(st.integers(1, 6)),
+        )
+        reference = SignatureIndex(instance, backend="python")
+        monolithic = SignatureIndex(instance, backend="numpy")
+        assert_identical(monolithic, reference)
+        for shard_rows in shard_row_choices(len(instance.left)):
+            for workers in (1, 2):
+                built = IndexBuilder(
+                    shard_rows=shard_rows, workers=workers
+                ).build(instance)
+                assert_identical(built, reference)
+
+    @pytest.mark.parametrize(
+        "left_arity,right_arity",
+        [(7, 9), (8, 8), (5, 13)],  # |Ω| = 63 / 64 / 65
+    )
+    def test_omega_straddles_word_boundary(self, left_arity, right_arity):
+        rng = random.Random(left_arity * 100 + right_arity)
+        instance = make_random_instance(
+            rng, left_arity, right_arity, rows=9, values=3
+        )
+        assert len(instance.omega) in (63, 64, 65)
+        reference = SignatureIndex(instance, backend="python")
+        for shard_rows in (None, 1, 4):
+            built = IndexBuilder(shard_rows=shard_rows, workers=2).build(
+                instance
+            )
+            assert_identical(built, reference)
+
+    def test_empty_relations(self):
+        for left_rows, right_rows in (
+            ((), ((1,),)),
+            (((1,),), ()),
+            ((), ()),
+        ):
+            instance = Instance(
+                Relation.build("R", ["A1"], left_rows),
+                Relation.build("P", ["B1"], right_rows),
+            )
+            reference = SignatureIndex(instance, backend="python")
+            for shard_rows in (None, 1, 3):
+                built = IndexBuilder(shard_rows=shard_rows, workers=2).build(
+                    instance
+                )
+                assert_identical(built, reference)
+                assert len(built) == 0
+
+    def test_single_row_relations(self):
+        instance = Instance(
+            Relation.build("R", ["A1", "A2"], [(1, 2)]),
+            Relation.build("P", ["B1"], [(1,)]),
+        )
+        reference = SignatureIndex(instance, backend="python")
+        for shard_rows in (None, 1, 5):
+            assert_identical(
+                IndexBuilder(shard_rows=shard_rows).build(instance),
+                reference,
+            )
+
+    def test_build_signature_index_convenience(self):
+        rng = random.Random(5)
+        instance = make_random_instance(rng, 2, 2, rows=12, values=4)
+        assert_identical(
+            build_signature_index(instance, shard_rows=5, workers=2),
+            SignatureIndex(instance),
+        )
+
+
+class TestMergeInvariants:
+    def test_merge_of_empty_shard_list(self):
+        merged = merge_shards([], n_words=2)
+        assert len(merged) == 0
+        assert signature_histogram(merged) == {}
+
+    def test_explicit_empty_shards_are_transparent(self):
+        """Interleaving genuinely empty shards never changes the result."""
+        rng = random.Random(11)
+        instance = make_random_instance(rng, 2, 2, rows=10, values=3)
+        source = as_signature_source(instance)
+        codec = ValueCodec()
+        right_rows = source.right_rows()
+        right_codes = codec.encode_rows(right_rows, instance.right.arity)
+        shards = [ShardSignatures.empty(1)]
+        for start, rows in source.iter_left_blocks(3):
+            shards.append(
+                shard_signatures(
+                    codec.encode_rows(rows, instance.left.arity),
+                    right_codes,
+                    rows,
+                    right_rows,
+                    start,
+                )
+            )
+            shards.append(ShardSignatures.empty(1))
+        merged = merge_shards(shards, n_words=1)
+        built = index_from_signatures(
+            instance, signature_histogram(merged)
+        )
+        assert_identical(built, SignatureIndex(instance, backend="python"))
+
+    def test_merge_is_shard_order_independent_except_representatives(self):
+        """Counts/masks never depend on shard order; representatives are
+        pinned by the *global* minimal ordinal, so even a shuffled merge
+        returns the canonical representative."""
+        rng = random.Random(23)
+        instance = make_random_instance(rng, 2, 3, rows=14, values=2)
+        source = as_signature_source(instance)
+        codec = ValueCodec()
+        right_rows = source.right_rows()
+        right_codes = codec.encode_rows(right_rows, instance.right.arity)
+        shards = [
+            shard_signatures(
+                codec.encode_rows(rows, instance.left.arity),
+                right_codes,
+                rows,
+                right_rows,
+                start,
+            )
+            for start, rows in source.iter_left_blocks(4)
+        ]
+        rng.shuffle(shards)
+        merged = merge_shards(shards, n_words=1)
+        built = index_from_signatures(
+            instance, signature_histogram(merged)
+        )
+        assert_identical(built, SignatureIndex(instance, backend="python"))
+
+
+class TestSourceBackendsAgree:
+    @settings(max_examples=15, deadline=None)
+    @given(st.data())
+    def test_csv_stream_equals_monolithic(self, data):
+        rng = random.Random(data.draw(st.integers(0, 10_000)))
+        rows = data.draw(st.integers(0, 25))
+        left = Relation.build(
+            "R",
+            ["A1", "A2"],
+            [
+                (str(rng.randrange(4)), str(rng.randrange(3)))
+                for _ in range(rows)
+            ],
+        )
+        right = Relation.build(
+            "P",
+            ["B1", "B2", "B3"],
+            [
+                tuple(str(rng.randrange(4)) for _ in range(3))
+                for _ in range(max(1, rows // 2))
+            ],
+        )
+        instance = Instance(left, right)
+
+        def to_csv(relation):
+            buffer = io.StringIO()
+            writer = csv.writer(buffer)
+            writer.writerow([a.name for a in relation.schema])
+            writer.writerows(relation.rows)
+            return buffer.getvalue()
+
+        source = CsvSource.from_text(
+            to_csv(left), to_csv(right), "R", "P"
+        )
+        built = IndexBuilder(
+            shard_rows=data.draw(st.integers(1, 10)), workers=2
+        ).build(source)
+        assert_identical(built, SignatureIndex(instance, backend="python"))
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.data())
+    def test_sqlite_pushdown_equals_monolithic(self, data):
+        rng = random.Random(data.draw(st.integers(0, 10_000)))
+        rows = data.draw(st.integers(0, 20))
+        values: list = [0, 1, 2, "x", "y", "0"]
+        left = Relation.build(
+            "R",
+            ["A1", "A2"],
+            [
+                (rng.choice(values), rng.choice(values))
+                for _ in range(rows)
+            ],
+        )
+        right = Relation.build(
+            "P",
+            ["B1", "B2"],
+            [
+                (rng.choice(values), rng.choice(values))
+                for _ in range(max(1, rows // 2))
+            ],
+        )
+        conn = sqlite_backend.connect_memory()
+        sqlite_backend.store_instance(conn, Instance(left, right))
+        source = SqliteSource(conn, "R", "P")
+        loaded = source.instance()
+        reference = SignatureIndex(loaded, backend="python")
+        shard_rows = data.draw(st.integers(1, 8))
+        assert_identical(
+            IndexBuilder(shard_rows=shard_rows).build(source), reference
+        )
+        # The kernel fallback over the same SQLite data must agree too.
+        fallback = SqliteSource(conn, "R", "P")
+        fallback.supports_pushdown = False
+        assert_identical(
+            IndexBuilder(shard_rows=shard_rows, workers=2).build(fallback),
+            reference,
+        )
+
+    def test_sqlite_pushdown_wide_omega(self):
+        """SQL mask words (62-bit) reassemble correctly past one word."""
+        rng = random.Random(7)
+        instance = make_random_instance(
+            rng, left_arity=8, right_arity=9, rows=5, values=2
+        )
+        assert len(instance.omega) == 72
+        conn = sqlite_backend.connect_memory()
+        sqlite_backend.store_instance(conn, instance)
+        source = SqliteSource(conn, "R", "P")
+        assert_identical(
+            IndexBuilder(shard_rows=2).build(source),
+            SignatureIndex(source.instance(), backend="python"),
+        )
+
+    def test_sqlite_nulls_match_python_none_semantics(self):
+        """Pre-existing tables may carry NULLs (store_relation refuses
+        to write them): SQL `IS` makes NULL IS NULL true, matching
+        Python's None == None in the kernel build over the loaded
+        instance."""
+        conn = sqlite_backend.connect_memory()
+        conn.execute('CREATE TABLE "L" ("A1")')
+        conn.executemany('INSERT INTO "L" VALUES (?)', [(None,), (1,)])
+        conn.execute('CREATE TABLE "Q" ("B1")')
+        conn.executemany('INSERT INTO "Q" VALUES (?)', [(None,), (2,)])
+        conn.commit()
+        source = SqliteSource(conn, "L", "Q")
+        reference = SignatureIndex(source.instance(), backend="python")
+        assert {cls.mask: cls.count for cls in reference} == {0: 3, 1: 1}
+        assert_identical(IndexBuilder(shard_rows=1).build(source), reference)
+
+    def test_sqlite_typed_columns_match_python_equality(self):
+        """Declared column types must not leak into signature equality:
+        without affinity stripping, comparing a TEXT column to an
+        INTEGER column makes SQLite coerce ('1' = 1 → true) where
+        Python keeps '1' != 1."""
+        conn = sqlite_backend.connect_memory()
+        conn.execute('CREATE TABLE "L" ("A1" TEXT)')
+        conn.executemany('INSERT INTO "L" VALUES (?)', [("1",), ("2",)])
+        conn.execute('CREATE TABLE "Q" ("B1" INTEGER)')
+        conn.executemany('INSERT INTO "Q" VALUES (?)', [(1,), (3,)])
+        conn.commit()
+        source = SqliteSource(conn, "L", "Q")
+        loaded = source.instance()
+        assert loaded.left.rows == (("1",), ("2",))
+        assert loaded.right.rows == ((1,), (3,))
+        reference = SignatureIndex(loaded, backend="python")
+        assert {cls.mask: cls.count for cls in reference} == {0: 4}
+        assert_identical(IndexBuilder(shard_rows=1).build(source), reference)
+
+    def test_sqlite_collated_columns_dedup_like_python(self):
+        """A NOCASE collation would merge 'a'/'A' in SQL grouping;
+        Python keeps them distinct — grouping is collation-stripped."""
+        conn = sqlite_backend.connect_memory()
+        conn.execute('CREATE TABLE "L" ("A1" TEXT COLLATE NOCASE)')
+        conn.executemany(
+            'INSERT INTO "L" VALUES (?)', [("a",), ("A",), ("a",)]
+        )
+        conn.execute('CREATE TABLE "Q" ("B1")')
+        conn.executemany('INSERT INTO "Q" VALUES (?)', [("a",), ("b",)])
+        conn.commit()
+        source = SqliteSource(conn, "L", "Q")
+        assert source.left_count() == 2  # 'a' and 'A', not merged
+        loaded = source.instance()
+        reference = SignatureIndex(loaded, backend="python")
+        assert_identical(IndexBuilder(shard_rows=1).build(source), reference)
+
+    def test_sqlite_reserved_looking_column_names(self):
+        """Attributes named after generated SQL identifiers (ord, w0,
+        first_row) must bind the data column, not the internals."""
+        conn = sqlite_backend.connect_memory()
+        conn.execute('CREATE TABLE "L" ("ord", "w0", "first_row")')
+        conn.executemany(
+            'INSERT INTO "L" VALUES (?, ?, ?)',
+            [(10, 1, 5), (20, 2, 5), (10, 1, 5)],
+        )
+        conn.execute('CREATE TABLE "Q" ("B1", "B2")')
+        conn.executemany(
+            'INSERT INTO "Q" VALUES (?, ?)', [(10, 1), (99, 5)]
+        )
+        conn.commit()
+        source = SqliteSource(conn, "L", "Q")
+        assert source.supports_pushdown
+        reference = SignatureIndex(source.instance(), backend="python")
+        assert len(reference) > 1  # the data actually discriminates
+        assert_identical(
+            IndexBuilder(shard_rows=1).build(source), reference
+        )
+
+    def test_sqlite_rowid_column_falls_back_to_kernel(self):
+        """An explicit column named rowid shadows the implicit one — no
+        reliable first-occurrence ordinals, so no push-down."""
+        conn = sqlite_backend.connect_memory()
+        conn.execute('CREATE TABLE "L" ("rowid", "A2")')
+        conn.executemany(
+            'INSERT INTO "L" VALUES (?, ?)', [(7, 1), (3, 2)]
+        )
+        conn.execute('CREATE TABLE "Q" ("B1")')
+        conn.executemany('INSERT INTO "Q" VALUES (?)', [(1,), (3,)])
+        conn.commit()
+        source = SqliteSource(conn, "L", "Q")
+        assert not source.supports_pushdown
+        assert_identical(
+            IndexBuilder(shard_rows=1).build(source),
+            SignatureIndex(source.instance(), backend="python"),
+        )
+
+    def test_sqlite_duplicates_collapse_like_python(self):
+        """Duplicate and cross-type-equal rows (1 vs 1.0) dedup the same
+        way in SQL as under Python set semantics."""
+        conn = sqlite_backend.connect_memory()
+        conn.execute('CREATE TABLE "L" ("A1", "A2")')
+        conn.executemany(
+            'INSERT INTO "L" VALUES (?, ?)',
+            [(1, "x"), (1.0, "x"), (2, "y"), (1, "x"), ("1", "x")],
+        )
+        conn.execute('CREATE TABLE "Q" ("B1")')
+        conn.executemany(
+            'INSERT INTO "Q" VALUES (?)', [(1,), ("x",), (2,), (1.0,)]
+        )
+        conn.commit()
+        source = SqliteSource(conn, "L", "Q")
+        loaded = source.instance()
+        assert len(loaded.left) == 3  # (1,'x'), (2,'y'), ('1','x')
+        assert_identical(
+            IndexBuilder(shard_rows=1).build(source),
+            SignatureIndex(loaded, backend="python"),
+        )
+
+
+class TestProgressAndRouting:
+    def test_progress_reports_every_shard(self):
+        rng = random.Random(3)
+        instance = make_random_instance(rng, 2, 2, rows=10, values=5)
+        n_rows = len(instance.left)
+        total = -(-n_rows // 3)
+        seen = []
+        IndexBuilder(shard_rows=3).build(
+            instance, progress=lambda done, total: seen.append((done, total))
+        )
+        assert seen == [(done, total) for done in range(1, total + 1)]
+
+    def test_auto_sharding_follows_workers(self):
+        rng = random.Random(4)
+        instance = make_random_instance(rng, 2, 2, rows=10, values=5)
+        seen = []
+        built = IndexBuilder(workers=2).build(
+            instance, progress=lambda done, total: seen.append((done, total))
+        )
+        assert seen == [(1, 2), (2, 2)]
+        assert_identical(built, SignatureIndex(instance))
+
+    def test_sampled_index_routes_through_pipeline(self):
+        """`index_from_signatures` canonicalises exactly like the
+        constructor (ordering, ids, maximality)."""
+        rng = random.Random(9)
+        instance = make_random_instance(rng, 2, 2, rows=12, values=3)
+        reference = SignatureIndex(instance, backend="python")
+        found = {
+            cls.mask: (cls.count, cls.representative) for cls in reference
+        }
+        assert_identical(
+            index_from_signatures(instance, found), reference
+        )
+
+    def test_invalid_builder_parameters(self):
+        with pytest.raises(ValueError):
+            IndexBuilder(shard_rows=0)
+        with pytest.raises(ValueError):
+            IndexBuilder(workers=0)
+        with pytest.raises(TypeError):
+            IndexBuilder().build("not a source")
+
+    def test_instance_source_roundtrip(self):
+        rng = random.Random(1)
+        instance = make_random_instance(rng, 2, 2, rows=6, values=3)
+        source = InstanceSource(instance)
+        assert source.instance() is instance
+        assert source.left_count() == len(instance.left)
+        blocks = list(source.iter_left_blocks(4))
+        assert [start for start, _ in blocks] == [0, 4]
+        assert sum(len(rows) for _, rows in blocks) == len(instance.left)
