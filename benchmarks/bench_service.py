@@ -30,7 +30,6 @@ from __future__ import annotations
 import argparse
 import itertools
 import json
-import math
 import platform
 import sys
 import time
@@ -65,20 +64,7 @@ TPCH_SCALE = 1.0
 CLIENT_THREADS = 16
 
 
-def percentile(samples: list[float], p: float) -> float:
-    """The p-th percentile (nearest-rank) of a non-empty sample."""
-    ordered = sorted(samples)
-    rank = max(1, math.ceil(p / 100.0 * len(ordered)))
-    return ordered[rank - 1]
-
-
-def _latency_summary(samples: list[float]) -> dict:
-    return {
-        "count": len(samples),
-        "p50_ms": round(percentile(samples, 50) * 1e3, 3),
-        "p95_ms": round(percentile(samples, 95) * 1e3, 3),
-        "max_ms": round(max(samples) * 1e3, 3),
-    }
+from bench_util import latency_summary
 
 
 def _remote_answerer(oracle):
@@ -181,7 +167,7 @@ def bench_concurrent_serving(sessions: int) -> dict:
         "sessions_per_second": round(sessions / wall, 2),
         "answers_total": len(latencies),
         "answers_per_second": round(len(latencies) / wall, 1),
-        "answer_latency": _latency_summary(latencies),
+        "answer_latency": latency_summary(latencies),
         "index_cache": cache_stats,
         "parity_checked": True,
     }
@@ -224,7 +210,7 @@ def bench_l2s_fig7(config_ids, sessions_per_config: int) -> list[dict]:
                 "classes": len(index),
                 "sessions": sessions_per_config,
                 "interactions_total": interactions,
-                "answer_latency": _latency_summary(latencies),
+                "answer_latency": latency_summary(latencies),
                 "parity_checked": True,
             }
         )

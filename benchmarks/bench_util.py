@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harnesses (latency summaries)."""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["percentile", "latency_summary"]
+
+
+def percentile(samples: list[float], p: float) -> float:
+    """The p-th percentile (nearest-rank) of a non-empty sample."""
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def latency_summary(samples: list[float]) -> dict:
+    """count / p50 / p95 / max of a latency sample, in milliseconds."""
+    return {
+        "count": len(samples),
+        "p50_ms": round(percentile(samples, 50) * 1e3, 3),
+        "p95_ms": round(percentile(samples, 95) * 1e3, 3),
+        "max_ms": round(max(samples) * 1e3, 3),
+    }

@@ -30,7 +30,7 @@ from repro.core.signatures import (
     SignatureIndex,
     _encode_columns,
 )
-from repro.core.strategies.base import Strategy
+from repro.core.strategies.base import StatelessStrategy
 from repro.relational.relation import Instance
 
 _WORD_BITS = 63  # the seed packed Ω into 63-bit words
@@ -290,7 +290,7 @@ def legacy_entropies_for_informative(state, depth: int) -> dict[int, Entropy]:
     raise ValueError("seed fast path only covered depths 1 and 2")
 
 
-class LegacyLookaheadStrategy(Strategy):
+class LegacyLookaheadStrategy(StatelessStrategy):
     """LkS over the seed per-class kernels (same choices, seed speed)."""
 
     def __init__(self, depth: int):

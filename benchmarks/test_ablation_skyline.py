@@ -26,13 +26,13 @@ from repro.core import (
 )
 from repro.core.entropy import Entropy
 from repro.core.fast_lookahead import entropies_for_informative
-from repro.core.strategies.base import Strategy
+from repro.core.strategies.base import StatelessStrategy
 from repro.data import SyntheticConfig, generate_synthetic
 
 CONFIG = SyntheticConfig(3, 3, 40, 60)
 
 
-class SelectionRuleStrategy(Strategy):
+class SelectionRuleStrategy(StatelessStrategy):
     """L1S with a pluggable entropy-selection rule."""
 
     def __init__(self, rule: str):

@@ -48,6 +48,26 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _non_negative_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be a non-negative integer")
+    return value
+
+
+def _non_negative_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be non-negative")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-join",
@@ -156,6 +176,37 @@ def build_parser() -> argparse.ArgumentParser:
             "rows of R per index-build shard (default: one shard per "
             "build worker; with --build-workers 1 that is a single "
             "shard, the pre-pipeline behaviour)"
+        ),
+    )
+    serve.add_argument(
+        "--no-speculate",
+        dest="speculate",
+        action="store_false",
+        help=(
+            "disable speculative next-question precompute (by default "
+            "both answer branches of a pending question are computed "
+            "ahead of time on the build pool during oracle think-time)"
+        ),
+    )
+    serve.add_argument(
+        "--speculation-slots",
+        type=_non_negative_int,
+        default=None,
+        help=(
+            "concurrent speculative branch jobs allowed on the build "
+            "pool; proposals beyond the cap skip speculation instead "
+            "of queueing (default: 2 * build workers)"
+        ),
+    )
+    serve.add_argument(
+        "--speculation-min-think",
+        type=_non_negative_float,
+        default=0.02,
+        help=(
+            "sessions whose observed question->answer gap (EWMA) stays "
+            "below this many seconds stop speculating — their oracle "
+            "answers too fast for precompute to hide anything "
+            "(0 = always speculate; default: 0.02)"
         ),
     )
     return parser
@@ -343,6 +394,9 @@ def manager_from_args(args: argparse.Namespace):
         max_sessions=args.max_sessions,
         ttl_seconds=args.session_ttl if args.session_ttl > 0 else None,
         build_workers=args.build_workers,
+        speculate=args.speculate,
+        speculation_slots=args.speculation_slots,
+        speculation_min_think_seconds=args.speculation_min_think,
     )
 
 

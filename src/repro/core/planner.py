@@ -1,0 +1,585 @@
+"""Incremental cross-step lookahead planner.
+
+:mod:`repro.core.fast_lookahead` computes every step's lookahead from
+scratch: the ``(|N|, |N|)`` needle tensor, the subset/certainty matrices
+``SUB``/``C1P``, and the distinct-needle factorisation ``U`` are all
+rebuilt on each ``propose()``, even though an answer only ever *shrinks*
+the knowledge state — ``T(S+)`` intersects, the negative set appends,
+and the informative set loses rows.  That recomputation is exactly the
+L2S cost the paper reports as dominant (§5.3) and the ROADMAP's open
+cross-step-reuse item.
+
+:class:`IncrementalLookaheadPlanner` owns those structures *across*
+steps and maintains them under :meth:`advance`:
+
+* a **positive** answer with mask ``π`` intersects every needle
+  (``needles &= π`` — the needle of ``(a, q)`` is ``T(S+) ∩ T_a ∩ T_q``)
+  and drops the rows/columns of newly-certain classes; for L2S the
+  distinct-needle table re-uniques over ``|U|`` rows instead of
+  ``|N|²``, and certainty flags — which are monotone — merge by OR with
+  only the still-False entries re-tested;
+* a **negative** answer leaves needles, ``SUB`` and ``U`` untouched —
+  it only adds one mask ``ν``, so re-certification is a *single* masked
+  row test (``C1P |= needles ⊆ ν``; for L2S ``cn_u |= U ⊆ ν`` and
+  ``certain_u |= (U ∩ T_k) ⊆ ν``) plus the same row/column deletions,
+  where the from-scratch path re-tests against *every* accumulated
+  negative each step.
+
+Depth 1 (and the first level of depth ≥ 3) needs no needle
+factorisation, so those planners skip the ``U`` machinery entirely and
+maintain ``C1P`` directly; only the L2S planner carries
+``U``/``inverse`` and the per-distinct-needle tables ``SUB_U`` /
+``certain_u`` that feed its ``(|N|, |U|) × (|U|, |N|)`` contraction.
+
+All updates are row/column deletions plus one rank-one style refresh —
+never a rebuild.  Every quantity is integer-valued (float64 sums stay
+exact far below 2⁵³), so the produced entropies are **bit-for-bit
+identical** to :func:`~repro.core.fast_lookahead.
+entropies_for_informative` (property-tested in
+``tests/core/test_planner.py``).
+
+For depth > 2 the planner still routes through the same lifecycle: the
+maintained ``SUB``/``C1P`` matrices answer "which classes stay
+informative after labeling ``a`` with ``α``" for the outermost level
+without any state simulation, and the recursion below that level runs
+the reference implementation — so ``LkS(depth ≥ 3)`` no longer bypasses
+cross-step state.
+
+Degenerate instances (huge ``|N|²`` or ``|U|·|N|``) put the planner in
+*scratch mode*: the lifecycle stays intact but every step delegates to
+the from-scratch kernels, exactly like the pre-planner behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import bitset
+from .entropy import (
+    INFINITE_ENTROPY,
+    Entropy,
+    _entropy_recursive,
+    _worse_of,
+    best_skyline_entropy,
+)
+from .fast_lookahead import (
+    _best_entropy_rows,
+    _subset_of_any_chunked,
+    entropies_for_informative,
+)
+from .sample import Label
+from .state import InferenceState, StateDelta
+
+__all__ = ["IncrementalLookaheadPlanner"]
+
+#: Ceiling on the ``|N|² · n_words`` cells of the resident needle tensor.
+#: The from-scratch path materialises the same tensor transiently, so the
+#: planner keeping it alive is at most a 1× residency increase; beyond
+#: the cap the planner degrades to per-step scratch computation.
+_NEEDLE_CELL_CAP = 1 << 26
+
+#: Ceiling on the ``|U| · |N|`` cells of the per-distinct-needle tables
+#: maintained for depth 2 (two boolean matrices of this shape).
+_TABLE_CELL_CAP = 1 << 25
+
+#: Chunk bound for uint64 temporaries during (re)builds, matching
+#: :mod:`repro.core.fast_lookahead`.
+_CHUNK_CELLS = 1 << 23
+
+#: Below this many ``|N|² · n_words`` cells the per-step bookkeeping of
+#: the incremental path costs more than simply recomputing — the planner
+#: demotes itself to scratch mode (identical results, the from-scratch
+#: kernels are fast at these sizes).  Depth 1's update is so cheap that
+#: only the fixed numpy call overhead matters, hence the higher floor;
+#: depth 2 keeps winning down to much smaller matrices because scratch
+#: re-sorts the |N|² needle rows and re-scans every accumulated negative
+#: each step.
+_SCRATCH_FLOOR_CELLS = {1: 1 << 14, 2: 1 << 10}
+_DEEP_SCRATCH_FLOOR_CELLS = 1 << 10
+
+
+def _or_reduce_groups(
+    matrix: np.ndarray, remap: np.ndarray, n_groups: int
+) -> np.ndarray:
+    """OR the rows of ``matrix`` that share a ``remap`` value.
+
+    ``remap`` maps each row to its group id in ``0..n_groups-1`` and is
+    surjective (every group has at least one row).  Returns the
+    ``(n_groups, matrix.shape[1])`` boolean OR per group.
+    """
+    if n_groups == 0:
+        return np.zeros((0, matrix.shape[1]), dtype=bool)
+    order = np.argsort(remap, kind="stable")
+    sorted_remap = remap[order]
+    starts = np.nonzero(np.r_[True, sorted_remap[1:] != sorted_remap[:-1]])[0]
+    return np.logical_or.reduceat(matrix[order], starts, axis=0)
+
+
+class IncrementalLookaheadPlanner:
+    """Stateful lookahead engine for one inference session.
+
+    Binds to one :class:`InferenceState` at a specific interaction count;
+    :meth:`in_sync` tells whether a given state is the one the planner
+    mirrors, :meth:`advance` applies one label's delta, and
+    :meth:`entropies` produces the ``entropy^depth`` table for every
+    informative class from the maintained structures.
+    """
+
+    def __init__(
+        self,
+        state: InferenceState,
+        depth: int,
+        scratch_floor_cells: int | None = None,
+    ):
+        if depth < 1:
+            raise ValueError("lookahead depth must be >= 1")
+        self.depth = depth
+        self._floor = (
+            scratch_floor_cells
+            if scratch_floor_cells is not None
+            else _SCRATCH_FLOOR_CELLS.get(depth, _DEEP_SCRATCH_FLOOR_CELLS)
+        )
+        self._state = state
+        self._interactions = state.interaction_count
+        self._built_at = state.interaction_count
+        self._scratch = False
+        self._rebuild()
+
+    # --- lifecycle -----------------------------------------------------------
+
+    def in_sync(self, state: InferenceState) -> bool:
+        """True iff the planner mirrors exactly this state, right now."""
+        return (
+            self._state is state
+            and self._interactions == state.interaction_count
+        )
+
+    def tracks(self, state: InferenceState) -> bool:
+        """True iff the planner mirrors this state as of one label ago —
+        the precondition for :meth:`advance` after a ``record()``."""
+        return (
+            self._state is state
+            and self._interactions == state.interaction_count - 1
+        )
+
+    def advance(self, delta: StateDelta, state: InferenceState) -> bool:
+        """Apply one label's delta; False when a resync is required.
+
+        Must be called once per :meth:`InferenceState.record` on the
+        tracked state (the session does this through
+        :meth:`Strategy.observe`).  A ``False`` return means the caller
+        should discard the planner and rebuild lazily.
+        """
+        if not self.tracks(state):
+            return False
+        if self._scratch:
+            self._interactions = state.interaction_count
+            return True
+        if delta.removed is None:
+            # Only possible when the state's informative set was never
+            # materialised — but building this planner materialised it,
+            # so a delta without removal info cannot belong to the
+            # tracked state; resync.
+            return False
+        new_ids = state.informative_ids_array()
+        # removed ⊆ ids and both are sorted unique — searchsorted beats
+        # np.isin; the array_equal check below still catches a delta
+        # that does not belong to the maintained set.
+        keep = np.ones(self.ids.size, dtype=bool)
+        positions = np.searchsorted(self.ids, delta.removed)
+        keep[positions[positions < self.ids.size]] = False
+        if keep.sum() != new_ids.size or not np.array_equal(
+            self.ids[keep], new_ids
+        ):
+            return False  # informative set diverged from the maintained one
+        if self._below_floor(new_ids.size):
+            # The survivors fit under the scratch floor: don't bother
+            # shrinking the matrices we are about to drop.
+            self._demote_to_scratch()
+            self._interactions = state.interaction_count
+            return True
+        row = state.index.packed_masks[delta.class_id]
+        if delta.label is Label.POSITIVE:
+            self._apply_positive(keep, row, new_ids)
+        else:
+            self._apply_negative(keep, row, new_ids)
+        self._interactions = state.interaction_count
+        return True
+
+    def _below_floor(self, n: int) -> bool:
+        return n * n * self._state.index.n_words < self._floor
+
+    def _demote_to_scratch(self) -> None:
+        self._scratch = True
+        self.t2 = self.needles = self.sub = self.c1p = None
+        self.uniq = self.inverse = self.cn_u = None
+        self.sub_u = self.certain_u = None
+
+    def copy(self, state: InferenceState) -> "IncrementalLookaheadPlanner":
+        """An independent planner bound to ``state`` — a copy of the
+        tracked state at the same interaction count (session forks use
+        this so speculative branches advance without touching the
+        original).
+
+        The copy is O(1): the maintained arrays are *shared*, which is
+        safe because every update in :meth:`advance` is persistent-style
+        — shrink/refresh operations produce new arrays (fancy indexing,
+        out-of-place boolean algebra) and only ever mutate arrays
+        created within the same call.  Keep it that way: an in-place
+        update of a pre-existing array here would corrupt live forks on
+        other threads.
+        """
+        twin = object.__new__(IncrementalLookaheadPlanner)
+        twin.depth = self.depth
+        twin._floor = self._floor
+        twin._state = state
+        twin._interactions = self._interactions
+        twin._built_at = self._built_at
+        twin._scratch = self._scratch
+        if not self._scratch:
+            twin.ids = self.ids
+            twin.masks = self.masks
+            twin.counts = self.counts
+            twin.t2 = self.t2
+            twin.needles = self.needles
+            twin.sub = self.sub
+            twin.c1p = self.c1p
+            twin.uniq = self.uniq
+            twin.inverse = self.inverse
+            twin.cn_u = self.cn_u
+            twin.sub_u = self.sub_u
+            twin.certain_u = self.certain_u
+        return twin
+
+    # --- construction --------------------------------------------------------
+
+    def _rebuild(self) -> None:
+        """Build every maintained structure from the current state."""
+        state = self._state
+        index = state.index
+        self.ids = state.informative_ids_array().copy()
+        n = self.ids.size
+        n_words = index.n_words
+        self.masks = index.packed_masks[self.ids]
+        self.counts = index.count_array[self.ids].astype(np.float64)
+        if n * n * n_words > _NEEDLE_CELL_CAP or self._below_floor(n):
+            self._scratch = True
+            return
+        self.t2 = self.masks & state.t_plus_row[None, :]
+        needles = self.t2[:, None, :] & self.masks[None, :, :]
+        self.needles = needles
+        self.sub = (needles == self.t2[:, None, :]).all(axis=-1)
+        negatives = state.negative_rows
+        self.c1p: np.ndarray | None = None
+        self.uniq: np.ndarray | None = None
+        self.inverse: np.ndarray | None = None
+        self.cn_u: np.ndarray | None = None
+        self.sub_u: np.ndarray | None = None
+        self.certain_u: np.ndarray | None = None
+        if self.depth != 2:
+            # No needle factorisation needed: C1P is maintained directly.
+            if len(negatives):
+                self.c1p = self.sub | _subset_of_any_chunked(
+                    needles.reshape(n * n, n_words), negatives
+                ).reshape(n, n)
+            else:
+                self.c1p = self.sub.copy()
+            return
+        uniq, _, inverse, _ = bitset.unique_rows(
+            needles.reshape(n * n, n_words)
+        )
+        if len(uniq) * n > _TABLE_CELL_CAP:
+            # Degenerate |U|: stay on the from-scratch chunked path per
+            # step and release the resident structures.
+            self._scratch = True
+            self.t2 = self.needles = self.sub = None
+            return
+        self.uniq = uniq
+        self.inverse = inverse.reshape(n, n).astype(np.int64)
+        if len(negatives):
+            self.cn_u = _subset_of_any_chunked(uniq, negatives)
+        else:
+            self.cn_u = np.zeros(len(uniq), dtype=bool)
+        # SUB_U / certain_u are built on the first advance() — after the
+        # informative set has already shrunk — so a session that
+        # collapses quickly never pays for full-size tables; the first
+        # propose uses the transient chunked path instead.
+
+    def _scan_needle_tables(
+        self, negatives: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The chunked per-distinct-needle scan: ``SUB_U[x, k] =
+        U[x] ⊆ T_k`` and ``certain[x, k] = SUB_U[x, k] ∨ ((U[x] ∩ T_k) ⊆
+        some ν)`` — the one kernel behind both the resident tables and
+        the transient first-propose path."""
+        uniq, masks = self.uniq, self.masks
+        n = len(masks)
+        n_unique = len(uniq)
+        sub_u = np.empty((n_unique, n), dtype=bool)
+        certain = np.empty((n_unique, n), dtype=bool)
+        step = max(1, _CHUNK_CELLS // max(1, n * masks.shape[1]))
+        for start in range(0, n_unique, step):
+            stop = min(start + step, n_unique)
+            block = uniq[start:stop]
+            pure = bitset.pairwise_subset(block, masks)
+            sub_u[start:stop] = pure
+            if len(negatives):
+                inter = block[:, None, :] & masks[None, :, :]
+                for negative in negatives:
+                    pure = pure | ((inter & ~negative) == 0).all(axis=-1)
+            certain[start:stop] = pure
+        return sub_u, certain
+
+    def _build_tables(self, negatives: np.ndarray) -> None:
+        """The depth-2 per-distinct-needle tables ``SUB_U``/``certain_u``."""
+        self.sub_u, self.certain_u = self._scan_needle_tables(negatives)
+
+    # --- incremental updates -------------------------------------------------
+
+    def _shrink_common(self, keep: np.ndarray, new_ids: np.ndarray) -> None:
+        """Row/column deletions shared by both answer polarities."""
+        grid = np.ix_(keep, keep)
+        self.ids = new_ids.copy()
+        self.masks = self.masks[keep]
+        self.counts = self.counts[keep]
+        self.t2 = self.t2[keep]
+        self.needles = self.needles[grid]
+        self.sub = self.sub[grid]
+        if self.inverse is not None:
+            self.inverse = self.inverse[grid]
+        if self.c1p is not None:
+            self.c1p = self.c1p[grid]
+        if self.certain_u is not None:
+            self.certain_u = self.certain_u[:, keep]
+        if self.sub_u is not None:
+            self.sub_u = self.sub_u[:, keep]
+
+    def _compact_uniques(self) -> None:
+        """Drop distinct-needle rows no longer referenced by ``inverse``."""
+        used_counts = np.bincount(
+            self.inverse.ravel(), minlength=len(self.uniq)
+        )
+        used = used_counts > 0
+        if used.all():
+            return
+        remap = np.cumsum(used, dtype=np.int64) - 1
+        self.inverse = remap[self.inverse]
+        self.uniq = self.uniq[used]
+        self.cn_u = self.cn_u[used]
+        if self.sub_u is not None:
+            self.sub_u = self.sub_u[used]
+            self.certain_u = self.certain_u[used]
+
+    def _apply_negative(
+        self, keep: np.ndarray, nu: np.ndarray, new_ids: np.ndarray
+    ) -> None:
+        """One negative mask ``ν``: needles/SUB/U untouched, one masked
+        row test re-certifies, rows/columns of certain classes drop."""
+        self._shrink_common(keep, new_ids)
+        if self.uniq is None:
+            self.c1p |= ((self.needles & ~nu) == 0).all(axis=-1)
+            return
+        self._compact_uniques()
+        # Out-of-place: cn_u may still be shared with a fork (see copy()).
+        self.cn_u = self.cn_u | ((self.uniq & ~nu) == 0).all(axis=-1)
+        if self.certain_u is not None and len(self.uniq):
+            n = len(self.masks)
+            step = max(1, _CHUNK_CELLS // max(1, n * self.masks.shape[1]))
+            for start in range(0, len(self.uniq), step):
+                stop = min(start + step, len(self.uniq))
+                inter = (
+                    self.uniq[start:stop, None, :] & self.masks[None, :, :]
+                )
+                self.certain_u[start:stop] |= ((inter & ~nu) == 0).all(
+                    axis=-1
+                )
+
+    def _apply_positive(
+        self, keep: np.ndarray, pi: np.ndarray, new_ids: np.ndarray
+    ) -> None:
+        """One positive mask ``π``: intersect needles, refresh ``SUB``;
+        for L2S additionally re-unique ``U`` over ``|U|`` rows, OR-merge
+        the monotone flags, and re-test only the entries still False."""
+        negatives = self._state.negative_rows
+        self._shrink_common(keep, new_ids)
+        self.t2 = self.t2 & pi
+        self.needles = self.needles & pi
+        sub = (self.needles == self.t2[:, None, :]).all(axis=-1)
+        if self.uniq is None:
+            # Shrunken needles only gain certainty: keep the old True
+            # entries, add the new SUB, re-test just what is still False.
+            c1p = self.c1p | sub
+            if len(negatives) and not c1p.all():
+                flat = c1p.reshape(-1)
+                pending = np.nonzero(~flat)[0]
+                rows = self.needles.reshape(flat.size, -1)[pending]
+                flat[pending] = _subset_of_any_chunked(rows, negatives)
+            self.sub = sub
+            self.c1p = c1p
+            return
+        self.sub = sub
+        self._compact_uniques()
+
+        uniq2, _, remap, _ = bitset.unique_rows(self.uniq & pi)
+        n_groups = len(uniq2)
+        self.inverse = remap[self.inverse]
+        cn2 = np.zeros(n_groups, dtype=bool)
+        cn2[remap[self.cn_u]] = True
+        if len(negatives) and not cn2.all():
+            pending = np.nonzero(~cn2)[0]
+            cn2[pending] = _subset_of_any_chunked(uniq2[pending], negatives)
+        self.uniq = uniq2
+        self.cn_u = cn2
+        if self.sub_u is None:
+            return  # tables not built yet (deferred past the first shrink)
+
+        n = len(self.masks)
+        merged = _or_reduce_groups(self.certain_u, remap, n_groups)
+        sub_u = np.empty((n_groups, n), dtype=bool)
+        step = max(1, _CHUNK_CELLS // max(1, n * self.masks.shape[1]))
+        for start in range(0, n_groups, step):
+            stop = min(start + step, n_groups)
+            sub_u[start:stop] = bitset.pairwise_subset(
+                uniq2[start:stop], self.masks
+            )
+        certain = merged | sub_u
+        if len(negatives) and not certain.all():
+            rows = np.nonzero(~certain.all(axis=1))[0]
+            for start in range(0, len(rows), step):
+                chunk = rows[start : start + step]
+                inter = uniq2[chunk][:, None, :] & self.masks[None, :, :]
+                acc = np.zeros((len(chunk), n), dtype=bool)
+                for negative in negatives:
+                    acc |= ((inter & ~negative) == 0).all(axis=-1)
+                certain[chunk] |= acc
+        self.sub_u = sub_u
+        self.certain_u = certain
+
+    # --- entropy production --------------------------------------------------
+
+    def _c1p(self) -> np.ndarray:
+        """``C1P[a, k]``: classes certain after labeling ``a`` positive."""
+        if self.c1p is not None:
+            return self.c1p
+        return self.sub | self.cn_u[self.inverse]
+
+    def entropies(self) -> dict[int, Entropy]:
+        """``entropy^depth`` for every informative class, from the
+        maintained matrices — bit-for-bit what the from-scratch path in
+        :mod:`repro.core.fast_lookahead` produces."""
+        state = self._state
+        if self._scratch:
+            return entropies_for_informative(state, self.depth)
+        if self.ids.size == 0:
+            return {}
+        if self.depth == 1:
+            return self._entropies_depth1()
+        if self.depth == 2:
+            return self._entropies_depth2()
+        return self._entropies_deep()
+
+    def _entropies_depth1(self) -> dict[int, Entropy]:
+        informative = [int(class_id) for class_id in self.ids]
+        c1p = self._c1p()
+        u_pos = c1p @ self.counts - 1
+        u_neg = self.counts @ self.sub - 1
+        return {
+            class_id: (int(min(p, m)), int(max(p, m)))
+            for class_id, p, m in zip(informative, u_pos, u_neg)
+        }
+
+    def _transient_tables(self) -> tuple[np.ndarray, np.ndarray]:
+        """One-shot ``(SUB_U as float64, per-needle certain weights)``
+        for a propose that runs before the resident tables exist —
+        the same chunked scan, nothing kept."""
+        sub_u, certain = self._scan_needle_tables(
+            self._state.negative_rows
+        )
+        return sub_u.astype(np.float64), certain @ self.counts
+
+    def _entropies_depth2(self) -> dict[int, Entropy]:
+        informative = [int(class_id) for class_id in self.ids]
+        counts, sub, inverse = self.counts, self.sub, self.inverse
+        n = len(informative)
+        n_unique = len(self.uniq)
+        c1p = self._c1p()
+
+        if self.sub_u is None and self._interactions != self._built_at:
+            # First propose *after* a shrink: materialise the resident
+            # tables now, at the reduced size, and maintain them from
+            # here on.  The very first propose (same step the planner
+            # was built on) uses the transient path instead, so sessions
+            # that end — or collapse — early never pay for full tables.
+            self._build_tables(self._state.negative_rows)
+        if self.sub_u is None:
+            sub_u_f, needle_weights = self._transient_tables()
+        else:
+            sub_u_f = self.sub_u.astype(np.float64)
+            needle_weights = self.certain_u @ counts
+        u_pp = needle_weights[inverse] - 2
+
+        base_p = c1p @ counts
+        fresh_weights = np.where(c1p, 0.0, counts[None, :])
+        flat = (np.arange(n)[:, None] * n_unique + inverse).ravel()
+        grouped = np.bincount(
+            flat, weights=fresh_weights.ravel(), minlength=n * n_unique
+        )
+        z = grouped.reshape(n, n_unique) @ sub_u_f
+        u_pn = base_p[:, None] + z - 2
+        u_np = u_pn.T
+        tot_neg = counts @ sub
+        sub_f = sub.astype(np.float64)
+        overlap = (sub_f * counts[:, None]).T @ sub_f
+        u_nn = tot_neg[:, None] + tot_neg[None, :] - overlap - 2
+
+        valid_pos = ~c1p
+        valid_neg = ~sub.T
+        u_pp_i = u_pp.astype(np.int64)
+        u_pn_i = u_pn.astype(np.int64)
+        u_np_i = u_np.astype(np.int64)
+        u_nn_i = u_nn.astype(np.int64)
+        pos_branch = _best_entropy_rows(
+            np.minimum(u_pp_i, u_pn_i),
+            np.maximum(u_pp_i, u_pn_i),
+            valid_pos,
+        )
+        neg_branch = _best_entropy_rows(
+            np.minimum(u_np_i, u_nn_i),
+            np.maximum(u_np_i, u_nn_i),
+            valid_neg,
+        )
+        return {
+            class_id: min(pos, neg)
+            for class_id, pos, neg in zip(
+                informative, pos_branch, neg_branch
+            )
+        }
+
+    def _entropies_deep(self) -> dict[int, Entropy]:
+        """Depth ≥ 3: the outermost branch structure comes from the
+        maintained ``SUB``/``C1P`` (no per-class state simulation); the
+        levels below run the reference recursion."""
+        state = self._state
+        c1p = self._c1p()
+        result: dict[int, Entropy] = {}
+        for position, class_id in enumerate(self.ids):
+            class_id = int(class_id)
+            per_label: list[Entropy] = []
+            for label, still_informative in (
+                (Label.POSITIVE, ~c1p[position]),
+                (Label.NEGATIVE, ~self.sub[:, position]),
+            ):
+                inner = self.ids[still_informative]
+                if inner.size == 0:
+                    per_label.append(INFINITE_ENTROPY)
+                    continue
+                committed = ((class_id, label),)
+                candidates = {
+                    _entropy_recursive(
+                        state, committed, int(other), self.depth - 1
+                    )
+                    for other in inner
+                }
+                per_label.append(best_skyline_entropy(candidates))
+            result[class_id] = _worse_of(per_label[0], per_label[1])
+        return result

@@ -16,6 +16,12 @@ strategy re-makes — and the rng re-draws — exactly the choices of the
 original run; the resumed session continues bit-for-bit where the
 snapshot left off.  This is what lets :mod:`repro.service` sessions
 survive server restarts.
+
+Planner caches (:mod:`repro.core.planner`) are deliberately *not* part
+of the snapshot: they are a pure function of the replayed labels, and
+replay drives the ordinary observe/propose lifecycle, so the resumed
+strategy rebuilds them incrementally along the way — the snapshot format
+is unchanged from version 1.
 """
 
 from __future__ import annotations

@@ -178,7 +178,7 @@ class InferenceSession:
 
     def _propose_question(self) -> Question:
         """Consult the strategy and install the pending question."""
-        class_id = self.strategy.choose(self.state, self.rng)
+        class_id = self.strategy.propose(self.state, self.rng)
         question = Question(
             question_id=self._question_counter,
             class_id=class_id,
@@ -213,12 +213,44 @@ class InferenceSession:
                 f"label {label} for tuple {pending.tuple_pair!r} "
                 f"contradicts the sample collected so far"
             )
-        self.state.record(pending.class_id, label)
+        delta = self.state.record(pending.class_id, label)
+        self.strategy.observe(delta, self.state)
         example = Example(pending.tuple_pair, label)
         self.sample.add(example)
         self._history.append(example)
         self._pending = None
         return example
+
+    def fork(self) -> "InferenceSession":
+        """An independent continuation of this session.
+
+        The fork shares the immutable instance/index but owns copies of
+        everything mutable — inference state, rng, history, pending
+        question, and (via :meth:`Strategy.fork`) any planner caches the
+        strategy maintains — so answering and proposing on the fork
+        leaves the original untouched and both evolve bit-for-bit as the
+        original would have.  The fork carries **no oracle** (drive it
+        via :meth:`propose`/:meth:`answer`): sharing a stateful oracle
+        (e.g. a :class:`~repro.core.oracle.NoisyOracle` and its rng)
+        would let the fork's draws perturb the original's.  The
+        service's speculative next-question precompute answers forks on
+        worker threads while the real user is still thinking.
+        """
+        twin = InferenceSession.__new__(InferenceSession)
+        twin.instance = self.instance
+        twin.oracle = None
+        twin.halt_condition = self.halt_condition
+        twin.index = self.index
+        twin.state = self.state.copy()
+        twin.strategy = self.strategy.fork(self.state, twin.state)
+        twin.sample = Sample(self.sample)
+        twin.seed = self.seed
+        twin.rng = random.Random()
+        twin.rng.setstate(self.rng.getstate())
+        twin._history = list(self._history)
+        twin._pending = self._pending
+        twin._question_counter = self._question_counter
+        return twin
 
     # --- blocking loop (local oracle) ----------------------------------------
 

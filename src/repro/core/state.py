@@ -23,13 +23,36 @@ State invariants maintained throughout a session:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from . import bitset
 from .sample import Label
 from .signatures import SignatureIndex
 
-__all__ = ["InferenceState"]
+__all__ = ["InferenceState", "StateDelta"]
+
+
+@dataclass(frozen=True, slots=True)
+class StateDelta:
+    """What one :meth:`InferenceState.record` call changed.
+
+    Consumers that maintain per-step caches (the planner subsystem in
+    :mod:`repro.core.planner`) apply these deltas instead of re-deriving
+    the knowledge state from scratch: certainty is monotone, so a label
+    only ever *removes* classes from the informative set.
+
+    ``removed`` lists the informative class ids dropped by this label
+    (the labeled class itself plus every newly-certain class), in
+    ascending order.  It is ``None`` when the informative set had not
+    been materialised yet — a consumer must then resynchronise from the
+    state directly.
+    """
+
+    class_id: int
+    label: Label
+    removed: np.ndarray | None
 
 
 class InferenceState:
@@ -127,8 +150,13 @@ class InferenceState:
 
     # --- mutation ------------------------------------------------------------
 
-    def record(self, class_id: int, label: Label) -> None:
-        """Record the user's label for (a representative of) a class."""
+    def record(self, class_id: int, label: Label) -> StateDelta:
+        """Record the user's label for (a representative of) a class.
+
+        Returns a :class:`StateDelta` describing exactly what shrank, so
+        stateful consumers (strategy planners) can update their caches
+        incrementally instead of recomputing from the full state.
+        """
         existing = self._labels.get(class_id)
         if existing is not None and existing is not label:
             raise ValueError(
@@ -148,25 +176,42 @@ class InferenceState:
                     self._index.packed_masks[class_id : class_id + 1],
                 ]
             )
-        self._refresh_informative(class_id)
+        removed = self._refresh_informative(class_id)
+        return StateDelta(class_id=class_id, label=label, removed=removed)
 
-    def _refresh_informative(self, labeled_id: int) -> None:
+    def _refresh_informative(self, labeled_id: int) -> np.ndarray | None:
         """Shrink the informative set after one more label.
 
         Certainty is monotone — a class certain before the new label stays
         certain — so the previous informative array is the only candidate
-        pool; no full rescan of the index is needed.
+        pool; no full rescan of the index is needed.  Returns the dropped
+        ids (ascending), or ``None`` when the informative set was never
+        materialised.
         """
         if self._informative is None:
-            return  # never queried yet; computed lazily on first use
-        candidates = self._informative[self._informative != labeled_id]
+            return None  # never queried yet; computed lazily on first use
+        previous = self._informative
+        candidates = previous[previous != labeled_id]
         if candidates.size:
             packed = self._index.packed_masks[candidates]
             certain = bitset.certain_rows(
                 packed, self._t_plus_row, self._negative_rows
             )
+            newly_certain = candidates[certain]
             candidates = candidates[~certain]
+        else:
+            newly_certain = candidates
         self._informative = candidates
+        if candidates.size < previous.size - newly_certain.size:
+            # labeled_id was informative and got filtered out above
+            removed = np.sort(
+                np.concatenate(
+                    [newly_certain, np.array([labeled_id], dtype=np.int64)]
+                )
+            )
+        else:
+            removed = newly_certain
+        return removed
 
     # --- certainty tests (Lemmas 3.3 / 3.4 on masks) -------------------------
 

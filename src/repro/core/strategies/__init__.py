@@ -8,7 +8,7 @@
 * ``OPT`` — exponential minimax-optimal yardstick (§4.1).
 """
 
-from .base import NoInformativeTupleError, Strategy
+from .base import NoInformativeTupleError, StatelessStrategy, Strategy
 from .bottom_up import BottomUpStrategy
 from .lookahead import (
     LookaheadSkylineStrategy,
@@ -26,6 +26,7 @@ __all__ = [
     "NoInformativeTupleError",
     "OptimalStrategy",
     "RandomStrategy",
+    "StatelessStrategy",
     "Strategy",
     "TopDownStrategy",
     "VersionSpaceStrategy",

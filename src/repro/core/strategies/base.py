@@ -1,10 +1,28 @@
-"""Strategy interface (§4.1).
+"""Strategy interface (§4.1) — the observe/propose lifecycle.
 
 A *strategy* Υ maps the current knowledge (signature classes + sample
 state) to the next tuple to show the user.  Our strategies choose a
 signature *class*; the session shows its representative tuple.  All
 strategies must only ever propose informative classes — that is what
 keeps the incrementally built sample consistent (§4.1).
+
+Strategies are **stateful across a session**: the session calls
+:meth:`Strategy.observe` after every recorded label (passing the
+:class:`~repro.core.state.StateDelta` the state emitted) and
+:meth:`Strategy.propose` for every question.  Lookahead strategies use
+the lifecycle to maintain their planner caches incrementally
+(:mod:`repro.core.planner`); the local strategies are pure functions of
+the state, so they derive from :class:`StatelessStrategy`, whose
+``observe`` is a no-op and whose ``propose`` delegates to the classic
+``choose`` signature — a ``choose``-style strategy keeps its code
+unchanged by inheriting from :class:`StatelessStrategy` instead of
+:class:`Strategy` (which now requires ``propose``).
+
+``propose``/``choose`` must stay *consistent under resync*: calling them
+on a state the strategy never observed (tests and embedders do this)
+must return the same class as a fresh strategy would — stateful
+implementations detect the mismatch and rebuild, which is what makes
+snapshot replay and session forking safe.
 """
 
 from __future__ import annotations
@@ -12,9 +30,9 @@ from __future__ import annotations
 import random
 from abc import ABC, abstractmethod
 
-from ..state import InferenceState
+from ..state import InferenceState, StateDelta
 
-__all__ = ["Strategy", "NoInformativeTupleError"]
+__all__ = ["Strategy", "StatelessStrategy", "NoInformativeTupleError"]
 
 
 class NoInformativeTupleError(RuntimeError):
@@ -27,14 +45,46 @@ class Strategy(ABC):
     #: Short name used in experiment tables ("BU", "TD", "L1S", ...).
     name: str = "?"
 
+    #: Whether the serving layer should precompute this strategy's next
+    #: proposal during oracle think-time.  Worth it when ``propose`` is
+    #: expensive (lookahead, minimax); the trivial local strategies set
+    #: this False — forking a session costs more than their proposal.
+    speculative: bool = True
+
     @abstractmethod
-    def choose(self, state: InferenceState, rng: random.Random) -> int:
+    def propose(self, state: InferenceState, rng: random.Random) -> int:
         """Return the class id of the next tuple to present.
 
         ``rng`` is supplied by the session so runs are reproducible; only
         randomised strategies use it.  Must raise
         :class:`NoInformativeTupleError` when no informative class exists.
         """
+
+    def observe(self, delta: StateDelta, state: InferenceState) -> None:
+        """One label was recorded on ``state``.
+
+        Called by the session after every :meth:`InferenceState.record`.
+        Stateful strategies fold the delta into their caches here; the
+        default is a no-op.
+        """
+
+    def fork(
+        self, state: InferenceState, twin_state: InferenceState
+    ) -> "Strategy":
+        """The strategy for a forked session over ``twin_state`` (a copy
+        of ``state`` at the same interaction count).
+
+        Stateless strategies are shareable and return ``self``; stateful
+        ones return an independent clone so a speculative branch can
+        advance without touching the original.
+        """
+        del state, twin_state
+        return self
+
+    def choose(self, state: InferenceState, rng: random.Random) -> int:
+        """Single-shot form of :meth:`propose` (kept for embedders and
+        tests that drive a bare state without a session)."""
+        return self.propose(state, rng)
 
     def _informative_or_raise(self, state: InferenceState) -> list[int]:
         informative = state.informative_class_ids()
@@ -46,3 +96,19 @@ class Strategy(ABC):
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
+
+
+class StatelessStrategy(Strategy):
+    """Adapter for strategies that are pure functions of the state.
+
+    Subclasses implement the classic :meth:`choose`; ``propose``
+    delegates to it and ``observe`` stays a no-op, so a stateless
+    strategy may be shared between a session and its speculative forks.
+    """
+
+    @abstractmethod
+    def choose(self, state: InferenceState, rng: random.Random) -> int:
+        """Return the class id of the next tuple to present."""
+
+    def propose(self, state: InferenceState, rng: random.Random) -> int:
+        return self.choose(state, rng)

@@ -12,15 +12,16 @@ from __future__ import annotations
 import random
 
 from ..state import InferenceState
-from .base import Strategy
+from .base import StatelessStrategy
 
 __all__ = ["BottomUpStrategy"]
 
 
-class BottomUpStrategy(Strategy):
+class BottomUpStrategy(StatelessStrategy):
     """Minimal-|T(t)| informative tuple first."""
 
     name = "BU"
+    speculative = False  # proposal is O(|informative|): cheaper than a fork
 
     def choose(self, state: InferenceState, rng: random.Random) -> int:
         informative = self._informative_or_raise(state)

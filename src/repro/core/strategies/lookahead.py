@@ -6,21 +6,33 @@ pick the class whose entropy is the skyline element with the largest
 ``min`` component — i.e. the best guaranteed pruning under the user's
 worst answer, with the best optimistic pruning as tie-breaker.
 
-With ``vectorised=True`` (the default) depths 1–2 run on the array-native
-engine of :mod:`repro.core.fast_lookahead` — whole-matrix computations
-over packed masks, any Ω width; ``vectorised=False`` forces the recursive
-reference in :mod:`repro.core.entropy`.  Both produce identical choices
-(property-tested), so the flag only trades speed for simplicity when
-reproducing the paper's absolute timings.
+The strategy is **stateful**: it owns an
+:class:`~repro.core.planner.IncrementalLookaheadPlanner` that keeps the
+lookahead matrices alive across steps and folds each observed label in
+incrementally (the informative set only shrinks), instead of rebuilding
+them from scratch on every ``propose``.  The planner covers *every*
+depth — depth ≤ 2 fully incrementally, deeper lookaheads reusing the
+maintained first-level matrices for their outermost branch — so no
+depth silently bypasses cross-step state.  Proposals are bit-for-bit
+identical to the from-scratch path (property-tested); three knobs force
+the slower paths when reproducing absolute timings:
+
+* ``incremental=False`` — from-scratch vectorised computation per step
+  (:mod:`repro.core.fast_lookahead`), no cross-step reuse;
+* ``vectorised=False`` — the recursive pure-Python reference
+  (:mod:`repro.core.entropy`);
+* the planner itself degrades to the from-scratch path on degenerate
+  instances (see :mod:`repro.core.planner`).
 """
 
 from __future__ import annotations
 
 import random
 
-from ..entropy import Entropy, best_skyline_entropy
+from ..entropy import Entropy, best_skyline_entropy, entropy_k_of_class
 from ..fast_lookahead import entropies_for_informative
-from ..state import InferenceState
+from ..planner import IncrementalLookaheadPlanner
+from ..state import InferenceState, StateDelta
 from .base import Strategy
 
 __all__ = ["LookaheadSkylineStrategy", "one_step_lookahead", "two_step_lookahead"]
@@ -29,29 +41,72 @@ __all__ = ["LookaheadSkylineStrategy", "one_step_lookahead", "two_step_lookahead
 class LookaheadSkylineStrategy(Strategy):
     """k-step lookahead skyline strategy (LkS).
 
-    ``vectorised=False`` forces the straightforward reference
-    implementation (useful to reproduce the paper's absolute timing
-    behaviour; results are identical either way).
+    ``incremental=False`` disables the cross-step planner (every step
+    recomputes from scratch); ``vectorised=False`` additionally forces
+    the straightforward reference implementation.  Results are identical
+    under every combination.
     """
 
-    def __init__(self, depth: int = 1, vectorised: bool = True):
+    def __init__(
+        self,
+        depth: int = 1,
+        vectorised: bool = True,
+        incremental: bool = True,
+    ):
         if depth < 1:
             raise ValueError("lookahead depth must be >= 1")
         self.depth = depth
         self.vectorised = vectorised
+        self.incremental = incremental
         self.name = f"L{depth}S"
+        self._planner: IncrementalLookaheadPlanner | None = None
+
+    # --- lifecycle -----------------------------------------------------------
+
+    def observe(self, delta: StateDelta, state: InferenceState) -> None:
+        """Fold one recorded label into the planner's caches."""
+        planner = self._planner
+        if planner is None:
+            return
+        if not planner.tracks(state) or not planner.advance(delta, state):
+            # The state moved in a way the planner did not witness (a
+            # resync, a different session, a replayed snapshot) — drop
+            # the caches; the next propose rebuilds them.
+            self._planner = None
+
+    def fork(
+        self, state: InferenceState, twin_state: InferenceState
+    ) -> "LookaheadSkylineStrategy":
+        twin = LookaheadSkylineStrategy(
+            depth=self.depth,
+            vectorised=self.vectorised,
+            incremental=self.incremental,
+        )
+        planner = self._planner
+        if planner is not None and planner.in_sync(state):
+            twin._planner = planner.copy(twin_state)
+        return twin
+
+    def _planner_for(self, state: InferenceState) -> IncrementalLookaheadPlanner:
+        planner = self._planner
+        if planner is None or not planner.in_sync(state):
+            planner = IncrementalLookaheadPlanner(state, self.depth)
+            self._planner = planner
+        return planner
+
+    # --- proposal ------------------------------------------------------------
 
     def _entropies(self, state: InferenceState) -> dict[int, Entropy]:
-        if self.vectorised:
+        if not self.vectorised:
+            return {
+                class_id: entropy_k_of_class(state, class_id, self.depth)
+                for class_id in state.informative_class_ids()
+            }
+        if not self.incremental:
             return entropies_for_informative(state, self.depth)
-        from ..entropy import entropy_k_of_class
+        return self._planner_for(state).entropies()
 
-        return {
-            class_id: entropy_k_of_class(state, class_id, self.depth)
-            for class_id in state.informative_class_ids()
-        }
-
-    def choose(self, state: InferenceState, rng: random.Random) -> int:
+    def propose(self, state: InferenceState, rng: random.Random) -> int:
         informative = self._informative_or_raise(state)
         entropies: dict[int, Entropy] = self._entropies(state)
         best = best_skyline_entropy(entropies.values())

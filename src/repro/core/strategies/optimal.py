@@ -29,7 +29,7 @@ from functools import lru_cache
 from ..sample import Label
 from ..signatures import SignatureIndex
 from ..state import InferenceState
-from .base import Strategy
+from .base import StatelessStrategy
 
 __all__ = ["OptimalStrategy"]
 
@@ -51,7 +51,7 @@ def _canonical_negatives(
     )
 
 
-class OptimalStrategy(Strategy):
+class OptimalStrategy(StatelessStrategy):
     """Exponential minimax strategy — only for small instances."""
 
     name = "OPT"

@@ -11,15 +11,16 @@ from __future__ import annotations
 import random
 
 from ..state import InferenceState
-from .base import Strategy
+from .base import StatelessStrategy
 
 __all__ = ["RandomStrategy"]
 
 
-class RandomStrategy(Strategy):
+class RandomStrategy(StatelessStrategy):
     """Uniformly random informative tuple."""
 
     name = "RND"
+    speculative = False  # proposal is O(|informative|): cheaper than a fork
 
     def choose(self, state: InferenceState, rng: random.Random) -> int:
         informative = self._informative_or_raise(state)

@@ -14,16 +14,17 @@ from __future__ import annotations
 import random
 
 from ..state import InferenceState
-from .base import Strategy
+from .base import StatelessStrategy
 from .bottom_up import BottomUpStrategy
 
 __all__ = ["TopDownStrategy"]
 
 
-class TopDownStrategy(Strategy):
+class TopDownStrategy(StatelessStrategy):
     """⊆-maximal signatures first; bottom-up after the first positive."""
 
     name = "TD"
+    speculative = False  # proposal is O(|informative|): cheaper than a fork
 
     def __init__(self) -> None:
         self._bottom_up = BottomUpStrategy()

@@ -31,7 +31,7 @@ import random
 
 from ..lattice import LatticeTooLargeError, non_nullable_masks
 from ..state import InferenceState
-from .base import Strategy
+from .base import StatelessStrategy
 from .lookahead import LookaheadSkylineStrategy
 
 __all__ = ["VersionSpaceStrategy"]
@@ -43,7 +43,7 @@ def _binary_entropy(p: float) -> float:
     return -(p * math.log2(p) + (1.0 - p) * math.log2(1.0 - p))
 
 
-class VersionSpaceStrategy(Strategy):
+class VersionSpaceStrategy(StatelessStrategy):
     """Maximise the Shannon information gain per question."""
 
     name = "IG"
@@ -52,7 +52,10 @@ class VersionSpaceStrategy(Strategy):
         self.max_candidates = max_candidates
         self._candidates: list[int] | None = None
         self._candidates_index = None
-        self._fallback = LookaheadSkylineStrategy(depth=1)
+        # incremental=False: the fallback is consulted statelessly (no
+        # observe lifecycle), so a cross-step planner could never stay
+        # in sync — from-scratch per call is the right mode here.
+        self._fallback = LookaheadSkylineStrategy(depth=1, incremental=False)
 
     def _candidate_masks(self, state: InferenceState) -> list[int] | None:
         """All candidate goal masks (cached per index); None when capped."""

@@ -17,7 +17,7 @@ stdlib client; ``repro-join serve`` starts a server from the CLI.
 from .app import ServiceApp, ServiceServer, run_server, start_server
 from .client import ServiceClient, ServiceClientError
 from .index_cache import BuildStatus, IndexCache, instance_fingerprint
-from .manager import ManagedSession, SessionManager
+from .manager import ManagedSession, SessionManager, Speculation
 from .protocol import (
     BadRequest,
     CapacityExceeded,
@@ -49,6 +49,7 @@ __all__ = [
     "ServiceError",
     "ServiceServer",
     "SessionManager",
+    "Speculation",
     "instance_fingerprint",
     "instance_from_spec",
     "parse_answer_payload",

@@ -181,7 +181,10 @@ class ServiceApp:
 
     async def _question(self, managed) -> tuple[int, dict[str, Any]]:
         async with managed.lock:
-            question = managed.session.propose()
+            # The manager both proposes and starts speculating on the
+            # answer branches, so the next round-trip is a lookup when
+            # the precompute wins the race against the user's think time.
+            question = self.manager.propose_question(managed)
             if question is None:
                 return 200, {
                     "done": True,
@@ -198,7 +201,9 @@ class ServiceApp:
         question_id, label = parse_answer_payload(payload)
         async with managed.lock:
             try:
-                example = managed.session.answer(question_id, label)
+                example = self.manager.record_answer(
+                    managed, question_id, label
+                )
             except QuestionProtocolError as exc:
                 raise Conflict(str(exc)) from exc
             except InconsistentSampleError as exc:

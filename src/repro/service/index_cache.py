@@ -344,6 +344,12 @@ class IndexCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def __contains__(self, key: str) -> bool:
+        """Whether ``key`` is warm — without touching LRU order or the
+        hit/miss counters (a pure peek for callers deciding whether a
+        create is about to trigger a cold build)."""
+        return key in self._entries
+
     def stats(self) -> dict:
         """Counters for the service's stats endpoint and benchmarks."""
         return {

@@ -17,19 +17,42 @@ uses :meth:`~SessionManager.create_async`, which pushes the build through
 the cache's single-flight path onto a ``concurrent.futures`` worker pool
 (``build_workers`` threads, shard fan-out per ``shard_rows``) so a cold
 build never stalls the event loop.
+
+**Speculative next-question precompute.**  Question selection — L2S
+especially — is the expensive half of a round-trip, and it happens while
+the human oracle is *thinking*.  When a question goes out,
+:meth:`~SessionManager.propose_question` forks the session twice and
+answers each fork with one of the two possible labels on the build pool,
+running the next proposal ahead of time; when the real answer arrives,
+:meth:`~SessionManager.record_answer` swaps in the matching fork and the
+follow-up ``GET /question`` is a lookup.  Both branches are precomputed,
+so a *finished* branch always matches; a miss only means the oracle
+answered faster than the branch could compute, in which case the branch
+is aborted and the answer takes the ordinary inline path.  Speculation
+is capacity-capped (``speculation_slots`` concurrent branch jobs;
+excess proposals skip speculation rather than queue), cancellation-safe
+(aborted branches stop at the next checkpoint and their forks are
+discarded; pending jobs are cancelled outright), and **adaptive**: each
+session's question→answer gap is tracked as an EWMA, and a session
+whose oracle answers faster than ``speculation_min_think_seconds`` has
+no think-time to hide work behind, so it stops speculating (a load
+generator hammering the API costs nothing; a human thinking for seconds
+gets every precompute).  ``GET /stats`` reports the hit ratio.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import threading
 import time
 import uuid
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from ..core.index_build import IndexBuilder
+from ..core.sample import Example, Label
 from ..core.signatures import SignatureIndex
 from ..relational.relation import Instance
 
@@ -39,7 +62,7 @@ from ..core.serialize import (
     snapshot_to_dict,
 )
 from ..core.serialize import resume_session as core_resume_session
-from ..core.session import InferenceSession, MaxInteractions
+from ..core.session import InferenceSession, MaxInteractions, Question
 from ..core.strategies import strategy_by_name
 from .index_cache import IndexCache, instance_fingerprint
 from .protocol import (
@@ -50,7 +73,33 @@ from .protocol import (
     instance_from_spec,
 )
 
-__all__ = ["ManagedSession", "SessionManager"]
+__all__ = ["ManagedSession", "SessionManager", "Speculation"]
+
+
+@dataclass(slots=True)
+class _SpeculativeBranch:
+    """One precomputed answer branch: the worker job and its kill switch."""
+
+    future: Future
+    abort: threading.Event
+
+    def cancel(self) -> None:
+        """Stop the branch: drop it from the queue if still pending,
+        otherwise let it notice the abort flag and bail out cheaply."""
+        self.abort.set()
+        self.future.cancel()
+
+
+@dataclass(slots=True)
+class Speculation:
+    """Both precomputed branches for one outstanding question."""
+
+    question_id: int
+    branches: dict[Label, _SpeculativeBranch]
+
+    def cancel(self) -> None:
+        for branch in self.branches.values():
+            branch.cancel()
 
 
 @dataclass(slots=True)
@@ -64,6 +113,14 @@ class ManagedSession:
     created_at: float
     last_used: float
     lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+    speculation: Speculation | None = None
+    #: When the current pending question was first handed out (and its
+    #: id, so idempotent re-fetches don't restart the clock), plus the
+    #: session's smoothed question→answer gap — the observed oracle
+    #: think-time that decides whether speculating is worth a fork.
+    question_sent_at: float | None = None
+    question_sent_id: int | None = None
+    think_ewma: float | None = None
 
     def describe(self) -> dict[str, Any]:
         """The session-info payload (no inference state)."""
@@ -92,6 +149,9 @@ class SessionManager:
         clock: Callable[[], float] = time.monotonic,
         build_workers: int = 1,
         shard_rows: int | None = None,
+        speculate: bool = True,
+        speculation_slots: int | None = None,
+        speculation_min_think_seconds: float = 0.02,
     ):
         if max_sessions < 1:
             raise ValueError("max_sessions must be positive")
@@ -99,6 +159,12 @@ class SessionManager:
             raise ValueError("ttl_seconds must be positive or None")
         if build_workers < 1:
             raise ValueError("build_workers must be positive")
+        if speculation_slots is not None and speculation_slots < 0:
+            raise ValueError("speculation_slots must be non-negative")
+        if speculation_min_think_seconds < 0:
+            raise ValueError(
+                "speculation_min_think_seconds must be non-negative"
+            )
         # `index_cache or ...` would discard an *empty* cache (len 0).
         # A caller-supplied cache keeps whatever builder it was
         # configured with — passing shard_rows alongside it would be
@@ -119,11 +185,33 @@ class SessionManager:
         self.max_sessions = max_sessions
         self.ttl_seconds = ttl_seconds
         self.build_workers = build_workers
+        self.speculate = speculate
+        #: Concurrent speculative branch jobs allowed on the build pool;
+        #: a proposal needing more skips speculation instead of queueing
+        #: behind work it was meant to hide.
+        self.speculation_slots = (
+            speculation_slots
+            if speculation_slots is not None
+            else 2 * build_workers
+        )
+        #: Sessions whose observed question→answer gap (EWMA) falls
+        #: below this stop speculating: there is no think-time to hide
+        #: the precompute behind, so a fork is pure overhead.  0 means
+        #: always speculate.
+        self.speculation_min_think_seconds = speculation_min_think_seconds
         self._clock = clock
         self._sessions: dict[str, ManagedSession] = {}
         self._expired_total = 0
         self._build_executor: ThreadPoolExecutor | None = None
         self._offload_executor: ThreadPoolExecutor | None = None
+        self._spec_lock = threading.Lock()
+        self._spec_inflight = 0
+        self._spec_submitted = 0
+        self._spec_hits = 0
+        self._spec_misses = 0
+        self._spec_skipped = 0
+        self._spec_skipped_think = 0
+        self._spec_branch_errors = 0
 
     def _executor(self) -> ThreadPoolExecutor:
         """The worker pool index builds run on, off the event loop."""
@@ -156,7 +244,9 @@ class SessionManager:
     def _heavy_offload(self, fn, *args):
         """Like :meth:`offload` but on the *build* pool — for O(session)
         compute (snapshot replays) that must not crowd out the small
-        preprocessing pool fast creates depend on."""
+        preprocessing pool fast creates depend on.  Mandatory work:
+        in-flight speculation yields to it like it yields to builds."""
+        self._yield_speculation_to_build()
         return asyncio.get_running_loop().run_in_executor(
             self._executor(), fn, *args
         )
@@ -169,7 +259,11 @@ class SessionManager:
         blocks until it has — the server's loop thread does this before
         closing its event loop, so a build finishing during shutdown
         never fires completion callbacks into a closed loop.
+        Speculative branches are aborted first, so shutdown never waits
+        on a lookahead whose result nobody will read.
         """
+        for managed in self._sessions.values():
+            self._drop_speculation(managed)
         for attr in ("_build_executor", "_offload_executor"):
             executor = getattr(self, attr)
             if executor is not None:
@@ -189,6 +283,7 @@ class SessionManager:
             if managed.last_used < deadline
         ]
         for session_id in expired:
+            self._drop_speculation(self._sessions[session_id])
             del self._sessions[session_id]
         self._expired_total += len(expired)
         return expired
@@ -260,10 +355,11 @@ class SessionManager:
         cache = self.index_cache
         executor = self._executor()
         if instance is None and "builtin" in spec:
+            key = self._builtin_key(spec)
+            if key not in cache:
+                self._yield_speculation_to_build()
             index, hit = await cache.get_or_build_keyed_async(
-                self._builtin_key(spec),
-                lambda: instance_from_spec(spec),
-                executor,
+                key, lambda: instance_from_spec(spec), executor
             )
             return index.instance, index, hit
         if instance is None:
@@ -273,10 +369,20 @@ class SessionManager:
         # Hash on the preprocessing pool (fast, never behind a build);
         # only the build itself competes for the build workers.
         key = await self.offload(instance_fingerprint, instance)
+        if key not in cache:
+            self._yield_speculation_to_build()
         index, hit = await cache.get_or_build_keyed_async(
             key, lambda: instance, executor
         )
         return instance, index, hit
+
+    def _yield_speculation_to_build(self) -> None:
+        """A cold index build is about to be submitted: cancel every
+        in-flight speculation so mandatory, user-visible work never
+        queues behind droppable branch jobs (queued branches are dropped
+        outright; running ones bail at their next abort checkpoint)."""
+        for managed in self._sessions.values():
+            self._drop_speculation(managed)
 
     def _make_session(
         self, spec: CreateSpec, instance: Instance, index: SignatureIndex
@@ -370,6 +476,182 @@ class SessionManager:
         payload["kind"] = "session_snapshot"
         return payload
 
+    # --- question round-trips (with speculative precompute) ------------------
+
+    def propose_question(self, managed: ManagedSession) -> Question | None:
+        """The session's next question, kicking off speculation for it.
+
+        Must run under the session's lock (the app does).  Idempotent
+        like :meth:`InferenceSession.propose`: re-fetching the pending
+        question neither consults the strategy again nor re-submits
+        speculation jobs.
+        """
+        question = managed.session.propose()
+        if question is not None:
+            fresh = managed.question_sent_id != question.question_id
+            if fresh:
+                # newly proposed (not an idempotent re-fetch): the
+                # think-time clock starts now, and the speculation
+                # decision is made exactly once — so a polling client
+                # neither re-runs the skip gates nor skews the counters
+                managed.question_sent_id = question.question_id
+                managed.question_sent_at = self._clock()
+                if self.speculate:
+                    self._speculate(managed, question)
+        return question
+
+    def record_answer(
+        self, managed: ManagedSession, question_id: int, label: Label
+    ) -> Example:
+        """Record the user's label, swapping in a precomputed branch.
+
+        On a speculation hit the matching fork — which already recorded
+        the label *and* proposed the next question — becomes the live
+        session, so the answer and the follow-up question fetch are both
+        lookups.  On a miss (branch still computing) or with speculation
+        off, the label takes the ordinary inline path.  Raises exactly
+        what :meth:`InferenceSession.answer` raises; an answer with a
+        stale question id leaves the speculation intact for the retry,
+        while an answer the sample rejects (only possible when a custom
+        strategy proposed an already-certain class) has spent the
+        question's speculation and retries inline.
+        """
+        self._observe_think_time(managed, question_id)
+        spec = managed.speculation
+        if spec is None or spec.question_id != question_id:
+            # No speculation for this id.  A mismatched id is rejected by
+            # the session below without touching the live speculation.
+            return managed.session.answer(question_id, label)
+        managed.speculation = None
+        for branch_label, branch in spec.branches.items():
+            if branch_label is not label:
+                branch.cancel()
+        branch = spec.branches.get(label)
+        outcome = None
+        if (
+            branch is not None
+            and branch.future.done()
+            and not branch.future.cancelled()
+        ):
+            try:
+                outcome = branch.future.result()
+            except Exception:  # noqa: BLE001 - fall back to the inline path
+                outcome = None
+                # Counted separately from misses: erroring branches mean
+                # a fork/planner bug, not an oracle winning the race.
+                with self._spec_lock:
+                    self._spec_branch_errors += 1
+        if outcome is not None:
+            example, twin = outcome
+            managed.session = twin
+            with self._spec_lock:
+                self._spec_hits += 1
+            return example
+        if branch is not None:
+            branch.cancel()
+        with self._spec_lock:
+            self._spec_misses += 1
+        return managed.session.answer(question_id, label)
+
+    def _observe_think_time(
+        self, managed: ManagedSession, question_id: int
+    ) -> None:
+        """Fold the question→answer gap into the session's EWMA.
+
+        Each question is observed at most once — the clock is consumed
+        here, so a duplicate/retried answer POST cannot fold the same
+        question's (by then much larger) gap in a second time.
+        """
+        if (
+            managed.question_sent_at is None
+            or managed.question_sent_id != question_id
+        ):
+            return
+        gap = self._clock() - managed.question_sent_at
+        managed.question_sent_at = None
+        if managed.think_ewma is None:
+            managed.think_ewma = gap
+        else:
+            managed.think_ewma = 0.5 * managed.think_ewma + 0.5 * gap
+
+    def _speculate(
+        self, managed: ManagedSession, question: Question
+    ) -> None:
+        """Precompute both answer branches for the pending question."""
+        if not managed.session.strategy.speculative:
+            return  # proposal is cheaper than a fork — nothing to hide
+        if (
+            managed.think_ewma is not None
+            and managed.think_ewma < self.speculation_min_think_seconds
+        ):
+            # The oracle answers faster than a branch could compute —
+            # a zero-think-time client (load generator, script) gains
+            # nothing and a fork is pure overhead.  The first question
+            # always speculates (optimistic start, no gap observed yet).
+            with self._spec_lock:
+                self._spec_skipped_think += 1
+            return
+        spec = managed.speculation
+        if spec is not None and spec.question_id == question.question_id:
+            return  # already in flight for this very question
+        if self.index_cache.pending_builds():
+            # A cold index build — mandatory, user-visible work — is on
+            # (or queued for) the build pool; droppable speculation must
+            # not delay it (priority inversion).
+            with self._spec_lock:
+                self._spec_skipped += 1
+            return
+        self._drop_speculation(managed)
+        with self._spec_lock:
+            if self._spec_inflight + 2 > self.speculation_slots:
+                self._spec_skipped += 1
+                return
+            self._spec_inflight += 2
+            self._spec_submitted += 1
+        executor = self._executor()
+        branches: dict[Label, _SpeculativeBranch] = {}
+        for branch_label in (Label.POSITIVE, Label.NEGATIVE):
+            twin = managed.session.fork()
+            abort = threading.Event()
+            future = executor.submit(
+                self._speculate_branch,
+                twin,
+                question.question_id,
+                branch_label,
+                abort,
+            )
+            future.add_done_callback(self._branch_finished)
+            branches[branch_label] = _SpeculativeBranch(future, abort)
+        managed.speculation = Speculation(question.question_id, branches)
+
+    def _branch_finished(self, _future: Future) -> None:
+        with self._spec_lock:
+            self._spec_inflight -= 1
+
+    @staticmethod
+    def _speculate_branch(
+        twin: InferenceSession,
+        question_id: int,
+        label: Label,
+        abort: threading.Event,
+    ) -> tuple[Example, InferenceSession] | None:
+        """Answer the fork with one hypothetical label and propose the
+        follow-up question; abort checkpoints keep a cancelled branch
+        from burning a full lookahead step."""
+        if abort.is_set():
+            return None
+        example = twin.answer(question_id, label)
+        if abort.is_set():
+            return None
+        twin.propose()
+        return example, twin
+
+    @staticmethod
+    def _drop_speculation(managed: ManagedSession) -> None:
+        if managed.speculation is not None:
+            managed.speculation.cancel()
+            managed.speculation = None
+
     # --- lookup --------------------------------------------------------------
 
     def get(self, session_id: str) -> ManagedSession:
@@ -383,8 +665,10 @@ class SessionManager:
 
     def delete(self, session_id: str) -> None:
         """Drop a session; unknown ids raise :class:`NotFound`."""
-        if self._sessions.pop(session_id, None) is None:
+        managed = self._sessions.pop(session_id, None)
+        if managed is None:
             raise NotFound(f"no session {session_id!r}")
+        self._drop_speculation(managed)
 
     def list_sessions(self) -> list[ManagedSession]:
         """All live sessions, oldest first."""
@@ -403,11 +687,27 @@ class SessionManager:
     def stats(self) -> dict[str, Any]:
         """Server-level counters for the stats endpoint."""
         self.sweep()
+        with self._spec_lock:
+            hits, misses = self._spec_hits, self._spec_misses
+            speculation = {
+                "enabled": self.speculate,
+                "slots": self.speculation_slots,
+                "min_think_seconds": self.speculation_min_think_seconds,
+                "in_flight": self._spec_inflight,
+                "submitted": self._spec_submitted,
+                "hits": hits,
+                "misses": misses,
+                "skipped_capacity": self._spec_skipped,
+                "skipped_think": self._spec_skipped_think,
+                "branch_errors": self._spec_branch_errors,
+                "hit_ratio": round(hits / max(1, hits + misses), 4),
+            }
         return {
             "sessions": len(self._sessions),
             "max_sessions": self.max_sessions,
             "ttl_seconds": self.ttl_seconds,
             "expired_total": self._expired_total,
             "build_workers": self.build_workers,
+            "speculation": speculation,
             "index_cache": self.index_cache.stats(),
         }

@@ -1,0 +1,204 @@
+"""The incremental planner must match the from-scratch path bit-for-bit.
+
+The planner maintains the lookahead matrices across steps (the tentpole
+of the cross-step-reuse refactor); every test here pins its output to
+:func:`repro.core.fast_lookahead.entropies_for_informative` — itself
+property-tested against the recursive reference — after *every* label of
+full sessions, over both answer polarities, resyncs, forks, and
+multi-word Ω.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Label, SignatureIndex
+from repro.core.fast_lookahead import entropies_for_informative
+from repro.core.planner import IncrementalLookaheadPlanner
+from repro.core.state import InferenceState, StateDelta
+
+from ..conftest import make_random_instance
+
+
+def _random_index(seed: int) -> SignatureIndex:
+    rng = random.Random(seed)
+    instance = make_random_instance(
+        rng,
+        left_arity=rng.randrange(1, 4),
+        right_arity=rng.randrange(1, 4),
+        rows=rng.randrange(2, 10),
+        values=rng.randrange(2, 5),
+    )
+    return SignatureIndex(instance, backend="python")
+
+
+def _drive_and_check(index: SignatureIndex, depth: int, seed: int) -> int:
+    """Run a full random session, asserting planner == scratch at every
+    step; returns the number of labels recorded.
+
+    ``scratch_floor_cells=0`` pins the planner to the incremental path:
+    test instances are small enough that the production floor would
+    demote them to (trivially identical) scratch mode, which is exactly
+    the machinery these tests must NOT skip.
+    """
+    state = InferenceState(index)
+    state.informative_ids_array()
+    planner = IncrementalLookaheadPlanner(state, depth, scratch_floor_cells=0)
+    rng = random.Random(seed)
+    steps = 0
+    while state.has_informative():
+        assert planner.in_sync(state)
+        assert planner.entropies() == entropies_for_informative(
+            state, depth
+        )
+        class_id = rng.choice(state.informative_class_ids())
+        label = rng.choice([Label.POSITIVE, Label.NEGATIVE])
+        delta = state.record(class_id, label)
+        assert planner.advance(delta, state)
+        steps += 1
+    assert planner.entropies() == {}
+    return steps
+
+
+class TestParity:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 100_000), st.sampled_from([1, 2]))
+    def test_full_session_matches_scratch(self, seed, depth):
+        _drive_and_check(_random_index(seed), depth, seed * 31 + depth)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_depth3_matches_scratch(self, seed):
+        _drive_and_check(_random_index(seed), 3, seed * 31 + 3)
+
+    @pytest.mark.parametrize("left,right", [(7, 9), (8, 8), (5, 13)])
+    @pytest.mark.parametrize("depth", [1, 2])
+    def test_multi_word_omega(self, left, right, depth):
+        """Ω ∈ {63, 64, 65}: packed rows cross the one-word boundary."""
+        rng = random.Random(left * right)
+        instance = make_random_instance(
+            rng, left_arity=left, right_arity=right, rows=4, values=3
+        )
+        assert len(instance.omega) == left * right
+        index = SignatureIndex(instance, backend="python")
+        _drive_and_check(index, depth, seed=left * right + depth)
+
+
+class TestLifecycle:
+    def test_advance_rejects_untracked_state(self):
+        index = _random_index(3)
+        state = InferenceState(index)
+        planner = IncrementalLookaheadPlanner(state, 2, scratch_floor_cells=0)
+        other = InferenceState(index)
+        informative = other.informative_class_ids()
+        delta = other.record(informative[0], Label.NEGATIVE)
+        assert not planner.advance(delta, other)
+
+    def test_advance_rejects_missed_labels(self):
+        """Two records with a single advance must force a resync."""
+        index = _random_index(5)
+        state = InferenceState(index)
+        planner = IncrementalLookaheadPlanner(state, 1, scratch_floor_cells=0)
+        state.record(state.informative_class_ids()[0], Label.NEGATIVE)
+        if not state.has_informative():
+            return
+        delta = state.record(
+            state.informative_class_ids()[0], Label.NEGATIVE
+        )
+        assert not planner.advance(delta, state)  # planner is 2 behind
+
+    def test_copy_evolves_independently(self):
+        index = _random_index(11)
+        state = InferenceState(index)
+        state.informative_ids_array()
+        planner = IncrementalLookaheadPlanner(state, 2, scratch_floor_cells=0)
+        twin_state = state.copy()
+        twin = planner.copy(twin_state)
+        # advance only the twin; the original stays in sync and correct
+        class_id = twin_state.informative_class_ids()[0]
+        delta = twin_state.record(class_id, Label.NEGATIVE)
+        assert twin.advance(delta, twin_state)
+        assert twin.entropies() == entropies_for_informative(twin_state, 2)
+        assert planner.in_sync(state)
+        assert planner.entropies() == entropies_for_informative(state, 2)
+
+    def test_delta_without_removed_forces_resync(self):
+        """``removed=None`` means the informative set was never
+        materialised — impossible for the tracked state (building the
+        planner materialises it), so such a delta signals a resync."""
+        index = _random_index(17)
+        state = InferenceState(index)
+        state.informative_ids_array()
+        planner = IncrementalLookaheadPlanner(state, 2, scratch_floor_cells=0)
+        class_id = state.informative_class_ids()[0]
+        real = state.record(class_id, Label.NEGATIVE)
+        blind = StateDelta(
+            class_id=real.class_id, label=real.label, removed=None
+        )
+        assert not planner.advance(blind, state)
+        # a rebuilt planner recovers the same entropies regardless
+        rebuilt = IncrementalLookaheadPlanner(
+            state, 2, scratch_floor_cells=0
+        )
+        assert rebuilt.entropies() == entropies_for_informative(state, 2)
+
+
+class TestScratchDemotion:
+    def test_small_instances_demote_but_stay_correct(self):
+        """With the production floor, tiny matrices run in scratch mode
+        — same results, no resident structures."""
+        index = _random_index(7)
+        state = InferenceState(index)
+        planner = IncrementalLookaheadPlanner(state, 2)  # default floor
+        assert planner._scratch  # test instances sit below the floor
+        assert planner.entropies() == entropies_for_informative(state, 2)
+        class_id = state.informative_class_ids()[0]
+        delta = state.record(class_id, Label.NEGATIVE)
+        assert planner.advance(delta, state)
+        assert planner.in_sync(state)
+        assert planner.entropies() == entropies_for_informative(state, 2)
+
+    def test_demotion_mid_session(self):
+        """A planner above the floor demotes once the informative set
+        shrinks below it, and keeps producing identical entropies."""
+        index = _random_index(11)
+        n = len(state_ids := InferenceState(index).informative_class_ids())
+        state = InferenceState(index)
+        floor = n * n * index.n_words  # demote after the first shrink
+        planner = IncrementalLookaheadPlanner(
+            state, 1, scratch_floor_cells=floor - 1
+        )
+        assert not planner._scratch
+        rng = random.Random(0)
+        while state.has_informative():
+            assert planner.entropies() == entropies_for_informative(
+                state, 1
+            )
+            delta = state.record(
+                rng.choice(state.informative_class_ids()), Label.NEGATIVE
+            )
+            assert planner.advance(delta, state)
+        assert planner._scratch
+
+
+class TestStateDelta:
+    def test_removed_lists_labeled_and_newly_certain(self):
+        index = _random_index(23)
+        state = InferenceState(index)
+        before = set(state.informative_class_ids())
+        class_id = state.informative_class_ids()[0]
+        delta = state.record(class_id, Label.POSITIVE)
+        after = set(state.informative_class_ids())
+        assert delta.class_id == class_id
+        assert delta.label is Label.POSITIVE
+        assert set(int(x) for x in delta.removed) == before - after
+
+    def test_removed_is_none_before_materialisation(self):
+        index = _random_index(23)
+        state = InferenceState(index)
+        delta = state.record(0, Label.NEGATIVE)
+        assert delta.removed is None

@@ -237,12 +237,12 @@ class TestInconsistentOracle:
         """Lines 6–7 of Algorithm 1 protect against strategies that ask
         about certain tuples: a contradicting answer is rejected."""
         from repro.core import CallbackOracle
-        from repro.core.strategies.base import Strategy
+        from repro.core.strategies.base import StatelessStrategy
 
         e = example21
         index_holder = {}
 
-        class AskCertainStrategy(Strategy):
+        class AskCertainStrategy(StatelessStrategy):
             """First asks (t1,u3); then deliberately proposes a tuple the
             sample has already pinned (certain-negative)."""
 

@@ -463,9 +463,38 @@ class TestCliPlumbing:
             builder = manager.index_cache.builder
             assert builder.shard_rows is None
             assert builder.workers == 1
+            # speculation defaults: on, 2 slots per build worker
+            assert manager.speculate is True
+            assert manager.speculation_slots == 2
+            assert manager.speculation_min_think_seconds == 0.02
+        finally:
+            manager.close()
+
+    def test_serve_speculation_flags(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--no-speculate",
+                "--speculation-slots",
+                "7",
+                "--speculation-min-think",
+                "0.5",
+            ]
+        )
+        manager = manager_from_args(args)
+        try:
+            assert manager.speculate is False
+            assert manager.speculation_slots == 7
+            assert manager.speculation_min_think_seconds == 0.5
         finally:
             manager.close()
 
     def test_manager_validates_build_workers(self):
         with pytest.raises(ValueError):
             SessionManager(build_workers=0)
+
+    def test_manager_validates_speculation_knobs(self):
+        with pytest.raises(ValueError):
+            SessionManager(speculation_slots=-1)
+        with pytest.raises(ValueError):
+            SessionManager(speculation_min_think_seconds=-0.1)
