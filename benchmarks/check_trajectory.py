@@ -1,0 +1,241 @@
+"""CI gate: compare a bench smoke report against its committed baseline.
+
+Every benchmark harness emits a JSON report; the full-run reports are
+committed at the repo root (``BENCH_core.json``, ``BENCH_build.json``,
+``BENCH_plan.json``, ``BENCH_service.json``, ``BENCH_store.json``) and
+define the performance trajectory the project must not fall off.  CI
+runs each harness in ``--smoke`` mode and this script checks the smoke
+report against the matching baseline with **per-suite tolerances** —
+smoke instances are tiny and shared runners are noisy, so each suite
+gates only on what is stable at smoke scale (bit-for-bit parity flags,
+hard ratios, order-of-magnitude latencies) and reads its targets from
+the committed baseline where the baseline defines them.
+
+Usage (one suite per CI matrix job)::
+
+    python benchmarks/check_trajectory.py --suite core \
+        --report BENCH_core_smoke.json --baseline BENCH_core.json
+
+Exit status 0 when every gate holds, 1 otherwise; every gate is printed
+either way.  The module is import-safe and unit-tested
+(``tests/test_check_trajectory.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["Gate", "SUITES", "run_suite", "main"]
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One named pass/fail check with a human-readable detail line."""
+
+    name: str
+    ok: bool
+    detail: str
+
+
+def _gate(name: str, ok: bool, detail: str) -> Gate:
+    return Gate(name=name, ok=bool(ok), detail=detail)
+
+
+# --- per-suite checks --------------------------------------------------------
+
+#: Smoke cells run on tiny instances where fixed overheads dominate, so
+#: the absolute floor is far below the committed full-run speedups; it
+#: trips only when the array engine falls clearly behind the seed.
+CORE_SMOKE_SPEEDUP_FLOOR = 0.5
+
+#: The store's journal-overhead gate is 15% on the committed full run
+#: (64 sessions); the 16-session smoke sees fewer samples per
+#: percentile, so CI tolerates more noise before failing.
+STORE_SMOKE_OVERHEAD_PCT = 25.0
+
+#: Rehydration latency may drift with runner speed; an order-of-
+#: magnitude regression against the committed baseline is a real one.
+STORE_REHYDRATE_RELATIVE_MAX = 10.0
+
+
+def check_core(report: dict, baseline: dict) -> list[Gate]:
+    """Every smoke cell must stay above the absolute speedup floor."""
+    cells = report.get("benchmarks", [])
+    gates = [
+        _gate(
+            "has_cells",
+            bool(cells),
+            f"{len(cells)} benchmark cells in the smoke report",
+        )
+    ]
+    for cell in cells:
+        speedup = cell.get("speedup", 0.0)
+        gates.append(
+            _gate(
+                f"speedup:{cell.get('name')}:{cell.get('workload')}",
+                speedup >= CORE_SMOKE_SPEEDUP_FLOOR,
+                f"{speedup}x vs seed (floor "
+                f"{CORE_SMOKE_SPEEDUP_FLOOR}x)",
+            )
+        )
+    return gates
+
+
+def check_build(report: dict, baseline: dict) -> list[Gate]:
+    """Streaming peak memory must stay bounded below the monolithic
+    path; the target ratio comes from the committed baseline."""
+    acceptance = report.get("acceptance", {})
+    target = (
+        baseline.get("acceptance", {})
+        .get("targets", {})
+        .get("streaming_peak_ratio_max", 0.75)
+    )
+    ratio = acceptance.get("streaming_peak_ratio")
+    return [
+        _gate(
+            "streaming_peak_ratio",
+            ratio is not None and ratio < target,
+            f"streaming/monolithic peak {ratio} (target < {target})",
+        )
+    ]
+
+
+def check_plan(report: dict, baseline: dict) -> list[Gate]:
+    """Incremental full-session L2S must stay within tolerance of the
+    from-scratch path on the largest Fig. 7 configuration (the numbers
+    are re-derived here — the gate does not trust the report's own
+    pass/fail bool)."""
+    acceptance = report.get("acceptance", {})
+    incremental = acceptance.get("l2s_incremental_ms")
+    scratch = acceptance.get("l2s_from_scratch_ms")
+    tolerance = acceptance.get(
+        "l2s_gate_tolerance",
+        baseline.get("acceptance", {}).get("l2s_gate_tolerance", 1.10),
+    )
+    ok = (
+        incremental is not None
+        and scratch is not None
+        and incremental <= scratch * tolerance
+    )
+    return [
+        _gate(
+            "l2s_incremental_within_tolerance",
+            ok,
+            f"incremental {incremental}ms vs from-scratch {scratch}ms "
+            f"(tolerance {tolerance}x)",
+        )
+    ]
+
+
+def check_service(report: dict, baseline: dict) -> list[Gate]:
+    """Concurrent sessions on one workload must share one cached index."""
+    acceptance = report.get("acceptance", {})
+    target = acceptance.get(
+        "index_cache_hit_ratio_target",
+        baseline.get("acceptance", {}).get(
+            "index_cache_hit_ratio_target", 0.9
+        ),
+    )
+    ratio = acceptance.get("index_cache_hit_ratio")
+    return [
+        _gate(
+            "index_cache_hit_ratio",
+            ratio is not None and ratio > target,
+            f"hit ratio {ratio} (target > {target})",
+        )
+    ]
+
+
+def check_store(report: dict, baseline: dict) -> list[Gate]:
+    """Journaling must stay cheap, recovery must stay bit-for-bit, and
+    rehydration must stay the same order of magnitude as the baseline."""
+    acceptance = report.get("acceptance", {})
+    overhead = acceptance.get("journal_overhead_p95_pct")
+    gates = [
+        _gate(
+            "journal_overhead_p95",
+            overhead is not None
+            and overhead < STORE_SMOKE_OVERHEAD_PCT,
+            f"answer-p95 overhead {overhead}% (smoke tolerance < "
+            f"{STORE_SMOKE_OVERHEAD_PCT}%; committed full-run gate < "
+            f"{acceptance.get('journal_overhead_max_pct', 15.0)}%)",
+        ),
+        _gate(
+            "crash_recovery_identical",
+            acceptance.get("crash_recovery_identical", False),
+            "kill -9 recovery replayed the identical question sequence",
+        ),
+    ]
+    rehydrate = acceptance.get("rehydrate_p95_ms")
+    baseline_rehydrate = baseline.get("acceptance", {}).get(
+        "rehydrate_p95_ms"
+    )
+    if baseline_rehydrate:
+        ceiling = baseline_rehydrate * STORE_REHYDRATE_RELATIVE_MAX
+        gates.append(
+            _gate(
+                "rehydrate_p95_vs_baseline",
+                rehydrate is not None and rehydrate <= ceiling,
+                f"rehydrate p95 {rehydrate}ms (baseline "
+                f"{baseline_rehydrate}ms, ceiling {ceiling:.1f}ms)",
+            )
+        )
+    return gates
+
+
+SUITES = {
+    "core": check_core,
+    "build": check_build,
+    "plan": check_plan,
+    "service": check_service,
+    "store": check_store,
+}
+
+
+def run_suite(suite: str, report: dict, baseline: dict) -> list[Gate]:
+    """All gates of one suite; unknown suite names raise ``KeyError``."""
+    return SUITES[suite](report, baseline)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--suite", required=True, choices=sorted(SUITES)
+    )
+    parser.add_argument(
+        "--report",
+        required=True,
+        type=Path,
+        help="the --smoke JSON report to gate",
+    )
+    parser.add_argument(
+        "--baseline",
+        required=True,
+        type=Path,
+        help="the committed full-run baseline (BENCH_<suite>.json)",
+    )
+    args = parser.parse_args(argv)
+    report = json.loads(args.report.read_text())
+    baseline = json.loads(args.baseline.read_text())
+    gates = run_suite(args.suite, report, baseline)
+    failed = [gate for gate in gates if not gate.ok]
+    for gate in gates:
+        print(
+            f"[{'OK' if gate.ok else 'FAIL'}] {args.suite}/{gate.name}: "
+            f"{gate.detail}"
+        )
+    if failed:
+        print(
+            f"{len(failed)}/{len(gates)} trajectory gates failed for "
+            f"suite {args.suite!r}"
+        )
+        return 1
+    print(f"all {len(gates)} trajectory gates hold for {args.suite!r}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

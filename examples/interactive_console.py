@@ -50,7 +50,7 @@ def ask_human(instance: Instance):
             f"{attr.name}={value}"
             for attr, value in zip(instance.right.schema, p_row)
         )
-        print(f"\nShould these be joined?")
+        print("\nShould these be joined?")
         print(f"  Product({left})")
         print(f"  Category({right})")
         while True:

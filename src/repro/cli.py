@@ -209,6 +209,29 @@ def build_parser() -> argparse.ArgumentParser:
             "(0 = always speculate; default: 0.02)"
         ),
     )
+    serve.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        help=(
+            "SQLite file for durable sessions (WAL mode): answers are "
+            "journaled off the event loop, idle/capacity eviction "
+            "demotes sessions to disk instead of deleting them, and "
+            "any session — including one orphaned by a crash — "
+            "rehydrates on its next touch (default: no store; "
+            "eviction deletes)"
+        ),
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=_positive_int,
+        default=16,
+        help=(
+            "answers between full snapshot checkpoints in the store; "
+            "between checkpoints each answer appends one journal row "
+            "(default: 16)"
+        ),
+    )
     return parser
 
 
@@ -378,7 +401,7 @@ def manager_from_args(args: argparse.Namespace):
     """Wire a :class:`~repro.service.manager.SessionManager` from the
     ``serve`` flags (kept separate so tests can check the plumbing)."""
     from .core import IndexBuilder
-    from .service import IndexCache, SessionManager
+    from .service import IndexCache, SessionManager, SqliteSessionStore
 
     # The cache (and its builder, which carries --shard-rows) is built
     # here because --index-cache-size is a cache knob; the manager only
@@ -397,6 +420,12 @@ def manager_from_args(args: argparse.Namespace):
         speculate=args.speculate,
         speculation_slots=args.speculation_slots,
         speculation_min_think_seconds=args.speculation_min_think,
+        store=(
+            SqliteSessionStore(str(args.store))
+            if args.store is not None
+            else None
+        ),
+        checkpoint_every=args.checkpoint_every,
     )
 
 
@@ -410,6 +439,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(run_server(ServiceApp(manager), args.host, args.port))
     except KeyboardInterrupt:
         print("\nshutting down")
+    finally:
+        # The CLI created the manager (and through it the store), so it
+        # releases both: drain the pools, flush pending journal ops,
+        # then close the SQLite connection.
+        manager.close(wait=True)
+        if manager.store is not None:
+            manager.store.close()
     return 0
 
 

@@ -58,6 +58,7 @@ __all__ = [
     "instance_to_dict",
     "instance_from_dict",
     "snapshot_session",
+    "snapshot_payload",
     "snapshot_to_dict",
     "snapshot_from_dict",
     "resume_session",
@@ -276,6 +277,21 @@ def snapshot_to_dict(snapshot: SessionSnapshot) -> dict[str, Any]:
             [class_id, str(label)] for class_id, label in snapshot.labeled
         ],
     }
+
+
+def snapshot_payload(
+    session: InferenceSession,
+    instance_ref: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """The complete ``session_snapshot`` wire payload of a live session
+    — :func:`snapshot_session` + :func:`snapshot_to_dict` with the
+    ``kind`` tag attached.  This is the exact shape the service's
+    snapshot endpoint returns and the session store checkpoints."""
+    payload = snapshot_to_dict(
+        snapshot_session(session, instance_ref=instance_ref)
+    )
+    payload["kind"] = "session_snapshot"
+    return payload
 
 
 def snapshot_from_dict(payload: dict[str, Any]) -> SessionSnapshot:

@@ -12,6 +12,12 @@ immutable :class:`~repro.core.signatures.SignatureIndex` across all
 sessions on the same data, and snapshot/resume so sessions survive
 restarts.  :class:`~repro.service.client.ServiceClient` is the matching
 stdlib client; ``repro-join serve`` starts a server from the CLI.
+
+Sessions become *durable* when the manager is given a
+:class:`~repro.service.store.SessionStore` (``repro-join serve --store
+sessions.db``): answers journal to SQLite in WAL mode, eviction demotes
+to disk instead of deleting, and any session — including one orphaned
+by a crash — rehydrates transparently on its next touch.
 """
 
 from .app import ServiceApp, ServiceServer, run_server, start_server
@@ -32,6 +38,14 @@ from .protocol import (
     predicate_payload,
     progress_payload,
     question_payload,
+    sessions_payload,
+)
+from .store import (
+    MemorySessionStore,
+    SessionStore,
+    SqliteSessionStore,
+    StoreError,
+    StoredSession,
 )
 
 __all__ = [
@@ -42,6 +56,7 @@ __all__ = [
     "CreateSpec",
     "IndexCache",
     "ManagedSession",
+    "MemorySessionStore",
     "NotFound",
     "ServiceApp",
     "ServiceClient",
@@ -49,7 +64,11 @@ __all__ = [
     "ServiceError",
     "ServiceServer",
     "SessionManager",
+    "SessionStore",
     "Speculation",
+    "SqliteSessionStore",
+    "StoreError",
+    "StoredSession",
     "instance_fingerprint",
     "instance_from_spec",
     "parse_answer_payload",
@@ -59,5 +78,6 @@ __all__ = [
     "progress_payload",
     "question_payload",
     "run_server",
+    "sessions_payload",
     "start_server",
 ]

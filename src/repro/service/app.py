@@ -53,6 +53,7 @@ from .protocol import (
     predicate_payload,
     progress_payload,
     question_payload,
+    sessions_payload,
 )
 
 __all__ = ["ServiceApp", "start_server", "run_server", "ServiceServer"]
@@ -99,7 +100,7 @@ class ServiceApp:
         if parts == ["stats"] or not parts:
             if method != "GET":
                 raise BadRequest(f"{method} not allowed on /stats")
-            return 200, self.manager.stats()
+            return 200, await self.manager.stats_async()
         if parts == ["builds"]:
             if method != "GET":
                 raise BadRequest(f"{method} not allowed on /builds")
@@ -111,15 +112,20 @@ class ServiceApp:
             if method == "POST":
                 return await self._create(payload)
             if method == "GET":
-                return 200, {
-                    "sessions": [
+                # Counts first: session_counts sweeps, so listing
+                # afterwards cannot include a session the counts just
+                # demoted (the two views stay consistent).
+                counts = await self.manager.session_counts_async()
+                return 200, sessions_payload(
+                    [
                         {
                             **m.describe(),
                             "progress": progress_payload(m.session),
                         }
                         for m in self.manager.list_sessions()
-                    ]
-                }
+                    ],
+                    counts,
+                )
             raise BadRequest(f"{method} not allowed on /sessions")
 
         if parts[1] == "resume" and len(parts) == 2:
@@ -131,7 +137,16 @@ class ServiceApp:
         action = parts[2] if len(parts) == 3 else None
         if len(parts) > 3:
             raise NotFound(f"no route {path!r}")
-        managed = self.manager.get(session_id)
+        if action is None and method == "DELETE":
+            # Deleting a demoted session must not rehydrate it first —
+            # the manager forgets stored state directly (probing the
+            # store off-loop).
+            await self.manager.delete_async(session_id)
+            return 200, {"deleted": session_id}
+        # Touching a demoted session rehydrates it off-loop (replay on
+        # the build pool, single-flight per id) — transparently to the
+        # client, exactly like waiting out a cold index build.
+        managed = await self.manager.get_async(session_id)
 
         if action is None:
             if method == "GET":
@@ -139,9 +154,6 @@ class ServiceApp:
                     **managed.describe(),
                     "progress": progress_payload(managed.session),
                 }
-            if method == "DELETE":
-                self.manager.delete(session_id)
-                return 200, {"deleted": session_id}
             raise BadRequest(f"{method} not allowed on a session")
         if action == "question" and method == "GET":
             return await self._question(managed)

@@ -135,6 +135,11 @@ class ServiceClient:
         """All live sessions on the server."""
         return self._request("GET", "/sessions")["sessions"]
 
+    def sessions_overview(self) -> dict[str, Any]:
+        """The full ``GET /sessions`` payload: the live-session list
+        plus the durable store's live/demoted/recoverable counts."""
+        return self._request("GET", "/sessions")
+
     def session_info(self, session_id: str) -> dict[str, Any]:
         """Metadata + progress for one session."""
         return self._request("GET", f"/sessions/{session_id}")

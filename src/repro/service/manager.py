@@ -38,6 +38,25 @@ whose oracle answers faster than ``speculation_min_think_seconds`` has
 no think-time to hide work behind, so it stops speculating (a load
 generator hammering the API costs nothing; a human thinking for seconds
 gets every precompute).  ``GET /stats`` reports the hit ratio.
+
+**Durable sessions.**  With a :class:`~repro.service.store.SessionStore`
+attached, every accepted answer is journaled (append-only, keyed by
+session id) and a full snapshot payload is checkpointed every
+``checkpoint_every`` answers.  Journal writes happen **off the event
+loop** on a dedicated single-thread writer behind per-session
+single-flight batching: an answer enqueues its journal op and returns;
+at most one flush job per session is in flight, and one flush drains
+everything queued since the last (so a burst of answers becomes one
+SQLite transaction, and the answer path never waits on a disk write).
+Idle-TTL and capacity eviction then *demote to disk instead of
+deleting*: the in-memory session is dropped, its pending journal ops
+are flushed, and the next touch transparently **rehydrates** it — the
+stored checkpoint + journal tail replay through the ordinary
+propose/answer resume path on the build pool (off-loop, single-flight
+per session id, exactly like a cold index build), restoring strategy
+and rng bit-for-bit.  After a crash (``kill -9``), the same path
+recovers every session whose writes had committed; ``GET /sessions``
+reports live/demoted/recoverable counts.
 """
 
 from __future__ import annotations
@@ -58,8 +77,7 @@ from ..relational.relation import Instance
 
 from ..core.serialize import (
     SnapshotError,
-    snapshot_session,
-    snapshot_to_dict,
+    snapshot_payload,
 )
 from ..core.serialize import resume_session as core_resume_session
 from ..core.session import InferenceSession, MaxInteractions, Question
@@ -72,6 +90,7 @@ from .protocol import (
     NotFound,
     instance_from_spec,
 )
+from .store import SessionStore, StoredSession
 
 __all__ = ["ManagedSession", "SessionManager", "Speculation"]
 
@@ -121,6 +140,21 @@ class ManagedSession:
     question_sent_at: float | None = None
     question_sent_id: int | None = None
     think_ewma: float | None = None
+    #: Durable-store bookkeeping.  ``store_seq`` counts answers enqueued
+    #: for the journal (== the session's interaction count while every
+    #: answer goes through the manager); ``checkpoint_seq`` is how many
+    #: of them the latest enqueued checkpoint covers.  ``store_ops`` is
+    #: the per-session write queue drained by the single-flight flush
+    #: job (``store_flushing`` guards at-most-one in flight;
+    #: ``store_flush_future`` is the latest submitted drain, what
+    #: demotion/rehydration wait on).
+    durable: bool = False
+    store_seq: int = 0
+    checkpoint_seq: int = 0
+    store_ops: list[tuple] = field(default_factory=list)
+    store_lock: threading.Lock = field(default_factory=threading.Lock)
+    store_flushing: bool = False
+    store_flush_future: Future | None = None
 
     def describe(self) -> dict[str, Any]:
         """The session-info payload (no inference state)."""
@@ -134,6 +168,7 @@ class ManagedSession:
             ),
             "workload": self.instance_spec.get("builtin"),
             "index_cache_hit": self.cache_hit,
+            "durable": self.durable,
         }
 
 
@@ -152,6 +187,8 @@ class SessionManager:
         speculate: bool = True,
         speculation_slots: int | None = None,
         speculation_min_think_seconds: float = 0.02,
+        store: SessionStore | None = None,
+        checkpoint_every: int = 16,
     ):
         if max_sessions < 1:
             raise ValueError("max_sessions must be positive")
@@ -159,6 +196,8 @@ class SessionManager:
             raise ValueError("ttl_seconds must be positive or None")
         if build_workers < 1:
             raise ValueError("build_workers must be positive")
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be positive")
         if speculation_slots is not None and speculation_slots < 0:
             raise ValueError("speculation_slots must be non-negative")
         if speculation_min_think_seconds < 0:
@@ -199,9 +238,28 @@ class SessionManager:
         #: the precompute behind, so a fork is pure overhead.  0 means
         #: always speculate.
         self.speculation_min_think_seconds = speculation_min_think_seconds
+        self.store = store
+        self.checkpoint_every = checkpoint_every
         self._clock = clock
         self._sessions: dict[str, ManagedSession] = {}
         self._expired_total = 0
+        #: Durable-store state: ids this process demoted (and has not
+        #: rehydrated since), the flush futures their rehydration must
+        #: wait on, and the single-flight map of in-progress
+        #: rehydrations (event-loop only, like the index cache's
+        #: pending builds).
+        self._demoted: set[str] = set()
+        self._demote_flushes: dict[str, Future] = {}
+        self._rehydrating: dict[str, asyncio.Future] = {}
+        self._rehydrate_tasks: set[asyncio.Task] = set()
+        #: Ids deleted while their rehydration was in flight: the
+        #: rehydrate task checks this right before admission, so a
+        #: DELETE racing a touch can never resurrect the session.
+        self._rehydrate_tombstones: set[str] = set()
+        self._demotions_total = 0
+        self._rehydrated_total = 0
+        self._store_errors = 0
+        self._store_executor: ThreadPoolExecutor | None = None
         self._build_executor: ThreadPoolExecutor | None = None
         self._offload_executor: ThreadPoolExecutor | None = None
         self._spec_lock = threading.Lock()
@@ -221,6 +279,18 @@ class SessionManager:
                 thread_name_prefix="index-build",
             )
         return self._build_executor
+
+    def _store_pool(self) -> ThreadPoolExecutor:
+        """The dedicated single-thread writer all store flushes run on.
+
+        One thread, so flushes for one session are naturally ordered
+        and the store backend sees a single writer; it is separate from
+        the build pool so a long cold build never delays durability."""
+        if self._store_executor is None:
+            self._store_executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="session-store"
+            )
+        return self._store_executor
 
     def offload(self, fn, *args):
         """Awaitable running CPU-bound ``fn(*args)`` off the event loop.
@@ -260,7 +330,10 @@ class SessionManager:
         closing its event loop, so a build finishing during shutdown
         never fires completion callbacks into a closed loop.
         Speculative branches are aborted first, so shutdown never waits
-        on a lookahead whose result nobody will read.
+        on a lookahead whose result nobody will read.  Queued store
+        flushes are **never cancelled** — durability ops already
+        enqueued always reach the store (with ``wait=False`` they
+        complete on the writer thread, joined at interpreter exit).
         """
         for managed in self._sessions.values():
             self._drop_speculation(managed)
@@ -269,11 +342,19 @@ class SessionManager:
             if executor is not None:
                 executor.shutdown(wait=wait, cancel_futures=True)
                 setattr(self, attr, None)
+        if self._store_executor is not None:
+            self._store_executor.shutdown(wait=wait, cancel_futures=False)
+            self._store_executor = None
 
     # --- lifecycle -----------------------------------------------------------
 
     def sweep(self) -> list[str]:
-        """Drop sessions idle past the TTL; returns the evicted ids."""
+        """Evict sessions idle past the TTL; returns the evicted ids.
+
+        With a store attached, a durable session is *demoted* — its
+        pending journal ops flush to disk and a later touch rehydrates
+        it — while non-durable sessions (no store, or unseeded and
+        therefore unsnapshotable) are dropped outright as before."""
         if self.ttl_seconds is None:
             return []
         deadline = self._clock() - self.ttl_seconds
@@ -282,20 +363,97 @@ class SessionManager:
             for session_id, managed in self._sessions.items()
             if managed.last_used < deadline
         ]
+        evicted = []
         for session_id in expired:
-            self._drop_speculation(self._sessions[session_id])
-            del self._sessions[session_id]
-        self._expired_total += len(expired)
-        return expired
+            managed = self._sessions[session_id]
+            if managed.durable:
+                if managed.lock.locked():
+                    # A request is mid-protocol on this session; evict
+                    # it on a later sweep rather than yank the state a
+                    # live handler is about to mutate.  Not evicted,
+                    # so not reported as such.
+                    continue
+                self._demote(session_id, managed)
+            else:
+                self._drop_speculation(managed)
+                del self._sessions[session_id]
+                self._expired_total += 1
+            evicted.append(session_id)
+        return evicted
+
+    def _demote(self, session_id: str, managed: ManagedSession) -> None:
+        """Move a live session to the store (it must be durable).
+
+        The in-memory object is dropped immediately; whatever journal
+        ops are still queued flush on the writer thread, and the flush
+        future is parked so a rehydration of the same id waits for the
+        tail to land before loading."""
+        self._drop_speculation(managed)
+        del self._sessions[session_id]
+        self._kick_flush(managed)
+        if managed.store_flush_future is not None:
+            self._demote_flushes[session_id] = managed.store_flush_future
+        self._demoted.add(session_id)
+        self._demotions_total += 1
+
+    def demote(self, session_id: str) -> None:
+        """Explicitly evict one live durable session to the store."""
+        managed = self._sessions.get(session_id)
+        if managed is None:
+            raise NotFound(f"no live session {session_id!r}")
+        if not managed.durable:
+            raise BadRequest(
+                f"session {session_id!r} is not durable (no store, or "
+                f"unseeded); it cannot be demoted"
+            )
+        self._demote(session_id, managed)
+
+    def demote_all(self) -> list[str]:
+        """Demote every live durable session; returns their ids."""
+        demoted = [
+            session_id
+            for session_id, managed in list(self._sessions.items())
+            if managed.durable
+        ]
+        for session_id in demoted:
+            self._demote(session_id, self._sessions[session_id])
+        return demoted
+
+    def _demote_lru(self) -> bool:
+        """Demote the least-recently-used durable session, if any.
+
+        Sessions whose lock is held are exempt: a request is actively
+        using them, and demoting state a handler holds a reference to
+        would let its (still-succeeding) answer bypass the
+        demotion-flush ordering the next rehydration waits on.  On the
+        server every mutation runs under the session lock with no
+        awaits between lookup and acquisition, so this check closes
+        the demote-while-referenced race outright."""
+        candidates = [
+            (managed.last_used, session_id)
+            for session_id, managed in self._sessions.items()
+            if managed.durable and not managed.lock.locked()
+        ]
+        if not candidates:
+            return False
+        _, session_id = min(candidates)
+        self._demote(session_id, self._sessions[session_id])
+        return True
 
     def _ensure_capacity(self) -> None:
-        """Reject in O(1) *before* any index build or snapshot replay."""
+        """Make room in O(live) *before* any index build or replay.
+
+        Without a store this rejects at capacity (429) as before; with
+        one, the least-recently-used durable session is demoted to disk
+        instead — a full server sheds idle state rather than refusing
+        new users."""
         self.sweep()
-        if len(self._sessions) >= self.max_sessions:
-            raise CapacityExceeded(
-                f"server is at capacity ({self.max_sessions} sessions); "
-                f"retry later or delete a session"
-            )
+        while len(self._sessions) >= self.max_sessions:
+            if not self._demote_lru():
+                raise CapacityExceeded(
+                    f"server is at capacity ({self.max_sessions} "
+                    f"sessions); retry later or delete a session"
+                )
 
     def _admit(self, managed: ManagedSession) -> ManagedSession:
         self._ensure_capacity()
@@ -307,10 +465,14 @@ class SessionManager:
         session: InferenceSession,
         instance_spec: dict[str, Any],
         cache_hit: bool,
+        session_id: str | None = None,
     ) -> ManagedSession:
         now = self._clock()
         return ManagedSession(
-            session_id=uuid.uuid4().hex[:16],
+            session_id=(
+                session_id if session_id is not None
+                else uuid.uuid4().hex[:16]
+            ),
             session=session,
             instance_spec=instance_spec,
             cache_hit=cache_hit,
@@ -406,7 +568,11 @@ class SessionManager:
             spec.instance_spec, spec.instance
         )
         session = self._make_session(spec, instance, index)
-        return self._admit(self._build(session, spec.instance_spec, hit))
+        managed = self._admit(
+            self._build(session, spec.instance_spec, hit)
+        )
+        self._persist_create(managed)
+        return managed
 
     async def create_async(self, spec: CreateSpec) -> ManagedSession:
         """Like :meth:`create`, but a cold index build happens off-loop.
@@ -419,7 +585,11 @@ class SessionManager:
             spec.instance_spec, spec.instance
         )
         session = self._make_session(spec, instance, index)
-        return self._admit(self._build(session, spec.instance_spec, hit))
+        managed = self._admit(
+            self._build(session, spec.instance_spec, hit)
+        )
+        self._persist_create(managed)
+        return managed
 
     def _resume_session(
         self,
@@ -449,7 +619,9 @@ class SessionManager:
         self._ensure_capacity()
         instance, index, hit = self._index_for_spec(instance_spec, None)
         session = self._resume_session(payload, instance, index)
-        return self._admit(self._build(session, instance_spec, hit))
+        managed = self._admit(self._build(session, instance_spec, hit))
+        self._persist_create(managed)
+        return managed
 
     async def resume_async(self, payload: dict[str, Any]) -> ManagedSession:
         """Like :meth:`resume`, but the cold index build *and* the
@@ -463,18 +635,16 @@ class SessionManager:
         session = await self._heavy_offload(
             self._resume_session, payload, instance, index
         )
-        return self._admit(self._build(session, instance_spec, hit))
+        managed = self._admit(self._build(session, instance_spec, hit))
+        self._persist_create(managed)
+        return managed
 
     def snapshot(self, session_id: str) -> dict[str, Any]:
         """The resumable state of one session as a JSON payload."""
         managed = self.get(session_id)
-        payload = snapshot_to_dict(
-            snapshot_session(
-                managed.session, instance_ref=managed.instance_spec
-            )
+        return snapshot_payload(
+            managed.session, instance_ref=managed.instance_spec
         )
-        payload["kind"] = "session_snapshot"
-        return payload
 
     # --- question round-trips (with speculative precompute) ------------------
 
@@ -517,11 +687,17 @@ class SessionManager:
         question's speculation and retries inline.
         """
         self._observe_think_time(managed, question_id)
+        # The pending question's class id is what the journal records;
+        # captured before a speculation hit swaps in the fork (which has
+        # already answered and cleared its pending question).
+        pending = managed.session.pending_question
         spec = managed.speculation
         if spec is None or spec.question_id != question_id:
             # No speculation for this id.  A mismatched id is rejected by
             # the session below without touching the live speculation.
-            return managed.session.answer(question_id, label)
+            example = managed.session.answer(question_id, label)
+            self._journal_answer(managed, pending.class_id, label)
+            return example
         managed.speculation = None
         for branch_label, branch in spec.branches.items():
             if branch_label is not label:
@@ -546,12 +722,15 @@ class SessionManager:
             managed.session = twin
             with self._spec_lock:
                 self._spec_hits += 1
+            self._journal_answer(managed, pending.class_id, label)
             return example
         if branch is not None:
             branch.cancel()
         with self._spec_lock:
             self._spec_misses += 1
-        return managed.session.answer(question_id, label)
+        example = managed.session.answer(question_id, label)
+        self._journal_answer(managed, pending.class_id, label)
+        return example
 
     def _observe_think_time(
         self, managed: ManagedSession, question_id: int
@@ -652,23 +831,348 @@ class SessionManager:
             managed.speculation.cancel()
             managed.speculation = None
 
+    # --- durable store plumbing ----------------------------------------------
+
+    def _snapshot_payload(self, managed: ManagedSession) -> dict[str, Any]:
+        return snapshot_payload(
+            managed.session, instance_ref=managed.instance_spec
+        )
+
+    def _persist_create(self, managed: ManagedSession) -> None:
+        """Write the session's create record (checkpoint at admission).
+
+        Unseeded sessions cannot snapshot, hence cannot be journaled —
+        they stay non-durable and keep the delete-on-evict behaviour.
+        """
+        if self.store is None or managed.session.seed is None:
+            return
+        managed.durable = True
+        seq = managed.session.state.interaction_count
+        managed.store_seq = seq
+        managed.checkpoint_seq = seq
+        self._enqueue_store_op(
+            managed, ("checkpoint", self._snapshot_payload(managed), seq)
+        )
+        self._kick_flush(managed)
+
+    def _journal_answer(
+        self, managed: ManagedSession, class_id: int, label: Label
+    ) -> None:
+        """Enqueue one accepted answer (and, on cadence, a checkpoint)."""
+        if not managed.durable:
+            return
+        managed.store_seq += 1
+        seq = managed.store_seq
+        self._enqueue_store_op(
+            managed, ("answer", seq, class_id, str(label))
+        )
+        if seq - managed.checkpoint_seq >= self.checkpoint_every:
+            managed.checkpoint_seq = seq
+            self._enqueue_store_op(
+                managed,
+                ("checkpoint", self._snapshot_payload(managed), seq),
+            )
+        self._kick_flush(managed)
+        if (
+            self._sessions.get(managed.session_id) is not managed
+            and managed.store_flush_future is not None
+        ):
+            # This session was demoted (or replaced) while the caller
+            # still held it — an embedder-thread interleaving the
+            # lock-guarded server path prevents.  Re-park the late
+            # answer's flush so the next rehydration waits it out
+            # instead of loading a journal missing an acknowledged
+            # answer.
+            self._demote_flushes[managed.session_id] = (
+                managed.store_flush_future
+            )
+
+    def _enqueue_store_op(
+        self, managed: ManagedSession, op: tuple
+    ) -> None:
+        with managed.store_lock:
+            managed.store_ops.append(op)
+
+    def _kick_flush(self, managed: ManagedSession) -> None:
+        """Submit a drain job unless one is already in flight
+        (per-session single-flight: a burst of answers becomes one
+        batched store transaction)."""
+        with managed.store_lock:
+            if managed.store_flushing or not managed.store_ops:
+                return
+            managed.store_flushing = True
+        managed.store_flush_future = self._store_pool().submit(
+            self._drain_store_ops, managed
+        )
+
+    def _drain_store_ops(self, managed: ManagedSession) -> None:
+        """Flush everything queued for one session (writer thread).
+
+        Loops until the queue is empty so ops enqueued while a batch was
+        writing are picked up by the same job — the single-flight
+        guarantee.  Consecutive answers collapse into one journal
+        transaction.  A store failure marks the session non-durable
+        (and drops its queue) rather than erroring the answer path
+        forever; the error is counted for ``GET /stats``.
+        """
+        store = self.store
+        while True:
+            with managed.store_lock:
+                ops = managed.store_ops[:]
+                managed.store_ops.clear()
+                if not ops:
+                    managed.store_flushing = False
+                    return
+            try:
+                answers: list[tuple[int, int, str]] = []
+                for op in ops:
+                    if op[0] == "answer":
+                        answers.append(op[1:])
+                        continue
+                    if answers:
+                        store.append_answers(
+                            managed.session_id, answers
+                        )
+                        answers = []
+                    store.put_checkpoint(
+                        managed.session_id, op[1], op[2]
+                    )
+                if answers:
+                    store.append_answers(managed.session_id, answers)
+            except Exception:  # noqa: BLE001 - durability must not kill serving
+                with managed.store_lock:
+                    managed.store_ops.clear()
+                    managed.store_flushing = False
+                managed.durable = False
+                self._store_errors += 1
+                self._demoted.discard(managed.session_id)
+                try:
+                    # The row now trails the live session; left behind,
+                    # a later eviction-then-touch (or a DELETE, which
+                    # skips the store for non-durable sessions) would
+                    # resurrect a silently rolled-back copy.
+                    self.store.delete(managed.session_id)
+                except Exception:  # noqa: BLE001 - store is already failing
+                    pass
+                return
+
+    def flush_store(self) -> None:
+        """Block until every enqueued store op has committed.
+
+        For embedders and tests that need a durability barrier (e.g.
+        before deliberately killing the process); the serving path never
+        calls this.
+        """
+        futures = []
+        for managed in list(self._sessions.values()):
+            self._kick_flush(managed)
+            if managed.store_flush_future is not None:
+                futures.append(managed.store_flush_future)
+        # snapshot: a concurrent rehydration's _load_stored pops
+        # entries from a worker thread while we iterate
+        futures.extend(list(self._demote_flushes.values()))
+        for future in futures:
+            future.result()
+
+    def _load_stored(self, session_id: str) -> StoredSession | None:
+        """Fetch a session's recoverable state (worker thread), first
+        waiting out any in-flight demotion flush for the same id so the
+        journal tail is complete before it is read."""
+        flush = self._demote_flushes.pop(session_id, None)
+        if flush is not None:
+            flush.result()
+        return self.store.load(session_id)
+
+    def _admit_rehydrated(
+        self,
+        session_id: str,
+        session: InferenceSession,
+        instance_spec: dict[str, Any],
+        cache_hit: bool,
+        stored: StoredSession,
+    ) -> ManagedSession:
+        managed = self._build(
+            session, instance_spec, cache_hit, session_id=session_id
+        )
+        managed.durable = True
+        managed.store_seq = stored.journal_seq
+        managed.checkpoint_seq = stored.checkpoint_seq
+        self._admit(managed)
+        self._demoted.discard(session_id)
+        self._rehydrated_total += 1
+        return managed
+
+    def _rehydrate_blocking(
+        self, session_id: str
+    ) -> ManagedSession | None:
+        """Synchronous rehydration for embedders (inline replay)."""
+        stored = self._load_stored(session_id)
+        if stored is None:
+            return None
+        instance_spec = self._snapshot_instance_spec(stored.payload)
+        self._ensure_capacity()
+        instance, index, hit = self._index_for_spec(instance_spec, None)
+        session = self._resume_session(stored.payload, instance, index)
+        return self._admit_rehydrated(
+            session_id, session, instance_spec, hit, stored
+        )
+
+    async def _drive_rehydrate(
+        self, session_id: str, future: asyncio.Future
+    ) -> None:
+        """Run one rehydration to completion and settle its future
+        (cache-owned task, same pattern as the index cache's builds:
+        cancelling one waiter never abandons the rehydration)."""
+        try:
+            stored = await self.offload(self._load_stored, session_id)
+            if stored is None:
+                raise NotFound(f"no session {session_id!r}")
+            instance_spec = self._snapshot_instance_spec(stored.payload)
+            self._ensure_capacity()
+            instance, index, hit = await self._index_for_spec_async(
+                instance_spec, None
+            )
+            session = await self._heavy_offload(
+                self._resume_session, stored.payload, instance, index
+            )
+            if session_id in self._rehydrate_tombstones:
+                # Deleted while we were replaying: do not resurrect.
+                raise NotFound(f"no session {session_id!r}")
+            managed = self._admit_rehydrated(
+                session_id, session, instance_spec, hit, stored
+            )
+        except BaseException as exc:
+            if not future.done():
+                future.set_exception(exc)
+                future.exception()
+            if isinstance(exc, asyncio.CancelledError):
+                raise
+        else:
+            if not future.done():
+                future.set_result(managed)
+        finally:
+            self._rehydrating.pop(session_id, None)
+            self._rehydrate_tombstones.discard(session_id)
+
     # --- lookup --------------------------------------------------------------
 
+    def _touch_live_durable(self, session_id: str) -> ManagedSession | None:
+        """Short-circuit for a *durable* session still in memory.
+
+        Touched exactly at TTL expiry, sweeping first would demote it
+        and the same call would immediately rehydrate it — a flush
+        wait, store load and full replay reconstructing the state that
+        is one dict lookup away (and dropping the pending question on
+        the floor).  Touching IS the TTL reset, so the durable session
+        is revived in place instead.  Non-durable sessions keep the
+        sweep-first semantics: expired means gone."""
+        managed = self._sessions.get(session_id)
+        if managed is not None and managed.durable:
+            managed.last_used = self._clock()
+            return managed
+        return None
+
     def get(self, session_id: str) -> ManagedSession:
-        """The live session with this id (touches its TTL clock)."""
+        """The live session with this id (touches its TTL clock).
+
+        With a store attached, a demoted or recoverable session is
+        transparently rehydrated — *inline*, for synchronous embedders;
+        the server path uses :meth:`get_async`, which replays off-loop.
+        """
+        managed = self._touch_live_durable(session_id)
+        if managed is not None:
+            self.sweep()
+            return managed
         self.sweep()
         managed = self._sessions.get(session_id)
+        if managed is None and self.store is not None:
+            managed = self._rehydrate_blocking(session_id)
         if managed is None:
             raise NotFound(f"no session {session_id!r}")
         managed.last_used = self._clock()
         return managed
 
+    async def get_async(self, session_id: str) -> ManagedSession:
+        """Like :meth:`get`, but rehydration runs on the worker pools
+        (store read on the preprocessing pool, label replay on the
+        build pool) behind per-session single-flight — two concurrent
+        touches of one demoted session trigger exactly one replay."""
+        managed = self._touch_live_durable(session_id)
+        if managed is not None:
+            self.sweep()
+            return managed
+        self.sweep()
+        managed = self._sessions.get(session_id)
+        if managed is not None:
+            managed.last_used = self._clock()
+            return managed
+        if self.store is None:
+            raise NotFound(f"no session {session_id!r}")
+        pending = self._rehydrating.get(session_id)
+        if pending is None:
+            loop = asyncio.get_running_loop()
+            pending = loop.create_future()
+            self._rehydrating[session_id] = pending
+            task = loop.create_task(
+                self._drive_rehydrate(session_id, pending)
+            )
+            self._rehydrate_tasks.add(task)
+            task.add_done_callback(self._rehydrate_tasks.discard)
+        managed = await asyncio.shield(pending)
+        managed.last_used = self._clock()
+        return managed
+
     def delete(self, session_id: str) -> None:
-        """Drop a session; unknown ids raise :class:`NotFound`."""
+        """Drop a session — and, when a store is attached, forget its
+        durable state too; unknown ids raise :class:`NotFound`."""
+        if not self._delete_live(session_id):
+            if self.store is not None and session_id in self.store:
+                self._delete_stored(session_id)
+                return
+            raise NotFound(f"no session {session_id!r}")
+
+    async def delete_async(self, session_id: str) -> None:
+        """Server twin of :meth:`delete`: the store existence probe for
+        a non-live id is a SQLite read, so it runs on the preprocessing
+        pool rather than stalling the event loop behind the writer
+        thread's store lock mid-commit."""
+        if self._delete_live(session_id):
+            return
+        if self.store is not None and await self.offload(
+            self.store.__contains__, session_id
+        ):
+            self._delete_stored(session_id)
+            return
+        raise NotFound(f"no session {session_id!r}")
+
+    def _delete_live(self, session_id: str) -> bool:
+        """Drop the live session, if any; True when one was dropped."""
         managed = self._sessions.pop(session_id, None)
         if managed is None:
-            raise NotFound(f"no session {session_id!r}")
+            return False
         self._drop_speculation(managed)
+        if managed.durable:
+            # Stop journaling first so a queued flush cannot resurrect
+            # the row; the delete runs on the writer thread *behind*
+            # any in-flight flush (single writer, FIFO).
+            with managed.store_lock:
+                managed.store_ops.clear()
+            managed.durable = False
+            self._forget_stored(session_id)
+        return True
+
+    def _delete_stored(self, session_id: str) -> None:
+        """Forget a demoted / crash-orphaned session."""
+        if session_id in self._rehydrating:
+            # A touch is replaying this session right now; mark it so
+            # the rehydrate task refuses to admit it.
+            self._rehydrate_tombstones.add(session_id)
+        self._forget_stored(session_id)
+
+    def _forget_stored(self, session_id: str) -> None:
+        self._demoted.discard(session_id)
+        self._demote_flushes.pop(session_id, None)
+        self._store_pool().submit(self.store.delete, session_id)
 
     def list_sessions(self) -> list[ManagedSession]:
         """All live sessions, oldest first."""
@@ -677,6 +1181,46 @@ class SessionManager:
             self._sessions.values(), key=lambda m: m.created_at
         )
 
+    def _counts_payload(
+        self, stored_ids: list[str] | None
+    ) -> dict[str, int]:
+        counts = {
+            "live": len(self._sessions),
+            "demoted": len(self._demoted),
+            "recoverable": 0,
+        }
+        if stored_ids is not None:
+            counts["recoverable"] = len(
+                set(stored_ids).difference(self._sessions)
+            )
+        return counts
+
+    def session_counts(self) -> dict[str, int]:
+        """Live/demoted/recoverable tallies for ``GET /sessions``.
+
+        *live* sessions are in memory; *demoted* ones were evicted to
+        the store by this process and rehydrate on touch; *recoverable*
+        is every stored session that is not currently live — demoted
+        ones plus sessions left by a previous (possibly crashed)
+        process on the same store.
+        """
+        self.sweep()
+        return self._counts_payload(
+            self.store.session_ids() if self.store is not None else None
+        )
+
+    async def session_counts_async(self) -> dict[str, int]:
+        """Like :meth:`session_counts`, but the store read runs on the
+        preprocessing pool — a SQLite scan must not stall the event
+        loop behind the writer thread's store lock mid-commit."""
+        self.sweep()
+        stored_ids = (
+            await self.offload(self.store.session_ids)
+            if self.store is not None
+            else None
+        )
+        return self._counts_payload(stored_ids)
+
     def __len__(self) -> int:
         return len(self._sessions)
 
@@ -684,7 +1228,19 @@ class SessionManager:
         """Progress of every in-flight index build (for ``GET /builds``)."""
         return self.index_cache.pending_builds()
 
-    def stats(self) -> dict[str, Any]:
+    async def stats_async(self) -> dict[str, Any]:
+        """Server path for ``GET /stats``: the store's counter scan
+        runs on the preprocessing pool, off the event loop."""
+        store_stats = (
+            await self.offload(self.store.stats)
+            if self.store is not None
+            else None
+        )
+        return self.stats(_store_stats=store_stats)
+
+    def stats(
+        self, _store_stats: dict[str, Any] | None = None
+    ) -> dict[str, Any]:
         """Server-level counters for the stats endpoint."""
         self.sweep()
         with self._spec_lock:
@@ -702,6 +1258,20 @@ class SessionManager:
                 "branch_errors": self._spec_branch_errors,
                 "hit_ratio": round(hits / max(1, hits + misses), 4),
             }
+        store: dict[str, Any] = {"enabled": self.store is not None}
+        if self.store is not None:
+            store.update(
+                _store_stats
+                if _store_stats is not None
+                else self.store.stats()
+            )
+            store.update(
+                checkpoint_every=self.checkpoint_every,
+                demoted=len(self._demoted),
+                demotions_total=self._demotions_total,
+                rehydrations_total=self._rehydrated_total,
+                flush_errors=self._store_errors,
+            )
         return {
             "sessions": len(self._sessions),
             "max_sessions": self.max_sessions,
@@ -709,5 +1279,6 @@ class SessionManager:
             "expired_total": self._expired_total,
             "build_workers": self.build_workers,
             "speculation": speculation,
+            "store": store,
             "index_cache": self.index_cache.stats(),
         }

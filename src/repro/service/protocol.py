@@ -54,6 +54,7 @@ __all__ = [
     "progress_payload",
     "predicate_payload",
     "builds_payload",
+    "sessions_payload",
 ]
 
 
@@ -278,6 +279,17 @@ def builds_payload(statuses: list[dict[str, Any]]) -> dict[str, Any]:
     :class:`~repro.service.index_cache.BuildStatus` payloads already
     carry — wrapped here so the wire shape is owned by the protocol)."""
     return {"builds": statuses, "in_flight": len(statuses)}
+
+
+def sessions_payload(
+    sessions: list[dict[str, Any]], counts: dict[str, int]
+) -> dict[str, Any]:
+    """The ``GET /sessions`` response: live sessions plus the durable
+    store's tallies — ``live`` (in memory), ``demoted`` (evicted to the
+    store by this process, rehydrated on touch) and ``recoverable``
+    (every stored session not currently live, including those left by
+    a previous — possibly crashed — process)."""
+    return {"sessions": sessions, **counts}
 
 
 def predicate_payload(session: InferenceSession) -> dict[str, Any]:

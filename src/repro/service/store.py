@@ -1,0 +1,484 @@
+"""Durable session storage — the write-ahead journal behind the manager.
+
+A hosted session's *mutable* state relative to its shared index is tiny:
+the ordered ``(class_id, label)`` pairs the user has answered (see
+:meth:`~repro.core.state.InferenceState.labeled_classes`).  That is what
+snapshots serialise, and it is all a store has to keep durable — the
+expensive :class:`~repro.core.signatures.SignatureIndex` stays a cache
+and is rebuilt (or fetched warm) on recovery.
+
+Two tables per backend:
+
+* a **checkpoint** per session: the full ``session_snapshot`` JSON
+  payload (PR 2 wire format, unchanged) covering the first
+  ``checkpoint_seq`` answers, refreshed every N answers;
+* an append-only **journal** of the answers recorded *after* the
+  checkpoint, keyed ``(session_id, seq)`` with ``seq`` the 1-based
+  answer ordinal.
+
+:meth:`SessionStore.load` merges the two back into one snapshot payload
+(checkpoint ``labeled`` + journal tail, in order), which the manager
+replays through the ordinary propose/answer resume path — so a recovered
+session continues bit-for-bit, strategy and rng included, exactly like a
+snapshot resume.
+
+:class:`SqliteSessionStore` is the durable backend (stdlib ``sqlite3``,
+WAL journal mode): every append/checkpoint is one committed transaction,
+so a process killed mid-flight loses at most the answers whose
+transactions had not yet committed — never a prefix, never a corrupt
+payload.  :class:`MemorySessionStore` implements the same contract in a
+dict for tests and for demote-to-memory setups that only need eviction
+to be survivable within one process.
+
+Both backends are thread-safe behind an internal lock: the manager
+journals from a dedicated writer thread while reads (recovery, counts)
+may come from worker threads or the event loop.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = [
+    "JournalEntry",
+    "MemorySessionStore",
+    "SessionStore",
+    "SqliteSessionStore",
+    "StoreError",
+    "StoredSession",
+]
+
+
+class StoreError(RuntimeError):
+    """A store operation failed or found inconsistent on-disk state."""
+
+
+#: One journaled answer: ``(seq, class_id, label)`` with ``seq`` the
+#: 1-based position of the answer in the session's history and ``label``
+#: the wire string ``"+"`` / ``"-"``.
+JournalEntry = tuple[int, int, str]
+
+
+@dataclass(frozen=True, slots=True)
+class StoredSession:
+    """One recoverable session as the store hands it back.
+
+    ``payload`` is a complete ``session_snapshot`` JSON payload — the
+    latest checkpoint with the journal tail already merged into its
+    ``labeled`` list — ready for
+    :func:`~repro.core.serialize.resume_session`.
+    """
+
+    session_id: str
+    payload: dict[str, Any]
+    checkpoint_seq: int
+    journal_seq: int
+    created_at: float
+    updated_at: float
+
+
+def _merge_payload(
+    session_id: str,
+    checkpoint: dict[str, Any],
+    checkpoint_seq: int,
+    tail: list[JournalEntry],
+) -> dict[str, Any]:
+    """The checkpoint payload with the journal tail appended to
+    ``labeled``; validates that the tail is the contiguous continuation
+    of the checkpoint (a gap means lost-then-resumed writes, which the
+    append-only protocol cannot produce — treat it as corruption)."""
+    labeled = list(checkpoint.get("labeled", []))
+    if len(labeled) != checkpoint_seq:
+        raise StoreError(
+            f"session {session_id!r}: checkpoint claims "
+            f"{checkpoint_seq} answers but carries {len(labeled)}"
+        )
+    expected = checkpoint_seq + 1
+    for seq, class_id, label in tail:
+        if seq != expected:
+            raise StoreError(
+                f"session {session_id!r}: journal gap — expected seq "
+                f"{expected}, found {seq}"
+            )
+        labeled.append([class_id, label])
+        expected += 1
+    merged = dict(checkpoint)
+    merged["labeled"] = labeled
+    return merged
+
+
+class SessionStore(ABC):
+    """Contract every session-store backend implements.
+
+    ``seq`` arguments count answers from the start of the session
+    (1-based); ``put_checkpoint(payload, seq)`` asserts the payload's
+    ``labeled`` list has exactly ``seq`` entries and supersedes all
+    journal rows up to ``seq``.
+    """
+
+    @abstractmethod
+    def put_checkpoint(
+        self, session_id: str, payload: dict[str, Any], seq: int
+    ) -> None:
+        """Write (or replace) the session's checkpoint; prunes journal
+        rows the checkpoint now covers.  Also the create record: a new
+        session checkpoints at its admission state (``seq`` answers,
+        usually 0)."""
+
+    @abstractmethod
+    def append_answers(
+        self, session_id: str, entries: list[JournalEntry]
+    ) -> None:
+        """Append journal rows (one transaction).  Raises
+        :class:`StoreError` for a session without a checkpoint — the
+        create record must land first."""
+
+    @abstractmethod
+    def load(self, session_id: str) -> StoredSession | None:
+        """The merged recoverable state, or ``None`` for unknown ids."""
+
+    @abstractmethod
+    def delete(self, session_id: str) -> None:
+        """Forget a session entirely (idempotent)."""
+
+    @abstractmethod
+    def session_ids(self) -> list[str]:
+        """All recoverable session ids, oldest creation first."""
+
+    @abstractmethod
+    def stats(self) -> dict[str, Any]:
+        """Backend counters for ``GET /stats``."""
+
+    def close(self) -> None:  # noqa: B027 - optional hook, default no-op
+        """Release any underlying resources (idempotent)."""
+
+    def __contains__(self, session_id: str) -> bool:
+        return self.load(session_id) is not None
+
+
+class MemorySessionStore(SessionStore):
+    """Dict-backed store: survives eviction, not the process."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: session_id -> (checkpoint payload, checkpoint_seq,
+        #:                {seq: (class_id, label)}, created, updated)
+        self._sessions: dict[str, list[Any]] = {}
+        self._journal_appends = 0
+        self._checkpoints = 0
+        self._loads = 0
+
+    def put_checkpoint(
+        self, session_id: str, payload: dict[str, Any], seq: int
+    ) -> None:
+        with self._lock:
+            now = time.time()
+            entry = self._sessions.get(session_id)
+            if entry is None:
+                self._sessions[session_id] = [
+                    payload, seq, {}, now, now
+                ]
+            else:
+                entry[0], entry[1] = payload, seq
+                entry[2] = {
+                    s: v for s, v in entry[2].items() if s > seq
+                }
+                entry[4] = now
+            self._checkpoints += 1
+
+    def append_answers(
+        self, session_id: str, entries: list[JournalEntry]
+    ) -> None:
+        with self._lock:
+            entry = self._sessions.get(session_id)
+            if entry is None:
+                raise StoreError(
+                    f"no checkpoint for session {session_id!r}; "
+                    f"cannot journal answers"
+                )
+            for seq, class_id, label in entries:
+                entry[2][seq] = (class_id, label)
+            entry[4] = time.time()
+            self._journal_appends += len(entries)
+
+    def load(self, session_id: str) -> StoredSession | None:
+        with self._lock:
+            entry = self._sessions.get(session_id)
+            if entry is None:
+                return None
+            checkpoint, seq, journal, created, updated = entry
+            tail = [
+                (s, class_id, label)
+                for s, (class_id, label) in sorted(journal.items())
+                if s > seq
+            ]
+            self._loads += 1
+        payload = _merge_payload(
+            session_id, checkpoint, seq, tail
+        )
+        return StoredSession(
+            session_id=session_id,
+            payload=payload,
+            checkpoint_seq=seq,
+            journal_seq=seq + len(tail),
+            created_at=created,
+            updated_at=updated,
+        )
+
+    def delete(self, session_id: str) -> None:
+        with self._lock:
+            self._sessions.pop(session_id, None)
+
+    def session_ids(self) -> list[str]:
+        with self._lock:
+            return [
+                sid
+                for sid, _ in sorted(
+                    self._sessions.items(), key=lambda kv: kv[1][3]
+                )
+            ]
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "backend": "memory",
+                "sessions": len(self._sessions),
+                "journal_appends": self._journal_appends,
+                "checkpoints": self._checkpoints,
+                "loads": self._loads,
+            }
+
+
+class SqliteSessionStore(SessionStore):
+    """The durable backend: one SQLite file in WAL mode.
+
+    WAL keeps readers and the single writer from blocking each other
+    and — the property recovery leans on — makes every committed
+    transaction survive ``kill -9``: on the next open, SQLite replays
+    the write-ahead log up to the last commit.  ``synchronous=NORMAL``
+    is the documented safe level for WAL (a crash may lose the tail of
+    *uncommitted* work only).
+    """
+
+    def __init__(self, path: str, *, timeout: float = 30.0):
+        self.path = str(path)
+        self._lock = threading.RLock()
+        self._connection: sqlite3.Connection | None = sqlite3.connect(
+            self.path,
+            timeout=timeout,
+            check_same_thread=False,
+            isolation_level=None,  # explicit BEGIN/COMMIT below
+        )
+        self._journal_appends = 0
+        self._checkpoints = 0
+        self._loads = 0
+        with self._lock:
+            connection = self._connection
+            connection.execute("PRAGMA journal_mode=WAL")
+            connection.execute("PRAGMA synchronous=NORMAL")
+            connection.executescript(
+                """
+                CREATE TABLE IF NOT EXISTS sessions (
+                    session_id     TEXT PRIMARY KEY,
+                    created_at     REAL NOT NULL,
+                    updated_at     REAL NOT NULL,
+                    checkpoint_seq INTEGER NOT NULL,
+                    checkpoint     TEXT NOT NULL
+                );
+                CREATE TABLE IF NOT EXISTS journal (
+                    session_id TEXT NOT NULL,
+                    seq        INTEGER NOT NULL,
+                    class_id   INTEGER NOT NULL,
+                    label      TEXT NOT NULL,
+                    PRIMARY KEY (session_id, seq)
+                ) WITHOUT ROWID;
+                """
+            )
+
+    def _require_connection(self) -> sqlite3.Connection:
+        if self._connection is None:
+            raise StoreError(f"store {self.path!r} is closed")
+        return self._connection
+
+    def put_checkpoint(
+        self, session_id: str, payload: dict[str, Any], seq: int
+    ) -> None:
+        text = json.dumps(payload, separators=(",", ":"))
+        now = time.time()
+        with self._lock:
+            connection = self._require_connection()
+            connection.execute("BEGIN IMMEDIATE")
+            try:
+                connection.execute(
+                    """
+                    INSERT INTO sessions (
+                        session_id, created_at, updated_at,
+                        checkpoint_seq, checkpoint
+                    ) VALUES (?, ?, ?, ?, ?)
+                    ON CONFLICT (session_id) DO UPDATE SET
+                        updated_at = excluded.updated_at,
+                        checkpoint_seq = excluded.checkpoint_seq,
+                        checkpoint = excluded.checkpoint
+                    """,
+                    (session_id, now, now, seq, text),
+                )
+                connection.execute(
+                    "DELETE FROM journal "
+                    "WHERE session_id = ? AND seq <= ?",
+                    (session_id, seq),
+                )
+            except BaseException:
+                connection.execute("ROLLBACK")
+                raise
+            connection.execute("COMMIT")
+            self._checkpoints += 1
+
+    def append_answers(
+        self, session_id: str, entries: list[JournalEntry]
+    ) -> None:
+        if not entries:
+            return
+        now = time.time()
+        with self._lock:
+            connection = self._require_connection()
+            row = connection.execute(
+                "SELECT 1 FROM sessions WHERE session_id = ?",
+                (session_id,),
+            ).fetchone()
+            if row is None:
+                raise StoreError(
+                    f"no checkpoint for session {session_id!r}; "
+                    f"cannot journal answers"
+                )
+            connection.execute("BEGIN IMMEDIATE")
+            try:
+                connection.executemany(
+                    "INSERT OR REPLACE INTO journal "
+                    "(session_id, seq, class_id, label) "
+                    "VALUES (?, ?, ?, ?)",
+                    [
+                        (session_id, seq, class_id, label)
+                        for seq, class_id, label in entries
+                    ],
+                )
+                connection.execute(
+                    "UPDATE sessions SET updated_at = ? "
+                    "WHERE session_id = ?",
+                    (now, session_id),
+                )
+            except BaseException:
+                connection.execute("ROLLBACK")
+                raise
+            connection.execute("COMMIT")
+            self._journal_appends += len(entries)
+
+    def load(self, session_id: str) -> StoredSession | None:
+        with self._lock:
+            connection = self._require_connection()
+            row = connection.execute(
+                "SELECT checkpoint, checkpoint_seq, created_at, "
+                "updated_at FROM sessions WHERE session_id = ?",
+                (session_id,),
+            ).fetchone()
+            if row is None:
+                return None
+            text, checkpoint_seq, created, updated = row
+            tail = [
+                (seq, class_id, label)
+                for seq, class_id, label in connection.execute(
+                    "SELECT seq, class_id, label FROM journal "
+                    "WHERE session_id = ? AND seq > ? ORDER BY seq",
+                    (session_id, checkpoint_seq),
+                )
+            ]
+            self._loads += 1
+        try:
+            checkpoint = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise StoreError(
+                f"session {session_id!r}: corrupt checkpoint payload: "
+                f"{exc}"
+            ) from exc
+        payload = _merge_payload(
+            session_id, checkpoint, checkpoint_seq, tail
+        )
+        return StoredSession(
+            session_id=session_id,
+            payload=payload,
+            checkpoint_seq=checkpoint_seq,
+            journal_seq=checkpoint_seq + len(tail),
+            created_at=created,
+            updated_at=updated,
+        )
+
+    def delete(self, session_id: str) -> None:
+        with self._lock:
+            connection = self._require_connection()
+            connection.execute("BEGIN IMMEDIATE")
+            try:
+                connection.execute(
+                    "DELETE FROM journal WHERE session_id = ?",
+                    (session_id,),
+                )
+                connection.execute(
+                    "DELETE FROM sessions WHERE session_id = ?",
+                    (session_id,),
+                )
+            except BaseException:
+                connection.execute("ROLLBACK")
+                raise
+            connection.execute("COMMIT")
+
+    def session_ids(self) -> list[str]:
+        with self._lock:
+            connection = self._require_connection()
+            return [
+                sid
+                for (sid,) in connection.execute(
+                    "SELECT session_id FROM sessions "
+                    "ORDER BY created_at, session_id"
+                )
+            ]
+
+    def __contains__(self, session_id: str) -> bool:
+        # Cheaper than the default load()-based probe: no payload parse.
+        with self._lock:
+            connection = self._require_connection()
+            return (
+                connection.execute(
+                    "SELECT 1 FROM sessions WHERE session_id = ?",
+                    (session_id,),
+                ).fetchone()
+                is not None
+            )
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            connection = self._require_connection()
+            (sessions,) = connection.execute(
+                "SELECT COUNT(*) FROM sessions"
+            ).fetchone()
+            (journal_rows,) = connection.execute(
+                "SELECT COUNT(*) FROM journal"
+            ).fetchone()
+            return {
+                "backend": "sqlite",
+                "path": self.path,
+                "sessions": sessions,
+                "journal_rows": journal_rows,
+                "journal_appends": self._journal_appends,
+                "checkpoints": self._checkpoints,
+                "loads": self._loads,
+            }
+
+    def close(self) -> None:
+        with self._lock:
+            if self._connection is not None:
+                self._connection.close()
+                self._connection = None

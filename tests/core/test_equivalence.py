@@ -1,9 +1,6 @@
 """Instance-equivalence of predicates (§3.3)."""
 
-import pytest
-
 from repro.core import (
-    SignatureIndex,
     instance_equivalent,
     selected_class_ids,
 )

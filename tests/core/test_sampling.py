@@ -1,6 +1,5 @@
 """Sampled signature indexes (big-instance approximation)."""
 
-import random
 
 import pytest
 

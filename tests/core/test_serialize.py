@@ -350,3 +350,103 @@ class TestUnseededSessions:
         )
         with pytest.raises(SnapshotError, match="unseeded"):
             snapshot_session(session)
+
+
+class TestSnapshotResumeEdges:
+    """Edge cases the durable session store leans on: a checkpoint may
+    be written before the first answer, after the final
+    (equivalence-reached) answer, and one stored payload may be
+    resumed any number of times."""
+
+    def _goal_oracle(self, example21):
+        return PerfectOracle(
+            example21.instance,
+            example21.theta(("A1", "B1"), ("A2", "B3")),
+        )
+
+    def test_resume_with_zero_recorded_answers(self, example21):
+        from repro.core import resume_session, snapshot_payload
+        from repro.core import InferenceSession
+
+        e = example21
+        oracle = self._goal_oracle(example21)
+        fresh = InferenceSession(e.instance, TopDownStrategy(), seed=9)
+        payload = snapshot_payload(fresh)
+        assert payload["labeled"] == []
+
+        resumed = resume_session(payload)
+        assert resumed.state.interaction_count == 0
+        reference = run_inference(
+            e.instance, TopDownStrategy(), oracle, seed=9
+        )
+        asked = []
+        while not resumed.is_finished():
+            question = resumed.propose()
+            asked.append(question.class_id)
+            resumed.answer(
+                question.question_id, oracle.label(question.tuple_pair)
+            )
+        assert len(asked) == reference.interactions
+        assert resumed.current_predicate() == reference.predicate
+
+    def test_resume_after_final_answer(self, example21):
+        from repro.core import resume_session, snapshot_payload
+        from repro.core import InferenceSession
+
+        e = example21
+        oracle = self._goal_oracle(example21)
+        session = InferenceSession(e.instance, TopDownStrategy(), seed=3)
+        while not session.is_finished():
+            question = session.propose()
+            session.answer(
+                question.question_id, oracle.label(question.tuple_pair)
+            )
+        payload = snapshot_payload(session)
+        assert len(payload["labeled"]) == session.state.interaction_count
+
+        resumed = resume_session(payload)
+        assert resumed.is_finished()
+        assert resumed.propose() is None
+        assert resumed.current_predicate() == session.current_predicate()
+        assert (
+            resumed.state.labeled_classes()
+            == session.state.labeled_classes()
+        )
+
+    def test_double_resume_of_one_snapshot(self, example21):
+        from repro.core import resume_session, snapshot_payload
+        from repro.core import InferenceSession
+
+        e = example21
+        oracle = self._goal_oracle(example21)
+        session = InferenceSession(e.instance, TopDownStrategy(), seed=6)
+        question = session.propose()
+        session.answer(
+            question.question_id, oracle.label(question.tuple_pair)
+        )
+        payload = snapshot_payload(session)
+
+        first = resume_session(payload)
+        second = resume_session(payload)
+        assert first is not second
+        assert first.state is not second.state
+        # driving one resumed copy must not perturb the other
+        question = first.propose()
+        first.answer(
+            question.question_id, oracle.label(question.tuple_pair)
+        )
+        assert second.state.interaction_count == 1
+        for resumed in (first, second):
+            while not resumed.is_finished():
+                question = resumed.propose()
+                resumed.answer(
+                    question.question_id,
+                    oracle.label(question.tuple_pair),
+                )
+        assert (
+            first.current_predicate() == second.current_predicate()
+        )
+        assert (
+            first.state.labeled_classes()
+            == second.state.labeled_classes()
+        )

@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.core import SignatureIndex, most_specific_predicate
-from repro.relational import Instance, JoinPredicate, Relation
+from repro.relational import Instance, Relation
 
 from ..conftest import make_random_instance
 

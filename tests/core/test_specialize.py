@@ -1,6 +1,5 @@
 """Tests for the most-specific-predicate operator T (§3, Figure 3)."""
 
-import pytest
 
 from repro.core import (
     bits_from_pairs,

@@ -13,7 +13,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import (
-    Label,
     PerfectOracle,
     Sample,
     SignatureIndex,

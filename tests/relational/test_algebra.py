@@ -1,6 +1,5 @@
 """Relational algebra semantics — validated on Example 2.1 of the paper."""
 
-import pytest
 
 from repro.relational import (
     cartesian_product,

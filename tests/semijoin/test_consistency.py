@@ -4,7 +4,6 @@ import random
 
 import pytest
 
-from repro.relational import JoinPredicate
 from repro.semijoin import (
     SemijoinSample,
     consistent_semijoin_backtracking,

@@ -489,6 +489,38 @@ class TestCliPlumbing:
         finally:
             manager.close()
 
+    def test_serve_store_flags(self, tmp_path):
+        from repro.service import SqliteSessionStore
+
+        path = tmp_path / "sessions.db"
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--store",
+                str(path),
+                "--checkpoint-every",
+                "5",
+            ]
+        )
+        manager = manager_from_args(args)
+        try:
+            assert isinstance(manager.store, SqliteSessionStore)
+            assert manager.store.path == str(path)
+            assert manager.checkpoint_every == 5
+        finally:
+            manager.close()
+            manager.store.close()
+
+    def test_serve_defaults_no_store(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.store is None
+        assert args.checkpoint_every == 16
+        manager = manager_from_args(args)
+        try:
+            assert manager.store is None
+        finally:
+            manager.close()
+
     def test_manager_validates_build_workers(self):
         with pytest.raises(ValueError):
             SessionManager(build_workers=0)
@@ -498,3 +530,7 @@ class TestCliPlumbing:
             SessionManager(speculation_slots=-1)
         with pytest.raises(ValueError):
             SessionManager(speculation_min_think_seconds=-0.1)
+
+    def test_manager_validates_checkpoint_every(self):
+        with pytest.raises(ValueError):
+            SessionManager(checkpoint_every=0)

@@ -5,7 +5,7 @@ import asyncio
 
 import pytest
 
-from repro.core import Label, SignatureIndex
+from repro.core import Label
 from repro.data import builtin_instance
 from repro.relational import Instance, Relation
 from repro.service import (

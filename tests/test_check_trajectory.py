@@ -1,0 +1,239 @@
+"""Unit tests for the checked-in CI bench gate
+(``benchmarks/check_trajectory.py``), which replaced the inline CI
+heredoc: each suite's tolerances must pass healthy smoke reports and
+fail regressed ones, and the CLI must exit non-zero on failure."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_MODULE_PATH = (
+    Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "check_trajectory.py"
+)
+_spec = importlib.util.spec_from_file_location(
+    "check_trajectory", _MODULE_PATH
+)
+check_trajectory = importlib.util.module_from_spec(_spec)
+# dataclasses resolves the defining module through sys.modules, so the
+# module must be registered before exec.
+sys.modules["check_trajectory"] = check_trajectory
+_spec.loader.exec_module(check_trajectory)
+
+
+def ok_names(gates):
+    return [gate.name for gate in gates if gate.ok]
+
+
+def failed_names(gates):
+    return [gate.name for gate in gates if not gate.ok]
+
+
+class TestCoreSuite:
+    def report(self, speedups):
+        return {
+            "benchmarks": [
+                {"name": f"cell{i}", "workload": "w", "speedup": s}
+                for i, s in enumerate(speedups)
+            ]
+        }
+
+    def test_healthy_cells_pass(self):
+        gates = check_trajectory.check_core(
+            self.report([1.2, 25.0, 0.5]), {}
+        )
+        assert failed_names(gates) == []
+
+    def test_regressed_cell_fails(self):
+        gates = check_trajectory.check_core(
+            self.report([1.2, 0.49]), {}
+        )
+        assert failed_names(gates) == ["speedup:cell1:w"]
+
+    def test_empty_report_fails(self):
+        gates = check_trajectory.check_core({"benchmarks": []}, {})
+        assert failed_names(gates) == ["has_cells"]
+
+
+class TestBuildSuite:
+    def test_target_comes_from_baseline(self):
+        baseline = {
+            "acceptance": {"targets": {"streaming_peak_ratio_max": 0.5}}
+        }
+        good = {"acceptance": {"streaming_peak_ratio": 0.4}}
+        bad = {"acceptance": {"streaming_peak_ratio": 0.6}}
+        assert failed_names(
+            check_trajectory.check_build(good, baseline)
+        ) == []
+        assert failed_names(
+            check_trajectory.check_build(bad, baseline)
+        ) == ["streaming_peak_ratio"]
+
+    def test_missing_ratio_fails(self):
+        gates = check_trajectory.check_build({"acceptance": {}}, {})
+        assert failed_names(gates) == ["streaming_peak_ratio"]
+
+
+class TestPlanSuite:
+    def test_gate_rederives_from_timings(self):
+        """The gate must not trust the report's own boolean."""
+        report = {
+            "acceptance": {
+                "l2s_incremental_ms": 120.0,
+                "l2s_from_scratch_ms": 100.0,
+                "l2s_gate_tolerance": 1.1,
+                "l2s_gate": True,  # lying — timings exceed tolerance
+            }
+        }
+        gates = check_trajectory.check_plan(report, {})
+        assert failed_names(gates) == [
+            "l2s_incremental_within_tolerance"
+        ]
+
+    def test_within_tolerance_passes(self):
+        report = {
+            "acceptance": {
+                "l2s_incremental_ms": 105.0,
+                "l2s_from_scratch_ms": 100.0,
+                "l2s_gate_tolerance": 1.1,
+            }
+        }
+        assert failed_names(check_trajectory.check_plan(report, {})) == []
+
+
+class TestServiceSuite:
+    def test_hit_ratio_gate(self):
+        good = {"acceptance": {"index_cache_hit_ratio": 0.98}}
+        bad = {"acceptance": {"index_cache_hit_ratio": 0.85}}
+        baseline = {
+            "acceptance": {"index_cache_hit_ratio_target": 0.9}
+        }
+        assert failed_names(
+            check_trajectory.check_service(good, baseline)
+        ) == []
+        assert failed_names(
+            check_trajectory.check_service(bad, baseline)
+        ) == ["index_cache_hit_ratio"]
+
+
+class TestStoreSuite:
+    def smoke(self, overhead=5.0, identical=True, rehydrate=9.0):
+        return {
+            "acceptance": {
+                "journal_overhead_p95_pct": overhead,
+                "journal_overhead_max_pct": 15.0,
+                "crash_recovery_identical": identical,
+                "rehydrate_p95_ms": rehydrate,
+            }
+        }
+
+    def baseline(self, rehydrate=9.0):
+        return {"acceptance": {"rehydrate_p95_ms": rehydrate}}
+
+    def test_healthy_report_passes(self):
+        gates = check_trajectory.check_store(
+            self.smoke(), self.baseline()
+        )
+        assert failed_names(gates) == []
+        assert set(ok_names(gates)) == {
+            "journal_overhead_p95",
+            "crash_recovery_identical",
+            "rehydrate_p95_vs_baseline",
+        }
+
+    def test_overhead_above_smoke_tolerance_fails(self):
+        gates = check_trajectory.check_store(
+            self.smoke(overhead=30.0), self.baseline()
+        )
+        assert failed_names(gates) == ["journal_overhead_p95"]
+
+    def test_non_identical_recovery_fails(self):
+        gates = check_trajectory.check_store(
+            self.smoke(identical=False), self.baseline()
+        )
+        assert failed_names(gates) == ["crash_recovery_identical"]
+
+    def test_rehydrate_order_of_magnitude_regression_fails(self):
+        gates = check_trajectory.check_store(
+            self.smoke(rehydrate=95.0), self.baseline(rehydrate=9.0)
+        )
+        assert failed_names(gates) == ["rehydrate_p95_vs_baseline"]
+
+    def test_rehydrate_gate_skipped_without_baseline(self):
+        gates = check_trajectory.check_store(
+            self.smoke(rehydrate=95.0), {}
+        )
+        assert failed_names(gates) == []
+
+
+class TestCli:
+    def write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_exit_zero_on_pass(self, tmp_path, capsys):
+        report = self.write(
+            tmp_path,
+            "smoke.json",
+            {"acceptance": {"index_cache_hit_ratio": 0.99}},
+        )
+        baseline = self.write(
+            tmp_path,
+            "base.json",
+            {"acceptance": {"index_cache_hit_ratio_target": 0.9}},
+        )
+        code = check_trajectory.main(
+            [
+                "--suite", "service",
+                "--report", report,
+                "--baseline", baseline,
+            ]
+        )
+        assert code == 0
+        assert "[OK]" in capsys.readouterr().out
+
+    def test_exit_one_on_failure(self, tmp_path, capsys):
+        report = self.write(
+            tmp_path,
+            "smoke.json",
+            {"acceptance": {"index_cache_hit_ratio": 0.2}},
+        )
+        baseline = self.write(tmp_path, "base.json", {})
+        code = check_trajectory.main(
+            [
+                "--suite", "service",
+                "--report", report,
+                "--baseline", baseline,
+            ]
+        )
+        assert code == 1
+        assert "[FAIL]" in capsys.readouterr().out
+
+    def test_unknown_suite_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            check_trajectory.main(
+                ["--suite", "nope", "--report", "x", "--baseline", "y"]
+            )
+
+    def test_committed_baselines_satisfy_their_own_gates(self):
+        """The committed full-run reports must pass the smoke gates —
+        the trajectory is anchored by real, healthy reports."""
+        root = Path(__file__).resolve().parent.parent
+        for suite in sorted(check_trajectory.SUITES):
+            baseline_path = root / f"BENCH_{suite}.json"
+            if not baseline_path.exists():
+                continue
+            baseline = json.loads(baseline_path.read_text())
+            gates = check_trajectory.run_suite(
+                suite, baseline, baseline
+            )
+            assert failed_names(gates) == [], (
+                f"committed BENCH_{suite}.json fails its own gate"
+            )
