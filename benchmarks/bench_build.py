@@ -32,12 +32,10 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
 import sys
 import tempfile
 import time
 import tracemalloc
-from datetime import datetime, timezone
 from math import ceil
 from pathlib import Path
 
@@ -49,6 +47,8 @@ from repro.core import IndexBuilder, SignatureIndex
 from repro.data.synthetic import SyntheticConfig, generate_synthetic
 from repro.relational import CsvSource, Instance, SqliteSource, read_csv, write_csv
 from repro.relational import sqlite_backend
+
+from bench_util import bench_meta
 
 #: The largest Figure 7 configuration, row-scaled for a ≥10⁶ product.
 FULL_ROWS = 1200
@@ -199,16 +199,13 @@ def run_benchmarks(smoke: bool = False) -> dict:
     multiworker = [cell for cell in scaling if cell["shards"] > 1]
     best = min(multiworker, key=lambda cell: cell["seconds"])
     return {
-        "meta": {
-            "created": datetime.now(timezone.utc).isoformat(),
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "machine": platform.machine(),
-            "smoke": smoke,
-            "workload": f"fig7-largest{config.label}",
-            "product_size": instance.cartesian_size,
-            "baseline": "monolithic single-shard SignatureIndex build",
-        },
+        "meta": bench_meta(
+            numpy=np.__version__,
+            smoke=smoke,
+            workload=f"fig7-largest{config.label}",
+            product_size=instance.cartesian_size,
+            baseline="monolithic single-shard SignatureIndex build",
+        ),
         "shard_scaling": scaling,
         "streaming_csv": streaming,
         "sqlite_pushdown": sqlite_cell,

@@ -28,10 +28,8 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
 import sys
 import time
-from datetime import datetime, timezone
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
@@ -40,6 +38,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 import numpy as np
 
 import legacy_seed
+from bench_util import bench_meta
 from repro.core import (
     PerfectOracle,
     SignatureIndex,
@@ -278,14 +277,11 @@ def run_benchmarks(smoke: bool = False) -> dict:
         return min((c["speedup"] for c in eligible), default=None)
 
     report = {
-        "meta": {
-            "created": datetime.now(timezone.utc).isoformat(),
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "machine": platform.machine(),
-            "smoke": smoke,
-            "baseline": "seed implementations (benchmarks/legacy_seed.py)",
-        },
+        "meta": bench_meta(
+            numpy=np.__version__,
+            smoke=smoke,
+            baseline="seed implementations (benchmarks/legacy_seed.py)",
+        ),
         "benchmarks": cells,
         "acceptance": {
             "l2s_full_session_speedup_min": _acceptance(

@@ -33,11 +33,9 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
 import random
 import sys
 import time
-from datetime import datetime, timezone
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
@@ -49,6 +47,7 @@ from repro.core import (
     PerfectOracle,
     SignatureIndex,
 )
+from repro.core.kernel_batch import batched_entropies
 from repro.core.oracle import Oracle
 from repro.data.synthetic import (
     PAPER_CONFIGS,
@@ -58,7 +57,7 @@ from repro.data.synthetic import (
 from repro.relational import JoinPredicate
 from repro.service import ServiceClient, ServiceServer, SessionManager
 
-from bench_util import latency_summary
+from bench_util import bench_meta, latency_summary
 
 #: The largest Figure 7 configuration, row-scaled (as ``bench_build``
 #: scales it for a ≥10⁶ product) until the signature-class count
@@ -302,6 +301,172 @@ def bench_speculation(max_questions, think_seconds) -> dict:
     }
 
 
+# --- batched-kernel cell -----------------------------------------------------
+
+#: Synthetic bands where the planner exports batchable jobs: an L2S
+#: band (|N| ≈ 40 after the adversarial drive) and a larger L1S band
+#: (|N| ≈ 380).  Both sit inside the export floor — see
+#: ``IncrementalLookaheadPlanner.export_batch_job``.
+L2S_BAND = (SyntheticConfig(3, 3, 100, 20), 2, 40)
+L1S_BAND = (SyntheticConfig(4, 4, 100, 20), 1, 400)
+
+#: The kernel-segment speedup the committed full run must clear; the
+#: committed BENCH_plan.json measures well above it.
+BATCHED_KERNEL_GATE_MIN = 2.0
+BATCHED_KERNEL_GATE_MIN_SMOKE = 1.3
+
+#: Aggregate answers/s with batching must never regress below this
+#: fraction of the per-session path (the end-to-end ratio is diluted
+#: by the non-kernel answer cost — record/advance/skyline — which both
+#: modes pay identically).
+BATCHED_THROUGHPUT_FLOOR = 0.9
+
+
+def _band_sessions(config, depth, seeds, target_max):
+    """Sessions pinned (via the all-negative oracle) at the first state
+    whose planner exports a batch job with ``|N| <= target_max``."""
+    instance = generate_synthetic(config, seed=7)
+    index = SignatureIndex(instance)
+    pinned = []
+    for seed in seeds:
+        strategy = LookaheadSkylineStrategy(depth=depth)
+        session = InferenceSession(instance, strategy, index=index, seed=seed)
+        for _ in range(30):
+            planner = strategy.planner_for(session.state)
+            if (
+                planner.ids.size <= target_max
+                and planner.export_batch_job() is not None
+            ):
+                pinned.append(session)
+                break
+            question = session.propose()
+            if question is None:
+                break
+            session.answer(question.question_id, Label.NEGATIVE)
+    return pinned
+
+
+def _batched_round(snapshots, sessions, batched):
+    """One steady-state answer round over ``sessions`` forked copies of
+    the pinned band sessions.  Population forks are outside the timed
+    region (fork cost is identical in both modes and not what this cell
+    measures).  The kernel segment — entropy-table production — is
+    timed separately from the full round wall-clock; both modes then
+    run the identical propose/answer tail off the primed tables."""
+    population = [
+        snapshots[i % len(snapshots)].fork() for i in range(sessions)
+    ]
+    transcript = []
+    wall_started = time.perf_counter()
+    kernel_started = time.perf_counter()
+    if batched:
+        jobs, owners = [], []
+        for session in population:
+            strategy = session.strategy
+            planner = strategy.planner_for(session.state)
+            job = planner.export_batch_job()
+            if job is not None:
+                jobs.append(job)
+                owners.append((session, strategy))
+        if jobs:
+            for (session, strategy), table in zip(
+                owners, batched_entropies(jobs)
+            ):
+                strategy.prime_entropies(session.state, table)
+    else:
+        for session in population:
+            strategy = session.strategy
+            planner = strategy.planner_for(session.state)
+            strategy.prime_entropies(session.state, planner.entropies())
+    kernel_seconds = time.perf_counter() - kernel_started
+    for session in population:
+        question = session.propose()
+        session.answer(question.question_id, Label.NEGATIVE)
+        transcript.append(question.class_id)
+    wall_seconds = time.perf_counter() - wall_started
+    return transcript, wall_seconds, kernel_seconds
+
+
+def bench_batched_kernels(sessions, rounds) -> dict:
+    """Cross-session batched L1S/L2S kernels vs the per-session planner
+    on one shared index: ``sessions`` concurrent sessions (a ragged
+    L2S + L1S mix), ``rounds`` interleaved A/B answer rounds, question
+    transcripts asserted identical before any timing is trusted."""
+    l2s = _band_sessions(L2S_BAND[0], L2S_BAND[1], range(16), L2S_BAND[2])
+    l1s = _band_sessions(L1S_BAND[0], L1S_BAND[1], range(16), L1S_BAND[2])
+    snapshots = l2s + l1s
+    warm = min(32, sessions)
+    _batched_round(snapshots, warm, True)
+    _batched_round(snapshots, warm, False)
+
+    totals = {True: [0.0, 0.0, 0], False: [0.0, 0.0, 0]}
+    for _ in range(rounds):
+        # Modes interleave round-by-round so allocator and cache state
+        # drift hits both equally.
+        per_tr, per_wall, per_kernel = _batched_round(
+            snapshots, sessions, False
+        )
+        bat_tr, bat_wall, bat_kernel = _batched_round(
+            snapshots, sessions, True
+        )
+        assert per_tr == bat_tr, (
+            "batched/per-session question transcripts diverged"
+        )
+        totals[False][0] += per_wall
+        totals[False][1] += per_kernel
+        totals[False][2] += len(per_tr)
+        totals[True][0] += bat_wall
+        totals[True][1] += bat_kernel
+        totals[True][2] += len(bat_tr)
+
+    def mode_row(batched):
+        wall, kernel, answers = totals[batched]
+        return {
+            "wall_seconds": round(wall, 4),
+            "kernel_seconds": round(kernel, 4),
+            "answers_total": answers,
+            "answers_per_second": round(answers / wall, 1),
+        }
+
+    per_session, batched = mode_row(False), mode_row(True)
+    cell = {
+        "bands": {
+            "L2S": {
+                "config": L2S_BAND[0].label,
+                "informative_max": L2S_BAND[2],
+                "pinned_sessions": len(l2s),
+            },
+            "L1S": {
+                "config": L1S_BAND[0].label,
+                "informative_max": L1S_BAND[2],
+                "pinned_sessions": len(l1s),
+            },
+        },
+        "sessions": sessions,
+        "rounds": rounds,
+        "oracle": "adversarial (all-negative)",
+        "per_session": per_session,
+        "batched": batched,
+        "kernel_segment_speedup": round(
+            totals[False][1] / max(totals[True][1], 1e-9), 3
+        ),
+        "answer_throughput_ratio": round(
+            batched["answers_per_second"]
+            / max(per_session["answers_per_second"], 1e-9),
+            3,
+        ),
+        "parity_checked": True,
+    }
+    print(
+        f"[bench] batched kernels ({sessions} sessions x {rounds} "
+        f"rounds): kernel segment "
+        f"{cell['kernel_segment_speedup']}x, answer throughput "
+        f"{cell['answer_throughput_ratio']}x",
+        flush=True,
+    )
+    return cell
+
+
 # --- harness -----------------------------------------------------------------
 
 
@@ -322,6 +487,8 @@ def run_benchmarks(smoke: bool = False) -> dict:
 
     sessions = bench_lookahead_sessions(configs, seeds, rounds)
     speculation = bench_speculation(max_questions, think_seconds)
+    batch_sessions, batch_rounds = (128, 3) if smoke else (256, 6)
+    batched_kernels = bench_batched_kernels(batch_sessions, batch_rounds)
 
     largest = next(c for c in sessions if c["config"] == largest_label)
     # The gate compares *full-length* sessions (the adversarial oracle
@@ -330,14 +497,10 @@ def run_benchmarks(smoke: bool = False) -> dict:
     # reuse across steps and nothing meaningful to time).
     l2s = largest["depths"]["L2S"]["oracles"]["adversarial"]
     return {
-        "meta": {
-            "created": datetime.now(timezone.utc).isoformat(),
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-            "smoke": smoke,
-        },
+        "meta": bench_meta(smoke=smoke),
         "lookahead_sessions": sessions,
         "speculation": speculation,
+        "batched_kernels": batched_kernels,
         "acceptance": {
             "largest_fig7_config": largest_label,
             "gate_scope": "full-length (adversarial-oracle) sessions",
@@ -368,6 +531,36 @@ def run_benchmarks(smoke: bool = False) -> dict:
             "speculation_hit_ratio": speculation["with_speculation"][
                 "speculation"
             ]["hit_ratio"],
+            "batched_kernel_seconds": batched_kernels["batched"][
+                "kernel_seconds"
+            ],
+            "per_session_kernel_seconds": batched_kernels["per_session"][
+                "kernel_seconds"
+            ],
+            "batched_kernel_segment_speedup": batched_kernels[
+                "kernel_segment_speedup"
+            ],
+            "batched_kernel_gate_min": (
+                BATCHED_KERNEL_GATE_MIN_SMOKE
+                if smoke
+                else BATCHED_KERNEL_GATE_MIN
+            ),
+            "batched_kernel_gate": (
+                batched_kernels["kernel_segment_speedup"]
+                >= (
+                    BATCHED_KERNEL_GATE_MIN_SMOKE
+                    if smoke
+                    else BATCHED_KERNEL_GATE_MIN
+                )
+            ),
+            "batched_answer_throughput_ratio": batched_kernels[
+                "answer_throughput_ratio"
+            ],
+            "batched_throughput_floor": BATCHED_THROUGHPUT_FLOOR,
+            "batched_throughput_gate": (
+                batched_kernels["answer_throughput_ratio"]
+                >= BATCHED_THROUGHPUT_FLOOR
+            ),
         },
     }
 
@@ -408,8 +601,18 @@ def main(argv=None) -> int:
         f" without ({speculation['p95_speedup']}x), hit ratio "
         f"{speculation['with_speculation']['speculation']['hit_ratio']}"
     )
+    batched = report["batched_kernels"]
+    print(
+        f"  batched kernels ({batched['sessions']} sessions): "
+        f"kernel segment {batched['kernel_segment_speedup']}x, "
+        f"answer throughput {batched['answer_throughput_ratio']}x"
+    )
     acceptance = report["acceptance"]
-    gates = [("l2s_gate", acceptance["l2s_gate"])]
+    gates = [
+        ("l2s_gate", acceptance["l2s_gate"]),
+        ("batched_kernel_gate", acceptance["batched_kernel_gate"]),
+        ("batched_throughput_gate", acceptance["batched_throughput_gate"]),
+    ]
     if not report["meta"]["smoke"]:
         gates.append(("speculation_gate", acceptance["speculation_gate"]))
     for name, ok in gates:

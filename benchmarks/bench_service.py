@@ -13,6 +13,11 @@ a shared, cached, concurrent serving layer.
                  strategy (L2S) on the Figure 7 synthetic configurations,
                  i.e. "what does a question cost end-to-end when the
                  server is doing two-step lookahead".
+* ``batched_sessions`` — the cross-session kernel batcher under real
+                 HTTP load: many L2S sessions on ONE shared index,
+                 kernel batching on vs off, with the batch-size
+                 histogram from ``GET /stats`` proving that concurrent
+                 proposals actually coalesced.
 
 Every session is parity-checked against the in-process
 ``run_inference`` result for the same strategy/seed before timings are
@@ -30,21 +35,14 @@ from __future__ import annotations
 import argparse
 import itertools
 import json
-import platform
 import sys
 import time
 from concurrent.futures import ThreadPoolExecutor
-from datetime import datetime, timezone
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.core import (
-    PerfectOracle,
-    SignatureIndex,
-    run_inference,
-    strategy_by_name,
-)
+from repro.core import PerfectOracle, SignatureIndex
 from repro.data import (
     PAPER_CONFIGS,
     generate_synthetic,
@@ -63,52 +61,17 @@ TPCH_SEED = 0
 TPCH_SCALE = 1.0
 CLIENT_THREADS = 16
 
+#: The coalescing window used by the batched-sessions sweep (the
+#: serving default): wide enough that concurrently pending proposals
+#: pile up, short enough not to tax the answer round-trip.
+SWEEP_BATCH_WINDOW = 0.002
 
-from bench_util import latency_summary
-
-
-def _remote_answerer(oracle):
-    def answer(question):
-        pair = (
-            tuple(question["left"]["row"]),
-            tuple(question["right"]["row"]),
-        )
-        return str(oracle.label(pair))
-
-    return answer
-
-
-def _drive_session(
-    server, workload, strategy, seed, oracle, latencies, workload_seed=0
-):
-    """Create + drive one session to Γ; returns the final payload."""
-    answer = _remote_answerer(oracle)
-    with ServiceClient(server.host, server.port) as client:
-        info = client.create_session(
-            workload=workload,
-            strategy=strategy,
-            seed=seed,
-            workload_seed=workload_seed,
-            scale=TPCH_SCALE,
-        )
-        session_id = info["session_id"]
-        while (question := client.next_question(session_id)) is not None:
-            started = time.perf_counter()
-            client.post_answer(
-                session_id, question["question_id"], answer(question)
-            )
-            latencies.append(time.perf_counter() - started)
-        return client.predicate(session_id)
-
-
-def _expected_pairs(instance, strategy, seed, oracle, index):
-    result = run_inference(
-        instance, strategy_by_name(strategy), oracle, index=index, seed=seed
-    )
-    return (
-        [[str(a), str(b)] for a, b in result.predicate.sorted_pairs()],
-        result.interactions,
-    )
+from bench_util import (
+    bench_meta,
+    drive_session,
+    expected_pairs,
+    latency_summary,
+)
 
 
 # --- cells -------------------------------------------------------------------
@@ -135,13 +98,14 @@ def bench_concurrent_serving(sessions: int) -> dict:
                 pool.map(
                     lambda job: (
                         job,
-                        _drive_session(
+                        drive_session(
                             server,
                             "tpch/join4",
                             job[1],
                             job[0],
                             oracle,
                             latencies,
+                            scale=TPCH_SCALE,
                         ),
                     ),
                     jobs,
@@ -149,9 +113,11 @@ def bench_concurrent_serving(sessions: int) -> dict:
             )
         wall = time.perf_counter() - started
         cache_stats = manager.index_cache.stats()
+        with ServiceClient(server.host, server.port) as client:
+            server_stats = client.stats()
 
     for (seed, strategy), final in outcomes:
-        expected, interactions = _expected_pairs(
+        expected, interactions = expected_pairs(
             workload.instance, strategy, seed, oracle, reference_index
         )
         assert final["predicate"]["pairs"] == expected, (
@@ -169,6 +135,8 @@ def bench_concurrent_serving(sessions: int) -> dict:
         "answers_per_second": round(len(latencies) / wall, 1),
         "answer_latency": latency_summary(latencies),
         "index_cache": cache_stats,
+        "speculation": server_stats["speculation"],
+        "kernel_batch": server_stats["kernel_batch"],
         "parity_checked": True,
     }
 
@@ -186,7 +154,7 @@ def bench_l2s_fig7(config_ids, sessions_per_config: int) -> list[dict]:
         interactions = 0
         with ServiceServer() as server:
             for seed in range(sessions_per_config):
-                final = _drive_session(
+                final = drive_session(
                     server,
                     f"synthetic/{config_id}",
                     "L2S",
@@ -194,8 +162,9 @@ def bench_l2s_fig7(config_ids, sessions_per_config: int) -> list[dict]:
                     oracle,
                     latencies,
                     workload_seed=7,
+                    scale=TPCH_SCALE,
                 )
-                expected, _ = _expected_pairs(
+                expected, _ = expected_pairs(
                     instance, "L2S", seed, oracle, index
                 )
                 assert final["predicate"]["pairs"] == expected, (
@@ -222,6 +191,95 @@ def bench_l2s_fig7(config_ids, sessions_per_config: int) -> list[dict]:
     return cells
 
 
+def bench_batched_sessions(sessions: int) -> dict:
+    """Many L2S sessions on ONE shared TPC-H index, kernel batching on
+    vs off — the coalescing path under genuine concurrent HTTP load.
+    Speculation is off in both modes so every proposal reaches the
+    kernel router instead of being served from a precomputed branch."""
+    workload = tpch_workloads(
+        generate_tpch(scale=TPCH_SCALE, seed=TPCH_SEED)
+    )[3]
+    oracle = PerfectOracle(workload.instance, workload.goal)
+    reference_index = SignatureIndex(workload.instance)
+    distinct_seeds = min(sessions, 8)
+    expected = {
+        seed: expected_pairs(
+            workload.instance, "L2S", seed, oracle, reference_index
+        )
+        for seed in range(distinct_seeds)
+    }
+
+    modes = {}
+    for batched in (True, False):
+        manager = SessionManager(
+            index_cache=IndexCache(),
+            max_sessions=sessions * 2,
+            speculate=False,
+            kernel_batch=batched,
+            batch_window_seconds=SWEEP_BATCH_WINDOW,
+        )
+        latencies: list[float] = []
+        with ServiceServer(manager=manager) as server:
+            started = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=CLIENT_THREADS) as pool:
+                outcomes = list(
+                    pool.map(
+                        lambda seed: (
+                            seed,
+                            drive_session(
+                                server,
+                                "tpch/join4",
+                                "L2S",
+                                seed % distinct_seeds,
+                                oracle,
+                                latencies,
+                                scale=TPCH_SCALE,
+                            ),
+                        ),
+                        range(sessions),
+                    )
+                )
+            wall = time.perf_counter() - started
+            with ServiceClient(server.host, server.port) as client:
+                stats = client.stats()
+        for seed, final in outcomes:
+            pairs, _ = expected[seed % distinct_seeds]
+            assert final["predicate"]["pairs"] == pairs, (
+                f"parity failed: batched={batched} seed={seed}"
+            )
+        modes[batched] = {
+            "wall_seconds": round(wall, 4),
+            "answers_total": len(latencies),
+            "answers_per_second": round(len(latencies) / wall, 1),
+            "answer_latency": latency_summary(latencies),
+            "kernel_batch": stats["kernel_batch"],
+        }
+        mode = "batched" if batched else "per-session"
+        print(
+            f"[bench] {mode} sweep: "
+            f"{modes[batched]['answers_per_second']} answers/s "
+            f"(p95 {modes[batched]['answer_latency']['p95_ms']}ms)",
+            flush=True,
+        )
+
+    return {
+        "workload": "tpch/join4",
+        "strategy": "L2S",
+        "sessions": sessions,
+        "client_threads": CLIENT_THREADS,
+        "batch_window_seconds": SWEEP_BATCH_WINDOW,
+        "speculation": "off (isolates the kernel path)",
+        "batched": modes[True],
+        "per_session": modes[False],
+        "throughput_ratio": round(
+            modes[True]["answers_per_second"]
+            / max(modes[False]["answers_per_second"], 1e-9),
+            3,
+        ),
+        "parity_checked": True,
+    }
+
+
 # --- harness -----------------------------------------------------------------
 
 
@@ -237,23 +295,40 @@ def run_benchmarks(smoke: bool = False) -> dict:
     )
     config_ids = range(2) if smoke else range(len(PAPER_CONFIGS))
     l2s_cells = bench_l2s_fig7(config_ids, 1 if smoke else 3)
+    sweep_sessions = 32 if smoke else 256
+    print(
+        f"[bench] batched-kernel sweep, {sweep_sessions} sessions "
+        f"on one shared index",
+        flush=True,
+    )
+    batched_sessions = bench_batched_sessions(sweep_sessions)
 
+    histogram = batched_sessions["batched"]["kernel_batch"][
+        "batch_size_histogram"
+    ]
     return {
-        "meta": {
-            "created": datetime.now(timezone.utc).isoformat(),
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-            "smoke": smoke,
-            "transport": "HTTP/1.1 keep-alive over loopback",
-        },
+        "meta": bench_meta(
+            smoke=smoke, transport="HTTP/1.1 keep-alive over loopback"
+        ),
         "serving": serving,
         "l2s_fig7": l2s_cells,
+        "batched_sessions": batched_sessions,
         "acceptance": {
             "index_cache_hit_ratio": serving["index_cache"]["hit_ratio"],
             "index_cache_hit_ratio_target": 0.9,
             "l2s_p95_answer_ms_max": max(
                 cell["answer_latency"]["p95_ms"] for cell in l2s_cells
             ),
+            "batched_throughput_ratio": batched_sessions[
+                "throughput_ratio"
+            ],
+            "batched_max_coalesced": max(
+                (int(size) for size in histogram), default=0
+            ),
+            "speculation_depth": serving["speculation"]["depth"],
+            "speculation_hit_ratio_by_depth": serving["speculation"][
+                "hit_ratio_by_depth"
+            ],
         },
     }
 
@@ -294,6 +369,14 @@ def main(argv=None) -> int:
             f"p95 {latency['p95_ms']:7.2f}ms   "
             f"({cell['classes']} classes)"
         )
+    sweep = report["batched_sessions"]
+    print(
+        f"  batched sweep ({sweep['sessions']} sessions): "
+        f"{sweep['batched']['answers_per_second']} answers/s batched vs "
+        f"{sweep['per_session']['answers_per_second']} per-session "
+        f"({sweep['throughput_ratio']}x), histogram "
+        f"{sweep['batched']['kernel_batch']['batch_size_histogram']}"
+    )
     acceptance = report["acceptance"]
     ok = (
         acceptance["index_cache_hit_ratio"]

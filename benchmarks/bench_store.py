@@ -34,14 +34,12 @@ import argparse
 import itertools
 import json
 import os
-import platform
 import signal
 import subprocess
 import sys
 import tempfile
 import time
 from concurrent.futures import ThreadPoolExecutor
-from datetime import datetime, timezone
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
@@ -55,49 +53,17 @@ from repro.core import (
 from repro.data import generate_tpch, tpch_workloads
 from repro.service import (
     IndexCache,
-    ServiceClient,
     ServiceServer,
     SessionManager,
     SqliteSessionStore,
 )
 
-from bench_util import latency_summary
+from bench_util import bench_meta, drive_session, latency_summary
 
 TPCH_SEED = 0
 TPCH_SCALE = 1.0
 CLIENT_THREADS = 16
 OVERHEAD_GATE_PCT = 15.0
-
-
-def _remote_answerer(oracle):
-    def answer(question):
-        pair = (
-            tuple(question["left"]["row"]),
-            tuple(question["right"]["row"]),
-        )
-        return str(oracle.label(pair))
-
-    return answer
-
-
-def _drive_session(server, strategy, seed, oracle, latencies):
-    answer = _remote_answerer(oracle)
-    with ServiceClient(server.host, server.port) as client:
-        info = client.create_session(
-            workload="tpch/join4",
-            strategy=strategy,
-            seed=seed,
-            workload_seed=TPCH_SEED,
-            scale=TPCH_SCALE,
-        )
-        session_id = info["session_id"]
-        while (question := client.next_question(session_id)) is not None:
-            started = time.perf_counter()
-            client.post_answer(
-                session_id, question["question_id"], answer(question)
-            )
-            latencies.append(time.perf_counter() - started)
-        return client.predicate(session_id)
 
 
 def _serving_run(sessions, oracle, store=None):
@@ -117,8 +83,15 @@ def _serving_run(sessions, oracle, store=None):
                 pool.map(
                     lambda job: (
                         job,
-                        _drive_session(
-                            server, job[1], job[0], oracle, latencies
+                        drive_session(
+                            server,
+                            "tpch/join4",
+                            job[1],
+                            job[0],
+                            oracle,
+                            latencies,
+                            workload_seed=TPCH_SEED,
+                            scale=TPCH_SCALE,
                         ),
                     ),
                     jobs,
@@ -423,13 +396,9 @@ def run_benchmarks(smoke: bool = False) -> dict:
         )
 
     return {
-        "meta": {
-            "created": datetime.now(timezone.utc).isoformat(),
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-            "smoke": smoke,
-            "transport": "HTTP/1.1 keep-alive over loopback",
-        },
+        "meta": bench_meta(
+            smoke=smoke, transport="HTTP/1.1 keep-alive over loopback"
+        ),
         "journal_overhead": overhead,
         "rehydrate": rehydrate,
         "crash_recovery": crash,

@@ -60,6 +60,11 @@ STORE_SMOKE_OVERHEAD_PCT = 25.0
 #: magnitude regression against the committed baseline is a real one.
 STORE_REHYDRATE_RELATIVE_MAX = 10.0
 
+#: The batched kernel segment must beat the per-session planners by 2×
+#: on the committed full run (256 sessions); the 128-session smoke
+#: keeps a noise margin below that.
+PLAN_SMOKE_KERNEL_SPEEDUP_FLOOR = 1.3
+
 
 def check_core(report: dict, baseline: dict) -> list[Gate]:
     """Every smoke cell must stay above the absolute speedup floor."""
@@ -120,7 +125,7 @@ def check_plan(report: dict, baseline: dict) -> list[Gate]:
         and scratch is not None
         and incremental <= scratch * tolerance
     )
-    return [
+    gates = [
         _gate(
             "l2s_incremental_within_tolerance",
             ok,
@@ -128,6 +133,22 @@ def check_plan(report: dict, baseline: dict) -> list[Gate]:
             f"(tolerance {tolerance}x)",
         )
     ]
+    batched = acceptance.get("batched_kernel_seconds")
+    per_session = acceptance.get("per_session_kernel_seconds")
+    gates.append(
+        _gate(
+            "batched_kernel_segment",
+            batched is not None
+            and per_session is not None
+            and per_session
+            >= batched * PLAN_SMOKE_KERNEL_SPEEDUP_FLOOR,
+            f"per-session kernels {per_session}s vs batched {batched}s "
+            f"(smoke floor {PLAN_SMOKE_KERNEL_SPEEDUP_FLOOR}x; the "
+            f"committed full run gates at "
+            f"{acceptance.get('batched_kernel_gate_min', 2.0)}x)",
+        )
+    )
+    return gates
 
 
 def check_service(report: dict, baseline: dict) -> list[Gate]:
@@ -140,13 +161,39 @@ def check_service(report: dict, baseline: dict) -> list[Gate]:
         ),
     )
     ratio = acceptance.get("index_cache_hit_ratio")
-    return [
+    gates = [
         _gate(
             "index_cache_hit_ratio",
             ratio is not None and ratio > target,
             f"hit ratio {ratio} (target > {target})",
         )
     ]
+    histogram = (
+        report.get("batched_sessions", {})
+        .get("batched", {})
+        .get("kernel_batch", {})
+        .get("batch_size_histogram", {})
+    )
+    largest = max((int(size) for size in histogram), default=0)
+    gates.append(
+        _gate(
+            "kernel_batch_coalesced",
+            largest >= 2,
+            f"largest coalesced batch {largest} (need >= 2 — concurrent "
+            f"HTTP proposals must actually share a kernel)",
+        )
+    )
+    speculation = report.get("serving", {}).get("speculation", {})
+    ratios = speculation.get("hit_ratio_by_depth", {})
+    gates.append(
+        _gate(
+            "speculation_depth2_reported",
+            speculation.get("depth", 0) >= 2 and "2" in ratios,
+            f"speculation depth {speculation.get('depth')} with "
+            f"per-depth hit ratios for {sorted(ratios)}",
+        )
+    )
+    return gates
 
 
 def check_store(report: dict, baseline: dict) -> list[Gate]:

@@ -194,9 +194,48 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "concurrent speculative branch jobs allowed on the build "
-            "pool; proposals beyond the cap skip speculation instead "
-            "of queueing (default: 2 * build workers)"
+            "pool; spawn points beyond the cap skip speculation "
+            "instead of queueing (default: one full tree per build "
+            "worker, (2^(depth+1) - 2) * build workers)"
         ),
+    )
+    serve.add_argument(
+        "--speculation-depth",
+        type=_positive_int,
+        default=2,
+        help=(
+            "levels of the speculative answer tree behind each pending "
+            "question: 1 precomputes both answer branches, 2 also "
+            "precomputes each branch's own answer pair so "
+            "answer->question->answer collapses to lookups "
+            "(default: 2)"
+        ),
+    )
+    serve.add_argument(
+        "--no-kernel-batch",
+        dest="kernel_batch",
+        action="store_false",
+        help=(
+            "disable cross-session kernel batching (by default the "
+            "L1S/L2S proposal kernels of sessions sharing one index "
+            "are coalesced into stacked batch contractions)"
+        ),
+    )
+    serve.add_argument(
+        "--batch-window",
+        type=_non_negative_float,
+        default=0.002,
+        help=(
+            "seconds the kernel batcher waits after an idle period's "
+            "first proposal so concurrent sessions pile into one "
+            "batch (default: 0.002)"
+        ),
+    )
+    serve.add_argument(
+        "--batch-max",
+        type=_positive_int,
+        default=64,
+        help="largest stacked kernel batch (default: 64)",
     )
     serve.add_argument(
         "--speculation-min-think",
@@ -420,6 +459,10 @@ def manager_from_args(args: argparse.Namespace):
         speculate=args.speculate,
         speculation_slots=args.speculation_slots,
         speculation_min_think_seconds=args.speculation_min_think,
+        speculation_depth=args.speculation_depth,
+        kernel_batch=args.kernel_batch,
+        batch_window_seconds=args.batch_window,
+        batch_max=args.batch_max,
         store=(
             SqliteSessionStore(str(args.store))
             if args.store is not None

@@ -457,6 +457,47 @@ class IncrementalLookaheadPlanner:
 
     # --- entropy production --------------------------------------------------
 
+    def export_batch_job(self):
+        """The maintained matrices as a cross-session batch job, or
+        ``None`` when this planner must run its own path.
+
+        ``None`` means: scratch mode (the from-scratch kernels serve),
+        depth > 2 (no batched kernel), an empty informative set, or a
+        depth-2 planner still on the transient first propose (same step
+        it was built on — batching would force the resident tables a
+        collapsing session never needs).  A first propose *after* a
+        shrink materialises the tables here, exactly like
+        :meth:`_entropies_depth2` would.  The exported arrays are the
+        live structures — shared read-only, like a fork (see
+        :meth:`copy`).
+        """
+        from .kernel_batch import BatchableEntropyJob
+
+        if self._scratch or self.depth > 2 or self.ids.size == 0:
+            return None
+        if self.depth == 1:
+            return BatchableEntropyJob(
+                depth=1,
+                ids=self.ids,
+                counts=self.counts,
+                sub=self.sub,
+                c1p=self._c1p(),
+            )
+        if self.sub_u is None and self._interactions != self._built_at:
+            self._build_tables(self._state.negative_rows)
+        if self.sub_u is None:
+            return None  # transient first propose: stay per-session
+        return BatchableEntropyJob(
+            depth=2,
+            ids=self.ids,
+            counts=self.counts,
+            sub=self.sub,
+            c1p=self._c1p(),
+            inverse=self.inverse,
+            sub_u=self.sub_u,
+            certain_u=self.certain_u,
+        )
+
     def _c1p(self) -> np.ndarray:
         """``C1P[a, k]``: classes certain after labeling ``a`` positive."""
         if self.c1p is not None:

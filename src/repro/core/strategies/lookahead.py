@@ -28,6 +28,7 @@ the slower paths when reproducing absolute timings:
 from __future__ import annotations
 
 import random
+from typing import Callable
 
 from ..entropy import Entropy, best_skyline_entropy, entropy_k_of_class
 from ..fast_lookahead import entropies_for_informative
@@ -60,6 +61,21 @@ class LookaheadSkylineStrategy(Strategy):
         self.incremental = incremental
         self.name = f"L{depth}S"
         self._planner: IncrementalLookaheadPlanner | None = None
+        #: Optional cross-session batching hook: given the in-sync
+        #: planner, return its entropy table (produced by a shared
+        #: :class:`~repro.core.kernel_batch.KernelBatchScheduler`) or
+        #: ``None`` to decline — the per-session path then runs.  The
+        #: server installs this; forks inherit it so speculative
+        #: branches ride the same batches.
+        self.entropy_router: (
+            Callable[
+                [IncrementalLookaheadPlanner], dict[int, Entropy] | None
+            ]
+            | None
+        ) = None
+        self._primed: (
+            tuple[InferenceState, int, dict[int, Entropy]] | None
+        ) = None
 
     # --- lifecycle -----------------------------------------------------------
 
@@ -85,18 +101,44 @@ class LookaheadSkylineStrategy(Strategy):
         planner = self._planner
         if planner is not None and planner.in_sync(state):
             twin._planner = planner.copy(twin_state)
+        twin.entropy_router = self.entropy_router
         return twin
 
-    def _planner_for(self, state: InferenceState) -> IncrementalLookaheadPlanner:
+    def planner_for(
+        self, state: InferenceState
+    ) -> IncrementalLookaheadPlanner:
+        """The in-sync planner for ``state``, (re)built when stale —
+        public so a batching layer can export its matrices."""
         planner = self._planner
         if planner is None or not planner.in_sync(state):
             planner = IncrementalLookaheadPlanner(state, self.depth)
             self._planner = planner
         return planner
 
+    # Internal callers predate the public name.
+    _planner_for = planner_for
+
     # --- proposal ------------------------------------------------------------
 
+    def prime_entropies(
+        self, state: InferenceState, entropies: dict[int, Entropy]
+    ) -> None:
+        """Install a one-shot entropy table for the next ``propose`` on
+        exactly this state at its current interaction count — how the
+        server hands a batch-produced result to the ordinary proposal
+        path.  Consumed (or invalidated) by the next ``_entropies``."""
+        self._primed = (state, state.interaction_count, entropies)
+
     def _entropies(self, state: InferenceState) -> dict[int, Entropy]:
+        primed = self._primed
+        if primed is not None:
+            self._primed = None
+            primed_state, primed_count, table = primed
+            if (
+                primed_state is state
+                and primed_count == state.interaction_count
+            ):
+                return table
         if not self.vectorised:
             return {
                 class_id: entropy_k_of_class(state, class_id, self.depth)
@@ -104,7 +146,13 @@ class LookaheadSkylineStrategy(Strategy):
             }
         if not self.incremental:
             return entropies_for_informative(state, self.depth)
-        return self._planner_for(state).entropies()
+        planner = self.planner_for(state)
+        router = self.entropy_router
+        if router is not None:
+            table = router(planner)
+            if table is not None:
+                return table
+        return planner.entropies()
 
     def propose(self, state: InferenceState, rng: random.Random) -> int:
         informative = self._informative_or_raise(state)

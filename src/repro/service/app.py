@@ -194,9 +194,11 @@ class ServiceApp:
     async def _question(self, managed) -> tuple[int, dict[str, Any]]:
         async with managed.lock:
             # The manager both proposes and starts speculating on the
-            # answer branches, so the next round-trip is a lookup when
-            # the precompute wins the race against the user's think time.
-            question = self.manager.propose_question(managed)
+            # answer tree, so the next round-trip is a lookup when the
+            # precompute wins the race against the user's think time.
+            # The async path runs the entropy kernel through the shared
+            # cross-session batcher, off the event loop.
+            question = await self.manager.propose_question_async(managed)
             if question is None:
                 return 200, {
                     "done": True,

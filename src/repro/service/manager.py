@@ -39,6 +39,25 @@ no think-time to hide work behind, so it stops speculating (a load
 generator hammering the API costs nothing; a human thinking for seconds
 gets every precompute).  ``GET /stats`` reports the hit ratio.
 
+Speculation is a **tree**: each branch that finishes its follow-up
+proposal forks again and precomputes *its* two answer branches, down to
+``speculation_depth`` levels (default 2 — four grandchildren behind one
+outstanding question).  Forked planners share their sub-matrices
+copy-on-write, so the whole tree costs four entropy kernels, not four
+session rebuilds.  On a hit the matching child tree is **adopted** as
+the next question's speculation — answer→question→answer collapses to
+two lookups; per-depth hit ratios are reported separately.
+
+**Cross-session kernel batching.**  Sessions sharing one index run the
+same L1S/L2S contraction shapes; a
+:class:`~repro.core.kernel_batch.KernelBatchScheduler` coalesces their
+proposal jobs (``batch_window_seconds``) into stacked 3-D kernels per
+index and scatters the per-session tables back, bit-for-bit identical
+to the per-session planner path (which remains the fallback for
+singleton batches and non-batchable planners).  Speculative branches
+ride the same batches — the router is inherited by forks — so a busy
+server's lookahead work amortises one numpy dispatch across the fleet.
+
 **Durable sessions.**  With a :class:`~repro.service.store.SessionStore`
 attached, every accepted answer is journaled (append-only, keyed by
 session id) and a full snapshot payload is checkpointed every
@@ -66,13 +85,15 @@ import json
 import threading
 import time
 import uuid
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import CancelledError, Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Hashable
 
 from ..core.index_build import IndexBuilder
+from ..core.kernel_batch import KernelBatchScheduler
 from ..core.sample import Example, Label
 from ..core.signatures import SignatureIndex
+from ..core.strategies.lookahead import LookaheadSkylineStrategy
 from ..relational.relation import Instance
 
 from ..core.serialize import (
@@ -97,21 +118,34 @@ __all__ = ["ManagedSession", "SessionManager", "Speculation"]
 
 @dataclass(slots=True)
 class _SpeculativeBranch:
-    """One precomputed answer branch: the worker job and its kill switch."""
+    """One node of the speculation tree: the worker job precomputing
+    this answer branch, its kill switch, its depth below the real
+    pending question (1 = direct child), and the grandchild branches
+    the worker spawned for *its* follow-up question, if any."""
 
-    future: Future
-    abort: threading.Event
+    future: Future | None = None
+    abort: threading.Event = field(default_factory=threading.Event)
+    depth: int = 1
+    children: dict[Label, "_SpeculativeBranch"] = field(
+        default_factory=dict
+    )
 
     def cancel(self) -> None:
-        """Stop the branch: drop it from the queue if still pending,
-        otherwise let it notice the abort flag and bail out cheaply."""
+        """Stop the subtree: drop queued jobs, let running ones notice
+        the abort flag and bail out cheaply.  Setting ``abort`` before
+        walking ``children`` closes the race with a worker attaching
+        new grandchildren: whichever side runs second sees the other's
+        write (the worker re-checks ``abort`` after attaching)."""
         self.abort.set()
-        self.future.cancel()
+        if self.future is not None:
+            self.future.cancel()
+        for child in self.children.values():
+            child.cancel()
 
 
 @dataclass(slots=True)
 class Speculation:
-    """Both precomputed branches for one outstanding question."""
+    """The precomputed answer tree for one outstanding question."""
 
     question_id: int
     branches: dict[Label, _SpeculativeBranch]
@@ -187,6 +221,10 @@ class SessionManager:
         speculate: bool = True,
         speculation_slots: int | None = None,
         speculation_min_think_seconds: float = 0.02,
+        speculation_depth: int = 2,
+        kernel_batch: bool = True,
+        batch_window_seconds: float = 0.002,
+        batch_max: int = 64,
         store: SessionStore | None = None,
         checkpoint_every: int = 16,
     ):
@@ -204,6 +242,8 @@ class SessionManager:
             raise ValueError(
                 "speculation_min_think_seconds must be non-negative"
             )
+        if speculation_depth < 1:
+            raise ValueError("speculation_depth must be positive")
         # `index_cache or ...` would discard an *empty* cache (len 0).
         # A caller-supplied cache keeps whatever builder it was
         # configured with — passing shard_rows alongside it would be
@@ -225,19 +265,33 @@ class SessionManager:
         self.ttl_seconds = ttl_seconds
         self.build_workers = build_workers
         self.speculate = speculate
+        self.speculation_depth = speculation_depth
         #: Concurrent speculative branch jobs allowed on the build pool;
-        #: a proposal needing more skips speculation instead of queueing
-        #: behind work it was meant to hide.
+        #: a spawn point (root question or a finished branch fanning
+        #: out) needing more skips speculation instead of queueing
+        #: behind work it was meant to hide.  The default admits one
+        #: full tree per worker under sequential branch completion
+        #: (2^(depth+1) - 2 nodes).
         self.speculation_slots = (
             speculation_slots
             if speculation_slots is not None
-            else 2 * build_workers
+            else (2 ** (speculation_depth + 1) - 2) * build_workers
         )
         #: Sessions whose observed question→answer gap (EWMA) falls
         #: below this stop speculating: there is no think-time to hide
         #: the precompute behind, so a fork is pure overhead.  0 means
         #: always speculate.
         self.speculation_min_think_seconds = speculation_min_think_seconds
+        #: Cross-session kernel batcher (None when disabled): sessions
+        #: sharing one index coalesce their L1S/L2S proposal kernels
+        #: into stacked contractions within ``batch_window_seconds``.
+        self._batcher = (
+            KernelBatchScheduler(
+                window_seconds=batch_window_seconds, max_batch=batch_max
+            )
+            if kernel_batch
+            else None
+        )
         self.store = store
         self.checkpoint_every = checkpoint_every
         self._clock = clock
@@ -267,6 +321,8 @@ class SessionManager:
         self._spec_submitted = 0
         self._spec_hits = 0
         self._spec_misses = 0
+        self._spec_hits_by_depth: dict[int, int] = {}
+        self._spec_misses_by_depth: dict[int, int] = {}
         self._spec_skipped = 0
         self._spec_skipped_think = 0
         self._spec_branch_errors = 0
@@ -337,6 +393,11 @@ class SessionManager:
         """
         for managed in self._sessions.values():
             self._drop_speculation(managed)
+        if self._batcher is not None:
+            # Before the build pool: cancelling queued batch futures
+            # unblocks any branch worker waiting on a batched kernel
+            # (its router falls back per-session or bails on abort).
+            self._batcher.close(wait=wait)
         for attr in ("_build_executor", "_offload_executor"):
             executor = getattr(self, attr)
             if executor is not None:
@@ -468,6 +529,7 @@ class SessionManager:
         session_id: str | None = None,
     ) -> ManagedSession:
         now = self._clock()
+        self._enable_batching(session)
         return ManagedSession(
             session_id=(
                 session_id if session_id is not None
@@ -479,6 +541,51 @@ class SessionManager:
             created_at=now,
             last_used=now,
         )
+
+    def _enable_batching(self, session: InferenceSession) -> None:
+        """Route the session's entropy kernels through the shared
+        batcher.  Every admission path funnels through :meth:`_build`
+        (create, resume, rehydrate — replay happens *before* the
+        router is installed, so replayed proposals stay per-session),
+        and forks inherit the router, so speculative branches ride the
+        same batches."""
+        if self._batcher is None:
+            return
+        strategy = session.strategy
+        if (
+            isinstance(strategy, LookaheadSkylineStrategy)
+            and strategy.vectorised
+            and strategy.incremental
+        ):
+            strategy.entropy_router = self._batch_router(
+                id(session.index)
+            )
+
+    def _batch_router(
+        self, key: Hashable
+    ) -> Callable[..., dict[int, Any] | None]:
+        """The strategy-side hook: block the calling *worker thread* on
+        the shared batch for ``key``; decline (→ per-session path) on
+        the event loop, on a closed batcher, or on a cancelled job."""
+        batcher = self._batcher
+
+        def route(planner):
+            try:
+                asyncio.get_running_loop()
+            except RuntimeError:
+                pass
+            else:
+                # On the event loop (synchronous propose of an
+                # embedder-style call-in): never block it on a batch
+                # window.  propose_question_async primes the table
+                # off-loop instead.
+                return None
+            try:
+                return batcher.entropies(key, planner)
+            except (RuntimeError, CancelledError):
+                return None
+
+        return route
 
     @staticmethod
     def _builtin_key(spec: dict[str, Any]) -> str:
@@ -670,6 +777,38 @@ class SessionManager:
                     self._speculate(managed, question)
         return question
 
+    async def propose_question_async(
+        self, managed: ManagedSession
+    ) -> Question | None:
+        """Server path for ``GET /question``: when the proposal will
+        run an entropy kernel, the table is produced through the shared
+        batcher *off-loop* first — coalescing with other sessions'
+        concurrent proposals — then primed into the strategy so the
+        ordinary synchronous path consumes it without blocking the
+        event loop.  Runs under the session lock (the app holds it),
+        so the state cannot move between submission and propose."""
+        session = managed.session
+        strategy = session.strategy
+        if (
+            self._batcher is not None
+            and session.pending_question is None
+            and isinstance(strategy, LookaheadSkylineStrategy)
+            and strategy.entropy_router is not None
+            and not session.is_finished()
+            and session.state.has_informative()
+        ):
+            planner = strategy.planner_for(session.state)
+            try:
+                future = self._batcher.submit(
+                    id(session.index), planner
+                )
+                entropies = await asyncio.wrap_future(future)
+            except (RuntimeError, CancelledError):
+                pass  # closed batcher / cancelled flush: inline path
+            else:
+                strategy.prime_entropies(session.state, entropies)
+        return self.propose_question(managed)
+
     def record_answer(
         self, managed: ManagedSession, question_id: int, label: Label
     ) -> Example:
@@ -722,15 +861,40 @@ class SessionManager:
             managed.session = twin
             with self._spec_lock:
                 self._spec_hits += 1
+                self._spec_hits_by_depth[branch.depth] = (
+                    self._spec_hits_by_depth.get(branch.depth, 0) + 1
+                )
+            self._adopt_children(managed, branch, twin)
             self._journal_answer(managed, pending.class_id, label)
             return example
         if branch is not None:
             branch.cancel()
         with self._spec_lock:
             self._spec_misses += 1
+            depth = branch.depth if branch is not None else 1
+            self._spec_misses_by_depth[depth] = (
+                self._spec_misses_by_depth.get(depth, 0) + 1
+            )
         example = managed.session.answer(question_id, label)
         self._journal_answer(managed, pending.class_id, label)
         return example
+
+    @staticmethod
+    def _adopt_children(
+        managed: ManagedSession,
+        branch: _SpeculativeBranch,
+        twin: InferenceSession,
+    ) -> None:
+        """A hit's precomputed grandchild branches become the *next*
+        question's speculation outright — answer→question→answer then
+        collapses to two lookups, no new forks submitted."""
+        if branch.children and twin.pending_question is not None:
+            managed.speculation = Speculation(
+                twin.pending_question.question_id, branch.children
+            )
+        else:
+            for child in branch.children.values():
+                child.cancel()
 
     def _observe_think_time(
         self, managed: ManagedSession, question_id: int
@@ -756,9 +920,16 @@ class SessionManager:
     def _speculate(
         self, managed: ManagedSession, question: Question
     ) -> None:
-        """Precompute both answer branches for the pending question."""
+        """Precompute the answer tree for the pending question."""
         if not managed.session.strategy.speculative:
             return  # proposal is cheaper than a fork — nothing to hide
+        spec = managed.speculation
+        if spec is not None and spec.question_id == question.question_id:
+            # Already in flight for this very question — or *adopted*
+            # from a hit branch's precomputed grandchildren.  Checked
+            # before every other gate so an adopted tree is neither
+            # dropped nor run through the skip counters.
+            return
         if (
             managed.think_ewma is not None
             and managed.think_ewma < self.speculation_min_think_seconds
@@ -770,9 +941,6 @@ class SessionManager:
             with self._spec_lock:
                 self._spec_skipped_think += 1
             return
-        spec = managed.speculation
-        if spec is not None and spec.question_id == question.question_id:
-            return  # already in flight for this very question
         if self.index_cache.pending_builds():
             # A cold index build — mandatory, user-visible work — is on
             # (or queued for) the build pool; droppable speculation must
@@ -781,48 +949,98 @@ class SessionManager:
                 self._spec_skipped += 1
             return
         self._drop_speculation(managed)
+        branches = self._spawn_branches(
+            managed.session, question.question_id, depth=1
+        )
+        if branches is None:
+            return
+        with self._spec_lock:
+            self._spec_submitted += 1
+        managed.speculation = Speculation(question.question_id, branches)
+
+    def _spawn_branches(
+        self,
+        session: InferenceSession,
+        question_id: int,
+        depth: int,
+    ) -> dict[Label, _SpeculativeBranch] | None:
+        """Fork ``session`` and submit both answer branches at ``depth``,
+        slot-gated as one pair; ``None`` when capacity declined them.
+
+        Called from the event-loop side for the root pair and from
+        branch workers for grandchildren — the slot ledger is the only
+        shared state, and every submitted node releases its slot via
+        the done callback regardless of which side spawned it."""
         with self._spec_lock:
             if self._spec_inflight + 2 > self.speculation_slots:
                 self._spec_skipped += 1
-                return
+                return None
             self._spec_inflight += 2
-            self._spec_submitted += 1
-        executor = self._executor()
         branches: dict[Label, _SpeculativeBranch] = {}
         for branch_label in (Label.POSITIVE, Label.NEGATIVE):
-            twin = managed.session.fork()
-            abort = threading.Event()
-            future = executor.submit(
-                self._speculate_branch,
-                twin,
-                question.question_id,
-                branch_label,
-                abort,
-            )
-            future.add_done_callback(self._branch_finished)
-            branches[branch_label] = _SpeculativeBranch(future, abort)
-        managed.speculation = Speculation(question.question_id, branches)
+            node = _SpeculativeBranch(depth=depth)
+            twin = session.fork()
+            try:
+                node.future = self._executor().submit(
+                    self._speculate_branch,
+                    twin,
+                    question_id,
+                    branch_label,
+                    node,
+                )
+            except RuntimeError:
+                # Executor shut down mid-spawn: reap what made it out
+                # (their done callbacks release those slots) and hand
+                # back the unsubmitted reservations ourselves.
+                for submitted in branches.values():
+                    submitted.cancel()
+                with self._spec_lock:
+                    self._spec_inflight -= 2 - len(branches)
+                return None
+            node.future.add_done_callback(self._branch_finished)
+            branches[branch_label] = node
+        return branches
 
     def _branch_finished(self, _future: Future) -> None:
         with self._spec_lock:
             self._spec_inflight -= 1
 
-    @staticmethod
     def _speculate_branch(
+        self,
         twin: InferenceSession,
         question_id: int,
         label: Label,
-        abort: threading.Event,
+        node: _SpeculativeBranch,
     ) -> tuple[Example, InferenceSession] | None:
         """Answer the fork with one hypothetical label and propose the
         follow-up question; abort checkpoints keep a cancelled branch
-        from burning a full lookahead step."""
+        from burning a full lookahead step.
+
+        Below ``speculation_depth`` a finished branch fans out again,
+        precomputing *its* answer pair (the grandchild level of the
+        tree).  The worker attaches the children and then re-checks
+        abort — mirroring ``cancel``'s set-then-walk — so a
+        cancellation racing the attach always reaps them."""
+        abort = node.abort
         if abort.is_set():
             return None
         example = twin.answer(question_id, label)
         if abort.is_set():
             return None
-        twin.propose()
+        next_question = twin.propose()
+        if (
+            next_question is not None
+            and node.depth < self.speculation_depth
+            and not abort.is_set()
+        ):
+            children = self._spawn_branches(
+                twin, next_question.question_id, depth=node.depth + 1
+            )
+            if children is not None:
+                node.children = children
+                if abort.is_set():
+                    for child in children.values():
+                        child.cancel()
         return example, twin
 
     @staticmethod
@@ -1245,8 +1463,18 @@ class SessionManager:
         self.sweep()
         with self._spec_lock:
             hits, misses = self._spec_hits, self._spec_misses
+            hits_by_depth: dict[str, int] = {}
+            misses_by_depth: dict[str, int] = {}
+            ratio_by_depth: dict[str, float] = {}
+            for level in range(1, self.speculation_depth + 1):
+                h = self._spec_hits_by_depth.get(level, 0)
+                m = self._spec_misses_by_depth.get(level, 0)
+                hits_by_depth[str(level)] = h
+                misses_by_depth[str(level)] = m
+                ratio_by_depth[str(level)] = round(h / max(1, h + m), 4)
             speculation = {
                 "enabled": self.speculate,
+                "depth": self.speculation_depth,
                 "slots": self.speculation_slots,
                 "min_think_seconds": self.speculation_min_think_seconds,
                 "in_flight": self._spec_inflight,
@@ -1257,7 +1485,15 @@ class SessionManager:
                 "skipped_think": self._spec_skipped_think,
                 "branch_errors": self._spec_branch_errors,
                 "hit_ratio": round(hits / max(1, hits + misses), 4),
+                "hits_by_depth": hits_by_depth,
+                "misses_by_depth": misses_by_depth,
+                "hit_ratio_by_depth": ratio_by_depth,
             }
+        kernel_batch: dict[str, Any] = {
+            "enabled": self._batcher is not None
+        }
+        if self._batcher is not None:
+            kernel_batch.update(self._batcher.stats())
         store: dict[str, Any] = {"enabled": self.store is not None}
         if self.store is not None:
             store.update(
@@ -1279,6 +1515,7 @@ class SessionManager:
             "expired_total": self._expired_total,
             "build_workers": self.build_workers,
             "speculation": speculation,
+            "kernel_batch": kernel_batch,
             "store": store,
             "index_cache": self.index_cache.stats(),
         }

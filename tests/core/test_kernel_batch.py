@@ -1,0 +1,317 @@
+"""Batched cross-session kernels must match the per-session path
+bit-for-bit.
+
+``batched_entropies`` stacks many planners' L1S/L2S computations into
+padded 3-D contractions; every test here pins the scattered per-session
+results to :meth:`IncrementalLookaheadPlanner.entropies` (itself
+property-tested against the from-scratch and recursive references) over
+ragged session mixes, multi-word Ω, the required batch sizes, and
+mid-batch cancellation through the scheduler.
+"""
+
+from __future__ import annotations
+
+import random
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core import Label, SignatureIndex
+from repro.core.entropy import entropy_k_of_class
+from repro.core.fast_lookahead import entropies_for_informative
+from repro.core.kernel_batch import (
+    KernelBatchScheduler,
+    batched_entropies,
+)
+from repro.core.planner import IncrementalLookaheadPlanner
+from repro.core.state import InferenceState
+
+from ..conftest import make_random_instance
+
+
+def _random_index(seed: int, arities: tuple[int, int] | None = None):
+    # Enough rows/values that the informative set survives a few labels
+    # — tiny instances collapse after one answer and cannot seed a
+    # ragged batch.
+    rng = random.Random(seed)
+    left, right = arities if arities else (
+        rng.randrange(2, 4),
+        rng.randrange(2, 4),
+    )
+    instance = make_random_instance(
+        rng,
+        left_arity=left,
+        right_arity=right,
+        rows=rng.randrange(20, 40),
+        values=rng.randrange(5, 9),
+    )
+    return SignatureIndex(instance, backend="python")
+
+
+def _planner_at(
+    index: SignatureIndex, depth: int, labels: int, seed: int
+) -> IncrementalLookaheadPlanner | None:
+    """A planner driven ``labels`` random answers into a session, still
+    tracking a live informative set (None when the session collapsed)."""
+    state = InferenceState(index)
+    state.informative_ids_array()
+    planner = IncrementalLookaheadPlanner(
+        state, depth, scratch_floor_cells=0
+    )
+    rng = random.Random(seed)
+    for _ in range(labels):
+        if not state.has_informative():
+            return None
+        class_id = rng.choice(state.informative_class_ids())
+        label = rng.choice([Label.POSITIVE, Label.NEGATIVE])
+        delta = state.record(class_id, label)
+        assert planner.advance(delta, state)
+    if not state.has_informative():
+        return None
+    return planner
+
+
+def _ragged_planners(
+    depths: list[int], count: int, seed: int
+) -> list[IncrementalLookaheadPlanner]:
+    """``count`` planners over a handful of distinct indexes, at ragged
+    progress points (different |N|, |U| and negative sets per job)."""
+    indexes = [_random_index(seed * 7 + i) for i in range(3)]
+    planners = []
+    attempt = 0
+    while len(planners) < count:
+        attempt += 1
+        assert attempt <= 50 * count, "instances keep collapsing"
+        planner = _planner_at(
+            indexes[attempt % len(indexes)],
+            depths[attempt % len(depths)],
+            labels=1 + attempt % 3,
+            seed=seed * 131 + attempt,
+        )
+        if planner is not None:
+            planners.append(planner)
+    return planners
+
+
+class TestBatchedParity:
+    @pytest.mark.parametrize("batch_size", [1, 2, 7, 64])
+    @pytest.mark.parametrize("depth", [1, 2])
+    def test_ragged_batch_matches_per_session(self, batch_size, depth):
+        planners = _ragged_planners([depth], batch_size, seed=batch_size)
+        jobs = [planner.export_batch_job() for planner in planners]
+        assert all(job is not None for job in jobs)
+        tables = batched_entropies(jobs)
+        for planner, table in zip(planners, tables):
+            assert table == planner.entropies()
+            assert table == entropies_for_informative(
+                planner._state, depth
+            )
+
+    def test_mixed_depth_batch(self):
+        planners = _ragged_planners([1, 2], 9, seed=5)
+        jobs = [planner.export_batch_job() for planner in planners]
+        tables = batched_entropies(jobs)
+        for planner, table in zip(planners, tables):
+            assert table == planner.entropies()
+
+    @pytest.mark.parametrize("left,right", [(7, 9), (8, 8), (5, 13)])
+    @pytest.mark.parametrize("depth", [1, 2])
+    def test_multi_word_omega(self, left, right, depth):
+        """Ω ∈ {63, 64, 65}: packed masks cross the word boundary."""
+        planners = []
+        for seed in range(4):
+            index = _random_index(seed, arities=(left, right))
+            assert len(index.instance.omega) == left * right
+            planner = _planner_at(index, depth, labels=1 + seed % 2, seed=seed)
+            if planner is not None:
+                planners.append(planner)
+        assert len(planners) >= 2
+        tables = batched_entropies(
+            [planner.export_batch_job() for planner in planners]
+        )
+        for planner, table in zip(planners, tables):
+            assert table == planner.entropies()
+
+    def test_matches_pure_python_reference(self):
+        """One anchor straight to the recursive reference, not just the
+        (already property-tested) vectorised paths."""
+        planners = _ragged_planners([2], 3, seed=17)
+        tables = batched_entropies(
+            [planner.export_batch_job() for planner in planners]
+        )
+        for planner, table in zip(planners, tables):
+            state = planner._state
+            expected = {
+                class_id: entropy_k_of_class(state, class_id, 2)
+                for class_id in state.informative_class_ids()
+            }
+            assert table == expected
+
+    def test_rejects_unbatchable_depth(self):
+        planner = _ragged_planners([2], 1, seed=23)[0]
+        job = planner.export_batch_job()
+        job.depth = 3
+        with pytest.raises(ValueError):
+            batched_entropies([job])
+
+
+class TestExportRules:
+    def test_scratch_planner_declines(self):
+        index = _random_index(7)
+        state = InferenceState(index)
+        planner = IncrementalLookaheadPlanner(state, 2)  # default floor
+        assert planner._scratch
+        assert planner.export_batch_job() is None
+
+    def test_transient_first_propose_declines_then_exports(self):
+        """Depth 2 defers its tables past the build step: the very
+        first propose stays per-session, the first post-shrink export
+        materialises the resident tables exactly like entropies()."""
+        planner = None
+        seed = 0
+        while planner is None:
+            seed += 1
+            state = InferenceState(_random_index(seed))
+            state.informative_ids_array()
+            planner = IncrementalLookaheadPlanner(
+                state, 2, scratch_floor_cells=0
+            )
+            if not state.has_informative():
+                planner = None
+        assert planner.export_batch_job() is None  # transient step
+        state = planner._state
+        class_id = state.informative_class_ids()[0]
+        delta = state.record(class_id, Label.NEGATIVE)
+        if planner.advance(delta, state) and state.has_informative():
+            job = planner.export_batch_job()
+            assert job is not None
+            assert planner.sub_u is not None  # tables now resident
+            assert batched_entropies([job, job]) == [
+                planner.entropies(),
+                planner.entropies(),
+            ]
+
+    def test_depth1_exports_immediately(self):
+        planner = _planner_at(_random_index(3), 1, labels=0, seed=3)
+        assert planner is not None
+        job = planner.export_batch_job()
+        assert job is not None and job.depth == 1
+
+
+class TestScheduler:
+    def _planners(self, count, seed=29):
+        return _ragged_planners([2], count, seed=seed)
+
+    def test_coalesces_concurrent_jobs(self):
+        planners = self._planners(7)
+        scheduler = KernelBatchScheduler(window_seconds=0.2, max_batch=64)
+        try:
+            futures = [
+                scheduler.submit("idx", planner) for planner in planners
+            ]
+            for planner, future in zip(planners, futures):
+                assert future.result(timeout=30) == planner.entropies()
+            stats = scheduler.stats()
+            assert stats["batches"] == 1
+            assert stats["batched_jobs"] == 7
+            assert stats["batch_size_histogram"] == {"7": 1}
+        finally:
+            scheduler.close()
+
+    def test_singleton_falls_back_per_session(self):
+        planner = self._planners(1)[0]
+        scheduler = KernelBatchScheduler(window_seconds=0.0)
+        try:
+            table = scheduler.entropies("idx", planner)
+            assert table == planner.entropies()
+            stats = scheduler.stats()
+            assert stats["batches"] == 0
+            assert stats["fallback_jobs"] == 1
+        finally:
+            scheduler.close()
+
+    def test_keys_batch_independently(self):
+        planners = self._planners(4)
+        scheduler = KernelBatchScheduler(window_seconds=0.2)
+        try:
+            futures = [
+                scheduler.submit(f"idx{i % 2}", planner)
+                for i, planner in enumerate(planners)
+            ]
+            for planner, future in zip(planners, futures):
+                assert future.result(timeout=30) == planner.entropies()
+            assert scheduler.stats()["batch_size_histogram"] == {"2": 2}
+        finally:
+            scheduler.close()
+
+    def test_mid_batch_cancellation(self):
+        """A job cancelled while queued (evicted session, aborted
+        speculation) is dropped at flush without running any kernel —
+        and the rest of the batch still matches per-session."""
+        planners = self._planners(4)
+        scheduler = KernelBatchScheduler(window_seconds=0.2)
+        try:
+            futures = [
+                scheduler.submit("idx", planner) for planner in planners
+            ]
+            assert futures[1].cancel()
+            for i, (planner, future) in enumerate(zip(planners, futures)):
+                if i == 1:
+                    assert future.cancelled()
+                else:
+                    assert future.result(timeout=30) == planner.entropies()
+            stats = scheduler.stats()
+            assert stats["cancelled_jobs"] == 1
+            assert stats["batched_jobs"] == 3
+        finally:
+            scheduler.close()
+
+    def test_threaded_submissions_all_resolve(self):
+        planners = self._planners(12)
+        scheduler = KernelBatchScheduler(window_seconds=0.01)
+        try:
+            with ThreadPoolExecutor(max_workers=6) as pool:
+                tables = list(
+                    pool.map(
+                        lambda planner: scheduler.entropies(
+                            "idx", planner
+                        ),
+                        planners,
+                    )
+                )
+            for planner, table in zip(planners, tables):
+                assert table == planner.entropies()
+        finally:
+            scheduler.close()
+
+    def test_submit_after_close_raises(self):
+        scheduler = KernelBatchScheduler()
+        scheduler.close()
+        with pytest.raises(RuntimeError):
+            scheduler.submit("idx", object())
+
+    def test_broken_planner_does_not_poison_batch(self):
+        class Broken:
+            def export_batch_job(self):
+                raise RuntimeError("boom")
+
+        planners = self._planners(2)
+        scheduler = KernelBatchScheduler(window_seconds=0.2)
+        try:
+            futures = [
+                scheduler.submit("idx", planners[0]),
+                scheduler.submit("idx", Broken()),
+                scheduler.submit("idx", planners[1]),
+            ]
+            with pytest.raises(RuntimeError):
+                futures[1].result(timeout=30)
+            assert futures[0].result(timeout=30) == planners[0].entropies()
+            assert futures[2].result(timeout=30) == planners[1].entropies()
+        finally:
+            scheduler.close()
+
+    def test_validates_knobs(self):
+        with pytest.raises(ValueError):
+            KernelBatchScheduler(window_seconds=-1)
+        with pytest.raises(ValueError):
+            KernelBatchScheduler(max_batch=0)

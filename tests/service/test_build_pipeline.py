@@ -463,10 +463,13 @@ class TestCliPlumbing:
             builder = manager.index_cache.builder
             assert builder.shard_rows is None
             assert builder.workers == 1
-            # speculation defaults: on, 2 slots per build worker
+            # speculation defaults: on, depth 2, one full tree
+            # (2^(depth+1) - 2 = 6 nodes) per build worker
             assert manager.speculate is True
-            assert manager.speculation_slots == 2
+            assert manager.speculation_depth == 2
+            assert manager.speculation_slots == 6
             assert manager.speculation_min_think_seconds == 0.02
+            assert manager._batcher is not None
         finally:
             manager.close()
 
@@ -479,6 +482,8 @@ class TestCliPlumbing:
                 "7",
                 "--speculation-min-think",
                 "0.5",
+                "--speculation-depth",
+                "1",
             ]
         )
         manager = manager_from_args(args)
@@ -486,6 +491,33 @@ class TestCliPlumbing:
             assert manager.speculate is False
             assert manager.speculation_slots == 7
             assert manager.speculation_min_think_seconds == 0.5
+            assert manager.speculation_depth == 1
+        finally:
+            manager.close()
+
+    def test_serve_kernel_batch_flags(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--batch-window",
+                "0.01",
+                "--batch-max",
+                "8",
+            ]
+        )
+        manager = manager_from_args(args)
+        try:
+            batcher = manager._batcher
+            assert batcher is not None
+            assert batcher.window_seconds == 0.01
+            assert batcher.max_batch == 8
+        finally:
+            manager.close()
+        args = build_parser().parse_args(["serve", "--no-kernel-batch"])
+        manager = manager_from_args(args)
+        try:
+            assert manager._batcher is None
+            assert manager.stats()["kernel_batch"] == {"enabled": False}
         finally:
             manager.close()
 

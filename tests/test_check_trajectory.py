@@ -81,45 +81,99 @@ class TestBuildSuite:
 
 
 class TestPlanSuite:
+    def acceptance(self, **overrides):
+        base = {
+            "l2s_incremental_ms": 105.0,
+            "l2s_from_scratch_ms": 100.0,
+            "l2s_gate_tolerance": 1.1,
+            "per_session_kernel_seconds": 1.0,
+            "batched_kernel_seconds": 0.4,
+        }
+        base.update(overrides)
+        return {"acceptance": base}
+
     def test_gate_rederives_from_timings(self):
         """The gate must not trust the report's own boolean."""
-        report = {
-            "acceptance": {
-                "l2s_incremental_ms": 120.0,
-                "l2s_from_scratch_ms": 100.0,
-                "l2s_gate_tolerance": 1.1,
-                "l2s_gate": True,  # lying — timings exceed tolerance
-            }
-        }
+        report = self.acceptance(
+            l2s_incremental_ms=120.0,
+            l2s_gate=True,  # lying — timings exceed tolerance
+        )
         gates = check_trajectory.check_plan(report, {})
         assert failed_names(gates) == [
             "l2s_incremental_within_tolerance"
         ]
 
     def test_within_tolerance_passes(self):
-        report = {
-            "acceptance": {
-                "l2s_incremental_ms": 105.0,
-                "l2s_from_scratch_ms": 100.0,
-                "l2s_gate_tolerance": 1.1,
-            }
-        }
-        assert failed_names(check_trajectory.check_plan(report, {})) == []
+        assert failed_names(
+            check_trajectory.check_plan(self.acceptance(), {})
+        ) == []
+
+    def test_batched_kernel_gate_rederives_from_seconds(self):
+        """1.2x is above the full-run gate min the report itself could
+        claim, but below the smoke floor — re-derived, so it fails."""
+        report = self.acceptance(
+            batched_kernel_seconds=0.9,
+            batched_kernel_gate=True,
+            batched_kernel_gate_min=0.5,
+        )
+        gates = check_trajectory.check_plan(report, {})
+        assert failed_names(gates) == ["batched_kernel_segment"]
+
+    def test_missing_batched_kernel_numbers_fail(self):
+        report = self.acceptance()
+        del report["acceptance"]["batched_kernel_seconds"]
+        gates = check_trajectory.check_plan(report, {})
+        assert failed_names(gates) == ["batched_kernel_segment"]
 
 
 class TestServiceSuite:
+    def report(self, hit_ratio=0.98, histogram=None, depth=2):
+        if histogram is None:
+            histogram = {"2": 3, "7": 1}
+        return {
+            "acceptance": {"index_cache_hit_ratio": hit_ratio},
+            "serving": {
+                "speculation": {
+                    "depth": depth,
+                    "hit_ratio_by_depth": {
+                        str(d): 0.5 for d in range(1, depth + 1)
+                    },
+                }
+            },
+            "batched_sessions": {
+                "batched": {
+                    "kernel_batch": {
+                        "batch_size_histogram": histogram
+                    }
+                }
+            },
+        }
+
     def test_hit_ratio_gate(self):
-        good = {"acceptance": {"index_cache_hit_ratio": 0.98}}
-        bad = {"acceptance": {"index_cache_hit_ratio": 0.85}}
         baseline = {
             "acceptance": {"index_cache_hit_ratio_target": 0.9}
         }
         assert failed_names(
-            check_trajectory.check_service(good, baseline)
+            check_trajectory.check_service(self.report(), baseline)
         ) == []
         assert failed_names(
-            check_trajectory.check_service(bad, baseline)
+            check_trajectory.check_service(
+                self.report(hit_ratio=0.85), baseline
+            )
         ) == ["index_cache_hit_ratio"]
+
+    def test_singleton_histogram_fails(self):
+        """Batches of size 1 mean nothing ever coalesced over HTTP."""
+        gates = check_trajectory.check_service(
+            self.report(histogram={"1": 40}), {}
+        )
+        assert failed_names(gates) == ["kernel_batch_coalesced"]
+
+    def test_missing_depth2_speculation_fails(self):
+        gates = check_trajectory.check_service(
+            self.report(depth=1), {}
+        )
+        assert failed_names(gates) == ["speculation_depth2_reported"]
 
 
 class TestStoreSuite:
@@ -182,7 +236,22 @@ class TestCli:
         report = self.write(
             tmp_path,
             "smoke.json",
-            {"acceptance": {"index_cache_hit_ratio": 0.99}},
+            {
+                "acceptance": {"index_cache_hit_ratio": 0.99},
+                "serving": {
+                    "speculation": {
+                        "depth": 2,
+                        "hit_ratio_by_depth": {"1": 0.6, "2": 0.3},
+                    }
+                },
+                "batched_sessions": {
+                    "batched": {
+                        "kernel_batch": {
+                            "batch_size_histogram": {"4": 2}
+                        }
+                    }
+                },
+            },
         )
         baseline = self.write(
             tmp_path,
