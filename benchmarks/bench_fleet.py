@@ -1,0 +1,344 @@
+"""Serving-fleet benchmark harness — emits ``BENCH_fleet.json``.
+
+Measures what the multi-process fleet buys and what recovery costs:
+
+* ``scaling`` — the same interactive TPC-H serving load (all five
+  serving strategies, ``CLIENT_THREADS`` concurrent clients, durable
+  store journaling every answer) driven through fleets of 1, 2 and 4
+  workers; reports sessions/sec per worker count.  The gate is
+  **core-aware**: on an M-core machine W workers cannot scale past
+  min(W, M), so the scaling gate applies to the largest measured fleet
+  that *fits the cores* (floor ``0.75 × W`` there — the ≥3× target at
+  4 workers on ≥4-core hardware) while oversubscribed fleets (W > M,
+  every extra worker is pure process overhead on the same cores) are
+  measured and held only to a bounded-collapse floor.  ``cpu_count``
+  is recorded in the report so the CI gate reads the machine the
+  numbers came from.
+* ``recovery`` — a 2-worker fleet loses one worker to ``kill -9``
+  mid-session; reports the wall-clock from the kill to the victim
+  session's next *successfully recorded answer* on a survivor (lease
+  wait + takeover + rehydration, seen from the client), then finishes
+  every session and parity-checks it.
+
+Every timed session's final predicate is parity-checked against the
+in-process ``run_inference`` result before timings are trusted.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py            # full run
+    PYTHONPATH=src python benchmarks/bench_fleet.py --smoke    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_fleet.py --output my.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import os
+import sys
+import tempfile
+import time
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import PerfectOracle, SignatureIndex
+from repro.data import generate_tpch, tpch_workloads
+from repro.service import FleetConfig, FleetServer, ServiceClient
+
+from bench_util import (
+    bench_meta,
+    drive_session,
+    expected_pairs,
+    latency_summary,
+    remote_answerer,
+)
+
+TPCH_SEED = 0
+TPCH_SCALE = 1.0
+CLIENT_THREADS = 8
+STRATEGIES = ["RND", "BU", "TD", "L1S", "L2S"]
+SCALING_FLOOR_FACTOR = 0.75
+#: A fleet oversubscribing its cores (4 workers on 1 core: 4 index
+#: builds, 4 interpreters, same CPU) is allowed to cost throughput,
+#: but not to collapse past 4x vs a single worker.
+OVERSUBSCRIPTION_FLOOR = 0.25
+RECOVERY_LEASE_TTL = 1.0
+
+
+def _workload_oracle():
+    workload = tpch_workloads(
+        generate_tpch(scale=TPCH_SCALE, seed=TPCH_SEED)
+    )[3]
+    return workload, PerfectOracle(workload.instance, workload.goal)
+
+
+def _check_parity(outcomes, workload, oracle):
+    index = SignatureIndex(workload.instance)
+    cache: dict[tuple[str, int], tuple[list, int]] = {}
+    for (seed, strategy), final in outcomes:
+        key = (strategy, seed)
+        if key not in cache:
+            cache[key] = expected_pairs(
+                workload.instance, strategy, seed, oracle, index
+            )
+        pairs, interactions = cache[key]
+        assert final["predicate"]["pairs"] == pairs, (
+            f"parity failed: {strategy} seed={seed}"
+        )
+        assert final["progress"]["interactions"] == interactions
+
+
+# --- cells -------------------------------------------------------------------
+
+
+def bench_scaling(
+    worker_counts: list[int], sessions: int, db_dir: str
+) -> dict:
+    """Sessions/sec for the same serving load at each fleet size."""
+    workload, oracle = _workload_oracle()
+    jobs = list(zip(range(sessions), itertools.cycle(STRATEGIES)))
+    by_workers: dict[str, dict] = {}
+    for workers in worker_counts:
+        config = FleetConfig(
+            store_path=os.path.join(db_dir, f"scale_w{workers}.db"),
+            workers=workers,
+            speculate=False,
+        )
+        latencies: list[float] = []
+        with FleetServer(config) as server:
+            started = time.perf_counter()
+            with ThreadPoolExecutor(CLIENT_THREADS) as pool:
+                outcomes = list(
+                    pool.map(
+                        lambda job: (
+                            job,
+                            drive_session(
+                                server,
+                                "tpch/join4",
+                                job[1],
+                                job[0],
+                                oracle,
+                                latencies,
+                                workload_seed=TPCH_SEED,
+                                scale=TPCH_SCALE,
+                            ),
+                        ),
+                        jobs,
+                    )
+                )
+            elapsed = time.perf_counter() - started
+        _check_parity(outcomes, workload, oracle)
+        by_workers[str(workers)] = {
+            "workers": workers,
+            "sessions": sessions,
+            "wall_seconds": round(elapsed, 3),
+            "sessions_per_sec": round(sessions / elapsed, 3),
+            "answer_latency": latency_summary(latencies),
+        }
+        print(
+            f"[bench] {workers} worker(s): "
+            f"{by_workers[str(workers)]['sessions_per_sec']} sessions/s "
+            f"({elapsed:.1f}s wall)",
+            flush=True,
+        )
+    return {
+        "workload": "tpch/join4",
+        "strategies": STRATEGIES,
+        "client_threads": CLIENT_THREADS,
+        "cpu_count": os.cpu_count() or 1,
+        "by_workers": by_workers,
+        "parity_checked": True,
+    }
+
+
+def bench_recovery(sessions: int, db_dir: str) -> dict:
+    """kill -9 one of two workers mid-session; time the takeover as
+    the client sees it, then finish everything and check parity."""
+    workload, oracle = _workload_oracle()
+    answer = remote_answerer(oracle)
+    config = FleetConfig(
+        store_path=os.path.join(db_dir, "recovery.db"),
+        workers=2,
+        lease_ttl_seconds=RECOVERY_LEASE_TTL,
+        checkpoint_every=4,
+        speculate=False,
+    )
+    with FleetServer(config) as server:
+        client = ServiceClient(
+            server.host, server.port, retries=10, retry_backoff=0.2
+        )
+        opened = []
+        unfinished = []
+        for seed, strategy in zip(
+            range(sessions), itertools.cycle(STRATEGIES)
+        ):
+            info = client.create_session(
+                workload="tpch/join4",
+                strategy=strategy,
+                seed=seed,
+                workload_seed=TPCH_SEED,
+                scale=TPCH_SCALE,
+            )
+            sid = info["session_id"]
+            # A few journaled answers so the takeover has a tail to
+            # replay; fast strategies may finish inside the warmup,
+            # so track which sessions still have questions pending.
+            pending = True
+            for _ in range(3):
+                question = client.next_question(sid)
+                if question is None:
+                    pending = False
+                    break
+                client.post_answer(
+                    sid, question["question_id"], answer(question)
+                )
+            opened.append((sid, seed, strategy))
+            if pending:
+                unfinished.append((sid, seed, strategy))
+
+        assert unfinished, (
+            "every session finished during warmup — nothing to take over"
+        )
+        victim = unfinished[0]
+        dead_slot = zlib.crc32(victim[0].encode("utf-8")) % 2
+        started = time.perf_counter()
+        server.kill_worker(dead_slot)
+        # First successful answer round on the victim session after the
+        # kill: failover + lease wait + takeover + rehydrate + answer.
+        question = client.next_question(victim[0])
+        assert question is not None
+        client.post_answer(
+            victim[0], question["question_id"], answer(question)
+        )
+        takeover_seconds = time.perf_counter() - started
+        print(
+            f"[bench] kill -9 -> next recorded answer in "
+            f"{takeover_seconds:.3f}s (lease TTL {RECOVERY_LEASE_TTL}s)",
+            flush=True,
+        )
+        server.wait_for_slot(dead_slot)
+
+        outcomes = []
+        for sid, seed, strategy in opened:
+            while (question := client.next_question(sid)) is not None:
+                client.post_answer(
+                    sid, question["question_id"], answer(question)
+                )
+            outcomes.append(((seed, strategy), client.predicate(sid)))
+    _check_parity(outcomes, workload, oracle)
+    return {
+        "workload": "tpch/join4",
+        "workers": 2,
+        "sessions": sessions,
+        "lease_ttl_seconds": RECOVERY_LEASE_TTL,
+        "takeover_seconds": round(takeover_seconds, 4),
+        "parity_checked": True,
+    }
+
+
+# --- harness -----------------------------------------------------------------
+
+
+def run_benchmarks(smoke: bool = False) -> dict:
+    worker_counts = [1, 2] if smoke else [1, 2, 4]
+    sessions = 8 if smoke else 24
+    with tempfile.TemporaryDirectory(prefix="bench_fleet_") as db_dir:
+        scaling = bench_scaling(worker_counts, sessions, db_dir)
+        recovery = bench_recovery(4 if smoke else 6, db_dir)
+
+    cpu_count = scaling["cpu_count"]
+    workers_max = worker_counts[-1]
+    by_workers = scaling["by_workers"]
+    single = by_workers["1"]["sessions_per_sec"]
+    at_max = by_workers[str(workers_max)]["sessions_per_sec"]
+    # On an M-core machine W workers can't scale past min(W, M): the
+    # scaling gate applies to the largest measured fleet that fits the
+    # cores (the >= 3x-at-4-workers target on >= 4-core hardware; on a
+    # 1-core runner it degenerates to the single-worker identity) and
+    # oversubscribed fleets are held to the bounded-collapse floor.
+    workers_gated = max(w for w in worker_counts if w <= cpu_count)
+    at_gated = by_workers[str(workers_gated)]["sessions_per_sec"]
+    speedup_gated = round(at_gated / single, 3)
+    speedup_max = round(at_max / single, 3)
+    floor = round(SCALING_FLOOR_FACTOR * workers_gated, 3)
+    return {
+        "meta": bench_meta(
+            smoke=smoke,
+            transport="HTTP/1.1 keep-alive over loopback",
+            cpu_count=cpu_count,
+        ),
+        "scaling": scaling,
+        "recovery": recovery,
+        "acceptance": {
+            "cpu_count": cpu_count,
+            "workers_max": workers_max,
+            "workers_gated": workers_gated,
+            "sessions_per_sec_single": single,
+            "sessions_per_sec_max_workers": at_max,
+            "sessions_per_sec_gated_workers": at_gated,
+            "speedup_vs_single": speedup_max,
+            "speedup_at_gated_workers": speedup_gated,
+            "scaling_floor": floor,
+            "scaling_floor_factor": SCALING_FLOOR_FACTOR,
+            "scaling_gate": speedup_gated >= floor,
+            "oversubscription_floor": OVERSUBSCRIPTION_FLOOR,
+            "oversubscription_gate": (
+                speedup_max >= OVERSUBSCRIPTION_FLOOR
+            ),
+            "takeover_seconds": recovery["takeover_seconds"],
+            "lease_ttl_seconds": recovery["lease_ttl_seconds"],
+            "recovery_parity": recovery["parity_checked"],
+            "scaling_parity": scaling["parity_checked"],
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        default=str(
+            Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
+        ),
+        help="where to write the JSON report (default: repo root)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="8 sessions, fleets of 1 and 2 — a CI regression canary",
+    )
+    args = parser.parse_args(argv)
+    report = run_benchmarks(smoke=args.smoke)
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {output}")
+    acceptance = report["acceptance"]
+    print(
+        f"  {acceptance['workers_gated']} workers (core-fitting): "
+        f"{acceptance['speedup_at_gated_workers']}x vs single "
+        f"(floor {acceptance['scaling_floor']}x on "
+        f"{acceptance['cpu_count']} cores); "
+        f"{acceptance['workers_max']} workers: "
+        f"{acceptance['speedup_vs_single']}x"
+    )
+    print(
+        f"  kill -9 takeover {acceptance['takeover_seconds']}s "
+        f"(lease TTL {acceptance['lease_ttl_seconds']}s)"
+    )
+    gates = [
+        ("scaling_gate", acceptance["scaling_gate"]),
+        ("oversubscription_gate", acceptance["oversubscription_gate"]),
+        ("recovery_parity", acceptance["recovery_parity"]),
+        ("scaling_parity", acceptance["scaling_parity"]),
+    ]
+    for name, ok in gates:
+        print(f"acceptance: {name} → {'OK' if ok else 'FAIL'}")
+    return 0 if all(ok for _, ok in gates) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

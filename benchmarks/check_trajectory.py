@@ -2,8 +2,9 @@
 
 Every benchmark harness emits a JSON report; the full-run reports are
 committed at the repo root (``BENCH_core.json``, ``BENCH_build.json``,
-``BENCH_plan.json``, ``BENCH_service.json``, ``BENCH_store.json``) and
-define the performance trajectory the project must not fall off.  CI
+``BENCH_plan.json``, ``BENCH_service.json``, ``BENCH_store.json``,
+``BENCH_fleet.json``) and define the performance trajectory the
+project must not fall off.  CI
 runs each harness in ``--smoke`` mode and this script checks the smoke
 report against the matching baseline with **per-suite tolerances** —
 smoke instances are tiny and shared runners are noisy, so each suite
@@ -64,6 +65,21 @@ STORE_REHYDRATE_RELATIVE_MAX = 10.0
 #: on the committed full run (256 sessions); the 128-session smoke
 #: keeps a noise margin below that.
 PLAN_SMOKE_KERNEL_SPEEDUP_FLOOR = 1.3
+
+#: Fleet takeover is lease-TTL-dominated (~1s); an order-of-magnitude
+#: regression against the committed baseline is a real one.
+FLEET_TAKEOVER_RELATIVE_MAX = 10.0
+
+#: The fleet scaling floor per worker (see bench_fleet.py): the gate
+#: applies to the largest measured fleet that fits the runner's cores,
+#: where speedup must reach factor × workers — the ≥3× target at
+#: 4 workers on ≥4-core hardware.
+FLEET_SCALING_FLOOR_FACTOR = 0.75
+
+#: Fleets oversubscribing their cores may cost throughput (extra
+#: interpreters and index builds on the same cores) but must not
+#: collapse past 4× vs a single worker.
+FLEET_OVERSUBSCRIPTION_FLOOR = 0.25
 
 
 def check_core(report: dict, baseline: dict) -> list[Gate]:
@@ -233,12 +249,93 @@ def check_store(report: dict, baseline: dict) -> list[Gate]:
     return gates
 
 
+def check_fleet(report: dict, baseline: dict) -> list[Gate]:
+    """Multi-worker throughput must scale with the cores the *report's*
+    machine actually has: the speedups are re-derived here from the raw
+    per-worker-count sessions/sec, the scaling floor applies to the
+    largest measured fleet that fits the runner's cpu_count (a 1-core
+    CI runner degenerates to the single-worker identity, not the
+    4-core 3× target), and fleets oversubscribing their cores must not
+    collapse.  Recovery must stay parity-clean and the kill -9
+    takeover the same order of magnitude as the committed baseline."""
+    acceptance = report.get("acceptance", {})
+    by_workers = report.get("scaling", {}).get("by_workers", {})
+    rates = {
+        int(workers): cell.get("sessions_per_sec")
+        for workers, cell in by_workers.items()
+        if cell.get("sessions_per_sec")
+    }
+    factor = baseline.get("acceptance", {}).get(
+        "scaling_floor_factor", FLEET_SCALING_FLOOR_FACTOR
+    )
+    cpu_count = acceptance.get("cpu_count") or 1
+    single = rates.get(1)
+    gated = max(
+        (w for w in rates if w <= cpu_count), default=1
+    )
+    workers_max = max(rates, default=1)
+    floor = factor * gated
+    speedup_gated = (
+        round(rates[gated] / single, 3)
+        if single and gated in rates
+        else None
+    )
+    speedup_max = (
+        round(rates[workers_max] / single, 3)
+        if single and workers_max in rates
+        else None
+    )
+    gates = [
+        _gate(
+            "scaling_vs_cores",
+            speedup_gated is not None and speedup_gated >= floor,
+            f"{speedup_gated}x at {gated} workers on {cpu_count} "
+            f"core(s) (floor {floor:.2f}x = {factor} x workers; "
+            f"largest measured fleet fitting the cores)",
+        ),
+        _gate(
+            "oversubscription_bounded",
+            speedup_max is not None
+            and speedup_max >= FLEET_OVERSUBSCRIPTION_FLOOR,
+            f"{speedup_max}x at {workers_max} workers on {cpu_count} "
+            f"core(s) (floor {FLEET_OVERSUBSCRIPTION_FLOOR}x — "
+            f"oversubscription may cost, not collapse)",
+        ),
+        _gate(
+            "recovery_parity",
+            acceptance.get("recovery_parity", False),
+            "sessions finished identically after kill -9 takeover",
+        ),
+        _gate(
+            "scaling_parity",
+            acceptance.get("scaling_parity", False),
+            "every timed session matched the in-process reference",
+        ),
+    ]
+    takeover = acceptance.get("takeover_seconds")
+    baseline_takeover = baseline.get("acceptance", {}).get(
+        "takeover_seconds"
+    )
+    if baseline_takeover:
+        ceiling = baseline_takeover * FLEET_TAKEOVER_RELATIVE_MAX
+        gates.append(
+            _gate(
+                "takeover_vs_baseline",
+                takeover is not None and takeover <= ceiling,
+                f"takeover {takeover}s (baseline {baseline_takeover}s, "
+                f"ceiling {ceiling:.1f}s)",
+            )
+        )
+    return gates
+
+
 SUITES = {
     "core": check_core,
     "build": check_build,
     "plan": check_plan,
     "service": check_service,
     "store": check_store,
+    "fleet": check_fleet,
 }
 
 

@@ -271,6 +271,28 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: 16)"
         ),
     )
+    serve.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help=(
+            "worker processes behind a front router; 1 serves "
+            "in-process (the classic single-server mode), N>1 runs a "
+            "fleet — requires --store, sessions are partitioned by id "
+            "hash and leased so a killed worker's sessions resume on "
+            "survivors (default: 1)"
+        ),
+    )
+    serve.add_argument(
+        "--lease-ttl",
+        type=_non_negative_float,
+        default=10.0,
+        help=(
+            "fleet-mode session lease TTL in seconds: how long after a "
+            "worker's last heartbeat its sessions can be taken over by "
+            "a survivor (default: 10)"
+        ),
+    )
     return parser
 
 
@@ -472,11 +494,66 @@ def manager_from_args(args: argparse.Namespace):
     )
 
 
+def _cmd_serve_fleet(args: argparse.Namespace) -> int:
+    """The ``serve --workers N`` path: front router + worker fleet."""
+    import asyncio
+
+    from .service import Fleet, FleetConfig, FleetRouter
+
+    if args.store is None:
+        raise SystemExit(
+            "serve --workers requires --store: the fleet's workers "
+            "share sessions through the durable store's lease protocol"
+        )
+    if args.lease_ttl <= 0:
+        raise SystemExit("--lease-ttl must be positive in fleet mode")
+    config = FleetConfig(
+        store_path=str(args.store),
+        workers=args.workers,
+        host=args.host,
+        lease_ttl_seconds=args.lease_ttl,
+        checkpoint_every=args.checkpoint_every,
+        max_sessions=args.max_sessions,
+        ttl_seconds=args.session_ttl if args.session_ttl > 0 else None,
+        build_workers=args.build_workers,
+        speculate=args.speculate,
+        kernel_batch=args.kernel_batch,
+    )
+
+    async def run() -> None:
+        import signal as signal_module
+
+        fleet = Fleet(config)
+        await fleet.start()
+        router = FleetRouter(fleet)
+        server = await router.start(args.host, args.port)
+        sockname = server.sockets[0].getsockname()
+        print(
+            f"fleet of {args.workers} workers serving on "
+            f"http://{sockname[0]}:{sockname[1]}",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal_module.SIGTERM, signal_module.SIGINT):
+            loop.add_signal_handler(signum, stop.set)
+        await stop.wait()
+        print("draining fleet", flush=True)
+        # Graceful shutdown: every worker checkpoints + demotes its
+        # sessions and releases its leases before the processes exit.
+        await router.shutdown(drain=True)
+
+    asyncio.run(run())
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from .service import ServiceApp, run_server
 
+    if args.workers > 1:
+        return _cmd_serve_fleet(args)
     manager = manager_from_args(args)
     try:
         asyncio.run(run_server(ServiceApp(manager), args.host, args.port))

@@ -18,10 +18,19 @@ Sessions become *durable* when the manager is given a
 sessions.db``): answers journal to SQLite in WAL mode, eviction demotes
 to disk instead of deleting, and any session — including one orphaned
 by a crash — rehydrates transparently on its next touch.
+
+One process is one GIL; ``repro-join serve --workers N`` multiplies the
+stack across cores as a **fleet** (:mod:`~repro.service.fleet`): a front
+router (:mod:`~repro.service.router`) speaking the same public protocol
+proxies to N worker subprocesses sharing one store, with per-session
+leases (owner + fencing epoch + heartbeat expiry) so a SIGKILLed
+worker's sessions are taken over by survivors bit-for-bit while the
+supervisor respawns the slot and the router rebalances.
 """
 
 from .app import ServiceApp, ServiceServer, run_server, start_server
 from .client import ServiceClient, ServiceClientError
+from .fleet import Fleet, FleetConfig, FleetServer, WorkerHandle
 from .index_cache import BuildStatus, IndexCache, instance_fingerprint
 from .manager import ManagedSession, SessionManager, Speculation
 from .protocol import (
@@ -40,7 +49,10 @@ from .protocol import (
     question_payload,
     sessions_payload,
 )
+from .router import FleetRouter, WorkerUnavailable
 from .store import (
+    Lease,
+    LeaseFenced,
     MemorySessionStore,
     SessionStore,
     SqliteSessionStore,
@@ -54,7 +66,13 @@ __all__ = [
     "CapacityExceeded",
     "Conflict",
     "CreateSpec",
+    "Fleet",
+    "FleetConfig",
+    "FleetRouter",
+    "FleetServer",
     "IndexCache",
+    "Lease",
+    "LeaseFenced",
     "ManagedSession",
     "MemorySessionStore",
     "NotFound",
@@ -69,6 +87,8 @@ __all__ = [
     "SqliteSessionStore",
     "StoreError",
     "StoredSession",
+    "WorkerHandle",
+    "WorkerUnavailable",
     "instance_fingerprint",
     "instance_from_spec",
     "parse_answer_payload",

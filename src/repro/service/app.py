@@ -30,11 +30,28 @@ GET         ``/stats``                      server + index-cache counters
 Cold index builds run on the manager's worker pool (single-flight per
 fingerprint), so while one client waits for a large build, every other
 session keeps answering and ``GET /builds`` reports shard progress.
+
+Fleet workers (``ServiceApp(control=True)``) additionally expose
+worker-internal control routes the front router drives — never meant
+for external clients, and 404 unless enabled:
+
+==========  ==============================  =====================================
+GET         ``/control/health``             liveness + live-session count
+POST        ``/control/drain``              demote every durable session, flush,
+                                            release leases (graceful shutdown)
+POST        ``/control/demote``             demote the listed sessions (rebalance
+                                            after a dead slot respawns)
+==========  ==============================  =====================================
+
+The router also assigns session ids itself (it must know the id to pick
+the owning worker before the create lands), passing them down via the
+internal ``x-fleet-session-id`` header on create/resume.
 """
 
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import json
 import threading
 from typing import Any
@@ -75,16 +92,28 @@ _REASONS = {
 class ServiceApp:
     """Routes (method, path, JSON body) triples onto the manager."""
 
-    def __init__(self, manager: SessionManager | None = None):
+    def __init__(
+        self,
+        manager: SessionManager | None = None,
+        *,
+        control: bool = False,
+    ):
         # `manager or ...` would discard an *empty* manager (it has len 0).
         self.manager = manager if manager is not None else SessionManager()
+        #: Expose the worker-internal ``/control/*`` routes (fleet
+        #: workers only; a public-facing server keeps them 404).
+        self.control = control
 
     async def dispatch(
-        self, method: str, path: str, payload: Any
+        self,
+        method: str,
+        path: str,
+        payload: Any,
+        headers: dict[str, str] | None = None,
     ) -> tuple[int, dict[str, Any]]:
         """Handle one request; returns ``(status, response payload)``."""
         try:
-            return await self._route(method, path, payload)
+            return await self._route(method, path, payload, headers)
         except ServiceError as exc:
             return exc.status, {
                 "error": exc.code,
@@ -94,7 +123,11 @@ class ServiceApp:
             return 500, {"error": "internal_error", "message": str(exc)}
 
     async def _route(
-        self, method: str, path: str, payload: Any
+        self,
+        method: str,
+        path: str,
+        payload: Any,
+        headers: dict[str, str] | None = None,
     ) -> tuple[int, dict[str, Any]]:
         parts = [p for p in path.split("/") if p]
         if parts == ["stats"] or not parts:
@@ -105,12 +138,14 @@ class ServiceApp:
             if method != "GET":
                 raise BadRequest(f"{method} not allowed on /builds")
             return 200, builds_payload(self.manager.builds())
+        if parts and parts[0] == "control":
+            return await self._control(method, parts, payload)
         if parts[0] != "sessions":
             raise NotFound(f"no route {path!r}")
 
         if len(parts) == 1:
             if method == "POST":
-                return await self._create(payload)
+                return await self._create(payload, headers)
             if method == "GET":
                 # Counts first: session_counts sweeps, so listing
                 # afterwards cannot include a session the counts just
@@ -131,7 +166,7 @@ class ServiceApp:
         if parts[1] == "resume" and len(parts) == 2:
             if method != "POST":
                 raise BadRequest(f"{method} not allowed on resume")
-            return await self._resume(payload)
+            return await self._resume(payload, headers)
 
         session_id = parts[1]
         action = parts[2] if len(parts) == 3 else None
@@ -167,7 +202,61 @@ class ServiceApp:
                 return 200, self.manager.snapshot(session_id)
         raise NotFound(f"no route {path!r}")
 
-    async def _create(self, payload: Any) -> tuple[int, dict[str, Any]]:
+    @staticmethod
+    def _fleet_session_id(headers: dict[str, str] | None) -> str | None:
+        """The router-assigned session id, when this request came
+        through the fleet front (internal header, absent otherwise)."""
+        if not headers:
+            return None
+        return headers.get("x-fleet-session-id") or None
+
+    async def _control(
+        self, method: str, parts: list[str], payload: Any
+    ) -> tuple[int, dict[str, Any]]:
+        """Worker-internal routes the fleet router drives."""
+        if not self.control:
+            raise NotFound("no route /" + "/".join(parts))
+        route = parts[1] if len(parts) == 2 else None
+        if route == "health":
+            if method != "GET":
+                raise BadRequest(f"{method} not allowed on health")
+            return 200, {
+                "ok": True,
+                "owner": self.manager.owner_id,
+                "sessions": len(self.manager),
+            }
+        if route == "drain":
+            if method != "POST":
+                raise BadRequest(f"{method} not allowed on drain")
+            demoted = self.manager.demote_all()
+            # Durability barrier off-loop: every demoted session's
+            # journal tail (and its trailing lease release) commits
+            # before the router is told the drain finished.
+            await self.manager.offload(self.manager.flush_store)
+            return 200, {"demoted": demoted}
+        if route == "demote":
+            if method != "POST":
+                raise BadRequest(f"{method} not allowed on demote")
+            if not isinstance(payload, dict) or not isinstance(
+                payload.get("session_ids"), list
+            ):
+                raise BadRequest("'session_ids' must be a list")
+            demoted: list[str] = []
+            skipped: list[str] = []
+            for session_id in payload["session_ids"]:
+                try:
+                    self.manager.demote(session_id)
+                except (NotFound, BadRequest):
+                    skipped.append(session_id)
+                else:
+                    demoted.append(session_id)
+            await self.manager.offload(self.manager.flush_store)
+            return 200, {"demoted": demoted, "skipped": skipped}
+        raise NotFound("no route /" + "/".join(parts))
+
+    async def _create(
+        self, payload: Any, headers: dict[str, str] | None = None
+    ) -> tuple[int, dict[str, Any]]:
         # Validating an uploaded payload parses its CSV text — O(cells),
         # so it runs on the build pool like hashing and building.  A
         # builtin payload is O(1) and validates inline: a warm builtin
@@ -176,16 +265,23 @@ class ServiceApp:
             spec = await self.manager.offload(parse_create_payload, payload)
         else:
             spec = parse_create_payload(payload)
+        session_id = self._fleet_session_id(headers)
+        if session_id is not None:
+            spec = dataclasses.replace(spec, session_id=session_id)
         managed = await self.manager.create_async(spec)
         return 201, {
             **managed.describe(),
             "progress": progress_payload(managed.session),
         }
 
-    async def _resume(self, payload: Any) -> tuple[int, dict[str, Any]]:
+    async def _resume(
+        self, payload: Any, headers: dict[str, str] | None = None
+    ) -> tuple[int, dict[str, Any]]:
         if not isinstance(payload, dict):
             raise BadRequest("request body must be a snapshot object")
-        managed = await self.manager.resume_async(payload)
+        managed = await self.manager.resume_async(
+            payload, session_id=self._fleet_session_id(headers)
+        )
         return 201, {
             **managed.describe(),
             "progress": progress_payload(managed.session),
@@ -248,7 +344,7 @@ def _response_bytes(status: int, payload: dict[str, Any]) -> bytes:
 
 async def _read_request(
     reader: asyncio.StreamReader,
-) -> tuple[str, str, bytes, bool] | None:
+) -> tuple[str, str, bytes, bool, dict[str, str]] | None:
     """Parse one request; None at end-of-stream before a request line."""
     line = await reader.readline()
     if not line:
@@ -278,7 +374,7 @@ async def _read_request(
     )
     # Strip any query string; the protocol is JSON-body only.
     path = target.split("?", 1)[0]
-    return method.upper(), path, body, keep_alive
+    return method.upper(), path, body, keep_alive, headers
 
 
 async def _handle_connection(
@@ -318,7 +414,7 @@ async def _handle_connection(
                 break
             if request is None:
                 break
-            method, path, body, keep_alive = request
+            method, path, body, keep_alive, headers = request
             try:
                 if body:
                     try:
@@ -330,11 +426,11 @@ async def _handle_connection(
                         }
                     else:
                         status, response = await app.dispatch(
-                            method, path, payload
+                            method, path, payload, headers
                         )
                 else:
                     status, response = await app.dispatch(
-                        method, path, None
+                        method, path, None, headers
                     )
             except asyncio.CancelledError:
                 # Server shutdown while a handler awaited off-loop work
@@ -349,7 +445,14 @@ async def _handle_connection(
         writer.close()
         try:
             await writer.wait_closed()
-        except (ConnectionResetError, BrokenPipeError):
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.CancelledError,
+        ):
+            # CancelledError: the loop is tearing the task down mid
+            # close (worker drain) — the transport is going away with
+            # it, so there is nothing left to wait for.
             pass
 
 

@@ -13,12 +13,19 @@ driving a remote inference reads like driving a local session::
 
 One client holds one connection — use one client per thread when load
 testing (see ``benchmarks/bench_service.py``).
+
+Against a fleet front (``repro-join serve --workers N``) a worker
+being respawned shows up as a reset connection; idempotent GETs are
+retried (``retries`` attempts, short backoff) so a client riding out a
+worker kill sees latency, not an error.  POSTs stay single-shot:
+re-sending an answer whose response was lost could replay it.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import time
 from typing import Any, Callable
 
 __all__ = ["ServiceClient", "ServiceClientError"]
@@ -36,10 +43,24 @@ class ServiceClientError(Exception):
 class ServiceClient:
     """Synchronous HTTP client speaking the service's JSON protocol."""
 
-    def __init__(self, host: str, port: int, timeout: float = 60.0):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 60.0,
+        *,
+        retries: int = 3,
+        retry_backoff: float = 0.05,
+    ):
+        if retries < 1:
+            raise ValueError("retries must be at least 1")
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: Attempts for idempotent GETs on a broken socket (a fleet
+        #: worker respawning mid-request); non-GETs never retry.
+        self.retries = retries
+        self.retry_backoff = retry_backoff
         self._connection: http.client.HTTPConnection | None = None
 
     # --- plumbing ------------------------------------------------------------
@@ -62,8 +83,11 @@ class ServiceClient:
         headers = {"Content-Type": "application/json"} if body else {}
         # Only idempotent GETs are retried: re-sending a POST whose
         # response was lost could replay an already-recorded answer.
-        attempts = (0, 1) if method == "GET" else (1,)
-        for attempt in attempts:
+        # GET retries back off briefly between attempts — long enough
+        # to ride out a stale keep-alive connection or a fleet worker
+        # being respawned, short enough to stay interactive.
+        attempts = self.retries if method == "GET" else 1
+        for attempt in range(attempts):
             connection = self._connect()
             try:
                 connection.request(method, path, body=body, headers=headers)
@@ -74,12 +98,13 @@ class ServiceClient:
                 http.client.HTTPException,
                 ConnectionError,
                 BrokenPipeError,
+                OSError,
+                TimeoutError,
             ):
-                # Stale keep-alive connection: reconnect (and for GETs
-                # retry once).
                 self.close()
-                if attempt:
+                if attempt + 1 >= attempts:
                     raise
+                time.sleep(self.retry_backoff * (attempt + 1))
         decoded = json.loads(data) if data else {}
         if response.status >= 400:
             raise ServiceClientError(

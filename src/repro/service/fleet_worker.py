@@ -1,0 +1,15 @@
+"""Worker-subprocess entry point: ``python -m repro.service.fleet_worker``.
+
+A separate module (rather than running :mod:`repro.service.fleet`
+directly) because the package ``__init__`` imports ``fleet`` — running
+an already-imported module with ``-m`` makes runpy warn about the
+duplicate in ``sys.modules``.  Nothing imports this module; it exists
+only to be executed.
+"""
+
+import sys
+
+from .fleet import worker_main
+
+if __name__ == "__main__":
+    sys.exit(worker_main(sys.argv[1:]))

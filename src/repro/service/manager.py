@@ -107,11 +107,12 @@ from .index_cache import IndexCache, instance_fingerprint
 from .protocol import (
     BadRequest,
     CapacityExceeded,
+    Conflict,
     CreateSpec,
     NotFound,
     instance_from_spec,
 )
-from .store import SessionStore, StoredSession
+from .store import LeaseFenced, SessionStore, StoredSession
 
 __all__ = ["ManagedSession", "SessionManager", "Speculation"]
 
@@ -189,6 +190,13 @@ class ManagedSession:
     store_lock: threading.Lock = field(default_factory=threading.Lock)
     store_flushing: bool = False
     store_flush_future: Future | None = None
+    #: Fleet leasing (None/False outside a fleet): the fencing epoch
+    #: this owner holds the session's lease at, and whether that lease
+    #: was lost (fenced write or failed heartbeat) — a lost session is
+    #: shed from memory on the next event-loop touch, never served
+    #: stale.
+    lease_epoch: int | None = None
+    lease_lost: bool = False
 
     def describe(self) -> dict[str, Any]:
         """The session-info payload (no inference state)."""
@@ -227,6 +235,8 @@ class SessionManager:
         batch_max: int = 64,
         store: SessionStore | None = None,
         checkpoint_every: int = 16,
+        owner_id: str | None = None,
+        lease_ttl_seconds: float = 10.0,
     ):
         if max_sessions < 1:
             raise ValueError("max_sessions must be positive")
@@ -244,6 +254,8 @@ class SessionManager:
             )
         if speculation_depth < 1:
             raise ValueError("speculation_depth must be positive")
+        if lease_ttl_seconds <= 0:
+            raise ValueError("lease_ttl_seconds must be positive")
         # `index_cache or ...` would discard an *empty* cache (len 0).
         # A caller-supplied cache keeps whatever builder it was
         # configured with — passing shard_rows alongside it would be
@@ -294,6 +306,24 @@ class SessionManager:
         )
         self.store = store
         self.checkpoint_every = checkpoint_every
+        #: Fleet leasing.  With an ``owner_id`` set (a fleet worker),
+        #: every durable session is claimed through the store's lease
+        #: protocol: acquired before its first write, renewed by the
+        #: heartbeat thread, fenced on every journal flush, released on
+        #: demote.  ``owner_id=None`` (the default, single-process
+        #: serving) keeps the PR 5 behaviour bit-for-bit: no lease rows,
+        #: no fences, no heartbeat.
+        self.owner_id = owner_id
+        self.lease_ttl_seconds = lease_ttl_seconds
+        self._heartbeat_thread: threading.Thread | None = None
+        self._heartbeat_stop = threading.Event()
+        #: session_id -> epoch granted by the rehydrate-path acquire,
+        #: consumed by _admit_rehydrated (worker thread writes, event
+        #: loop reads after the replay completes).
+        self._rehydrate_epochs: dict[str, int] = {}
+        self._fenced_total = 0
+        self._leases_lost = 0
+        self._lease_denied = 0
         self._clock = clock
         self._sessions: dict[str, ManagedSession] = {}
         self._expired_total = 0
@@ -391,6 +421,10 @@ class SessionManager:
         enqueued always reach the store (with ``wait=False`` they
         complete on the writer thread, joined at interpreter exit).
         """
+        self._heartbeat_stop.set()
+        if self._heartbeat_thread is not None:
+            self._heartbeat_thread.join(timeout=5)
+            self._heartbeat_thread = None
         for managed in self._sessions.values():
             self._drop_speculation(managed)
         if self._batcher is not None:
@@ -451,6 +485,11 @@ class SessionManager:
         tail to land before loading."""
         self._drop_speculation(managed)
         del self._sessions[session_id]
+        if self._leasing and managed.lease_epoch is not None:
+            # Trailing op: the lease is handed back only after every
+            # journal write queued before it has committed, so the next
+            # owner's acquire-then-load sees the complete tail.
+            self._enqueue_store_op(managed, ("release",))
         self._kick_flush(managed)
         if managed.store_flush_future is not None:
             self._demote_flushes[session_id] = managed.store_flush_future
@@ -668,15 +707,24 @@ class SessionManager:
             seed=spec.seed,
         )
 
+    def _check_session_id(self, session_id: str | None) -> None:
+        """Reject a caller-assigned id (fleet router) already live here."""
+        if session_id is not None and session_id in self._sessions:
+            raise Conflict(f"session {session_id!r} already exists")
+
     def create(self, spec: CreateSpec) -> ManagedSession:
         """Open a session per a validated creation request (inline build)."""
+        self._check_session_id(spec.session_id)
         self._ensure_capacity()
         instance, index, hit = self._index_for_spec(
             spec.instance_spec, spec.instance
         )
         session = self._make_session(spec, instance, index)
         managed = self._admit(
-            self._build(session, spec.instance_spec, hit)
+            self._build(
+                session, spec.instance_spec, hit,
+                session_id=spec.session_id,
+            )
         )
         self._persist_create(managed)
         return managed
@@ -687,13 +735,17 @@ class SessionManager:
         Capacity is re-checked by ``_admit`` after the await — the
         server may have filled while the build was in flight.
         """
+        self._check_session_id(spec.session_id)
         self._ensure_capacity()
         instance, index, hit = await self._index_for_spec_async(
             spec.instance_spec, spec.instance
         )
         session = self._make_session(spec, instance, index)
         managed = self._admit(
-            self._build(session, spec.instance_spec, hit)
+            self._build(
+                session, spec.instance_spec, hit,
+                session_id=spec.session_id,
+            )
         )
         self._persist_create(managed)
         return managed
@@ -720,20 +772,30 @@ class SessionManager:
             raise BadRequest("snapshot carries no instance spec")
         return instance_spec
 
-    def resume(self, payload: dict[str, Any]) -> ManagedSession:
+    def resume(
+        self, payload: dict[str, Any], session_id: str | None = None
+    ) -> ManagedSession:
         """Open a session by replaying a snapshot payload."""
+        self._check_session_id(session_id)
         instance_spec = self._snapshot_instance_spec(payload)
         self._ensure_capacity()
         instance, index, hit = self._index_for_spec(instance_spec, None)
         session = self._resume_session(payload, instance, index)
-        managed = self._admit(self._build(session, instance_spec, hit))
+        managed = self._admit(
+            self._build(
+                session, instance_spec, hit, session_id=session_id
+            )
+        )
         self._persist_create(managed)
         return managed
 
-    async def resume_async(self, payload: dict[str, Any]) -> ManagedSession:
+    async def resume_async(
+        self, payload: dict[str, Any], session_id: str | None = None
+    ) -> ManagedSession:
         """Like :meth:`resume`, but the cold index build *and* the
         label replay happen off-loop — replaying a long snapshot steps
         the strategy once per label, which is O(snapshot), not O(1)."""
+        self._check_session_id(session_id)
         instance_spec = self._snapshot_instance_spec(payload)
         self._ensure_capacity()
         instance, index, hit = await self._index_for_spec_async(
@@ -742,7 +804,11 @@ class SessionManager:
         session = await self._heavy_offload(
             self._resume_session, payload, instance, index
         )
-        managed = self._admit(self._build(session, instance_spec, hit))
+        managed = self._admit(
+            self._build(
+                session, instance_spec, hit, session_id=session_id
+            )
+        )
         self._persist_create(managed)
         return managed
 
@@ -1051,6 +1117,73 @@ class SessionManager:
 
     # --- durable store plumbing ----------------------------------------------
 
+    @property
+    def _leasing(self) -> bool:
+        return self.store is not None and self.owner_id is not None
+
+    def _ensure_heartbeat(self) -> None:
+        """Start the lease-renewal thread (once, lazily, leasing only).
+
+        One daemon thread renews every held lease at a third of the TTL
+        so a live worker never expires; a worker that stops renewing —
+        SIGKILL, hard hang — loses its leases one TTL later and the
+        survivors take its sessions over."""
+        if not self._leasing or self._heartbeat_thread is not None:
+            return
+        self._heartbeat_stop.clear()
+        self._heartbeat_thread = threading.Thread(
+            target=self._heartbeat_loop,
+            name="lease-heartbeat",
+            daemon=True,
+        )
+        self._heartbeat_thread.start()
+
+    def _heartbeat_loop(self) -> None:
+        interval = self.lease_ttl_seconds / 3.0
+        while not self._heartbeat_stop.wait(interval):
+            # Snapshot: the event loop owns self._sessions; this thread
+            # only flips per-session flags, never mutates the dict.
+            for managed in list(self._sessions.values()):
+                if (
+                    not managed.durable
+                    or managed.lease_lost
+                    or managed.lease_epoch is None
+                ):
+                    continue
+                try:
+                    renewed = self.store.renew_lease(
+                        managed.session_id,
+                        self.owner_id,
+                        managed.lease_epoch,
+                        self.lease_ttl_seconds,
+                    )
+                except Exception:  # noqa: BLE001 - keep heartbeating others
+                    continue
+                if not renewed:
+                    self._mark_lease_lost(managed)
+
+    def _mark_lease_lost(self, managed: ManagedSession) -> None:
+        """Another owner took this session: stop writing immediately
+        and flag it for shedding (the dict entry is removed on the
+        event loop, in :meth:`_shed_lease_lost`)."""
+        with managed.store_lock:
+            managed.store_ops.clear()
+        managed.lease_lost = True
+        managed.durable = False
+        self._demoted.discard(managed.session_id)
+        self._leases_lost += 1
+
+    def _shed_lease_lost(self, session_id: str) -> None:
+        """Drop a deposed session from memory (event loop only).
+
+        Its durable state now belongs to the lease's new owner, so the
+        store row is left strictly alone; a later touch goes through
+        the ordinary rehydrate path and competes for the lease again."""
+        managed = self._sessions.get(session_id)
+        if managed is not None and managed.lease_lost:
+            self._drop_speculation(managed)
+            del self._sessions[session_id]
+
     def _snapshot_payload(self, managed: ManagedSession) -> dict[str, Any]:
         return snapshot_payload(
             managed.session, instance_ref=managed.instance_spec
@@ -1061,6 +1194,9 @@ class SessionManager:
 
         Unseeded sessions cannot snapshot, hence cannot be journaled —
         they stay non-durable and keep the delete-on-evict behaviour.
+        Under leasing the queue leads with an ``acquire`` op, so the
+        lease (and its fencing epoch) is in hand before the create
+        checkpoint — or any later answer — touches the store.
         """
         if self.store is None or managed.session.seed is None:
             return
@@ -1068,6 +1204,9 @@ class SessionManager:
         seq = managed.session.state.interaction_count
         managed.store_seq = seq
         managed.checkpoint_seq = seq
+        if self._leasing:
+            self._enqueue_store_op(managed, ("acquire",))
+            self._ensure_heartbeat()
         self._enqueue_store_op(
             managed, ("checkpoint", self._snapshot_payload(managed), seq)
         )
@@ -1149,14 +1288,45 @@ class SessionManager:
                         continue
                     if answers:
                         store.append_answers(
-                            managed.session_id, answers
+                            managed.session_id,
+                            answers,
+                            fence=self._fence_of(managed),
                         )
                         answers = []
+                    if op[0] == "acquire":
+                        self._drain_acquire(managed)
+                        continue
+                    if op[0] == "release":
+                        if managed.lease_epoch is not None:
+                            store.release_lease(
+                                managed.session_id,
+                                self.owner_id,
+                                managed.lease_epoch,
+                            )
+                            managed.lease_epoch = None
+                        continue
                     store.put_checkpoint(
-                        managed.session_id, op[1], op[2]
+                        managed.session_id,
+                        op[1],
+                        op[2],
+                        fence=self._fence_of(managed),
                     )
                 if answers:
-                    store.append_answers(managed.session_id, answers)
+                    store.append_answers(
+                        managed.session_id,
+                        answers,
+                        fence=self._fence_of(managed),
+                    )
+            except LeaseFenced:
+                # Deposed: another worker holds the lease now and owns
+                # the stored row — dropping OUR queue is mandatory,
+                # touching THEIR data is forbidden (no delete here,
+                # unlike the generic-failure arm below).
+                with managed.store_lock:
+                    managed.store_flushing = False
+                self._mark_lease_lost(managed)
+                self._fenced_total += 1
+                return
             except Exception:  # noqa: BLE001 - durability must not kill serving
                 with managed.store_lock:
                     managed.store_ops.clear()
@@ -1168,11 +1338,49 @@ class SessionManager:
                     # The row now trails the live session; left behind,
                     # a later eviction-then-touch (or a DELETE, which
                     # skips the store for non-durable sessions) would
-                    # resurrect a silently rolled-back copy.
-                    self.store.delete(managed.session_id)
+                    # resurrect a silently rolled-back copy.  Under
+                    # leasing the row is deleted only while we still
+                    # hold the lease (released here, atomically): if a
+                    # takeover already happened, the row is the new
+                    # owner's to keep.
+                    if self._leasing:
+                        epoch = managed.lease_epoch
+                        managed.lease_epoch = None
+                        if epoch is not None and self.store.release_lease(
+                            managed.session_id, self.owner_id, epoch
+                        ):
+                            self.store.delete(managed.session_id)
+                    else:
+                        self.store.delete(managed.session_id)
                 except Exception:  # noqa: BLE001 - store is already failing
                     pass
                 return
+
+    def _fence_of(self, managed: ManagedSession) -> tuple[str, int] | None:
+        """The (owner, epoch) stamp for this session's store writes —
+        None outside a fleet, so single-process stores never pay the
+        per-write lease lookup."""
+        if not self._leasing or managed.lease_epoch is None:
+            return None
+        return (self.owner_id, managed.lease_epoch)
+
+    def _drain_acquire(self, managed: ManagedSession) -> None:
+        """Process a queued ``acquire`` op (writer thread).
+
+        A fresh session id cannot be contended, so a denial means the
+        id is deliberately reused while another worker still holds it —
+        surfaced as :class:`LeaseFenced` so the shared failure arm
+        sheds the session without touching the holder's data."""
+        lease = self.store.acquire_lease(
+            managed.session_id, self.owner_id, self.lease_ttl_seconds
+        )
+        if lease is None:
+            self._lease_denied += 1
+            raise LeaseFenced(
+                f"session {managed.session_id!r}: lease denied — held "
+                f"by another live owner"
+            )
+        managed.lease_epoch = lease.epoch
 
     def flush_store(self) -> None:
         """Block until every enqueued store op has committed.
@@ -1195,11 +1403,40 @@ class SessionManager:
     def _load_stored(self, session_id: str) -> StoredSession | None:
         """Fetch a session's recoverable state (worker thread), first
         waiting out any in-flight demotion flush for the same id so the
-        journal tail is complete before it is read."""
+        journal tail is complete before it is read.
+
+        Under leasing the lease is acquired *before* the load: from the
+        moment it is granted, any late flush from the previous owner is
+        fenced out, so the journal read here is the final word.  A
+        session whose lease has not yet expired (its owner may still be
+        alive) is waited on briefly — the takeover window after a
+        worker SIGKILL — and then refused with 409 rather than served
+        from a contended copy."""
         flush = self._demote_flushes.pop(session_id, None)
         if flush is not None:
             flush.result()
+        if self._leasing:
+            if session_id not in self.store:
+                return None
+            lease = self._acquire_for_rehydrate(session_id)
+            self._rehydrate_epochs[session_id] = lease.epoch
         return self.store.load(session_id)
+
+    def _acquire_for_rehydrate(self, session_id: str):
+        deadline = time.time() + self.lease_ttl_seconds * 2.0
+        while True:
+            lease = self.store.acquire_lease(
+                session_id, self.owner_id, self.lease_ttl_seconds
+            )
+            if lease is not None:
+                return lease
+            if time.time() >= deadline:
+                self._lease_denied += 1
+                raise Conflict(
+                    f"session {session_id!r} is leased to another "
+                    f"worker; retry shortly"
+                )
+            time.sleep(min(0.05, self.lease_ttl_seconds / 10.0))
 
     def _admit_rehydrated(
         self,
@@ -1215,6 +1452,11 @@ class SessionManager:
         managed.durable = True
         managed.store_seq = stored.journal_seq
         managed.checkpoint_seq = stored.checkpoint_seq
+        if self._leasing:
+            managed.lease_epoch = self._rehydrate_epochs.pop(
+                session_id, None
+            )
+            self._ensure_heartbeat()
         self._admit(managed)
         self._demoted.discard(session_id)
         self._rehydrated_total += 1
@@ -1297,6 +1539,7 @@ class SessionManager:
         transparently rehydrated — *inline*, for synchronous embedders;
         the server path uses :meth:`get_async`, which replays off-loop.
         """
+        self._shed_lease_lost(session_id)
         managed = self._touch_live_durable(session_id)
         if managed is not None:
             self.sweep()
@@ -1315,6 +1558,7 @@ class SessionManager:
         (store read on the preprocessing pool, label replay on the
         build pool) behind per-session single-flight — two concurrent
         touches of one demoted session trigger exactly one replay."""
+        self._shed_lease_lost(session_id)
         managed = self._touch_live_durable(session_id)
         if managed is not None:
             self.sweep()
@@ -1508,6 +1752,19 @@ class SessionManager:
                 rehydrations_total=self._rehydrated_total,
                 flush_errors=self._store_errors,
             )
+            if self._leasing:
+                store["lease"] = {
+                    "owner": self.owner_id,
+                    "ttl_seconds": self.lease_ttl_seconds,
+                    "held": sum(
+                        1
+                        for m in self._sessions.values()
+                        if m.lease_epoch is not None
+                    ),
+                    "fenced_writes": self._fenced_total,
+                    "lost": self._leases_lost,
+                    "denied": self._lease_denied,
+                }
         return {
             "sessions": len(self._sessions),
             "max_sessions": self.max_sessions,

@@ -108,6 +108,10 @@ class CreateSpec:
     strategy: str
     seed: int | None
     max_questions: int | None
+    #: Caller-assigned id (the fleet router partitions sessions by id
+    #: hash, so it must pick the id before choosing the worker); None
+    #: lets the manager mint one.
+    session_id: str | None = None
 
 
 def _require_dict(payload: Any, what: str) -> dict[str, Any]:

@@ -1,0 +1,629 @@
+"""The fleet's front router: one public port, N worker processes.
+
+A thin stdlib-asyncio HTTP/1.1 proxy speaking the *existing* service
+protocol — clients cannot tell a fleet from a single server.  Every
+request is routed by **session id**:
+
+* ``POST /sessions`` and ``POST /sessions/resume`` have no id yet, so
+  the router mints one (it must know the id *before* it can pick the
+  worker) and passes it down via the internal ``x-fleet-session-id``
+  header; the worker creates the session under exactly that id.
+* ``/sessions/{id}/...`` goes to the id's **home slot** —
+  ``crc32(id) % workers``, a stable partition every router restart
+  recomputes identically (unlike Python's per-process ``hash``) — so a
+  session's whole life is served by one process and its in-memory
+  state (speculation trees, batched kernels) stays hot.
+* ``/stats``, ``/sessions`` (list) and ``/builds`` fan out to every
+  live worker and aggregate; ``/fleet`` is the router's own view
+  (slots, pids, generations, failover counters).
+
+**Failover.**  When the home worker is unreachable (SIGKILLed, or
+mid-respawn), the router picks a live survivor, records the *override*
+``session → survivor slot``, and re-sends.  The survivor rehydrates the
+session from the shared store behind the lease takeover: it waits out
+the dead owner's lease TTL, bumps the fencing epoch, and replays the
+checkpoint + journal tail bit-for-bit.  A request is only re-sent when
+that is provably safe: the bytes never reached a worker (connect
+refused), or the method is an idempotent GET — a mutating request that
+died mid-flight is answered 503 and left to the client.
+
+**Rebalance.**  The supervisor respawns the dead slot; once it is back,
+the router asks each survivor to ``/control/demote`` the sessions it
+was covering (checkpoint + flush + lease release) and clears the
+overrides — the next touch rehydrates each session on its home slot.
+
+**Drain.**  ``shutdown(drain=True)`` (the CLI's SIGTERM path) stops
+accepting, tells every live worker to ``/control/drain`` — demoting
+every durable session and releasing every lease — and only then
+terminates the fleet, so a redeploy loses nothing and leaves no lease
+for a successor fleet to wait out.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import uuid
+import zlib
+from typing import Any
+
+from .app import _read_request, _response_bytes
+from .fleet import Fleet, WorkerHandle
+from .protocol import BadRequest
+
+__all__ = ["FleetRouter", "WorkerUnavailable"]
+
+_POOL_PER_WORKER = 32
+
+
+class WorkerUnavailable(Exception):
+    """A proxied request could not complete against its worker.
+
+    ``sent`` distinguishes the two failure points: ``False`` means the
+    connection never carried the request (retrying anywhere is safe),
+    ``True`` means the worker may have processed it (only idempotent
+    requests may be retried)."""
+
+    def __init__(self, slot: int, reason: str, *, sent: bool):
+        super().__init__(f"worker slot {slot}: {reason}")
+        self.slot = slot
+        self.sent = sent
+
+
+class FleetRouter:
+    """Route public requests onto the fleet's worker processes."""
+
+    def __init__(self, fleet: Fleet):
+        self.fleet = fleet
+        fleet.on_respawn = self._rebalance
+        #: session_id -> slot currently covering it instead of its home
+        #: slot (set on failover, cleared by rebalance/delete).
+        self.overrides: dict[str, int] = {}
+        #: (slot, generation) -> idle pooled connections; keyed by
+        #: generation so a respawned slot never inherits sockets to its
+        #: dead predecessor.
+        self._pools: dict[tuple[int, int], list[tuple]] = {}
+        self._server: asyncio.base_events.Server | None = None
+        #: Live client-connection tasks, cancelled on shutdown so a
+        #: keep-alive connection can't outlive the event loop.
+        self._connections: set[asyncio.Task] = set()
+        self.proxied_total = 0
+        self.failovers_total = 0
+        self.rebalanced_total = 0
+        self.unavailable_total = 0
+
+    # --- routing -------------------------------------------------------------
+
+    def slot_of(self, session_id: str) -> int:
+        return zlib.crc32(session_id.encode("utf-8")) % self.fleet.size
+
+    def _pick_live(self, exclude: int | None = None) -> WorkerHandle | None:
+        """A live worker, preferring slots other than ``exclude``;
+        deterministic order so one dead slot's sessions all land on the
+        same survivor (their rehydrations share its index cache)."""
+        handles = self.fleet.live_handles()
+        for handle in handles:
+            if handle.slot != exclude:
+                return handle
+        return handles[0] if handles else None
+
+    def _home_handle(
+        self, session_id: str
+    ) -> tuple[int, WorkerHandle | None]:
+        slot = self.overrides.get(session_id)
+        if slot is not None:
+            handle = self.fleet.alive(slot)
+            if handle is not None:
+                return slot, handle
+            # The covering worker died too: fall back to the home slot.
+            del self.overrides[session_id]
+        slot = self.slot_of(session_id)
+        return slot, self.fleet.alive(slot)
+
+    # --- worker-side HTTP ----------------------------------------------------
+
+    async def _checkout(self, handle: WorkerHandle):
+        pool = self._pools.get((handle.slot, handle.generation))
+        while pool:
+            reader, writer = pool.pop()
+            if not writer.is_closing():
+                return reader, writer
+            writer.close()
+        return await asyncio.open_connection(
+            self.fleet.config.host, handle.port
+        )
+
+    def _checkin(self, handle: WorkerHandle, reader, writer) -> None:
+        key = (handle.slot, handle.generation)
+        pool = self._pools.setdefault(key, [])
+        if len(pool) < _POOL_PER_WORKER and not writer.is_closing():
+            pool.append((reader, writer))
+        else:
+            writer.close()
+
+    async def proxy(
+        self,
+        handle: WorkerHandle,
+        method: str,
+        path: str,
+        body: bytes,
+        extra_headers: dict[str, str] | None = None,
+    ) -> tuple[int, bytes]:
+        """One raw round-trip against one worker (keep-alive pooled)."""
+        fresh = False
+        try:
+            reader, writer = await self._checkout(handle)
+        except OSError as exc:
+            raise WorkerUnavailable(
+                handle.slot, f"connect failed: {exc}", sent=False
+            ) from exc
+        try:
+            head = [
+                f"{method} {path} HTTP/1.1",
+                f"Host: {self.fleet.config.host}:{handle.port}",
+                f"Content-Length: {len(body)}",
+                "Content-Type: application/json",
+                "Connection: keep-alive",
+            ]
+            for name, value in (extra_headers or {}).items():
+                head.append(f"{name}: {value}")
+            writer.write(
+                ("\r\n".join(head) + "\r\n\r\n").encode("ascii") + body
+            )
+            await writer.drain()
+            status, response_body = await self._read_worker_response(
+                reader
+            )
+        except (OSError, asyncio.IncompleteReadError, ValueError) as exc:
+            writer.close()
+            if not fresh:
+                # A pooled keep-alive socket can be stale (worker
+                # restarted, idle timeout): retry once on a fresh
+                # connection before declaring the worker gone.
+                try:
+                    reader, writer = await asyncio.open_connection(
+                        self.fleet.config.host, handle.port
+                    )
+                except OSError as exc2:
+                    raise WorkerUnavailable(
+                        handle.slot,
+                        f"connect failed: {exc2}",
+                        sent=False,
+                    ) from exc2
+                fresh = True
+                try:
+                    writer.write(
+                        ("\r\n".join(head) + "\r\n\r\n").encode("ascii")
+                        + body
+                    )
+                    await writer.drain()
+                    status, response_body = (
+                        await self._read_worker_response(reader)
+                    )
+                except (
+                    OSError,
+                    asyncio.IncompleteReadError,
+                    ValueError,
+                ) as exc3:
+                    writer.close()
+                    raise WorkerUnavailable(
+                        handle.slot, f"request failed: {exc3}", sent=True
+                    ) from exc3
+            else:
+                raise WorkerUnavailable(
+                    handle.slot, f"request failed: {exc}", sent=True
+                ) from exc
+        self._checkin(handle, reader, writer)
+        self.proxied_total += 1
+        return status, response_body
+
+    @staticmethod
+    async def _read_worker_response(reader) -> tuple[int, bytes]:
+        line = await reader.readline()
+        if not line:
+            raise asyncio.IncompleteReadError(b"", None)
+        status = int(line.split()[1])
+        headers: dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        body = await reader.readexactly(length) if length else b""
+        return status, body
+
+    def proxy_json(
+        self,
+        handle: WorkerHandle,
+        method: str,
+        path: str,
+        payload: Any = None,
+    ):
+        body = (
+            json.dumps(payload).encode("utf-8")
+            if payload is not None
+            else b""
+        )
+        return self.proxy(handle, method, path, body)
+
+    # --- request handling ----------------------------------------------------
+
+    async def dispatch_raw(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, bytes]:
+        """Route one public request; returns ``(status, body bytes)``."""
+        parts = [p for p in path.split("/") if p]
+        if parts == ["fleet"]:
+            return self._json(200, self.fleet_payload())
+        if parts == ["stats"] or not parts:
+            return await self._aggregate_stats()
+        if parts == ["builds"]:
+            return await self._aggregate_builds()
+        if parts == ["sessions"] and method == "GET":
+            return await self._aggregate_sessions()
+        creating = (parts == ["sessions"] and method == "POST") or (
+            parts == ["sessions", "resume"] and method == "POST"
+        )
+        if creating:
+            return await self._create(method, path, body)
+        if parts and parts[0] == "sessions" and len(parts) >= 2:
+            return await self._session_request(
+                parts[1], method, path, body
+            )
+        return self._json(
+            404, {"error": "not_found", "message": f"no route {path!r}"}
+        )
+
+    async def _create(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, bytes]:
+        """Mint the session id, pick its home worker, pass the id down.
+
+        A create that fails mid-flight is *not* retried elsewhere — the
+        first worker might have admitted the session; answering 503 and
+        letting the client re-create keeps at-most-one alive."""
+        session_id = uuid.uuid4().hex[:16]
+        slot = self.slot_of(session_id)
+        handle = self.fleet.alive(slot)
+        if handle is None:
+            # Home slot is mid-respawn: cover the new session on a
+            # survivor, exactly like a failover of an existing one.
+            handle = self._pick_live(exclude=slot)
+            if handle is None:
+                return self._no_workers()
+            self.overrides[session_id] = handle.slot
+            self.failovers_total += 1
+        try:
+            return await self.proxy(
+                handle,
+                method,
+                path,
+                body,
+                extra_headers={"x-fleet-session-id": session_id},
+            )
+        except WorkerUnavailable:
+            self.unavailable_total += 1
+            self.overrides.pop(session_id, None)
+            return self._unavailable()
+
+    async def _session_request(
+        self, session_id: str, method: str, path: str, body: bytes
+    ) -> tuple[int, bytes]:
+        slot, handle = self._home_handle(session_id)
+        if handle is not None:
+            try:
+                status, response = await self.proxy(
+                    handle, method, path, body
+                )
+            except WorkerUnavailable as exc:
+                if not exc.sent and method != "GET":
+                    # The request bytes never left the router, so a
+                    # mutating request is still safe to fail over.
+                    pass
+                elif method != "GET":
+                    self.unavailable_total += 1
+                    return self._unavailable()
+            else:
+                if method == "DELETE" and status < 400:
+                    self.overrides.pop(session_id, None)
+                return status, response
+        # Home (or covering) worker is gone: fail over to a survivor,
+        # which takes the session's lease over and rehydrates it.
+        survivor = self._pick_live(exclude=slot)
+        if survivor is None:
+            return self._no_workers()
+        self.overrides[session_id] = survivor.slot
+        self.failovers_total += 1
+        try:
+            status, response = await self.proxy(
+                survivor, method, path, body
+            )
+        except WorkerUnavailable:
+            self.unavailable_total += 1
+            self.overrides.pop(session_id, None)
+            return self._unavailable()
+        if method == "DELETE" and status < 400:
+            self.overrides.pop(session_id, None)
+        return status, response
+
+    # --- aggregation ---------------------------------------------------------
+
+    async def _fan_out(
+        self, method: str, path: str
+    ) -> list[tuple[WorkerHandle, dict[str, Any]]]:
+        handles = self.fleet.live_handles()
+        results = await asyncio.gather(
+            *(self.proxy_json(h, method, path) for h in handles),
+            return_exceptions=True,
+        )
+        payloads = []
+        for handle, result in zip(handles, results):
+            if isinstance(result, BaseException):
+                continue
+            status, body = result
+            if status >= 400:
+                continue
+            payloads.append((handle, json.loads(body)))
+        return payloads
+
+    def fleet_payload(self) -> dict[str, Any]:
+        return {
+            "workers": self.fleet.size,
+            "alive": len(self.fleet.live_handles()),
+            "respawns_total": self.fleet.respawns_total,
+            "failovers_total": self.failovers_total,
+            "rebalanced_total": self.rebalanced_total,
+            "proxied_total": self.proxied_total,
+            "unavailable_total": self.unavailable_total,
+            "overrides": len(self.overrides),
+            "slots": [
+                handle.describe() if handle is not None else None
+                for handle in self.fleet.workers
+            ],
+        }
+
+    async def _aggregate_stats(self) -> tuple[int, bytes]:
+        gathered = await self._fan_out("GET", "/stats")
+        return self._json(
+            200,
+            {
+                "fleet": self.fleet_payload(),
+                "sessions": sum(
+                    p.get("sessions", 0) for _, p in gathered
+                ),
+                "workers": {
+                    str(handle.slot): payload
+                    for handle, payload in gathered
+                },
+            },
+        )
+
+    async def _aggregate_builds(self) -> tuple[int, bytes]:
+        gathered = await self._fan_out("GET", "/builds")
+        builds = [
+            build
+            for _, payload in gathered
+            for build in payload.get("builds", [])
+        ]
+        return self._json(
+            200, {"builds": builds, "in_flight": len(builds)}
+        )
+
+    async def _aggregate_sessions(self) -> tuple[int, bytes]:
+        """Merge every worker's ``GET /sessions`` into one fleet view.
+
+        ``live``/``demoted`` sum; ``recoverable`` cannot (each worker
+        counts every stored-but-not-local session, including sessions
+        live on its peers) — the shared store's total is recovered as
+        ``max(live_i + recoverable_i)`` and the fleet-wide recoverable
+        count is that total minus everything live anywhere."""
+        gathered = await self._fan_out("GET", "/sessions")
+        sessions = [
+            entry
+            for _, payload in gathered
+            for entry in payload.get("sessions", [])
+        ]
+        live = sum(p.get("live", 0) for _, p in gathered)
+        stored_total = max(
+            (
+                p.get("live", 0) + p.get("recoverable", 0)
+                for _, p in gathered
+            ),
+            default=0,
+        )
+        return self._json(
+            200,
+            {
+                "sessions": sessions,
+                "live": live,
+                "demoted": sum(p.get("demoted", 0) for _, p in gathered),
+                "recoverable": max(0, stored_total - live),
+            },
+        )
+
+    # --- rebalance and drain -------------------------------------------------
+
+    async def _rebalance(self, replacement: WorkerHandle) -> None:
+        """A slot respawned: send its strayed sessions home.
+
+        Each survivor demotes the sessions it was covering (checkpoint,
+        flush, lease release); the overrides are cleared, so the next
+        touch rehydrates each session on the respawned home slot."""
+        slot = replacement.slot
+        strayed: dict[int, list[str]] = {}
+        for session_id, covering in self.overrides.items():
+            if self.slot_of(session_id) == slot and covering != slot:
+                strayed.setdefault(covering, []).append(session_id)
+        for covering, session_ids in strayed.items():
+            holder = self.fleet.alive(covering)
+            if holder is None:
+                # The covering worker died as well; its leases expire
+                # on their own and the home slot takes the sessions
+                # over on next touch — clearing the overrides is
+                # still correct.
+                cleared = session_ids
+            else:
+                try:
+                    status, body = await self.proxy_json(
+                        holder,
+                        "POST",
+                        "/control/demote",
+                        {"session_ids": session_ids},
+                    )
+                except WorkerUnavailable:
+                    cleared = session_ids
+                else:
+                    if status >= 400:
+                        continue
+                    # Only the sessions the holder actually demoted
+                    # (checkpointed, flushed, lease released) go home;
+                    # a skipped one is mid-rehydration on the holder —
+                    # clearing its override now would point the home
+                    # slot at a lease the holder is actively renewing.
+                    cleared = json.loads(body).get("demoted", [])
+            for session_id in cleared:
+                self.overrides.pop(session_id, None)
+                self.rebalanced_total += 1
+
+    async def drain(self) -> dict[str, Any]:
+        """Ask every live worker to demote all sessions and release
+        all leases (the graceful-shutdown barrier)."""
+        demoted: dict[str, list[str]] = {}
+        for handle in self.fleet.live_handles():
+            try:
+                status, body = await self.proxy_json(
+                    handle, "POST", "/control/drain"
+                )
+            except WorkerUnavailable:
+                continue
+            if status < 400:
+                demoted[str(handle.slot)] = json.loads(body).get(
+                    "demoted", []
+                )
+        return demoted
+
+    # --- HTTP front ----------------------------------------------------------
+
+    @staticmethod
+    def _json(status: int, payload: dict[str, Any]) -> tuple[int, bytes]:
+        return status, json.dumps(payload).encode("utf-8")
+
+    def _unavailable(self) -> tuple[int, bytes]:
+        return self._json(
+            503,
+            {
+                "error": "worker_unavailable",
+                "message": (
+                    "the session's worker is restarting; retry shortly"
+                ),
+            },
+        )
+
+    def _no_workers(self) -> tuple[int, bytes]:
+        return self._json(
+            503,
+            {
+                "error": "no_workers",
+                "message": "no live worker processes",
+            },
+        )
+
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader)
+                except (
+                    asyncio.IncompleteReadError,
+                    ConnectionResetError,
+                    asyncio.CancelledError,
+                ):
+                    break
+                except (ValueError, BadRequest) as exc:
+                    writer.write(
+                        _response_bytes(
+                            400,
+                            {
+                                "error": "bad_request",
+                                "message": str(exc),
+                            },
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                method, path, body, keep_alive, _headers = request
+                try:
+                    status, response = await self.dispatch_raw(
+                        method, path, body
+                    )
+                except asyncio.CancelledError:
+                    break
+                except Exception as exc:  # noqa: BLE001 - barrier
+                    status, response = self._json(
+                        500,
+                        {
+                            "error": "internal_error",
+                            "message": str(exc),
+                        },
+                    )
+                writer.write(self._raw_response(status, response))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    @staticmethod
+    def _raw_response(status: int, body: bytes) -> bytes:
+        from .app import _REASONS
+
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: keep-alive\r\n"
+            f"\r\n"
+        ).encode("ascii")
+        return head + body
+
+    async def start(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> asyncio.base_events.Server:
+        self._server = await asyncio.start_server(
+            self._handle_connection, host, port
+        )
+        return self._server
+
+    async def shutdown(self, drain: bool = False) -> None:
+        """Stop serving; with ``drain`` every worker checkpoints,
+        demotes and releases its sessions before the fleet is
+        terminated (SIGTERM semantics for the whole deployment)."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(
+                *self._connections, return_exceptions=True
+            )
+        if drain:
+            await self.drain()
+        for pool in self._pools.values():
+            for _, pooled_writer in pool:
+                pooled_writer.close()
+        self._pools.clear()
+        await self.fleet.terminate()

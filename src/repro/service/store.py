@@ -33,6 +33,20 @@ to be survivable within one process.
 Both backends are thread-safe behind an internal lock: the manager
 journals from a dedicated writer thread while reads (recovery, counts)
 may come from worker threads or the event loop.
+
+**Leases (the fleet's ownership protocol).**  When several worker
+processes share one store, each durable session is owned by at most one
+of them at a time.  A lease is ``(owner, epoch, expires_at)``:
+:meth:`SessionStore.acquire_lease` grants it when the session is
+unleased, the lease has expired (wall clock), or the caller already
+holds it; a takeover bumps the **epoch**, which is the fencing token —
+journal writes that carry ``fence=(owner, epoch)`` are rejected with
+:class:`LeaseFenced` unless they match the current lease, so a deposed
+owner's late flush can never corrupt the new owner's journal.  Owners
+keep leases alive with :meth:`~SessionStore.renew_lease` (heartbeat)
+and hand them back with :meth:`~SessionStore.release_lease` on demote
+or graceful drain.  Lease timestamps use the shared wall clock
+(``time.time()``), the only clock every process sees.
 """
 
 from __future__ import annotations
@@ -47,6 +61,8 @@ from typing import Any
 
 __all__ = [
     "JournalEntry",
+    "Lease",
+    "LeaseFenced",
     "MemorySessionStore",
     "SessionStore",
     "SqliteSessionStore",
@@ -57,6 +73,28 @@ __all__ = [
 
 class StoreError(RuntimeError):
     """A store operation failed or found inconsistent on-disk state."""
+
+
+class LeaseFenced(StoreError):
+    """A fenced write (or acquire) lost to another owner's lease."""
+
+
+@dataclass(frozen=True, slots=True)
+class Lease:
+    """One session's ownership record.
+
+    ``epoch`` is the fencing token: it increases on every ownership
+    change, so a write stamped with a stale epoch identifies a deposed
+    owner no matter how the wall clock drifted.
+    """
+
+    session_id: str
+    owner: str
+    epoch: int
+    expires_at: float
+
+    def expired(self, now: float | None = None) -> bool:
+        return (time.time() if now is None else now) >= self.expires_at
 
 
 #: One journaled answer: ``(seq, class_id, label)`` with ``seq`` the
@@ -124,20 +162,64 @@ class SessionStore(ABC):
 
     @abstractmethod
     def put_checkpoint(
-        self, session_id: str, payload: dict[str, Any], seq: int
+        self,
+        session_id: str,
+        payload: dict[str, Any],
+        seq: int,
+        *,
+        fence: tuple[str, int] | None = None,
     ) -> None:
         """Write (or replace) the session's checkpoint; prunes journal
         rows the checkpoint now covers.  Also the create record: a new
         session checkpoints at its admission state (``seq`` answers,
-        usually 0)."""
+        usually 0).  With ``fence=(owner, epoch)`` the write commits
+        only while that exact lease is current (:class:`LeaseFenced`
+        otherwise)."""
 
     @abstractmethod
     def append_answers(
-        self, session_id: str, entries: list[JournalEntry]
+        self,
+        session_id: str,
+        entries: list[JournalEntry],
+        *,
+        fence: tuple[str, int] | None = None,
     ) -> None:
         """Append journal rows (one transaction).  Raises
         :class:`StoreError` for a session without a checkpoint — the
-        create record must land first."""
+        create record must land first.  ``fence`` as on
+        :meth:`put_checkpoint`."""
+
+    @abstractmethod
+    def acquire_lease(
+        self, session_id: str, owner: str, ttl_seconds: float
+    ) -> Lease | None:
+        """Claim ownership of a session for ``ttl_seconds``.
+
+        Granted when the session has no lease, its lease has expired,
+        or ``owner`` already holds it (a refresh — same epoch).  A
+        takeover of an expired foreign lease bumps the epoch.  Returns
+        the granted :class:`Lease`, or ``None`` while another owner's
+        unexpired lease stands."""
+
+    @abstractmethod
+    def renew_lease(
+        self, session_id: str, owner: str, epoch: int, ttl_seconds: float
+    ) -> bool:
+        """Extend a held lease (heartbeat).  ``False`` when the lease
+        is no longer ``(owner, epoch)`` — the caller has been deposed
+        and must stop treating the session as its own."""
+
+    @abstractmethod
+    def release_lease(
+        self, session_id: str, owner: str, epoch: int
+    ) -> bool:
+        """Drop a held lease so any worker may claim the session
+        immediately.  ``False`` (and no effect) unless the lease is
+        still exactly ``(owner, epoch)``."""
+
+    @abstractmethod
+    def lease_of(self, session_id: str) -> Lease | None:
+        """The session's current lease record, expired or not."""
 
     @abstractmethod
     def load(self, session_id: str) -> StoredSession | None:
@@ -170,14 +252,44 @@ class MemorySessionStore(SessionStore):
         #: session_id -> (checkpoint payload, checkpoint_seq,
         #:                {seq: (class_id, label)}, created, updated)
         self._sessions: dict[str, list[Any]] = {}
+        self._leases: dict[str, Lease] = {}
         self._journal_appends = 0
         self._checkpoints = 0
         self._loads = 0
+        self._fenced_writes = 0
+        self._lease_takeovers = 0
+        self._lease_denied = 0
+
+    def _check_fence(
+        self, session_id: str, fence: tuple[str, int] | None
+    ) -> None:
+        # Caller holds self._lock.  A matching (owner, epoch) means no
+        # takeover has happened, so the write is safe even if the lease
+        # has meanwhile expired on the wall clock.
+        if fence is None:
+            return
+        owner, epoch = fence
+        lease = self._leases.get(session_id)
+        if lease is None or lease.owner != owner or lease.epoch != epoch:
+            self._fenced_writes += 1
+            held = (
+                None if lease is None else (lease.owner, lease.epoch)
+            )
+            raise LeaseFenced(
+                f"session {session_id!r}: write stamped "
+                f"({owner!r}, {epoch}) but lease is {held!r}"
+            )
 
     def put_checkpoint(
-        self, session_id: str, payload: dict[str, Any], seq: int
+        self,
+        session_id: str,
+        payload: dict[str, Any],
+        seq: int,
+        *,
+        fence: tuple[str, int] | None = None,
     ) -> None:
         with self._lock:
+            self._check_fence(session_id, fence)
             now = time.time()
             entry = self._sessions.get(session_id)
             if entry is None:
@@ -193,9 +305,14 @@ class MemorySessionStore(SessionStore):
             self._checkpoints += 1
 
     def append_answers(
-        self, session_id: str, entries: list[JournalEntry]
+        self,
+        session_id: str,
+        entries: list[JournalEntry],
+        *,
+        fence: tuple[str, int] | None = None,
     ) -> None:
         with self._lock:
+            self._check_fence(session_id, fence)
             entry = self._sessions.get(session_id)
             if entry is None:
                 raise StoreError(
@@ -206,6 +323,66 @@ class MemorySessionStore(SessionStore):
                 entry[2][seq] = (class_id, label)
             entry[4] = time.time()
             self._journal_appends += len(entries)
+
+    def acquire_lease(
+        self, session_id: str, owner: str, ttl_seconds: float
+    ) -> Lease | None:
+        now = time.time()
+        with self._lock:
+            current = self._leases.get(session_id)
+            if current is None:
+                epoch = 1
+            elif current.owner == owner:
+                epoch = current.epoch
+            elif current.expired(now):
+                epoch = current.epoch + 1
+                self._lease_takeovers += 1
+            else:
+                self._lease_denied += 1
+                return None
+            lease = Lease(session_id, owner, epoch, now + ttl_seconds)
+            self._leases[session_id] = lease
+            return lease
+
+    def renew_lease(
+        self, session_id: str, owner: str, epoch: int, ttl_seconds: float
+    ) -> bool:
+        now = time.time()
+        with self._lock:
+            current = self._leases.get(session_id)
+            if (
+                current is None
+                or current.owner != owner
+                or current.epoch != epoch
+            ):
+                return False
+            self._leases[session_id] = Lease(
+                session_id, owner, epoch, now + ttl_seconds
+            )
+            return True
+
+    def release_lease(
+        self, session_id: str, owner: str, epoch: int
+    ) -> bool:
+        with self._lock:
+            current = self._leases.get(session_id)
+            if (
+                current is None
+                or current.owner != owner
+                or current.epoch != epoch
+            ):
+                return False
+            # Keep the row (expired) so the epoch stays monotonic: the
+            # next acquire is a takeover and bumps it past any write a
+            # deposed owner might still be carrying.
+            self._leases[session_id] = Lease(
+                session_id, owner, epoch, 0.0
+            )
+            return True
+
+    def lease_of(self, session_id: str) -> Lease | None:
+        with self._lock:
+            return self._leases.get(session_id)
 
     def load(self, session_id: str) -> StoredSession | None:
         with self._lock:
@@ -234,6 +411,7 @@ class MemorySessionStore(SessionStore):
     def delete(self, session_id: str) -> None:
         with self._lock:
             self._sessions.pop(session_id, None)
+            self._leases.pop(session_id, None)
 
     def session_ids(self) -> list[str]:
         with self._lock:
@@ -245,6 +423,7 @@ class MemorySessionStore(SessionStore):
             ]
 
     def stats(self) -> dict[str, Any]:
+        now = time.time()
         with self._lock:
             return {
                 "backend": "memory",
@@ -252,6 +431,14 @@ class MemorySessionStore(SessionStore):
                 "journal_appends": self._journal_appends,
                 "checkpoints": self._checkpoints,
                 "loads": self._loads,
+                "leases": sum(
+                    1
+                    for lease in self._leases.values()
+                    if not lease.expired(now)
+                ),
+                "fenced_writes": self._fenced_writes,
+                "lease_takeovers": self._lease_takeovers,
+                "lease_denied": self._lease_denied,
             }
 
 
@@ -266,7 +453,18 @@ class SqliteSessionStore(SessionStore):
     *uncommitted* work only).
     """
 
-    def __init__(self, path: str, *, timeout: float = 30.0):
+    #: Attempts per transaction when another process holds the write
+    #: lock longer than ``busy_timeout`` (satellite: multi-process
+    #: sharing must not surface transient SQLITE_BUSY as StoreError).
+    BUSY_RETRIES = 6
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        timeout: float = 30.0,
+        busy_timeout: float = 5.0,
+    ):
         self.path = str(path)
         self._lock = threading.RLock()
         self._connection: sqlite3.Connection | None = sqlite3.connect(
@@ -278,10 +476,17 @@ class SqliteSessionStore(SessionStore):
         self._journal_appends = 0
         self._checkpoints = 0
         self._loads = 0
+        self._fenced_writes = 0
+        self._lease_takeovers = 0
+        self._lease_denied = 0
+        self._busy_retries = 0
         with self._lock:
             connection = self._connection
             connection.execute("PRAGMA journal_mode=WAL")
             connection.execute("PRAGMA synchronous=NORMAL")
+            connection.execute(
+                f"PRAGMA busy_timeout={int(busy_timeout * 1000)}"
+            )
             connection.executescript(
                 """
                 CREATE TABLE IF NOT EXISTS sessions (
@@ -298,6 +503,12 @@ class SqliteSessionStore(SessionStore):
                     label      TEXT NOT NULL,
                     PRIMARY KEY (session_id, seq)
                 ) WITHOUT ROWID;
+                CREATE TABLE IF NOT EXISTS leases (
+                    session_id TEXT PRIMARY KEY,
+                    owner      TEXT NOT NULL,
+                    epoch      INTEGER NOT NULL,
+                    expires_at REAL NOT NULL
+                ) WITHOUT ROWID;
                 """
             )
 
@@ -306,47 +517,125 @@ class SqliteSessionStore(SessionStore):
             raise StoreError(f"store {self.path!r} is closed")
         return self._connection
 
+    @staticmethod
+    def _is_busy(exc: sqlite3.OperationalError) -> bool:
+        text = str(exc).lower()
+        return "locked" in text or "busy" in text
+
+    def _transact(self, work: Any) -> Any:
+        """Run ``work(connection)`` inside one BEGIN IMMEDIATE
+        transaction, retrying the whole transaction (with backoff) when
+        another *process* holds the database lock past
+        ``busy_timeout``.  Sleeping while holding ``self._lock`` is
+        fine — in-process writers are serialised by that lock already,
+        so contention here is always cross-process."""
+        with self._lock:
+            connection = self._require_connection()
+            delay = 0.005
+            last: sqlite3.OperationalError | None = None
+            for attempt in range(self.BUSY_RETRIES + 1):
+                if attempt:
+                    self._busy_retries += 1
+                    time.sleep(delay)
+                    delay = min(delay * 2, 0.25)
+                try:
+                    connection.execute("BEGIN IMMEDIATE")
+                except sqlite3.OperationalError as exc:
+                    if self._is_busy(exc):
+                        last = exc
+                        continue
+                    raise
+                try:
+                    result = work(connection)
+                except BaseException:
+                    connection.execute("ROLLBACK")
+                    raise
+                try:
+                    connection.execute("COMMIT")
+                except sqlite3.OperationalError as exc:
+                    connection.execute("ROLLBACK")
+                    if self._is_busy(exc):
+                        last = exc
+                        continue
+                    raise
+                return result
+            raise StoreError(
+                f"store {self.path!r}: database busy after "
+                f"{self.BUSY_RETRIES + 1} attempts"
+            ) from last
+
+    def _check_fence(
+        self,
+        connection: sqlite3.Connection,
+        session_id: str,
+        fence: tuple[str, int] | None,
+    ) -> None:
+        # Runs inside the write transaction, so the check and the write
+        # it guards are atomic against a concurrent takeover.
+        if fence is None:
+            return
+        owner, epoch = fence
+        row = connection.execute(
+            "SELECT owner, epoch FROM leases WHERE session_id = ?",
+            (session_id,),
+        ).fetchone()
+        if row is None or row[0] != owner or row[1] != epoch:
+            self._fenced_writes += 1
+            held = None if row is None else (row[0], row[1])
+            raise LeaseFenced(
+                f"session {session_id!r}: write stamped "
+                f"({owner!r}, {epoch}) but lease is {held!r}"
+            )
+
     def put_checkpoint(
-        self, session_id: str, payload: dict[str, Any], seq: int
+        self,
+        session_id: str,
+        payload: dict[str, Any],
+        seq: int,
+        *,
+        fence: tuple[str, int] | None = None,
     ) -> None:
         text = json.dumps(payload, separators=(",", ":"))
         now = time.time()
+
+        def work(connection: sqlite3.Connection) -> None:
+            self._check_fence(connection, session_id, fence)
+            connection.execute(
+                """
+                INSERT INTO sessions (
+                    session_id, created_at, updated_at,
+                    checkpoint_seq, checkpoint
+                ) VALUES (?, ?, ?, ?, ?)
+                ON CONFLICT (session_id) DO UPDATE SET
+                    updated_at = excluded.updated_at,
+                    checkpoint_seq = excluded.checkpoint_seq,
+                    checkpoint = excluded.checkpoint
+                """,
+                (session_id, now, now, seq, text),
+            )
+            connection.execute(
+                "DELETE FROM journal "
+                "WHERE session_id = ? AND seq <= ?",
+                (session_id, seq),
+            )
+
+        self._transact(work)
         with self._lock:
-            connection = self._require_connection()
-            connection.execute("BEGIN IMMEDIATE")
-            try:
-                connection.execute(
-                    """
-                    INSERT INTO sessions (
-                        session_id, created_at, updated_at,
-                        checkpoint_seq, checkpoint
-                    ) VALUES (?, ?, ?, ?, ?)
-                    ON CONFLICT (session_id) DO UPDATE SET
-                        updated_at = excluded.updated_at,
-                        checkpoint_seq = excluded.checkpoint_seq,
-                        checkpoint = excluded.checkpoint
-                    """,
-                    (session_id, now, now, seq, text),
-                )
-                connection.execute(
-                    "DELETE FROM journal "
-                    "WHERE session_id = ? AND seq <= ?",
-                    (session_id, seq),
-                )
-            except BaseException:
-                connection.execute("ROLLBACK")
-                raise
-            connection.execute("COMMIT")
             self._checkpoints += 1
 
     def append_answers(
-        self, session_id: str, entries: list[JournalEntry]
+        self,
+        session_id: str,
+        entries: list[JournalEntry],
+        *,
+        fence: tuple[str, int] | None = None,
     ) -> None:
         if not entries:
             return
         now = time.time()
-        with self._lock:
-            connection = self._require_connection()
+
+        def work(connection: sqlite3.Connection) -> None:
+            self._check_fence(connection, session_id, fence)
             row = connection.execute(
                 "SELECT 1 FROM sessions WHERE session_id = ?",
                 (session_id,),
@@ -356,27 +645,103 @@ class SqliteSessionStore(SessionStore):
                     f"no checkpoint for session {session_id!r}; "
                     f"cannot journal answers"
                 )
-            connection.execute("BEGIN IMMEDIATE")
-            try:
-                connection.executemany(
-                    "INSERT OR REPLACE INTO journal "
-                    "(session_id, seq, class_id, label) "
-                    "VALUES (?, ?, ?, ?)",
-                    [
-                        (session_id, seq, class_id, label)
-                        for seq, class_id, label in entries
-                    ],
-                )
-                connection.execute(
-                    "UPDATE sessions SET updated_at = ? "
-                    "WHERE session_id = ?",
-                    (now, session_id),
-                )
-            except BaseException:
-                connection.execute("ROLLBACK")
-                raise
-            connection.execute("COMMIT")
+            connection.executemany(
+                "INSERT OR REPLACE INTO journal "
+                "(session_id, seq, class_id, label) "
+                "VALUES (?, ?, ?, ?)",
+                [
+                    (session_id, seq, class_id, label)
+                    for seq, class_id, label in entries
+                ],
+            )
+            connection.execute(
+                "UPDATE sessions SET updated_at = ? "
+                "WHERE session_id = ?",
+                (now, session_id),
+            )
+
+        self._transact(work)
+        with self._lock:
             self._journal_appends += len(entries)
+
+    def acquire_lease(
+        self, session_id: str, owner: str, ttl_seconds: float
+    ) -> Lease | None:
+        now = time.time()
+
+        def work(connection: sqlite3.Connection) -> Lease | None:
+            row = connection.execute(
+                "SELECT owner, epoch, expires_at FROM leases "
+                "WHERE session_id = ?",
+                (session_id,),
+            ).fetchone()
+            if row is None:
+                epoch = 1
+            elif row[0] == owner:
+                epoch = row[1]
+            elif row[2] <= now:
+                epoch = row[1] + 1
+                self._lease_takeovers += 1
+            else:
+                self._lease_denied += 1
+                return None
+            connection.execute(
+                """
+                INSERT INTO leases (session_id, owner, epoch, expires_at)
+                VALUES (?, ?, ?, ?)
+                ON CONFLICT (session_id) DO UPDATE SET
+                    owner = excluded.owner,
+                    epoch = excluded.epoch,
+                    expires_at = excluded.expires_at
+                """,
+                (session_id, owner, epoch, now + ttl_seconds),
+            )
+            return Lease(session_id, owner, epoch, now + ttl_seconds)
+
+        return self._transact(work)
+
+    def renew_lease(
+        self, session_id: str, owner: str, epoch: int, ttl_seconds: float
+    ) -> bool:
+        now = time.time()
+
+        def work(connection: sqlite3.Connection) -> bool:
+            cursor = connection.execute(
+                "UPDATE leases SET expires_at = ? "
+                "WHERE session_id = ? AND owner = ? AND epoch = ?",
+                (now + ttl_seconds, session_id, owner, epoch),
+            )
+            return cursor.rowcount == 1
+
+        return bool(self._transact(work))
+
+    def release_lease(
+        self, session_id: str, owner: str, epoch: int
+    ) -> bool:
+        def work(connection: sqlite3.Connection) -> bool:
+            # Expire in place rather than deleting the row: the epoch
+            # stays monotonic, so the next acquire is a takeover and
+            # outruns any write a deposed owner might still carry.
+            cursor = connection.execute(
+                "UPDATE leases SET expires_at = 0.0 "
+                "WHERE session_id = ? AND owner = ? AND epoch = ?",
+                (session_id, owner, epoch),
+            )
+            return cursor.rowcount == 1
+
+        return bool(self._transact(work))
+
+    def lease_of(self, session_id: str) -> Lease | None:
+        with self._lock:
+            connection = self._require_connection()
+            row = connection.execute(
+                "SELECT owner, epoch, expires_at FROM leases "
+                "WHERE session_id = ?",
+                (session_id,),
+            ).fetchone()
+        if row is None:
+            return None
+        return Lease(session_id, row[0], row[1], row[2])
 
     def load(self, session_id: str) -> StoredSession | None:
         with self._lock:
@@ -418,22 +783,21 @@ class SqliteSessionStore(SessionStore):
         )
 
     def delete(self, session_id: str) -> None:
-        with self._lock:
-            connection = self._require_connection()
-            connection.execute("BEGIN IMMEDIATE")
-            try:
-                connection.execute(
-                    "DELETE FROM journal WHERE session_id = ?",
-                    (session_id,),
-                )
-                connection.execute(
-                    "DELETE FROM sessions WHERE session_id = ?",
-                    (session_id,),
-                )
-            except BaseException:
-                connection.execute("ROLLBACK")
-                raise
-            connection.execute("COMMIT")
+        def work(connection: sqlite3.Connection) -> None:
+            connection.execute(
+                "DELETE FROM journal WHERE session_id = ?",
+                (session_id,),
+            )
+            connection.execute(
+                "DELETE FROM sessions WHERE session_id = ?",
+                (session_id,),
+            )
+            connection.execute(
+                "DELETE FROM leases WHERE session_id = ?",
+                (session_id,),
+            )
+
+        self._transact(work)
 
     def session_ids(self) -> list[str]:
         with self._lock:
@@ -467,6 +831,10 @@ class SqliteSessionStore(SessionStore):
             (journal_rows,) = connection.execute(
                 "SELECT COUNT(*) FROM journal"
             ).fetchone()
+            (leases,) = connection.execute(
+                "SELECT COUNT(*) FROM leases WHERE expires_at > ?",
+                (time.time(),),
+            ).fetchone()
             return {
                 "backend": "sqlite",
                 "path": self.path,
@@ -475,6 +843,11 @@ class SqliteSessionStore(SessionStore):
                 "journal_appends": self._journal_appends,
                 "checkpoints": self._checkpoints,
                 "loads": self._loads,
+                "leases": leases,
+                "fenced_writes": self._fenced_writes,
+                "lease_takeovers": self._lease_takeovers,
+                "lease_denied": self._lease_denied,
+                "busy_retries": self._busy_retries,
             }
 
     def close(self) -> None:

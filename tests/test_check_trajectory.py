@@ -226,6 +226,125 @@ class TestStoreSuite:
         assert failed_names(gates) == []
 
 
+class TestFleetSuite:
+    def smoke(
+        self,
+        rates={1: 50.0, 2: 80.0},
+        cpu_count=2,
+        takeover=1.1,
+        recovery_parity=True,
+        scaling_parity=True,
+    ):
+        return {
+            "scaling": {
+                "by_workers": {
+                    str(w): {"sessions_per_sec": rate}
+                    for w, rate in rates.items()
+                }
+            },
+            "acceptance": {
+                "cpu_count": cpu_count,
+                "takeover_seconds": takeover,
+                "recovery_parity": recovery_parity,
+                "scaling_parity": scaling_parity,
+            },
+        }
+
+    def baseline(self, takeover=1.0, factor=0.75):
+        return {
+            "acceptance": {
+                "takeover_seconds": takeover,
+                "scaling_floor_factor": factor,
+            }
+        }
+
+    def test_healthy_report_passes(self):
+        gates = check_trajectory.check_fleet(
+            self.smoke(), self.baseline()
+        )
+        assert failed_names(gates) == []
+        assert set(ok_names(gates)) == {
+            "scaling_vs_cores",
+            "oversubscription_bounded",
+            "recovery_parity",
+            "scaling_parity",
+            "takeover_vs_baseline",
+        }
+
+    def test_speedup_rederived_from_raw_rates(self):
+        """The gate recomputes speedups from sessions/sec — 1.1x at 2
+        workers on 2 cores is below the 1.5x floor even though the
+        report carries no speedup field to lie with."""
+        report = self.smoke(rates={1: 50.0, 2: 55.0}, cpu_count=2)
+        gates = check_trajectory.check_fleet(report, self.baseline())
+        assert failed_names(gates) == ["scaling_vs_cores"]
+
+    def test_floor_applies_to_largest_core_fitting_fleet(self):
+        """On a 1-core runner the 4-worker cell is oversubscription,
+        not the scaling gate: the same rates that fail on 4 cores pass
+        on 1 core (where only the bounded-collapse floor applies)."""
+        rates = {1: 50.0, 4: 60.0}
+        one_core = self.smoke(rates=rates, cpu_count=1)
+        four_core = self.smoke(rates=rates, cpu_count=4)
+        assert failed_names(
+            check_trajectory.check_fleet(one_core, self.baseline())
+        ) == []
+        assert failed_names(
+            check_trajectory.check_fleet(four_core, self.baseline())
+        ) == ["scaling_vs_cores"]
+
+    def test_four_core_four_worker_floor_is_three_x(self):
+        """On >= 4-core hardware the floor is the paper-grade 3x."""
+        below = self.smoke(rates={1: 50.0, 4: 145.0}, cpu_count=8)
+        gates = check_trajectory.check_fleet(below, self.baseline())
+        assert failed_names(gates) == ["scaling_vs_cores"]
+        above = self.smoke(rates={1: 50.0, 4: 155.0}, cpu_count=8)
+        assert failed_names(
+            check_trajectory.check_fleet(above, self.baseline())
+        ) == []
+
+    def test_oversubscription_collapse_fails(self):
+        """4 workers on 1 core may cost throughput but not collapse
+        past the bounded floor."""
+        report = self.smoke(rates={1: 50.0, 4: 10.0}, cpu_count=1)
+        gates = check_trajectory.check_fleet(report, self.baseline())
+        assert failed_names(gates) == ["oversubscription_bounded"]
+
+    def test_parity_flags_gate(self):
+        gates = check_trajectory.check_fleet(
+            self.smoke(recovery_parity=False, scaling_parity=False),
+            self.baseline(),
+        )
+        assert failed_names(gates) == [
+            "recovery_parity",
+            "scaling_parity",
+        ]
+
+    def test_takeover_order_of_magnitude_regression_fails(self):
+        gates = check_trajectory.check_fleet(
+            self.smoke(takeover=11.0), self.baseline(takeover=1.0)
+        )
+        assert failed_names(gates) == ["takeover_vs_baseline"]
+
+    def test_takeover_gate_skipped_without_baseline(self):
+        gates = check_trajectory.check_fleet(
+            self.smoke(takeover=99.0), {}
+        )
+        assert failed_names(gates) == []
+
+    def test_missing_rates_fail(self):
+        report = self.smoke()
+        del report["scaling"]
+        gates = check_trajectory.check_fleet(report, self.baseline())
+        assert failed_names(gates) == [
+            "scaling_vs_cores",
+            "oversubscription_bounded",
+        ]
+
+    def test_suite_registered(self):
+        assert "fleet" in check_trajectory.SUITES
+
+
 class TestCli:
     def write(self, tmp_path, name, payload):
         path = tmp_path / name
