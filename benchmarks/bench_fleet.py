@@ -19,6 +19,15 @@ Measures what the multi-process fleet buys and what recovery costs:
   session's next *successfully recorded answer* on a survivor (lease
   wait + takeover + rehydration, seen from the client), then finishes
   every session and parity-checks it.
+* ``shared_index`` — what the zero-copy shared-memory index plane
+  buys on the row-scaled largest Fig. 7 configuration: total
+  index-resident bytes across a fleet vs the single-process figure
+  (one machine-wide copy: ratio ≈ 1.0, gated ≤ 1.5), and the p95 of a
+  warm-fleet cold create resolved by *attaching* a sibling's segment
+  vs one resolved by a private build.  Each timed create is classified
+  attach/build/warm from the per-slot counter deltas on ``GET
+  /fleet``, and the cell ends with a leaked-segment sweep.  Both
+  gates are core-count-independent, so they hold on a 1-core runner.
 
 Every timed session's final predicate is parity-checked against the
 in-process ``run_inference`` result before timings are trusted.
@@ -45,7 +54,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.core import PerfectOracle, SignatureIndex
+from repro.core import PerfectOracle, SignatureIndex, index_shm
 from repro.data import generate_tpch, tpch_workloads
 from repro.service import FleetConfig, FleetServer, ServiceClient
 
@@ -54,6 +63,7 @@ from bench_util import (
     drive_session,
     expected_pairs,
     latency_summary,
+    percentile,
     remote_answerer,
 )
 
@@ -67,6 +77,30 @@ SCALING_FLOOR_FACTOR = 0.75
 #: but not to collapse past 4x vs a single worker.
 OVERSUBSCRIPTION_FLOOR = 0.25
 RECOVERY_LEASE_TTL = 1.0
+#: The shared-index cell runs the largest Fig. 7 configuration,
+#: row-scaled exactly as ``bench_plan``/``bench_build`` scale it:
+#: ``synthetic/0`` at scale 24 is (3,3,2400,100).  Smoke uses scale 8
+#: (~50 ms builds) to stay a quick canary.
+SHARED_INDEX_WORKLOAD = "synthetic/0"
+SHARED_INDEX_SCALE = 24.0
+SHARED_INDEX_SCALE_SMOKE = 8.0
+#: A W-worker fleet maps ONE machine-wide copy of each segment, so its
+#: total resident index bytes must stay within noise of the
+#: single-process figure — far under W copies.
+SHARED_MEMORY_RATIO_MAX = 1.5
+#: Smoke indexes are tiny (~1 KB), so the flat buffer's fixed 128-byte
+#: header plus 16-byte array alignment is a large slice of every
+#: segment, and all ``seeds`` distinct segments can end up mapped by
+#: one worker.  The canary ceiling is relaxed accordingly; the 1.5x
+#: bound applies to the full-size run.
+SHARED_MEMORY_RATIO_MAX_SMOKE = 3.0
+#: Attaching a published segment skips the |R|x|P| product walk; on the
+#: full-size config the p95 warm-fleet cold create must be >= 5x faster
+#: than a private build.  Smoke builds are ~6x smaller, so HTTP
+#: round-trip overhead is a larger slice of the create; the canary
+#: floor is relaxed accordingly.
+SHARED_ATTACH_SPEEDUP_FLOOR = 5.0
+SHARED_ATTACH_SPEEDUP_FLOOR_SMOKE = 1.5
 
 
 def _workload_oracle():
@@ -240,6 +274,159 @@ def bench_recovery(sessions: int, db_dir: str) -> dict:
     }
 
 
+def _shm_segments() -> set[str]:
+    """Current ``repro_idx_*`` names in ``/dev/shm`` (empty off-Linux)."""
+    directory = "/dev/shm"
+    if not os.path.isdir(directory):
+        return set()
+    return {
+        entry
+        for entry in os.listdir(directory)
+        if entry.startswith(index_shm.SEGMENT_PREFIX)
+    }
+
+
+def _summary(samples: list[float]) -> dict:
+    return latency_summary(samples) if samples else {"count": 0}
+
+
+def _attach_build_totals(fleet_payload: dict) -> tuple[int, int]:
+    """Fleet-wide (attach_hits, builds) from the aggregated payload."""
+    shared = fleet_payload.get("shared_index", {})
+    return (
+        shared.get("attach_hits_total", 0),
+        shared.get("builds_total", 0),
+    )
+
+
+def bench_shared_index(workers: int, seeds: int, db_dir: str, smoke: bool) -> dict:
+    """Memory and cold-create latency with and without the shared plane."""
+    scale = SHARED_INDEX_SCALE_SMOKE if smoke else SHARED_INDEX_SCALE
+    supported = index_shm.shared_memory_available()
+    cell: dict = {
+        "workload": SHARED_INDEX_WORKLOAD,
+        "scale": scale,
+        "workers": workers,
+        "seeds": seeds,
+        "supported": supported,
+    }
+    if not supported:
+        print(
+            "[bench] shared-memory unavailable; shared_index cell skipped",
+            flush=True,
+        )
+        return cell
+    pre_existing = _shm_segments()
+
+    def create(client: ServiceClient, seed: int) -> float:
+        started = time.perf_counter()
+        client.create_session(
+            workload=SHARED_INDEX_WORKLOAD,
+            strategy="RND",
+            seed=0,
+            workload_seed=seed,
+            scale=scale,
+        )
+        return time.perf_counter() - started
+
+    # Single-process reference: one worker, plane off.  Every distinct
+    # workload_seed is a value-distinct instance, so each create is a
+    # cold private build.
+    config = FleetConfig(
+        store_path=os.path.join(db_dir, "shmidx_single.db"),
+        workers=1,
+        shared_index=False,
+        speculate=False,
+    )
+    build_latencies: list[float] = []
+    with FleetServer(config) as server:
+        with ServiceClient(
+            server.host, server.port, retries=10, retry_backoff=0.2
+        ) as client:
+            for seed in range(seeds):
+                build_latencies.append(create(client, seed))
+            single_memory = client.fleet()["memory"]
+    single_resident = single_memory["index_resident_bytes_total"]
+
+    # The shared fleet serves the same instances; every timed create is
+    # classified by the fleet-wide attach/build counter delta it caused.
+    config = FleetConfig(
+        store_path=os.path.join(db_dir, "shmidx_fleet.db"),
+        workers=workers,
+        shared_index=True,
+        speculate=False,
+    )
+    attach_latencies: list[float] = []
+    fleet_build_latencies: list[float] = []
+    warm_hits = 0
+    with FleetServer(config) as server:
+        with ServiceClient(
+            server.host, server.port, retries=10, retry_backoff=0.2
+        ) as client:
+            for seed in range(seeds):
+                # Creates hash session ids uniformly over slots, so
+                # ~3x workers of them land every worker at least once
+                # with overwhelming probability: the first is the
+                # build+publish, siblings attach, re-hits are warm.
+                for _ in range(workers * 3):
+                    before = _attach_build_totals(client.fleet())
+                    elapsed = create(client, seed)
+                    after = _attach_build_totals(client.fleet())
+                    if after[1] > before[1]:
+                        fleet_build_latencies.append(elapsed)
+                    elif after[0] > before[0]:
+                        attach_latencies.append(elapsed)
+                    else:
+                        warm_hits += 1
+            fleet_payload = client.fleet()
+    fleet_memory = fleet_payload["memory"]
+    fleet_resident = fleet_memory["index_resident_bytes_total"]
+
+    leaked = sorted(_shm_segments() - pre_existing)
+    memory_ratio = (
+        round(fleet_resident / single_resident, 3)
+        if single_resident
+        else None
+    )
+    build_p95 = percentile(build_latencies, 95) if build_latencies else None
+    attach_p95 = (
+        percentile(attach_latencies, 95) if attach_latencies else None
+    )
+    attach_speedup = (
+        round(build_p95 / attach_p95, 3)
+        if build_p95 and attach_p95
+        else None
+    )
+    cell.update(
+        {
+            "single_resident_bytes": single_resident,
+            "fleet_resident_bytes": fleet_resident,
+            "fleet_private_bytes": fleet_memory[
+                "index_private_bytes_total"
+            ],
+            "fleet_shared_bytes": fleet_memory["index_shared_bytes"],
+            "memory_ratio": memory_ratio,
+            "private_build_latency": _summary(build_latencies),
+            "attach_latency": _summary(attach_latencies),
+            "fleet_build_latency": _summary(fleet_build_latencies),
+            "warm_hits": warm_hits,
+            "attach_speedup_p95": attach_speedup,
+            "counters": fleet_payload.get("shared_index", {}),
+            "leaked_segments": leaked,
+        }
+    )
+    print(
+        f"[bench] shared index: resident {fleet_resident}B across "
+        f"{workers} workers vs {single_resident}B single "
+        f"(ratio {memory_ratio}); attach p95 "
+        f"{cell['attach_latency'].get('p95_ms')}ms vs build p95 "
+        f"{cell['private_build_latency'].get('p95_ms')}ms "
+        f"({attach_speedup}x)",
+        flush=True,
+    )
+    return cell
+
+
 # --- harness -----------------------------------------------------------------
 
 
@@ -249,6 +436,12 @@ def run_benchmarks(smoke: bool = False) -> dict:
     with tempfile.TemporaryDirectory(prefix="bench_fleet_") as db_dir:
         scaling = bench_scaling(worker_counts, sessions, db_dir)
         recovery = bench_recovery(4 if smoke else 6, db_dir)
+        shared_index = bench_shared_index(
+            workers=2 if smoke else 4,
+            seeds=3 if smoke else 6,
+            db_dir=db_dir,
+            smoke=smoke,
+        )
 
     cpu_count = scaling["cpu_count"]
     workers_max = worker_counts[-1]
@@ -265,6 +458,17 @@ def run_benchmarks(smoke: bool = False) -> dict:
     speedup_gated = round(at_gated / single, 3)
     speedup_max = round(at_max / single, 3)
     floor = round(SCALING_FLOOR_FACTOR * workers_gated, 3)
+    supported = shared_index.get("supported", False)
+    attach_floor = (
+        SHARED_ATTACH_SPEEDUP_FLOOR_SMOKE
+        if smoke
+        else SHARED_ATTACH_SPEEDUP_FLOOR
+    )
+    memory_ratio_max = (
+        SHARED_MEMORY_RATIO_MAX_SMOKE if smoke else SHARED_MEMORY_RATIO_MAX
+    )
+    memory_ratio = shared_index.get("memory_ratio")
+    attach_speedup = shared_index.get("attach_speedup_p95")
     return {
         "meta": bench_meta(
             smoke=smoke,
@@ -273,6 +477,7 @@ def run_benchmarks(smoke: bool = False) -> dict:
         ),
         "scaling": scaling,
         "recovery": recovery,
+        "shared_index": shared_index,
         "acceptance": {
             "cpu_count": cpu_count,
             "workers_max": workers_max,
@@ -293,6 +498,30 @@ def run_benchmarks(smoke: bool = False) -> dict:
             "lease_ttl_seconds": recovery["lease_ttl_seconds"],
             "recovery_parity": recovery["parity_checked"],
             "scaling_parity": scaling["parity_checked"],
+            # An unsupported platform (no POSIX shared memory) degrades
+            # to private builds by design; the gates then hold trivially.
+            "shared_index_supported": supported,
+            "shared_memory_ratio": memory_ratio,
+            "shared_memory_ratio_max": memory_ratio_max,
+            "shared_memory_gate": (
+                not supported
+                or (
+                    memory_ratio is not None
+                    and memory_ratio <= memory_ratio_max
+                )
+            ),
+            "shared_attach_speedup_p95": attach_speedup,
+            "shared_attach_speedup_floor": attach_floor,
+            "shared_attach_gate": (
+                not supported
+                or (
+                    attach_speedup is not None
+                    and attach_speedup >= attach_floor
+                )
+            ),
+            "shared_no_leaked_segments": (
+                not shared_index.get("leaked_segments", [])
+            ),
         },
     }
 
@@ -329,11 +558,25 @@ def main(argv=None) -> int:
         f"  kill -9 takeover {acceptance['takeover_seconds']}s "
         f"(lease TTL {acceptance['lease_ttl_seconds']}s)"
     )
+    if acceptance["shared_index_supported"]:
+        print(
+            f"  shared index: memory ratio "
+            f"{acceptance['shared_memory_ratio']} "
+            f"(max {acceptance['shared_memory_ratio_max']}), attach "
+            f"p95 speedup {acceptance['shared_attach_speedup_p95']}x "
+            f"(floor {acceptance['shared_attach_speedup_floor']}x)"
+        )
     gates = [
         ("scaling_gate", acceptance["scaling_gate"]),
         ("oversubscription_gate", acceptance["oversubscription_gate"]),
         ("recovery_parity", acceptance["recovery_parity"]),
         ("scaling_parity", acceptance["scaling_parity"]),
+        ("shared_memory_gate", acceptance["shared_memory_gate"]),
+        ("shared_attach_gate", acceptance["shared_attach_gate"]),
+        (
+            "shared_no_leaked_segments",
+            acceptance["shared_no_leaked_segments"],
+        ),
     ]
     for name, ok in gates:
         print(f"acceptance: {name} → {'OK' if ok else 'FAIL'}")

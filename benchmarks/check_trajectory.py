@@ -81,6 +81,24 @@ FLEET_SCALING_FLOOR_FACTOR = 0.75
 #: collapse past 4× vs a single worker.
 FLEET_OVERSUBSCRIPTION_FLOOR = 0.25
 
+#: The shared-memory index plane maps ONE machine-wide copy of each
+#: index, so a fleet's total index-resident bytes must stay within
+#: noise of the single-process figure, never N copies.
+FLEET_SHARED_MEMORY_RATIO_MAX = 1.5
+
+#: Smoke cells build ~1 KB indexes where the flat buffer's fixed
+#: header/alignment overhead dominates each segment, so their reports
+#: may record a relaxed ceiling — but never past this hard cap, so a
+#: report cannot weaken the gate into meaninglessness.
+FLEET_SHARED_MEMORY_RATIO_HARD_MAX = 3.0
+
+#: Warm-fleet cold creates resolved by attaching a sibling's segment
+#: skip the |R|×|P| product walk.  The smoke cell builds a ~6× smaller
+#: instance where HTTP round-trip overhead is a bigger slice of the
+#: create, so the canary floor sits below the ≥5× full-run target
+#: (gated through the report's own recorded floor).
+FLEET_SHARED_ATTACH_FLOOR_MIN = 1.5
+
 
 def check_core(report: dict, baseline: dict) -> list[Gate]:
     """Every smoke cell must stay above the absolute speedup floor."""
@@ -326,7 +344,81 @@ def check_fleet(report: dict, baseline: dict) -> list[Gate]:
                 f"ceiling {ceiling:.1f}s)",
             )
         )
+    gates.extend(_shared_index_gates(report))
     return gates
+
+
+def _shared_index_gates(report: dict) -> list[Gate]:
+    """The zero-copy shared-index plane's cell, re-derived from raw
+    bytes and latencies.  A platform without POSIX shared memory
+    (``supported: false``) degrades to private builds by design and
+    passes trivially — but a supported run must share memory, attach
+    fast, and leak nothing."""
+    cell = report.get("shared_index", {})
+    if not cell.get("supported", False):
+        return [
+            _gate(
+                "shared_index_supported",
+                True,
+                "shared memory unavailable on this runner; plane "
+                "degraded to private builds (by design)",
+            )
+        ]
+    single = cell.get("single_resident_bytes") or 0
+    fleet_resident = cell.get("fleet_resident_bytes")
+    ratio = (
+        fleet_resident / single
+        if single and fleet_resident is not None
+        else None
+    )
+    build_p95 = cell.get("private_build_latency", {}).get("p95_ms")
+    attach_p95 = cell.get("attach_latency", {}).get("p95_ms")
+    speedup = (
+        round(build_p95 / attach_p95, 3)
+        if build_p95 and attach_p95
+        else None
+    )
+    floor = max(
+        float(
+            report.get("acceptance", {}).get(
+                "shared_attach_speedup_floor",
+                FLEET_SHARED_ATTACH_FLOOR_MIN,
+            )
+        ),
+        FLEET_SHARED_ATTACH_FLOOR_MIN,
+    )
+    ratio_max = min(
+        float(
+            report.get("acceptance", {}).get(
+                "shared_memory_ratio_max",
+                FLEET_SHARED_MEMORY_RATIO_MAX,
+            )
+        ),
+        FLEET_SHARED_MEMORY_RATIO_HARD_MAX,
+    )
+    leaked = cell.get("leaked_segments", None)
+    return [
+        _gate(
+            "shared_index_memory",
+            ratio is not None and ratio <= ratio_max,
+            f"{cell.get('workers')}-worker resident {fleet_resident}B "
+            f"vs {single}B single-process = "
+            f"{None if ratio is None else round(ratio, 3)}x "
+            f"(max {ratio_max}x — one machine-wide copy, not N)",
+        ),
+        _gate(
+            "shared_index_attach_speedup",
+            speedup is not None and speedup >= floor,
+            f"warm-fleet cold create p95 {attach_p95}ms via attach vs "
+            f"{build_p95}ms private build = {speedup}x (floor {floor}x)",
+        ),
+        _gate(
+            "shared_index_no_leaks",
+            leaked == [],
+            f"segments left in /dev/shm after both fleets closed: "
+            f"{leaked}",
+        ),
+    ]
 
 
 SUITES = {

@@ -293,6 +293,17 @@ def build_parser() -> argparse.ArgumentParser:
             "a survivor (default: 10)"
         ),
     )
+    serve.add_argument(
+        "--shared-index",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help=(
+            "share built signature indexes machine-wide through "
+            "/dev/shm segments (requires --store for the registry; "
+            "workers attach zero-copy instead of rebuilding; default: "
+            "on in fleet mode, off for a single server)"
+        ),
+    )
     return parser
 
 
@@ -461,8 +472,30 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 def manager_from_args(args: argparse.Namespace):
     """Wire a :class:`~repro.service.manager.SessionManager` from the
     ``serve`` flags (kept separate so tests can check the plumbing)."""
+    import os
+
     from .core import IndexBuilder
-    from .service import IndexCache, SessionManager, SqliteSessionStore
+    from .service import (
+        IndexCache,
+        SessionManager,
+        SharedIndexPlane,
+        SqliteSessionStore,
+    )
+
+    # --shared-index defaults off for a single server (nobody to share
+    # with until a fleet sibling or a second process points at the same
+    # store); passing it explicitly joins this server to the machine's
+    # shared plane.
+    plane = None
+    if getattr(args, "shared_index", None) and args.store is not None:
+        lease_ttl = getattr(args, "lease_ttl", 10.0)
+        plane = SharedIndexPlane.if_available(
+            str(args.store),
+            f"solo-{os.getpid()}",
+            ttl_seconds=lease_ttl if lease_ttl > 0 else 10.0,
+        )
+        if plane is not None:
+            plane.reap()
 
     # The cache (and its builder, which carries --shard-rows) is built
     # here because --index-cache-size is a cache knob; the manager only
@@ -474,6 +507,7 @@ def manager_from_args(args: argparse.Namespace):
             builder=IndexBuilder(
                 shard_rows=args.shard_rows, workers=args.build_workers
             ),
+            shared=plane,
         ),
         max_sessions=args.max_sessions,
         ttl_seconds=args.session_ttl if args.session_ttl > 0 else None,
@@ -518,6 +552,9 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
         build_workers=args.build_workers,
         speculate=args.speculate,
         kernel_batch=args.kernel_batch,
+        shared_index=(
+            args.shared_index if args.shared_index is not None else True
+        ),
     )
 
     async def run() -> None:

@@ -1,0 +1,409 @@
+"""Flat-buffer serialization of :class:`SignatureIndex` for shared memory.
+
+A built index is immutable, and its hot-path state is already
+array-native: the ``(|N|, n_words)`` packed uint64 mask matrix, the int64
+count vector, and the ⊆-maximal id set.  That makes it a natural fit for
+a *flat-buffer* layout — one contiguous segment holding a versioned
+header plus the raw arrays — that any process on the machine can map and
+serve **zero-copy**: the attach path reconstructs a ``SignatureIndex``
+whose arrays are read-only numpy views straight over the mapped buffer,
+bit-for-bit identical to a locally built index (property-tested).
+
+Representatives are not stored as row values.  ``Relation`` deduplicates
+rows at construction, so each row appears exactly once per relation and
+the builder's representative — the minimal tuple of its class in product
+order — is fully determined by a single *ordinal*
+``left_index * |P| + right_index``.  The writer derives that ordinal from
+the representative's (unique) row positions; the attacher reverses it
+against its own materialisation of the same instance.  Both sides
+materialise the instance from the same spec, so row order agrees.
+
+Layout (little-endian, offsets 16-byte aligned)::
+
+    [0, 128)   header: magic, version, n_words, n_classes, omega_bits,
+               total_weight, array offsets, total_bytes
+    masks      (n_classes, n_words) uint64 — packed signature masks
+    counts     (n_classes,)          int64 — class weights
+    ordinals   (n_classes,)          int64 — representative product ordinals
+    maximal    (n_classes,)          uint8 — 1 iff the class is ⊆-maximal
+
+The ⊆-maximal flags are serialized rather than recomputed on attach so
+the attached index is *identical*, not merely equivalent, to the build.
+
+Segments are plain named POSIX shared memory (``/dev/shm`` files, the
+same objects ``multiprocessing.shared_memory`` wraps), but mapped with a
+tracker-free handle: segment lifetime is owned by the cross-process
+registry (:mod:`repro.service.shm_registry`), and the stdlib resource
+tracker would otherwise unlink segments when any single process exits,
+yanking mappings out from under the surviving fleet.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+import numpy as np
+
+from ..relational.relation import Instance
+from . import bitset
+from .signatures import SignatureClass, SignatureIndex
+
+__all__ = [
+    "ShmIndexError",
+    "SEGMENT_PREFIX",
+    "HEADER_BYTES",
+    "FORMAT_VERSION",
+    "required_bytes",
+    "class_ordinals",
+    "write_index",
+    "read_index",
+    "Segment",
+    "shared_memory_available",
+    "create_segment",
+    "attach_segment",
+    "unlink_segment",
+    "close_segment",
+    "publish_index",
+    "attach_index",
+]
+
+
+class ShmIndexError(RuntimeError):
+    """A segment could not be written, mapped, or validated."""
+
+
+#: Shared-memory segment name prefix.  CI's leaked-segment guard and the
+#: registry reaper both key off this.
+SEGMENT_PREFIX = "repro_idx_"
+
+MAGIC = b"RJQIDX\x00\x01"
+FORMAT_VERSION = 1
+
+#: magic, version, n_words, n_classes, omega_bits, total_weight,
+#: masks/counts/ordinals/maximal offsets, total_bytes.
+_HEADER = struct.Struct("<8sIIQQqQQQQQ")
+HEADER_BYTES = 128
+assert _HEADER.size <= HEADER_BYTES
+
+
+def _align(offset: int) -> int:
+    return (offset + 15) & ~15
+
+
+def _layout(n_classes: int, n_words: int) -> tuple[int, int, int, int, int]:
+    """``(masks, counts, ordinals, maximal, total)`` byte offsets."""
+    masks = HEADER_BYTES
+    counts = _align(masks + n_classes * n_words * 8)
+    ordinals = _align(counts + n_classes * 8)
+    maximal = _align(ordinals + n_classes * 8)
+    total = _align(maximal + n_classes)
+    return masks, counts, ordinals, maximal, total
+
+
+def required_bytes(n_classes: int, n_words: int) -> int:
+    """Segment bytes needed for an index of the given shape."""
+    return _layout(n_classes, n_words)[4]
+
+
+def class_ordinals(index: SignatureIndex) -> list[int]:
+    """Each class representative as its Cartesian-product ordinal.
+
+    Rows are unique within a relation (set semantics), so the positions
+    are well-defined; the builder always picks the product-minimal tuple
+    of a class, making this ordinal canonical for the instance.
+    """
+    instance = index.instance
+    n_right = len(instance.right)
+    left_position = {
+        row: i for i, row in enumerate(instance.left.rows)
+    }
+    right_position = {
+        row: i for i, row in enumerate(instance.right.rows)
+    }
+    return [
+        left_position[cls.representative[0]] * n_right
+        + right_position[cls.representative[1]]
+        for cls in index.classes
+    ]
+
+
+def write_index(index: SignatureIndex, buffer) -> int:
+    """Serialize ``index`` into ``buffer``; returns bytes written."""
+    n_classes = len(index)
+    n_words = index.n_words
+    masks_off, counts_off, ordinals_off, maximal_off, total = _layout(
+        n_classes, n_words
+    )
+    view = memoryview(buffer)
+    if len(view) < total:
+        raise ShmIndexError(
+            f"buffer holds {len(view)} bytes, index needs {total}"
+        )
+    _HEADER.pack_into(
+        view,
+        0,
+        MAGIC,
+        FORMAT_VERSION,
+        n_words,
+        n_classes,
+        len(index.instance.omega),
+        index.total_weight,
+        masks_off,
+        counts_off,
+        ordinals_off,
+        maximal_off,
+        total,
+    )
+
+    def _out(offset: int, count: int, dtype) -> np.ndarray:
+        return np.frombuffer(view, dtype=dtype, count=count, offset=offset)
+
+    _out(masks_off, n_classes * n_words, np.uint64)[:] = (
+        index.packed_masks.reshape(-1)
+    )
+    _out(counts_off, n_classes, np.int64)[:] = index.count_array
+    _out(ordinals_off, n_classes, np.int64)[:] = np.asarray(
+        class_ordinals(index), dtype=np.int64
+    )
+    maximal = np.zeros(n_classes, dtype=np.uint8)
+    if n_classes:
+        maximal[sorted(index.maximal_class_ids)] = 1
+    _out(maximal_off, n_classes, np.uint8)[:] = maximal
+    return total
+
+
+def read_index(buffer, instance: Instance) -> SignatureIndex:
+    """Reconstruct an index as read-only views over ``buffer``.
+
+    ``instance`` must be the attacher's own materialisation of the
+    published instance (same spec ⇒ same row order); the header is
+    validated against its Ω before any array is touched.
+    """
+    view = memoryview(buffer)
+    if len(view) < HEADER_BYTES:
+        raise ShmIndexError("buffer too small for an index header")
+    (
+        magic,
+        version,
+        n_words,
+        n_classes,
+        omega_bits,
+        total_weight,
+        masks_off,
+        counts_off,
+        ordinals_off,
+        maximal_off,
+        total,
+    ) = _HEADER.unpack_from(view, 0)
+    if magic != MAGIC:
+        raise ShmIndexError("bad magic: not a serialized SignatureIndex")
+    if version != FORMAT_VERSION:
+        raise ShmIndexError(f"unsupported format version {version}")
+    if omega_bits != len(instance.omega):
+        raise ShmIndexError(
+            f"segment indexes |Ω|={omega_bits}, instance has "
+            f"|Ω|={len(instance.omega)}"
+        )
+    if n_words != bitset.words_needed(omega_bits):
+        raise ShmIndexError(
+            f"segment packs {n_words} words, Ω needs "
+            f"{bitset.words_needed(omega_bits)}"
+        )
+    if total > len(view) or total != _layout(n_classes, n_words)[4]:
+        raise ShmIndexError("segment truncated or layout mismatch")
+
+    def _view(offset: int, count: int, dtype) -> np.ndarray:
+        array = np.frombuffer(view, dtype=dtype, count=count, offset=offset)
+        array.flags.writeable = False
+        return array
+
+    packed = _view(masks_off, n_classes * n_words, np.uint64).reshape(
+        n_classes, n_words
+    )
+    counts = _view(counts_off, n_classes, np.int64)
+    ordinals = _view(ordinals_off, n_classes, np.int64)
+    maximal = _view(maximal_off, n_classes, np.uint8)
+
+    left_rows = instance.left.rows
+    right_rows = instance.right.rows
+    n_right = len(right_rows)
+    classes = []
+    for class_id in range(n_classes):
+        mask = bitset.unpack_row(packed[class_id])
+        left_index, right_index = divmod(int(ordinals[class_id]), n_right)
+        try:
+            representative = (
+                left_rows[left_index],
+                right_rows[right_index],
+            )
+        except IndexError as exc:
+            raise ShmIndexError(
+                "representative ordinal out of range — instance does "
+                "not match the published segment"
+            ) from exc
+        classes.append(
+            SignatureClass(
+                class_id, mask, int(counts[class_id]), representative
+            )
+        )
+    maximal_ids = frozenset(
+        int(class_id) for class_id in np.nonzero(maximal)[0]
+    )
+    return SignatureIndex.from_arrays(
+        instance,
+        tuple(classes),
+        packed,
+        counts,
+        maximal_ids,
+        total_weight=total_weight,
+    )
+
+
+# --- shared-memory segment helpers ---------------------------------------
+#
+# Deliberately NOT multiprocessing.shared_memory.SharedMemory: that class
+# enrolls every segment with the per-process resource tracker, which (a)
+# unlinks registered segments when the registering process exits —
+# destroying the machine-wide segment under every surviving fleet worker
+# — and (b) logs protocol noise when told to forget names out of band.
+# Segment lifetime here belongs to the cross-process registry
+# (:mod:`repro.service.shm_registry`), so the handle below is the raw
+# POSIX primitive: ``shm_open`` + ``mmap``, nothing watching it.
+
+
+def _posix_name(name: str) -> str:
+    return name if name.startswith("/") else "/" + name
+
+
+class Segment:
+    """A minimal named POSIX shared-memory mapping.
+
+    The descriptor is closed right after mapping — the mapping (and the
+    ``/dev/shm`` name, until unlinked) live independently of it.
+    """
+
+    __slots__ = ("name", "size", "_mmap")
+
+    def __init__(self, name: str, *, create: bool = False, size: int = 0):
+        import _posixshmem
+        import mmap as mmap_module
+
+        flags = os.O_RDWR
+        if create:
+            flags |= os.O_CREAT | os.O_EXCL
+        fd = _posixshmem.shm_open(_posix_name(name), flags, mode=0o600)
+        try:
+            if create and size:
+                os.ftruncate(fd, size)
+            actual = os.fstat(fd).st_size
+            if actual == 0:
+                # A crashed creator can leave a zero-length file, which
+                # mmap refuses; surface it as a validation failure.
+                raise ShmIndexError(f"segment {name!r} is empty")
+            self._mmap = mmap_module.mmap(fd, actual)
+        except BaseException:
+            os.close(fd)
+            if create:
+                unlink_segment(name)
+            raise
+        os.close(fd)
+        self.name = name
+        self.size = actual
+
+    @property
+    def buf(self) -> memoryview:
+        return memoryview(self._mmap)
+
+    def close(self) -> None:
+        """Unmap; raises ``BufferError`` while views are still live
+        (use :func:`close_segment` to tolerate that)."""
+        if self._mmap is not None:
+            self._mmap.close()
+            self._mmap = None
+
+
+def shared_memory_available() -> bool:
+    """Probe whether POSIX shared memory actually works here."""
+    try:
+        import _posixshmem  # noqa: F401 - availability probe
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return False
+    name = f"{SEGMENT_PREFIX}probe_{os.getpid()}"
+    unlink_segment(name)
+    try:
+        probe = Segment(name, create=True, size=16)
+    except (OSError, ValueError, ShmIndexError):
+        # pragma: no cover - env dependent (e.g. /dev/shm unmounted)
+        return False
+    probe.close()
+    unlink_segment(name)
+    return True
+
+
+def create_segment(name: str, size: int) -> Segment:
+    """Create a shared-memory segment of at least ``size`` bytes."""
+    return Segment(name, create=True, size=max(size, 1))
+
+
+def attach_segment(name: str) -> Segment:
+    """Map an existing segment; raises ``FileNotFoundError`` if gone."""
+    return Segment(name)
+
+
+def unlink_segment(name: str) -> bool:
+    """Best-effort unlink of a segment by name; True if it existed."""
+    try:
+        import _posixshmem
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return False
+    try:
+        _posixshmem.shm_unlink(_posix_name(name))
+    except FileNotFoundError:
+        return False
+    except OSError:  # pragma: no cover - e.g. permissions
+        return False
+    return True
+
+
+def close_segment(shm: Segment) -> None:
+    """Close a segment handle, tolerating live views over its mapping.
+
+    Unmapping raises ``BufferError`` while numpy views of an attached
+    index still reference the mapping.  In that case the handle's
+    reference is simply dropped: the ``mmap`` object stays alive exactly
+    as long as the views do and unmaps when the last one dies (or at
+    process exit).
+    """
+    try:
+        shm.close()
+    except BufferError:
+        shm._mmap = None
+
+
+def publish_index(index: SignatureIndex, name: str):
+    """Serialize ``index`` into a fresh segment ``name``; returns it."""
+    size = required_bytes(len(index), index.n_words)
+    shm = create_segment(name, size)
+    try:
+        write_index(index, shm.buf)
+    except BaseException:
+        close_segment(shm)
+        unlink_segment(name)
+        raise
+    return shm
+
+
+def attach_index(name: str, instance: Instance):
+    """Map segment ``name`` and rebuild its index; ``(shm, index)``.
+
+    The caller must keep ``shm`` open for as long as the index lives —
+    the index's arrays are views over the mapping.
+    """
+    shm = attach_segment(name)
+    try:
+        index = read_index(shm.buf, instance)
+    except BaseException:
+        close_segment(shm)
+        raise
+    return shm, index

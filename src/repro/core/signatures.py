@@ -30,7 +30,7 @@ all-pairs test).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Literal, Sequence
+from typing import Iterable, Iterator, Literal, Sequence
 
 import numpy as np
 
@@ -226,6 +226,51 @@ class SignatureIndex:
         index._install(instance, tuple(classes))
         return index
 
+    @classmethod
+    def from_arrays(
+        cls,
+        instance: Instance,
+        classes: tuple[SignatureClass, ...],
+        packed_masks: np.ndarray,
+        count_array: np.ndarray,
+        maximal_ids: Iterable[int],
+        total_weight: int | None = None,
+    ) -> "SignatureIndex":
+        """An index over precomputed arrays, installed without copying.
+
+        This is the zero-copy attach path of :mod:`repro.core.index_shm`:
+        ``packed_masks`` / ``count_array`` may be read-only views over a
+        shared-memory mapping, and the ⊆-maximal set is supplied rather
+        than recomputed so the result is bit-for-bit the published index.
+        The arrays must agree with ``classes`` (canonical order, same
+        counts) — callers are expected to hold a serialized form that
+        already went through the constructor once.
+        """
+        n_words = bitset.words_needed(len(instance.omega))
+        if packed_masks.shape != (len(classes), n_words):
+            raise ValueError(
+                f"packed_masks shape {packed_masks.shape} does not match "
+                f"({len(classes)}, {n_words})"
+            )
+        if count_array.shape != (len(classes),):
+            raise ValueError(
+                f"count_array shape {count_array.shape} does not match "
+                f"({len(classes)},)"
+            )
+        index = cls.__new__(cls)
+        index._instance = instance
+        index._classes = classes
+        index._by_mask = {c.mask: c.class_id for c in classes}
+        index._omega_mask = (1 << len(instance.omega)) - 1
+        index._n_words = n_words
+        index._packed_masks = packed_masks
+        index._count_array = count_array
+        index._total_weight = (
+            int(count_array.sum()) if total_weight is None else int(total_weight)
+        )
+        index._maximal_ids = frozenset(maximal_ids)
+        return index
+
     def _install(
         self, instance: Instance, classes: tuple[SignatureClass, ...]
     ) -> None:
@@ -312,6 +357,15 @@ class SignatureIndex:
     def total_weight(self) -> int:
         """``|D|`` — the sum of class counts (cached at construction)."""
         return self._total_weight
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the packed array state (mask matrix + counts).
+
+        For a shared-memory attached index these bytes live in the
+        mapped segment, not in this process's private heap.
+        """
+        return int(self._packed_masks.nbytes + self._count_array.nbytes)
 
     def __len__(self) -> int:
         return len(self._classes)

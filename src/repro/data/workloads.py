@@ -144,7 +144,11 @@ def builtin_instance(
     caller naming the same builtin gets a *value-identical* instance —
     which is what lets the service's index cache share one
     ``SignatureIndex`` across all sessions on the same builtin data.
-    ``scale`` only affects the TPC-H workloads.
+    ``scale`` multiplies the TPC-H table sizes, and for the synthetic
+    configurations it multiplies the per-relation row count (the same
+    row scaling the benchmarks apply to reach the paper's largest
+    products — e.g. ``synthetic/0`` at ``scale=24`` is the row-scaled
+    largest Figure 7 configuration ``(3,3,2400,100)``).
     """
     family, _, rest = name.partition("/")
     if family == "tpch" and rest in WORKLOAD_NAMES:
@@ -161,6 +165,8 @@ def builtin_instance(
                 f"unknown synthetic workload {name!r}; expected "
                 f"synthetic/0..synthetic/{len(PAPER_CONFIGS) - 1}"
             ) from None
+        if scale != 1.0:
+            config = config.scaled(max(1, round(config.rows * scale)))
         return generate_synthetic(config, seed=seed)
     raise ValueError(
         f"unknown builtin workload {name!r}; "

@@ -50,6 +50,13 @@ from .protocol import (
     sessions_payload,
 )
 from .router import FleetRouter, WorkerUnavailable
+from .shm_registry import (
+    PublishTicket,
+    SegmentInfo,
+    SharedIndexPlane,
+    ShmRegistry,
+    ShmRegistryError,
+)
 from .store import (
     Lease,
     LeaseFenced,
@@ -76,6 +83,8 @@ __all__ = [
     "ManagedSession",
     "MemorySessionStore",
     "NotFound",
+    "PublishTicket",
+    "SegmentInfo",
     "ServiceApp",
     "ServiceClient",
     "ServiceClientError",
@@ -83,6 +92,9 @@ __all__ = [
     "ServiceServer",
     "SessionManager",
     "SessionStore",
+    "SharedIndexPlane",
+    "ShmRegistry",
+    "ShmRegistryError",
     "Speculation",
     "SqliteSessionStore",
     "StoreError",

@@ -214,6 +214,11 @@ class ServiceClient:
         """Server counters, including the index-cache hit ratio."""
         return self._request("GET", "/stats")
 
+    def fleet(self) -> dict[str, Any]:
+        """Fleet topology plus aggregated per-worker memory and
+        shared-index counters (only a fleet front router serves this)."""
+        return self._request("GET", "/fleet")
+
     # --- convenience ---------------------------------------------------------
 
     def drive(

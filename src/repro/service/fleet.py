@@ -85,6 +85,10 @@ class FleetConfig:
     build_workers: int = 1
     speculate: bool = True
     kernel_batch: bool = True
+    #: Share built indexes machine-wide through ``/dev/shm`` segments
+    #: (see :mod:`repro.service.shm_registry`).  Workers degrade to
+    #: private builds when POSIX shared memory is unavailable.
+    shared_index: bool = True
     spawn_timeout: float = 60.0
 
     def worker_payload(self, slot: int, owner_id: str) -> dict[str, Any]:
@@ -101,6 +105,7 @@ class FleetConfig:
             "build_workers": self.build_workers,
             "speculate": self.speculate,
             "kernel_batch": self.kernel_batch,
+            "shared_index": self.shared_index,
         }
 
 
@@ -114,9 +119,23 @@ def manager_from_worker_config(config: dict[str, Any]):
     in-worker stack inside one process (same store semantics, no
     subprocess)."""
     from .manager import SessionManager
+    from .shm_registry import SharedIndexPlane
     from .store import SqliteSessionStore
 
     store = SqliteSessionStore(config["store_path"])
+    plane = None
+    if config.get("shared_index", True):
+        # None when POSIX shared memory is unusable: the worker keeps
+        # its PR 7 behaviour (private per-process builds).
+        plane = SharedIndexPlane.if_available(
+            config["store_path"],
+            config["owner_id"],
+            ttl_seconds=config.get("lease_ttl_seconds", 10.0),
+        )
+        if plane is not None:
+            # Claim anything a crashed predecessor left behind before
+            # the first build races it.
+            plane.reap()
     return SessionManager(
         max_sessions=config.get("max_sessions", 256),
         ttl_seconds=config.get("ttl_seconds", 3600.0),
@@ -127,6 +146,7 @@ def manager_from_worker_config(config: dict[str, Any]):
         checkpoint_every=config.get("checkpoint_every", 16),
         owner_id=config["owner_id"],
         lease_ttl_seconds=config.get("lease_ttl_seconds", 10.0),
+        shared_index=plane,
     )
 
 

@@ -125,30 +125,55 @@ class IndexCache:
     __slots__ = (
         "_capacity",
         "_entries",
+        "_entry_kinds",
         "_builder",
+        "_shared",
         "_pending",
         "_build_tasks",
         "_hits",
         "_misses",
         "_single_flight_waits",
+        "_attach_hits",
+        "_builds",
+        "_publishes",
     )
 
-    def __init__(self, capacity: int = 16, builder: IndexBuilder | None = None):
+    def __init__(
+        self,
+        capacity: int = 16,
+        builder: IndexBuilder | None = None,
+        shared=None,
+    ):
         if capacity < 1:
             raise ValueError("capacity must be positive")
         self._capacity = capacity
         self._entries: OrderedDict[str, SignatureIndex] = OrderedDict()
+        self._entry_kinds: dict[str, tuple[str, int]] = {}
         self._builder = builder if builder is not None else IndexBuilder()
+        self._shared = shared
         self._pending: dict[str, tuple[asyncio.Future, BuildStatus]] = {}
         self._build_tasks: set[asyncio.Task] = set()
         self._hits = 0
         self._misses = 0
         self._single_flight_waits = 0
+        self._attach_hits = 0
+        self._builds = 0
+        self._publishes = 0
 
     @property
     def builder(self) -> IndexBuilder:
         """The build pipeline used on cache misses."""
         return self._builder
+
+    @property
+    def shared_plane(self):
+        """The shared-memory index plane, if the cache has one.
+
+        With a plane, a miss first tries to *attach* a sibling
+        process's published segment; only when no segment is ready does
+        the local builder run (and publish for the siblings in turn).
+        """
+        return self._shared
 
     # --- synchronous path -------------------------------------------------
 
@@ -178,7 +203,8 @@ class IndexCache:
             self._hits += 1
             return index, True
         self._misses += 1
-        return self._store(key, self._run_build(make_instance, None)), False
+        index, kind = self._resolve_miss(key, make_instance, None)
+        return self._store(key, index, kind), False
 
     # --- asynchronous single-flight path -----------------------------------
 
@@ -269,8 +295,8 @@ class IndexCache:
         """Run one cold build to completion and settle its future."""
         loop = asyncio.get_running_loop()
         try:
-            index = await loop.run_in_executor(
-                executor, self._run_build, make_instance, status
+            index, kind = await loop.run_in_executor(
+                executor, self._resolve_miss, key, make_instance, status
             )
         except BaseException as exc:
             if not future.done():
@@ -282,7 +308,7 @@ class IndexCache:
             if isinstance(exc, asyncio.CancelledError):
                 raise  # loop shutdown: stay a well-behaved cancelled task
         else:
-            self._store(key, index)
+            self._store(key, index, kind)
             if not future.done():
                 future.set_result(index)
         finally:
@@ -290,23 +316,55 @@ class IndexCache:
 
     # --- internals ----------------------------------------------------------
 
+    def _resolve_miss(
+        self, key: str, make_instance, status: BuildStatus | None
+    ) -> tuple[SignatureIndex, str]:
+        """Resolve a cold key on a worker thread: attach tier, then build.
+
+        Returns ``(index, kind)`` where ``kind`` is ``"attach"`` (mapped
+        a sibling's shared segment), ``"publish"`` (built locally and
+        published the segment), or ``"build"`` (private build — no
+        shared plane, or the plane degraded).  Counter bumps are plain
+        GIL-atomic writes, same as :class:`BuildStatus`.
+        """
+        instance = make_instance()
+        if self._shared is not None:
+            index, kind = self._shared.get_or_build(
+                key,
+                instance,
+                lambda inst: self._run_build(inst, status),
+            )
+        else:
+            index, kind = self._run_build(instance, status), "build"
+        if kind == "attach":
+            self._attach_hits += 1
+        else:
+            self._builds += 1
+            if kind == "publish":
+                self._publishes += 1
+        return index, kind
+
     def _run_build(
-        self, make_instance, status: BuildStatus | None
+        self, instance: Instance, status: BuildStatus | None
     ) -> SignatureIndex:
-        """Materialise the instance and run the builder (worker thread)."""
+        """Run the builder over a materialised instance (worker thread)."""
 
         def progress(done: int, total: int | None) -> None:
             if status is not None:
                 status.shards_done = done
                 status.shards_total = total
 
-        return self._builder.build(make_instance(), progress=progress)
+        return self._builder.build(instance, progress=progress)
 
-    def _store(self, key: str, index: SignatureIndex) -> SignatureIndex:
+    def _store(
+        self, key: str, index: SignatureIndex, kind: str = "build"
+    ) -> SignatureIndex:
         self._entries[key] = index
+        self._entry_kinds[key] = (kind, index.nbytes)
         self._entries.move_to_end(key)
         while len(self._entries) > self._capacity:
-            self._entries.popitem(last=False)
+            evicted, _ = self._entries.popitem(last=False)
+            self._entry_kinds.pop(evicted, None)
         return index
 
     # --- introspection -------------------------------------------------------
@@ -336,6 +394,44 @@ class IndexCache:
         return self._single_flight_waits
 
     @property
+    def attach_hits(self) -> int:
+        """Misses resolved by attaching a shared segment, not building.
+
+        An attach still counts as a *miss* — ``hits``/``misses`` keep
+        their pre-plane meaning (answered from this process's LRU or
+        not), so the benchmarked hit-ratio gate is undisturbed; the
+        attach/build split decomposes the misses instead:
+        ``misses == attach_hits + builds`` (barring failed builds).
+        """
+        return self._attach_hits
+
+    @property
+    def builds(self) -> int:
+        """Misses that ran the local builder (including publishes)."""
+        return self._builds
+
+    @property
+    def publishes(self) -> int:
+        """Local builds that also published a shared segment."""
+        return self._publishes
+
+    def resident_bytes(self) -> dict[str, int]:
+        """Index bytes resident via this cache, split by backing.
+
+        ``private_bytes`` live on this process's heap; ``shared_bytes``
+        are the shared-memory segments this process maps (one machine-
+        wide copy, reported by every attached process).
+        """
+        private = 0
+        for kind, nbytes in self._entry_kinds.values():
+            if kind == "build":
+                private += nbytes
+        shared = (
+            self._shared.shared_bytes() if self._shared is not None else 0
+        )
+        return {"private_bytes": private, "shared_bytes": shared}
+
+    @property
     def hit_ratio(self) -> float:
         """``hits / (hits + misses)``, 0.0 before any lookup."""
         total = self._hits + self._misses
@@ -352,7 +448,7 @@ class IndexCache:
 
     def stats(self) -> dict:
         """Counters for the service's stats endpoint and benchmarks."""
-        return {
+        payload = {
             "entries": len(self._entries),
             "capacity": self._capacity,
             "hits": self._hits,
@@ -360,4 +456,11 @@ class IndexCache:
             "hit_ratio": round(self.hit_ratio, 4),
             "in_flight": len(self._pending),
             "single_flight_waits": self._single_flight_waits,
+            "attach_hits": self._attach_hits,
+            "builds": self._builds,
+            "publishes": self._publishes,
         }
+        payload.update(self.resident_bytes())
+        if self._shared is not None:
+            payload["shared"] = self._shared.stats()
+        return payload

@@ -82,6 +82,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import threading
 import time
 import uuid
@@ -115,6 +116,22 @@ from .protocol import (
 from .store import LeaseFenced, SessionStore, StoredSession
 
 __all__ = ["ManagedSession", "SessionManager", "Speculation"]
+
+
+def _process_rss_bytes() -> int | None:
+    """This process's resident set size, or None off Linux procfs.
+
+    Read from ``/proc/self/statm`` (no dependency on psutil); shared
+    pages — e.g. mapped index segments — count in every mapping
+    process, which is why fleet aggregation reports shared index bytes
+    separately instead of summing RSS.
+    """
+    try:
+        with open("/proc/self/statm", "rb") as handle:
+            pages = int(handle.read().split()[1])
+        return pages * os.sysconf("SC_PAGESIZE")
+    except (OSError, ValueError, IndexError):  # pragma: no cover
+        return None
 
 
 @dataclass(slots=True)
@@ -237,6 +254,7 @@ class SessionManager:
         checkpoint_every: int = 16,
         owner_id: str | None = None,
         lease_ttl_seconds: float = 10.0,
+        shared_index=None,
     ):
         if max_sessions < 1:
             raise ValueError("max_sessions must be positive")
@@ -266,12 +284,18 @@ class SessionManager:
                     "shard_rows is applied to the manager-built cache; "
                     "configure the supplied IndexCache's builder instead"
                 )
+            if shared_index is not None:
+                raise ValueError(
+                    "shared_index is applied to the manager-built cache; "
+                    "construct the supplied IndexCache with shared=..."
+                )
             self.index_cache = index_cache
         else:
             self.index_cache = IndexCache(
                 builder=IndexBuilder(
                     shard_rows=shard_rows, workers=build_workers
-                )
+                ),
+                shared=shared_index,
             )
         self.max_sessions = max_sessions
         self.ttl_seconds = ttl_seconds
@@ -440,6 +464,12 @@ class SessionManager:
         if self._store_executor is not None:
             self._store_executor.shutdown(wait=wait, cancel_futures=False)
             self._store_executor = None
+        # After the build pool: no in-flight build can race the plane's
+        # registry teardown.  Releases this worker's shared-segment refs
+        # and publish leases so siblings (or the reaper) can reclaim.
+        plane = self.index_cache.shared_plane
+        if plane is not None:
+            plane.close()
 
     # --- lifecycle -----------------------------------------------------------
 
@@ -1765,12 +1795,19 @@ class SessionManager:
                     "lost": self._leases_lost,
                     "denied": self._lease_denied,
                 }
+        resident = self.index_cache.resident_bytes()
+        memory = {
+            "rss_bytes": _process_rss_bytes(),
+            "index_private_bytes": resident["private_bytes"],
+            "index_shared_bytes": resident["shared_bytes"],
+        }
         return {
             "sessions": len(self._sessions),
             "max_sessions": self.max_sessions,
             "ttl_seconds": self.ttl_seconds,
             "expired_total": self._expired_total,
             "build_workers": self.build_workers,
+            "memory": memory,
             "speculation": speculation,
             "kernel_batch": kernel_batch,
             "store": store,

@@ -256,7 +256,7 @@ class FleetRouter:
         """Route one public request; returns ``(status, body bytes)``."""
         parts = [p for p in path.split("/") if p]
         if parts == ["fleet"]:
-            return self._json(200, self.fleet_payload())
+            return await self._aggregate_fleet()
         if parts == ["stats"] or not parts:
             return await self._aggregate_stats()
         if parts == ["builds"]:
@@ -383,6 +383,52 @@ class FleetRouter:
                 for handle in self.fleet.workers
             ],
         }
+
+    async def _aggregate_fleet(self) -> tuple[int, bytes]:
+        """``GET /fleet``: the router's own view (:meth:`fleet_payload`)
+        plus fleet-wide memory and shared-index aggregates drawn from
+        every live worker's ``/stats``."""
+        payload = self.fleet_payload()
+        gathered = await self._fan_out("GET", "/stats")
+        by_slot: dict[str, Any] = {}
+        rss_total = 0
+        private_total = 0
+        shared_max = 0
+        attach_hits = builds = publishes = 0
+        for handle, stats in gathered:
+            memory = stats.get("memory") or {}
+            cache = stats.get("index_cache") or {}
+            private = int(memory.get("index_private_bytes", 0))
+            shared = int(memory.get("index_shared_bytes", 0))
+            by_slot[str(handle.slot)] = {
+                "rss_bytes": memory.get("rss_bytes"),
+                "index_private_bytes": private,
+                "index_shared_bytes": shared,
+                "attach_hits": cache.get("attach_hits", 0),
+                "builds": cache.get("builds", 0),
+                "publishes": cache.get("publishes", 0),
+            }
+            rss_total += int(memory.get("rss_bytes") or 0)
+            private_total += private
+            shared_max = max(shared_max, shared)
+            attach_hits += int(cache.get("attach_hits", 0))
+            builds += int(cache.get("builds", 0))
+            publishes += int(cache.get("publishes", 0))
+        payload["memory"] = {
+            "rss_bytes_total": rss_total,
+            "index_private_bytes_total": private_total,
+            # A shared segment is one machine-wide copy however many
+            # workers map it: aggregate across workers by max, not sum.
+            "index_shared_bytes": shared_max,
+            "index_resident_bytes_total": private_total + shared_max,
+            "by_slot": by_slot,
+        }
+        payload["shared_index"] = {
+            "attach_hits_total": attach_hits,
+            "builds_total": builds,
+            "publishes_total": publishes,
+        }
+        return self._json(200, payload)
 
     async def _aggregate_stats(self) -> tuple[int, bytes]:
         gathered = await self._fan_out("GET", "/stats")

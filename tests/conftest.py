@@ -8,6 +8,7 @@ through the returned namespaces.
 
 from __future__ import annotations
 
+import os
 import random
 from types import SimpleNamespace
 
@@ -146,3 +147,28 @@ def make_random_instance(
         ],
     )
     return Instance(left, right)
+
+
+@pytest.fixture(autouse=True, scope="session")
+def no_leaked_shm_segments():
+    """Fail the suite if any test leaves a ``repro_*`` shared-memory
+    segment behind: every publish/attach path must unlink on shutdown
+    (the CI job runs the same check as a separate step, so a leak is
+    caught even if this fixture's teardown is skipped by a crash)."""
+    directory = "/dev/shm"
+
+    def leaked() -> list[str]:
+        if not os.path.isdir(directory):  # pragma: no cover - non-Linux
+            return []
+        return sorted(
+            entry
+            for entry in os.listdir(directory)
+            if entry.startswith("repro_")
+        )
+
+    before = set(leaked())
+    yield
+    remaining = [name for name in leaked() if name not in before]
+    assert not remaining, (
+        f"leaked shared-memory segments: {remaining}"
+    )

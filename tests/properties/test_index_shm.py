@@ -1,0 +1,215 @@
+"""Flat-buffer round-trip properties for the shared-memory index plane.
+
+The attach path must hand back an index *bit-for-bit identical* to the
+one the publisher built — same classes, representatives, ⊆-maximal set,
+packed arrays — because every strategy's tie-breaking is deterministic
+over exactly that state.  ``assert_identical`` (shared with the sharded
+build pipeline's tests) pins that contract across Ω widths straddling
+the one-word boundary and across degenerate shapes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import index_shm
+from repro.core.signatures import SignatureIndex
+
+from ..conftest import make_random_instance
+from .test_index_build import assert_identical
+
+
+def roundtrip(index: SignatureIndex) -> SignatureIndex:
+    """Serialize into a plain buffer and read back over it."""
+    size = index_shm.required_bytes(len(index), index.n_words)
+    buffer = bytearray(size)
+    written = index_shm.write_index(index, buffer)
+    assert written == size
+    return index_shm.read_index(buffer, index.instance)
+
+
+class TestFlatBufferRoundTrip:
+    @pytest.mark.parametrize(
+        "left_arity,right_arity",
+        [(7, 9), (8, 8), (5, 13)],  # |Ω| = 63 / 64 / 65
+    )
+    def test_round_trip_across_word_boundary(
+        self, left_arity: int, right_arity: int
+    ):
+        rng = random.Random(left_arity * 100 + right_arity)
+        for _ in range(3):
+            instance = make_random_instance(
+                rng, left_arity, right_arity, rows=9, values=3
+            )
+            index = SignatureIndex(instance)
+            restored = roundtrip(index)
+            assert_identical(restored, index)
+
+    def test_restored_views_are_read_only(self):
+        rng = random.Random(7)
+        instance = make_random_instance(rng, 2, 3, rows=8, values=3)
+        restored = roundtrip(SignatureIndex(instance))
+        assert not restored.packed_masks.flags.writeable
+        assert not restored.count_array.flags.writeable
+        with pytest.raises(ValueError):
+            restored.count_array[0] = 99
+
+    def test_empty_index(self):
+        from repro import Instance, Relation
+
+        left = Relation.build("R", ["A1", "A2"])
+        right = Relation.build("P", ["B1"], [(1,), (2,)])
+        index = SignatureIndex(Instance(left, right))
+        assert len(index) == 0
+        restored = roundtrip(index)
+        assert_identical(restored, index)
+
+    def test_single_class_index(self):
+        from repro import Instance, Relation
+
+        # One product tuple -> exactly one signature class.
+        left = Relation.build("R", ["A1"], [(1,)])
+        right = Relation.build("P", ["B1"], [(1,)])
+        index = SignatureIndex(Instance(left, right))
+        assert len(index) == 1
+        restored = roundtrip(index)
+        assert_identical(restored, index)
+
+    def test_sampled_index_via_from_classes(self):
+        """Indexes assembled by ``from_classes`` (approximate/sampled)
+        serialize too: representatives are real product tuples, so the
+        ordinal derivation still applies."""
+        rng = random.Random(23)
+        instance = make_random_instance(rng, 3, 3, rows=10, values=3)
+        full = SignatureIndex(instance)
+        sampled_classes = tuple(
+            type(cls)(new_id, cls.mask, cls.count, cls.representative)
+            for new_id, cls in enumerate(full.classes[::2])
+        )
+        sampled = SignatureIndex.from_classes(instance, sampled_classes)
+        restored = roundtrip(sampled)
+        assert_identical(restored, sampled)
+
+    def test_paper_example(self, example21):
+        index = SignatureIndex(example21.instance, backend="python")
+        restored = roundtrip(index)
+        assert_identical(restored, index)
+        # The reconstruction is usable, not just equal: mask lookup and
+        # predicate decoding run over the restored views.
+        for cls in index.classes:
+            assert restored.class_of_mask(cls.mask).class_id == cls.class_id
+
+    def test_ordinals_recover_exact_representatives(self):
+        rng = random.Random(5)
+        instance = make_random_instance(rng, 2, 2, rows=12, values=2)
+        index = SignatureIndex(instance)
+        ordinals = index_shm.class_ordinals(index)
+        n_right = len(instance.right)
+        for cls, ordinal in zip(index.classes, ordinals):
+            left_index, right_index = divmod(ordinal, n_right)
+            assert instance.left.rows[left_index] == cls.representative[0]
+            assert instance.right.rows[right_index] == cls.representative[1]
+
+
+class TestValidation:
+    def test_bad_magic(self):
+        rng = random.Random(1)
+        instance = make_random_instance(rng, 2, 2, rows=6, values=2)
+        index = SignatureIndex(instance)
+        buffer = bytearray(index_shm.required_bytes(len(index), index.n_words))
+        index_shm.write_index(index, buffer)
+        buffer[0] ^= 0xFF
+        with pytest.raises(index_shm.ShmIndexError, match="magic"):
+            index_shm.read_index(buffer, instance)
+
+    def test_omega_mismatch(self):
+        rng = random.Random(2)
+        instance = make_random_instance(rng, 2, 2, rows=6, values=2)
+        other = make_random_instance(rng, 2, 3, rows=6, values=2)
+        index = SignatureIndex(instance)
+        buffer = bytearray(index_shm.required_bytes(len(index), index.n_words))
+        index_shm.write_index(index, buffer)
+        with pytest.raises(index_shm.ShmIndexError, match="Ω"):
+            index_shm.read_index(buffer, other)
+
+    def test_too_small_buffer(self):
+        rng = random.Random(3)
+        instance = make_random_instance(rng, 2, 2, rows=6, values=2)
+        index = SignatureIndex(instance)
+        with pytest.raises(index_shm.ShmIndexError, match="holds"):
+            index_shm.write_index(index, bytearray(8))
+        with pytest.raises(index_shm.ShmIndexError, match="header"):
+            index_shm.read_index(bytearray(8), instance)
+
+    def test_truncated_segment(self):
+        rng = random.Random(4)
+        instance = make_random_instance(rng, 2, 2, rows=6, values=2)
+        index = SignatureIndex(instance)
+        size = index_shm.required_bytes(len(index), index.n_words)
+        buffer = bytearray(size)
+        index_shm.write_index(index, buffer)
+        with pytest.raises(index_shm.ShmIndexError, match="truncated"):
+            index_shm.read_index(buffer[: size - 16], instance)
+
+
+@pytest.mark.skipif(
+    not index_shm.shared_memory_available(),
+    reason="POSIX shared memory unavailable",
+)
+class TestSharedMemorySegments:
+    def test_publish_attach_unlink(self):
+        rng = random.Random(11)
+        instance = make_random_instance(rng, 3, 3, rows=10, values=3)
+        index = SignatureIndex(instance)
+        name = f"{index_shm.SEGMENT_PREFIX}test_pub"
+        index_shm.unlink_segment(name)
+        shm = index_shm.publish_index(index, name)
+        try:
+            attached_shm, attached = index_shm.attach_index(name, instance)
+            try:
+                assert_identical(attached, index)
+                # Zero-copy: the attached arrays live in the mapping.
+                assert attached.packed_masks.base is not None
+            finally:
+                del attached
+                index_shm.close_segment(attached_shm)
+        finally:
+            index_shm.close_segment(shm)
+            assert index_shm.unlink_segment(name)
+        assert not index_shm.unlink_segment(name)
+        with pytest.raises(FileNotFoundError):
+            index_shm.attach_segment(name)
+
+    def test_create_collision_raises(self):
+        name = f"{index_shm.SEGMENT_PREFIX}test_dup"
+        index_shm.unlink_segment(name)
+        shm = index_shm.create_segment(name, 64)
+        try:
+            with pytest.raises(FileExistsError):
+                index_shm.create_segment(name, 64)
+        finally:
+            index_shm.close_segment(shm)
+            index_shm.unlink_segment(name)
+
+    def test_segment_rounds_up_but_reads_exact(self):
+        """shm sizes round to page granularity; the header's
+        ``total_bytes`` keeps the read honest."""
+        rng = random.Random(12)
+        instance = make_random_instance(rng, 2, 2, rows=6, values=2)
+        index = SignatureIndex(instance)
+        name = f"{index_shm.SEGMENT_PREFIX}test_round"
+        index_shm.unlink_segment(name)
+        shm = index_shm.publish_index(index, name)
+        try:
+            assert shm.size >= index_shm.required_bytes(
+                len(index), index.n_words
+            )
+            restored = index_shm.read_index(shm.buf, instance)
+            assert_identical(restored, index)
+            assert np.array_equal(restored.count_array, index.count_array)
+        finally:
+            index_shm.close_segment(shm)
+            index_shm.unlink_segment(name)

@@ -269,6 +269,9 @@ class TestFleetSuite:
             "recovery_parity",
             "scaling_parity",
             "takeover_vs_baseline",
+            # No shared_index cell => unsupported platform semantics:
+            # the plane degrades to private builds and passes trivially.
+            "shared_index_supported",
         }
 
     def test_speedup_rederived_from_raw_rates(self):
@@ -343,6 +346,141 @@ class TestFleetSuite:
 
     def test_suite_registered(self):
         assert "fleet" in check_trajectory.SUITES
+
+
+class TestSharedIndexGates:
+    def cell(
+        self,
+        supported=True,
+        single=4000,
+        fleet=4200,
+        build_p95=300.0,
+        attach_p95=5.0,
+        leaked=[],
+        floor=1.5,
+        ratio_max=None,
+    ):
+        acceptance = {"shared_attach_speedup_floor": floor}
+        if ratio_max is not None:
+            acceptance["shared_memory_ratio_max"] = ratio_max
+        report = {
+            "shared_index": {
+                "supported": supported,
+                "workers": 4,
+                "single_resident_bytes": single,
+                "fleet_resident_bytes": fleet,
+                "private_build_latency": {"p95_ms": build_p95},
+                "attach_latency": {"p95_ms": attach_p95},
+                "leaked_segments": leaked,
+            },
+            "acceptance": acceptance,
+        }
+        return report
+
+    def names(self, report):
+        return check_trajectory._shared_index_gates(report)
+
+    def test_healthy_cell_passes(self):
+        gates = self.names(self.cell())
+        assert failed_names(gates) == []
+        assert set(ok_names(gates)) == {
+            "shared_index_memory",
+            "shared_index_attach_speedup",
+            "shared_index_no_leaks",
+        }
+
+    def test_unsupported_platform_passes_trivially(self):
+        gates = self.names(self.cell(supported=False))
+        assert failed_names(gates) == []
+        assert ok_names(gates) == ["shared_index_supported"]
+
+    def test_memory_ratio_rederived_from_raw_bytes(self):
+        """4 workers holding 4 private copies is exactly the failure
+        the plane exists to remove."""
+        gates = self.names(self.cell(single=4000, fleet=16000))
+        assert failed_names(gates) == ["shared_index_memory"]
+
+    def test_memory_ratio_boundary(self):
+        assert failed_names(
+            self.names(self.cell(single=4000, fleet=6000))
+        ) == []
+        assert failed_names(
+            self.names(self.cell(single=4000, fleet=6001))
+        ) == ["shared_index_memory"]
+
+    def test_smoke_report_ratio_ceiling_honored(self):
+        """A smoke report may relax the ceiling (tiny indexes make the
+        flat buffer's fixed overhead dominate) up to the hard cap."""
+        gates = self.names(
+            self.cell(single=4000, fleet=8000, ratio_max=3.0)
+        )
+        assert failed_names(gates) == []
+
+    def test_report_cannot_weaken_ratio_past_hard_cap(self):
+        gates = self.names(
+            self.cell(single=4000, fleet=16000, ratio_max=10.0)
+        )
+        assert failed_names(gates) == ["shared_index_memory"]
+
+    def test_attach_slower_than_floor_fails(self):
+        gates = self.names(
+            self.cell(build_p95=100.0, attach_p95=80.0)
+        )
+        assert failed_names(gates) == ["shared_index_attach_speedup"]
+
+    def test_report_floor_cannot_undercut_the_minimum(self):
+        """A report claiming a 0.1x floor is clamped to the canary
+        minimum — the gate cannot be weakened from the report side."""
+        gates = self.names(
+            self.cell(build_p95=100.0, attach_p95=90.0, floor=0.1)
+        )
+        assert failed_names(gates) == ["shared_index_attach_speedup"]
+
+    def test_full_run_floor_applies_when_recorded(self):
+        """A full (non-smoke) report records the 5x floor; 3x attach
+        speedup then fails even though it clears the smoke minimum."""
+        gates = self.names(
+            self.cell(build_p95=300.0, attach_p95=100.0, floor=5.0)
+        )
+        assert failed_names(gates) == ["shared_index_attach_speedup"]
+
+    def test_leaked_segments_fail(self):
+        gates = self.names(
+            self.cell(leaked=["repro_idx_deadbeef_g1"])
+        )
+        assert failed_names(gates) == ["shared_index_no_leaks"]
+
+    def test_missing_measurements_fail(self):
+        """A supported cell with no samples (e.g. classification found
+        no attaches) must fail loudly, not pass vacuously."""
+        gates = self.names(
+            self.cell(single=0, attach_p95=None)
+        )
+        assert set(failed_names(gates)) == {
+            "shared_index_memory",
+            "shared_index_attach_speedup",
+        }
+
+    def test_gates_ride_along_in_check_fleet(self):
+        report = {
+            "scaling": {
+                "by_workers": {
+                    "1": {"sessions_per_sec": 50.0},
+                    "2": {"sessions_per_sec": 80.0},
+                }
+            },
+            "acceptance": {
+                "cpu_count": 2,
+                "takeover_seconds": 1.0,
+                "recovery_parity": True,
+                "scaling_parity": True,
+            },
+        }
+        report["shared_index"] = self.cell()["shared_index"]
+        report["acceptance"]["shared_attach_speedup_floor"] = 1.5
+        gates = check_trajectory.check_fleet(report, {})
+        assert failed_names(gates) == []
+        assert "shared_index_memory" in ok_names(gates)
 
 
 class TestCli:
