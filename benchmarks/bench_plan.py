@@ -16,6 +16,12 @@ Measures what the cross-step planner refactor is for:
   next-question precompute, with a think-time-paced client: while the
   "user" thinks, the server precomputes both answer branches, so the
   next round collapses to a lookup on the predicted branch.
+* ``plan_cache`` — answer→question latency cold (every step computes
+  its entropy table) vs warm (every step is a plan-cache hit): two
+  identical adversarial L2S sessions on one manager over the largest
+  Figure 7 configuration, question sequences asserted identical before
+  any timing is trusted.  The warm p95 must sit at least 3× below the
+  cold p95.
 
 The acceptance gate (also enforced by CI on the smoke run): incremental
 full-session L2S wall-clock ≤ the from-scratch path on the largest
@@ -54,8 +60,10 @@ from repro.data.synthetic import (
     SyntheticConfig,
     generate_synthetic,
 )
+from repro.core.serialize import instance_to_dict
 from repro.relational import JoinPredicate
 from repro.service import ServiceClient, ServiceServer, SessionManager
+from repro.service.protocol import CreateSpec
 
 from bench_util import bench_meta, latency_summary
 
@@ -301,6 +309,86 @@ def bench_speculation(max_questions, think_seconds) -> dict:
     }
 
 
+# --- plan-cache cell ---------------------------------------------------------
+
+#: A warm (memoised) question must beat the cold compute by at least
+#: this factor at p95 on the largest Fig. 7 configuration — the cache
+#: replaces a depth-2 kernel sweep with a dictionary lookup, so the
+#: committed full run measures far above it.  The smoke run keeps a
+#: noise margin: its p95 sits on the session's first (largest) steps,
+#: where propose overhead outside the memoised kernel is a bigger
+#: share of the round; the checker clamps the floor so a report
+#: cannot weaken it below the smoke value.
+PLAN_CACHE_GATE_MIN = 3.0
+PLAN_CACHE_GATE_MIN_SMOKE = 1.5
+
+
+def bench_plan_cache(max_questions) -> dict:
+    """Cold vs warm answer→question latency through the plan cache.
+
+    Two identical adversarial L2S sessions on one manager: the first
+    computes (and memoises) every entropy table, the second rides
+    local hits end to end.  Speculation and the kernel batcher are off
+    so each timed ``propose`` isolates exactly compute-vs-lookup."""
+    instance = generate_synthetic(LARGEST_FIG7, seed=7)
+    manager = SessionManager(speculate=False, kernel_batch=False)
+
+    def timed_session():
+        managed = manager.create(
+            CreateSpec(
+                {"inline": instance_to_dict(instance)},
+                instance,
+                "L2S",
+                0,
+                None,
+            )
+        )
+        latencies, asked = [], []
+        while len(asked) < max_questions:
+            started = time.perf_counter()
+            question = manager.propose_question(managed)
+            latencies.append(time.perf_counter() - started)
+            if question is None:
+                break
+            asked.append(question.class_id)
+            manager.record_answer(
+                managed, question.question_id, Label.NEGATIVE
+            )
+        return latencies, asked
+
+    try:
+        cold_latencies, cold_asked = timed_session()
+        warm_latencies, warm_asked = timed_session()
+        assert warm_asked == cold_asked, (
+            "plan-cache warm session diverged from the cold run"
+        )
+        stats = manager.stats()["plan_cache"]
+    finally:
+        manager.close(wait=True)
+    cold = latency_summary(cold_latencies)
+    warm = latency_summary(warm_latencies)
+    cell = {
+        "config": f"fig7-largest{LARGEST_FIG7.label}",
+        "strategy": "L2S",
+        "oracle": "adversarial (all-negative)",
+        "questions_per_session": len(cold_asked),
+        "cold_question_latency": cold,
+        "warm_question_latency": warm,
+        "p95_speedup": round(
+            cold["p95_ms"] / max(warm["p95_ms"], 1e-9), 3
+        ),
+        "plan_cache": stats,
+        "parity_checked": True,
+    }
+    print(
+        f"[bench] plan cache ({len(cold_asked)} questions): cold p95 "
+        f"{cold['p95_ms']}ms vs warm p95 {warm['p95_ms']}ms "
+        f"({cell['p95_speedup']}x)",
+        flush=True,
+    )
+    return cell
+
+
 # --- batched-kernel cell -----------------------------------------------------
 
 #: Synthetic bands where the planner exports batchable jobs: an L2S
@@ -489,6 +577,7 @@ def run_benchmarks(smoke: bool = False) -> dict:
     speculation = bench_speculation(max_questions, think_seconds)
     batch_sessions, batch_rounds = (128, 3) if smoke else (256, 6)
     batched_kernels = bench_batched_kernels(batch_sessions, batch_rounds)
+    plan_cache = bench_plan_cache(16 if smoke else 48)
 
     largest = next(c for c in sessions if c["config"] == largest_label)
     # The gate compares *full-length* sessions (the adversarial oracle
@@ -501,6 +590,7 @@ def run_benchmarks(smoke: bool = False) -> dict:
         "lookahead_sessions": sessions,
         "speculation": speculation,
         "batched_kernels": batched_kernels,
+        "plan_cache": plan_cache,
         "acceptance": {
             "largest_fig7_config": largest_label,
             "gate_scope": "full-length (adversarial-oracle) sessions",
@@ -561,6 +651,38 @@ def run_benchmarks(smoke: bool = False) -> dict:
                 batched_kernels["answer_throughput_ratio"]
                 >= BATCHED_THROUGHPUT_FLOOR
             ),
+            "plan_cache_cold_p95_ms": plan_cache[
+                "cold_question_latency"
+            ]["p95_ms"],
+            "plan_cache_warm_p95_ms": plan_cache[
+                "warm_question_latency"
+            ]["p95_ms"],
+            "plan_cache_p95_speedup": plan_cache["p95_speedup"],
+            "plan_cache_gate_min": (
+                PLAN_CACHE_GATE_MIN_SMOKE
+                if smoke
+                else PLAN_CACHE_GATE_MIN
+            ),
+            "plan_cache_gate": (
+                plan_cache["p95_speedup"]
+                >= (
+                    PLAN_CACHE_GATE_MIN_SMOKE
+                    if smoke
+                    else PLAN_CACHE_GATE_MIN
+                )
+            ),
+            # Raw counters so the trajectory checker re-derives the
+            # identity instead of trusting a pass/fail bool.
+            "plan_cache_misses": plan_cache["plan_cache"]["misses"],
+            "plan_cache_local_hits": plan_cache["plan_cache"][
+                "local_hits"
+            ],
+            "plan_cache_shared_hits": plan_cache["plan_cache"][
+                "shared_hits"
+            ],
+            "plan_cache_computes": plan_cache["plan_cache"][
+                "computes"
+            ],
         },
     }
 
@@ -607,11 +729,19 @@ def main(argv=None) -> int:
         f"kernel segment {batched['kernel_segment_speedup']}x, "
         f"answer throughput {batched['answer_throughput_ratio']}x"
     )
+    plan_cache = report["plan_cache"]
+    print(
+        f"  plan cache ({plan_cache['config']}): cold p95 "
+        f"{plan_cache['cold_question_latency']['p95_ms']}ms vs warm "
+        f"p95 {plan_cache['warm_question_latency']['p95_ms']}ms "
+        f"({plan_cache['p95_speedup']}x)"
+    )
     acceptance = report["acceptance"]
     gates = [
         ("l2s_gate", acceptance["l2s_gate"]),
         ("batched_kernel_gate", acceptance["batched_kernel_gate"]),
         ("batched_throughput_gate", acceptance["batched_throughput_gate"]),
+        ("plan_cache_gate", acceptance["plan_cache_gate"]),
     ]
     if not report["meta"]["smoke"]:
         gates.append(("speculation_gate", acceptance["speculation_gate"]))

@@ -66,6 +66,14 @@ STORE_REHYDRATE_RELATIVE_MAX = 10.0
 #: keeps a noise margin below that.
 PLAN_SMOKE_KERNEL_SPEEDUP_FLOOR = 1.3
 
+#: A warm (memoised) question replaces a depth-2 kernel sweep with a
+#: lookup.  The committed full run gates at 3× and measures an order
+#: of magnitude above it; the smoke run's p95 sits on the session's
+#: first (largest) steps where non-memoised propose overhead is a
+#: bigger share of the round, so its report carries a relaxed floor —
+#: clamped here so a report cannot weaken it below this minimum.
+PLAN_CACHE_SPEEDUP_FLOOR_MIN = 1.5
+
 #: Fleet takeover is lease-TTL-dominated (~1s); an order-of-magnitude
 #: regression against the committed baseline is a real one.
 FLEET_TAKEOVER_RELATIVE_MAX = 10.0
@@ -180,6 +188,44 @@ def check_plan(report: dict, baseline: dict) -> list[Gate]:
             f"(smoke floor {PLAN_SMOKE_KERNEL_SPEEDUP_FLOOR}x; the "
             f"committed full run gates at "
             f"{acceptance.get('batched_kernel_gate_min', 2.0)}x)",
+        )
+    )
+    cold = acceptance.get("plan_cache_cold_p95_ms")
+    warm = acceptance.get("plan_cache_warm_p95_ms")
+    plan_floor = max(
+        float(
+            acceptance.get(
+                "plan_cache_gate_min", PLAN_CACHE_SPEEDUP_FLOOR_MIN
+            )
+        ),
+        PLAN_CACHE_SPEEDUP_FLOOR_MIN,
+    )
+    gates.append(
+        _gate(
+            "plan_cache_warm_p95",
+            cold is not None
+            and warm is not None
+            and cold >= warm * plan_floor,
+            f"cold question p95 {cold}ms vs warm (memoised) {warm}ms "
+            f"(floor {plan_floor}x)",
+        )
+    )
+    counters = {
+        name: acceptance.get(f"plan_cache_{name}")
+        for name in ("misses", "local_hits", "shared_hits", "computes")
+    }
+    gates.append(
+        _gate(
+            "plan_cache_counter_identity",
+            None not in counters.values()
+            and counters["misses"]
+            == counters["local_hits"]
+            + counters["shared_hits"]
+            + counters["computes"],
+            f"misses {counters['misses']} == local "
+            f"{counters['local_hits']} + shared "
+            f"{counters['shared_hits']} + computes "
+            f"{counters['computes']}",
         )
     )
     return gates
@@ -345,7 +391,42 @@ def check_fleet(report: dict, baseline: dict) -> list[Gate]:
             )
         )
     gates.extend(_shared_index_gates(report))
+    gates.extend(_plan_cache_fleet_gates(report))
     return gates
+
+
+def _plan_cache_fleet_gates(report: dict) -> list[Gate]:
+    """Cross-worker plan-table reuse, re-derived from the cell's own
+    aggregated counters.  Like the index plane, a platform without
+    POSIX shared memory degrades to per-process caches by design."""
+    cell = report.get("plan_cache", {})
+    if not cell.get("supported", False):
+        return [
+            _gate(
+                "plan_cache_supported",
+                True,
+                "shared memory unavailable on this runner; plan tier "
+                "degraded to per-process caches (by design)",
+            )
+        ]
+    shared_hits = cell.get("counters", {}).get("shared_hits_total", 0)
+    leaked = cell.get("leaked_segments", None)
+    return [
+        _gate(
+            "plan_cross_worker_hits",
+            bool(cell.get("parity_checked"))
+            and shared_hits >= 1,
+            f"{shared_hits} cross-worker shared-tier hits over "
+            f"{cell.get('questions_per_session')} identical questions "
+            f"per slot (need >= 1, parity-checked)",
+        ),
+        _gate(
+            "plan_no_leaked_segments",
+            leaked == [],
+            f"plan segments left in /dev/shm after the fleet closed: "
+            f"{leaked}",
+        ),
+    ]
 
 
 def _shared_index_gates(report: dict) -> list[Gate]:

@@ -23,7 +23,7 @@ import random
 
 import numpy as np
 
-from repro.core.entropy import Entropy, INFINITE_ENTROPY, best_skyline_entropy
+from repro.core.entropy import INFINITE_ENTROPY, Entropy, best_skyline_entropy
 from repro.core.sample import Label
 from repro.core.signatures import (
     SignatureClass,

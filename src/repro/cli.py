@@ -304,6 +304,27 @@ def build_parser() -> argparse.ArgumentParser:
             "on in fleet mode, off for a single server)"
         ),
     )
+    serve.add_argument(
+        "--plan-cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "memoise planner entropy tables per process and — when a "
+            "--store is present and /dev/shm is usable — share them "
+            "machine-wide, so sessions at the same state reuse one "
+            "kernel run; question sequences are identical either way "
+            "(default: on)"
+        ),
+    )
+    serve.add_argument(
+        "--plan-cache-entries",
+        type=_positive_int,
+        default=1024,
+        help=(
+            "per-process plan-cache LRU capacity in tables "
+            "(default: 1024)"
+        ),
+    )
     return parser
 
 
@@ -479,6 +500,7 @@ def manager_from_args(args: argparse.Namespace):
         IndexCache,
         SessionManager,
         SharedIndexPlane,
+        SharedPlanTier,
         SqliteSessionStore,
     )
 
@@ -496,6 +518,21 @@ def manager_from_args(args: argparse.Namespace):
         )
         if plane is not None:
             plane.reap()
+
+    # The plan cache's shared tier piggybacks on the store file for its
+    # registry, like the index plane; without a store (or /dev/shm) the
+    # cache still runs, per-process only.
+    plan_cache = getattr(args, "plan_cache", True)
+    shared_plan = None
+    if plan_cache and args.store is not None:
+        lease_ttl = getattr(args, "lease_ttl", 10.0)
+        shared_plan = SharedPlanTier.if_available(
+            str(args.store),
+            f"solo-{os.getpid()}",
+            ttl_seconds=lease_ttl if lease_ttl > 0 else 10.0,
+        )
+        if shared_plan is not None:
+            shared_plan.reap()
 
     # The cache (and its builder, which carries --shard-rows) is built
     # here because --index-cache-size is a cache knob; the manager only
@@ -519,6 +556,9 @@ def manager_from_args(args: argparse.Namespace):
         kernel_batch=args.kernel_batch,
         batch_window_seconds=args.batch_window,
         batch_max=args.batch_max,
+        plan_cache=plan_cache,
+        plan_cache_entries=getattr(args, "plan_cache_entries", 1024),
+        shared_plan=shared_plan,
         store=(
             SqliteSessionStore(str(args.store))
             if args.store is not None
@@ -555,6 +595,8 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
         shared_index=(
             args.shared_index if args.shared_index is not None else True
         ),
+        plan_cache=args.plan_cache,
+        plan_cache_entries=args.plan_cache_entries,
     )
 
     async def run() -> None:

@@ -39,7 +39,7 @@ from __future__ import annotations
 import numpy as np
 
 from . import bitset
-from .entropy import Entropy, INFINITE_ENTROPY, entropy_k_of_class
+from .entropy import INFINITE_ENTROPY, Entropy, entropy_k_of_class
 from .state import InferenceState
 
 __all__ = ["entropies_for_informative", "supports_fast_path"]

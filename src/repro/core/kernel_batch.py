@@ -323,10 +323,13 @@ def batched_entropies(
 
 @dataclass(slots=True)
 class _QueuedJob:
-    """One pending proposal: the planner to run and its result future."""
+    """One pending proposal: the planner to run, its result future, and
+    (when the plan cache is on) the canonical state key to write the
+    result through to."""
 
     planner: Any
     future: Future = field(default_factory=Future)
+    plan_key: Any = None
 
 
 class KernelBatchScheduler:
@@ -371,18 +374,30 @@ class KernelBatchScheduler:
         self._fallback_jobs = 0
         self._cancelled_jobs = 0
         self._batch_errors = 0
+        self._plan_sink_errors = 0
         self._histogram: Counter[int] = Counter()
+        #: Plan-cache write-through: when set, every job that completes
+        #: with a ``plan_key`` hands its table to ``plan_sink(key,
+        #: table)`` — batched *and* fallback members alike, so one batch
+        #: publishes every member's table.  Results are set before the
+        #: sink runs; a sink failure never reaches the waiter.
+        self.plan_sink: Callable[[Any, dict[int, Entropy]], None] | None = (
+            None
+        )
 
     # --- submission ----------------------------------------------------------
 
-    def submit(self, key: Hashable, planner: Any) -> Future:
+    def submit(
+        self, key: Hashable, planner: Any, *, plan_key: Any = None
+    ) -> Future:
         """Queue one planner's entropy production; returns its future.
 
         The future resolves to the planner's ``dict[int, Entropy]``
         table.  Cancelling it before the flush drops the job without
-        running any kernel.
+        running any kernel.  ``plan_key`` tags the job for plan-cache
+        write-through (see ``plan_sink``).
         """
-        job = _QueuedJob(planner)
+        job = _QueuedJob(planner, plan_key=plan_key)
         with self._lock:
             if self._closed:
                 raise RuntimeError("KernelBatchScheduler is closed")
@@ -397,9 +412,11 @@ class KernelBatchScheduler:
         self._wakeup.set()
         return job.future
 
-    def entropies(self, key: Hashable, planner: Any) -> dict[int, Entropy]:
+    def entropies(
+        self, key: Hashable, planner: Any, *, plan_key: Any = None
+    ) -> dict[int, Entropy]:
         """Submit and block — the convenience for worker threads."""
-        return self.submit(key, planner).result()
+        return self.submit(key, planner, plan_key=plan_key).result()
 
     def close(self, wait: bool = True) -> None:
         """Stop the dispatcher; queued-but-unflushed jobs are cancelled."""
@@ -491,6 +508,7 @@ class KernelBatchScheduler:
                 fallback.extend(job for job, _ in group)
             else:
                 for (job, _), table in zip(group, tables):
+                    self._write_through(job, table)
                     job.future.set_result(table)
                 with self._lock:
                     self._batches += 1
@@ -498,13 +516,29 @@ class KernelBatchScheduler:
                     self._histogram[len(group)] += 1
         for job in fallback:
             try:
-                job.future.set_result(job.planner.entropies())
+                table = job.planner.entropies()
             except Exception as exc:  # noqa: BLE001 - per-job containment
                 job.future.set_exception(exc)
+                continue
+            self._write_through(job, table)
+            job.future.set_result(table)
         with self._lock:
             self._cancelled_jobs += cancelled
             self._fallback_jobs += len(fallback)
             self._batch_errors += batch_errors
+
+    def _write_through(
+        self, job: _QueuedJob, table: dict[int, Entropy]
+    ) -> None:
+        sink = self.plan_sink
+        if sink is None or job.plan_key is None:
+            return
+        try:
+            sink(job.plan_key, table)
+        except Exception:  # noqa: BLE001 - a cache/registry failure
+            # must never surface to (or stall) the waiting session.
+            with self._lock:
+                self._plan_sink_errors += 1
 
     # --- introspection -------------------------------------------------------
 
@@ -521,6 +555,7 @@ class KernelBatchScheduler:
                 "fallback_jobs": self._fallback_jobs,
                 "cancelled_jobs": self._cancelled_jobs,
                 "batch_errors": self._batch_errors,
+                "plan_sink_errors": self._plan_sink_errors,
                 "pending_jobs": pending,
                 "batch_size_histogram": {
                     str(size): count

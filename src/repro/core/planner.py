@@ -147,6 +147,17 @@ class IncrementalLookaheadPlanner:
 
     # --- lifecycle -----------------------------------------------------------
 
+    @property
+    def state(self) -> InferenceState:
+        """The state this planner is bound to (read-only).
+
+        The plan cache derives the canonical state key from it —
+        ``state.labeled_classes()`` plus the index content fingerprint
+        identify the scoring problem this planner would solve (see
+        :mod:`repro.core.plan_cache`).
+        """
+        return self._state
+
     def in_sync(self, state: InferenceState) -> bool:
         """True iff the planner mirrors exactly this state, right now."""
         return (

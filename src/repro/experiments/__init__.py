@@ -3,9 +3,9 @@ regeneration for the paper's §5 (plus reporting helpers)."""
 
 from .charts import bar_chart, chart_figure6, chart_figure7
 from .figures import (
+    TPCH_SCALES,
     Figure6Row,
     Figure7Cell,
-    TPCH_SCALES,
     Table1Row,
     figure6,
     figure7,

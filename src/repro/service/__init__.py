@@ -33,6 +33,7 @@ from .client import ServiceClient, ServiceClientError
 from .fleet import Fleet, FleetConfig, FleetServer, WorkerHandle
 from .index_cache import BuildStatus, IndexCache, instance_fingerprint
 from .manager import ManagedSession, SessionManager, Speculation
+from .plan_registry import PLAN_SEGMENT_PREFIX, SharedPlanTier
 from .protocol import (
     BadRequest,
     CapacityExceeded,
@@ -63,8 +64,8 @@ from .store import (
     MemorySessionStore,
     SessionStore,
     SqliteSessionStore,
-    StoreError,
     StoredSession,
+    StoreError,
 )
 
 __all__ = [
@@ -83,6 +84,7 @@ __all__ = [
     "ManagedSession",
     "MemorySessionStore",
     "NotFound",
+    "PLAN_SEGMENT_PREFIX",
     "PublishTicket",
     "SegmentInfo",
     "ServiceApp",
@@ -93,6 +95,7 @@ __all__ = [
     "SessionManager",
     "SessionStore",
     "SharedIndexPlane",
+    "SharedPlanTier",
     "ShmRegistry",
     "ShmRegistryError",
     "Speculation",

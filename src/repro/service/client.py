@@ -215,9 +215,15 @@ class ServiceClient:
         return self._request("GET", "/stats")
 
     def fleet(self) -> dict[str, Any]:
-        """Fleet topology plus aggregated per-worker memory and
-        shared-index counters (only a fleet front router serves this)."""
+        """Fleet topology plus aggregated per-worker memory,
+        shared-index and plan-cache counters (only a fleet front router
+        serves this)."""
         return self._request("GET", "/fleet")
+
+    def plan_cache_stats(self) -> dict[str, Any]:
+        """The plan-cache block of :meth:`stats` (``{"enabled": False}``
+        when the server runs without one)."""
+        return self.stats().get("plan_cache", {"enabled": False})
 
     # --- convenience ---------------------------------------------------------
 

@@ -92,18 +92,18 @@ from typing import Any, Callable, Hashable
 
 from ..core.index_build import IndexBuilder
 from ..core.kernel_batch import KernelBatchScheduler
+from ..core.plan_cache import PlanCache, plan_key_for_planner
 from ..core.sample import Example, Label
-from ..core.signatures import SignatureIndex
-from ..core.strategies.lookahead import LookaheadSkylineStrategy
-from ..relational.relation import Instance
-
 from ..core.serialize import (
     SnapshotError,
     snapshot_payload,
 )
 from ..core.serialize import resume_session as core_resume_session
 from ..core.session import InferenceSession, MaxInteractions, Question
+from ..core.signatures import SignatureIndex
 from ..core.strategies import strategy_by_name
+from ..core.strategies.lookahead import LookaheadSkylineStrategy
+from ..relational.relation import Instance
 from .index_cache import IndexCache, instance_fingerprint
 from .protocol import (
     BadRequest,
@@ -250,6 +250,9 @@ class SessionManager:
         kernel_batch: bool = True,
         batch_window_seconds: float = 0.002,
         batch_max: int = 64,
+        plan_cache: bool = True,
+        plan_cache_entries: int = 1024,
+        shared_plan=None,
         store: SessionStore | None = None,
         checkpoint_every: int = 16,
         owner_id: str | None = None,
@@ -328,6 +331,27 @@ class SessionManager:
             if kernel_batch
             else None
         )
+        #: Machine-wide plan cache (None when disabled): memoised
+        #: entropy tables keyed by canonical state key, consulted by the
+        #: entropy router before any kernel runs and written through
+        #: from both the per-session path and the batch scheduler.  The
+        #: rng is untouched by a hit — tie-breaking still draws from the
+        #: session's own rng over the cached score vector — so question
+        #: sequences are bit-for-bit identical with the cache on or off.
+        if shared_plan is not None and not plan_cache:
+            raise ValueError(
+                "shared_plan requires plan_cache=True (the shared tier "
+                "backs the per-process plan cache)"
+            )
+        self.plan_cache = (
+            PlanCache(plan_cache_entries, shared=shared_plan)
+            if plan_cache
+            else None
+        )
+        if self._batcher is not None and self.plan_cache is not None:
+            # A flushed batch publishes every member's table (batched
+            # and fallback members alike).
+            self._batcher.plan_sink = self.plan_cache.install
         self.store = store
         self.checkpoint_every = checkpoint_every
         #: Fleet leasing.  With an ``owner_id`` set (a fleet worker),
@@ -470,6 +494,10 @@ class SessionManager:
         plane = self.index_cache.shared_plane
         if plane is not None:
             plane.close()
+        # Likewise for the plan cache's shared tier: releases this
+        # worker's plan-segment refs and publish leases.
+        if self.plan_cache is not None:
+            self.plan_cache.close()
 
     # --- lifecycle -----------------------------------------------------------
 
@@ -617,8 +645,10 @@ class SessionManager:
         (create, resume, rehydrate — replay happens *before* the
         router is installed, so replayed proposals stay per-session),
         and forks inherit the router, so speculative branches ride the
-        same batches."""
-        if self._batcher is None:
+        same batches — and, with the plan cache on, a forked branch
+        whose canonical state key hits installs the cached table
+        instead of scheduling a kernel job."""
+        if self._batcher is None and self.plan_cache is None:
             return
         strategy = session.strategy
         if (
@@ -630,29 +660,61 @@ class SessionManager:
                 id(session.index)
             )
 
+    def _plan_key(self, planner) -> str:
+        """Canonical state key for the state a planner is bound to."""
+        return plan_key_for_planner(
+            planner, instance_fingerprint(planner.state.index.instance)
+        )
+
     def _batch_router(
         self, key: Hashable
     ) -> Callable[..., dict[int, Any] | None]:
-        """The strategy-side hook: block the calling *worker thread* on
-        the shared batch for ``key``; decline (→ per-session path) on
-        the event loop, on a closed batcher, or on a cancelled job."""
+        """The strategy-side hook, consulted whenever a proposal needs
+        an entropy table the session's own tier-0 (primed table or
+        in-sync planner fast path) could not supply.
+
+        Resolution order: (1) the plan cache — a hit returns the
+        memoised table with no kernel at all; (2) off the event loop,
+        block the calling worker thread on the shared batch for ``key``
+        (the batch write-through installs the result under its
+        ``plan_key``); (3) compute per-session and install.  On the
+        event loop the shared-tier probe and publish are skipped so a
+        busy registry can never stall serving; a closed batcher or
+        cancelled flush declines (→ strategy's per-session path).
+        """
         batcher = self._batcher
+        plan_cache = self.plan_cache
 
         def route(planner):
             try:
                 asyncio.get_running_loop()
             except RuntimeError:
-                pass
+                on_loop = False
             else:
-                # On the event loop (synchronous propose of an
-                # embedder-style call-in): never block it on a batch
-                # window.  propose_question_async primes the table
-                # off-loop instead.
+                # Synchronous propose of an embedder-style call-in:
+                # never block the loop on a batch window or the shared
+                # registry.  propose_question_async primes off-loop.
+                on_loop = True
+            plan_key = None
+            if plan_cache is not None:
+                plan_key = self._plan_key(planner)
+                table = plan_cache.get(
+                    plan_key, probe_shared=not on_loop
+                )
+                if table is not None:
+                    return table
+            if not on_loop and batcher is not None:
+                try:
+                    return batcher.entropies(
+                        key, planner, plan_key=plan_key
+                    )
+                except (RuntimeError, CancelledError):
+                    return None
+            if plan_key is None:
                 return None
-            try:
-                return batcher.entropies(key, planner)
-            except (RuntimeError, CancelledError):
-                return None
+            table = planner.entropies()
+            plan_cache.install(plan_key, table, publish=not on_loop)
+            return table
 
         return route
 
@@ -877,16 +939,17 @@ class SessionManager:
         self, managed: ManagedSession
     ) -> Question | None:
         """Server path for ``GET /question``: when the proposal will
-        run an entropy kernel, the table is produced through the shared
-        batcher *off-loop* first — coalescing with other sessions'
-        concurrent proposals — then primed into the strategy so the
+        run an entropy kernel, the table is resolved *off-loop* first —
+        a plan-cache probe (both tiers), then the shared batcher
+        (coalescing with other sessions' concurrent proposals), then a
+        per-session compute — and primed into the strategy so the
         ordinary synchronous path consumes it without blocking the
         event loop.  Runs under the session lock (the app holds it),
         so the state cannot move between submission and propose."""
         session = managed.session
         strategy = session.strategy
         if (
-            self._batcher is not None
+            (self._batcher is not None or self.plan_cache is not None)
             and session.pending_question is None
             and isinstance(strategy, LookaheadSkylineStrategy)
             and strategy.entropy_router is not None
@@ -894,14 +957,33 @@ class SessionManager:
             and session.state.has_informative()
         ):
             planner = strategy.planner_for(session.state)
-            try:
-                future = self._batcher.submit(
-                    id(session.index), planner
-                )
-                entropies = await asyncio.wrap_future(future)
-            except (RuntimeError, CancelledError):
-                pass  # closed batcher / cancelled flush: inline path
-            else:
+            plan_key: str | None = None
+            entropies = None
+            if self.plan_cache is not None:
+
+                def probe():
+                    key = self._plan_key(planner)
+                    return key, self.plan_cache.get(key)
+
+                plan_key, entropies = await self.offload(probe)
+            if entropies is None and self._batcher is not None:
+                try:
+                    future = self._batcher.submit(
+                        id(session.index), planner, plan_key=plan_key
+                    )
+                    entropies = await asyncio.wrap_future(future)
+                except (RuntimeError, CancelledError):
+                    entropies = None  # closed batcher: inline path
+            elif entropies is None and plan_key is not None:
+                # Plan cache on, batcher off: run the kernel off-loop
+                # and write it through both tiers.
+                def compute(key=plan_key):
+                    table = planner.entropies()
+                    self.plan_cache.install(key, table)
+                    return table
+
+                entropies = await self._heavy_offload(compute)
+            if entropies is not None:
                 strategy.prime_entropies(session.state, entropies)
         return self.propose_question(managed)
 
@@ -1768,6 +1850,11 @@ class SessionManager:
         }
         if self._batcher is not None:
             kernel_batch.update(self._batcher.stats())
+        plan_cache: dict[str, Any] = {
+            "enabled": self.plan_cache is not None
+        }
+        if self.plan_cache is not None:
+            plan_cache.update(self.plan_cache.stats())
         store: dict[str, Any] = {"enabled": self.store is not None}
         if self.store is not None:
             store.update(
@@ -1810,6 +1897,7 @@ class SessionManager:
             "memory": memory,
             "speculation": speculation,
             "kernel_batch": kernel_batch,
+            "plan_cache": plan_cache,
             "store": store,
             "index_cache": self.index_cache.stats(),
         }

@@ -1,0 +1,297 @@
+"""The plan cache's machine-wide shared tier.
+
+Runs the PR 8 publish/attach protocol (:class:`.shm_registry.ShmRegistry`
+— single-flight publish leases, refcounts, fenced epoch takeover, orphan
+reaping) over its own namespace: ``plan_segments`` / ``plan_refs`` tables
+in the same SQLite file as the session store, and ``repro_plan_*``
+segments in ``/dev/shm``.  Each segment holds one encoded entropy table
+(:func:`repro.core.plan_cache.encode_table`), so an N-worker fleet
+computes each (index, state, depth) table once and every other worker
+copies it out of shared memory instead of running the kernel.
+
+Two deliberate departures from the index plane, because plan tables are
+small and latency-critical where indexes are huge and build-bound:
+
+* :meth:`SharedPlanTier.get` is **attach-only and never waits** — if a
+  sibling is mid-publish the caller just computes (the table costs
+  milliseconds, not the seconds an index build does), and
+  :meth:`SharedPlanTier.publish` skips rather than blocks when it loses
+  the single-flight race.
+* Segments are **copied out, not kept mapped**: the decoded table lives
+  in the per-process :class:`~repro.core.plan_cache.PlanCache` LRU, the
+  mapping is closed immediately, and the registry ref is held for as
+  long as the entry stays in that LRU (released on eviction), which is
+  what keeps machine-wide reaping honest about who still uses what.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Any, Callable
+
+from ..core import index_shm
+from . import shm_registry
+from .shm_registry import ShmRegistry, ShmRegistryError
+
+__all__ = [
+    "PLAN_SEGMENT_PREFIX",
+    "SharedPlanTier",
+]
+
+#: Plan segments get their own prefix so the leak sweeps (conftest and
+#: CI) and the orphan reaper can tell them from index segments.
+PLAN_SEGMENT_PREFIX = "repro_plan_"
+
+
+class SharedPlanTier:
+    """Machine-wide publish/attach tier for encoded plan tables.
+
+    Implements the duck-typed ``shared`` interface of
+    :class:`repro.core.plan_cache.PlanCache`: ``get``, ``publish``,
+    ``release``, ``stats``, ``close``.  All methods are thread-safe and
+    never raise on registry trouble — a closing or busy registry makes
+    the tier miss, not the request fail.
+    """
+
+    def __init__(
+        self,
+        registry_path: str | os.PathLike[str],
+        owner: str,
+        *,
+        ttl_seconds: float = 10.0,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self._registry = ShmRegistry(
+            registry_path,
+            clock=clock,
+            segments_table="plan_segments",
+            refs_table="plan_refs",
+            segment_prefix=PLAN_SEGMENT_PREFIX,
+        )
+        self._owner = owner
+        self._ttl = ttl_seconds
+        self._lock = threading.Lock()
+        #: key -> segment name for every ref this process holds (one per
+        #: entry resident in the local PlanCache LRU).
+        self._names: dict[str, str] = {}
+        self._attaches = 0
+        self._publishes = 0
+        self._publish_skips = 0
+        self._releases = 0
+        self._reaped = 0
+        self._errors = 0
+        self._closed = False
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    @classmethod
+    def if_available(
+        cls, registry_path: str | os.PathLike[str], owner: str, **kwargs
+    ) -> "SharedPlanTier | None":
+        """A tier, or ``None`` when POSIX shared memory is unusable
+        (the plan cache degrades to its per-process LRU)."""
+        if not index_shm.shared_memory_available():
+            return None
+        return cls(registry_path, owner, **kwargs)
+
+    @property
+    def owner(self) -> str:
+        return self._owner
+
+    # --- PlanCache-facing interface --------------------------------------
+
+    def get(self, key: str) -> bytes | None:
+        """Copy the published payload for ``key``, or None.
+
+        Attach-only: a key mid-publish by a sibling reads as a miss.
+        The recorded ref is kept until :meth:`release` (LRU eviction) or
+        :meth:`close`.
+        """
+        self._ensure_heartbeat()
+        try:
+            info = self._registry.acquire_attach(
+                key, self._owner, self._ttl
+            )
+        except ShmRegistryError:
+            self._count_error()
+            return None
+        if info is None:
+            return None
+        try:
+            shm = index_shm.attach_segment(info.name)
+        except (FileNotFoundError, index_shm.ShmIndexError, OSError):
+            # Segment vanished (reaped under us): drop the row so the
+            # next compute republishes.
+            self._forget(key, info.name)
+            return None
+        try:
+            if shm.size < info.nbytes:
+                self._forget(key, info.name)
+                return None
+            payload = bytes(shm.buf[: info.nbytes])
+        finally:
+            index_shm.close_segment(shm)
+        with self._lock:
+            self._names[key] = info.name
+            self._attaches += 1
+        return payload
+
+    def publish(self, key: str, payload: bytes) -> bool:
+        """Offer a freshly computed payload to the machine.
+
+        Never blocks on a sibling's publish: losing the single-flight
+        race (or finding the key already ready) just returns False.
+        """
+        self._ensure_heartbeat()
+        try:
+            ticket = self._registry.begin_publish(
+                key, self._owner, self._ttl
+            )
+        except ShmRegistryError:
+            self._count_error()
+            return False
+        if ticket.action != "publish":
+            with self._lock:
+                self._publish_skips += 1
+            return False
+        if ticket.stale_name is not None:
+            index_shm.unlink_segment(ticket.stale_name)
+        try:
+            try:
+                shm = index_shm.create_segment(ticket.name, len(payload))
+            except FileExistsError:
+                # Row-less leftover from a crashed prior incarnation.
+                index_shm.unlink_segment(ticket.name)
+                shm = index_shm.create_segment(ticket.name, len(payload))
+            shm.buf[: len(payload)] = payload
+        except (OSError, ValueError, index_shm.ShmIndexError):
+            # /dev/shm full or unusable: serve from the local tier only.
+            self._abort(key, ticket.generation)
+            return False
+        index_shm.close_segment(shm)
+        try:
+            finished = self._registry.finish_publish(
+                key, self._owner, ticket.generation, len(payload), self._ttl
+            )
+        except ShmRegistryError:
+            self._count_error()
+            index_shm.unlink_segment(ticket.name)
+            return False
+        if not finished:
+            # Deposed mid-publish: our segment was never visible.
+            index_shm.unlink_segment(ticket.name)
+            return False
+        with self._lock:
+            self._names[key] = ticket.name
+            self._publishes += 1
+        return True
+
+    def release(self, key: str) -> None:
+        """Drop this process's ref on ``key`` (local LRU eviction)."""
+        with self._lock:
+            name = self._names.pop(key, None)
+            if name is not None:
+                self._releases += 1
+        if name is None:
+            return
+        try:
+            self._registry.release_ref(name, self._owner)
+        except ShmRegistryError:
+            self._count_error()
+
+    # --- maintenance ------------------------------------------------------
+
+    def _forget(self, key: str, name: str) -> None:
+        try:
+            self._registry.forget_segment(key, name)
+        except ShmRegistryError:
+            self._count_error()
+
+    def _abort(self, key: str, generation: int) -> None:
+        try:
+            self._registry.abort_publish(key, self._owner, generation)
+        except ShmRegistryError:
+            self._count_error()
+
+    def _count_error(self) -> None:
+        with self._lock:
+            self._errors += 1
+
+    def _ensure_heartbeat(self) -> None:
+        with self._lock:
+            if self._closed or (
+                self._thread is not None and self._thread.is_alive()
+            ):
+                return
+            self._thread = threading.Thread(
+                target=self._heartbeat_loop,
+                name=f"plan-tier-{self._owner}",
+                daemon=True,
+            )
+            self._thread.start()
+
+    def _heartbeat_loop(self) -> None:
+        interval = max(self._ttl / 3.0, 0.05)
+        while not self._stop.wait(interval):
+            try:
+                self._registry.heartbeat(self._owner, self._ttl)
+                self.reap()
+            except Exception:
+                # Registry closing underneath us, transient busy, etc. —
+                # the next beat retries.
+                if self._closed:
+                    return
+
+    def reap(self) -> list[str]:
+        """Reclaim orphaned plan segments; returns the names unlinked."""
+        removed = []
+        for name in self._registry.reap():
+            if index_shm.unlink_segment(name):
+                removed.append(name)
+        removed.extend(
+            shm_registry.reap_orphan_files(self._registry, self._ttl)
+        )
+        with self._lock:
+            self._reaped += len(removed)
+        return removed
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            payload = {
+                "owner": self._owner,
+                "refs_held": len(self._names),
+                "attaches": self._attaches,
+                "publishes": self._publishes,
+                "publish_skips": self._publish_skips,
+                "releases": self._releases,
+                "reaped": self._reaped,
+                "errors": self._errors,
+            }
+        try:
+            payload["registry"] = self._registry.stats()
+        except ShmRegistryError:  # pragma: no cover - closing race
+            payload["registry"] = {}
+        return payload
+
+    def close(self) -> None:
+        """Release every ref/lease, unlink ref-less segments.
+
+        Idempotent; nothing stays mapped, so close is always complete.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            thread = self._thread
+            self._names.clear()
+        self._stop.set()
+        if thread is not None:
+            thread.join(timeout=2.0)
+        try:
+            for name in self._registry.release_owner(self._owner):
+                index_shm.unlink_segment(name)
+        except ShmRegistryError:  # pragma: no cover - already closed
+            pass
+        self._registry.close()

@@ -7,8 +7,8 @@ the first worker to need a fingerprint builds it, serializes it into one
 ``/dev/shm`` segment (:mod:`repro.core.index_shm`), and every other
 worker attaches read-only views over the same mapping.
 
-Coordination reuses the store's lease/epoch idiom, in a SQLite table
-beside the session store:
+Coordination reuses the store's lease/epoch idiom (via
+:mod:`.sqlite_util`), in a SQLite table beside the session store:
 
 * **publisher single-flight** — a ``publishing`` row is a lease
   ``(owner, epoch, expires_at)``; concurrent workers see it and wait
@@ -24,6 +24,12 @@ beside the session store:
   unlinking their segments; a belt-and-braces file scan also unlinks
   aged ``repro_idx_*`` files that have no registry row at all (crashes
   in the narrow window between segment creation and registration).
+
+The registry itself is payload-agnostic: the table names and the
+segment-name prefix are constructor parameters, so the PR 9 plan cache
+(:mod:`.plan_registry`) runs the same protocol over ``plan_segments`` /
+``plan_refs`` and ``repro_plan_*`` segments without duplicating any of
+it.
 
 Unlinking a segment that a live process still maps is safe: the mapping
 (and every index view over it) survives until that process closes it.
@@ -43,6 +49,7 @@ from typing import Any, Callable
 from ..core import index_shm
 from ..core.signatures import SignatureIndex
 from ..relational.relation import Instance
+from . import sqlite_util
 
 __all__ = [
     "ShmRegistryError",
@@ -83,26 +90,34 @@ class SegmentInfo:
     nbytes: int
 
 
-def _segment_name(fingerprint: str, generation: int) -> str:
+def _segment_name(
+    fingerprint: str,
+    generation: int,
+    prefix: str = index_shm.SEGMENT_PREFIX,
+) -> str:
     # Fingerprints may be raw cache keys (e.g. ``builtin:{"name": ...}``)
     # whose characters shm_open cannot accept, so the segment name always
     # carries a hex slug of the fingerprint rather than the fingerprint
     # itself.
     slug = hashlib.sha256(fingerprint.encode("utf-8")).hexdigest()[:12]
-    return f"{index_shm.SEGMENT_PREFIX}{slug}_g{generation}"
+    return f"{prefix}{slug}_g{generation}"
 
 
 class ShmRegistry:
-    """SQLite bookkeeping for shared index segments.
+    """SQLite bookkeeping for shared ``/dev/shm`` segments.
 
     Lives in the same database file as the session store (its own
     connection, WAL mode) so one ``--store`` path configures the whole
     fleet's shared state.  All methods are thread-safe and every write
     runs inside one BEGIN IMMEDIATE transaction with the same bounded
-    busy retry as the session store.
+    busy retry as the session store (:func:`sqlite_util.run_immediate`).
+
+    ``segments_table`` / ``refs_table`` / ``segment_prefix`` select the
+    namespace: the default is the shared-index plane; the plan cache
+    passes its own so both protocols share one file without colliding.
     """
 
-    BUSY_RETRIES = 6
+    BUSY_RETRIES = sqlite_util.BUSY_RETRIES
 
     def __init__(
         self,
@@ -110,27 +125,39 @@ class ShmRegistry:
         *,
         busy_timeout: float = 5.0,
         clock: Callable[[], float] = time.time,
+        segments_table: str = "shm_segments",
+        refs_table: str = "shm_refs",
+        segment_prefix: str = index_shm.SEGMENT_PREFIX,
     ) -> None:
+        if not (
+            segments_table.isidentifier() and refs_table.isidentifier()
+        ):
+            raise ValueError(
+                "registry table names must be plain identifiers, got "
+                f"{segments_table!r} / {refs_table!r}"
+            )
         self.path = os.fspath(path)
         self._clock = clock
+        self._segments_table = segments_table
+        self._refs_table = refs_table
+        self._prefix = segment_prefix
         self._lock = threading.Lock()
-        self._connection: sqlite3.Connection | None = sqlite3.connect(
-            self.path,
-            check_same_thread=False,
-            isolation_level=None,  # explicit BEGIN/COMMIT below
-        )
-        self._connection.execute("PRAGMA journal_mode=WAL")
-        self._connection.execute("PRAGMA synchronous=NORMAL")
-        self._connection.execute(
-            f"PRAGMA busy_timeout={int(busy_timeout * 1000)}"
+        self._connection: sqlite3.Connection | None = (
+            sqlite_util.connect_wal(self.path, busy_timeout=busy_timeout)
         )
         self._transact(self._create_tables)
 
-    @staticmethod
-    def _create_tables(connection: sqlite3.Connection) -> None:
+    @property
+    def segment_prefix(self) -> str:
+        return self._prefix
+
+    def segment_name(self, fingerprint: str, generation: int) -> str:
+        return _segment_name(fingerprint, generation, self._prefix)
+
+    def _create_tables(self, connection: sqlite3.Connection) -> None:
         connection.execute(
-            """
-            CREATE TABLE IF NOT EXISTS shm_segments (
+            f"""
+            CREATE TABLE IF NOT EXISTS {self._segments_table} (
                 fingerprint TEXT PRIMARY KEY,
                 name        TEXT NOT NULL,
                 generation  INTEGER NOT NULL,
@@ -144,8 +171,8 @@ class ShmRegistry:
             """
         )
         connection.execute(
-            """
-            CREATE TABLE IF NOT EXISTS shm_refs (
+            f"""
+            CREATE TABLE IF NOT EXISTS {self._refs_table} (
                 name       TEXT NOT NULL,
                 owner      TEXT NOT NULL,
                 expires_at REAL NOT NULL,
@@ -159,47 +186,19 @@ class ShmRegistry:
             raise ShmRegistryError(f"registry {self.path!r} is closed")
         return self._connection
 
-    @staticmethod
-    def _is_busy(exc: sqlite3.OperationalError) -> bool:
-        message = str(exc).lower()
-        return "locked" in message or "busy" in message
-
     def _transact(self, work: Any) -> Any:
         """One BEGIN IMMEDIATE transaction with bounded busy retry
-        (same shape as the session store's ``_transact``)."""
+        (the idiom shared with the session store — see
+        :mod:`.sqlite_util`)."""
         with self._lock:
             connection = self._require_connection()
-            delay = 0.005
-            last: sqlite3.OperationalError | None = None
-            for attempt in range(self.BUSY_RETRIES + 1):
-                if attempt:
-                    time.sleep(delay)
-                    delay = min(delay * 2, 0.25)
-                try:
-                    connection.execute("BEGIN IMMEDIATE")
-                except sqlite3.OperationalError as exc:
-                    if self._is_busy(exc):
-                        last = exc
-                        continue
-                    raise
-                try:
-                    result = work(connection)
-                except BaseException:
-                    connection.execute("ROLLBACK")
-                    raise
-                try:
-                    connection.execute("COMMIT")
-                except sqlite3.OperationalError as exc:
-                    connection.execute("ROLLBACK")
-                    if self._is_busy(exc):
-                        last = exc
-                        continue
-                    raise
-                return result
-            raise ShmRegistryError(
-                f"registry {self.path!r}: database busy after "
-                f"{self.BUSY_RETRIES + 1} attempts"
-            ) from last
+            return sqlite_util.run_immediate(
+                connection,
+                work,
+                error=ShmRegistryError,
+                subject=f"registry {self.path!r}",
+                retries=self.BUSY_RETRIES,
+            )
 
     # --- publish lifecycle ------------------------------------------------
 
@@ -211,15 +210,16 @@ class ShmRegistry:
 
         def work(connection: sqlite3.Connection) -> PublishTicket:
             row = connection.execute(
-                "SELECT name, generation, state, owner, epoch, expires_at"
-                " FROM shm_segments WHERE fingerprint = ?",
+                "SELECT name, generation, state, owner, epoch,"
+                f" expires_at FROM {self._segments_table}"
+                " WHERE fingerprint = ?",
                 (fingerprint,),
             ).fetchone()
             if row is None:
-                name = _segment_name(fingerprint, 1)
+                name = self.segment_name(fingerprint, 1)
                 connection.execute(
-                    "INSERT INTO shm_segments (fingerprint, name,"
-                    " generation, state, nbytes, owner, epoch,"
+                    f"INSERT INTO {self._segments_table} (fingerprint,"
+                    " name, generation, state, nbytes, owner, epoch,"
                     " expires_at, created_at)"
                     " VALUES (?, ?, ?, 'publishing', 0, ?, 1, ?, ?)",
                     (fingerprint, name, 1, owner, now + ttl_seconds, now),
@@ -231,7 +231,7 @@ class ShmRegistry:
             if holder == owner:
                 # Re-entry by the current publisher: refresh the lease.
                 connection.execute(
-                    "UPDATE shm_segments SET expires_at = ?"
+                    f"UPDATE {self._segments_table} SET expires_at = ?"
                     " WHERE fingerprint = ?",
                     (now + ttl_seconds, fingerprint),
                 )
@@ -240,11 +240,12 @@ class ShmRegistry:
                 # Expired publisher: take over with a fenced epoch bump
                 # and a fresh generation (new segment name).
                 new_generation = generation + 1
-                new_name = _segment_name(fingerprint, new_generation)
+                new_name = self.segment_name(fingerprint, new_generation)
                 connection.execute(
-                    "UPDATE shm_segments SET name = ?, generation = ?,"
-                    " owner = ?, epoch = epoch + 1, expires_at = ?,"
-                    " created_at = ? WHERE fingerprint = ?",
+                    f"UPDATE {self._segments_table} SET name = ?,"
+                    " generation = ?, owner = ?, epoch = epoch + 1,"
+                    " expires_at = ?, created_at = ?"
+                    " WHERE fingerprint = ?",
                     (
                         new_name,
                         new_generation,
@@ -282,8 +283,8 @@ class ShmRegistry:
 
         def work(connection: sqlite3.Connection) -> bool:
             row = connection.execute(
-                "SELECT name, generation, state, owner FROM shm_segments"
-                " WHERE fingerprint = ?",
+                "SELECT name, generation, state, owner FROM"
+                f" {self._segments_table} WHERE fingerprint = ?",
                 (fingerprint,),
             ).fetchone()
             if (
@@ -294,13 +295,13 @@ class ShmRegistry:
             ):
                 return False
             connection.execute(
-                "UPDATE shm_segments SET state = 'ready', nbytes = ?,"
-                " expires_at = ? WHERE fingerprint = ?",
+                f"UPDATE {self._segments_table} SET state = 'ready',"
+                " nbytes = ?, expires_at = ? WHERE fingerprint = ?",
                 (nbytes, now, fingerprint),
             )
             connection.execute(
-                "INSERT OR REPLACE INTO shm_refs (name, owner, expires_at)"
-                " VALUES (?, ?, ?)",
+                f"INSERT OR REPLACE INTO {self._refs_table}"
+                " (name, owner, expires_at) VALUES (?, ?, ?)",
                 (row[0], owner, now + ref_ttl_seconds),
             )
             return True
@@ -314,8 +315,9 @@ class ShmRegistry:
 
         def work(connection: sqlite3.Connection) -> bool:
             cursor = connection.execute(
-                "DELETE FROM shm_segments WHERE fingerprint = ? AND"
-                " owner = ? AND generation = ? AND state = 'publishing'",
+                f"DELETE FROM {self._segments_table} WHERE"
+                " fingerprint = ? AND owner = ? AND generation = ?"
+                " AND state = 'publishing'",
                 (fingerprint, owner, generation),
             )
             return cursor.rowcount > 0
@@ -332,15 +334,16 @@ class ShmRegistry:
 
         def work(connection: sqlite3.Connection) -> SegmentInfo | None:
             row = connection.execute(
-                "SELECT name, generation, nbytes FROM shm_segments"
+                "SELECT name, generation, nbytes FROM"
+                f" {self._segments_table}"
                 " WHERE fingerprint = ? AND state = 'ready'",
                 (fingerprint,),
             ).fetchone()
             if row is None:
                 return None
             connection.execute(
-                "INSERT OR REPLACE INTO shm_refs (name, owner, expires_at)"
-                " VALUES (?, ?, ?)",
+                f"INSERT OR REPLACE INTO {self._refs_table}"
+                " (name, owner, expires_at) VALUES (?, ?, ?)",
                 (row[0], owner, now + ref_ttl_seconds),
             )
             return SegmentInfo(row[0], row[1], row[2])
@@ -353,12 +356,13 @@ class ShmRegistry:
 
         def work(connection: sqlite3.Connection) -> None:
             connection.execute(
-                "DELETE FROM shm_segments WHERE fingerprint = ? AND"
-                " name = ?",
+                f"DELETE FROM {self._segments_table} WHERE"
+                " fingerprint = ? AND name = ?",
                 (fingerprint, name),
             )
             connection.execute(
-                "DELETE FROM shm_refs WHERE name = ?", (name,)
+                f"DELETE FROM {self._refs_table} WHERE name = ?",
+                (name,),
             )
 
         self._transact(work)
@@ -369,13 +373,30 @@ class ShmRegistry:
 
         def work(connection: sqlite3.Connection) -> None:
             connection.execute(
-                "UPDATE shm_refs SET expires_at = ? WHERE owner = ?",
+                f"UPDATE {self._refs_table} SET expires_at = ?"
+                " WHERE owner = ?",
                 (now + ttl_seconds, owner),
             )
             connection.execute(
-                "UPDATE shm_segments SET expires_at = ? WHERE owner = ?"
-                " AND state = 'publishing'",
+                f"UPDATE {self._segments_table} SET expires_at = ?"
+                " WHERE owner = ? AND state = 'publishing'",
                 (now + ttl_seconds, owner),
+            )
+
+        self._transact(work)
+
+    def release_ref(self, name: str, owner: str) -> None:
+        """Drop one of ``owner``'s refs (e.g. a local cache eviction).
+
+        The segment row stays; a ref-less ready segment is reclaimed by
+        the next :meth:`reap`.
+        """
+
+        def work(connection: sqlite3.Connection) -> None:
+            connection.execute(
+                f"DELETE FROM {self._refs_table} WHERE name = ?"
+                " AND owner = ?",
+                (name, owner),
             )
 
         self._transact(work)
@@ -392,31 +413,37 @@ class ShmRegistry:
             doomed = [
                 row[0]
                 for row in connection.execute(
-                    "SELECT name FROM shm_segments WHERE owner = ? AND"
-                    " state = 'publishing'",
+                    f"SELECT name FROM {self._segments_table}"
+                    " WHERE owner = ? AND state = 'publishing'",
                     (owner,),
                 )
             ]
             connection.execute(
-                "DELETE FROM shm_segments WHERE owner = ? AND"
-                " state = 'publishing'",
+                f"DELETE FROM {self._segments_table} WHERE owner = ?"
+                " AND state = 'publishing'",
                 (owner,),
             )
             connection.execute(
-                "DELETE FROM shm_refs WHERE owner = ?", (owner,)
+                f"DELETE FROM {self._refs_table} WHERE owner = ?",
+                (owner,),
             )
             for name, in connection.execute(
-                "SELECT name FROM shm_segments WHERE state = 'ready'"
-                " AND NOT EXISTS (SELECT 1 FROM shm_refs WHERE"
-                " shm_refs.name = shm_segments.name AND expires_at > ?)",
+                f"SELECT name FROM {self._segments_table}"
+                " WHERE state = 'ready' AND NOT EXISTS"
+                f" (SELECT 1 FROM {self._refs_table} WHERE"
+                f" {self._refs_table}.name = {self._segments_table}.name"
+                " AND expires_at > ?)",
                 (now,),
             ).fetchall():
                 doomed.append(name)
                 connection.execute(
-                    "DELETE FROM shm_segments WHERE name = ?", (name,)
+                    f"DELETE FROM {self._segments_table}"
+                    " WHERE name = ?",
+                    (name,),
                 )
                 connection.execute(
-                    "DELETE FROM shm_refs WHERE name = ?", (name,)
+                    f"DELETE FROM {self._refs_table} WHERE name = ?",
+                    (name,),
                 )
             return doomed
 
@@ -433,29 +460,34 @@ class ShmRegistry:
 
         def work(connection: sqlite3.Connection) -> list[str]:
             connection.execute(
-                "DELETE FROM shm_refs WHERE expires_at <= ?", (now,)
+                f"DELETE FROM {self._refs_table} WHERE expires_at <= ?",
+                (now,),
             )
             connection.execute(
-                "DELETE FROM shm_refs WHERE name NOT IN"
-                " (SELECT name FROM shm_segments)"
+                f"DELETE FROM {self._refs_table} WHERE name NOT IN"
+                f" (SELECT name FROM {self._segments_table})"
             )
             doomed = [
                 row[0]
                 for row in connection.execute(
-                    "SELECT name FROM shm_segments WHERE"
+                    f"SELECT name FROM {self._segments_table} WHERE"
                     " (state = 'publishing' AND expires_at <= ?)"
                     " OR (state = 'ready' AND NOT EXISTS"
-                    " (SELECT 1 FROM shm_refs WHERE"
-                    " shm_refs.name = shm_segments.name))",
+                    f" (SELECT 1 FROM {self._refs_table} WHERE"
+                    f" {self._refs_table}.name ="
+                    f" {self._segments_table}.name))",
                     (now,),
                 ).fetchall()
             ]
             for name in doomed:
                 connection.execute(
-                    "DELETE FROM shm_segments WHERE name = ?", (name,)
+                    f"DELETE FROM {self._segments_table}"
+                    " WHERE name = ?",
+                    (name,),
                 )
                 connection.execute(
-                    "DELETE FROM shm_refs WHERE name = ?", (name,)
+                    f"DELETE FROM {self._refs_table} WHERE name = ?",
+                    (name,),
                 )
             return doomed
 
@@ -468,7 +500,7 @@ class ShmRegistry:
             return [
                 row[0]
                 for row in connection.execute(
-                    "SELECT name FROM shm_segments"
+                    f"SELECT name FROM {self._segments_table}"
                 ).fetchall()
             ]
 
@@ -480,14 +512,14 @@ class ShmRegistry:
         def work(connection: sqlite3.Connection) -> dict[str, int]:
             ready = connection.execute(
                 "SELECT COUNT(*), COALESCE(SUM(nbytes), 0) FROM"
-                " shm_segments WHERE state = 'ready'"
+                f" {self._segments_table} WHERE state = 'ready'"
             ).fetchone()
             publishing = connection.execute(
-                "SELECT COUNT(*) FROM shm_segments WHERE"
+                f"SELECT COUNT(*) FROM {self._segments_table} WHERE"
                 " state = 'publishing'"
             ).fetchone()[0]
             refs = connection.execute(
-                "SELECT COUNT(*) FROM shm_refs"
+                f"SELECT COUNT(*) FROM {self._refs_table}"
             ).fetchone()[0]
             return {
                 "ready_segments": ready[0],
@@ -503,6 +535,42 @@ class ShmRegistry:
             if self._connection is not None:
                 self._connection.close()
                 self._connection = None
+
+
+def reap_orphan_files(registry: ShmRegistry, ttl_seconds: float) -> list[str]:
+    """Unlink aged files under the registry's prefix with no row.
+
+    Belt-and-braces against crashes in the narrow window between
+    segment creation and registration: a file old enough that any
+    legitimate publish would long since have registered it, and unknown
+    to the registry, is garbage.  Shared by the index plane and the
+    plan tier (each scans its own prefix).
+    """
+    directory = "/dev/shm"
+    if not os.path.isdir(directory):  # pragma: no cover - non-Linux
+        return []
+    try:
+        entries = os.listdir(directory)
+    except OSError:  # pragma: no cover - env dependent
+        return []
+    prefix = registry.segment_prefix
+    candidates = [entry for entry in entries if entry.startswith(prefix)]
+    if not candidates:
+        return []
+    known = set(registry.known_names())
+    min_age = max(60.0, 4 * ttl_seconds)
+    now = time.time()
+    removed = []
+    for entry in candidates:
+        if entry in known:
+            continue
+        try:
+            age = now - os.stat(os.path.join(directory, entry)).st_mtime
+        except OSError:  # pragma: no cover - concurrent unlink
+            continue
+        if age >= min_age and index_shm.unlink_segment(entry):
+            removed.append(entry)
+    return removed
 
 
 class SharedIndexPlane:
@@ -707,34 +775,7 @@ class SharedIndexPlane:
 
     def _reap_orphan_files(self) -> list[str]:
         """Unlink aged ``repro_idx_*`` files with no registry row."""
-        directory = "/dev/shm"
-        if not os.path.isdir(directory):  # pragma: no cover - non-Linux
-            return []
-        try:
-            entries = os.listdir(directory)
-        except OSError:  # pragma: no cover - env dependent
-            return []
-        candidates = [
-            entry
-            for entry in entries
-            if entry.startswith(index_shm.SEGMENT_PREFIX)
-        ]
-        if not candidates:
-            return []
-        known = set(self._registry.known_names())
-        min_age = max(60.0, 4 * self._ttl)
-        now = time.time()
-        removed = []
-        for entry in candidates:
-            if entry in known:
-                continue
-            try:
-                age = now - os.stat(os.path.join(directory, entry)).st_mtime
-            except OSError:  # pragma: no cover - concurrent unlink
-                continue
-            if age >= min_age and index_shm.unlink_segment(entry):
-                removed.append(entry)
-        return removed
+        return reap_orphan_files(self._registry, self._ttl)
 
     def shared_bytes(self) -> int:
         """Bytes of shared segments this process currently maps."""

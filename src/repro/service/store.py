@@ -59,6 +59,8 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Any
 
+from . import sqlite_util
+
 __all__ = [
     "JournalEntry",
     "Lease",
@@ -330,16 +332,19 @@ class MemorySessionStore(SessionStore):
         now = time.time()
         with self._lock:
             current = self._leases.get(session_id)
-            if current is None:
-                epoch = 1
-            elif current.owner == owner:
-                epoch = current.epoch
-            elif current.expired(now):
-                epoch = current.epoch + 1
-                self._lease_takeovers += 1
-            else:
+            held = (
+                None
+                if current is None
+                else (current.owner, current.epoch, current.expires_at)
+            )
+            decision, epoch = sqlite_util.decide_lease_epoch(
+                held, owner, now
+            )
+            if decision == "deny":
                 self._lease_denied += 1
                 return None
+            if decision == "takeover":
+                self._lease_takeovers += 1
             lease = Lease(session_id, owner, epoch, now + ttl_seconds)
             self._leases[session_id] = lease
             return lease
@@ -456,7 +461,7 @@ class SqliteSessionStore(SessionStore):
     #: Attempts per transaction when another process holds the write
     #: lock longer than ``busy_timeout`` (satellite: multi-process
     #: sharing must not surface transient SQLITE_BUSY as StoreError).
-    BUSY_RETRIES = 6
+    BUSY_RETRIES = sqlite_util.BUSY_RETRIES
 
     def __init__(
         self,
@@ -467,11 +472,10 @@ class SqliteSessionStore(SessionStore):
     ):
         self.path = str(path)
         self._lock = threading.RLock()
-        self._connection: sqlite3.Connection | None = sqlite3.connect(
-            self.path,
-            timeout=timeout,
-            check_same_thread=False,
-            isolation_level=None,  # explicit BEGIN/COMMIT below
+        self._connection: sqlite3.Connection | None = (
+            sqlite_util.connect_wal(
+                self.path, busy_timeout=busy_timeout, timeout=timeout
+            )
         )
         self._journal_appends = 0
         self._checkpoints = 0
@@ -482,11 +486,6 @@ class SqliteSessionStore(SessionStore):
         self._busy_retries = 0
         with self._lock:
             connection = self._connection
-            connection.execute("PRAGMA journal_mode=WAL")
-            connection.execute("PRAGMA synchronous=NORMAL")
-            connection.execute(
-                f"PRAGMA busy_timeout={int(busy_timeout * 1000)}"
-            )
             connection.executescript(
                 """
                 CREATE TABLE IF NOT EXISTS sessions (
@@ -517,52 +516,26 @@ class SqliteSessionStore(SessionStore):
             raise StoreError(f"store {self.path!r} is closed")
         return self._connection
 
-    @staticmethod
-    def _is_busy(exc: sqlite3.OperationalError) -> bool:
-        text = str(exc).lower()
-        return "locked" in text or "busy" in text
+    def _count_busy_retry(self) -> None:
+        # Called with self._lock held (run_immediate runs under it).
+        self._busy_retries += 1
 
     def _transact(self, work: Any) -> Any:
         """Run ``work(connection)`` inside one BEGIN IMMEDIATE
-        transaction, retrying the whole transaction (with backoff) when
-        another *process* holds the database lock past
-        ``busy_timeout``.  Sleeping while holding ``self._lock`` is
-        fine — in-process writers are serialised by that lock already,
-        so contention here is always cross-process."""
+        transaction via :func:`sqlite_util.run_immediate`.  Sleeping
+        between retries while holding ``self._lock`` is fine —
+        in-process writers are serialised by that lock already, so
+        contention here is always cross-process."""
         with self._lock:
             connection = self._require_connection()
-            delay = 0.005
-            last: sqlite3.OperationalError | None = None
-            for attempt in range(self.BUSY_RETRIES + 1):
-                if attempt:
-                    self._busy_retries += 1
-                    time.sleep(delay)
-                    delay = min(delay * 2, 0.25)
-                try:
-                    connection.execute("BEGIN IMMEDIATE")
-                except sqlite3.OperationalError as exc:
-                    if self._is_busy(exc):
-                        last = exc
-                        continue
-                    raise
-                try:
-                    result = work(connection)
-                except BaseException:
-                    connection.execute("ROLLBACK")
-                    raise
-                try:
-                    connection.execute("COMMIT")
-                except sqlite3.OperationalError as exc:
-                    connection.execute("ROLLBACK")
-                    if self._is_busy(exc):
-                        last = exc
-                        continue
-                    raise
-                return result
-            raise StoreError(
-                f"store {self.path!r}: database busy after "
-                f"{self.BUSY_RETRIES + 1} attempts"
-            ) from last
+            return sqlite_util.run_immediate(
+                connection,
+                work,
+                error=StoreError,
+                subject=f"store {self.path!r}",
+                retries=self.BUSY_RETRIES,
+                on_busy_retry=self._count_busy_retry,
+            )
 
     def _check_fence(
         self,
@@ -675,16 +648,16 @@ class SqliteSessionStore(SessionStore):
                 "WHERE session_id = ?",
                 (session_id,),
             ).fetchone()
-            if row is None:
-                epoch = 1
-            elif row[0] == owner:
-                epoch = row[1]
-            elif row[2] <= now:
-                epoch = row[1] + 1
-                self._lease_takeovers += 1
-            else:
+            decision, epoch = sqlite_util.decide_lease_epoch(
+                None if row is None else (row[0], row[1], row[2]),
+                owner,
+                now,
+            )
+            if decision == "deny":
                 self._lease_denied += 1
                 return None
+            if decision == "takeover":
+                self._lease_takeovers += 1
             connection.execute(
                 """
                 INSERT INTO leases (session_id, owner, epoch, expires_at)

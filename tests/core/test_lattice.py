@@ -7,9 +7,9 @@ import pytest
 
 from repro.core import (
     SignatureIndex,
+    nodes_with_tuples,
     non_nullable_masks,
     non_nullable_predicates,
-    nodes_with_tuples,
     predicates_of_size,
     sample_goal_of_size,
 )

@@ -1,0 +1,326 @@
+"""The plan cache: canonical state keys, the shared-tier codec, and the
+two-tier cache's LRU/counter behaviour.
+
+The key properties:
+
+* **answer-order invariance** — two sessions that answered the same
+  questions in different orders share one canonical key, and a session
+  rehydrated from a snapshot lands on the same key as before the crash.
+* **no collisions** — distinct indexes, depths, or labeled states never
+  share a key (checked across all six Figure 7 configurations and
+  across the packed-word boundary Ω ∈ {63, 64, 65}).
+* **exact decode** — a table through the codec compares equal, entry
+  for entry and *type* for type, to the planner's original.
+* **counter identity** — under the get-before-install protocol,
+  ``misses == local_hits + shared_hits + computes``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core import (
+    InferenceSession,
+    Label,
+    LookaheadSkylineStrategy,
+    PlanCache,
+    PlanCacheError,
+    SignatureIndex,
+    canonical_state_key,
+    decode_table,
+    encode_table,
+    plan_key_for_planner,
+    resume_session,
+    snapshot_session,
+)
+from repro.core.state import InferenceState
+from repro.data.synthetic import PAPER_CONFIGS, generate_synthetic
+from repro.service import instance_fingerprint
+
+from ..conftest import make_random_instance
+
+FP = "f" * 64
+OTHER_FP = "e" * 64
+
+
+def _labeled_after(index, answers):
+    """Drive a bare state through ``answers`` (class_id, label) pairs."""
+    state = InferenceState(index)
+    for class_id, label in answers:
+        state.record(class_id, label)
+    return state
+
+
+class TestCanonicalStateKey:
+    def test_answer_order_does_not_matter(self):
+        forward = [(3, Label.POSITIVE), (7, Label.NEGATIVE), (1, Label.NEGATIVE)]
+        assert canonical_state_key(FP, "L2S", forward) == canonical_state_key(
+            FP, "L2S", reversed(forward)
+        )
+
+    def test_label_objects_and_strings_agree(self):
+        assert canonical_state_key(
+            FP, "L1S", [(2, Label.POSITIVE), (5, Label.NEGATIVE)]
+        ) == canonical_state_key(FP, "L1S", [(2, "+"), (5, "-")])
+
+    def test_strategy_fingerprint_and_state_separate_keys(self):
+        base = canonical_state_key(FP, "L2S", [(1, "+")])
+        assert canonical_state_key(FP, "L1S", [(1, "+")]) != base
+        assert canonical_state_key(OTHER_FP, "L2S", [(1, "+")]) != base
+        assert canonical_state_key(FP, "L2S", [(1, "-")]) != base
+        assert canonical_state_key(FP, "L2S", [(2, "+")]) != base
+        assert canonical_state_key(FP, "L2S", []) != base
+
+    def test_no_collisions_across_fig7_sessions(self):
+        """Every (config, step) of an adversarial session over each
+        Figure 7 configuration gets its own key."""
+        seen: set[str] = set()
+        for position, config in enumerate(PAPER_CONFIGS):
+            instance = generate_synthetic(config.scaled(16), seed=position)
+            index = SignatureIndex(instance, backend="python")
+            fingerprint = instance_fingerprint(instance)
+            state = InferenceState(index)
+            keys = [
+                canonical_state_key(
+                    fingerprint, "L2S", state.labeled_classes()
+                )
+            ]
+            while state.has_informative():
+                class_id = state.informative_class_ids()[0]
+                state.record(class_id, Label.NEGATIVE)
+                keys.append(
+                    canonical_state_key(
+                        fingerprint, "L2S", state.labeled_classes()
+                    )
+                )
+            assert len(set(keys)) == len(keys)
+            assert not seen.intersection(keys)
+            seen.update(keys)
+        assert len(seen) > len(PAPER_CONFIGS)
+
+    @pytest.mark.parametrize("left,right", [(7, 9), (8, 8), (5, 13)])
+    def test_word_boundary_omegas_permutation_invariant(self, left, right):
+        """Ω ∈ {63, 64, 65}: keys are stable under answer permutation
+        on either side of the packed-word boundary."""
+        rng = random.Random(left * right)
+        instance = make_random_instance(
+            rng, left_arity=left, right_arity=right, rows=6, values=3
+        )
+        assert len(instance.omega) in (63, 64, 65)
+        index = SignatureIndex(instance, backend="python")
+        fingerprint = instance_fingerprint(instance)
+        class_ids = InferenceState(index).informative_class_ids()[:4]
+        answers = [
+            (cid, Label.POSITIVE if i % 2 else Label.NEGATIVE)
+            for i, cid in enumerate(class_ids)
+        ]
+        shuffled = list(answers)
+        rng.shuffle(shuffled)
+        forward = _labeled_after(index, answers)
+        scrambled = _labeled_after(index, shuffled)
+        assert canonical_state_key(
+            fingerprint, "L2S", forward.labeled_classes()
+        ) == canonical_state_key(
+            fingerprint, "L2S", scrambled.labeled_classes()
+        )
+
+    def test_snapshot_rehydrate_lands_on_the_same_key(self):
+        rng = random.Random(11)
+        instance = make_random_instance(rng, 3, 3, rows=8, values=3)
+        index = SignatureIndex(instance, backend="python")
+        strategy = LookaheadSkylineStrategy(depth=2)
+        session = InferenceSession(
+            instance, strategy, oracle=None, index=index, seed=5
+        )
+        for _ in range(3):
+            if session.is_finished():
+                break
+            question = session.propose()
+            session.answer(question.question_id, Label.NEGATIVE)
+        fingerprint = instance_fingerprint(instance)
+        before = plan_key_for_planner(
+            strategy.planner_for(session.state), fingerprint
+        )
+        resumed = resume_session(snapshot_session(session), index=index)
+        after = plan_key_for_planner(
+            resumed.strategy.planner_for(resumed.state), fingerprint
+        )
+        assert before == after
+
+    def test_planner_key_matches_bare_key(self):
+        rng = random.Random(3)
+        instance = make_random_instance(rng, 2, 2, rows=6, values=3)
+        index = SignatureIndex(instance, backend="python")
+        state = InferenceState(index)
+        state.record(state.informative_class_ids()[0], Label.NEGATIVE)
+        strategy = LookaheadSkylineStrategy(depth=2)
+        planner = strategy.planner_for(state)
+        assert plan_key_for_planner(planner, FP) == canonical_state_key(
+            FP, "L2S", state.labeled_classes()
+        )
+
+
+class TestCodec:
+    def test_roundtrip_reproduces_exact_values_and_types(self):
+        table = {
+            0: (0, 3),
+            5: (2, 2),
+            9: (math.inf, math.inf),
+            123456789: (7, math.inf),
+        }
+        decoded = decode_table(encode_table(table))
+        assert decoded == table
+        for original, back in zip(table.values(), decoded.values()):
+            for a, b in zip(original, back):
+                assert type(a) is type(b), (a, b)
+
+    def test_roundtrip_empty_table(self):
+        assert decode_table(encode_table({})) == {}
+
+    def test_real_planner_table_roundtrips(self):
+        rng = random.Random(17)
+        instance = make_random_instance(rng, 3, 3, rows=8, values=3)
+        index = SignatureIndex(instance, backend="python")
+        strategy = LookaheadSkylineStrategy(depth=2)
+        planner = strategy.planner_for(InferenceState(index))
+        table = planner.entropies()
+        assert decode_table(encode_table(table)) == table
+
+    def test_truncated_payload_rejected(self):
+        with pytest.raises(PlanCacheError, match="truncated"):
+            decode_table(b"\x00" * 4)
+
+    def test_bad_magic_rejected(self):
+        payload = bytearray(encode_table({1: (2, 3)}))
+        payload[:8] = b"NOTAPLAN"
+        with pytest.raises(PlanCacheError, match="magic"):
+            decode_table(bytes(payload))
+
+    def test_size_mismatch_rejected(self):
+        payload = encode_table({1: (2, 3), 2: (4, 5)})
+        with pytest.raises(PlanCacheError, match="size mismatch"):
+            decode_table(payload[:-8])
+
+
+class FakeSharedTier:
+    """In-memory stand-in for SharedPlanTier (same duck type)."""
+
+    def __init__(self):
+        self.payloads: dict[str, bytes] = {}
+        self.released: list[str] = []
+        self.published: list[str] = []
+        self.closed = False
+
+    def get(self, key):
+        return self.payloads.get(key)
+
+    def publish(self, key, payload):
+        self.payloads[key] = payload
+        self.published.append(key)
+        return True
+
+    def release(self, key):
+        self.released.append(key)
+
+    def stats(self):
+        return {"entries": len(self.payloads)}
+
+    def close(self):
+        self.closed = True
+
+
+TABLE = {1: (0, 2), 2: (math.inf, math.inf)}
+
+
+class TestPlanCache:
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            PlanCache(0)
+
+    def test_get_install_get_counter_identity(self):
+        cache = PlanCache(8)
+        assert cache.get("k") is None  # miss -> caller computes
+        cache.install("k", TABLE)
+        assert cache.get("k") == TABLE  # local hit
+        stats = cache.stats()
+        assert stats["misses"] == 2
+        assert stats["misses"] == (
+            stats["local_hits"]
+            + stats["shared_hits"]
+            + stats["computes"]
+        )
+        assert stats["local_hits"] == 1
+        assert stats["computes"] == 1
+        assert stats["entries"] == 1
+        assert stats["resident_bytes"] == len(encode_table(TABLE))
+
+    def test_lru_evicts_least_recently_used(self):
+        cache = PlanCache(2)
+        for key in ("a", "b"):
+            cache.get(key)
+            cache.install(key, TABLE)
+        assert cache.get("a") is not None  # refresh "a": "b" is now LRU
+        cache.get("c")
+        cache.install("c", TABLE)
+        assert len(cache) == 2
+        assert cache.get("b", probe_shared=False) is None
+        assert cache.get("a", probe_shared=False) is not None
+        assert cache.stats()["evictions"] == 1
+
+    def test_shared_hit_decodes_and_caches_locally(self):
+        shared = FakeSharedTier()
+        shared.payloads["k"] = encode_table(TABLE)
+        cache = PlanCache(8, shared=shared)
+        assert cache.get("k") == TABLE
+        stats = cache.stats()
+        assert stats["shared_hits"] == 1
+        assert stats["computes"] == 0
+        # Now resident locally: the next hit never touches the tier.
+        shared.payloads.clear()
+        assert cache.get("k") == TABLE
+        assert cache.stats()["local_hits"] == 1
+        assert cache.stats()["shared"] == shared.stats()
+
+    def test_probe_shared_false_skips_the_tier(self):
+        shared = FakeSharedTier()
+        shared.payloads["k"] = encode_table(TABLE)
+        cache = PlanCache(8, shared=shared)
+        assert cache.get("k", probe_shared=False) is None
+        assert cache.stats()["shared_hits"] == 0
+
+    def test_install_publishes_and_publish_false_does_not(self):
+        shared = FakeSharedTier()
+        cache = PlanCache(8, shared=shared)
+        cache.get("a")
+        cache.install("a", TABLE)
+        cache.get("b")
+        cache.install("b", TABLE, publish=False)
+        assert shared.published == ["a"]
+        assert cache.stats()["publishes"] == 1
+
+    def test_eviction_releases_the_shared_ref(self):
+        shared = FakeSharedTier()
+        cache = PlanCache(1, shared=shared)
+        cache.get("a")
+        cache.install("a", TABLE)
+        cache.get("b")
+        cache.install("b", TABLE)
+        assert shared.released == ["a"]
+
+    def test_corrupt_shared_payload_degrades_to_miss(self):
+        shared = FakeSharedTier()
+        shared.payloads["k"] = b"garbage"
+        cache = PlanCache(8, shared=shared)
+        assert cache.get("k") is None
+        stats = cache.stats()
+        assert stats["decode_errors"] == 1
+        assert stats["shared_hits"] == 0
+
+    def test_close_closes_the_tier(self):
+        shared = FakeSharedTier()
+        cache = PlanCache(8, shared=shared)
+        cache.close()
+        assert shared.closed

@@ -18,9 +18,9 @@ from repro.core import (
     predicate_to_dict,
     result_from_dict,
     result_to_dict,
+    run_inference,
     sample_from_dict,
     sample_to_dict,
-    run_inference,
 )
 from repro.relational import JoinPredicate
 

@@ -125,7 +125,7 @@ class TestInference:
         """Not a strict claim — just that IG is in the same league as
         L1S on the running example across all size-1 goals."""
         e = example21
-        from repro.core import predicates_of_size, SignatureIndex
+        from repro.core import SignatureIndex, predicates_of_size
 
         index = SignatureIndex(e.instance, backend="python")
         goals = predicates_of_size(index, 1)

@@ -2,6 +2,9 @@
 
 
 from repro.relational import (
+    Instance,
+    JoinPredicate,
+    Relation,
     cartesian_product,
     equijoin,
     is_nullable,
@@ -11,9 +14,6 @@ from repro.relational import (
     selects,
     semijoin,
     semijoin_selects,
-    Instance,
-    JoinPredicate,
-    Relation,
 )
 
 

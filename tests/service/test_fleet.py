@@ -22,7 +22,12 @@ import zlib
 
 import pytest
 
-from repro.core import InferenceSession, SignatureIndex, strategy_by_name
+from repro.core import (
+    InferenceSession,
+    SignatureIndex,
+    index_shm,
+    strategy_by_name,
+)
 from repro.core.serialize import instance_to_dict
 from repro.service import (
     FleetConfig,
@@ -178,6 +183,67 @@ class TestFleetBasics:
             assert all(entry["alive"] for entry in slots)
             owners = {entry["owner"] for entry in slots}
             assert len(owners) == 2
+
+    def test_fleet_aggregates_the_plan_cache_across_workers(
+        self, tmp_path
+    ):
+        """One full session per slot over the same instance and seed:
+        whichever worker scores a state second rides the first worker's
+        published tables, and ``GET /fleet`` rolls the counters up —
+        sums per worker, each machine-wide shared entry counted once."""
+        instance = boundary_instance(3, 3, rows=6, seed=8)
+        with FleetServer(fleet_config(tmp_path)) as server:
+            client = ServiceClient(server.host, server.port)
+            driven: set[int] = set()
+            for _ in range(24):
+                info = client.resume(
+                    snapshot_payload(instance, "L2S", 13)
+                )
+                sid = info["session_id"]
+                slot = zlib.crc32(sid.encode("utf-8")) % 2
+                if slot in driven:
+                    continue
+                drive_http(client, sid, _PrefixedOracle(0, seed=5))
+                driven.add(slot)
+                if len(driven) == 2:
+                    break
+            assert driven == {0, 1}
+
+            payload = client.fleet()
+            plan = payload["plan_cache"]
+            assert set(plan) == {
+                "local_hits_total",
+                "shared_hits_total",
+                "computes_total",
+                "publishes_total",
+                "entries_total",
+                "shared_entries",
+                "shared_bytes",
+            }
+            by_slot = payload["memory"]["by_slot"]
+            assert len(by_slot) == 2
+            assert plan["computes_total"] == sum(
+                slot["plan_computes"] for slot in by_slot.values()
+            )
+            assert plan["shared_hits_total"] == sum(
+                slot["plan_shared_hits"] for slot in by_slot.values()
+            )
+            assert plan["local_hits_total"] == sum(
+                slot["plan_local_hits"] for slot in by_slot.values()
+            )
+            assert plan["computes_total"] >= 1
+            assert plan["entries_total"] >= 1
+            if index_shm.shared_memory_available():
+                # The second slot's identical trajectory is served from
+                # the first slot's published tables.
+                assert plan["shared_hits_total"] >= 1
+                assert plan["publishes_total"] >= 1
+                assert plan["shared_entries"] >= 1
+                assert plan["shared_bytes"] > 0
+                # Every worker reads the same registry, so the ready
+                # totals aggregate by max: two workers mapping one
+                # entry must not count it twice.
+                assert plan["shared_entries"] <= plan["publishes_total"]
 
     def test_unknown_route_is_404(self, tmp_path):
         with FleetServer(fleet_config(tmp_path, workers=1)) as server:

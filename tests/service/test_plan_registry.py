@@ -1,0 +1,262 @@
+"""The plan cache's machine-wide shared tier.
+
+The acceptance properties, mirroring the index plane's but under the
+plan tier's never-wait semantics:
+
+* **cross-owner reuse** — one owner publishes an encoded table, every
+  other owner attaches a byte-identical copy.
+* **never waits** — a key mid-publish reads as a miss and a losing
+  publisher skips, it does not block.
+* **no orphans** — ``kill -9`` of a mid-publish process leaves zero
+  ``/dev/shm`` segments and zero registry rows once a survivor reaps,
+  and a clean close releases every ref and lease this owner held.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import signal
+import sqlite3
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.core import PlanCache, decode_table, encode_table, index_shm
+from repro.service import PLAN_SEGMENT_PREFIX, SharedPlanTier
+
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+needs_shm = pytest.mark.skipif(
+    not index_shm.shared_memory_available(),
+    reason="POSIX shared memory unavailable",
+)
+
+TABLE = {3: (1, 4), 8: (math.inf, math.inf), 11: (0, 0)}
+KEY = "L2S|" + "c" * 64 + "|3-,8+"
+
+
+def _plan_files() -> list[str]:
+    directory = "/dev/shm"
+    if not os.path.isdir(directory):  # pragma: no cover - non-Linux
+        return []
+    return sorted(
+        entry
+        for entry in os.listdir(directory)
+        if entry.startswith(PLAN_SEGMENT_PREFIX)
+    )
+
+
+def _registry_rows(db_path) -> tuple[int, int]:
+    connection = sqlite3.connect(db_path)
+    try:
+        segments = connection.execute(
+            "SELECT COUNT(*) FROM plan_segments WHERE state = 'ready'"
+        ).fetchone()[0]
+        refs = connection.execute(
+            "SELECT COUNT(*) FROM plan_refs"
+        ).fetchone()[0]
+        return segments, refs
+    finally:
+        connection.close()
+
+
+@needs_shm
+class TestSharedPlanTier:
+    def test_cross_owner_publish_then_attach(self, tmp_path):
+        db = tmp_path / "plan.db"
+        writer = SharedPlanTier(db, "w0", ttl_seconds=5.0)
+        reader = SharedPlanTier(db, "w1", ttl_seconds=5.0)
+        payload = encode_table(TABLE)
+        try:
+            assert writer.get(KEY) is None  # nothing published yet
+            assert writer.publish(KEY, payload) is True
+            got = reader.get(KEY)
+            assert got == payload
+            assert decode_table(got) == TABLE
+            assert reader.stats()["attaches"] == 1
+            assert writer.stats()["publishes"] == 1
+        finally:
+            writer.close()
+            reader.close()
+        assert _plan_files() == []
+        assert _registry_rows(db) == (0, 0)
+
+    def test_republish_of_a_ready_key_skips(self, tmp_path):
+        db = tmp_path / "plan.db"
+        tier = SharedPlanTier(db, "w0", ttl_seconds=5.0)
+        sibling = SharedPlanTier(db, "w1", ttl_seconds=5.0)
+        payload = encode_table(TABLE)
+        try:
+            assert tier.publish(KEY, payload)
+            assert sibling.publish(KEY, payload) is False
+            assert sibling.stats()["publish_skips"] == 1
+        finally:
+            tier.close()
+            sibling.close()
+        assert _plan_files() == []
+
+    def test_mid_publish_key_reads_as_miss_and_publish_skips(
+        self, tmp_path
+    ):
+        """Never-wait semantics: while one owner holds the publish
+        lease, siblings neither block on get nor steal on publish."""
+        db = tmp_path / "plan.db"
+        tier = SharedPlanTier(db, "w0", ttl_seconds=5.0)
+        sibling = SharedPlanTier(db, "w1", ttl_seconds=5.0)
+        try:
+            # Take the single-flight lease without finishing.
+            ticket = tier._registry.begin_publish(KEY, "w0", 5.0)
+            assert ticket.action == "publish"
+            started = time.monotonic()
+            assert sibling.get(KEY) is None
+            assert sibling.publish(KEY, encode_table(TABLE)) is False
+            assert time.monotonic() - started < 2.0  # never waited
+            tier._registry.abort_publish(KEY, "w0", ticket.generation)
+        finally:
+            tier.close()
+            sibling.close()
+        assert _plan_files() == []
+
+    def test_release_drops_the_ref_and_close_unlinks(self, tmp_path):
+        db = tmp_path / "plan.db"
+        writer = SharedPlanTier(db, "w0", ttl_seconds=5.0)
+        reader = SharedPlanTier(db, "w1", ttl_seconds=5.0)
+        try:
+            writer.publish(KEY, encode_table(TABLE))
+            assert reader.get(KEY) is not None
+            reader.release(KEY)  # local LRU evicted the entry
+            assert reader.stats()["releases"] == 1
+            assert reader.stats()["refs_held"] == 0
+            # The writer's own ref still pins the segment.
+            assert len(_plan_files()) == 1
+        finally:
+            reader.close()
+            writer.close()
+        assert _plan_files() == []
+        assert _registry_rows(db) == (0, 0)
+
+    def test_vanished_segment_degrades_to_miss(self, tmp_path):
+        db = tmp_path / "plan.db"
+        tier = SharedPlanTier(db, "w0", ttl_seconds=5.0)
+        other = SharedPlanTier(db, "w1", ttl_seconds=5.0)
+        try:
+            tier.publish(KEY, encode_table(TABLE))
+            for name in _plan_files():
+                index_shm.unlink_segment(name)
+            assert other.get(KEY) is None  # forgotten, not raised
+            # The row was dropped, so a recompute can republish.
+            assert other.publish(KEY, encode_table(TABLE))
+            assert other.get(KEY) is not None
+        finally:
+            tier.close()
+            other.close()
+        assert _plan_files() == []
+
+    def test_plan_cache_end_to_end_over_the_tier(self, tmp_path):
+        """Two per-process caches over one registry: worker A computes
+        once, worker B's first probe is a shared hit, and the counter
+        identity holds on both sides."""
+        db = tmp_path / "plan.db"
+        cache_a = PlanCache(
+            8, shared=SharedPlanTier(db, "wA", ttl_seconds=5.0)
+        )
+        cache_b = PlanCache(
+            8, shared=SharedPlanTier(db, "wB", ttl_seconds=5.0)
+        )
+        try:
+            assert cache_a.get(KEY) is None
+            cache_a.install(KEY, TABLE)
+            assert cache_b.get(KEY) == TABLE
+            a, b = cache_a.stats(), cache_b.stats()
+            assert a["computes"] == 1 and a["publishes"] == 1
+            assert b["shared_hits"] == 1 and b["computes"] == 0
+            for stats in (a, b):
+                assert stats["misses"] == (
+                    stats["local_hits"]
+                    + stats["shared_hits"]
+                    + stats["computes"]
+                )
+        finally:
+            cache_a.close()
+            cache_b.close()
+        assert _plan_files() == []
+        assert _registry_rows(db) == (0, 0)
+
+    def test_if_available_honours_shm_probe(self, tmp_path, monkeypatch):
+        tier = SharedPlanTier.if_available(tmp_path / "p.db", "w0")
+        assert tier is not None
+        tier.close()
+        monkeypatch.setattr(
+            index_shm, "shared_memory_available", lambda: False
+        )
+        assert SharedPlanTier.if_available(tmp_path / "p.db", "w0") is None
+
+
+_CRASH_PUBLISHER = """
+import json, os, signal, sys
+
+config = json.load(open(sys.argv[1]))
+
+from repro.core import index_shm
+from repro.service import ShmRegistry
+from repro.service.plan_registry import PLAN_SEGMENT_PREFIX
+
+registry = ShmRegistry(
+    config["db"],
+    segments_table="plan_segments",
+    refs_table="plan_refs",
+    segment_prefix=PLAN_SEGMENT_PREFIX,
+)
+ticket = registry.begin_publish(config["key"], "doomed", config["ttl"])
+assert ticket.action == "publish", ticket
+# The segment exists but never flips to ready: the crash window.
+shm = index_shm.create_segment(ticket.name, 4096)
+print(ticket.name, flush=True)
+os.kill(os.getpid(), signal.SIGKILL)
+"""
+
+
+@needs_shm
+class TestPublisherKill9:
+    def test_survivor_reaps_and_republishes(self, tmp_path):
+        db = str(tmp_path / "plan.db")
+        ttl = 0.5
+        config = tmp_path / "config.json"
+        config.write_text(json.dumps({"db": db, "key": KEY, "ttl": ttl}))
+        child = tmp_path / "crash_plan_publisher.py"
+        child.write_text(_CRASH_PUBLISHER)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        result = subprocess.run(
+            [sys.executable, str(child), str(config)],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=60,
+        )
+        assert result.returncode == -signal.SIGKILL, result.stderr
+        stale_name = result.stdout.strip()
+        assert stale_name in _plan_files()  # the orphan exists
+
+        # Let the dead publisher's lease expire so the survivor's reap
+        # deterministically reclaims the row and the segment file.
+        time.sleep(ttl + 0.2)
+        survivor = SharedPlanTier(db, "survivor", ttl_seconds=ttl)
+        try:
+            survivor.reap()
+            assert stale_name not in _plan_files()
+            payload = encode_table(TABLE)
+            assert survivor.publish(KEY, payload)
+            assert survivor.get(KEY) == payload
+        finally:
+            survivor.close()
+        assert _plan_files() == []
+        assert _registry_rows(db) == (0, 0)

@@ -343,3 +343,35 @@ class TestServiceHygiene:
                 s["workload"]["name"] == "synthetic/2" for s in sessions
             )
             client.close()
+
+
+class TestPlanCacheStats:
+    def test_stats_expose_the_plan_cache_block(self):
+        manager = SessionManager(speculate=False)
+        with ServiceServer(manager=manager) as server:
+            client = ServiceClient(server.host, server.port)
+            info = client.create_session(
+                workload="tpch/join2", strategy="L2S", seed=3
+            )
+            question = client.next_question(info["session_id"])
+            client.post_answer(
+                info["session_id"], question["question_id"], "-"
+            )
+            client.next_question(info["session_id"])
+            plan = client.plan_cache_stats()
+            assert plan["enabled"]
+            assert plan == client.stats()["plan_cache"]
+            assert plan["computes"] >= 1
+            assert plan["misses"] == (
+                plan["local_hits"]
+                + plan["shared_hits"]
+                + plan["computes"]
+            )
+            client.close()
+
+    def test_disabled_cache_reports_enabled_false(self):
+        manager = SessionManager(speculate=False, plan_cache=False)
+        with ServiceServer(manager=manager) as server:
+            client = ServiceClient(server.host, server.port)
+            assert client.plan_cache_stats() == {"enabled": False}
+            client.close()

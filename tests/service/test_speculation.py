@@ -22,7 +22,7 @@ from repro.core import (
     strategy_by_name,
 )
 from repro.data import generate_tpch, tpch_workloads
-from repro.service import SessionManager, ServiceClient, ServiceServer
+from repro.service import ServiceClient, ServiceServer, SessionManager
 from repro.service.protocol import parse_create_payload
 
 
