@@ -3,8 +3,8 @@
 Every benchmark harness emits a JSON report; the full-run reports are
 committed at the repo root (``BENCH_core.json``, ``BENCH_build.json``,
 ``BENCH_plan.json``, ``BENCH_service.json``, ``BENCH_store.json``,
-``BENCH_fleet.json``) and define the performance trajectory the
-project must not fall off.  CI
+``BENCH_fleet.json``, ``BENCH_stream.json``) and define the
+performance trajectory the project must not fall off.  CI
 runs each harness in ``--smoke`` mode and this script checks the smoke
 report against the matching baseline with **per-suite tolerances** —
 smoke instances are tiny and shared runners are noisy, so each suite
@@ -106,6 +106,108 @@ FLEET_SHARED_MEMORY_RATIO_HARD_MAX = 3.0
 #: create, so the canary floor sits below the ≥5× full-run target
 #: (gated through the report's own recorded floor).
 FLEET_SHARED_ATTACH_FLOOR_MIN = 1.5
+
+
+#: Fan-out answer-p95 overhead is gated at 25% — or a 2 ms absolute
+#: delta, whichever is kinder — on the committed full run (256
+#: subscribers, 171 answers); under the think-paced interactive load
+#: the bare p95 is sub-millisecond, where a pure ratio gate prices
+#: scheduler noise rather than fan-out.  The 64-subscriber smoke has
+#: far fewer answer samples per percentile and runs on noisy shared
+#: CI, so the trajectory gate tolerates more on both axes.
+STREAM_SMOKE_FANOUT_OVERHEAD_PCT = 75.0
+STREAM_SMOKE_FANOUT_OVERHEAD_ABS_MS = 4.0
+
+#: The smoke fan-out cell must still exercise a real subscriber crowd —
+#: a report that quietly dropped to a handful of sockets proves nothing.
+STREAM_SMOKE_SUBSCRIBERS_MIN = 64
+
+
+def check_stream(report: dict, baseline: dict) -> list[Gate]:
+    """Pushed questions must beat polling, the fanned-out feed must not
+    regress answer p95 beyond the smoke tolerance, and both cells must
+    be parity-checked with zero dropped events.  Ratios are re-derived
+    from the report's raw latency summaries — the gate does not trust
+    the report's own pass/fail numbers."""
+    latency = report.get("latency", {})
+    polled = latency.get("polled_question_latency", {}).get("p50_ms")
+    streamed = latency.get("streamed_question_latency", {}).get(
+        "p50_ms"
+    )
+    gates = [
+        _gate(
+            "streamed_beats_polled_p50",
+            polled is not None
+            and streamed is not None
+            and streamed < polled,
+            f"streamed question p50 {streamed}ms vs polled {polled}ms "
+            f"(push must beat ask/answer polling)",
+        ),
+        _gate(
+            "stream_parity",
+            latency.get("parity", {}).get("checked", False)
+            and report.get("acceptance", {}).get(
+                "stream_parity", False
+            ),
+            f"streamed and polled question sequences bit-for-bit "
+            f"identical over "
+            f"{latency.get('parity', {}).get('sessions')} sessions",
+        ),
+    ]
+    fanout = report.get("fanout", {})
+    bare = fanout.get("bare_answer_latency", {}).get("p95_ms")
+    fanned = fanout.get("fanout_answer_latency", {}).get("p95_ms")
+    overhead = (
+        round((fanned / bare - 1.0) * 100.0, 2)
+        if bare and fanned is not None
+        else None
+    )
+    overhead_abs = (
+        round(fanned - bare, 3)
+        if bare is not None and fanned is not None
+        else None
+    )
+    subscribers = fanout.get("subscribers", 0)
+    full_gate = report.get("acceptance", {}).get(
+        "fanout_overhead_max_pct", 25.0
+    )
+    gates.extend(
+        [
+            _gate(
+                "fanout_subscribers",
+                subscribers >= STREAM_SMOKE_SUBSCRIBERS_MIN,
+                f"{subscribers} feed subscribers (need >= "
+                f"{STREAM_SMOKE_SUBSCRIBERS_MIN})",
+            ),
+            _gate(
+                "fanout_overhead_p95",
+                overhead is not None
+                and (
+                    overhead < STREAM_SMOKE_FANOUT_OVERHEAD_PCT
+                    or overhead_abs
+                    < STREAM_SMOKE_FANOUT_OVERHEAD_ABS_MS
+                ),
+                f"answer-p95 overhead {overhead}% / {overhead_abs}ms "
+                f"at {subscribers} subscribers (smoke tolerance < "
+                f"{STREAM_SMOKE_FANOUT_OVERHEAD_PCT}% or < "
+                f"{STREAM_SMOKE_FANOUT_OVERHEAD_ABS_MS}ms absolute; "
+                f"committed full-run gate < {full_gate}%)",
+            ),
+            _gate(
+                "fanout_parity",
+                fanout.get("parity_checked", False),
+                "fanned-out sessions finished bit-for-bit identical "
+                "to the in-process reference",
+            ),
+            _gate(
+                "no_dropped_events",
+                fanout.get("events_dropped") == 0,
+                f"{fanout.get('events_dropped')} events dropped "
+                f"across the service feed (must be 0)",
+            ),
+        ]
+    )
+    return gates
 
 
 def check_core(report: dict, baseline: dict) -> list[Gate]:
@@ -509,6 +611,7 @@ SUITES = {
     "service": check_service,
     "store": check_store,
     "fleet": check_fleet,
+    "stream": check_stream,
 }
 
 

@@ -158,6 +158,14 @@ class IncrementalLookaheadPlanner:
         """
         return self._state
 
+    @property
+    def mode(self) -> str:
+        """``"incremental"`` while the maintained matrices serve each
+        step, ``"scratch"`` once the planner demoted itself to the
+        from-scratch kernels — the planner-mode component of the
+        service's per-session progress feed."""
+        return "scratch" if self._scratch else "incremental"
+
     def in_sync(self, state: InferenceState) -> bool:
         """True iff the planner mirrors exactly this state, right now."""
         return (

@@ -39,7 +39,7 @@ from .oracle import Oracle
 from .sample import Example, Label, Sample
 from .signatures import SignatureIndex
 from .specialize import pairs_from_bits
-from .state import InferenceState
+from .state import InferenceState, StateDelta
 from .strategies.base import Strategy
 
 __all__ = [
@@ -149,6 +149,7 @@ class InferenceSession:
         self._history: list[Example] = []
         self._pending: Question | None = None
         self._question_counter = 0
+        self._last_delta: StateDelta | None = None
 
     # --- ask/answer protocol -------------------------------------------------
 
@@ -156,6 +157,14 @@ class InferenceSession:
     def pending_question(self) -> Question | None:
         """The proposed-but-unanswered question, if any."""
         return self._pending
+
+    @property
+    def last_delta(self) -> StateDelta | None:
+        """The :class:`~repro.core.state.StateDelta` of the most recent
+        recorded answer — the structured progress delta the serving
+        layer streams (how many informative classes that label removed)
+        without re-deriving anything from the state."""
+        return self._last_delta
 
     def is_finished(self) -> bool:
         """True once Γ holds and no proposed question awaits an answer."""
@@ -214,6 +223,7 @@ class InferenceSession:
                 f"contradicts the sample collected so far"
             )
         delta = self.state.record(pending.class_id, label)
+        self._last_delta = delta
         self.strategy.observe(delta, self.state)
         example = Example(pending.tuple_pair, label)
         self.sample.add(example)
@@ -250,6 +260,7 @@ class InferenceSession:
         twin._history = list(self._history)
         twin._pending = self._pending
         twin._question_counter = self._question_counter
+        twin._last_delta = self._last_delta
         return twin
 
     # --- blocking loop (local oracle) ----------------------------------------

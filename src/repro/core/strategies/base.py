@@ -86,6 +86,13 @@ class Strategy(ABC):
         tests that drive a bare state without a session)."""
         return self.propose(state, rng)
 
+    def progress(self) -> dict[str, object] | None:
+        """Structured planner progress for observability feeds, or
+        ``None`` when the strategy keeps no cross-step state.  Stateful
+        strategies report their planner mode and the last chosen
+        entropy; the payload must be JSON-serialisable."""
+        return None
+
     def _informative_or_raise(self, state: InferenceState) -> list[int]:
         informative = state.informative_class_ids()
         if not informative:

@@ -27,6 +27,7 @@ the slower paths when reproducing absolute timings:
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Callable
 
@@ -76,6 +77,9 @@ class LookaheadSkylineStrategy(Strategy):
         self._primed: (
             tuple[InferenceState, int, dict[int, Entropy]] | None
         ) = None
+        #: The skyline entropy of the last proposal — the per-session
+        #: event feed reports it as the session's entropy trajectory.
+        self._last_entropy: Entropy | None = None
 
     # --- lifecycle -----------------------------------------------------------
 
@@ -102,7 +106,24 @@ class LookaheadSkylineStrategy(Strategy):
         if planner is not None and planner.in_sync(state):
             twin._planner = planner.copy(twin_state)
         twin.entropy_router = self.entropy_router
+        twin._last_entropy = self._last_entropy
         return twin
+
+    def progress(self) -> dict[str, object] | None:
+        """Planner mode plus the last chosen skyline entropy (the
+        structured progress delta streamed per session).  Infinite
+        entropy components serialise as ``None``."""
+        planner = self._planner
+        entropy = self._last_entropy
+        return {
+            "depth": self.depth,
+            "mode": planner.mode if planner is not None else None,
+            "entropy": (
+                [v if math.isfinite(v) else None for v in entropy]
+                if entropy is not None
+                else None
+            ),
+        }
 
     def planner_for(
         self, state: InferenceState
@@ -158,6 +179,7 @@ class LookaheadSkylineStrategy(Strategy):
         informative = self._informative_or_raise(state)
         entropies: dict[int, Entropy] = self._entropies(state)
         best = best_skyline_entropy(entropies.values())
+        self._last_entropy = best
         # Deterministic tie-break: first class (canonical order) achieving
         # the chosen entropy.
         for class_id in informative:

@@ -26,10 +26,32 @@ proxies to N worker subprocesses sharing one store, with per-session
 leases (owner + fencing epoch + heartbeat expiry) so a SIGKILLed
 worker's sessions are taken over by survivors bit-for-bit while the
 supervisor respawns the slot and the router rebalances.
+
+Beyond ask/answer polling, the service streams: ``GET
+/sessions/{id}/stream`` pushes each next question over SSE the moment
+speculation or a kernel batch resolves it, ``GET /events/stream`` is
+the service-wide observability feed, and ``GET /dashboard`` serves
+incrementally maintained aggregates (:mod:`~repro.service.events`).
+The router proxies streams frame-atomically and turns a mid-stream
+worker death into a clean retryable ``reconnect`` event.
 """
 
-from .app import ServiceApp, ServiceServer, run_server, start_server
+from .app import (
+    EventStream,
+    ServiceApp,
+    ServiceFeedBroadcaster,
+    ServiceServer,
+    run_server,
+    start_server,
+)
 from .client import ServiceClient, ServiceClientError
+from .events import (
+    SERVICE_FEED,
+    DashboardAggregator,
+    EventBus,
+    EventSubscription,
+    sse_frame,
+)
 from .fleet import Fleet, FleetConfig, FleetServer, WorkerHandle
 from .index_cache import BuildStatus, IndexCache, instance_fingerprint
 from .manager import ManagedSession, SessionManager, Speculation
@@ -74,11 +96,16 @@ __all__ = [
     "CapacityExceeded",
     "Conflict",
     "CreateSpec",
+    "DashboardAggregator",
+    "EventBus",
+    "EventStream",
+    "EventSubscription",
     "Fleet",
     "FleetConfig",
     "FleetRouter",
     "FleetServer",
     "IndexCache",
+    "SERVICE_FEED",
     "Lease",
     "LeaseFenced",
     "ManagedSession",
@@ -91,6 +118,7 @@ __all__ = [
     "ServiceClient",
     "ServiceClientError",
     "ServiceError",
+    "ServiceFeedBroadcaster",
     "ServiceServer",
     "SessionManager",
     "SessionStore",
@@ -114,5 +142,6 @@ __all__ = [
     "question_payload",
     "run_server",
     "sessions_payload",
+    "sse_frame",
     "start_server",
 ]

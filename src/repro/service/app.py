@@ -23,9 +23,29 @@ POST        ``/sessions/{id}/answer``       record a label for a question
 GET         ``/sessions/{id}/predicate``    current ``T(S+)`` + progress
 GET         ``/sessions/{id}/snapshot``     resumable session state
 DELETE      ``/sessions/{id}``              drop the session
+GET         ``/sessions/{id}/stream``       SSE: per-session event feed (push)
+GET         ``/events/stream``              SSE: service-wide event feed
+GET         ``/dashboard``                  incrementally maintained aggregates
 GET         ``/builds``                     progress of in-flight index builds
 GET         ``/stats``                      server + index-cache counters
 ==========  ==============================  =====================================
+
+**Streaming (PR 10).**  The two ``/stream`` routes upgrade the response
+to ``Transfer-Encoding: chunked`` with ``Content-Type:
+text/event-stream`` and push SSE frames as the manager publishes events
+— a streaming client receives the next question the moment speculation
+or a kernel batch resolves it, instead of polling ``GET /question``.
+Subscribing to a session proposes (and therefore speculates on) its
+next question under the session lock, and every subsequent ``POST
+/answer`` re-proposes *before* writing the answer response — but only
+while the session actually has stream subscribers, so polled sessions
+keep the exact pre-streaming answer path.  The question event therefore
+rides the answer round-trip: a streamed client usually holds the next
+question before its ``POST /answer`` even returns.  The question a
+stream pushes and the one ``GET /question`` returns are the same
+pending :class:`~repro.core.session.Question` (proposal is
+idempotent), which is what makes streamed and polled question
+sequences bit-for-bit comparable.
 
 Cold index builds run on the manager's worker pool (single-flight per
 fingerprint), so while one client waits for a large build, every other
@@ -53,12 +73,17 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import json
+import os
+import socket
 import threading
+import time
+import weakref
 from typing import Any
 
 from ..core.consistency import InconsistentSampleError
 from ..core.session import QuestionProtocolError
-from .manager import SessionManager
+from .events import SERVICE_FEED, EventBus, EventSubscription, sse_frame
+from .manager import ManagedSession, SessionManager
 from .protocol import (
     BadRequest,
     Conflict,
@@ -73,7 +98,14 @@ from .protocol import (
     sessions_payload,
 )
 
-__all__ = ["ServiceApp", "start_server", "run_server", "ServiceServer"]
+__all__ = [
+    "ServiceApp",
+    "EventStream",
+    "ServiceFeedBroadcaster",
+    "start_server",
+    "run_server",
+    "ServiceServer",
+]
 
 _MAX_BODY_BYTES = 64 * 1024 * 1024
 _REASONS = {
@@ -89,6 +121,282 @@ _REASONS = {
 }
 
 
+#: Event kinds that end a per-session stream after delivery — the
+#: session finished, or stopped being servable from this process.
+_STREAM_CLOSE_KINDS = frozenset(
+    {"done", "session_deleted", "session_demoted", "session_expired"}
+)
+
+
+class EventStream:
+    """A streaming response: ``dispatch`` returns one of these instead
+    of a JSON payload, and the connection handler serves SSE frames
+    from the subscription until a terminal event, client disconnect,
+    or server shutdown (the connection is never reused afterwards).
+
+    ``broadcast=True`` marks a subscription-less stream served by the
+    app's :class:`ServiceFeedBroadcaster` instead of a per-socket
+    queue — used for ``GET /events/stream`` where hundreds of
+    subscribers share identical bytes."""
+
+    def __init__(
+        self,
+        subscription: EventSubscription | None = None,
+        *,
+        initial: list[tuple[str, bytes]] | None = None,
+        close_kinds: frozenset[str] = frozenset(),
+        heartbeat_seconds: float = 15.0,
+        broadcast: bool = False,
+    ):
+        self.subscription = subscription
+        #: ``(kind, frame)`` pairs written before any queued event — the
+        #: subscribe-time snapshot (hello + pending question), built
+        #: under the session lock so it is gap-free with the queue.
+        self.initial = initial or []
+        self.close_kinds = close_kinds
+        self.heartbeat_seconds = heartbeat_seconds
+        self.broadcast = broadcast
+
+    def close(self) -> None:
+        if self.subscription is not None:
+            self.subscription.close()
+
+
+class ServiceFeedBroadcaster:
+    """Off-loop coalescing fan-out for ``GET /events/stream`` sockets.
+
+    Per-subscriber queues price fan-out at O(subscribers) scheduled
+    callbacks per event: at 256 subscribers every answer wakes 256 pump
+    coroutines (each write + drain) ahead of the next request handler,
+    and answer p95 pays for all of them.  Even coalesced onto the loop,
+    256 socket writes per event burst still show up in the answer tail
+    — so the broadcaster takes the writes *off the loop entirely*.  A
+    single ``service-feed`` thread owns every subscriber socket after
+    its snapshot is flushed: the bus's ``service_sink`` appends frames
+    to a list under a condition variable (O(1) per event on the loop),
+    and the thread drains whatever accumulated while it was last busy
+    into ONE HTTP chunk — whole SSE frames only, so the fleet router's
+    chunk-at-a-time proxying stays frame-atomic — and sends the same
+    bytes object to every socket with non-blocking ``send`` (each
+    syscall drops the GIL, so request handling proceeds).  Writing at
+    most as fast as it can drain makes the coalescing self-pacing:
+    the busier the feed, the more frames each chunk carries.
+
+    Backpressure is eviction, not stalling: a partial send parks the
+    remainder in that subscriber's pending buffer (retried next cycle),
+    and a subscriber whose pending passes ``max_buffer_bytes`` is
+    aborted so one slow reader can never wedge the feed (the same
+    drop-don't-block stance as
+    :class:`~repro.service.events.EventSubscription`).  The thread
+    also owns the keep-alive: an SSE comment chunk to everyone after
+    ``heartbeat_seconds`` of feed silence.
+
+    ``register``/``unregister``/``enqueue`` run on the server's event
+    loop thread (``EventBus._deliver`` marshals off-loop publishes via
+    ``call_soon_threadsafe`` before invoking the sink); ``stop`` may
+    be called from any thread.
+    """
+
+    def __init__(
+        self,
+        bus: EventBus,
+        *,
+        max_buffer_bytes: int = 4 * 1024 * 1024,
+        heartbeat_seconds: float = 15.0,
+        min_cycle_seconds: float = 0.05,
+        yield_every: int = 64,
+    ):
+        self._bus = bus
+        self._cond = threading.Condition()
+        #: frames awaiting the next send cycle (guarded by _cond)
+        self._frames: list[bytes] = []
+        #: writer -> [dup'd socket, per-socket unsent remainder].  The
+        #: dup keeps our fd valid whatever the transport does, so a
+        #: send can never race transport teardown into a recycled fd.
+        self._targets: dict[asyncio.StreamWriter, list] = {}
+        #: dup'd sockets of unregistered writers, closed by the feed
+        #: thread between cycles (never under a possibly-mid-send peer)
+        self._retired: list[socket.socket] = []
+        self._stopped = False
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self.max_buffer_bytes = max_buffer_bytes
+        self.heartbeat_seconds = heartbeat_seconds
+        #: Floor between send cycles: an unthrottled thread cycling
+        #: per event fights the loop for the GIL; pacing it batches
+        #: more frames per chunk and leaves the loop long quiet runs.
+        self.min_cycle_seconds = min_cycle_seconds
+        #: Sockets sent between explicit GIL yields.  ``send`` drops
+        #: the GIL only for the syscall, and the releasing thread wins
+        #: the re-acquire until the interpreter's switch interval (5ms
+        #: default) forces a handoff — a large send loop would hold
+        #: request handling off the CPU for that long.  A real sleep
+        #: every ``yield_every`` sockets hands the loop the GIL now,
+        #: bounding the feed's contiguous hold to well under 1ms.
+        self.yield_every = yield_every
+
+    def register(self, writer: asyncio.StreamWriter) -> None:
+        """Hand one subscriber socket to the feed thread.  Loop thread
+        only, and only once the transport's write buffer is empty —
+        from here on the thread is the socket's sole writer."""
+        sock = writer.get_extra_info("socket")
+        if sock is None:
+            raise RuntimeError("transport exposes no raw socket")
+        dup = socket.socket(fileno=os.dup(sock.fileno()))
+        dup.setblocking(False)
+        loop = asyncio.get_running_loop()
+        with self._cond:
+            self._loop = loop
+            self._targets[writer] = [dup, b""]
+            if self._thread is None or not self._thread.is_alive():
+                self._stopped = False
+                self._thread = threading.Thread(
+                    target=self._run, name="service-feed", daemon=True
+                )
+                self._thread.start()
+        self._bus.sink_attached(loop)
+
+    def unregister(self, writer: asyncio.StreamWriter) -> None:
+        """Detach one socket; idempotent, because the thread may
+        already have evicted the writer its serving coroutine is
+        tearing down."""
+        with self._cond:
+            entry = self._targets.pop(writer, None)
+            if entry is not None:
+                thread_alive = (
+                    self._thread is not None and self._thread.is_alive()
+                )
+                if thread_alive:
+                    self._retired.append(entry[0])
+                else:
+                    entry[0].close()
+        if entry is not None:
+            self._bus.sink_detached()
+
+    def enqueue(self, frame: bytes) -> None:
+        """The bus's ``service_sink`` hook — one call per published
+        event; the send cycle amortises across whatever accumulates."""
+        with self._cond:
+            if not self._targets:
+                return
+            self._frames.append(frame)
+            self._cond.notify()
+
+    def stop(self) -> None:
+        """Stop and join the feed thread (server shutdown)."""
+        with self._cond:
+            self._stopped = True
+            thread = self._thread
+            self._thread = None
+            self._cond.notify()
+        if thread is not None:
+            thread.join(timeout=10)
+        with self._cond:
+            leftovers = [
+                entry[0] for entry in self._targets.values()
+            ] + self._retired
+            self._targets.clear()
+            self._retired.clear()
+        for sock in leftovers:
+            sock.close()
+
+    # --- feed thread ---------------------------------------------------------
+
+    def _run(self) -> None:
+        last_send = time.monotonic()
+        last_cycle = 0.0
+        while True:
+            with self._cond:
+                if not self._frames and not self._stopped:
+                    retry = any(
+                        entry[1] for entry in self._targets.values()
+                    )
+                    idle = time.monotonic() - last_send
+                    self._cond.wait(
+                        timeout=(
+                            0.05
+                            if retry
+                            else max(
+                                self.heartbeat_seconds - idle, 0.01
+                            )
+                        )
+                    )
+                if self._stopped:
+                    return
+                frames, self._frames = self._frames, []
+                targets = list(self._targets.items())
+                retired, self._retired = self._retired, []
+            for sock in retired:
+                sock.close()
+            if not targets:
+                last_send = time.monotonic()
+                continue
+            if frames:
+                gap = self.min_cycle_seconds - (
+                    time.monotonic() - last_cycle
+                )
+                if gap > 0:
+                    time.sleep(gap)
+                with self._cond:
+                    # Frames that arrived during the pacing sleep join
+                    # this cycle's chunk — the throttle IS the batcher.
+                    if self._frames:
+                        frames.extend(self._frames)
+                        self._frames = []
+                last_cycle = time.monotonic()
+            if (
+                not frames
+                and time.monotonic() - last_send
+                >= self.heartbeat_seconds
+            ):
+                # SSE comment — ignored by consumers, but it exercises
+                # every socket so half-open connections fail fast.
+                frames = [b": keep-alive\n\n"]
+            chunk = _chunk(b"".join(frames)) if frames else b""
+            if frames:
+                last_send = time.monotonic()
+            for index, (writer, entry) in enumerate(targets):
+                if index and index % self.yield_every == 0:
+                    time.sleep(0.0002)  # hand the loop the GIL
+                sock, pending = entry
+                # The hot path sends the SAME bytes object to every
+                # socket; only a lagging subscriber pays a concat.
+                data = pending + chunk if pending else chunk
+                if not data:
+                    continue
+                try:
+                    sent = sock.send(data)
+                except (BlockingIOError, InterruptedError):
+                    sent = 0
+                except OSError:
+                    self._evict(writer)
+                    continue
+                rest = data[sent:]
+                if len(rest) > self.max_buffer_bytes:
+                    self._evict(writer)
+                    continue
+                entry[1] = rest
+
+    def _evict(self, writer: asyncio.StreamWriter) -> None:
+        """Drop a dead or hopelessly lagging subscriber (feed thread).
+        The transport is aborted *on the loop* — closing the raw fd
+        from this thread would yank it out from under the selector."""
+        self.unregister(writer)
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+        try:
+            loop.call_soon_threadsafe(_abort_writer, writer)
+        except RuntimeError:
+            pass  # loop closed mid-eviction; the socket dies with it
+
+
+def _abort_writer(writer: asyncio.StreamWriter) -> None:
+    transport = writer.transport
+    if transport is not None:
+        transport.abort()
+
+
 class ServiceApp:
     """Routes (method, path, JSON body) triples onto the manager."""
 
@@ -97,12 +405,22 @@ class ServiceApp:
         manager: SessionManager | None = None,
         *,
         control: bool = False,
+        heartbeat_seconds: float = 15.0,
     ):
         # `manager or ...` would discard an *empty* manager (it has len 0).
         self.manager = manager if manager is not None else SessionManager()
         #: Expose the worker-internal ``/control/*`` routes (fleet
         #: workers only; a public-facing server keeps them 404).
         self.control = control
+        #: Idle gap after which a stream writes an SSE keep-alive
+        #: comment, so half-open sockets die fast on both ends.
+        self.heartbeat_seconds = heartbeat_seconds
+        #: Shared coalescing writer behind every ``GET /events/stream``
+        #: socket; the bus invokes ``enqueue`` once per published event.
+        self.service_feed = ServiceFeedBroadcaster(
+            self.manager.events, heartbeat_seconds=heartbeat_seconds
+        )
+        self.manager.events.service_sink = self.service_feed.enqueue
 
     async def dispatch(
         self,
@@ -138,6 +456,16 @@ class ServiceApp:
             if method != "GET":
                 raise BadRequest(f"{method} not allowed on /builds")
             return 200, builds_payload(self.manager.builds())
+        if parts == ["dashboard"]:
+            if method != "GET":
+                raise BadRequest(f"{method} not allowed on /dashboard")
+            return 200, self.manager.dashboard()
+        if parts == ["events", "stream"]:
+            if method != "GET":
+                raise BadRequest(
+                    f"{method} not allowed on /events/stream"
+                )
+            return 200, self._service_stream()
         if parts and parts[0] == "control":
             return await self._control(method, parts, payload)
         if parts[0] != "sessions":
@@ -192,6 +520,8 @@ class ServiceApp:
             raise BadRequest(f"{method} not allowed on a session")
         if action == "question" and method == "GET":
             return await self._question(managed)
+        if action == "stream" and method == "GET":
+            return 200, await self._stream(managed)
         if action == "answer" and method == "POST":
             return await self._answer(managed, payload)
         if action == "predicate" and method == "GET":
@@ -318,16 +648,240 @@ class ServiceApp:
                 raise Conflict(str(exc)) from exc
             except InconsistentSampleError as exc:
                 raise Conflict(str(exc)) from exc
-            return 200, {
+            response = {
                 "recorded": {
                     "question_id": question_id,
                     "label": str(example.label),
                 },
                 "progress": progress_payload(managed.session),
             }
+            if (
+                not managed.session.is_finished()
+                and self.manager.events.has_subscribers(
+                    managed.session_id
+                )
+            ):
+                # Streamed session: propose — and thereby publish — the
+                # next question *before* the answer response, so the
+                # question event rides the answer round-trip and is
+                # already in the subscriber's hand when ``POST /answer``
+                # returns.  Best-effort: a proposal failure must not
+                # fail the recorded answer.  Polled sessions skip this,
+                # keeping the pre-streaming answer path bit-for-bit.
+                try:
+                    await self.manager.propose_question_async(managed)
+                except ServiceError:
+                    pass
+        return 200, response
+
+    # --- streaming -----------------------------------------------------------
+
+    async def _stream(self, managed: ManagedSession) -> EventStream:
+        """``GET /sessions/{id}/stream``: subscribe to the session feed.
+
+        Proposing *before* subscribing (both under the session lock)
+        makes the initial snapshot authoritative: the pending question
+        — freshly proposed or re-fetched — rides in the snapshot, and
+        every later event arrives through the queue, each exactly once.
+        """
+        bus = self.manager.events
+        session = managed.session
+        async with managed.lock:
+            question = await self.manager.propose_question_async(managed)
+            subscription = bus.subscribe(managed.session_id)
+            seq = bus.topic_seq(managed.session_id)
+            initial = [
+                (
+                    "hello",
+                    sse_frame(
+                        {
+                            "event": "hello",
+                            "topic": managed.session_id,
+                            "seq": seq,
+                            **managed.describe(),
+                            "progress": progress_payload(session),
+                        }
+                    ),
+                )
+            ]
+            if question is not None:
+                initial.append(
+                    (
+                        "question",
+                        sse_frame(
+                            {
+                                "event": "question",
+                                "topic": managed.session_id,
+                                "seq": seq,
+                                "session_id": managed.session_id,
+                                "strategy": session.strategy.name,
+                                "source": "snapshot",
+                                "planner": session.strategy.progress(),
+                                "progress": progress_payload(session),
+                                **question_payload(session, question),
+                            }
+                        ),
+                    )
+                )
+            elif session.is_finished():
+                initial.append(
+                    (
+                        "done",
+                        sse_frame(
+                            {
+                                "event": "done",
+                                "topic": managed.session_id,
+                                "seq": seq,
+                                "session_id": managed.session_id,
+                                "strategy": session.strategy.name,
+                                "interactions": (
+                                    session.state.interaction_count
+                                ),
+                                "progress": progress_payload(session),
+                            }
+                        ),
+                    )
+                )
+        return EventStream(
+            subscription,
+            initial=initial,
+            close_kinds=_STREAM_CLOSE_KINDS,
+            heartbeat_seconds=self.heartbeat_seconds,
+        )
+
+    def _service_stream(self) -> EventStream:
+        """``GET /events/stream``: the service-wide feed, opening with a
+        dashboard snapshot so a monitoring client starts consistent.
+
+        Served in broadcast mode — every subscriber shares the
+        :class:`ServiceFeedBroadcaster` instead of owning a queue and a
+        pump coroutine, so fan-out cost per event is one scheduled
+        flush, not one wake-up per socket.  (Events published between
+        this snapshot and the socket's registration are not replayed;
+        the feed is observability, already lossy by design under
+        overflow, unlike the gap-free per-session streams.)"""
+        bus = self.manager.events
+        hello = {
+            "event": "hello",
+            "topic": SERVICE_FEED,
+            "seq": bus.topic_seq(SERVICE_FEED),
+            "dashboard": self.manager.dashboard(),
+        }
+        return EventStream(
+            initial=[("hello", sse_frame(hello))],
+            heartbeat_seconds=self.heartbeat_seconds,
+            broadcast=True,
+        )
 
 
 # --- HTTP plumbing -----------------------------------------------------------
+
+
+_STREAM_HEAD = (
+    b"HTTP/1.1 200 OK\r\n"
+    b"Content-Type: text/event-stream\r\n"
+    b"Cache-Control: no-cache\r\n"
+    b"Connection: close\r\n"
+    b"Transfer-Encoding: chunked\r\n"
+    b"\r\n"
+)
+
+
+def _chunk(frame: bytes) -> bytes:
+    """One HTTP/1.1 chunk.  Exactly one SSE frame per chunk: the fleet
+    router forwards whole chunks, so frame boundaries survive proxying
+    and a worker dying mid-frame can never corrupt a client's parse."""
+    return f"{len(frame):x}\r\n".encode("ascii") + frame + b"\r\n"
+
+
+async def _serve_stream(
+    writer: asyncio.StreamWriter, stream: EventStream
+) -> None:
+    """Pump an :class:`EventStream` down one chunked HTTP response."""
+    subscription = stream.subscription
+    try:
+        writer.write(_STREAM_HEAD)
+        closing = False
+        for kind, frame in stream.initial:
+            writer.write(_chunk(frame))
+            if kind in stream.close_kinds:
+                closing = True
+        await writer.drain()
+        while not closing:
+            try:
+                kind, frame = await asyncio.wait_for(
+                    subscription.get(),
+                    timeout=stream.heartbeat_seconds,
+                )
+            except asyncio.TimeoutError:
+                # SSE comment — ignored by consumers, but it exercises
+                # the socket so a half-open connection fails fast.
+                writer.write(_chunk(b": keep-alive\n\n"))
+                await writer.drain()
+                continue
+            writer.write(_chunk(frame))
+            if kind in stream.close_kinds:
+                closing = True
+            await writer.drain()
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+    except (
+        ConnectionResetError,
+        BrokenPipeError,
+        OSError,
+        asyncio.CancelledError,
+    ):
+        # Client went away or the server is shutting down — either way
+        # the subscription just needs tearing down.
+        pass
+    finally:
+        stream.close()
+
+
+async def _serve_broadcast(
+    app: ServiceApp,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    stream: EventStream,
+) -> None:
+    """Serve a broadcast-mode :class:`EventStream`: once the head and
+    snapshot are flushed the socket is handed to the
+    :class:`ServiceFeedBroadcaster`'s feed thread (which also owns the
+    keep-alive) — this coroutine only watches for client close."""
+    broadcaster = app.service_feed
+    registered = False
+    try:
+        writer.write(_STREAM_HEAD)
+        for _kind, frame in stream.initial:
+            writer.write(_chunk(frame))
+        await writer.drain()
+        # The feed thread writes the raw socket directly, so hand over
+        # only once the transport's own buffer is empty — drain() only
+        # guarantees "below high water", not "flushed".
+        transport = writer.transport
+        deadline = asyncio.get_running_loop().time() + 5.0
+        while transport.get_write_buffer_size():
+            if asyncio.get_running_loop().time() > deadline:
+                return  # client not reading its own snapshot; give up
+            await asyncio.sleep(0.001)
+        broadcaster.register(writer)
+        registered = True
+        while True:
+            data = await reader.read(1)
+            if not data:
+                return  # client closed its end (or the feed evicted us)
+            # Anything else is a pipelined request on a Connection:
+            # close stream — a client bug; ignore the bytes.
+    except (
+        ConnectionResetError,
+        BrokenPipeError,
+        OSError,
+        asyncio.CancelledError,
+    ):
+        pass
+    finally:
+        if registered:
+            broadcaster.unregister(writer)
 
 
 def _response_bytes(status: int, payload: dict[str, Any]) -> bytes:
@@ -437,6 +991,14 @@ async def _handle_connection(
                 # (e.g. an index build) — drop the connection quietly;
                 # the client sees a disconnect, not a half-response.
                 break
+            if isinstance(response, EventStream):
+                # Streaming upgrade: this connection now belongs to the
+                # stream until it ends; never reused for requests.
+                if response.broadcast:
+                    await _serve_broadcast(app, reader, writer, response)
+                else:
+                    await _serve_stream(writer, response)
+                break
             writer.write(_response_bytes(status, response))
             await writer.drain()
             if not keep_alive:
@@ -491,13 +1053,21 @@ class ServiceServer:
             client = ServiceClient(server.host, server.port)
     """
 
+    #: Every started-but-not-closed instance — the test suite's leak
+    #: guard asserts this is empty after each session, so a test that
+    #: forgets ``close()`` fails loudly instead of leaking a socket and
+    #: a loop thread into the next test.
+    _live: "weakref.WeakSet[ServiceServer]" = weakref.WeakSet()
+
     def __init__(
         self,
         manager: SessionManager | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        *,
+        heartbeat_seconds: float = 15.0,
     ):
-        self.app = ServiceApp(manager)
+        self.app = ServiceApp(manager, heartbeat_seconds=heartbeat_seconds)
         self._requested = (host, port)
         self.host: str | None = None
         self.port: int | None = None
@@ -521,6 +1091,7 @@ class ServiceServer:
         self._thread.start()
         if not self._started.wait(timeout=30):
             raise RuntimeError("service failed to start within 30s")
+        ServiceServer._live.add(self)
         return self
 
     def _run(self) -> None:
@@ -546,7 +1117,20 @@ class ServiceServer:
             # call_soon_threadsafe into a closed loop from its worker
             # thread.  Here the loop is merely stopped, so the late
             # callback is accepted and harmlessly discarded by close().
+            self.app.service_feed.stop()
             self.app.manager.close(wait=True)
+            # Connection tasks legitimately swallow the shutdown cancel
+            # (to tear their stream down cleanly) and then park once
+            # more on ``writer.wait_closed()``; cancel again and let
+            # them finish, or they die un-awaited when the loop closes
+            # ("Task was destroyed but it is pending!" noise).
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
             loop.run_until_complete(loop.shutdown_asyncgens())
             loop.close()
 
@@ -565,6 +1149,7 @@ class ServiceServer:
         self._loop = None
         self._thread = None
         self.manager.close()
+        ServiceServer._live.discard(self)
 
     def __enter__(self) -> "ServiceServer":
         return self.start()

@@ -19,6 +19,16 @@ being respawned shows up as a reset connection; idempotent GETs are
 retried (``retries`` attempts, short backoff) so a client riding out a
 worker kill sees latency, not an error.  POSTs stay single-shot:
 re-sending an answer whose response was lost could replay it.
+
+Streaming (PR 10): :meth:`ServiceClient.stream_session` /
+:meth:`ServiceClient.stream_service` subscribe to the SSE feeds on a
+*dedicated* connection and yield decoded event dicts.  Stream
+subscriptions are deliberately excluded from the JSON GET retry path:
+retries apply only until the response head arrives — once any of the
+body has been consumed, a broken stream surfaces to the caller (who
+resubscribes and reconciles by ``question_id``), because silently
+re-issuing the GET would replay the stream from its snapshot and hand
+the caller duplicate events.
 """
 
 from __future__ import annotations
@@ -26,7 +36,7 @@ from __future__ import annotations
 import http.client
 import json
 import time
-from typing import Any, Callable
+from typing import Any, Callable, Iterator
 
 __all__ = ["ServiceClient", "ServiceClientError"]
 
@@ -75,6 +85,15 @@ class ServiceClient:
     def _request(
         self, method: str, path: str, payload: Any = None
     ) -> dict[str, Any]:
+        if path.endswith("/stream"):
+            # A stream subscription is not an idempotent JSON GET: its
+            # body never ends, and the retry loop below would replay a
+            # partially consumed stream from its snapshot — duplicate
+            # events the caller cannot distinguish from real ones.
+            raise ValueError(
+                "stream subscriptions must use stream_session() / "
+                "stream_service(), not JSON requests"
+            )
         body = (
             json.dumps(payload).encode("utf-8")
             if payload is not None
@@ -85,7 +104,11 @@ class ServiceClient:
         # response was lost could replay an already-recorded answer.
         # GET retries back off briefly between attempts — long enough
         # to ride out a stale keep-alive connection or a fleet worker
-        # being respawned, short enough to stay interactive.
+        # being respawned, short enough to stay interactive.  (Safe
+        # precisely because a JSON body is all-or-nothing: read() either
+        # returns it whole or raises, so a retried GET can never hand
+        # the caller bytes from two different responses — the property
+        # a stream body does *not* have, hence the guard above.)
         attempts = self.retries if method == "GET" else 1
         for attempt in range(attempts):
             connection = self._connect()
@@ -119,6 +142,90 @@ class ServiceClient:
         if self._connection is not None:
             self._connection.close()
             self._connection = None
+
+    # --- streaming -----------------------------------------------------------
+
+    def stream_session(
+        self, session_id: str
+    ) -> Iterator[dict[str, Any]]:
+        """Subscribe to one session's SSE feed; yields event dicts.
+
+        The first event is the ``hello`` snapshot; a pending question
+        (``"source": "snapshot"``) follows immediately when one exists.
+        The stream ends after a terminal event (``done``, deletion,
+        demotion) or a router ``reconnect`` event — resubscribe on the
+        latter and reconcile by ``question_id``.
+        """
+        return self._stream(f"/sessions/{session_id}/stream")
+
+    def stream_service(self) -> Iterator[dict[str, Any]]:
+        """Subscribe to the service-wide SSE feed (all sessions)."""
+        return self._stream("/events/stream")
+
+    def _stream(self, path: str) -> Iterator[dict[str, Any]]:
+        """Open ``path`` on a dedicated connection and yield SSE events.
+
+        Retries stop at the response head: once body consumption has
+        begun, a broken connection raises to the caller instead of
+        silently replaying the subscription (which would duplicate
+        every event since the snapshot).
+        """
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        for attempt in range(self.retries):
+            try:
+                connection.request("GET", path)
+                response = connection.getresponse()
+                break
+            except (
+                http.client.HTTPException,
+                ConnectionError,
+                BrokenPipeError,
+                OSError,
+                TimeoutError,
+            ):
+                connection.close()
+                if attempt + 1 >= self.retries:
+                    raise
+                time.sleep(self.retry_backoff * (attempt + 1))
+        if response.status >= 400:
+            data = response.read()
+            connection.close()
+            decoded = json.loads(data) if data else {}
+            raise ServiceClientError(
+                response.status,
+                decoded.get("error", "unknown"),
+                decoded.get("message", data.decode("utf-8", "replace")),
+            )
+        return self._iter_sse(connection, response)
+
+    @staticmethod
+    def _iter_sse(
+        connection: http.client.HTTPConnection, response: Any
+    ) -> Iterator[dict[str, Any]]:
+        """Decode SSE frames (``http.client`` de-chunks transparently);
+        closes the connection when the stream ends or the caller stops
+        consuming (generator close)."""
+        try:
+            data_lines: list[str] = []
+            while True:
+                raw = response.readline()
+                if not raw:
+                    return  # end of stream
+                line = raw.decode("utf-8").rstrip("\r\n")
+                if not line:
+                    if data_lines:
+                        yield json.loads("\n".join(data_lines))
+                        data_lines = []
+                    continue
+                if line.startswith(":"):
+                    continue  # keep-alive comment
+                name, _, value = line.partition(":")
+                if name == "data":
+                    data_lines.append(value.lstrip())
+        finally:
+            connection.close()
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -213,6 +320,12 @@ class ServiceClient:
     def stats(self) -> dict[str, Any]:
         """Server counters, including the index-cache hit ratio."""
         return self._request("GET", "/stats")
+
+    def dashboard(self) -> dict[str, Any]:
+        """Incrementally maintained service-wide aggregates (no
+        per-request rescan server-side); against a fleet front, the
+        key-wise sum over every live worker."""
+        return self._request("GET", "/dashboard")
 
     def fleet(self) -> dict[str, Any]:
         """Fleet topology plus aggregated per-worker memory,

@@ -104,6 +104,7 @@ from ..core.signatures import SignatureIndex
 from ..core.strategies import strategy_by_name
 from ..core.strategies.lookahead import LookaheadSkylineStrategy
 from ..relational.relation import Instance
+from .events import EventBus
 from .index_cache import IndexCache, instance_fingerprint
 from .protocol import (
     BadRequest,
@@ -112,6 +113,8 @@ from .protocol import (
     CreateSpec,
     NotFound,
     instance_from_spec,
+    progress_payload,
+    question_payload,
 )
 from .store import LeaseFenced, SessionStore, StoredSession
 
@@ -214,6 +217,11 @@ class ManagedSession:
     #: stale.
     lease_epoch: int | None = None
     lease_lost: bool = False
+    #: How the *pending* question's entropy table was resolved —
+    #: ``"speculation"`` (adopted fork), ``"plan_cache"``, ``"batched"``,
+    #: ``"computed"`` (off-loop per-session kernel) or ``None`` (inline
+    #: synchronous path).  Consumed by the question event.
+    pending_source: str | None = None
 
     def describe(self) -> dict[str, Any]:
         """The session-info payload (no inference state)."""
@@ -404,6 +412,9 @@ class SessionManager:
         self._spec_skipped = 0
         self._spec_skipped_think = 0
         self._spec_branch_errors = 0
+        #: The event plane (PR 10): per-session + service-wide feeds
+        #: and the incrementally maintained dashboard aggregates.
+        self.events = EventBus()
 
     def _executor(self) -> ThreadPoolExecutor:
         """The worker pool index builds run on, off the event loop."""
@@ -531,6 +542,7 @@ class SessionManager:
                 self._drop_speculation(managed)
                 del self._sessions[session_id]
                 self._expired_total += 1
+                self._publish_lifecycle(managed, "session_expired")
             evicted.append(session_id)
         return evicted
 
@@ -553,6 +565,7 @@ class SessionManager:
             self._demote_flushes[session_id] = managed.store_flush_future
         self._demoted.add(session_id)
         self._demotions_total += 1
+        self._publish_lifecycle(managed, "session_demoted")
 
     def demote(self, session_id: str) -> None:
         """Explicitly evict one live durable session to the store."""
@@ -819,6 +832,7 @@ class SessionManager:
             )
         )
         self._persist_create(managed)
+        self._publish_lifecycle(managed, "session_created")
         return managed
 
     async def create_async(self, spec: CreateSpec) -> ManagedSession:
@@ -840,6 +854,7 @@ class SessionManager:
             )
         )
         self._persist_create(managed)
+        self._publish_lifecycle(managed, "session_created")
         return managed
 
     def _resume_session(
@@ -879,6 +894,7 @@ class SessionManager:
             )
         )
         self._persist_create(managed)
+        self._publish_lifecycle(managed, "session_resumed")
         return managed
 
     async def resume_async(
@@ -902,6 +918,7 @@ class SessionManager:
             )
         )
         self._persist_create(managed)
+        self._publish_lifecycle(managed, "session_resumed")
         return managed
 
     def snapshot(self, session_id: str) -> dict[str, Any]:
@@ -910,6 +927,101 @@ class SessionManager:
         return snapshot_payload(
             managed.session, instance_ref=managed.instance_spec
         )
+
+    # --- event emission ------------------------------------------------------
+
+    def dashboard(self) -> dict[str, Any]:
+        """``GET /dashboard``: the incrementally maintained aggregates —
+        a dict copy of running counters, with no sweep, no store scan
+        and no per-session iteration on the request path."""
+        payload = self.events.dashboard.payload(self.events)
+        payload["totals"]["sessions_live"] = len(self._sessions)
+        return payload
+
+    def _publish_lifecycle(
+        self, managed: ManagedSession, kind: str
+    ) -> None:
+        """One session-lifecycle event (created/resumed/rehydrated/
+        demoted/deleted/expired) onto the session's feed (and, like
+        every publish, the service-wide feed + dashboard)."""
+        self.events.publish(
+            managed.session_id,
+            kind,
+            {
+                "session_id": managed.session_id,
+                "strategy": managed.session.strategy.name,
+                "durable": managed.durable,
+                "progress": progress_payload(managed.session),
+            },
+        )
+
+    def _publish_question(
+        self, managed: ManagedSession, question: Question
+    ) -> None:
+        """A freshly proposed question: the push event streaming clients
+        consume instead of polling ``GET /question``.  Carries the full
+        question payload, how its entropy table was resolved
+        (``source``), the strategy's planner progress (mode, last
+        skyline entropy) and the session's progress."""
+        session = managed.session
+        source = managed.pending_source
+        managed.pending_source = None
+        self.events.publish(
+            managed.session_id,
+            "question",
+            {
+                "session_id": managed.session_id,
+                "strategy": session.strategy.name,
+                "source": source or "inline",
+                "planner": session.strategy.progress(),
+                "progress": progress_payload(session),
+                **question_payload(session, question),
+            },
+        )
+
+    def _publish_answer(
+        self,
+        managed: ManagedSession,
+        question_id: int,
+        example: Example,
+        hit: bool,
+    ) -> None:
+        """One recorded answer (and, when Γ now holds, the terminal
+        ``done`` event).  ``removed_classes`` comes straight from the
+        session's :class:`~repro.core.state.StateDelta` — the informative
+        classes this label eliminated."""
+        session = managed.session
+        delta = session.last_delta
+        removed = (
+            int(delta.removed.size)
+            if delta is not None and delta.removed is not None
+            else None
+        )
+        self.events.publish(
+            managed.session_id,
+            "answer",
+            {
+                "session_id": managed.session_id,
+                "strategy": session.strategy.name,
+                "question_id": question_id,
+                "label": str(example.label),
+                "speculation_hit": hit,
+                "removed_classes": removed,
+                "planner": session.strategy.progress(),
+                "progress": progress_payload(session),
+            },
+        )
+        if session.is_finished():
+            self.events.publish(
+                managed.session_id,
+                "done",
+                {
+                    "session_id": managed.session_id,
+                    "strategy": session.strategy.name,
+                    "interactions": session.state.interaction_count,
+                    "progress": progress_payload(session),
+                },
+            )
 
     # --- question round-trips (with speculative precompute) ------------------
 
@@ -931,6 +1043,9 @@ class SessionManager:
                 # neither re-runs the skip gates nor skews the counters
                 managed.question_sent_id = question.question_id
                 managed.question_sent_at = self._clock()
+                # Streamed before speculation forks: subscribers get the
+                # push the moment the proposal resolves.
+                self._publish_question(managed, question)
                 if self.speculate:
                     self._speculate(managed, question)
         return question
@@ -959,6 +1074,7 @@ class SessionManager:
             planner = strategy.planner_for(session.state)
             plan_key: str | None = None
             entropies = None
+            source = None
             if self.plan_cache is not None:
 
                 def probe():
@@ -966,12 +1082,15 @@ class SessionManager:
                     return key, self.plan_cache.get(key)
 
                 plan_key, entropies = await self.offload(probe)
+                if entropies is not None:
+                    source = "plan_cache"
             if entropies is None and self._batcher is not None:
                 try:
                     future = self._batcher.submit(
                         id(session.index), planner, plan_key=plan_key
                     )
                     entropies = await asyncio.wrap_future(future)
+                    source = "batched"
                 except (RuntimeError, CancelledError):
                     entropies = None  # closed batcher: inline path
             elif entropies is None and plan_key is not None:
@@ -983,8 +1102,11 @@ class SessionManager:
                     return table
 
                 entropies = await self._heavy_offload(compute)
+                source = "computed"
             if entropies is not None:
                 strategy.prime_entropies(session.state, entropies)
+                # How this table was resolved, for the question event.
+                managed.pending_source = source
         return self.propose_question(managed)
 
     def record_answer(
@@ -1002,7 +1124,19 @@ class SessionManager:
         while an answer the sample rejects (only possible when a custom
         strategy proposed an already-certain class) has spent the
         question's speculation and retries inline.
+
+        Every accepted answer publishes an ``answer`` event (and, when
+        Γ now holds, a ``done`` event) on the session's feed; a
+        rejected one publishes nothing.
         """
+        example, hit = self._record_answer(managed, question_id, label)
+        self._publish_answer(managed, question_id, example, hit)
+        return example
+
+    def _record_answer(
+        self, managed: ManagedSession, question_id: int, label: Label
+    ) -> tuple[Example, bool]:
+        """The recording itself; returns ``(example, speculation_hit)``."""
         self._observe_think_time(managed, question_id)
         # The pending question's class id is what the journal records;
         # captured before a speculation hit swaps in the fork (which has
@@ -1014,7 +1148,7 @@ class SessionManager:
             # the session below without touching the live speculation.
             example = managed.session.answer(question_id, label)
             self._journal_answer(managed, pending.class_id, label)
-            return example
+            return example, False
         managed.speculation = None
         for branch_label, branch in spec.branches.items():
             if branch_label is not label:
@@ -1044,7 +1178,10 @@ class SessionManager:
                 )
             self._adopt_children(managed, branch, twin)
             self._journal_answer(managed, pending.class_id, label)
-            return example
+            # The adopted fork's pending question was precomputed by
+            # the speculation tree — the question event says so.
+            managed.pending_source = "speculation"
+            return example, True
         if branch is not None:
             branch.cancel()
         with self._spec_lock:
@@ -1055,7 +1192,7 @@ class SessionManager:
             )
         example = managed.session.answer(question_id, label)
         self._journal_answer(managed, pending.class_id, label)
-        return example
+        return example, False
 
     @staticmethod
     def _adopt_children(
@@ -1572,6 +1709,7 @@ class SessionManager:
         self._admit(managed)
         self._demoted.discard(session_id)
         self._rehydrated_total += 1
+        self._publish_lifecycle(managed, "session_rehydrated")
         return managed
 
     def _rehydrate_blocking(
@@ -1733,6 +1871,7 @@ class SessionManager:
                 managed.store_ops.clear()
             managed.durable = False
             self._forget_stored(session_id)
+        self._publish_lifecycle(managed, "session_deleted")
         return True
 
     def _delete_stored(self, session_id: str) -> None:
@@ -1742,6 +1881,11 @@ class SessionManager:
             # the rehydrate task refuses to admit it.
             self._rehydrate_tombstones.add(session_id)
         self._forget_stored(session_id)
+        self.events.publish(
+            session_id,
+            "session_deleted",
+            {"session_id": session_id, "stored": True},
+        )
 
     def _forget_stored(self, session_id: str) -> None:
         self._demoted.discard(session_id)

@@ -13,9 +13,21 @@ request is routed by **session id**:
   recomputes identically (unlike Python's per-process ``hash``) — so a
   session's whole life is served by one process and its in-memory
   state (speculation trees, batched kernels) stays hot.
-* ``/stats``, ``/sessions`` (list) and ``/builds`` fan out to every
-  live worker and aggregate; ``/fleet`` is the router's own view
-  (slots, pids, generations, failover counters).
+* ``/stats``, ``/sessions`` (list), ``/builds`` and ``/dashboard``
+  fan out to every live worker and aggregate; ``/fleet`` is the
+  router's own view (slots, pids, generations, failover counters).
+
+**Streaming (PR 10).**  The two SSE routes are proxied, not
+dispatched: the router forwards the worker's chunked response *one
+complete chunk at a time* (each chunk is exactly one SSE frame, by
+construction on the worker side), so a worker dying mid-frame can
+never leak a torn frame to a client.  A mid-stream worker death
+surfaces as a clean, retryable ``reconnect`` event followed by a
+proper end-of-stream — never a silent hang — and the client
+resubscribes, landing on the failover survivor exactly like any other
+request.  ``GET /events/stream`` multiplexes every worker's service
+feed into one client stream, reattaching to respawned slots
+automatically.
 
 **Failover.**  When the home worker is unreachable (SIGKILLed, or
 mid-respawn), the router picks a live survivor, records the *override*
@@ -47,13 +59,21 @@ import uuid
 import zlib
 from typing import Any
 
-from .app import _read_request, _response_bytes
+from .app import _STREAM_HEAD, _chunk, _read_request, _response_bytes
+from .events import SERVICE_FEED, sse_frame
 from .fleet import Fleet, WorkerHandle
 from .protocol import BadRequest
 
 __all__ = ["FleetRouter", "WorkerUnavailable"]
 
 _POOL_PER_WORKER = 32
+
+#: Poll interval while a service-feed pump waits out a slot respawn.
+_REATTACH_INTERVAL = 0.2
+
+
+class _ClientGone(Exception):
+    """The downstream client closed its stream connection."""
 
 
 class WorkerUnavailable(Exception):
@@ -261,6 +281,8 @@ class FleetRouter:
             return await self._aggregate_stats()
         if parts == ["builds"]:
             return await self._aggregate_builds()
+        if parts == ["dashboard"]:
+            return await self._aggregate_dashboard()
         if parts == ["sessions"] and method == "GET":
             return await self._aggregate_sessions()
         creating = (parts == ["sessions"] and method == "POST") or (
@@ -489,6 +511,51 @@ class FleetRouter:
             200, {"builds": builds, "in_flight": len(builds)}
         )
 
+    async def _aggregate_dashboard(self) -> tuple[int, bytes]:
+        return self._json(200, await self._dashboard_payload())
+
+    async def _dashboard_payload(self) -> dict[str, Any]:
+        """Merge every worker's ``GET /dashboard`` into one fleet view.
+
+        Workers maintain their aggregates incrementally and every leaf
+        under ``totals``/``by_kind``/``by_source``/``by_strategy`` is a
+        summable integer, so the fleet dashboard is key-wise addition —
+        no rescan anywhere.  ``uptime_seconds`` aggregates by max (the
+        oldest surviving worker)."""
+        gathered = await self._fan_out("GET", "/dashboard")
+        totals: dict[str, int] = {}
+        by_kind: dict[str, int] = {}
+        by_source: dict[str, int] = {}
+        by_strategy: dict[str, dict[str, int]] = {}
+        by_slot: dict[str, Any] = {}
+        uptime = 0.0
+        for handle, payload in gathered:
+            for key, value in (payload.get("totals") or {}).items():
+                totals[key] = totals.get(key, 0) + int(value)
+            for key, value in (payload.get("by_kind") or {}).items():
+                by_kind[key] = by_kind.get(key, 0) + int(value)
+            for key, value in (payload.get("by_source") or {}).items():
+                by_source[key] = by_source.get(key, 0) + int(value)
+            for name, row in (payload.get("by_strategy") or {}).items():
+                merged = by_strategy.setdefault(name, {})
+                for key, value in row.items():
+                    merged[key] = merged.get(key, 0) + int(value)
+            meta = payload.get("meta") or {}
+            uptime = max(uptime, float(meta.get("uptime_seconds", 0.0)))
+            by_slot[str(handle.slot)] = payload.get("totals") or {}
+        return {
+            "totals": totals,
+            "by_kind": by_kind,
+            "by_source": by_source,
+            "by_strategy": by_strategy,
+            "by_slot": by_slot,
+            "meta": {
+                "uptime_seconds": uptime,
+                "workers": self.fleet.size,
+                "alive": len(self.fleet.live_handles()),
+            },
+        }
+
     async def _aggregate_sessions(self) -> tuple[int, bytes]:
         """Merge every worker's ``GET /sessions`` into one fleet view.
 
@@ -520,6 +587,295 @@ class FleetRouter:
                 "recoverable": max(0, stored_total - live),
             },
         )
+
+    # --- stream proxying -----------------------------------------------------
+
+    def _stream_request(self, handle: WorkerHandle, path: str) -> bytes:
+        """The upstream GET for a stream subscription — a dedicated,
+        non-pooled connection (``Connection: close``): a stream owns
+        its socket for its whole life, so pooling gains nothing and a
+        mid-stream death must kill exactly one subscription."""
+        return (
+            f"GET {path} HTTP/1.1\r\n"
+            f"Host: {self.fleet.config.host}:{handle.port}\r\n"
+            f"Content-Length: 0\r\n"
+            f"Connection: close\r\n"
+            f"\r\n"
+        ).encode("ascii")
+
+    @staticmethod
+    async def _read_response_head(
+        reader,
+    ) -> tuple[int, dict[str, str]]:
+        line = await reader.readline()
+        if not line:
+            raise asyncio.IncompleteReadError(b"", None)
+        status = int(line.split()[1])
+        headers: dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return status, headers
+
+    @staticmethod
+    async def _read_chunk(reader) -> bytes | None:
+        """One complete HTTP chunk payload; ``None`` on the terminal
+        0-chunk.  Reading whole chunks (and re-emitting them whole) is
+        what makes the proxy frame-atomic: a worker death between
+        chunks loses nothing, a death *mid*-chunk raises here and the
+        partial frame is dropped instead of forwarded."""
+        size_line = await reader.readline()
+        if not size_line:
+            raise asyncio.IncompleteReadError(b"", None)
+        size = int(size_line.strip().split(b";")[0], 16)
+        if size == 0:
+            await reader.readline()  # trailing CRLF of the last chunk
+            return None
+        payload = await reader.readexactly(size)
+        await reader.readexactly(2)  # chunk-terminating CRLF
+        return payload
+
+    async def _open_session_stream(self, session_id: str, path: str):
+        """Connect to the session's worker and read the response head,
+        failing over (with an override, like any session request) when
+        the home worker is unreachable.  Subscribing is idempotent, so
+        retrying on a survivor is always safe — unlike a mutating
+        request, a subscription that half-landed on a dead worker has
+        no effect a client could observe."""
+        slot, handle = self._home_handle(session_id)
+        tried_failover = False
+        while True:
+            if handle is None:
+                survivor = self._pick_live(exclude=slot)
+                if survivor is None:
+                    return None
+                self.overrides[session_id] = survivor.slot
+                self.failovers_total += 1
+                handle = survivor
+                tried_failover = True
+            try:
+                reader, writer = await asyncio.open_connection(
+                    self.fleet.config.host, handle.port
+                )
+            except OSError:
+                reader = writer = None
+            if reader is not None:
+                try:
+                    writer.write(self._stream_request(handle, path))
+                    await writer.drain()
+                    status, headers = await self._read_response_head(
+                        reader
+                    )
+                    return handle, reader, writer, status, headers
+                except (
+                    OSError,
+                    asyncio.IncompleteReadError,
+                    ValueError,
+                ):
+                    writer.close()
+            self.unavailable_total += 1
+            if tried_failover:
+                return None
+            slot, handle = handle.slot, None
+
+    def _reconnect_frame(
+        self, topic: str, slot: int, **extra: Any
+    ) -> bytes:
+        """The SSE event a client sees instead of a hang when its
+        stream's worker dies: explicitly retryable — resubscribe and
+        the router fails the new subscription over to a survivor."""
+        return sse_frame(
+            {
+                "event": "reconnect",
+                "topic": topic,
+                "seq": 0,
+                "retryable": True,
+                "reason": "worker_unavailable",
+                "slot": slot,
+                **extra,
+            }
+        )
+
+    async def _proxy_session_stream(
+        self, writer, session_id: str, path: str
+    ) -> None:
+        """``GET /sessions/{id}/stream``: forward the worker's SSE
+        stream chunk-by-chunk; on mid-stream worker death emit a
+        ``reconnect`` event and a clean end-of-stream."""
+        opened = await self._open_session_stream(session_id, path)
+        if opened is None:
+            writer.write(self._raw_response(*self._unavailable()))
+            await writer.drain()
+            return
+        handle, up_reader, up_writer, status, headers = opened
+        try:
+            chunked = (
+                headers.get("transfer-encoding", "").lower() == "chunked"
+            )
+            if not chunked:
+                # Not a stream (e.g. a 404 for an unknown session):
+                # relay the JSON error as an ordinary response.
+                length = int(headers.get("content-length", "0") or "0")
+                body = (
+                    await up_reader.readexactly(length) if length else b""
+                )
+                writer.write(self._raw_response(status, body))
+                await writer.drain()
+                return
+            self.proxied_total += 1
+            writer.write(_STREAM_HEAD)
+            await writer.drain()
+            while True:
+                try:
+                    payload = await self._read_chunk(up_reader)
+                except (
+                    OSError,
+                    asyncio.IncompleteReadError,
+                    ValueError,
+                ):
+                    # Worker died mid-stream (SIGKILL, crash): a clean
+                    # retryable event, then a proper end-of-stream —
+                    # the client resubscribes and lands on a survivor.
+                    self.unavailable_total += 1
+                    writer.write(
+                        _chunk(
+                            self._reconnect_frame(
+                                session_id,
+                                handle.slot,
+                                session_id=session_id,
+                            )
+                        )
+                        + b"0\r\n\r\n"
+                    )
+                    await writer.drain()
+                    return
+                if payload is None:
+                    writer.write(b"0\r\n\r\n")
+                    await writer.drain()
+                    return
+                writer.write(_chunk(payload))
+                await writer.drain()
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            OSError,
+            asyncio.CancelledError,
+        ):
+            pass  # client went away, or router shutdown
+        finally:
+            up_writer.close()
+
+    async def _client_write(self, writer, lock, data: bytes) -> None:
+        try:
+            async with lock:
+                writer.write(data)
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError) as exc:
+            raise _ClientGone() from exc
+
+    async def _proxy_service_stream(self, writer) -> None:
+        """``GET /events/stream``: multiplex every worker's service
+        feed into one client stream.  One pump task per slot forwards
+        chunks under a shared write lock; a dead slot's pump emits a
+        ``reconnect`` event and reattaches once the supervisor has
+        respawned the worker, so one subscription observes the whole
+        fleet across failovers."""
+        try:
+            writer.write(_STREAM_HEAD)
+            writer.write(
+                _chunk(
+                    sse_frame(
+                        {
+                            "event": "hello",
+                            "topic": SERVICE_FEED,
+                            "seq": 0,
+                            "dashboard": await self._dashboard_payload(),
+                        }
+                    )
+                )
+            )
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            return
+        lock = asyncio.Lock()
+        stop = asyncio.Event()
+        pumps = [
+            asyncio.ensure_future(
+                self._pump_service_slot(slot, writer, lock, stop)
+            )
+            for slot in range(self.fleet.size)
+        ]
+        try:
+            await stop.wait()
+        finally:
+            for pump in pumps:
+                pump.cancel()
+            await asyncio.gather(*pumps, return_exceptions=True)
+
+    async def _pump_service_slot(
+        self, slot: int, writer, lock, stop
+    ) -> None:
+        """Forward one slot's service feed until the client goes away;
+        across worker deaths: reconnect event → wait for respawn →
+        fresh subscription (whose ``hello`` carries the respawned
+        worker's dashboard snapshot, so the client re-baselines)."""
+        try:
+            while not stop.is_set():
+                handle = self.fleet.alive(slot)
+                if handle is None:
+                    await asyncio.sleep(_REATTACH_INTERVAL)
+                    continue
+                try:
+                    up_reader, up_writer = await asyncio.open_connection(
+                        self.fleet.config.host, handle.port
+                    )
+                except OSError:
+                    await asyncio.sleep(_REATTACH_INTERVAL)
+                    continue
+                try:
+                    up_writer.write(
+                        self._stream_request(handle, "/events/stream")
+                    )
+                    await up_writer.drain()
+                    status, headers = await self._read_response_head(
+                        up_reader
+                    )
+                    if (
+                        status != 200
+                        or headers.get("transfer-encoding", "").lower()
+                        != "chunked"
+                    ):
+                        await asyncio.sleep(_REATTACH_INTERVAL)
+                        continue
+                    while True:
+                        payload = await self._read_chunk(up_reader)
+                        if payload is None:
+                            break  # worker closed cleanly: reattach
+                        await self._client_write(
+                            writer, lock, _chunk(payload)
+                        )
+                except (
+                    OSError,
+                    asyncio.IncompleteReadError,
+                    ValueError,
+                ):
+                    await self._client_write(
+                        writer,
+                        lock,
+                        _chunk(
+                            self._reconnect_frame(SERVICE_FEED, slot)
+                        ),
+                    )
+                    await asyncio.sleep(_REATTACH_INTERVAL)
+                finally:
+                    up_writer.close()
+        except _ClientGone:
+            stop.set()
+        except asyncio.CancelledError:
+            pass
 
     # --- rebalance and drain -------------------------------------------------
 
@@ -638,6 +994,27 @@ class FleetRouter:
                 if request is None:
                     break
                 method, path, body, keep_alive, _headers = request
+                parts = [p for p in path.split("/") if p]
+                if method == "GET" and (
+                    parts == ["events", "stream"]
+                    or (
+                        len(parts) == 3
+                        and parts[0] == "sessions"
+                        and parts[2] == "stream"
+                    )
+                ):
+                    # Streaming upgrade: the connection belongs to the
+                    # proxied stream until it ends, never reused.
+                    try:
+                        if parts == ["events", "stream"]:
+                            await self._proxy_service_stream(writer)
+                        else:
+                            await self._proxy_session_stream(
+                                writer, parts[1], path
+                            )
+                    except asyncio.CancelledError:
+                        pass
+                    break
                 try:
                     status, response = await self.dispatch_raw(
                         method, path, body

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import os
 import random
+import time
 from types import SimpleNamespace
 
 import pytest
@@ -147,6 +148,52 @@ def make_random_instance(
         ],
     )
     return Instance(left, right)
+
+
+#: Thread-name prefixes of every background worker the suite may spin
+#: up; any of them still alive after the last test is a leak.
+_BACKGROUND_THREAD_PREFIXES = (
+    "repro-service",
+    "index-build",
+    "session-store",
+    "create-offload",
+    "lease-heartbeat",
+    "service-feed",
+)
+
+
+@pytest.fixture(autouse=True, scope="session")
+def no_leaked_servers_or_threads():
+    """Fail the suite if a test leaked a live server or a background
+    worker thread.  Teardown is asynchronous (server loops join their
+    threads, the feed thread drains), so the check retries for a few
+    seconds before declaring a leak rather than flaking on the last
+    test's shutdown still being in flight."""
+    import threading
+
+    from repro.service import ServiceServer
+
+    yield
+    deadline = time.monotonic() + 5.0
+    while True:
+        servers = list(ServiceServer._live)
+        threads = [
+            thread.name
+            for thread in threading.enumerate()
+            if thread.is_alive()
+            and thread.name.startswith(_BACKGROUND_THREAD_PREFIXES)
+        ]
+        if not servers and not threads:
+            return
+        if time.monotonic() > deadline:
+            break
+        time.sleep(0.05)
+    assert not servers, (
+        f"tests leaked live ServiceServer instances: {servers}"
+    )
+    assert not threads, (
+        f"tests leaked background threads: {threads}"
+    )
 
 
 @pytest.fixture(autouse=True, scope="session")

@@ -1,0 +1,226 @@
+"""Stream failover across the fleet router: kill -9 a worker under a
+live SSE subscription.
+
+The acceptance property extends the fleet's (a client cannot observe a
+SIGKILL beyond latency) to the streaming plane: a session stream whose
+worker dies yields a clean, explicitly retryable ``reconnect`` event
+followed by a proper end-of-stream — never a silent hang and never a
+torn frame — and the resubscription lands on a survivor whose snapshot
+question continues the journaled sequence gap-free.  The service-wide
+feed goes one further: the router reattaches a dead slot's pump by
+itself, so ONE subscription observes the whole fleet across a death
+and a respawn.
+
+These tests spawn real worker subprocesses (slow, like test_fleet).
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+
+import pytest
+
+from repro.service import FleetServer, ServiceClient, ServiceClientError
+from repro.service.events import SERVICE_FEED
+
+from .test_fleet import (
+    boundary_instance,
+    fleet_config,
+    reference_run,
+    snapshot_payload,
+)
+from .test_store import _PrefixedOracle
+
+
+def stream_with_retry(client, session_id, deadline_seconds=30.0):
+    """Open a session stream, retrying while the fleet is mid-takeover
+    (lease wait, slot respawn); returns (generator, hello event)."""
+    deadline = time.monotonic() + deadline_seconds
+    while True:
+        try:
+            stream = client.stream_session(session_id)
+            hello = next(stream)
+            assert hello["event"] == "hello"
+            return stream, hello
+        except (ServiceClientError, StopIteration, OSError):
+            if time.monotonic() > deadline:
+                raise
+            time.sleep(0.2)
+
+
+class TestSessionStreamFailover:
+    CUT = 4
+
+    def test_kill9_midstream_yields_reconnect_then_gap_free_resume(
+        self, tmp_path
+    ):
+        instance = boundary_instance(3, 3, rows=6, seed=8)
+        expected, expected_predicate = reference_run(
+            instance, "L2S", 13, _PrefixedOracle(self.CUT, seed=5)
+        )
+        assert len(expected) > self.CUT + 1
+
+        config = fleet_config(tmp_path, checkpoint_every=2)
+        with FleetServer(config) as server:
+            client = ServiceClient(
+                server.host, server.port, retries=5, retry_backoff=0.3
+            )
+            info = client.resume(snapshot_payload(instance, "L2S", 13))
+            sid = info["session_id"]
+            oracle = _PrefixedOracle(self.CUT, seed=5)
+
+            # Phase 1: answer CUT questions via the pushed stream.
+            stream, _ = stream_with_retry(client, sid)
+            asked = []
+            asked_ids = []
+            answered = 0
+            for event in stream:
+                if event["event"] != "question":
+                    continue
+                if answered >= self.CUT:
+                    break
+                asked.append(
+                    [event["left"]["row"], event["right"]["row"]]
+                )
+                asked_ids.append(event["question_id"])
+                client.post_answer(
+                    sid,
+                    event["question_id"],
+                    oracle.label(None).value,
+                )
+                answered += 1
+            assert asked == expected[: self.CUT]
+
+            # Phase 2: SIGKILL the session's home worker mid-stream.
+            home = zlib.crc32(sid.encode("utf-8")) % 2
+            server.kill_worker(home)
+            tail = list(stream)  # must END, not hang
+            assert tail, (
+                "stream closed silently: a worker death must surface "
+                "as an explicit reconnect event"
+            )
+            reconnect = tail[-1]
+            assert reconnect["event"] == "reconnect"
+            assert reconnect["retryable"] is True
+            assert reconnect["reason"] == "worker_unavailable"
+            assert reconnect["session_id"] == sid
+
+            # Phase 3: resubscribe; the survivor waits out the dead
+            # worker's lease, replays checkpoint + journal, and the
+            # snapshot question continues the sequence gap-free.
+            stream, _ = stream_with_retry(client, sid)
+            resumed = []
+            resumed_ids = []
+            for event in stream:
+                if event["event"] == "done":
+                    break
+                if event["event"] != "question":
+                    continue
+                resumed.append(
+                    [event["left"]["row"], event["right"]["row"]]
+                )
+                resumed_ids.append(event["question_id"])
+                client.post_answer(
+                    sid,
+                    event["question_id"],
+                    oracle.label(None).value,
+                )
+            assert resumed[0] == expected[self.CUT], (
+                "snapshot question after failover must be the first "
+                "unanswered question of the journaled sequence"
+            )
+            assert asked + resumed == expected, (
+                "resumed question sequence diverged from the "
+                "uninterrupted run"
+            )
+            ids = asked_ids + resumed_ids
+            assert ids == list(range(ids[0], ids[0] + len(ids))), (
+                f"question_id sequence has gaps or replays: {ids}"
+            )
+            predicate = client.predicate(sid)
+            assert (
+                predicate["predicate"]["pairs"] == expected_predicate
+            )
+            assert client.stats()["fleet"]["failovers_total"] >= 1
+
+
+class TestServiceFeedFailover:
+    def test_one_subscription_survives_kill_and_respawn(self, tmp_path):
+        """The multiplexed ``/events/stream``: a worker SIGKILL shows
+        up as a reconnect event ON THE SAME subscription, and once the
+        slot respawns its fresh hello (with a dashboard re-baseline)
+        arrives without the client doing anything."""
+        with FleetServer(fleet_config(tmp_path)) as server:
+            client = ServiceClient(server.host, server.port)
+            feed_client = ServiceClient(server.host, server.port)
+            stream = feed_client.stream_service()
+            hello = next(stream)
+            assert hello["event"] == "hello"
+            assert hello["topic"] == SERVICE_FEED
+            assert "totals" in hello["dashboard"]
+            # Per-slot hellos from both workers' feeds follow.
+            slot_hellos = [next(stream), next(stream)]
+            assert {e["event"] for e in slot_hellos} == {"hello"}
+
+            server.kill_worker(0)
+            deadline = time.monotonic() + 30
+            reconnect = None
+            for event in stream:
+                if event["event"] == "reconnect":
+                    reconnect = event
+                    break
+                assert time.monotonic() < deadline
+            assert reconnect is not None
+            assert reconnect["topic"] == SERVICE_FEED
+            assert reconnect["slot"] == 0
+            assert reconnect["retryable"] is True
+
+            server.wait_for_slot(0)
+            # Same subscription, no resubscribe: the respawned slot's
+            # pump reattaches and its hello re-baselines the client.
+            rebaseline = None
+            for event in stream:
+                if event["event"] == "hello":
+                    rebaseline = event
+                    break
+                assert time.monotonic() < deadline
+            assert rebaseline is not None
+            assert "dashboard" in rebaseline
+
+            # And live traffic flows again end-to-end: a session on
+            # either slot shows up on this same subscription.
+            info = client.create_session(
+                workload="tpch/join2", strategy="TD", seed=7
+            )
+            question = client.next_question(info["session_id"])
+            client.post_answer(
+                info["session_id"], question["question_id"], "-"
+            )
+            saw_answer = False
+            for event in stream:
+                if (
+                    event["event"] == "answer"
+                    and event["topic"] == info["session_id"]
+                ):
+                    saw_answer = True
+                    break
+                assert time.monotonic() < deadline
+            assert saw_answer
+            stream.close()
+            feed_client.close()
+            client.close()
+
+
+@pytest.mark.parametrize("path", ["/sessions/{sid}/stream"])
+def test_unknown_session_stream_is_json_404_through_router(
+    tmp_path, path
+):
+    """A non-stream upstream response (404 for an unknown session) must
+    relay as an ordinary JSON error, not a broken SSE stream."""
+    with FleetServer(fleet_config(tmp_path)) as server:
+        client = ServiceClient(server.host, server.port)
+        with pytest.raises(ServiceClientError) as excinfo:
+            next(iter(client.stream_session("missing-session")))
+        assert excinfo.value.status == 404
+        client.close()

@@ -623,6 +623,108 @@ class TestPlanCacheFleetGates:
         assert "plan_cross_worker_hits" in ok_names(gates)
 
 
+class TestStreamSuite:
+    def report(
+        self,
+        polled=0.26,
+        streamed=0.22,
+        parity=True,
+        bare=1.1,
+        fanned=1.25,
+        subscribers=256,
+        fan_parity=True,
+        dropped=0,
+    ):
+        return {
+            "latency": {
+                "polled_question_latency": {"p50_ms": polled},
+                "streamed_question_latency": {"p50_ms": streamed},
+                "parity": {"checked": parity, "sessions": 6},
+            },
+            "acceptance": {"stream_parity": parity},
+            "fanout": {
+                "bare_answer_latency": {"p95_ms": bare},
+                "fanout_answer_latency": {"p95_ms": fanned},
+                "subscribers": subscribers,
+                "parity_checked": fan_parity,
+                "events_dropped": dropped,
+            },
+        }
+
+    def gates(self, report):
+        return check_trajectory.check_stream(report, {})
+
+    def test_suite_registered(self):
+        assert "stream" in check_trajectory.SUITES
+
+    def test_healthy_report_passes(self):
+        gates = self.gates(self.report())
+        assert failed_names(gates) == []
+        assert set(ok_names(gates)) == {
+            "streamed_beats_polled_p50",
+            "stream_parity",
+            "fanout_subscribers",
+            "fanout_overhead_p95",
+            "fanout_parity",
+            "no_dropped_events",
+        }
+
+    def test_streamed_slower_than_polled_fails(self):
+        gates = self.gates(self.report(polled=0.2, streamed=0.3))
+        assert failed_names(gates) == ["streamed_beats_polled_p50"]
+
+    def test_overhead_above_both_tolerances_fails(self):
+        """500% AND +5ms — neither the ratio nor the absolute floor
+        forgives it."""
+        gates = self.gates(self.report(bare=1.0, fanned=6.0))
+        assert failed_names(gates) == ["fanout_overhead_p95"]
+
+    def test_absolute_floor_forgives_tiny_bare_p95(self):
+        """300% of a 0.5ms bare p95 is +1.5ms — scheduler noise on a
+        busy runner, not a fan-out regression."""
+        gates = self.gates(self.report(bare=0.5, fanned=2.0))
+        assert failed_names(gates) == []
+
+    def test_ratio_forgives_large_absolute_on_slow_runner(self):
+        gates = self.gates(self.report(bare=100.0, fanned=110.0))
+        assert failed_names(gates) == []
+
+    def test_missing_latency_numbers_fail(self):
+        gates = check_trajectory.check_stream(
+            {"fanout": self.report()["fanout"]}, {}
+        )
+        assert "streamed_beats_polled_p50" in failed_names(gates)
+        assert "stream_parity" in failed_names(gates)
+
+    def test_missing_fanout_numbers_fail(self):
+        report = self.report()
+        del report["fanout"]
+        gates = check_trajectory.check_stream(report, {})
+        assert set(failed_names(gates)) == {
+            "fanout_subscribers",
+            "fanout_overhead_p95",
+            "fanout_parity",
+            "no_dropped_events",
+        }
+
+    def test_unchecked_parity_fails(self):
+        """Timings from diverged question sequences prove nothing."""
+        gates = self.gates(self.report(parity=False))
+        assert failed_names(gates) == ["stream_parity"]
+
+    def test_unchecked_fanout_parity_fails(self):
+        gates = self.gates(self.report(fan_parity=False))
+        assert failed_names(gates) == ["fanout_parity"]
+
+    def test_dropped_events_fail(self):
+        gates = self.gates(self.report(dropped=3))
+        assert failed_names(gates) == ["no_dropped_events"]
+
+    def test_too_few_subscribers_fail(self):
+        gates = self.gates(self.report(subscribers=8))
+        assert failed_names(gates) == ["fanout_subscribers"]
+
+
 class TestCli:
     def write(self, tmp_path, name, payload):
         path = tmp_path / name
